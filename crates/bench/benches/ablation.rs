@@ -1,0 +1,69 @@
+//! Micro-ablations of HeadStart design choices that DESIGN.md calls out:
+//! the cost of the self-critical baseline (one extra action evaluation
+//! per episode) and the scaling of one full RL episode with the
+//! Monte-Carlo sample count k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hs_core::reinforce::{inference_action, logit_gradient, sample_action};
+use hs_core::MaskedEvaluator;
+use hs_core::reward::reward;
+use hs_nn::models;
+use hs_tensor::{Rng, Shape, Tensor};
+
+fn bench_episode_vs_k(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let mut net = models::vgg11(3, 16, 16, 0.25, &mut rng).expect("model");
+    let images = Tensor::randn(Shape::d4(32, 3, 16, 16), &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % 16).collect();
+    let site = hs_nn::surgery::conv_sites(&net)[2];
+    let evaluator =
+        MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).expect("evaluator");
+    let channels = evaluator.channels();
+    let probs: Vec<f32> = (0..channels).map(|i| 0.3 + 0.4 * ((i % 2) as f32)).collect();
+
+    let mut group = c.benchmark_group("episode_cost_vs_k");
+    group.sample_size(10);
+    for &k in &[1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = Rng::seed_from(1);
+                let mut actions = Vec::with_capacity(k);
+                let mut rewards = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let a = sample_action(&probs, &mut rng);
+                    let acc = evaluator.accuracy_with_action(&mut net, &a).expect("eval");
+                    rewards.push(reward(acc, 0.7, channels, a.iter().filter(|&&x| x).count().max(1), 2.0));
+                    actions.push(a);
+                }
+                // Self-critical baseline: one extra evaluation.
+                let inf = inference_action(&probs, 0.5);
+                let acc = evaluator.accuracy_with_action(&mut net, &inf).expect("eval");
+                let baseline = reward(acc, 0.7, channels, inf.iter().filter(|&&x| x).count().max(1), 2.0);
+                logit_gradient(&probs, &actions, &rewards, baseline)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_overhead(c: &mut Criterion) {
+    // The self-critical baseline costs exactly one extra action
+    // evaluation; measure that evaluation in isolation.
+    let mut rng = Rng::seed_from(2);
+    let mut net = models::vgg11(3, 16, 16, 0.25, &mut rng).expect("model");
+    let images = Tensor::randn(Shape::d4(32, 3, 16, 16), &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % 16).collect();
+    let site = hs_nn::surgery::conv_sites(&net)[2];
+    let evaluator =
+        MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).expect("evaluator");
+    let probs: Vec<f32> = (0..evaluator.channels()).map(|_| 0.5).collect();
+    c.bench_function("self_critical_baseline_evaluation", |b| {
+        b.iter(|| {
+            let inf = inference_action(&probs, 0.5);
+            evaluator.accuracy_with_action(&mut net, &inf).expect("eval")
+        });
+    });
+}
+
+criterion_group!(benches, bench_episode_vs_k, bench_baseline_overhead);
+criterion_main!(benches);

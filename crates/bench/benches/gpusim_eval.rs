@@ -1,0 +1,43 @@
+//! Benchmarks of the roofline latency model itself (lowering + sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_gpusim::{devices, estimate, lower_network, estimate_workload};
+use hs_nn::models;
+use hs_tensor::Rng;
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let vgg = models::vgg16(3, 100, 32, 1.0, &mut rng).expect("model");
+    let resnet = models::resnet_cifar(18, 3, 100, 1.0, &mut rng).expect("model");
+    let mut group = c.benchmark_group("lowering");
+    group.bench_function("vgg16", |b| {
+        b.iter(|| lower_network("vgg16", &vgg, 3, 32).expect("lower"));
+    });
+    group.bench_function("resnet110", |b| {
+        b.iter(|| lower_network("resnet110", &resnet, 3, 32).expect("lower"));
+    });
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let vgg = models::vgg16(3, 200, 224, 1.0, &mut rng).expect("model");
+    let workload = lower_network("vgg16_cub", &vgg, 3, 224).expect("lower");
+    let mut group = c.benchmark_group("estimation");
+    group.bench_function("single_device", |b| {
+        let device = devices::gtx_1080ti();
+        b.iter(|| estimate_workload(&device, &workload).expect("estimate"));
+    });
+    group.bench_function("full_device_sweep", |b| {
+        b.iter(|| {
+            devices::all()
+                .iter()
+                .map(|d| estimate(d, &vgg, 3, 224).expect("estimate").fps())
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Layer- and model-level forward/backward benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_nn::layer::{BatchNorm2d, Conv2d};
+use hs_nn::loss::softmax_cross_entropy;
+use hs_nn::models;
+use hs_tensor::{Rng, Shape, Tensor};
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let mut conv = Conv2d::new(32, 64, 3, 1, 1, &mut rng);
+    let x = Tensor::randn(Shape::d4(8, 32, 16, 16), &mut rng);
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.bench_function("forward_8x32x16", |b| {
+        b.iter(|| conv.forward(&x, false).expect("forward"));
+    });
+    group.bench_function("forward_backward_8x32x16", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, true).expect("forward");
+            conv.backward(&Tensor::ones(y.shape().clone())).expect("backward")
+        });
+    });
+    group.finish();
+}
+
+fn bench_batchnorm(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let mut bn = BatchNorm2d::new(64);
+    let x = Tensor::randn(Shape::d4(8, 64, 16, 16), &mut rng);
+    c.bench_function("batchnorm_forward_train", |b| {
+        b.iter(|| bn.forward(&x, true).expect("bn"));
+    });
+}
+
+fn bench_vgg_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let mut net = models::vgg11(3, 16, 16, 0.25, &mut rng).expect("model");
+    let x = Tensor::randn(Shape::d4(16, 3, 16, 16), &mut rng);
+    let mut group = c.benchmark_group("vgg11_quarter_width");
+    group.sample_size(10);
+    group.bench_function("inference_batch16", |b| {
+        b.iter(|| net.forward(&x, false).expect("forward"));
+    });
+    group.bench_function("train_step_batch16", |b| {
+        let labels: Vec<usize> = (0..16).map(|i| i % 16).collect();
+        b.iter(|| {
+            net.zero_grad();
+            let logits = net.forward(&x, true).expect("forward");
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+            net.backward(&grad).expect("backward")
+        });
+    });
+    group.finish();
+}
+
+fn bench_resnet_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut net = models::resnet_cifar(3, 3, 16, 0.25, &mut rng).expect("model");
+    let x = Tensor::randn(Shape::d4(16, 3, 16, 16), &mut rng);
+    let mut group = c.benchmark_group("resnet20_quarter_width");
+    group.sample_size(10);
+    group.bench_function("inference_batch16", |b| {
+        b.iter(|| net.forward(&x, false).expect("forward"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_batchnorm,
+    bench_vgg_forward,
+    bench_resnet_forward
+);
+criterion_main!(benches);

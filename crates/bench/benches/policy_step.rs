@@ -1,0 +1,75 @@
+//! Benchmarks of one HeadStart RL episode's moving parts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_core::reinforce::{logit_gradient, sample_action};
+use hs_core::{HeadStartNetwork, MaskedEvaluator};
+use hs_nn::models;
+use hs_tensor::{Rng, Shape, Tensor};
+
+fn bench_policy_forward_and_step(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let mut policy = HeadStartNetwork::new(128, 8, &mut rng).expect("policy");
+    let noise = policy.sample_noise(&mut rng);
+    let mut group = c.benchmark_group("policy");
+    group.sample_size(30);
+    group.bench_function("probs_128_units", |b| {
+        b.iter(|| policy.probs(&noise).expect("probs"));
+    });
+    group.bench_function("probs_plus_train_step", |b| {
+        let grad = vec![0.01f32; 128];
+        b.iter(|| {
+            policy.probs(&noise).expect("probs");
+            policy.train_step(&grad).expect("step")
+        });
+    });
+    group.finish();
+}
+
+fn bench_action_machinery(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let probs: Vec<f32> = (0..512).map(|i| (i % 100) as f32 / 100.0).collect();
+    c.bench_function("sample_action_512", |b| {
+        b.iter(|| sample_action(&probs, &mut rng));
+    });
+    let actions: Vec<Vec<bool>> = (0..3).map(|_| sample_action(&probs, &mut rng)).collect();
+    let rewards = [0.3f32, -0.1, 0.7];
+    c.bench_function("logit_gradient_512x3", |b| {
+        b.iter(|| logit_gradient(&probs, &actions, &rewards, 0.2));
+    });
+}
+
+fn bench_masked_evaluation(c: &mut Criterion) {
+    // The suffix-only evaluation vs a naive full forward — the
+    // optimization that makes the RL loop affordable.
+    let mut rng = Rng::seed_from(2);
+    let mut net = models::vgg11(3, 16, 16, 0.25, &mut rng).expect("model");
+    let images = Tensor::randn(Shape::d4(32, 3, 16, 16), &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % 16).collect();
+    let site = hs_nn::surgery::conv_sites(&net)[4];
+    let evaluator = MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels)
+        .expect("evaluator");
+    let action: Vec<bool> = (0..evaluator.channels()).map(|i| i % 2 == 0).collect();
+    let mut group = c.benchmark_group("action_eval");
+    group.sample_size(20);
+    group.bench_function("suffix_only", |b| {
+        b.iter(|| evaluator.accuracy_with_action(&mut net, &action).expect("eval"));
+    });
+    group.bench_function("naive_full_forward", |b| {
+        let mask: Vec<f32> = action.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+        b.iter(|| {
+            net.set_channel_mask(site.mask_node, Some(mask.clone()));
+            let logits = net.forward(&images, false).expect("forward");
+            net.set_channel_mask(site.mask_node, None);
+            hs_nn::loss::accuracy(&logits, &labels).expect("accuracy")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_forward_and_step,
+    bench_action_machinery,
+    bench_masked_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablations of HeadStart's design choices (DESIGN.md §ablations):
+//!
+//! 1. self-critical baseline (Eq. 9) vs plain REINFORCE (Eq. 7);
+//! 2. Monte-Carlo sample count k ∈ {1, 3, 5} (paper uses 3);
+//! 3. inference threshold t ∈ {0.3, 0.5, 0.7} (paper uses 0.5);
+//! 4. fixed vs resampled policy noise input.
+//!
+//! Each variant prunes the same layer of the same pretrained VGG and
+//! reports the learned keep count, the inception accuracy on the test
+//! set and the episodes to convergence.
+//!
+//! ```text
+//! cargo run --release -p hs-bench --bin ablation_reward [--quick]
+//! ```
+
+use hs_bench::{pct, pretrain, Budget, Phase};
+use hs_core::{HeadStartConfig, LayerPruner};
+use hs_data::{cached, DatasetSpec};
+use hs_nn::{models, surgery, train};
+use hs_tensor::Rng;
+
+fn main() {
+    let budget = Budget::from_args();
+    let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
+    let mut rng = Rng::seed_from(77);
+    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
+        .expect("model");
+    let phase = Phase::start("pretraining VGG");
+    let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
+    phase.end();
+    println!("# HeadStart ablations, conv ordinal 2, sp = 2 (original acc {}%)", pct(original));
+    println!("{:<34} {:>6} {:>10} {:>9}", "VARIANT", "KEPT", "EPISODES", "INC-ACC%");
+
+    let base = HeadStartConfig::new(2.0)
+        .max_episodes(budget.rl_episodes)
+        .eval_images(budget.rl_eval_images);
+    let variants: Vec<(String, HeadStartConfig)> = vec![
+        ("paper defaults (k=3, t=0.5, SC)".into(), base.clone()),
+        ("no baseline (plain REINFORCE)".into(), base.clone().without_baseline()),
+        ("k = 1 Monte-Carlo sample".into(), base.clone().monte_carlo_samples(1)),
+        ("k = 5 Monte-Carlo samples".into(), base.clone().monte_carlo_samples(5)),
+        ("threshold t = 0.3".into(), base.clone().threshold(0.3)),
+        ("threshold t = 0.7".into(), base.clone().threshold(0.7)),
+        ("resampled noise input".into(), {
+            let mut cfg = base.clone();
+            cfg.resample_noise = true;
+            cfg
+        }),
+    ];
+
+    // Average each variant over 2 seeds for stability.
+    let seeds = [500u64, 501];
+    for (label, cfg) in variants {
+        let mut kept_total = 0usize;
+        let mut episodes_total = 0usize;
+        let mut acc_total = 0.0f32;
+        for &seed in &seeds {
+            let mut vnet = net.clone();
+            let mut vrng = Rng::seed_from(seed);
+            let d = LayerPruner::new(cfg.clone())
+                .prune(&mut vnet, 2, &ds, &mut vrng)
+                .expect("prune");
+            let conv = vnet.conv_indices()[2];
+            surgery::prune_feature_maps(&mut vnet, conv, &d.keep).expect("surgery");
+            acc_total +=
+                train::evaluate(&mut vnet, &ds.test_images, &ds.test_labels, 64).expect("eval");
+            kept_total += d.keep.len();
+            episodes_total += d.episodes;
+        }
+        let n = seeds.len();
+        println!(
+            "{:<34} {:>6.1} {:>10.1} {:>9}",
+            label,
+            kept_total as f32 / n as f32,
+            episodes_total as f32 / n as f32,
+            pct(acc_total / n as f32)
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Block-level HeadStart pruning for ResNets (Section V-A.2).
+//!
+//! Instead of feature maps, the action vector toggles whole residual
+//! blocks: an inactive block is bypassed through its identity shortcut.
+//! Downsample blocks (the first block of groups 2 and 3) change tensor
+//! shapes and therefore always stay active. The speedup half of the
+//! reward is measured on *parameters* (Eq. 11: compression ratio
+//! `W'/W`), which is how Table 4 reports "C.R.".
+
+use hs_data::Dataset;
+use hs_nn::accounting::analyze;
+use hs_nn::loss::accuracy;
+use hs_nn::{train, Network, Node};
+use hs_pruning::driver::FineTune;
+use hs_tensor::Rng;
+
+use crate::config::HeadStartConfig;
+use crate::error::HeadStartError;
+use crate::policy::HeadStartNetwork;
+use crate::reinforce::{inference_action, is_stable, logit_gradient, policy_drift, sample_action};
+use crate::reward::acc_term;
+
+/// The outcome of block-level pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDecision {
+    /// One keep-flag per residual block, aligned with
+    /// [`Network::block_indices`]. Non-prunable blocks are always `true`.
+    pub active: Vec<bool>,
+    /// Episodes the policy trained for.
+    pub episodes: usize,
+    /// Reward of the inference action per episode.
+    pub reward_history: Vec<f32>,
+    /// Parameter compression ratio `W'/W` the decision realizes.
+    pub compression_ratio: f32,
+}
+
+impl BlockDecision {
+    /// Number of blocks kept active.
+    pub fn active_blocks(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Trains one head-start network over a ResNet's prunable residual
+/// blocks.
+#[derive(Debug, Clone)]
+pub struct BlockPruner {
+    cfg: HeadStartConfig,
+}
+
+impl BlockPruner {
+    /// Creates a block pruner; `cfg.sp` is the target *parameter*
+    /// speedup (e.g. `2.0` ≈ half the parameters survive).
+    pub fn new(cfg: HeadStartConfig) -> Self {
+        BlockPruner { cfg }
+    }
+
+    /// Runs the RL loop. The network is restored to fully-active before
+    /// returning; apply the decision with [`BlockPruner::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadTarget`] if the network has no
+    /// prunable blocks, plus config/network errors.
+    pub fn prune(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        rng: &mut Rng,
+    ) -> Result<BlockDecision, HeadStartError> {
+        self.cfg.validate()?;
+        let blocks = net.block_indices();
+        let prunable: Vec<usize> = blocks
+            .iter()
+            .copied()
+            .filter(|&i| match net.node(i) {
+                Node::Block(b) => b.can_prune(),
+                _ => false,
+            })
+            .collect();
+        if prunable.is_empty() {
+            return Err(HeadStartError::BadTarget {
+                detail: "network has no prunable residual blocks".to_string(),
+            });
+        }
+
+        let n_eval = self.cfg.eval_images.min(ds.train_labels.len());
+        let idx: Vec<usize> = (0..n_eval).collect();
+        let eval_images = ds.train_images.index_select(0, &idx)?;
+        let eval_labels: Vec<usize> = ds.train_labels[..n_eval].to_vec();
+        let full_params = analyze(net, ds.channels(), ds.image_size())?.total_params as f32;
+        let logits = net.forward(&eval_images, false)?;
+        let acc_original = accuracy(&logits, &eval_labels)?;
+
+        let mut policy = HeadStartNetwork::with_hyperparams(
+            prunable.len(),
+            self.cfg.noise_size,
+            self.cfg.lr,
+            self.cfg.weight_decay,
+            rng,
+        )?;
+        let noise = policy.sample_noise(rng);
+        let mut probs = vec![0.5f32; prunable.len()];
+        let mut reward_history = Vec::new();
+        let mut prob_history: Vec<Vec<f32>> = Vec::new();
+        let mut episodes = 0usize;
+        for episode in 0..self.cfg.max_episodes {
+            episodes = episode + 1;
+            let z = if self.cfg.resample_noise { policy.sample_noise(rng) } else { noise.clone() };
+            probs = policy.probs(&z)?;
+            let mut actions = Vec::with_capacity(self.cfg.k);
+            let mut rewards = Vec::with_capacity(self.cfg.k);
+            for _ in 0..self.cfg.k {
+                let a = sample_action(&probs, rng);
+                let r = self.action_reward(
+                    net,
+                    &prunable,
+                    &a,
+                    &eval_images,
+                    &eval_labels,
+                    acc_original,
+                    full_params,
+                    ds,
+                )?;
+                actions.push(a);
+                rewards.push(r);
+            }
+            let inf = inference_action(&probs, self.cfg.t);
+            let r_inf = self.action_reward(
+                net,
+                &prunable,
+                &inf,
+                &eval_images,
+                &eval_labels,
+                acc_original,
+                full_params,
+                ds,
+            )?;
+            let baseline = if self.cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
+            policy.train_step(&grad)?;
+            reward_history.push(r_inf);
+            prob_history.push(probs.clone());
+            let drift_ok = prob_history.len() > self.cfg.stability_window
+                && policy_drift(
+                    &prob_history[prob_history.len() - 1 - self.cfg.stability_window],
+                    &probs,
+                ) < self.cfg.drift_tol;
+            if episodes >= self.cfg.min_episodes
+                && drift_ok
+                && is_stable(&reward_history, self.cfg.stability_window, self.cfg.stability_tol)
+            {
+                break;
+            }
+        }
+
+        let final_action = inference_action(&probs, self.cfg.t);
+        // Expand to all blocks (non-prunable stay active).
+        let mut active = vec![true; blocks.len()];
+        for (bit, &node) in final_action.iter().zip(&prunable) {
+            let pos = blocks.iter().position(|&b| b == node).expect("prunable ⊂ blocks");
+            active[pos] = *bit;
+        }
+        // Measure the realized compression.
+        set_blocks(net, &blocks, &active)?;
+        let pruned_params = analyze(net, ds.channels(), ds.image_size())?.total_params as f32;
+        set_blocks(net, &blocks, &vec![true; blocks.len()])?;
+        let compression_ratio = pruned_params / full_params.max(1.0);
+        Ok(BlockDecision { active, episodes, reward_history, compression_ratio })
+    }
+
+    /// Applies a decision to the network (deactivates the chosen blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadTarget`] if the decision length does
+    /// not match the network's blocks.
+    pub fn apply(&self, net: &mut Network, decision: &BlockDecision) -> Result<(), HeadStartError> {
+        let blocks = net.block_indices();
+        if blocks.len() != decision.active.len() {
+            return Err(HeadStartError::BadTarget {
+                detail: format!(
+                    "decision covers {} blocks, network has {}",
+                    decision.active.len(),
+                    blocks.len()
+                ),
+            });
+        }
+        set_blocks(net, &blocks, &decision.active)?;
+        Ok(())
+    }
+
+    /// Full Table-4 pipeline: prune, apply, fine-tune; returns the
+    /// decision and the fine-tuned test accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and training errors.
+    pub fn prune_and_finetune(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        ft: &FineTune,
+        rng: &mut Rng,
+    ) -> Result<(BlockDecision, f32), HeadStartError> {
+        let decision = self.prune(net, ds, rng)?;
+        self.apply(net, &decision)?;
+        ft.run(net, &ds.train_images, &ds.train_labels, rng)
+            .map_err(HeadStartError::Prune)?;
+        let acc = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
+        Ok((decision, acc))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn action_reward(
+        &self,
+        net: &mut Network,
+        prunable: &[usize],
+        action: &[bool],
+        eval_images: &hs_tensor::Tensor,
+        eval_labels: &[usize],
+        acc_original: f32,
+        full_params: f32,
+        ds: &Dataset,
+    ) -> Result<f32, HeadStartError> {
+        // Apply the candidate action.
+        for (&node, &keep) in prunable.iter().zip(action) {
+            net.set_block_active(node, keep)?;
+        }
+        let logits = net.forward(eval_images, false)?;
+        let acc = accuracy(&logits, eval_labels)?;
+        let pruned_params = analyze(net, ds.channels(), ds.image_size())?.total_params as f32;
+        // Restore.
+        for &node in prunable {
+            net.set_block_active(node, true)?;
+        }
+        let learned_speedup = full_params / pruned_params.max(1.0);
+        let spd = (learned_speedup - self.cfg.sp).abs();
+        Ok(acc_term(acc, acc_original) - spd)
+    }
+}
+
+fn set_blocks(net: &mut Network, blocks: &[usize], active: &[bool]) -> Result<(), HeadStartError> {
+    for (&node, &a) in blocks.iter().zip(active) {
+        // Skip no-op writes on non-prunable blocks.
+        if let Node::Block(b) = net.node(node) {
+            if b.is_active() == a {
+                continue;
+            }
+        }
+        net.set_block_active(node, a)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_data::DatasetSpec;
+    use hs_nn::models;
+
+    fn setup() -> (Dataset, Network, Rng) {
+        let ds = Dataset::generate(
+            &DatasetSpec::cifar_like()
+                .classes(4)
+                .train_per_class(6)
+                .test_per_class(3)
+                .image_size(8),
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(0);
+        let net = models::resnet_cifar(3, 3, 4, 0.25, &mut rng).unwrap(); // 9 blocks
+        (ds, net, rng)
+    }
+
+    #[test]
+    fn decision_keeps_downsample_blocks() {
+        let (ds, mut net, mut rng) = setup();
+        let cfg = HeadStartConfig::new(1.5).max_episodes(4).eval_images(8);
+        let d = BlockPruner::new(cfg).prune(&mut net, &ds, &mut rng).unwrap();
+        assert_eq!(d.active.len(), 9);
+        // Blocks 3 and 6 are the downsample boundaries of ResNet-20.
+        assert!(d.active[3] && d.active[6]);
+        assert!((0.0..=1.0).contains(&d.compression_ratio));
+        // Network restored to fully active after prune().
+        for &b in &net.block_indices() {
+            match net.node(b) {
+                Node::Block(blk) => assert!(blk.is_active()),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn apply_deactivates_chosen_blocks() {
+        let (ds, mut net, mut rng) = setup();
+        let cfg = HeadStartConfig::new(2.0).max_episodes(3).eval_images(8);
+        let pruner = BlockPruner::new(cfg);
+        let mut d = pruner.prune(&mut net, &ds, &mut rng).unwrap();
+        // Force a known pattern: drop block 1.
+        d.active = vec![true; 9];
+        d.active[1] = false;
+        pruner.apply(&mut net, &d).unwrap();
+        match net.node(net.block_indices()[1]) {
+            Node::Block(b) => assert!(!b.is_active()),
+            _ => unreachable!(),
+        }
+        // Network still runs.
+        assert!(net.forward(&ds.test_images, false).is_ok());
+    }
+
+    #[test]
+    fn apply_validates_length() {
+        let (_, mut net, _) = setup();
+        let cfg = HeadStartConfig::new(2.0);
+        let d = BlockDecision {
+            active: vec![true; 3],
+            episodes: 1,
+            reward_history: vec![],
+            compression_ratio: 1.0,
+        };
+        assert!(BlockPruner::new(cfg).apply(&mut net, &d).is_err());
+    }
+
+    #[test]
+    fn prune_and_finetune_reports_accuracy() {
+        let (ds, mut net, mut rng) = setup();
+        let cfg = HeadStartConfig::new(1.5).max_episodes(3).eval_images(8);
+        let ft = FineTune { epochs: 1, ..FineTune::default() };
+        let (d, acc) = BlockPruner::new(cfg)
+            .prune_and_finetune(&mut net, &ds, &ft, &mut rng)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(d.active_blocks() <= 9);
+    }
+
+    #[test]
+    fn rejects_network_without_blocks() {
+        let ds = Dataset::generate(
+            &DatasetSpec::cifar_like()
+                .classes(2)
+                .train_per_class(4)
+                .test_per_class(2)
+                .image_size(8),
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::vgg11(3, 2, 8, 0.25, &mut rng).unwrap();
+        let cfg = HeadStartConfig::new(2.0).max_episodes(2).eval_images(8);
+        assert!(BlockPruner::new(cfg).prune(&mut net, &ds, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! HeadStart hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HeadStartError;
+
+/// Hyper-parameters of the HeadStart pruner.
+///
+/// Defaults follow Section IV-A of the paper: `k = 3` Monte-Carlo
+/// samples, threshold `t = 0.5`, RMSprop with weight decay `5e-4` (the
+/// paper prints `5×10⁴`, an obvious typo for the standard value),
+/// pruning each layer "until we observe a nearly constant loss and
+/// reward". The learning rate is the paper's `1e-3` (`10³` as
+/// printed); at this reproduction's reduced scale convergence typically
+/// needs 100–300 episodes per layer, which the default budget allows.
+///
+/// # Example
+///
+/// ```
+/// use hs_core::HeadStartConfig;
+///
+/// let cfg = HeadStartConfig::new(2.0).monte_carlo_samples(5).threshold(0.6);
+/// assert!(cfg.validate().is_ok());
+/// assert_eq!(cfg.sp, 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadStartConfig {
+    /// Target speedup `sp` (compression ratio is `1/sp`, Eq. 11).
+    pub sp: f32,
+    /// Monte-Carlo action samples per episode (`k` in Eq. 6).
+    pub k: usize,
+    /// Inference-action threshold (`t` in Eq. 10).
+    pub t: f32,
+    /// RMSprop learning rate for the head-start network.
+    pub lr: f32,
+    /// RMSprop weight decay for the head-start network.
+    pub weight_decay: f32,
+    /// Hard cap on training episodes per layer.
+    pub max_episodes: usize,
+    /// Minimum episodes before convergence can trigger.
+    pub min_episodes: usize,
+    /// Width of the reward-stability window.
+    pub stability_window: usize,
+    /// Reward spread below which the window counts as stable.
+    pub stability_tol: f32,
+    /// Maximum policy drift (max |Δp| against the probabilities from
+    /// `stability_window` episodes earlier) below which the policy
+    /// counts as converged.
+    pub drift_tol: f32,
+    /// Number of training images used to evaluate candidate inceptions.
+    pub eval_images: usize,
+    /// Spatial extent of the Gaussian noise map fed to the policy.
+    pub noise_size: usize,
+    /// Re-sample the policy's noise input every episode instead of
+    /// fixing it per layer (ablation knob; the default fixed map gives a
+    /// stationary optimization target).
+    pub resample_noise: bool,
+    /// Use the self-critical baseline `R(Aᴵ)` of Eq. 9. Turning this off
+    /// (plain REINFORCE, Eq. 7) is the paper's implicit ablation for the
+    /// variance-reduction claim.
+    pub self_critical_baseline: bool,
+}
+
+impl HeadStartConfig {
+    /// Creates a config with the paper's defaults for target speedup
+    /// `sp`.
+    pub fn new(sp: f32) -> Self {
+        HeadStartConfig {
+            sp,
+            k: 3,
+            t: 0.5,
+            lr: 1e-3,
+            weight_decay: 5e-4,
+            max_episodes: 300,
+            min_episodes: 60,
+            stability_window: 12,
+            stability_tol: 0.005,
+            drift_tol: 0.01,
+            eval_images: 128,
+            noise_size: 8,
+            resample_noise: false,
+            self_critical_baseline: true,
+        }
+    }
+
+    /// Sets `k`, the Monte-Carlo sample count (builder style).
+    pub fn monte_carlo_samples(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the inference threshold `t` (builder style).
+    pub fn threshold(mut self, t: f32) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Sets the episode cap (builder style). `min_episodes` is clamped
+    /// down to stay consistent.
+    pub fn max_episodes(mut self, n: usize) -> Self {
+        self.max_episodes = n;
+        self.min_episodes = self.min_episodes.min(n);
+        self
+    }
+
+    /// Sets the evaluation-subset size (builder style).
+    pub fn eval_images(mut self, n: usize) -> Self {
+        self.eval_images = n;
+        self
+    }
+
+    /// Sets the policy learning rate (builder style).
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Disables the self-critical baseline (plain REINFORCE; builder
+    /// style, for ablations).
+    pub fn without_baseline(mut self) -> Self {
+        self.self_critical_baseline = false;
+        self
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HeadStartError> {
+        let bad = |field: &'static str, detail: String| {
+            Err(HeadStartError::BadConfig { field, detail })
+        };
+        if !self.sp.is_finite() || self.sp < 1.0 {
+            return bad("sp", format!("{} (speedup must be >= 1)", self.sp));
+        }
+        if self.k == 0 {
+            return bad("k", "need at least one Monte-Carlo sample".into());
+        }
+        if !(0.0..=1.0).contains(&self.t) {
+            return bad("t", format!("{} is not a probability threshold", self.t));
+        }
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return bad("lr", format!("{}", self.lr));
+        }
+        if self.max_episodes == 0 {
+            return bad("max_episodes", "must be > 0".into());
+        }
+        if self.min_episodes > self.max_episodes {
+            return bad(
+                "min_episodes",
+                format!("{} exceeds max_episodes {}", self.min_episodes, self.max_episodes),
+            );
+        }
+        if self.stability_window == 0 {
+            return bad("stability_window", "must be > 0".into());
+        }
+        if !self.drift_tol.is_finite() || self.drift_tol < 0.0 {
+            return bad("drift_tol", format!("{}", self.drift_tol));
+        }
+        if self.eval_images == 0 {
+            return bad("eval_images", "must be > 0".into());
+        }
+        if self.noise_size < 4 {
+            return bad("noise_size", format!("{} below the 4px minimum", self.noise_size));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = HeadStartConfig::new(2.0);
+        assert_eq!(cfg.k, 3);
+        assert_eq!(cfg.t, 0.5);
+        assert!(cfg.self_critical_baseline);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        assert!(HeadStartConfig::new(0.5).validate().is_err());
+        assert!(HeadStartConfig::new(2.0).monte_carlo_samples(0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0).threshold(1.5).validate().is_err());
+        assert!(HeadStartConfig::new(2.0).max_episodes(0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0).eval_images(0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0).learning_rate(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = HeadStartConfig::new(5.0)
+            .monte_carlo_samples(7)
+            .threshold(0.4)
+            .max_episodes(99)
+            .eval_images(16)
+            .learning_rate(0.01)
+            .without_baseline();
+        assert_eq!(cfg.sp, 5.0);
+        assert_eq!(cfg.k, 7);
+        assert_eq!(cfg.t, 0.4);
+        assert_eq!(cfg.max_episodes, 99);
+        assert_eq!(cfg.eval_images, 16);
+        assert!(!cfg.self_critical_baseline);
+    }
+}

@@ -1,0 +1,200 @@
+//! Adapter exposing HeadStart through the baseline
+//! [`PruningCriterion`] interface, for *controlled* comparisons where
+//! every method must keep exactly the same number of maps (the paper's
+//! Figure 3 single-layer study).
+
+use hs_data::{Dataset, DatasetSpec};
+use hs_pruning::{top_k_indices, PruneError, PruningCriterion, ScoreContext};
+use hs_tensor::Tensor;
+
+use crate::config::HeadStartConfig;
+use crate::evaluator::MaskedEvaluator;
+use crate::policy::HeadStartNetwork;
+use crate::reinforce::{
+    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
+};
+use crate::reward::reward;
+
+/// HeadStart as a drop-in [`PruningCriterion`].
+///
+/// The RL loop runs with `sp = C / keep`; the final importance scores
+/// are the converged keep probabilities, so `keep_set` retains exactly
+/// the requested count (unlike the native pipeline, where the learned
+/// count may drift a few maps around the target, as in the paper's
+/// Table 1).
+#[derive(Debug, Clone)]
+pub struct HeadStartCriterion {
+    cfg: HeadStartConfig,
+    /// Filled by `keep_set` so callers can inspect convergence.
+    pub last_reward_history: Vec<f32>,
+}
+
+impl HeadStartCriterion {
+    /// Creates the adapter. The config's `sp` field is overridden per
+    /// call from the requested keep count.
+    pub fn new(cfg: HeadStartConfig) -> Self {
+        HeadStartCriterion { cfg, last_reward_history: Vec::new() }
+    }
+
+    fn run_rl(
+        &mut self,
+        ctx: &mut ScoreContext<'_>,
+        sp: f32,
+    ) -> Result<Vec<f32>, PruneError> {
+        let channels = ctx.channels()?;
+        let mut cfg = self.cfg.clone();
+        cfg.sp = sp;
+        cfg.validate().map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+        let evaluator =
+            MaskedEvaluator::new(ctx.net, ctx.site.mask_node, ctx.images, ctx.labels)
+                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+        let acc_original = evaluator.baseline_accuracy();
+        let mut policy = HeadStartNetwork::with_hyperparams(
+            channels,
+            cfg.noise_size,
+            cfg.lr,
+            cfg.weight_decay,
+            ctx.rng,
+        )
+        .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+        let noise = policy.sample_noise(ctx.rng);
+        let mut probs = vec![0.5f32; channels];
+        let mut prob_history: Vec<Vec<f32>> = Vec::new();
+        self.last_reward_history.clear();
+        for episode in 0..cfg.max_episodes {
+            let z = if cfg.resample_noise { policy.sample_noise(ctx.rng) } else { noise.clone() };
+            probs = policy
+                .probs(&z)
+                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+            let mut actions = Vec::with_capacity(cfg.k);
+            let mut rewards = Vec::with_capacity(cfg.k);
+            for _ in 0..cfg.k {
+                let a = sample_action(&probs, ctx.rng);
+                let r = action_reward(ctx.net, &evaluator, &a, channels, acc_original, cfg.sp)?;
+                actions.push(a);
+                rewards.push(r);
+            }
+            let inf = inference_action(&probs, cfg.t);
+            let r_inf = action_reward(ctx.net, &evaluator, &inf, channels, acc_original, cfg.sp)?;
+            let baseline = if cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
+            policy
+                .train_step(&grad)
+                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+            self.last_reward_history.push(r_inf);
+            prob_history.push(probs.clone());
+            let drift_ok = prob_history.len() > cfg.stability_window
+                && policy_drift(
+                    &prob_history[prob_history.len() - 1 - cfg.stability_window],
+                    &probs,
+                ) < cfg.drift_tol;
+            if episode + 1 >= cfg.min_episodes
+                && drift_ok
+                && is_stable(&self.last_reward_history, cfg.stability_window, cfg.stability_tol)
+            {
+                break;
+            }
+        }
+        Ok(probs)
+    }
+}
+
+fn action_reward(
+    net: &mut hs_nn::Network,
+    evaluator: &MaskedEvaluator,
+    action: &[bool],
+    channels: usize,
+    acc_original: f32,
+    sp: f32,
+) -> Result<f32, PruneError> {
+    let kept = kept_count(action);
+    if kept == 0 {
+        return Ok(reward(0.0, acc_original, channels, 0, sp));
+    }
+    let acc = evaluator
+        .accuracy_with_action(net, action)
+        .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+    Ok(reward(acc, acc_original, channels, kept, sp))
+}
+
+impl PruningCriterion for HeadStartCriterion {
+    fn name(&self) -> &'static str {
+        "HeadStart"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        // With no keep count given, train against the config's own sp.
+        let sp = self.cfg.sp;
+        self.run_rl(ctx, sp)
+    }
+
+    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+        let channels = ctx.channels()?;
+        if keep == 0 || keep > channels {
+            return Err(PruneError::BadKeepCount { keep, available: channels });
+        }
+        let sp = channels as f32 / keep as f32;
+        let probs = self.run_rl(ctx, sp.max(1.0))?;
+        Ok(top_k_indices(&probs, keep))
+    }
+}
+
+/// Convenience used by tests and examples: a minimal dataset and labels
+/// from a spec, as plain tensors.
+#[allow(dead_code)]
+pub(crate) fn tiny_eval_set(spec: &DatasetSpec) -> (Tensor, Vec<usize>) {
+    let ds = Dataset::generate(spec).expect("valid spec");
+    (ds.train_images, ds.train_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::models;
+    use hs_nn::surgery::conv_sites;
+    use hs_tensor::Rng;
+
+    #[test]
+    fn keep_set_returns_exact_count() {
+        let ds = Dataset::generate(
+            &DatasetSpec::cifar_like()
+                .classes(4)
+                .train_per_class(8)
+                .test_per_class(4)
+                .image_size(8),
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        let site = conv_sites(&net)[0];
+        let mut crit =
+            HeadStartCriterion::new(HeadStartConfig::new(2.0).max_episodes(6).eval_images(16));
+        let mut ctx =
+            ScoreContext::new(&mut net, site, &ds.train_images, &ds.train_labels, &mut rng);
+        let keep = crit.keep_set(&mut ctx, 8).unwrap();
+        assert_eq!(keep.len(), 8);
+        assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        assert!(!crit.last_reward_history.is_empty());
+        assert_eq!(crit.name(), "HeadStart");
+    }
+
+    #[test]
+    fn keep_set_validates_count() {
+        let ds = Dataset::generate(
+            &DatasetSpec::cifar_like()
+                .classes(2)
+                .train_per_class(4)
+                .test_per_class(2)
+                .image_size(8),
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::vgg11(3, 2, 8, 0.25, &mut rng).unwrap();
+        let site = conv_sites(&net)[0];
+        let mut crit = HeadStartCriterion::new(HeadStartConfig::new(2.0).max_episodes(2));
+        let mut ctx =
+            ScoreContext::new(&mut net, site, &ds.train_images, &ds.train_labels, &mut rng);
+        assert!(crit.keep_set(&mut ctx, 0).is_err());
+        assert!(crit.keep_set(&mut ctx, 1000).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the HeadStart pruner.
+
+use std::error::Error;
+use std::fmt;
+
+use hs_nn::NnError;
+use hs_pruning::PruneError;
+use hs_tensor::TensorError;
+
+/// Error returned by HeadStart pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadStartError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A baseline-pruning utility failed.
+    Prune(PruneError),
+    /// A configuration field is invalid.
+    BadConfig {
+        /// Which field.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The requested layer/block target does not exist.
+    BadTarget {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for HeadStartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadStartError::Nn(e) => write!(f, "network error: {e}"),
+            HeadStartError::Tensor(e) => write!(f, "tensor error: {e}"),
+            HeadStartError::Prune(e) => write!(f, "pruning error: {e}"),
+            HeadStartError::BadConfig { field, detail } => {
+                write!(f, "bad headstart config ({field}): {detail}")
+            }
+            HeadStartError::BadTarget { detail } => write!(f, "bad pruning target: {detail}"),
+        }
+    }
+}
+
+impl Error for HeadStartError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeadStartError::Nn(e) => Some(e),
+            HeadStartError::Tensor(e) => Some(e),
+            HeadStartError::Prune(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for HeadStartError {
+    fn from(e: NnError) -> Self {
+        HeadStartError::Nn(e)
+    }
+}
+
+impl From<TensorError> for HeadStartError {
+    fn from(e: TensorError) -> Self {
+        HeadStartError::Tensor(e)
+    }
+}
+
+impl From<PruneError> for HeadStartError {
+    fn from(e: PruneError) -> Self {
+        HeadStartError::Prune(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: HeadStartError = TensorError::Empty { op: "stack" }.into();
+        assert!(Error::source(&e).is_some());
+        let e = HeadStartError::BadConfig { field: "sp", detail: "must be >= 1".into() };
+        assert!(e.to_string().contains("sp"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Fast masked-accuracy evaluation.
+//!
+//! During policy training HeadStart evaluates hundreds of candidate
+//! actions against the same evaluation batch. Activations *before* the
+//! pruned layer never change, so they are computed once; each action only
+//! pays for masking + the network suffix.
+
+use hs_nn::loss::accuracy;
+use hs_nn::Network;
+use hs_tensor::Tensor;
+
+use crate::error::HeadStartError;
+
+/// Evaluates the accuracy of a network under arbitrary channel masks at
+/// one site, re-running only the suffix after the masked node.
+#[derive(Debug)]
+pub struct MaskedEvaluator {
+    mask_node: usize,
+    prefix: Tensor,
+    labels: Vec<usize>,
+    channels: usize,
+    baseline_accuracy: f32,
+}
+
+impl MaskedEvaluator {
+    /// Captures the pre-mask activations at `mask_node` for the given
+    /// evaluation batch and records the unmasked accuracy.
+    ///
+    /// Any mask already attached to `mask_node` is cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors; the site's output must be `[N, C, H, W]`
+    /// or `[N, C]`.
+    pub fn new(
+        net: &mut Network,
+        mask_node: usize,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<Self, HeadStartError> {
+        net.set_channel_mask(mask_node, None);
+        let (logits, mut captured) = net.forward_capture(images, &[mask_node], false)?;
+        let baseline_accuracy = accuracy(&logits, labels)?;
+        let prefix = captured.remove(0);
+        let shape = prefix.shape();
+        let channels = match shape.rank() {
+            4 | 2 => shape.dim(1),
+            _ => {
+                return Err(HeadStartError::BadTarget {
+                    detail: format!("node {mask_node} output {shape} is not maskable"),
+                })
+            }
+        };
+        Ok(MaskedEvaluator {
+            mask_node,
+            prefix,
+            labels: labels.to_vec(),
+            channels,
+            baseline_accuracy,
+        })
+    }
+
+    /// Channels at the masked node.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Accuracy of the *unmasked* model on the evaluation batch
+    /// (`f_W(D|W)` of Eq. 1).
+    pub fn baseline_accuracy(&self) -> f32 {
+        self.baseline_accuracy
+    }
+
+    /// Accuracy with the given binary keep-action applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadTarget`] if the action length differs
+    /// from the channel count.
+    pub fn accuracy_with_action(
+        &self,
+        net: &mut Network,
+        action: &[bool],
+    ) -> Result<f32, HeadStartError> {
+        if action.len() != self.channels {
+            return Err(HeadStartError::BadTarget {
+                detail: format!("action of {} bits for {} channels", action.len(), self.channels),
+            });
+        }
+        let mut masked = self.prefix.clone();
+        let shape = masked.shape().clone();
+        let (batch, inner) = match shape.rank() {
+            4 => (shape.dim(0), shape.dim(2) * shape.dim(3)),
+            _ => (shape.dim(0), 1),
+        };
+        let data = masked.data_mut();
+        for b in 0..batch {
+            for (c, &keep) in action.iter().enumerate() {
+                if !keep {
+                    let base = (b * self.channels + c) * inner;
+                    for v in &mut data[base..base + inner] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let logits = net.forward_range(&masked, self.mask_node + 1, false)?;
+        Ok(accuracy(&logits, &self.labels)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::models;
+    use hs_nn::surgery::conv_sites;
+    use hs_tensor::{Rng, Shape};
+
+    #[test]
+    fn masked_accuracy_matches_slow_path() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        let images = Tensor::randn(Shape::d4(8, 3, 8, 8), &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let site = conv_sites(&net)[1];
+        let eval = MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).unwrap();
+        let c = eval.channels();
+        let action: Vec<bool> = (0..c).map(|i| i % 2 == 0).collect();
+        let fast = eval.accuracy_with_action(&mut net, &action).unwrap();
+        // Slow path: full forward with an equivalent mask.
+        let mask: Vec<f32> = action.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+        net.set_channel_mask(site.mask_node, Some(mask));
+        let logits = net.forward(&images, false).unwrap();
+        net.set_channel_mask(site.mask_node, None);
+        let slow = accuracy(&logits, &labels).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn all_ones_action_reproduces_baseline() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        let images = Tensor::randn(Shape::d4(8, 3, 8, 8), &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let site = conv_sites(&net)[0];
+        let eval = MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).unwrap();
+        let keep_all = vec![true; eval.channels()];
+        let acc = eval.accuracy_with_action(&mut net, &keep_all).unwrap();
+        assert_eq!(acc, eval.baseline_accuracy());
+    }
+
+    #[test]
+    fn rejects_wrong_action_length() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        let images = Tensor::randn(Shape::d4(4, 3, 8, 8), &mut rng);
+        let labels = vec![0, 1, 2, 3];
+        let site = conv_sites(&net)[0];
+        let eval = MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).unwrap();
+        assert!(eval.accuracy_with_action(&mut net, &[true]).is_err());
+    }
+}

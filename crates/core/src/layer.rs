@@ -1,0 +1,245 @@
+//! Per-layer HeadStart pruning: the RL loop of Section III.
+
+use hs_data::Dataset;
+use hs_nn::surgery::conv_sites;
+use hs_nn::Network;
+use hs_tensor::Rng;
+
+use crate::config::HeadStartConfig;
+use crate::error::HeadStartError;
+use crate::evaluator::MaskedEvaluator;
+use crate::policy::HeadStartNetwork;
+use crate::reinforce::{
+    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
+};
+use crate::reward::reward;
+
+/// The outcome of pruning one layer: the learned inception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDecision {
+    /// Indices of the feature maps to keep (sorted ascending).
+    pub keep: Vec<usize>,
+    /// Final keep probabilities emitted by the policy.
+    pub probs: Vec<f32>,
+    /// Episodes the policy trained for.
+    pub episodes: usize,
+    /// Reward of the inference action per episode (convergence trace).
+    pub reward_history: Vec<f32>,
+    /// Evaluation-batch accuracy of the chosen action, before surgery
+    /// and fine-tuning (the inception accuracy on the eval split).
+    pub inception_eval_accuracy: f32,
+}
+
+/// Trains one head-start network against one convolutional layer and
+/// extracts the learned keep set.
+#[derive(Debug, Clone)]
+pub struct LayerPruner {
+    cfg: HeadStartConfig,
+}
+
+impl LayerPruner {
+    /// Creates a pruner with the given configuration.
+    pub fn new(cfg: HeadStartConfig) -> Self {
+        LayerPruner { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HeadStartConfig {
+        &self.cfg
+    }
+
+    /// Runs the RL loop against conv ordinal `conv_ordinal` of `net`
+    /// (0-based position among the network's convolutions). The network
+    /// itself is *not* modified — apply the returned decision with
+    /// [`hs_nn::surgery::prune_feature_maps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] for an invalid config,
+    /// [`HeadStartError::BadTarget`] for a bad ordinal, and propagates
+    /// network errors.
+    pub fn prune(
+        &self,
+        net: &mut Network,
+        conv_ordinal: usize,
+        ds: &Dataset,
+        rng: &mut Rng,
+    ) -> Result<LayerDecision, HeadStartError> {
+        self.cfg.validate()?;
+        let sites = conv_sites(net);
+        let site = *sites.get(conv_ordinal).ok_or_else(|| HeadStartError::BadTarget {
+            detail: format!("conv ordinal {conv_ordinal} out of range ({} convs)", sites.len()),
+        })?;
+        let channels = net.conv(site.conv)?.out_channels();
+
+        // Evaluation split: a fixed prefix of the training set (the
+        // generators interleave classes, so it is class-balanced).
+        let n_eval = self.cfg.eval_images.min(ds.train_labels.len());
+        let idx: Vec<usize> = (0..n_eval).collect();
+        let eval_images = ds.train_images.index_select(0, &idx)?;
+        let eval_labels: Vec<usize> = ds.train_labels[..n_eval].to_vec();
+        let evaluator = MaskedEvaluator::new(net, site.mask_node, &eval_images, &eval_labels)?;
+        let acc_original = evaluator.baseline_accuracy();
+
+        let mut policy = HeadStartNetwork::with_hyperparams(
+            channels,
+            self.cfg.noise_size,
+            self.cfg.lr,
+            self.cfg.weight_decay,
+            rng,
+        )?;
+        let fixed_noise = policy.sample_noise(rng);
+
+        let mut reward_history = Vec::new();
+        let mut prob_history: Vec<Vec<f32>> = Vec::new();
+        let mut episodes = 0usize;
+        let mut probs = vec![0.5f32; channels];
+        for episode in 0..self.cfg.max_episodes {
+            episodes = episode + 1;
+            let noise = if self.cfg.resample_noise {
+                policy.sample_noise(rng)
+            } else {
+                fixed_noise.clone()
+            };
+            probs = policy.probs(&noise)?;
+
+            // k Monte-Carlo samples (Eq. 6) ...
+            let mut actions = Vec::with_capacity(self.cfg.k);
+            let mut rewards = Vec::with_capacity(self.cfg.k);
+            for _ in 0..self.cfg.k {
+                let action = sample_action(&probs, rng);
+                let r = self.action_reward(net, &evaluator, &action, channels, acc_original)?;
+                actions.push(action);
+                rewards.push(r);
+            }
+            // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
+            let inf = inference_action(&probs, self.cfg.t);
+            let r_inf = self.action_reward(net, &evaluator, &inf, channels, acc_original)?;
+            let baseline = if self.cfg.self_critical_baseline { r_inf } else { 0.0 };
+
+            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
+            policy.train_step(&grad)?;
+            reward_history.push(r_inf);
+            prob_history.push(probs.clone());
+            // Converged when both the reward and the policy itself have
+            // stopped moving over the stability window.
+            let drift_ok = prob_history.len() > self.cfg.stability_window
+                && policy_drift(
+                    &prob_history[prob_history.len() - 1 - self.cfg.stability_window],
+                    &probs,
+                ) < self.cfg.drift_tol;
+            if episodes >= self.cfg.min_episodes
+                && drift_ok
+                && is_stable(&reward_history, self.cfg.stability_window, self.cfg.stability_tol)
+            {
+                break;
+            }
+        }
+
+        // The final inception: the inference action of the converged
+        // policy, guarded against the degenerate empty action.
+        let mut final_action = inference_action(&probs, self.cfg.t);
+        if kept_count(&final_action) == 0 {
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            final_action[best] = true;
+        }
+        let inception_eval_accuracy =
+            evaluator.accuracy_with_action(net, &final_action)?;
+        let keep: Vec<usize> = final_action
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
+        Ok(LayerDecision { keep, probs, episodes, reward_history, inception_eval_accuracy })
+    }
+
+    fn action_reward(
+        &self,
+        net: &mut Network,
+        evaluator: &MaskedEvaluator,
+        action: &[bool],
+        channels: usize,
+        acc_original: f32,
+    ) -> Result<f32, HeadStartError> {
+        let kept = kept_count(action);
+        if kept == 0 {
+            // No defined speedup; prohibitive penalty, skip the forward.
+            return Ok(reward(0.0, acc_original, channels, 0, self.cfg.sp));
+        }
+        let acc = evaluator.accuracy_with_action(net, action)?;
+        Ok(reward(acc, acc_original, channels, kept, self.cfg.sp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_data::DatasetSpec;
+    use hs_nn::models;
+
+    fn tiny_setup() -> (Dataset, Network, Rng) {
+        let ds = Dataset::generate(
+            &DatasetSpec::cifar_like()
+                .classes(4)
+                .train_per_class(8)
+                .test_per_class(4)
+                .image_size(8),
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(0);
+        let net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        (ds, net, rng)
+    }
+
+    #[test]
+    fn decision_has_consistent_fields() {
+        let (ds, mut net, mut rng) = tiny_setup();
+        let cfg = HeadStartConfig::new(2.0).max_episodes(8).eval_images(16);
+        let d = LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng).unwrap();
+        assert!(!d.keep.is_empty());
+        assert!(d.keep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(d.probs.len(), 16); // vgg11 @ 0.25 width: first conv = 16 maps
+        assert!(d.episodes >= 1 && d.episodes <= 8);
+        assert_eq!(d.reward_history.len(), d.episodes);
+        assert!((0.0..=1.0).contains(&d.inception_eval_accuracy));
+        // Network untouched: all 16 maps still present.
+        assert_eq!(net.conv(net.conv_indices()[0]).unwrap().out_channels(), 16);
+    }
+
+    #[test]
+    fn learned_speedup_approaches_target() {
+        let (ds, mut net, mut rng) = tiny_setup();
+        // Give the policy room to converge.
+        let cfg = HeadStartConfig::new(2.0).max_episodes(60).eval_images(16);
+        let d = LayerPruner::new(cfg).prune(&mut net, 1, &ds, &mut rng).unwrap();
+        let channels = 32; // vgg11 @ 0.25: second conv
+        let learned_sp = channels as f32 / d.keep.len() as f32;
+        assert!(
+            (learned_sp - 2.0).abs() < 1.0,
+            "learned speedup {learned_sp} too far from target 2.0 (kept {} of {channels})",
+            d.keep.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ordinal_and_config() {
+        let (ds, mut net, mut rng) = tiny_setup();
+        let cfg = HeadStartConfig::new(2.0).max_episodes(2).eval_images(8);
+        assert!(LayerPruner::new(cfg.clone()).prune(&mut net, 99, &ds, &mut rng).is_err());
+        let bad = HeadStartConfig::new(0.1);
+        assert!(LayerPruner::new(bad).prune(&mut net, 0, &ds, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reward_history_is_finite() {
+        let (ds, mut net, mut rng) = tiny_setup();
+        let cfg = HeadStartConfig::new(3.0).max_episodes(6).eval_images(8);
+        let d = LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng).unwrap();
+        assert!(d.reward_history.iter().all(|r| r.is_finite()));
+    }
+}

@@ -1,0 +1,188 @@
+//! The head-start network: the per-layer policy of Figure 2.
+
+use hs_tensor::{Rng, Shape, Tensor};
+
+use hs_nn::layer::{Conv2d, Flatten, Linear, ReLU};
+use hs_nn::optim::{Optimizer, RmsProp};
+use hs_nn::{Network, Node};
+
+use crate::error::HeadStartError;
+
+/// The paper's policy network: three convolution layers and one fully
+/// connected layer, fed a Gaussian noise map, emitting one sigmoid
+/// probability per prunable unit (feature map or residual block).
+///
+/// # Example
+///
+/// ```
+/// use hs_core::HeadStartNetwork;
+/// use hs_tensor::Rng;
+///
+/// # fn main() -> Result<(), hs_core::HeadStartError> {
+/// let mut rng = Rng::seed_from(0);
+/// let mut policy = HeadStartNetwork::new(16, 8, &mut rng)?;
+/// let noise = policy.sample_noise(&mut rng);
+/// let probs = policy.probs(&noise)?;
+/// assert_eq!(probs.len(), 16);
+/// assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HeadStartNetwork {
+    net: Network,
+    opt: RmsProp,
+    out_units: usize,
+    noise_size: usize,
+}
+
+const HIDDEN: usize = 8;
+
+impl HeadStartNetwork {
+    /// Creates a policy emitting `out_units` probabilities from a
+    /// `noise_size`×`noise_size` single-channel noise map, trained with
+    /// RMSprop at the paper's learning rate / weight decay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] for degenerate sizes.
+    pub fn new(out_units: usize, noise_size: usize, rng: &mut Rng) -> Result<Self, HeadStartError> {
+        Self::with_hyperparams(out_units, noise_size, 1e-3, 5e-4, rng)
+    }
+
+    /// Creates a policy with explicit RMSprop hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] for degenerate sizes.
+    pub fn with_hyperparams(
+        out_units: usize,
+        noise_size: usize,
+        lr: f32,
+        weight_decay: f32,
+        rng: &mut Rng,
+    ) -> Result<Self, HeadStartError> {
+        if out_units == 0 {
+            return Err(HeadStartError::BadConfig {
+                field: "out_units",
+                detail: "policy must emit at least one probability".to_string(),
+            });
+        }
+        if noise_size < 4 {
+            return Err(HeadStartError::BadConfig {
+                field: "noise_size",
+                detail: format!("{noise_size} below the 4px minimum"),
+            });
+        }
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, HIDDEN, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Conv(Conv2d::new(HIDDEN, HIDDEN, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Conv(Conv2d::new(HIDDEN, HIDDEN, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Flatten(Flatten::new()));
+        net.push(Node::Linear(Linear::new(HIDDEN * noise_size * noise_size, out_units, rng)));
+        let opt = RmsProp::new(lr).weight_decay(weight_decay);
+        Ok(HeadStartNetwork { net, opt, out_units, noise_size })
+    }
+
+    /// Number of probabilities the policy emits.
+    pub fn out_units(&self) -> usize {
+        self.out_units
+    }
+
+    /// Draws a standard-normal noise map of the policy's input shape.
+    pub fn sample_noise(&self, rng: &mut Rng) -> Tensor {
+        Tensor::randn(Shape::d4(1, 1, self.noise_size, self.noise_size), rng)
+    }
+
+    /// Forward pass in training mode: returns the keep probabilities
+    /// `σ(logits)` and caches activations for [`Self::train_step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors (e.g. a noise map of the wrong shape).
+    pub fn probs(&mut self, noise: &Tensor) -> Result<Vec<f32>, HeadStartError> {
+        let logits = self.net.forward(noise, true)?;
+        Ok(logits.data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect())
+    }
+
+    /// Applies one policy-gradient step given `∂L/∂logits` (computed by
+    /// [`crate::reinforce::logit_gradient`]). Must follow a [`Self::probs`]
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] if the gradient length is
+    /// wrong, and propagates network errors (including the missing-
+    /// forward case).
+    pub fn train_step(&mut self, grad_logits: &[f32]) -> Result<(), HeadStartError> {
+        if grad_logits.len() != self.out_units {
+            return Err(HeadStartError::BadConfig {
+                field: "grad_logits",
+                detail: format!("{} grads for {} units", grad_logits.len(), self.out_units),
+            });
+        }
+        let grad = Tensor::from_vec(Shape::d2(1, self.out_units), grad_logits.to_vec())?;
+        self.net.zero_grad();
+        self.net.backward(&grad)?;
+        self.opt.step(&mut self.net);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probs_are_probabilities() {
+        let mut rng = Rng::seed_from(0);
+        let mut policy = HeadStartNetwork::new(12, 8, &mut rng).unwrap();
+        let noise = policy.sample_noise(&mut rng);
+        let p = policy.probs(&noise).unwrap();
+        assert_eq!(p.len(), 12);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn training_pushes_probabilities_in_gradient_direction() {
+        // Descending dL/dlogit = +1 on unit 0 must *lower* p₀;
+        // dL/dlogit = −1 on unit 1 must raise p₁.
+        let mut rng = Rng::seed_from(1);
+        let mut policy = HeadStartNetwork::new(2, 8, &mut rng).unwrap();
+        let noise = policy.sample_noise(&mut rng);
+        let before = policy.probs(&noise).unwrap();
+        for _ in 0..30 {
+            policy.probs(&noise).unwrap();
+            policy.train_step(&[1.0, -1.0]).unwrap();
+        }
+        let after = policy.probs(&noise).unwrap();
+        assert!(after[0] < before[0], "{before:?} -> {after:?}");
+        assert!(after[1] > before[1], "{before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn rejects_degenerate_construction() {
+        let mut rng = Rng::seed_from(2);
+        assert!(HeadStartNetwork::new(0, 8, &mut rng).is_err());
+        assert!(HeadStartNetwork::new(4, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn train_step_validates_grad_length() {
+        let mut rng = Rng::seed_from(3);
+        let mut policy = HeadStartNetwork::new(4, 8, &mut rng).unwrap();
+        let noise = policy.sample_noise(&mut rng);
+        policy.probs(&noise).unwrap();
+        assert!(policy.train_step(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn train_step_without_forward_errors() {
+        let mut rng = Rng::seed_from(4);
+        let mut policy = HeadStartNetwork::new(4, 8, &mut rng).unwrap();
+        assert!(policy.train_step(&[0.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! REINFORCE policy gradients for Bernoulli actions (Eqs. 5–10).
+//!
+//! With keep probabilities `p = σ(logits)` and a binary action `a`,
+//! `∂ log P(a|p) / ∂ logit_c = a_c − p_c`. The estimator averaged over
+//! `k` Monte-Carlo samples with baseline `b` (Eq. 8/9) is therefore
+//!
+//! ```text
+//! ∂L/∂logit_c = −(1/k) Σ_j (R_j − b) · (a_jc − p_c)
+//! ```
+//!
+//! which this module computes in closed form — no autodiff through the
+//! sampling step is needed.
+
+use hs_tensor::Rng;
+
+/// Draws a binary action from `Bernoulli(p)` per unit (Eq. 6).
+pub fn sample_action(probs: &[f32], rng: &mut Rng) -> Vec<bool> {
+    probs.iter().map(|&p| rng.bernoulli(p)).collect()
+}
+
+/// The deterministic inference action `Aᴵ = 𝜑ₜ(p)` (Eq. 10): keep unit
+/// `c` iff `p_c ≥ t`.
+pub fn inference_action(probs: &[f32], t: f32) -> Vec<bool> {
+    probs.iter().map(|&p| p >= t).collect()
+}
+
+/// Number of kept units in an action (`‖A‖₀`).
+pub fn kept_count(action: &[bool]) -> usize {
+    action.iter().filter(|&&a| a).count()
+}
+
+/// Computes `∂L/∂logits` for a batch of sampled actions with rewards and
+/// a common baseline (Eq. 9 with `b = R(Aᴵ)`, or Eq. 7 with `b = 0`).
+///
+/// # Panics
+///
+/// Panics if `actions` and `rewards` disagree in length, any action's
+/// length differs from `probs`, or no samples are given.
+pub fn logit_gradient(
+    probs: &[f32],
+    actions: &[Vec<bool>],
+    rewards: &[f32],
+    baseline: f32,
+) -> Vec<f32> {
+    assert!(!actions.is_empty(), "need at least one sampled action");
+    assert_eq!(actions.len(), rewards.len(), "one reward per action");
+    let k = actions.len() as f32;
+    let mut grad = vec![0.0f32; probs.len()];
+    for (action, &r) in actions.iter().zip(rewards) {
+        assert_eq!(action.len(), probs.len(), "action/probs length mismatch");
+        let advantage = r - baseline;
+        for ((g, &a), &p) in grad.iter_mut().zip(action).zip(probs) {
+            let a = if a { 1.0 } else { 0.0 };
+            // Loss gradient: minimize −E[(R − b) log p(A)].
+            *g -= advantage * (a - p) / k;
+        }
+    }
+    grad
+}
+
+/// Maximum absolute per-unit difference between two probability
+/// vectors — the policy's "drift". Convergence requires the drift over a
+/// window of episodes to vanish: the probabilities, not just the reward,
+/// must have stopped moving ("the inception of this layer has been
+/// found", Section IV-A).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn policy_drift(old: &[f32], new: &[f32]) -> f32 {
+    assert_eq!(old.len(), new.len(), "probability vectors differ in length");
+    old.iter().zip(new).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+}
+
+/// Convergence detector: true when the last `window` rewards span less
+/// than `tol` ("nearly constant loss and reward", Section IV-A).
+pub fn is_stable(history: &[f32], window: usize, tol: f32) -> bool {
+    if history.len() < window || window == 0 {
+        return false;
+    }
+    let recent = &history[history.len() - window..];
+    let max = recent.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let min = recent.iter().copied().fold(f32::INFINITY, f32::min);
+    max - min < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_action_respects_probabilities() {
+        let mut rng = Rng::seed_from(0);
+        let probs = vec![0.0, 1.0, 0.5];
+        let mut ones = [0usize; 3];
+        for _ in 0..1000 {
+            let a = sample_action(&probs, &mut rng);
+            for (c, &bit) in a.iter().enumerate() {
+                if bit {
+                    ones[c] += 1;
+                }
+            }
+        }
+        assert_eq!(ones[0], 0);
+        assert_eq!(ones[1], 1000);
+        assert!((ones[2] as f32 / 1000.0 - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn inference_action_thresholds() {
+        assert_eq!(inference_action(&[0.2, 0.5, 0.9], 0.5), vec![false, true, true]);
+        assert_eq!(kept_count(&[true, false, true]), 2);
+    }
+
+    #[test]
+    fn gradient_sign_pushes_good_actions_up() {
+        // One sample, positive advantage, action keeps unit 0 and drops
+        // unit 1: the logit of unit 0 must be pushed up (negative loss
+        // gradient), unit 1 down (positive loss gradient).
+        let probs = [0.5f32, 0.5];
+        let grad = logit_gradient(&probs, &[vec![true, false]], &[1.0], 0.0);
+        assert!(grad[0] < 0.0, "{grad:?}");
+        assert!(grad[1] > 0.0, "{grad:?}");
+        // Negative advantage flips the direction.
+        let grad = logit_gradient(&probs, &[vec![true, false]], &[-1.0], 0.0);
+        assert!(grad[0] > 0.0);
+        assert!(grad[1] < 0.0);
+    }
+
+    #[test]
+    fn baseline_shifts_advantage() {
+        let probs = [0.5f32];
+        // Reward equal to baseline → zero gradient.
+        let grad = logit_gradient(&probs, &[vec![true]], &[0.7], 0.7);
+        assert_eq!(grad, vec![0.0]);
+        // Reward below baseline with a "keep" action → push down.
+        let grad = logit_gradient(&probs, &[vec![true]], &[0.2], 0.7);
+        assert!(grad[0] > 0.0);
+    }
+
+    #[test]
+    fn gradient_averages_over_samples() {
+        let probs = [0.5f32];
+        let g1 = logit_gradient(&probs, &[vec![true]], &[1.0], 0.0);
+        let g2 = logit_gradient(&probs, &[vec![true], vec![true]], &[1.0, 1.0], 0.0);
+        assert!((g1[0] - g2[0]).abs() < 1e-7, "averaging must not double-count");
+    }
+
+    #[test]
+    fn expected_gradient_is_baseline_invariant() {
+        // Adding a constant baseline must not change the *expected*
+        // gradient over the action distribution: E[(a − p)] = 0.
+        let probs = [0.3f32];
+        let mut rng = Rng::seed_from(5);
+        let trials = 60_000;
+        let mut sum_nob = 0.0f64;
+        let mut sum_b = 0.0f64;
+        for _ in 0..trials {
+            let a = sample_action(&probs, &mut rng);
+            // Constant reward so only the baseline differs.
+            sum_nob += logit_gradient(&probs, &[a.clone()], &[1.0], 0.0)[0] as f64;
+            sum_b += logit_gradient(&probs, &[a], &[1.0], 0.4)[0] as f64;
+        }
+        let mean_nob = sum_nob / trials as f64;
+        let mean_b = sum_b / trials as f64;
+        assert!((mean_nob - mean_b).abs() < 0.005, "{mean_nob} vs {mean_b}");
+    }
+
+    #[test]
+    fn policy_drift_is_max_abs_difference() {
+        assert_eq!(policy_drift(&[0.1, 0.5], &[0.1, 0.5]), 0.0);
+        assert!((policy_drift(&[0.1, 0.5], &[0.2, 0.45]) - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn policy_drift_validates_lengths() {
+        policy_drift(&[0.1], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn stability_detector() {
+        assert!(!is_stable(&[1.0, 1.0], 4, 0.1));
+        assert!(is_stable(&[0.0, 5.0, 1.0, 1.01, 1.02, 0.99], 4, 0.1));
+        assert!(!is_stable(&[0.0, 5.0, 1.0, 1.5, 1.02, 0.99], 4, 0.1));
+        assert!(!is_stable(&[1.0; 10], 0, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one reward per action")]
+    fn gradient_validates_lengths() {
+        logit_gradient(&[0.5], &[vec![true]], &[1.0, 2.0], 0.0);
+    }
+}

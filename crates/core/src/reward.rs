@@ -1,0 +1,82 @@
+//! The HeadStart reward function (Eqs. 2–4).
+
+/// Accuracy half of the reward (Eq. 2):
+/// `ACC = log(acc_pruned / acc_original + 1)`.
+///
+/// Larger when the pruned model's accuracy is closer to (or above) the
+/// original's. A zero original accuracy is guarded by flooring the
+/// denominator.
+pub fn acc_term(acc_pruned: f32, acc_original: f32) -> f32 {
+    (acc_pruned / acc_original.max(1e-6) + 1.0).ln()
+}
+
+/// Speedup half of the reward (Eq. 3):
+/// `SPD = |C/‖A‖₀ − sp|` — the distance between the speedup the action
+/// realizes and the preset target.
+///
+/// An empty action (`kept == 0`) has no defined speedup; it returns a
+/// large penalty so the policy is pushed away from it.
+pub fn spd_term(total: usize, kept: usize, sp: f32) -> f32 {
+    if kept == 0 {
+        return total as f32; // prohibitive
+    }
+    (total as f32 / kept as f32 - sp).abs()
+}
+
+/// Full reward (Eq. 4): `R(A) = ACC − SPD`.
+pub fn reward(acc_pruned: f32, acc_original: f32, total: usize, kept: usize, sp: f32) -> f32 {
+    acc_term(acc_pruned, acc_original) - spd_term(total, kept, sp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_term_is_monotone_in_pruned_accuracy() {
+        let lo = acc_term(0.2, 0.8);
+        let hi = acc_term(0.7, 0.8);
+        assert!(hi > lo);
+        // acc' == acc → log 2.
+        assert!((acc_term(0.8, 0.8) - 2.0f32.ln()).abs() < 1e-6);
+        // acc' == 0 → log 1 = 0.
+        assert!(acc_term(0.0, 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn acc_term_survives_zero_original() {
+        assert!(acc_term(0.5, 0.0).is_finite());
+    }
+
+    #[test]
+    fn spd_term_zero_at_target() {
+        // 64 maps, keep 32, sp = 2 → exact.
+        assert_eq!(spd_term(64, 32, 2.0), 0.0);
+        // Keeping more than the target → positive distance.
+        assert!(spd_term(64, 48, 2.0) > 0.0);
+        // Keeping fewer → also positive.
+        assert!(spd_term(64, 16, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn spd_term_penalizes_empty_action() {
+        assert!(spd_term(64, 0, 2.0) >= 64.0);
+    }
+
+    #[test]
+    fn reward_prefers_accurate_on_target_actions() {
+        // Same accuracy, on-target keep beats off-target keep.
+        let on = reward(0.6, 0.8, 64, 32, 2.0);
+        let off = reward(0.6, 0.8, 64, 10, 2.0);
+        assert!(on > off);
+        // Same keep count, higher accuracy wins.
+        let better = reward(0.75, 0.8, 64, 32, 2.0);
+        assert!(better > on);
+    }
+
+    #[test]
+    fn reward_is_finite_on_edge_cases() {
+        assert!(reward(0.0, 0.0, 1, 1, 1.0).is_finite());
+        assert!(reward(1.0, 1.0, 1000, 1, 5.0).is_finite());
+    }
+}

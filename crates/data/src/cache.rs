@@ -1,0 +1,99 @@
+//! Process-wide dataset cache.
+//!
+//! The experiment binaries (one per paper table/figure) frequently want
+//! the *same* dataset; regeneration is deterministic but not free, so a
+//! process-wide cache keyed by the spec avoids repeated synthesis.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::DataError;
+use crate::generator::Dataset;
+use crate::spec::DatasetSpec;
+
+type Key = String;
+
+static CACHE: Mutex<Option<HashMap<Key, Arc<Dataset>>>> = Mutex::new(None);
+
+fn key_of(spec: &DatasetSpec) -> Key {
+    // The spec is small and fully public; a debug-format key is exact.
+    format!("{spec:?}")
+}
+
+/// Returns the dataset for `spec`, generating it on first request and
+/// serving a shared handle afterwards.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSpec`] if the spec fails validation.
+///
+/// # Example
+///
+/// ```
+/// use hs_data::{cached, DatasetSpec};
+///
+/// # fn main() -> Result<(), hs_data::DataError> {
+/// let spec = DatasetSpec::cifar_like().classes(2).train_per_class(2).test_per_class(1).image_size(8);
+/// let a = cached(&spec)?;
+/// let b = cached(&spec)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
+    let key = key_of(spec);
+    {
+        let guard = CACHE.lock();
+        if let Some(map) = guard.as_ref() {
+            if let Some(ds) = map.get(&key) {
+                return Ok(Arc::clone(ds));
+            }
+        }
+    }
+    // Generate outside the lock: synthesis can take a while and other
+    // threads may want other specs meanwhile.
+    let ds = Arc::new(Dataset::generate(spec)?);
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    Ok(Arc::clone(map.entry(key).or_insert(ds)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let spec = DatasetSpec::cifar_like()
+            .classes(2)
+            .train_per_class(2)
+            .test_per_class(1)
+            .image_size(8)
+            .with_seed(12345);
+        let a = cached(&spec).unwrap();
+        let b = cached(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_specs_get_different_datasets() {
+        let s1 = DatasetSpec::cifar_like()
+            .classes(2)
+            .train_per_class(2)
+            .test_per_class(1)
+            .image_size(8)
+            .with_seed(777);
+        let s2 = s1.clone().with_seed(778);
+        let a = cached(&s1).unwrap();
+        let b = cached(&s2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.train_images, b.train_images);
+    }
+
+    #[test]
+    fn cache_propagates_validation_errors() {
+        assert!(cached(&DatasetSpec::cifar_like().classes(0)).is_err());
+    }
+}

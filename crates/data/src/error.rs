@@ -1,0 +1,57 @@
+//! Error type for dataset generation.
+
+use std::error::Error;
+use std::fmt;
+
+use hs_tensor::TensorError;
+
+/// Error returned by dataset generation and loading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A specification field is out of its valid range.
+    BadSpec {
+        /// Which field was invalid.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadSpec { field, detail } => write!(f, "bad dataset spec ({field}): {detail}"),
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::BadSpec { field: "classes", detail: "must be > 0".into() };
+        assert!(e.to_string().contains("classes"));
+        let t = DataError::from(TensorError::Empty { op: "stack" });
+        assert!(Error::source(&t).is_some());
+    }
+}

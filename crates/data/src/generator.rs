@@ -1,0 +1,367 @@
+//! Procedural image synthesis.
+
+use hs_tensor::{Rng, Shape, Tensor};
+
+use crate::error::DataError;
+use crate::spec::{DatasetKind, DatasetSpec};
+
+/// A generated dataset: train/test splits of `[N, C, S, S]` images with
+/// integer labels, already normalized to approximately zero mean and unit
+/// variance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Training images, `[N_train, C, S, S]`.
+    pub train_images: Tensor,
+    /// Training labels (one class index per image).
+    pub train_labels: Vec<usize>,
+    /// Test images, `[N_test, C, S, S]`.
+    pub test_images: Tensor,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+    /// The spec this dataset was generated from.
+    pub spec: DatasetSpec,
+}
+
+/// One spatial frequency component of a texture prototype.
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    fx: f32,
+    fy: f32,
+    phase: f32,
+    /// Amplitude per channel.
+    amp: [f32; 4],
+}
+
+/// A class prototype: frequency components plus a per-channel color bias.
+#[derive(Debug, Clone)]
+struct Prototype {
+    components: Vec<Component>,
+    color_bias: Vec<f32>,
+}
+
+fn random_component(rng: &mut Rng, channels: usize, max_freq: f32, amp_scale: f32) -> Component {
+    let mut amp = [0.0f32; 4];
+    for a in amp.iter_mut().take(channels.min(4)) {
+        *a = rng.normal_with(0.0, amp_scale);
+    }
+    Component {
+        fx: rng.uniform_in(0.5, max_freq),
+        fy: rng.uniform_in(0.5, max_freq),
+        phase: rng.uniform_in(0.0, std::f32::consts::TAU),
+        amp,
+    }
+}
+
+fn genus_prototype(rng: &mut Rng, channels: usize) -> Prototype {
+    let components = (0..4).map(|_| random_component(rng, channels, 4.0, 1.0)).collect();
+    let color_bias = (0..channels).map(|_| rng.normal_with(0.0, 0.5)).collect();
+    Prototype { components, color_bias }
+}
+
+/// Builds the class prototypes. For fine-grained datasets each class
+/// starts from its genus prototype and adds a *small* class-specific
+/// component, so classes within a genus are hard to tell apart.
+fn class_prototypes(spec: &DatasetSpec, rng: &mut Rng) -> Vec<Prototype> {
+    match spec.kind {
+        DatasetKind::CifarLike => (0..spec.num_classes)
+            .map(|_| {
+                let mut p = genus_prototype(rng, spec.channels);
+                // Coarse datasets: one extra strong component per class.
+                p.components.push(random_component(rng, spec.channels, 6.0, 1.0));
+                p
+            })
+            .collect(),
+        DatasetKind::CubLike => {
+            let genera: Vec<Prototype> =
+                (0..spec.num_genera).map(|_| genus_prototype(rng, spec.channels)).collect();
+            (0..spec.num_classes)
+                .map(|c| {
+                    let mut p = genera[c % spec.num_genera].clone();
+                    // The class-discriminative signal is deliberately
+                    // subtle: one weak high-frequency component and a tiny
+                    // color shift.
+                    p.components.push(random_component(rng, spec.channels, 8.0, 0.6));
+                    for b in &mut p.color_bias {
+                        *b += rng.normal_with(0.0, 0.15);
+                    }
+                    p
+                })
+                .collect()
+        }
+    }
+}
+
+/// Renders one sample of a prototype into `out` (length `C·S·S`).
+fn render_sample(
+    proto: &Prototype,
+    spec: &DatasetSpec,
+    rng: &mut Rng,
+    out: &mut [f32],
+) {
+    let s = spec.size;
+    let inv = 1.0 / s as f32;
+    // Instance-level jitter: global phase shift and per-component
+    // amplitude scaling — the same texture seen under different "pose".
+    let phase_jitter = rng.normal_with(0.0, spec.jitter);
+    let scales: Vec<f32> = proto.components.iter().map(|_| rng.uniform_in(0.7, 1.3)).collect();
+    // Structured clutter: sample-specific components carrying no class
+    // information. Unlike pixel noise, a convnet cannot average these
+    // away, so they bound the attainable accuracy realistically.
+    let clutter: Vec<Component> = (0..spec.distractors)
+        .map(|_| random_component(rng, spec.channels, 6.0, spec.distractor_amp))
+        .collect();
+    for ch in 0..spec.channels {
+        let bias = proto.color_bias[ch];
+        let plane = &mut out[ch * s * s..(ch + 1) * s * s];
+        for y in 0..s {
+            for x in 0..s {
+                let mut v = bias;
+                for (comp, &scale) in proto.components.iter().zip(&scales) {
+                    let arg = std::f32::consts::TAU
+                        * (comp.fx * x as f32 * inv + comp.fy * y as f32 * inv)
+                        + comp.phase
+                        + phase_jitter;
+                    v += scale * comp.amp[ch.min(3)] * arg.sin();
+                }
+                for comp in &clutter {
+                    let arg = std::f32::consts::TAU
+                        * (comp.fx * x as f32 * inv + comp.fy * y as f32 * inv)
+                        + comp.phase;
+                    v += comp.amp[ch.min(3)] * arg.sin();
+                }
+                plane[y * s + x] = v;
+            }
+        }
+    }
+    for v in out.iter_mut() {
+        *v += rng.normal_with(0.0, spec.noise);
+    }
+}
+
+fn render_split(
+    protos: &[Prototype],
+    spec: &DatasetSpec,
+    per_class: usize,
+    rng: &mut Rng,
+) -> Result<(Tensor, Vec<usize>), DataError> {
+    let n = protos.len() * per_class;
+    let sample_len = spec.channels * spec.size * spec.size;
+    let mut data = vec![0.0f32; n * sample_len];
+    let mut labels = Vec::with_capacity(n);
+    let mut i = 0usize;
+    // Interleave classes so any prefix of the dataset is roughly balanced.
+    for _rep in 0..per_class {
+        for (class, proto) in protos.iter().enumerate() {
+            render_sample(proto, spec, rng, &mut data[i * sample_len..(i + 1) * sample_len]);
+            labels.push(class);
+            i += 1;
+        }
+    }
+    let images = Tensor::from_vec(
+        Shape::d4(n, spec.channels, spec.size, spec.size),
+        data,
+    )?;
+    Ok((images, labels))
+}
+
+/// Normalizes images in place to zero mean / unit std using *train*
+/// statistics, and returns `(mean, std)`.
+fn normalize(train: &mut Tensor, test: &mut Tensor) -> (f32, f32) {
+    let mean = train.mean();
+    let var = train.data().iter().map(|&x| ((x - mean) as f64).powi(2)).sum::<f64>()
+        / train.len() as f64;
+    let std = (var.sqrt() as f32).max(1e-6);
+    let f = move |x: f32| (x - mean) / std;
+    train.map_inplace(f);
+    test.map_inplace(f);
+    (mean, std)
+}
+
+impl Dataset {
+    /// Generates a dataset from a spec. Deterministic per seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] if the spec fails validation.
+    pub fn generate(spec: &DatasetSpec) -> Result<Dataset, DataError> {
+        spec.validate()?;
+        let mut rng = Rng::seed_from(spec.seed);
+        let mut proto_rng = rng.split();
+        let mut train_rng = rng.split();
+        let mut test_rng = rng.split();
+        let protos = class_prototypes(spec, &mut proto_rng);
+        let (mut train_images, train_labels) =
+            render_split(&protos, spec, spec.num_train_per_class, &mut train_rng)?;
+        let (mut test_images, test_labels) =
+            render_split(&protos, spec, spec.num_test_per_class, &mut test_rng)?;
+        normalize(&mut train_images, &mut test_images);
+        Ok(Dataset { train_images, train_labels, test_images, test_labels, spec: spec.clone() })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes
+    }
+
+    /// Image channels.
+    pub fn channels(&self) -> usize {
+        self.spec.channels
+    }
+
+    /// Square image extent.
+    pub fn image_size(&self) -> usize {
+        self.spec.size
+    }
+
+    /// A smaller dataset containing only the first `n_train` training and
+    /// `n_test` test samples (class-balanced thanks to interleaving).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `n_train`/`n_test` exceed the dataset.
+    pub fn truncated(&self, n_train: usize, n_test: usize) -> Result<Dataset, DataError> {
+        let tr: Vec<usize> = (0..n_train).collect();
+        let te: Vec<usize> = (0..n_test).collect();
+        Ok(Dataset {
+            train_images: self.train_images.index_select(0, &tr)?,
+            train_labels: self.train_labels[..n_train].to_vec(),
+            test_images: self.test_images.index_select(0, &te)?,
+            test_labels: self.test_labels[..n_test].to_vec(),
+            spec: self.spec.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec::cifar_like()
+            .classes(4)
+            .train_per_class(6)
+            .test_per_class(3)
+            .image_size(8)
+    }
+
+    #[test]
+    fn shapes_and_label_counts() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        assert_eq!(ds.train_images.shape().dims(), &[24, 3, 8, 8]);
+        assert_eq!(ds.test_images.shape().dims(), &[12, 3, 8, 8]);
+        assert_eq!(ds.train_labels.len(), 24);
+        assert_eq!(ds.test_labels.len(), 12);
+    }
+
+    #[test]
+    fn labels_are_balanced_and_interleaved() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        for class in 0..4 {
+            assert_eq!(ds.train_labels.iter().filter(|&&l| l == class).count(), 6);
+            assert_eq!(ds.test_labels.iter().filter(|&&l| l == class).count(), 3);
+        }
+        // Interleaving: the first num_classes samples cover all classes.
+        let first: Vec<usize> = ds.train_labels[..4].to_vec();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::generate(&small_spec()).unwrap();
+        let b = Dataset::generate(&small_spec()).unwrap();
+        assert_eq!(a.train_images, b.train_images);
+        let c = Dataset::generate(&small_spec().with_seed(1)).unwrap();
+        assert_ne!(a.train_images, c.train_images);
+    }
+
+    #[test]
+    fn normalized_statistics() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        let mean = ds.train_images.mean();
+        let var = ds.train_images.sq_norm() / ds.train_images.len() as f32 - mean * mean;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn cub_like_is_fine_grained_within_genera() {
+        // The defining property of the CUB substitute: classes sharing a
+        // genus are much closer to each other (mean-image distance) than
+        // classes from different genera.
+        let cub = Dataset::generate(
+            &DatasetSpec::cub_like()
+                .classes(8)
+                .genera(4)
+                .train_per_class(8)
+                .test_per_class(2)
+                .image_size(12),
+        )
+        .unwrap();
+        let classes = cub.num_classes();
+        let len = cub.train_images.len() / cub.train_labels.len();
+        let mut means = vec![vec![0.0f32; len]; classes];
+        let mut counts = vec![0usize; classes];
+        for (i, &l) in cub.train_labels.iter().enumerate() {
+            let img = cub.train_images.index_axis0(i);
+            for (m, &v) in means[l].iter_mut().zip(img.data()) {
+                *m += v;
+            }
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let dist = |a: usize, b: usize| -> f32 {
+            means[a].iter().zip(&means[b]).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+                / len as f32
+        };
+        // Classes c and c + genera share a genus (c % genera layout).
+        let genera = cub.spec.num_genera;
+        let mut within = 0.0f32;
+        let mut within_n = 0usize;
+        let mut across = 0.0f32;
+        let mut across_n = 0usize;
+        for a in 0..classes {
+            for b in a + 1..classes {
+                if a % genera == b % genera {
+                    within += dist(a, b);
+                    within_n += 1;
+                } else {
+                    across += dist(a, b);
+                    across_n += 1;
+                }
+            }
+        }
+        let within = within / within_n.max(1) as f32;
+        let across = across / across_n.max(1) as f32;
+        assert!(
+            within < 0.7 * across,
+            "within-genus spread {within} should be well below cross-genus {across}"
+        );
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        let t = ds.truncated(8, 4).unwrap();
+        assert_eq!(t.train_labels.len(), 8);
+        assert_eq!(t.train_images.shape().dim(0), 8);
+        assert_eq!(t.train_labels, ds.train_labels[..8].to_vec());
+    }
+
+    #[test]
+    fn generate_rejects_bad_spec() {
+        assert!(Dataset::generate(&small_spec().classes(0)).is_err());
+    }
+
+    #[test]
+    fn images_are_finite() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        assert!(ds.train_images.all_finite());
+        assert!(ds.test_images.all_finite());
+    }
+}

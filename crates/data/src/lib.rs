@@ -1,0 +1,51 @@
+//! Synthetic image-classification datasets for the HeadStart reproduction.
+//!
+//! The paper evaluates on CIFAR-100 and the fine-grained CUB-200-2011.
+//! Neither is available offline, so this crate *synthesizes* datasets with
+//! the two statistical properties the pruning experiments depend on:
+//!
+//! * **Learnable multi-class structure** — each class is a procedural
+//!   texture prototype (a small set of spatial frequency components plus
+//!   a color bias); samples jitter the prototype. Class-discriminative
+//!   information is spread unevenly over frequency bands, so different
+//!   surviving-filter sets genuinely produce different accuracies, which
+//!   is what makes "the inception matters" observable at all.
+//! * **Fine-grainedness** (CUB substitute) — classes are grouped into
+//!   *genera*; a class prototype is its genus prototype plus a small
+//!   class-specific perturbation. Inter-class similarity is therefore
+//!   much higher than in the CIFAR substitute, making wrong pruning
+//!   decisions much more damaging — the contrast the paper's Table 1/2
+//!   vs Table 3 rests on.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use hs_data::{DatasetSpec, Dataset};
+//!
+//! # fn main() -> Result<(), hs_data::DataError> {
+//! let spec = DatasetSpec::cifar_like().classes(4).train_per_class(8).test_per_class(4).image_size(8);
+//! let ds = Dataset::generate(&spec)?;
+//! assert_eq!(ds.train_labels.len(), 32);
+//! assert_eq!(ds.test_images.shape().dims(), &[16, 3, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod augment;
+mod cache;
+mod error;
+mod generator;
+mod loader;
+mod spec;
+
+pub use augment::Augment;
+pub use cache::cached;
+pub use error::DataError;
+pub use generator::Dataset;
+pub use loader::DataLoader;
+pub use spec::{DatasetKind, DatasetSpec};

@@ -1,0 +1,150 @@
+//! Mini-batch iteration over a dataset split.
+
+use hs_tensor::{Rng, Tensor};
+
+use crate::error::DataError;
+
+/// Iterates shuffled `(images, labels)` mini-batches over one split.
+///
+/// # Example
+///
+/// ```
+/// use hs_data::{Dataset, DatasetSpec, DataLoader};
+/// use hs_tensor::Rng;
+///
+/// # fn main() -> Result<(), hs_data::DataError> {
+/// let ds = Dataset::generate(
+///     &DatasetSpec::cifar_like().classes(2).train_per_class(4).test_per_class(2).image_size(8),
+/// )?;
+/// let mut rng = Rng::seed_from(0);
+/// let mut loader = DataLoader::new(&ds.train_images, &ds.train_labels, 3)?;
+/// let mut seen = 0;
+/// for batch in loader.epoch(&mut rng) {
+///     let (x, y) = batch?;
+///     assert_eq!(x.shape().dim(0), y.len());
+///     seen += y.len();
+/// }
+/// assert_eq!(seen, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DataLoader<'a> {
+    images: &'a Tensor,
+    labels: &'a [usize],
+    batch_size: usize,
+}
+
+impl<'a> DataLoader<'a> {
+    /// Creates a loader over an image tensor and its labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] if the images are not `[N, C, H, W]`
+    /// with one label per image, or if `batch_size` is zero.
+    pub fn new(images: &'a Tensor, labels: &'a [usize], batch_size: usize) -> Result<Self, DataError> {
+        if images.shape().rank() != 4 || images.shape().dim(0) != labels.len() {
+            return Err(DataError::BadSpec {
+                field: "loader",
+                detail: format!("images {} vs {} labels", images.shape(), labels.len()),
+            });
+        }
+        if batch_size == 0 {
+            return Err(DataError::BadSpec {
+                field: "batch_size",
+                detail: "must be > 0".to_string(),
+            });
+        }
+        Ok(DataLoader { images, labels, batch_size })
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.labels.len().div_ceil(self.batch_size)
+    }
+
+    /// Returns an iterator over one shuffled epoch.
+    pub fn epoch(&mut self, rng: &mut Rng) -> Epoch<'_> {
+        let mut order: Vec<usize> = (0..self.labels.len()).collect();
+        rng.shuffle(&mut order);
+        Epoch { images: self.images, labels: self.labels, order, batch_size: self.batch_size, cursor: 0 }
+    }
+}
+
+/// Iterator over the batches of one epoch; see [`DataLoader::epoch`].
+#[derive(Debug)]
+pub struct Epoch<'a> {
+    images: &'a Tensor,
+    labels: &'a [usize],
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Epoch<'_> {
+    type Item = Result<(Tensor, Vec<usize>), DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let labels: Vec<usize> = idx.iter().map(|&i| self.labels[i]).collect();
+        Some(
+            self.images
+                .index_select(0, idx)
+                .map(|images| (images, labels))
+                .map_err(DataError::from),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Dataset;
+    use crate::spec::DatasetSpec;
+
+    fn ds() -> Dataset {
+        Dataset::generate(
+            &DatasetSpec::cifar_like().classes(3).train_per_class(5).test_per_class(2).image_size(8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn epoch_covers_everything_once() {
+        let ds = ds();
+        let mut rng = Rng::seed_from(0);
+        let mut loader = DataLoader::new(&ds.train_images, &ds.train_labels, 4).unwrap();
+        assert_eq!(loader.batches_per_epoch(), 4);
+        let mut label_counts = vec![0usize; 3];
+        for batch in loader.epoch(&mut rng) {
+            let (x, y) = batch.unwrap();
+            assert_eq!(x.shape().dim(0), y.len());
+            for l in y {
+                label_counts[l] += 1;
+            }
+        }
+        assert_eq!(label_counts, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn shuffling_differs_between_epochs() {
+        let ds = ds();
+        let mut rng = Rng::seed_from(1);
+        let mut loader = DataLoader::new(&ds.train_images, &ds.train_labels, 15).unwrap();
+        let e1: Vec<usize> = loader.epoch(&mut rng).next().unwrap().unwrap().1;
+        let e2: Vec<usize> = loader.epoch(&mut rng).next().unwrap().unwrap().1;
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let ds = ds();
+        assert!(DataLoader::new(&ds.train_images, &ds.train_labels[..3], 4).is_err());
+        assert!(DataLoader::new(&ds.train_images, &ds.train_labels, 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! The four platforms of the paper's evaluation, as roofline specs.
+//!
+//! Peak throughput and bandwidth come from the vendors' datasheets;
+//! launch overheads and utilization knees are set to typical published
+//! microbenchmark values for the era's software stacks (CUDA 9/cuDNN 7,
+//! MKL/OpenBLAS). These are *model parameters*, not measurements — see
+//! the crate docs for what is and is not claimed.
+
+use crate::model::DeviceSpec;
+
+/// NVIDIA GTX 1080 Ti: 3584 CUDA cores, 11.3 TFLOP/s fp32, 484 GB/s
+/// GDDR5X. The paper's "high performance GPU on the cloud".
+pub fn gtx_1080ti() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX 1080Ti".to_string(),
+        peak_gflops: 11_340.0,
+        bandwidth_gbs: 484.0,
+        launch_overhead_us: 5.0,
+        // A wide device: needs tens of MMACs in flight to saturate.
+        half_utilization_macs: 2.0e7,
+        max_utilization: 0.85,
+        tdp_watts: 250.0,
+        idle_fraction: 0.2,
+    }
+}
+
+/// NVIDIA Jetson TX2 integrated GPU: 256 Pascal cores, ~0.665 TFLOP/s
+/// fp32, 59.7 GB/s shared LPDDR4. The paper's edge platform.
+pub fn jetson_tx2_gpu() -> DeviceSpec {
+    DeviceSpec {
+        name: "Jetson TX2 GPU".to_string(),
+        peak_gflops: 665.0,
+        bandwidth_gbs: 59.7,
+        launch_overhead_us: 12.0, // slower driver path on the SoC
+        half_utilization_macs: 1.5e6,
+        max_utilization: 0.80,
+        tdp_watts: 15.0,
+        idle_fraction: 0.25,
+    }
+}
+
+/// Intel Xeon E5-2620 (the paper's "E2620"): 6 cores @ 2.0 GHz with AVX,
+/// ~192 GFLOP/s fp32, ~42 GB/s DDR3.
+pub fn xeon_e2620() -> DeviceSpec {
+    DeviceSpec {
+        name: "Xeon E2620".to_string(),
+        peak_gflops: 192.0,
+        bandwidth_gbs: 42.0,
+        launch_overhead_us: 0.5, // function call, not a driver launch
+        half_utilization_macs: 2.0e5,
+        max_utilization: 0.70,
+        tdp_watts: 95.0,
+        idle_fraction: 0.3,
+    }
+}
+
+/// ARM Cortex-A57 cluster inside the TX2: 4 cores @ 2.0 GHz with NEON,
+/// ~64 GFLOP/s fp32, sharing the 59.7 GB/s LPDDR4 with the GPU.
+pub fn cortex_a57() -> DeviceSpec {
+    DeviceSpec {
+        name: "ARM Cortex-A57".to_string(),
+        peak_gflops: 64.0,
+        bandwidth_gbs: 25.0, // effective CPU share of the LPDDR4
+        launch_overhead_us: 0.5,
+        half_utilization_macs: 1.0e5,
+        max_utilization: 0.65,
+        tdp_watts: 10.0,
+        idle_fraction: 0.25,
+    }
+}
+
+/// All four platforms of Figure 6, GPU-first.
+pub fn all() -> Vec<DeviceSpec> {
+    vec![gtx_1080ti(), jetson_tx2_gpu(), xeon_e2620(), cortex_a57()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_validate() {
+        for d in all() {
+            assert!(d.validate().is_ok(), "{} failed validation", d.name);
+        }
+    }
+
+    #[test]
+    fn relative_ordering_of_peaks() {
+        assert!(gtx_1080ti().peak_gflops > jetson_tx2_gpu().peak_gflops);
+        assert!(jetson_tx2_gpu().peak_gflops > xeon_e2620().peak_gflops);
+        assert!(xeon_e2620().peak_gflops > cortex_a57().peak_gflops);
+    }
+}

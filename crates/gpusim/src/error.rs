@@ -1,0 +1,57 @@
+//! Error type for the latency model.
+
+use std::error::Error;
+use std::fmt;
+
+use hs_nn::NnError;
+
+/// Error returned by workload lowering and latency estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuSimError {
+    /// The network could not be lowered (shape inconsistency).
+    Nn(NnError),
+    /// A device parameter is out of range.
+    BadDevice {
+        /// Which parameter.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GpuSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuSimError::Nn(e) => write!(f, "lowering error: {e}"),
+            GpuSimError::BadDevice { field, detail } => {
+                write!(f, "bad device spec ({field}): {detail}")
+            }
+        }
+    }
+}
+
+impl Error for GpuSimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpuSimError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for GpuSimError {
+    fn from(e: NnError) -> Self {
+        GpuSimError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field() {
+        let e = GpuSimError::BadDevice { field: "peak_gflops", detail: "0".into() };
+        assert!(e.to_string().contains("peak_gflops"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Lowering a network architecture into a device-independent workload.
+
+use serde::{Deserialize, Serialize};
+
+use hs_nn::accounting::analyze;
+use hs_nn::Network;
+
+use crate::error::GpuSimError;
+
+/// Bytes per f32 element.
+const ELEM: u64 = 4;
+
+/// One kernel's worth of work: arithmetic plus data movement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerWork {
+    /// Node kind (`"conv"`, `"linear"`, `"bn"`, …).
+    pub kind: String,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Bytes read (input activations + weights).
+    pub bytes_read: u64,
+    /// Bytes written (output activations).
+    pub bytes_written: u64,
+}
+
+impl LayerWork {
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in MACs per byte moved.
+    pub fn intensity(&self) -> f64 {
+        self.macs as f64 / self.bytes_total().max(1) as f64
+    }
+}
+
+/// A whole model's inference workload for one input sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable model tag.
+    pub name: String,
+    /// Per-kernel work in execution order.
+    pub layers: Vec<LayerWork>,
+}
+
+impl Workload {
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.bytes_total()).sum()
+    }
+
+    /// Number of kernel launches (compute-free nodes such as ReLU are
+    /// assumed fused into their producer, matching cuDNN-era practice).
+    pub fn kernels(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Lowers a network into a [`Workload`] for a square input.
+///
+/// ReLU/pool/flatten nodes are treated as fused (no separate kernel);
+/// batch norms are folded into their preceding convolution, as every
+/// deployment stack does at inference time.
+///
+/// # Errors
+///
+/// Propagates accounting errors for inconsistent architectures.
+pub fn lower_network(
+    name: &str,
+    net: &Network,
+    in_channels: usize,
+    input_size: usize,
+) -> Result<Workload, GpuSimError> {
+    let cost = analyze(net, in_channels, input_size)?;
+    let mut layers = Vec::new();
+    // Track the producing layer's output size as the consumer's input.
+    let mut cur_bytes: u64 = (in_channels * input_size * input_size) as u64 * ELEM;
+    for lc in &cost.layers {
+        let out_bytes = match lc.kind.as_str() {
+            "gap" | "flatten" | "linear" => (lc.out_channels) as u64 * ELEM,
+            _ => (lc.out_channels * lc.out_spatial * lc.out_spatial) as u64 * ELEM,
+        };
+        match lc.kind.as_str() {
+            "conv" | "linear" | "block" => {
+                if lc.flops == 0 && lc.params == 0 {
+                    // Bypassed (inactive) block: no kernel at all.
+                    cur_bytes = out_bytes;
+                    continue;
+                }
+                layers.push(LayerWork {
+                    kind: lc.kind.clone(),
+                    macs: lc.flops,
+                    bytes_read: cur_bytes + lc.params * ELEM,
+                    bytes_written: out_bytes,
+                });
+                cur_bytes = out_bytes;
+            }
+            "maxpool" | "avgpool" | "gap" => {
+                // Pooling is memory-bound but does launch a kernel.
+                layers.push(LayerWork {
+                    kind: lc.kind.clone(),
+                    macs: 0,
+                    bytes_read: cur_bytes,
+                    bytes_written: out_bytes,
+                });
+                cur_bytes = out_bytes;
+            }
+            // bn folded into conv, relu/flatten fused.
+            _ => {
+                cur_bytes = out_bytes;
+            }
+        }
+    }
+    Ok(Workload { name: name.to_string(), layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::models;
+    use hs_tensor::Rng;
+
+    #[test]
+    fn vgg_lowering_has_one_kernel_per_conv_pool_linear() {
+        let mut rng = Rng::seed_from(0);
+        let net = models::vgg11(3, 10, 32, 1.0, &mut rng).unwrap();
+        let w = lower_network("vgg11", &net, 3, 32).unwrap();
+        // 8 convs + 5 pools + 1 gap + 1 linear.
+        assert_eq!(w.kernels(), 8 + 5 + 1 + 1);
+        assert!(w.total_macs() > 0);
+        assert!(w.total_bytes() > 0);
+    }
+
+    #[test]
+    fn pruned_model_has_smaller_workload() {
+        let mut rng = Rng::seed_from(1);
+        let full = models::vgg11(3, 10, 32, 1.0, &mut rng).unwrap();
+        let half = models::vgg11(3, 10, 32, 0.5, &mut rng).unwrap();
+        let wf = lower_network("full", &full, 3, 32).unwrap();
+        let wh = lower_network("half", &half, 3, 32).unwrap();
+        assert!(wh.total_macs() < wf.total_macs());
+        assert!(wh.total_bytes() < wf.total_bytes());
+        assert_eq!(wh.kernels(), wf.kernels());
+    }
+
+    #[test]
+    fn inactive_blocks_drop_their_kernels() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = models::resnet_cifar(2, 3, 10, 0.5, &mut rng).unwrap();
+        let full = lower_network("full", &net, 3, 32).unwrap();
+        let blocks = net.block_indices();
+        net.set_block_active(blocks[1], false).unwrap();
+        let pruned = lower_network("pruned", &net, 3, 32).unwrap();
+        assert_eq!(pruned.kernels(), full.kernels() - 1);
+        assert!(pruned.total_macs() < full.total_macs());
+    }
+
+    #[test]
+    fn conv_intensity_reflects_spatial_extent() {
+        let mut rng = Rng::seed_from(3);
+        let net = models::vgg11(3, 10, 32, 1.0, &mut rng).unwrap();
+        let w = lower_network("vgg", &net, 3, 32).unwrap();
+        let intensities: Vec<f64> =
+            w.layers.iter().filter(|l| l.kind == "conv").map(|l| l.intensity()).collect();
+        // Early convs reuse weights over many positions → high intensity;
+        // the last convs run at 1×1 spatial and are weight-dominated.
+        assert!(intensities[1] > 10.0, "early conv intensity {}", intensities[1]);
+        assert!(
+            *intensities.last().unwrap() < 2.0,
+            "late conv intensity {}",
+            intensities.last().unwrap()
+        );
+        assert!(intensities.iter().all(|&i| i > 0.0));
+    }
+}

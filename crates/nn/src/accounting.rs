@@ -1,0 +1,396 @@
+//! Parameter and FLOP accounting — the `#PARAMETERS` and `#FLOPS` columns
+//! of the paper's tables, computed analytically from an architecture
+//! without running it.
+//!
+//! Following the paper ("#FLOPS denotes the computation intensity,
+//! measured by the floating point multiply-and-accumulate"), `flops`
+//! counts *multiply-accumulate operations* (MACs), not separate
+//! multiplies and adds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::network::{Network, Node};
+
+/// Cost of one network node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Index of the node in the network.
+    pub node_index: usize,
+    /// Node kind (`"conv"`, `"linear"`, …).
+    pub kind: String,
+    /// Output channels (or features for flat outputs).
+    pub out_channels: usize,
+    /// Output spatial extent (`1` for flat outputs).
+    pub out_spatial: usize,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Multiply-accumulate count for one input sample.
+    pub flops: u64,
+}
+
+/// Whole-network cost: per-node breakdown plus totals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Per-node costs in execution order.
+    pub layers: Vec<LayerCost>,
+    /// Total trainable parameters.
+    pub total_params: u64,
+    /// Total MACs per input sample.
+    pub total_flops: u64,
+}
+
+impl NetworkCost {
+    /// Total parameters in millions (the unit of the paper's tables).
+    pub fn params_millions(&self) -> f64 {
+        self.total_params as f64 / 1e6
+    }
+
+    /// Total MACs in billions (the unit of the paper's tables).
+    pub fn flops_billions(&self) -> f64 {
+        self.total_flops as f64 / 1e9
+    }
+
+    /// Sums params over an arbitrary subset of node indices.
+    pub fn params_of(&self, node_indices: &[usize]) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| node_indices.contains(&l.node_index))
+            .map(|l| l.params)
+            .sum()
+    }
+
+    /// Sums MACs over an arbitrary subset of node indices.
+    pub fn flops_of(&self, node_indices: &[usize]) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| node_indices.contains(&l.node_index))
+            .map(|l| l.flops)
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ShapeState {
+    Spatial { c: usize, h: usize, w: usize },
+    Flat { f: usize },
+}
+
+/// Computes the per-node and total parameter/MAC cost of a network for a
+/// square `input_size`×`input_size` input with `in_channels` channels.
+///
+/// Inactive residual blocks contribute zero cost (their computation is
+/// bypassed at inference), which is exactly how the paper accounts for
+/// block-pruned ResNets in Table 4 and Figures 4–5.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if the architecture is inconsistent with
+/// the input shape (e.g. a channel mismatch mid-network).
+pub fn analyze(net: &Network, in_channels: usize, input_size: usize) -> Result<NetworkCost, NnError> {
+    let mut state = ShapeState::Spatial { c: in_channels, h: input_size, w: input_size };
+    let mut layers = Vec::with_capacity(net.len());
+    for (i, node) in net.iter().enumerate() {
+        let (cost, next) = node_cost(i, node, state)?;
+        if let Some(c) = cost {
+            layers.push(c);
+        }
+        state = next;
+    }
+    let total_params = layers.iter().map(|l| l.params).sum();
+    let total_flops = layers.iter().map(|l| l.flops).sum();
+    Ok(NetworkCost { layers, total_params, total_flops })
+}
+
+fn bad(detail: String) -> NnError {
+    NnError::BadInput { what: "accounting::analyze", detail }
+}
+
+fn conv_out(h: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (h + 2 * padding - kernel) / stride + 1
+}
+
+fn node_cost(
+    index: usize,
+    node: &Node,
+    state: ShapeState,
+) -> Result<(Option<LayerCost>, ShapeState), NnError> {
+    match node {
+        Node::Conv(conv) => {
+            let ShapeState::Spatial { c, h, w } = state else {
+                return Err(bad(format!("conv node {index} fed a flat tensor")));
+            };
+            if c != conv.in_channels() {
+                return Err(bad(format!(
+                    "conv node {index} expects {} channels, got {c}",
+                    conv.in_channels()
+                )));
+            }
+            let oh = conv_out(h, conv.kernel(), conv.stride(), conv.padding());
+            let ow = conv_out(w, conv.kernel(), conv.stride(), conv.padding());
+            let n = conv.out_channels() as u64;
+            let ck2 = (conv.in_channels() * conv.kernel() * conv.kernel()) as u64;
+            let cost = LayerCost {
+                node_index: index,
+                kind: "conv".to_string(),
+                out_channels: conv.out_channels(),
+                out_spatial: oh,
+                params: n * ck2 + n,
+                flops: n * ck2 * (oh * ow) as u64,
+            };
+            Ok((Some(cost), ShapeState::Spatial { c: conv.out_channels(), h: oh, w: ow }))
+        }
+        Node::Bn(bn) => {
+            let ShapeState::Spatial { c, h, w } = state else {
+                return Err(bad(format!("bn node {index} fed a flat tensor")));
+            };
+            if c != bn.channels() {
+                return Err(bad(format!(
+                    "bn node {index} expects {} channels, got {c}",
+                    bn.channels()
+                )));
+            }
+            let cost = LayerCost {
+                node_index: index,
+                kind: "bn".to_string(),
+                out_channels: c,
+                out_spatial: h,
+                params: 2 * c as u64,
+                flops: 2 * (c * h * w) as u64,
+            };
+            Ok((Some(cost), state))
+        }
+        Node::Relu(_) | Node::Dropout(_) => {
+            let (c, s) = match state {
+                ShapeState::Spatial { c, h, .. } => (c, h),
+                ShapeState::Flat { f } => (f, 1),
+            };
+            let cost = LayerCost {
+                node_index: index,
+                kind: node.kind().to_string(),
+                out_channels: c,
+                out_spatial: s,
+                params: 0,
+                flops: 0,
+            };
+            Ok((Some(cost), state))
+        }
+        Node::MaxPool(pool) => {
+            let ShapeState::Spatial { c, h, w } = state else {
+                return Err(bad(format!("maxpool node {index} fed a flat tensor")));
+            };
+            let win = pool.window();
+            if h % win != 0 || w % win != 0 {
+                return Err(bad(format!("maxpool node {index}: {h}x{w} not divisible by {win}")));
+            }
+            let next = ShapeState::Spatial { c, h: h / win, w: w / win };
+            let cost = LayerCost {
+                node_index: index,
+                kind: "maxpool".to_string(),
+                out_channels: c,
+                out_spatial: h / win,
+                params: 0,
+                flops: 0,
+            };
+            Ok((Some(cost), next))
+        }
+        Node::AvgPool(pool) => {
+            let ShapeState::Spatial { c, h, w } = state else {
+                return Err(bad(format!("avgpool node {index} fed a flat tensor")));
+            };
+            let win = pool.window();
+            if h % win != 0 || w % win != 0 {
+                return Err(bad(format!("avgpool node {index}: {h}x{w} not divisible by {win}")));
+            }
+            let next = ShapeState::Spatial { c, h: h / win, w: w / win };
+            let cost = LayerCost {
+                node_index: index,
+                kind: "avgpool".to_string(),
+                out_channels: c,
+                out_spatial: h / win,
+                params: 0,
+                flops: 0,
+            };
+            Ok((Some(cost), next))
+        }
+        Node::Gap(_) => {
+            let ShapeState::Spatial { c, .. } = state else {
+                return Err(bad(format!("gap node {index} fed a flat tensor")));
+            };
+            let cost = LayerCost {
+                node_index: index,
+                kind: "gap".to_string(),
+                out_channels: c,
+                out_spatial: 1,
+                params: 0,
+                flops: 0,
+            };
+            Ok((Some(cost), ShapeState::Flat { f: c }))
+        }
+        Node::Flatten(_) => {
+            let f = match state {
+                ShapeState::Spatial { c, h, w } => c * h * w,
+                ShapeState::Flat { f } => f,
+            };
+            let cost = LayerCost {
+                node_index: index,
+                kind: "flatten".to_string(),
+                out_channels: f,
+                out_spatial: 1,
+                params: 0,
+                flops: 0,
+            };
+            Ok((Some(cost), ShapeState::Flat { f }))
+        }
+        Node::Linear(lin) => {
+            let f = match state {
+                ShapeState::Flat { f } => f,
+                ShapeState::Spatial { c, h, w } => c * h * w,
+            };
+            if f != lin.in_features() {
+                return Err(bad(format!(
+                    "linear node {index} expects {} features, got {f}",
+                    lin.in_features()
+                )));
+            }
+            let cost = LayerCost {
+                node_index: index,
+                kind: "linear".to_string(),
+                out_channels: lin.out_features(),
+                out_spatial: 1,
+                params: (lin.out_features() * lin.in_features() + lin.out_features()) as u64,
+                flops: (lin.out_features() * lin.in_features()) as u64,
+            };
+            Ok((Some(cost), ShapeState::Flat { f: lin.out_features() }))
+        }
+        Node::Block(block) => {
+            let ShapeState::Spatial { c, h, w } = state else {
+                return Err(bad(format!("block node {index} fed a flat tensor")));
+            };
+            if c != block.in_channels() {
+                return Err(bad(format!(
+                    "block node {index} expects {} channels, got {c}",
+                    block.in_channels()
+                )));
+            }
+            let stride = block.stride();
+            let (oh, ow) = (conv_out(h, 3, stride, 1), conv_out(w, 3, stride, 1));
+            let next = ShapeState::Spatial { c: block.out_channels(), h: oh, w: ow };
+            if !block.is_active() {
+                // Bypassed block: no parameters deployed, no computation.
+                let cost = LayerCost {
+                    node_index: index,
+                    kind: "block".to_string(),
+                    out_channels: block.out_channels(),
+                    out_spatial: oh,
+                    params: 0,
+                    flops: 0,
+                };
+                return Ok((Some(cost), next));
+            }
+            // Every convolution in a basic block (conv1, conv2 and the
+            // optional 1×1 downsample) produces an oh×ow output plane.
+            let mut flops = 0u64;
+            for (out_c, in_c, k, _stride) in block.conv_specs() {
+                flops += (out_c * in_c * k * k) as u64 * (oh * ow) as u64;
+            }
+            // Two BNs (+ one for the downsample) over the output plane.
+            let bn_count = if block.can_prune() { 2 } else { 3 };
+            flops += bn_count as u64 * 2 * (block.out_channels() * oh * ow) as u64;
+            let cost = LayerCost {
+                node_index: index,
+                kind: "block".to_string(),
+                out_channels: block.out_channels(),
+                out_spatial: oh,
+                params: block.param_count() as u64,
+                flops,
+            };
+            Ok((Some(cost), next))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use hs_tensor::Rng;
+
+    #[test]
+    fn vgg16_full_width_params_match_hand_count() {
+        let mut rng = Rng::seed_from(0);
+        let net = models::vgg16(3, 100, 32, 1.0, &mut rng).unwrap();
+        let cost = analyze(&net, 3, 32).unwrap();
+        // Conv stack of VGG-16 (with biases):
+        let convs: &[(usize, usize)] = &[
+            (3, 64), (64, 64), (64, 128), (128, 128), (128, 256), (256, 256), (256, 256),
+            (256, 512), (512, 512), (512, 512), (512, 512), (512, 512), (512, 512),
+        ];
+        let mut expected: u64 = convs.iter().map(|&(i, o)| (o * i * 9 + o) as u64).sum();
+        // BN affine params.
+        expected += convs.iter().map(|&(_, o)| 2 * o as u64).sum::<u64>();
+        // Classifier.
+        expected += (100 * 512 + 100) as u64;
+        assert_eq!(cost.total_params, expected);
+        // Ballpark of the paper's Table 3 "14.77 M" (they exclude
+        // BN/classifier bookkeeping differences): within 5%.
+        assert!((cost.params_millions() - 14.77).abs() / 14.77 < 0.05, "{}", cost.params_millions());
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Network::new();
+        net.push(Node::Conv(crate::layer::Conv2d::new(3, 8, 3, 1, 1, &mut rng)));
+        let cost = analyze(&net, 3, 10).unwrap();
+        assert_eq!(cost.layers[0].flops, (8 * 3 * 9 * 10 * 10) as u64);
+        assert_eq!(cost.layers[0].params, (8 * 3 * 9 + 8) as u64);
+    }
+
+    #[test]
+    fn inactive_block_costs_nothing() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = models::resnet_cifar(2, 3, 10, 1.0, &mut rng).unwrap();
+        let full = analyze(&net, 3, 32).unwrap();
+        let blocks = net.block_indices();
+        // Deactivate the second block of group 1 (identity).
+        net.set_block_active(blocks[1], false).unwrap();
+        let pruned = analyze(&net, 3, 32).unwrap();
+        assert!(pruned.total_params < full.total_params);
+        assert!(pruned.total_flops < full.total_flops);
+        // The difference equals that block's standalone cost.
+        let block_cost = full.layers.iter().find(|l| l.node_index == blocks[1]).unwrap();
+        assert_eq!(full.total_params - pruned.total_params, block_cost.params);
+        assert_eq!(full.total_flops - pruned.total_flops, block_cost.flops);
+    }
+
+    #[test]
+    fn channel_mismatch_is_detected() {
+        let mut rng = Rng::seed_from(3);
+        let net = models::vgg11(3, 10, 32, 0.5, &mut rng).unwrap();
+        assert!(analyze(&net, 4, 32).is_err());
+    }
+
+    #[test]
+    fn subset_sums() {
+        let mut rng = Rng::seed_from(4);
+        let net = models::vgg11(3, 10, 32, 0.25, &mut rng).unwrap();
+        let cost = analyze(&net, 3, 32).unwrap();
+        let convs = net.conv_indices();
+        let conv_params = cost.params_of(&convs);
+        assert!(conv_params > 0);
+        assert!(conv_params < cost.total_params);
+        assert!(cost.flops_of(&convs) > 0);
+    }
+
+    #[test]
+    fn resnet_flops_scale_with_depth() {
+        let mut rng = Rng::seed_from(5);
+        let shallow = models::resnet_cifar(2, 3, 10, 0.5, &mut rng).unwrap();
+        let deep = models::resnet_cifar(4, 3, 10, 0.5, &mut rng).unwrap();
+        let cs = analyze(&shallow, 3, 32).unwrap();
+        let cd = analyze(&deep, 3, 32).unwrap();
+        assert!(cd.total_flops > cs.total_flops);
+        assert!(cd.total_params > cs.total_params);
+    }
+}

@@ -1,0 +1,631 @@
+//! Residual blocks for the CIFAR ResNet family.
+//!
+//! HeadStart's ResNet experiment (Table 4, Figures 4–5) prunes at the
+//! granularity of *whole residual blocks*: an inactive block is bypassed —
+//! activations flow through the identity shortcut and the block's two
+//! convolutions disappear from the computation, exactly the
+//! BlockDrop/stochastic-depth observation the paper cites.
+
+use serde::{Deserialize, Serialize};
+
+use hs_tensor::{Rng, Tensor};
+
+use crate::error::NnError;
+use crate::layer::{BatchNorm2d, Conv2d, ReLU};
+use crate::param::Param;
+
+/// A basic (two 3×3 convolutions) residual block.
+///
+/// When `in_channels != out_channels` or `stride != 1`, the shortcut is a
+/// 1×1 strided convolution + batch norm (a *downsample* block); such
+/// blocks cannot be deactivated because the bypass would break tensor
+/// shapes. Identity-shortcut blocks can be toggled with
+/// [`ResidualBlock::set_active`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    relu2: ReLU,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    active: bool,
+    /// Channel mask applied between the block's two convolutions
+    /// (after `relu1`), simulating pruning of conv1's feature maps —
+    /// the paper's "apply the HeadStart concept to the convolutional
+    /// layers in each block" generalization.
+    inner_mask: Option<Vec<f32>>,
+    #[serde(skip)]
+    cache: Option<BlockCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockCache {
+    /// Whether the forward pass ran the main branch.
+    ran_main: bool,
+}
+
+impl ResidualBlock {
+    /// Creates a basic block. A downsample shortcut is added automatically
+    /// when the shape changes.
+    pub fn new(in_channels: usize, out_channels: usize, stride: usize, rng: &mut Rng) -> Self {
+        let downsample = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(in_channels, out_channels, 1, stride, 0, rng),
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        ResidualBlock {
+            conv1: Conv2d::new(in_channels, out_channels, 3, stride, 1, rng),
+            bn1: BatchNorm2d::new(out_channels),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(out_channels, out_channels, 3, 1, 1, rng),
+            bn2: BatchNorm2d::new(out_channels),
+            relu2: ReLU::new(),
+            downsample,
+            active: true,
+            inner_mask: None,
+            cache: None,
+        }
+    }
+
+    /// Whether this block participates in the computation.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether this block may be deactivated (identity shortcut only).
+    pub fn can_prune(&self) -> bool {
+        self.downsample.is_none()
+    }
+
+    /// Activates or deactivates the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadMask`] when trying to deactivate a
+    /// downsample block.
+    pub fn set_active(&mut self, active: bool) -> Result<(), NnError> {
+        if !active && !self.can_prune() {
+            return Err(NnError::BadMask {
+                detail: "cannot deactivate a downsample residual block".to_string(),
+            });
+        }
+        self.active = active;
+        Ok(())
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv2.out_channels()
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.conv1.in_channels()
+    }
+
+    /// Stride of the block (1 for identity blocks).
+    pub fn stride(&self) -> usize {
+        self.conv1.stride()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the inner layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if !self.active {
+            // Bypassed block: identity (only identity-shortcut blocks can
+            // be inactive, so shapes always match).
+            if train {
+                self.cache = Some(BlockCache { ran_main: false });
+            }
+            return Ok(input.clone());
+        }
+        let mut h = self.conv1.forward(input, train)?;
+        h = self.bn1.forward(&h, train)?;
+        h = self.relu1.forward(&h, train);
+        if let Some(mask) = &self.inner_mask {
+            apply_channel_mask(&mut h, mask)?;
+        }
+        h = self.conv2.forward(&h, train)?;
+        h = self.bn2.forward(&h, train)?;
+        let shortcut = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, train)?;
+                bn.forward(&s, train)?
+            }
+            None => input.clone(),
+        };
+        let sum = h.try_add(&shortcut)?;
+        let out = self.relu2.forward(&sum, train);
+        if train {
+            self.cache = Some(BlockCache { ran_main: true });
+        }
+        Ok(out)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] without a training forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "ResidualBlock" })?;
+        if !cache.ran_main {
+            return Ok(grad_out.clone());
+        }
+        let dsum = self.relu2.backward(grad_out)?;
+        // Main branch.
+        let mut dh = self.bn2.backward(&dsum)?;
+        dh = self.conv2.backward(&dh)?;
+        if let Some(mask) = &self.inner_mask {
+            apply_channel_mask(&mut dh, mask)?;
+        }
+        dh = self.relu1.backward(&dh)?;
+        dh = self.bn1.backward(&dh)?;
+        let dx_main = self.conv1.backward(&dh)?;
+        // Shortcut branch.
+        let dx_short = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let d = bn.backward(&dsum)?;
+                conv.backward(&d)?
+            }
+            None => dsum,
+        };
+        Ok(dx_main.try_add(&dx_short)?)
+    }
+
+    /// Visits all trainable parameters (including the downsample path and
+    /// including inactive blocks, so optimizer state indices stay stable).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    /// Re-samples every weight from its initialization distribution and
+    /// resets batch-norm state; used by the "train from scratch" baseline.
+    pub fn reinitialize(&mut self, rng: &mut Rng) {
+        reinit_conv(&mut self.conv1, rng);
+        reinit_bn(&mut self.bn1);
+        reinit_conv(&mut self.conv2, rng);
+        reinit_bn(&mut self.bn2);
+        if let Some((conv, bn)) = &mut self.downsample {
+            reinit_conv(conv, rng);
+            reinit_bn(bn);
+        }
+    }
+
+    /// Sets (or clears) the channel mask applied between the block's two
+    /// convolutions, simulating removal of conv1's feature maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadMask`] if the mask length differs from
+    /// conv1's filter count.
+    pub fn set_inner_mask(&mut self, mask: Option<Vec<f32>>) -> Result<(), NnError> {
+        if let Some(m) = &mask {
+            if m.len() != self.conv1.out_channels() {
+                return Err(NnError::BadMask {
+                    detail: format!(
+                        "inner mask of {} entries for {} maps",
+                        m.len(),
+                        self.conv1.out_channels()
+                    ),
+                });
+            }
+        }
+        self.inner_mask = mask;
+        Ok(())
+    }
+
+    /// The inner mask currently attached, if any.
+    pub fn inner_mask(&self) -> Option<&[f32]> {
+        self.inner_mask.as_deref()
+    }
+
+    /// Physically removes conv1 feature maps not listed in `keep`
+    /// (strictly increasing): shrinks conv1's filters, bn1's channels and
+    /// conv2's input channels. The block's output shape is unchanged, so
+    /// the shortcut still adds cleanly — this is the paper's "prune the
+    /// convolutional layers in each block just like VGG" variant.
+    ///
+    /// Any inner mask is cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadMask`] for an empty/unsorted/out-of-range
+    /// keep set.
+    pub fn prune_inner_maps(&mut self, keep: &[usize]) -> Result<(), NnError> {
+        let channels = self.conv1.out_channels();
+        if keep.is_empty() {
+            return Err(NnError::BadMask { detail: "keep set is empty".to_string() });
+        }
+        let mut prev: Option<usize> = None;
+        for &k in keep {
+            if k >= channels {
+                return Err(NnError::BadMask {
+                    detail: format!("keep index {k} out of range for {channels} maps"),
+                });
+            }
+            if prev.map(|p| k <= p).unwrap_or(false) {
+                return Err(NnError::BadMask {
+                    detail: "keep indices must be strictly increasing".to_string(),
+                });
+            }
+            prev = Some(k);
+        }
+        let new_conv1 = Conv2d::from_parts(
+            self.conv1.weight.value.index_select(0, keep)?,
+            self.conv1.bias.value.index_select(0, keep)?,
+            self.conv1.stride(),
+            self.conv1.padding(),
+        )?;
+        let new_bn1 = BatchNorm2d::from_parts(
+            self.bn1.gamma.value.index_select(0, keep)?,
+            self.bn1.beta.value.index_select(0, keep)?,
+            self.bn1.running_mean.index_select(0, keep)?,
+            self.bn1.running_var.index_select(0, keep)?,
+        )?;
+        let new_conv2 = Conv2d::from_parts(
+            self.conv2.weight.value.index_select(1, keep)?,
+            self.conv2.bias.value.clone(),
+            self.conv2.stride(),
+            self.conv2.padding(),
+        )?;
+        self.conv1 = new_conv1;
+        self.bn1 = new_bn1;
+        self.conv2 = new_conv2;
+        self.inner_mask = None;
+        Ok(())
+    }
+
+    /// Feature-map count of the block's first convolution (the maps
+    /// [`ResidualBlock::prune_inner_maps`] operates on).
+    pub fn inner_channels(&self) -> usize {
+        self.conv1.out_channels()
+    }
+
+    /// The block's convolutions as `(out_ch, in_ch, kernel, stride)`
+    /// tuples, for FLOP accounting. Includes the downsample conv if any.
+    pub fn conv_specs(&self) -> Vec<(usize, usize, usize, usize)> {
+        let mut v = vec![
+            (
+                self.conv1.out_channels(),
+                self.conv1.in_channels(),
+                self.conv1.kernel(),
+                self.conv1.stride(),
+            ),
+            (
+                self.conv2.out_channels(),
+                self.conv2.in_channels(),
+                self.conv2.kernel(),
+                self.conv2.stride(),
+            ),
+        ];
+        if let Some((conv, _)) = &self.downsample {
+            v.push((conv.out_channels(), conv.in_channels(), conv.kernel(), conv.stride()));
+        }
+        v
+    }
+
+    /// Total trainable parameters in the block (weights, biases, BN
+    /// affine), counting the downsample path.
+    pub fn param_count(&self) -> usize {
+        let mut count = 0;
+        let mut add = |p: &Param| count += p.len();
+        // visit_params needs &mut; count manually instead.
+        add(&self.conv1.weight);
+        add(&self.conv1.bias);
+        add(&self.bn1.gamma);
+        add(&self.bn1.beta);
+        add(&self.conv2.weight);
+        add(&self.conv2.bias);
+        add(&self.bn2.gamma);
+        add(&self.bn2.beta);
+        if let Some((conv, bn)) = &self.downsample {
+            add(&conv.weight);
+            add(&conv.bias);
+            add(&bn.gamma);
+            add(&bn.beta);
+        }
+        count
+    }
+}
+
+impl ResidualBlock {
+    /// Decomposes the block for checkpointing:
+    /// `(conv1, bn1, conv2, bn2, downsample, active)`.
+    pub(crate) fn checkpoint_parts(
+        &self,
+    ) -> (&Conv2d, &BatchNorm2d, &Conv2d, &BatchNorm2d, Option<(&Conv2d, &BatchNorm2d)>, bool)
+    {
+        (
+            &self.conv1,
+            &self.bn1,
+            &self.conv2,
+            &self.bn2,
+            self.downsample.as_ref().map(|(c, b)| (c, b)),
+            self.active,
+        )
+    }
+
+    /// Reassembles a block from checkpointed parts.
+    pub(crate) fn from_checkpoint_parts(
+        conv1: Conv2d,
+        bn1: BatchNorm2d,
+        conv2: Conv2d,
+        bn2: BatchNorm2d,
+        downsample: Option<(Conv2d, BatchNorm2d)>,
+        active: bool,
+    ) -> Self {
+        ResidualBlock {
+            conv1,
+            bn1,
+            relu1: ReLU::new(),
+            conv2,
+            bn2,
+            relu2: ReLU::new(),
+            downsample,
+            active,
+            inner_mask: None,
+            cache: None,
+        }
+    }
+}
+
+/// Multiplies `[B, C, H, W]` activations (or their gradients) by a
+/// per-channel mask in place.
+fn apply_channel_mask(t: &mut Tensor, mask: &[f32]) -> Result<(), NnError> {
+    let shape = t.shape();
+    if shape.rank() != 4 || shape.dim(1) != mask.len() {
+        return Err(NnError::BadMask {
+            detail: format!("inner mask of {} entries on {shape}", mask.len()),
+        });
+    }
+    let (b, c, plane) = (shape.dim(0), shape.dim(1), shape.dim(2) * shape.dim(3));
+    let data = t.data_mut();
+    for bi in 0..b {
+        for (ch, &m) in mask.iter().enumerate() {
+            if m != 1.0 {
+                let base = (bi * c + ch) * plane;
+                for v in &mut data[base..base + plane] {
+                    *v *= m;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reinit_conv(conv: &mut Conv2d, rng: &mut Rng) {
+    use hs_tensor::Init;
+    conv.weight.value = Init::KaimingNormal.sample(conv.weight.value.shape().clone(), rng);
+    conv.weight.zero_grad();
+    conv.bias.value.fill(0.0);
+    conv.bias.zero_grad();
+}
+
+pub(crate) fn reinit_bn(bn: &mut BatchNorm2d) {
+    bn.gamma.value.fill(1.0);
+    bn.gamma.zero_grad();
+    bn.beta.value.fill(0.0);
+    bn.beta.zero_grad();
+    bn.running_mean.fill(0.0);
+    bn.running_var.fill(1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_tensor::Shape;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = Rng::seed_from(0);
+        let mut block = ResidualBlock::new(8, 8, 1, &mut rng);
+        assert!(block.can_prune());
+        let x = Tensor::randn(Shape::d4(2, 8, 6, 6), &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn downsample_block_halves_spatial() {
+        let mut rng = Rng::seed_from(1);
+        let mut block = ResidualBlock::new(8, 16, 2, &mut rng);
+        assert!(!block.can_prune());
+        let x = Tensor::randn(Shape::d4(1, 8, 8, 8), &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::d4(1, 16, 4, 4));
+    }
+
+    #[test]
+    fn inactive_block_is_identity() {
+        let mut rng = Rng::seed_from(2);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        block.set_active(false).unwrap();
+        let x = Tensor::randn(Shape::d4(1, 4, 5, 5), &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn cannot_deactivate_downsample() {
+        let mut rng = Rng::seed_from(3);
+        let mut block = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert!(block.set_active(false).is_err());
+        assert!(block.is_active());
+    }
+
+    #[test]
+    fn inactive_backward_passes_gradient_through() {
+        let mut rng = Rng::seed_from(4);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        block.set_active(false).unwrap();
+        let x = Tensor::randn(Shape::d4(1, 4, 5, 5), &mut rng);
+        block.forward(&x, true).unwrap();
+        let g = Tensor::randn(Shape::d4(1, 4, 5, 5), &mut rng);
+        let dx = block.backward(&g).unwrap();
+        assert_eq!(dx, g);
+    }
+
+    #[test]
+    fn gradient_check_through_block() {
+        let mut rng = Rng::seed_from(5);
+        let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 2, 4, 4), &mut rng);
+        let wobj = Tensor::randn(Shape::d4(1, 2, 4, 4), &mut rng);
+        let _y = block.forward(&x, true).unwrap();
+        let dx = block.backward(&wobj).unwrap();
+        let eps = 1e-2;
+        let obj = |block: &mut ResidualBlock, x: &Tensor| -> f32 {
+            // Run in train mode so batch statistics match the analytic
+            // pass, but snapshot BN running stats around the probe.
+            let y = block.forward(x, true).unwrap();
+            block.cache = None;
+            y.data().iter().zip(wobj.data()).map(|(a, b)| a * b).sum()
+        };
+        let snap = block.clone();
+        for probe in [0usize, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let mut b1 = snap.clone();
+            let fp = obj(&mut b1, &xp);
+            let mut b2 = snap.clone();
+            let fm = obj(&mut b2, &xm);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[probe]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "probe {probe}: numeric {numeric}, analytic {}",
+                dx.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn inner_mask_equals_inner_surgery() {
+        // Masking conv1's maps and physically pruning them must compute
+        // the same function (eval mode, warmed BN).
+        let mut rng = Rng::seed_from(20);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(2, 4, 6, 6), &mut rng);
+        for _ in 0..3 {
+            block.forward(&x, true).unwrap();
+            block.cache = None;
+        }
+        let keep = vec![0usize, 2];
+        let mask: Vec<f32> = (0..4).map(|c| if keep.contains(&c) { 1.0 } else { 0.0 }).collect();
+        let mut masked = block.clone();
+        masked.set_inner_mask(Some(mask)).unwrap();
+        let y_masked = masked.forward(&x, false).unwrap();
+        let mut pruned = block.clone();
+        pruned.prune_inner_maps(&keep).unwrap();
+        assert_eq!(pruned.inner_channels(), 2);
+        let y_pruned = pruned.forward(&x, false).unwrap();
+        for (a, b) in y_masked.data().iter().zip(y_pruned.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inner_surgery_preserves_output_shape() {
+        let mut rng = Rng::seed_from(21);
+        let mut block = ResidualBlock::new(4, 8, 2, &mut rng);
+        block.prune_inner_maps(&[1, 3, 6]).unwrap();
+        let x = Tensor::randn(Shape::d4(1, 4, 8, 8), &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::d4(1, 8, 4, 4));
+        assert_eq!(block.inner_channels(), 3);
+        assert_eq!(block.out_channels(), 8);
+    }
+
+    #[test]
+    fn inner_surgery_validates_keep_set() {
+        let mut rng = Rng::seed_from(22);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        assert!(block.prune_inner_maps(&[]).is_err());
+        assert!(block.prune_inner_maps(&[2, 1]).is_err());
+        assert!(block.prune_inner_maps(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn inner_mask_validates_length() {
+        let mut rng = Rng::seed_from(23);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        assert!(block.set_inner_mask(Some(vec![1.0; 3])).is_err());
+        assert!(block.set_inner_mask(Some(vec![1.0; 4])).is_ok());
+        assert!(block.inner_mask().is_some());
+        assert!(block.set_inner_mask(None).is_ok());
+        assert!(block.inner_mask().is_none());
+    }
+
+    #[test]
+    fn inner_masked_backward_matches_finite_difference() {
+        let mut rng = Rng::seed_from(24);
+        let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
+        block.set_inner_mask(Some(vec![1.0, 0.0])).unwrap();
+        let x = Tensor::randn(Shape::d4(1, 2, 4, 4), &mut rng);
+        let wobj = Tensor::randn(Shape::d4(1, 2, 4, 4), &mut rng);
+        block.forward(&x, true).unwrap();
+        let dx = block.backward(&wobj).unwrap();
+        let eps = 1e-2;
+        let snap = block.clone();
+        let obj = |b: &mut ResidualBlock, x: &Tensor| -> f32 {
+            let y = b.forward(x, true).unwrap();
+            b.cache = None;
+            y.data().iter().zip(wobj.data()).map(|(a, c)| a * c).sum()
+        };
+        for probe in [0usize, 13, 29] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let mut b1 = snap.clone();
+            let mut b2 = snap.clone();
+            let numeric = (obj(&mut b1, &xp) - obj(&mut b2, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[probe]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "probe {probe}: numeric {numeric} analytic {}",
+                dx.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_includes_downsample() {
+        let mut rng = Rng::seed_from(6);
+        let plain = ResidualBlock::new(4, 4, 1, &mut rng);
+        let down = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert!(down.param_count() > plain.param_count());
+        // Identity block: 2 convs (4*4*9 + 4 bias each) + 2 BN (2*4 each).
+        assert_eq!(plain.param_count(), 2 * (4 * 4 * 9 + 4) + 2 * 8);
+    }
+
+    #[test]
+    fn conv_specs_reports_all_convs() {
+        let mut rng = Rng::seed_from(7);
+        let block = ResidualBlock::new(4, 8, 2, &mut rng);
+        let specs = block.conv_specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0], (8, 4, 3, 2));
+        assert_eq!(specs[1], (8, 8, 3, 1));
+        assert_eq!(specs[2], (8, 4, 1, 2));
+    }
+}

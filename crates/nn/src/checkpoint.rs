@@ -1,0 +1,408 @@
+//! Model checkpointing: a compact, self-describing binary format.
+//!
+//! A pruned model is only useful if it can leave the process that pruned
+//! it. This module serializes a [`Network`] — including physically
+//! shrunk layers, batch-norm running statistics and residual-block
+//! active flags — to a versioned little-endian byte stream, and restores
+//! it bit-exactly.
+//!
+//! The format is deliberately independent of any serialization crate:
+//! `magic "HSCK" · version u32 · node count u64 · nodes…`, where every
+//! tensor is `rank u32 · dims u64… · f32 data`.
+//!
+//! # Example
+//!
+//! ```
+//! use hs_nn::{checkpoint, models};
+//! use hs_tensor::Rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng::seed_from(0);
+//! let net = models::vgg11(3, 4, 8, 0.25, &mut rng)?;
+//! let bytes = checkpoint::to_bytes(&net)?;
+//! let restored = checkpoint::from_bytes(&bytes)?;
+//! assert_eq!(restored.len(), net.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use hs_tensor::{Shape, Tensor};
+
+use crate::block::ResidualBlock;
+use crate::layer::{
+    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, ReLU,
+};
+use crate::network::{Network, Node};
+
+const MAGIC: &[u8; 4] = b"HSCK";
+const VERSION: u32 = 1;
+
+fn bad(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    let dims = t.shape().dims();
+    write_u32(w, dims.len() as u32)?;
+    for &d in dims {
+        write_u64(w, d as u64)?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(bad(format!("implausible tensor rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u64(r)? as usize);
+    }
+    let shape = Shape::new(dims);
+    let len = shape.len();
+    if len > (1 << 31) {
+        return Err(bad(format!("implausible tensor size {len}")));
+    }
+    let mut data = vec![0.0f32; len];
+    let mut buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Tensor::from_vec(shape, data).map_err(|e| bad(e.to_string()))
+}
+
+fn write_conv(w: &mut impl Write, conv: &Conv2d) -> io::Result<()> {
+    write_tensor(w, &conv.weight.value)?;
+    write_tensor(w, &conv.bias.value)?;
+    write_u32(w, conv.stride() as u32)?;
+    write_u32(w, conv.padding() as u32)
+}
+
+fn read_conv(r: &mut impl Read) -> io::Result<Conv2d> {
+    let weight = read_tensor(r)?;
+    let bias = read_tensor(r)?;
+    let stride = read_u32(r)? as usize;
+    let padding = read_u32(r)? as usize;
+    Conv2d::from_parts(weight, bias, stride, padding).map_err(|e| bad(e.to_string()))
+}
+
+fn write_bn(w: &mut impl Write, bn: &BatchNorm2d) -> io::Result<()> {
+    write_tensor(w, &bn.gamma.value)?;
+    write_tensor(w, &bn.beta.value)?;
+    write_tensor(w, &bn.running_mean)?;
+    write_tensor(w, &bn.running_var)
+}
+
+fn read_bn(r: &mut impl Read) -> io::Result<BatchNorm2d> {
+    let gamma = read_tensor(r)?;
+    let beta = read_tensor(r)?;
+    let mean = read_tensor(r)?;
+    let var = read_tensor(r)?;
+    BatchNorm2d::from_parts(gamma, beta, mean, var).map_err(|e| bad(e.to_string()))
+}
+
+fn write_node(w: &mut impl Write, node: &Node) -> io::Result<()> {
+    match node {
+        Node::Conv(conv) => {
+            w.write_all(&[0])?;
+            write_conv(w, conv)
+        }
+        Node::Bn(bn) => {
+            w.write_all(&[1])?;
+            write_bn(w, bn)
+        }
+        Node::Relu(_) => w.write_all(&[2]),
+        Node::MaxPool(p) => {
+            w.write_all(&[3])?;
+            write_u32(w, p.window() as u32)
+        }
+        Node::AvgPool(p) => {
+            w.write_all(&[4])?;
+            write_u32(w, p.window() as u32)
+        }
+        Node::Gap(_) => w.write_all(&[5]),
+        Node::Flatten(_) => w.write_all(&[6]),
+        Node::Linear(lin) => {
+            w.write_all(&[7])?;
+            write_tensor(w, &lin.weight.value)?;
+            write_tensor(w, &lin.bias.value)
+        }
+        Node::Dropout(d) => {
+            w.write_all(&[9])?;
+            w.write_all(&d.probability().to_le_bytes())
+        }
+        Node::Block(block) => {
+            w.write_all(&[8])?;
+            let (c1, b1, c2, b2, down, active) = block.checkpoint_parts();
+            write_conv(w, c1)?;
+            write_bn(w, b1)?;
+            write_conv(w, c2)?;
+            write_bn(w, b2)?;
+            w.write_all(&[down.is_some() as u8])?;
+            if let Some((dc, db)) = down {
+                write_conv(w, dc)?;
+                write_bn(w, db)?;
+            }
+            w.write_all(&[active as u8])
+        }
+    }
+}
+
+fn read_bool(r: &mut impl Read) -> io::Result<bool> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    match b[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(bad(format!("invalid boolean byte {other}"))),
+    }
+}
+
+fn read_node(r: &mut impl Read) -> io::Result<Node> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => Node::Conv(read_conv(r)?),
+        1 => Node::Bn(read_bn(r)?),
+        2 => Node::Relu(ReLU::new()),
+        3 => Node::MaxPool(MaxPool2d::new(read_u32(r)?.max(1) as usize)),
+        4 => Node::AvgPool(AvgPool2d::new(read_u32(r)?.max(1) as usize)),
+        5 => Node::Gap(GlobalAvgPool::new()),
+        6 => Node::Flatten(Flatten::new()),
+        7 => {
+            let weight = read_tensor(r)?;
+            let bias = read_tensor(r)?;
+            Node::Linear(Linear::from_parts(weight, bias).map_err(|e| bad(e.to_string()))?)
+        }
+        8 => {
+            let c1 = read_conv(r)?;
+            let b1 = read_bn(r)?;
+            let c2 = read_conv(r)?;
+            let b2 = read_bn(r)?;
+            let down = if read_bool(r)? {
+                Some((read_conv(r)?, read_bn(r)?))
+            } else {
+                None
+            };
+            let active = read_bool(r)?;
+            Node::Block(ResidualBlock::from_checkpoint_parts(c1, b1, c2, b2, down, active))
+        }
+        9 => {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            let p = f32::from_le_bytes(buf);
+            if !(0.0..1.0).contains(&p) {
+                return Err(bad(format!("invalid dropout probability {p}")));
+            }
+            // The RNG stream restarts from a fixed seed; dropout is
+            // inference-identity so restored behaviour is unchanged.
+            Node::Dropout(Dropout::new(p, &mut hs_tensor::Rng::seed_from(0)))
+        }
+        other => return Err(bad(format!("unknown node tag {other}"))),
+    })
+}
+
+/// Writes a network to any `Write` sink (a `&mut` reference works too).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_network(mut w: impl Write, net: &Network) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u64(&mut w, net.len() as u64)?;
+    for node in net.iter() {
+        write_node(&mut w, node)?;
+    }
+    w.flush()
+}
+
+/// Reads a network from any `Read` source (a `&mut` reference works too).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a corrupt or incompatible stream, and
+/// propagates I/O errors.
+pub fn read_network(mut r: impl Read) -> io::Result<Network> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a headstart checkpoint (bad magic)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count > 1 << 20 {
+        return Err(bad(format!("implausible node count {count}")));
+    }
+    let mut net = Network::new();
+    for _ in 0..count {
+        let node = read_node(&mut r)?;
+        net.push(node);
+    }
+    Ok(net)
+}
+
+/// Serializes a network to bytes.
+///
+/// # Errors
+///
+/// Never fails for in-memory sinks in practice; the `Result` mirrors
+/// [`write_network`].
+pub fn to_bytes(net: &Network) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_network(&mut buf, net)?;
+    Ok(buf)
+}
+
+/// Deserializes a network from bytes.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for corrupt input.
+pub fn from_bytes(bytes: &[u8]) -> io::Result<Network> {
+    read_network(bytes)
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(net: &Network, path: impl AsRef<Path>) -> io::Result<()> {
+    write_network(BufWriter::new(File::create(path)?), net)
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and format errors.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Network> {
+    read_network(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use hs_tensor::Rng;
+
+    fn assert_same_function(a: &mut Network, b: &mut Network, in_c: usize, size: usize) {
+        let mut rng = Rng::seed_from(99);
+        let x = Tensor::randn(Shape::d4(2, in_c, size, size), &mut rng);
+        let ya = a.forward(&x, false).expect("a");
+        let yb = b.forward(&x, false).expect("b");
+        assert_eq!(ya, yb, "restored network computes a different function");
+    }
+
+    #[test]
+    fn vgg_round_trips_bit_exactly() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::vgg11(3, 5, 8, 0.25, &mut rng).unwrap();
+        // Warm BN so running stats are non-trivial.
+        let x = Tensor::randn(Shape::d4(4, 3, 8, 8), &mut rng);
+        net.forward(&x, true).unwrap();
+        let bytes = to_bytes(&net).unwrap();
+        let mut restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), net.len());
+        assert_same_function(&mut net, &mut restored, 3, 8);
+    }
+
+    #[test]
+    fn resnet_with_inactive_block_round_trips() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::resnet_cifar(2, 3, 4, 0.25, &mut rng).unwrap();
+        let blocks = net.block_indices();
+        net.set_block_active(blocks[1], false).unwrap();
+        let bytes = to_bytes(&net).unwrap();
+        let mut restored = from_bytes(&bytes).unwrap();
+        // Active flags survive.
+        match restored.node(blocks[1]) {
+            Node::Block(b) => assert!(!b.is_active()),
+            _ => panic!("expected block"),
+        }
+        assert_same_function(&mut net, &mut restored, 3, 8);
+    }
+
+    #[test]
+    fn pruned_network_round_trips() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng).unwrap();
+        let site = crate::surgery::conv_sites(&net)[0];
+        crate::surgery::prune_feature_maps(&mut net, site.conv, &[0, 3, 5]).unwrap();
+        let bytes = to_bytes(&net).unwrap();
+        let mut restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.conv(site.conv).unwrap().out_channels(), 3);
+        assert_same_function(&mut net, &mut restored, 3, 8);
+    }
+
+    #[test]
+    fn lenet_with_avgpool_round_trips() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = models::lenet(1, 3, 8, 1.0, &mut rng).unwrap();
+        let bytes = to_bytes(&net).unwrap();
+        let mut restored = from_bytes(&bytes).unwrap();
+        assert_same_function(&mut net, &mut restored, 1, 8);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        assert!(from_bytes(b"").is_err());
+        assert!(from_bytes(b"NOPE").is_err());
+        assert!(from_bytes(b"HSCK\xff\xff\xff\xff").is_err(), "bad version");
+        // Valid header, truncated body.
+        let mut rng = Rng::seed_from(4);
+        let net = models::vgg11(3, 2, 8, 0.25, &mut rng).unwrap();
+        let bytes = to_bytes(&net).unwrap();
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        // Flipped node tag.
+        let mut broken = bytes.clone();
+        broken[16] = 200;
+        assert!(from_bytes(&broken).is_err());
+    }
+
+    #[test]
+    fn file_save_load() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = models::vgg11(3, 2, 8, 0.125, &mut rng).unwrap();
+        let dir = std::env::temp_dir().join("hs_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.hsck");
+        save(&net, &path).unwrap();
+        let mut restored = load(&path).unwrap();
+        assert_same_function(&mut net, &mut restored, 3, 8);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for network construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use hs_tensor::TensorError;
+
+/// Error returned by network construction, execution and surgery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// The input fed to a layer/network does not match its expected shape.
+    BadInput {
+        /// Which component rejected the input.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `backward` was called without a preceding `forward` (no cache).
+    NoForwardCache {
+        /// Layer kind that was asked to backpropagate.
+        layer: &'static str,
+    },
+    /// A node index passed to masking/surgery/capture does not refer to a
+    /// node of the required kind.
+    BadNodeIndex {
+        /// The offending index.
+        index: usize,
+        /// What kind of node was required.
+        expected: &'static str,
+    },
+    /// A pruning mask or keep-set is invalid (wrong length, empty, or out
+    /// of range).
+    BadMask {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { what, detail } => write!(f, "bad input to {what}: {detail}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on {layer} without a cached forward pass")
+            }
+            NnError::BadNodeIndex { index, expected } => {
+                write!(f, "node index {index} is not a {expected}")
+            }
+            NnError::BadMask { detail } => write!(f, "bad mask: {detail}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let inner = TensorError::Empty { op: "stack" };
+        let e = NnError::from(inner.clone());
+        assert_eq!(e, NnError::Tensor(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

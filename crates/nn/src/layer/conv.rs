@@ -1,0 +1,380 @@
+//! 2-D convolution, the layer HeadStart prunes.
+
+use serde::{Deserialize, Serialize};
+
+use hs_tensor::{col2im, im2col, Conv2dGeometry, Init, Rng, Shape, Tensor};
+
+use crate::error::NnError;
+use crate::param::Param;
+
+/// 2-D convolution with square kernels, implemented by `im2col` + GEMM.
+///
+/// The weight layout is `[out_channels, in_channels, k, k]` — axis 0 is the
+/// *filter* axis (pruned when this layer's own feature maps are dropped)
+/// and axis 1 is the *channel* axis (pruned when the previous layer's
+/// feature maps are dropped). This is exactly the `ΔN×C×k×k` /
+/// `M×ΔN×k×k` bookkeeping of the paper's Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Filter bank, `[N, C, k, k]`.
+    pub weight: Param,
+    /// Per-filter bias, `[N]`.
+    pub bias: Param,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let weight = Init::KaimingNormal.sample(
+            Shape::d4(out_channels, in_channels, kernel, kernel),
+            rng,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new_no_decay(Tensor::zeros(Shape::d1(out_channels))),
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Builds a convolution from explicit weight/bias tensors (used by
+    /// surgery when shrinking a trained layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if `weight` is not rank 4 or `bias`
+    /// does not match the filter count.
+    pub fn from_parts(
+        weight: Tensor,
+        bias: Tensor,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, NnError> {
+        if weight.shape().rank() != 4 || weight.shape().dim(2) != weight.shape().dim(3) {
+            return Err(NnError::BadInput {
+                what: "Conv2d::from_parts",
+                detail: format!("weight must be [N, C, k, k], got {}", weight.shape()),
+            });
+        }
+        if bias.shape() != &Shape::d1(weight.shape().dim(0)) {
+            return Err(NnError::BadInput {
+                what: "Conv2d::from_parts",
+                detail: format!(
+                    "bias {} does not match {} filters",
+                    bias.shape(),
+                    weight.shape().dim(0)
+                ),
+            });
+        }
+        let kernel = weight.shape().dim(2);
+        Ok(Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new_no_decay(bias),
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        })
+    }
+
+    /// Number of filters (output channels / feature maps).
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+
+    /// Kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(self.in_channels(), in_h, in_w, self.kernel, self.stride, self.padding)
+    }
+
+    /// Forward pass over a `[B, C, H, W]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if the input is not rank 4 or its
+    /// channel count differs from the filters'.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.rank() != 4 || shape.dim(1) != self.in_channels() {
+            return Err(NnError::BadInput {
+                what: "Conv2d",
+                detail: format!(
+                    "expected [B, {}, H, W], got {}",
+                    self.in_channels(),
+                    shape
+                ),
+            });
+        }
+        let (batch, _, in_h, in_w) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+        let geom = self.geometry(in_h, in_w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let n = self.out_channels();
+        let w2d = self
+            .weight
+            .value
+            .clone()
+            .reshape(Shape::d2(n, geom.col_rows()))?;
+        let mut out = Vec::with_capacity(batch * n * oh * ow);
+        for b in 0..batch {
+            let sample = input.index_axis0(b);
+            let col = im2col(&sample, &geom)?;
+            let mut y = w2d.matmul(&col)?; // [N, oh*ow]
+            // Broadcast bias over spatial positions.
+            let positions = oh * ow;
+            let ydata = y.data_mut();
+            for (f, &bias) in self.bias.value.data().iter().enumerate() {
+                if bias != 0.0 {
+                    for v in &mut ydata[f * positions..(f + 1) * positions] {
+                        *v += bias;
+                    }
+                }
+            }
+            out.extend_from_slice(y.data());
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
+        Ok(Tensor::from_vec(Shape::d4(batch, n, oh, ow), out)?)
+    }
+
+    /// Backward pass: accumulates `weight.grad` / `bias.grad` and returns
+    /// the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if called before a training
+    /// forward pass, or a shape error if `grad_out` is inconsistent.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "Conv2d" })?;
+        let in_shape = input.shape().clone();
+        let (batch, in_h, in_w) = (in_shape.dim(0), in_shape.dim(2), in_shape.dim(3));
+        let geom = self.geometry(in_h, in_w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let n = self.out_channels();
+        let want = Shape::d4(batch, n, oh, ow);
+        if grad_out.shape() != &want {
+            return Err(NnError::BadInput {
+                what: "Conv2d::backward",
+                detail: format!("grad shape {} != {want}", grad_out.shape()),
+            });
+        }
+        let positions = oh * ow;
+        let w2d = self
+            .weight
+            .value
+            .clone()
+            .reshape(Shape::d2(n, geom.col_rows()))?;
+        let mut dw2d = Tensor::zeros(Shape::d2(n, geom.col_rows()));
+        let mut dx = Vec::with_capacity(input.len());
+        for b in 0..batch {
+            let sample = input.index_axis0(b);
+            let col = im2col(&sample, &geom)?; // recomputed: trades FLOPs for memory
+            let dy = grad_out.index_axis0(b).reshape(Shape::d2(n, positions))?;
+            // dW += dY · colᵀ
+            dw2d.axpy(1.0, &dy.matmul_nt(&col)?)?;
+            // db += Σ_positions dY
+            let db = dy.sum_axis(1)?;
+            self.bias.grad.axpy(1.0, &db)?;
+            // dX = col2im(Wᵀ · dY)
+            let dcol = w2d.matmul_tn(&dy)?;
+            let dsample = col2im(&dcol, &geom)?;
+            dx.extend_from_slice(dsample.data());
+        }
+        let dw = dw2d.reshape(self.weight.value.shape().clone())?;
+        self.weight.grad.axpy(1.0, &dw)?;
+        Ok(Tensor::from_vec(in_shape, dx)?)
+    }
+
+    /// Passes the layer's parameters to `f` (weight first, then bias).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        conv: &mut Conv2d,
+        x: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        // Scalar objective: sum of outputs. Analytic gradients via
+        // backward(ones) vs numeric central differences.
+        let y = conv.forward(x, true).unwrap();
+        let ones = Tensor::ones(y.shape().clone());
+        let dx = conv.backward(&ones).unwrap();
+
+        // Check input gradient at a few positions.
+        for probe in [0usize, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let fp = conv.forward(&xp, false).unwrap().sum();
+            let fm = conv.forward(&xm, false).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.data()[probe];
+            assert!(
+                (numeric - analytic).abs() < tol * (1.0 + numeric.abs()),
+                "input grad at {probe}: numeric {numeric} analytic {analytic}"
+            );
+        }
+
+        // Check weight gradient at a few positions.
+        let wlen = conv.weight.value.len();
+        for probe in [0usize, wlen / 2, wlen - 1] {
+            let orig = conv.weight.value.data()[probe];
+            conv.weight.value.data_mut()[probe] = orig + eps;
+            let fp = conv.forward(x, false).unwrap().sum();
+            conv.weight.value.data_mut()[probe] = orig - eps;
+            let fm = conv.forward(x, false).unwrap().sum();
+            conv.weight.value.data_mut()[probe] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = conv.weight.grad.data()[probe];
+            assert!(
+                (numeric - analytic).abs() < tol * (1.0 + numeric.abs()),
+                "weight grad at {probe}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape_same_padding() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(2, 3, 6, 6), &mut rng);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::d4(2, 8, 6, 6));
+    }
+
+    #[test]
+    fn forward_rejects_channel_mismatch() {
+        let mut rng = Rng::seed_from(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 4, 6, 6), &mut rng);
+        assert!(conv.forward(&x, false).is_err());
+    }
+
+    #[test]
+    fn kernel1_conv_is_channel_mix() {
+        // A 1x1 convolution is a per-pixel linear map across channels.
+        let mut rng = Rng::seed_from(2);
+        let mut conv = Conv2d::new(2, 1, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::from_vec(Shape::d4(1, 2, 1, 1), vec![2.0, -1.0]).unwrap();
+        conv.bias.value = Tensor::from_vec(Shape::d1(1), vec![0.5]).unwrap();
+        let x = Tensor::from_fn(Shape::d4(1, 2, 2, 2), |i| (i[1] * 10 + i[2] * 2 + i[3]) as f32);
+        let y = conv.forward(&x, false).unwrap();
+        for h in 0..2 {
+            for w in 0..2 {
+                let expect = 2.0 * x.at(&[0, 0, h, w]) - x.at(&[0, 1, h, w]) + 0.5;
+                assert!((y.at(&[0, 0, h, w]) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(2, 2, 5, 5), &mut rng);
+        finite_diff_check(&mut conv, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_strided() {
+        let mut rng = Rng::seed_from(4);
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 2, 7, 7), &mut rng);
+        finite_diff_check(&mut conv, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = Rng::seed_from(5);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let g = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        assert!(matches!(
+            conv.backward(&g),
+            Err(NnError::NoForwardCache { layer: "Conv2d" })
+        ));
+    }
+
+    #[test]
+    fn eval_forward_does_not_cache() {
+        let mut rng = Rng::seed_from(6);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 1, 4, 4), &mut rng);
+        conv.forward(&x, false).unwrap();
+        assert!(conv.backward(&Tensor::zeros(Shape::d4(1, 1, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let w = Tensor::zeros(Shape::d4(2, 3, 3, 3));
+        let b = Tensor::zeros(Shape::d1(2));
+        assert!(Conv2d::from_parts(w.clone(), b, 1, 1).is_ok());
+        let bad_bias = Tensor::zeros(Shape::d1(3));
+        assert!(Conv2d::from_parts(w, bad_bias, 1, 1).is_err());
+        let bad_w = Tensor::zeros(Shape::d3(2, 3, 3));
+        assert!(Conv2d::from_parts(bad_w, Tensor::zeros(Shape::d1(2)), 1, 1).is_err());
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let mut rng = Rng::seed_from(7);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(Shape::d4(1, 1, 4, 4), &mut rng);
+        let ones = Tensor::ones(Shape::d4(1, 1, 4, 4));
+        conv.forward(&x, true).unwrap();
+        conv.backward(&ones).unwrap();
+        let g1 = conv.weight.grad.clone();
+        conv.forward(&x, true).unwrap();
+        conv.backward(&ones).unwrap();
+        let g2 = conv.weight.grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((2.0 * a - b).abs() < 1e-4, "{a} {b}");
+        }
+    }
+}

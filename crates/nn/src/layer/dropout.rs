@@ -1,0 +1,146 @@
+//! Inverted dropout.
+
+use serde::{Deserialize, Serialize};
+
+use hs_tensor::{Rng, Tensor};
+
+use crate::error::NnError;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so inference
+/// is the identity (the AlexNet/VGG classifier regularizer).
+///
+/// The layer owns its RNG stream (seeded at construction) so training
+/// runs stay reproducible without threading a generator through every
+/// forward call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    #[serde(skip)]
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, rng: &mut Rng) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Dropout { p, rng: rng.split(), mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass (any shape). Identity in inference mode.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.bernoulli(self.p) { 0.0 } else { scale })
+            .collect();
+        let mut out = input.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass: applies the cached mask to the gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] without a training forward, or
+    /// [`NnError::BadInput`] on a length mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "Dropout" })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                what: "Dropout::backward",
+                detail: format!("grad has {} elements, cache has {}", grad_out.len(), mask.len()),
+            });
+        }
+        let mut dx = grad_out.clone();
+        for (g, &m) in dx.data_mut().iter_mut().zip(&mask) {
+            *g *= m;
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_tensor::Shape;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut rng = Rng::seed_from(0);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::randn(Shape::d2(4, 8), &mut rng);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut rng = Rng::seed_from(1);
+        let mut d = Dropout::new(0.4, &mut rng);
+        let x = Tensor::ones(Shape::d1(20_000));
+        let y = d.forward(&x, true);
+        // Inverted scaling: mean stays ≈ 1.
+        assert!((y.mean() - 1.0).abs() < 0.03, "mean {}", y.mean());
+        // Roughly p of the entries are zero.
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count() as f32 / y.len() as f32;
+        assert!((zeros - 0.4).abs() < 0.02, "zero fraction {zeros}");
+    }
+
+    #[test]
+    fn backward_reuses_the_same_mask() {
+        let mut rng = Rng::seed_from(2);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(Shape::d1(64));
+        let y = d.forward(&x, true);
+        let g = Tensor::ones(Shape::d1(64));
+        let dx = d.backward(&g).unwrap();
+        // Gradient flows exactly where activations flowed.
+        for (yy, gg) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yy == 0.0, *gg == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut rng = Rng::seed_from(3);
+        let mut d = Dropout::new(0.3, &mut rng);
+        let x = Tensor::ones(Shape::d1(4));
+        d.forward(&x, false);
+        assert!(d.backward(&Tensor::ones(Shape::d1(4))).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_invalid_probability() {
+        let mut rng = Rng::seed_from(4);
+        Dropout::new(1.0, &mut rng);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut rng = Rng::seed_from(5);
+        let mut d = Dropout::new(0.0, &mut rng);
+        let x = Tensor::randn(Shape::d1(16), &mut rng);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

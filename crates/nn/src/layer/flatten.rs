@@ -1,0 +1,79 @@
+//! Reshape bridge between convolutional and fully connected stages.
+
+use serde::{Deserialize, Serialize};
+
+use hs_tensor::{Shape, Tensor};
+
+use crate::error::NnError;
+
+/// Flattens `[B, C, H, W]` (or any rank ≥ 2 tensor) to `[B, F]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    in_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if the input has rank < 2.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.rank() < 2 {
+            return Err(NnError::BadInput {
+                what: "Flatten",
+                detail: format!("expected rank >= 2, got {shape}"),
+            });
+        }
+        let b = shape.dim(0);
+        let f = shape.len() / b.max(1);
+        if train {
+            self.in_shape = Some(shape.clone());
+        } else {
+            self.in_shape = None;
+        }
+        Ok(input.clone().reshape(Shape::d2(b, f))?)
+    }
+
+    /// Backward pass: restores the cached input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] without a training forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let in_shape = self
+            .in_shape
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "Flatten" })?;
+        Ok(grad_out.clone().reshape(in_shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_fn(Shape::d4(2, 3, 2, 2), |i| i[3] as f32);
+        let y = fl.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(2, 12));
+        let dx = fl.backward(&y).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    fn rejects_rank1() {
+        let mut fl = Flatten::new();
+        assert!(fl.forward(&Tensor::zeros(Shape::d1(4)), false).is_err());
+    }
+}

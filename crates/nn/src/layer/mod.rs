@@ -1,0 +1,28 @@
+//! Individual network layers.
+//!
+//! Every layer follows the same contract:
+//!
+//! * `forward(&mut self, x, train)` computes the output and caches whatever
+//!   the backward pass needs (inputs, masks, normalization statistics);
+//! * `backward(&mut self, grad_out)` *accumulates* parameter gradients and
+//!   returns the gradient with respect to the layer input;
+//! * parameters are exposed to optimizers via a `visit_params` method.
+//!
+//! All activation tensors are batched NCHW (`[B, C, H, W]`) or `[B, F]`
+//! for the classifier head.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::ReLU;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,57 @@
+//! Neural-network substrate for the HeadStart reproduction: layers with
+//! full backpropagation, optimizers, a model zoo (VGG / CIFAR-ResNet),
+//! parameter & FLOP accounting, channel masking and physical channel
+//! surgery.
+//!
+//! The paper prunes *feature maps*: deciding to drop map `m` of layer `i`
+//! removes filter `m` of layer `i` **and** input channel `m` of layer
+//! `i+1`. This crate provides all three views of that operation:
+//!
+//! 1. **Masking** ([`Network::set_channel_mask`]) — multiply feature maps
+//!    by a 0/1 vector. Cheap, reversible, used while the HeadStart policy
+//!    is still *exploring* actions.
+//! 2. **Surgery** ([`surgery::prune_feature_maps`]) — physically shrink
+//!    the weight tensors once an inception is chosen, so the pruned model
+//!    really is smaller and faster.
+//! 3. **Accounting** ([`accounting`]) — exact parameter and FLOP counts
+//!    for any (possibly pruned) architecture, the quantities reported in
+//!    the paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use hs_nn::{models, loss::softmax_cross_entropy};
+//! use hs_tensor::{Rng, Tensor, Shape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = models::vgg11(3, 10, 8, 0.25, &mut rng)?; // 8x8 input, quarter width
+//! let x = Tensor::randn(Shape::d4(2, 3, 8, 8), &mut rng);
+//! let logits = net.forward(&x, true)?;
+//! let (loss, grad) = softmax_cross_entropy(&logits, &[1, 7])?;
+//! assert!(loss > 0.0);
+//! net.backward(&grad)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod block;
+pub mod checkpoint;
+pub mod error;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod summary;
+pub mod surgery;
+pub mod train;
+
+pub use error::NnError;
+pub use network::{Network, Node};
+pub use param::Param;

@@ -1,0 +1,310 @@
+//! Classification loss and metrics.
+
+use hs_tensor::Tensor;
+
+use crate::error::NnError;
+
+/// Numerically stable row-wise softmax of a `[B, K]` logit matrix.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadInput {
+            what: "softmax",
+            detail: format!("expected [B, K], got {}", logits.shape()),
+        });
+    }
+    let k = logits.shape().dim(1);
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(k) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean cross-entropy loss over a batch and its gradient w.r.t. the
+/// logits.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax - onehot) / B`, so
+/// feeding it straight into [`Network::backward`](crate::Network::backward)
+/// performs standard classification training.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if the logits are not `[B, K]`, if
+/// `targets.len() != B`, or if any target is `>= K`.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    targets: &[usize],
+) -> Result<(f32, Tensor), NnError> {
+    let probs = softmax(logits)?;
+    let (b, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    if targets.len() != b {
+        return Err(NnError::BadInput {
+            what: "softmax_cross_entropy",
+            detail: format!("{} targets for a batch of {b}", targets.len()),
+        });
+    }
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        if t >= k {
+            return Err(NnError::BadInput {
+                what: "softmax_cross_entropy",
+                detail: format!("target {t} out of range for {k} classes"),
+            });
+        }
+        let p = probs.data()[i * k + t].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[i * k + t] -= 1.0;
+    }
+    grad.scale(1.0 / b as f32);
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+/// Top-1 accuracy of a `[B, K]` logit matrix against integer targets.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape mismatch.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32, NnError> {
+    if logits.shape().rank() != 2 || logits.shape().dim(0) != targets.len() {
+        return Err(NnError::BadInput {
+            what: "accuracy",
+            detail: format!("logits {} vs {} targets", logits.shape(), targets.len()),
+        });
+    }
+    let k = logits.shape().dim(1);
+    let mut hits = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            hits += 1;
+        }
+    }
+    Ok(hits as f32 / targets.len().max(1) as f32)
+}
+
+/// Top-k accuracy: a prediction counts if the target is among the `k`
+/// highest logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape mismatch or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> Result<f32, NnError> {
+    if logits.shape().rank() != 2 || logits.shape().dim(0) != targets.len() || k == 0 {
+        return Err(NnError::BadInput {
+            what: "top_k_accuracy",
+            detail: format!("logits {}, {} targets, k {k}", logits.shape(), targets.len()),
+        });
+    }
+    let classes = logits.shape().dim(1);
+    let k = k.min(classes);
+    let mut hits = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        let target_score = row[t];
+        // The target is in the top k iff fewer than k entries strictly
+        // beat it (ties resolved in the target's favour, deterministic).
+        let better = row.iter().filter(|&&v| v > target_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    Ok(hits as f32 / targets.len().max(1) as f32)
+}
+
+/// A confusion matrix over integer classes: `entry[t][p]` counts samples
+/// of true class `t` predicted as class `p`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape mismatch.
+pub fn confusion_matrix(logits: &Tensor, targets: &[usize]) -> Result<Vec<Vec<usize>>, NnError> {
+    let (b, k) = logit_dims(logits)?;
+    if b != targets.len() {
+        return Err(NnError::BadInput {
+            what: "confusion_matrix",
+            detail: format!("{b} logit rows, {} targets", targets.len()),
+        });
+    }
+    let mut matrix = vec![vec![0usize; k]; k];
+    for (i, &t) in targets.iter().enumerate() {
+        if t >= k {
+            return Err(NnError::BadInput {
+                what: "confusion_matrix",
+                detail: format!("target {t} out of range for {k} classes"),
+            });
+        }
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        matrix[t][best] += 1;
+    }
+    Ok(matrix)
+}
+
+/// Convenience: the shape `[B, K]` validated and split out.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if `logits` is not rank 2.
+pub fn logit_dims(logits: &Tensor) -> Result<(usize, usize), NnError> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadInput {
+            what: "logit_dims",
+            detail: format!("expected [B, K], got {}", logits.shape()),
+        });
+    }
+    Ok((logits.shape().dim(0), logits.shape().dim(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_tensor::{Rng, Shape};
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(0);
+        let logits = Tensor::randn(Shape::d2(5, 7), &mut rng);
+        let p = softmax(&logits).unwrap();
+        for row in p.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = Tensor::from_vec(Shape::d2(1, 3), vec![1001.0, 1002.0, 1003.0]).unwrap();
+        let a = softmax(&logits).unwrap();
+        let b = softmax(&shifted).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![20.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(Shape::d2(4, 10));
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let logits = Tensor::zeros(Shape::d2(1, 4));
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((grad.data()[0] - 0.25).abs() < 1e-6);
+        assert!((grad.data()[2] + 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(Shape::d2(3, 5), &mut rng);
+        let targets = [4usize, 0, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for probe in [0usize, 7, 14] {
+            let mut lp = logits.clone();
+            lp.data_mut()[probe] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[probe] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &targets).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grad.data()[probe]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let logits = Tensor::zeros(Shape::d2(2, 3));
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn top_k_accuracy_widens_with_k() {
+        let logits = Tensor::from_vec(
+            Shape::d2(2, 4),
+            vec![
+                4.0, 3.0, 2.0, 1.0, // target 1 is 2nd best
+                0.0, 1.0, 2.0, 3.0, // target 0 is 4th best
+            ],
+        )
+        .unwrap();
+        let targets = [1usize, 0];
+        assert_eq!(top_k_accuracy(&logits, &targets, 1).unwrap(), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &targets, 2).unwrap(), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &targets, 4).unwrap(), 1.0);
+        // k beyond the class count clamps.
+        assert_eq!(top_k_accuracy(&logits, &targets, 99).unwrap(), 1.0);
+        assert!(top_k_accuracy(&logits, &targets, 0).is_err());
+    }
+
+    #[test]
+    fn top1_of_top_k_matches_accuracy() {
+        let mut rng = Rng::seed_from(3);
+        let logits = Tensor::randn(Shape::d2(20, 6), &mut rng);
+        let targets: Vec<usize> = (0..20).map(|i| i % 6).collect();
+        let a = accuracy(&logits, &targets).unwrap();
+        let t1 = top_k_accuracy(&logits, &targets, 1).unwrap();
+        assert!((a - t1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_class_counts() {
+        let logits = Tensor::from_vec(
+            Shape::d2(3, 2),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let m = confusion_matrix(&logits, &[0, 0, 1]).unwrap();
+        assert_eq!(m[0], vec![1, 1]); // one class-0 correct, one → 1
+        assert_eq!(m[1], vec![1, 0]); // the class-1 sample predicted 0
+        assert!(confusion_matrix(&logits, &[0, 0, 5]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            Shape::d2(3, 2),
+            vec![1.0, 0.0, 0.0, 1.0, 5.0, -1.0],
+        )
+        .unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

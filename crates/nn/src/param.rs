@@ -1,0 +1,75 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator.
+
+use serde::{Deserialize, Serialize};
+
+use hs_tensor::{Shape, Tensor};
+
+/// A trainable parameter: value plus gradient accumulator of equal shape.
+///
+/// Layers expose their parameters to optimizers through
+/// [`Network::visit_params`](crate::Network::visit_params); the visit
+/// order is deterministic, which is how optimizers associate per-parameter
+/// state (momentum buffers etc.) without global IDs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies (true for weights, false for biases
+    /// and batch-norm affine parameters, following common practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient, with weight decay on.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad, decay: true }
+    }
+
+    /// Wraps a value tensor with weight decay off (biases, BN affine).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad, decay: false }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Parameter element count.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// The parameter's shape.
+    pub fn shape(&self) -> &Shape {
+        self.value.shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(Shape::d2(2, 3)));
+        assert_eq!(p.grad, Tensor::zeros(Shape::d2(2, 3)));
+        assert!(p.decay);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new_no_decay(Tensor::ones(Shape::d1(4)));
+        assert!(!p.decay);
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Human-readable architecture summaries.
+
+use crate::accounting::{analyze, NetworkCost};
+use crate::error::NnError;
+use crate::network::Network;
+
+/// Renders a Keras-style text summary of a network for a square input:
+/// one row per cost-bearing node plus totals.
+///
+/// # Errors
+///
+/// Propagates accounting errors for inconsistent architectures.
+///
+/// # Example
+///
+/// ```
+/// use hs_nn::{models, summary};
+/// use hs_tensor::Rng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = Rng::seed_from(0);
+/// let net = models::lenet(1, 10, 16, 1.0, &mut rng)?;
+/// let text = summary::render(&net, 1, 16)?;
+/// assert!(text.contains("conv"));
+/// assert!(text.contains("total"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(net: &Network, in_channels: usize, input_size: usize) -> Result<String, NnError> {
+    let cost = analyze(net, in_channels, input_size)?;
+    Ok(render_cost(&cost, in_channels, input_size))
+}
+
+/// Renders a summary from an already-computed [`NetworkCost`].
+pub fn render_cost(cost: &NetworkCost, in_channels: usize, input_size: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "input: [{in_channels}, {input_size}, {input_size}]\n"
+    ));
+    out.push_str(&format!(
+        "{:<6} {:<9} {:>10} {:>9} {:>12} {:>14}\n",
+        "node", "kind", "channels", "spatial", "params", "macs"
+    ));
+    for l in &cost.layers {
+        if l.params == 0 && l.flops == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<6} {:<9} {:>10} {:>9} {:>12} {:>14}\n",
+            l.node_index, l.kind, l.out_channels, l.out_spatial, l.params, l.flops
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} parameters ({:.4}M), {} MACs ({:.5}B)\n",
+        cost.total_params,
+        cost.params_millions(),
+        cost.total_flops,
+        cost.flops_billions()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use hs_tensor::Rng;
+
+    #[test]
+    fn summary_lists_every_costed_node_and_totals() {
+        let mut rng = Rng::seed_from(0);
+        let net = models::vgg11(3, 10, 16, 0.25, &mut rng).unwrap();
+        let text = render(&net, 3, 16).unwrap();
+        // 8 convs + 8 bns + 1 linear rows (relu/pool are cost-free).
+        let rows = text.lines().filter(|l| l.contains("conv") || l.contains("linear")).count();
+        assert_eq!(rows, 9, "{text}");
+        assert!(text.starts_with("input: [3, 16, 16]"));
+        assert!(text.trim_end().ends_with('B') || text.contains("total:"));
+        // Totals agree with direct accounting.
+        let cost = analyze(&net, 3, 16).unwrap();
+        assert!(text.contains(&cost.total_params.to_string()));
+    }
+
+    #[test]
+    fn summary_reflects_pruning() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::vgg11(3, 10, 16, 0.25, &mut rng).unwrap();
+        let before = render(&net, 3, 16).unwrap();
+        let site = crate::surgery::conv_sites(&net)[0];
+        crate::surgery::prune_feature_maps(&mut net, site.conv, &[0, 1, 2, 3]).unwrap();
+        let after = render(&net, 3, 16).unwrap();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn summary_rejects_inconsistent_input() {
+        let mut rng = Rng::seed_from(2);
+        let net = models::vgg11(3, 10, 16, 0.25, &mut rng).unwrap();
+        assert!(render(&net, 5, 16).is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! Physical channel surgery: turning a pruning decision into a genuinely
+//! smaller network.
+//!
+//! Dropping feature map `m` of convolution `i` rewrites three places, the
+//! `ΔN×C×k×k` + `M×ΔN×k×k` bookkeeping of the paper's Figure 2:
+//!
+//! 1. filter `m` of conv `i` (weight axis 0, plus its bias entry);
+//! 2. channel `m` of the batch-norm that follows conv `i`;
+//! 3. input channel `m` of the *consumer* — the next convolution, or the
+//!    classifier's input features when conv `i` is the last one (our
+//!    models bridge with global average pooling, so feature maps map
+//!    one-to-one onto classifier inputs).
+
+
+
+use crate::error::NnError;
+use crate::layer::{BatchNorm2d, Conv2d, Linear};
+use crate::network::{Network, Node};
+
+/// Where a convolution's feature maps live inside a network: the conv
+/// node, its (optional) following batch norm and ReLU, and the node that
+/// consumes its output channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSite {
+    /// Node index of the convolution.
+    pub conv: usize,
+    /// Node index of the batch norm that immediately follows, if any.
+    pub bn: Option<usize>,
+    /// Node index of the ReLU after the conv (or conv+bn), if any.
+    pub relu: Option<usize>,
+    /// The node where a channel mask should be attached to simulate
+    /// pruning this conv's feature maps (after all per-channel ops).
+    pub mask_node: usize,
+    /// Node index of the consumer whose input channels correspond to this
+    /// conv's feature maps (next conv or linear), if any.
+    pub consumer: Option<usize>,
+}
+
+/// Discovers every top-level convolution's site in a sequential network.
+///
+/// Residual blocks are opaque to this analysis (block-level pruning has
+/// its own path); only `Node::Conv` entries at the top level are listed.
+pub fn conv_sites(net: &Network) -> Vec<ConvSite> {
+    let n = net.len();
+    let mut sites = Vec::new();
+    for conv in net.conv_indices() {
+        let mut bn = None;
+        let mut relu = None;
+        let mut cursor = conv + 1;
+        if cursor < n {
+            if let Node::Bn(_) = net.node(cursor) {
+                bn = Some(cursor);
+                cursor += 1;
+            }
+        }
+        if cursor < n {
+            if let Node::Relu(_) = net.node(cursor) {
+                relu = Some(cursor);
+            }
+        }
+        let mut consumer = None;
+        for j in conv + 1..n {
+            match net.node(j) {
+                Node::Conv(_) | Node::Linear(_) | Node::Block(_) => {
+                    consumer = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let mask_node = relu.or(bn).unwrap_or(conv);
+        sites.push(ConvSite { conv, bn, relu, mask_node, consumer });
+    }
+    sites
+}
+
+/// Converts a 0/1 mask into the sorted list of kept channel indices.
+pub fn keep_from_mask(mask: &[f32]) -> Vec<usize> {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &m)| (m != 0.0).then_some(i))
+        .collect()
+}
+
+fn validate_keep(keep: &[usize], channels: usize) -> Result<(), NnError> {
+    if keep.is_empty() {
+        return Err(NnError::BadMask { detail: "keep set is empty".to_string() });
+    }
+    let mut prev = None;
+    for &k in keep {
+        if k >= channels {
+            return Err(NnError::BadMask {
+                detail: format!("keep index {k} out of range for {channels} channels"),
+            });
+        }
+        if let Some(p) = prev {
+            if k <= p {
+                return Err(NnError::BadMask {
+                    detail: "keep indices must be strictly increasing".to_string(),
+                });
+            }
+        }
+        prev = Some(k);
+    }
+    Ok(())
+}
+
+fn shrink_conv_filters(conv: &Conv2d, keep: &[usize]) -> Result<Conv2d, NnError> {
+    let weight = conv.weight.value.index_select(0, keep)?;
+    let bias = conv.bias.value.index_select(0, keep)?;
+    Conv2d::from_parts(weight, bias, conv.stride(), conv.padding())
+}
+
+fn shrink_conv_channels(conv: &Conv2d, keep: &[usize]) -> Result<Conv2d, NnError> {
+    let weight = conv.weight.value.index_select(1, keep)?;
+    Conv2d::from_parts(weight, conv.bias.value.clone(), conv.stride(), conv.padding())
+}
+
+fn shrink_bn(bn: &BatchNorm2d, keep: &[usize]) -> Result<BatchNorm2d, NnError> {
+    BatchNorm2d::from_parts(
+        bn.gamma.value.index_select(0, keep)?,
+        bn.beta.value.index_select(0, keep)?,
+        bn.running_mean.index_select(0, keep)?,
+        bn.running_var.index_select(0, keep)?,
+    )
+}
+
+fn shrink_linear_inputs(lin: &Linear, keep: &[usize]) -> Result<Linear, NnError> {
+    let weight = lin.weight.value.index_select(1, keep)?;
+    Linear::from_parts(weight, lin.bias.value.clone())
+}
+
+/// Physically removes the feature maps of convolution node `conv_index`
+/// that are not listed in `keep` (strictly increasing indices).
+///
+/// Rewrites the conv itself, its following batch norm, and the consumer's
+/// input channels. Any mask attached to the rewritten nodes is cleared.
+///
+/// # Errors
+///
+/// * [`NnError::BadNodeIndex`] if `conv_index` is not a convolution.
+/// * [`NnError::BadMask`] if `keep` is empty, unsorted or out of range,
+///   or if the consumer is a residual block or a flatten-fed linear layer
+///   (unsupported topologies — the models in this repository bridge with
+///   global average pooling).
+pub fn prune_feature_maps(
+    net: &mut Network,
+    conv_index: usize,
+    keep: &[usize],
+) -> Result<(), NnError> {
+    let site = conv_sites(net)
+        .into_iter()
+        .find(|s| s.conv == conv_index)
+        .ok_or(NnError::BadNodeIndex { index: conv_index, expected: "conv" })?;
+    let old_channels = net.conv(conv_index)?.out_channels();
+    validate_keep(keep, old_channels)?;
+
+    // Check for a flatten between the conv and a linear consumer: that
+    // topology needs spatial bookkeeping we deliberately don't support.
+    if let Some(consumer) = site.consumer {
+        if matches!(net.node(consumer), Node::Linear(_)) {
+            for j in conv_index + 1..consumer {
+                if matches!(net.node(j), Node::Flatten(_)) {
+                    let flat_ok = flatten_is_identity(net, j);
+                    if !flat_ok {
+                        return Err(NnError::BadMask {
+                            detail: "pruning through a non-trivial flatten is unsupported; \
+                                     use a global-average-pool head"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if matches!(net.node(consumer), Node::Block(_)) {
+            return Err(NnError::BadMask {
+                detail: "pruning channels into a residual block is unsupported; \
+                         use block-level pruning for ResNets"
+                    .to_string(),
+            });
+        }
+    }
+
+    // 1. The conv's own filters.
+    let new_conv = shrink_conv_filters(net.conv(conv_index)?, keep)?;
+    *net.node_mut(conv_index) = Node::Conv(new_conv);
+    net.set_channel_mask(conv_index, None);
+
+    // 2. The following batch norm.
+    if let Some(bn_idx) = site.bn {
+        if let Node::Bn(bn) = net.node(bn_idx) {
+            let new_bn = shrink_bn(bn, keep)?;
+            *net.node_mut(bn_idx) = Node::Bn(new_bn);
+        }
+        net.set_channel_mask(bn_idx, None);
+    }
+    if let Some(relu_idx) = site.relu {
+        net.set_channel_mask(relu_idx, None);
+    }
+
+    // 3. The consumer's input channels.
+    if let Some(consumer) = site.consumer {
+        let new_node = match net.node(consumer) {
+            Node::Conv(conv) => {
+                if conv.in_channels() != old_channels {
+                    return Err(NnError::BadMask {
+                        detail: format!(
+                            "consumer conv has {} input channels but producer had {old_channels} maps",
+                            conv.in_channels()
+                        ),
+                    });
+                }
+                Node::Conv(shrink_conv_channels(conv, keep)?)
+            }
+            Node::Linear(lin) => {
+                if lin.in_features() != old_channels {
+                    return Err(NnError::BadMask {
+                        detail: format!(
+                            "consumer linear has {} inputs but producer had {old_channels} maps",
+                            lin.in_features()
+                        ),
+                    });
+                }
+                Node::Linear(shrink_linear_inputs(lin, keep)?)
+            }
+            _ => unreachable!("consumer is conv or linear by construction"),
+        };
+        *net.node_mut(consumer) = new_node;
+    }
+    Ok(())
+}
+
+/// A flatten is an identity on channels when its input is `[B, C, 1, 1]`;
+/// we cannot prove that statically, so be conservative and treat every
+/// flatten as non-trivial.
+fn flatten_is_identity(_net: &Network, _flatten_idx: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{GlobalAvgPool, MaxPool2d, ReLU};
+    use crate::models;
+    use hs_tensor::{Rng, Shape};
+
+    fn two_conv_net(rng: &mut Rng) -> Network {
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(3, 8, 3, 1, 1, rng)));
+        net.push(Node::Bn(BatchNorm2d::new(8)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Conv(Conv2d::new(8, 6, 3, 1, 1, rng)));
+        net.push(Node::Bn(BatchNorm2d::new(6)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::MaxPool(MaxPool2d::new(2)));
+        net.push(Node::Gap(GlobalAvgPool::new()));
+        net.push(Node::Linear(Linear::new(6, 4, rng)));
+        net
+    }
+
+    #[test]
+    fn sites_are_discovered() {
+        let mut rng = Rng::seed_from(0);
+        let net = two_conv_net(&mut rng);
+        let sites = conv_sites(&net);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].conv, 0);
+        assert_eq!(sites[0].bn, Some(1));
+        assert_eq!(sites[0].relu, Some(2));
+        assert_eq!(sites[0].mask_node, 2);
+        assert_eq!(sites[0].consumer, Some(3));
+        assert_eq!(sites[1].conv, 3);
+        assert_eq!(sites[1].consumer, Some(8));
+    }
+
+    #[test]
+    fn keep_from_mask_extracts_indices() {
+        assert_eq!(keep_from_mask(&[1.0, 0.0, 1.0, 0.0]), vec![0, 2]);
+        assert!(keep_from_mask(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn pruning_mid_conv_shrinks_both_sides() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = two_conv_net(&mut rng);
+        prune_feature_maps(&mut net, 0, &[0, 2, 5, 7]).unwrap();
+        assert_eq!(net.conv(0).unwrap().out_channels(), 4);
+        assert_eq!(net.conv(3).unwrap().in_channels(), 4);
+        match net.node(1) {
+            Node::Bn(bn) => assert_eq!(bn.channels(), 4),
+            _ => panic!("bn expected"),
+        }
+        // The pruned network still runs.
+        let x = hs_tensor::Tensor::randn(Shape::d4(1, 3, 8, 8), &mut rng);
+        assert!(net.forward(&x, false).is_ok());
+    }
+
+    #[test]
+    fn pruning_last_conv_shrinks_classifier() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = two_conv_net(&mut rng);
+        prune_feature_maps(&mut net, 3, &[1, 4]).unwrap();
+        assert_eq!(net.conv(3).unwrap().out_channels(), 2);
+        match net.node(8) {
+            Node::Linear(lin) => assert_eq!(lin.in_features(), 2),
+            _ => panic!("linear expected"),
+        }
+        let x = hs_tensor::Tensor::randn(Shape::d4(2, 3, 8, 8), &mut rng);
+        assert_eq!(net.forward(&x, false).unwrap().shape(), &Shape::d2(2, 4));
+    }
+
+    #[test]
+    fn surgery_matches_masked_network_exactly() {
+        // The defining property: a surgically pruned network computes the
+        // same function as the masked original (in eval mode).
+        let mut rng = Rng::seed_from(3);
+        let mut net = two_conv_net(&mut rng);
+        let x = hs_tensor::Tensor::randn(Shape::d4(2, 3, 8, 8), &mut rng);
+        // Warm the BN running stats so eval mode is meaningful.
+        for _ in 0..5 {
+            net.forward(&x, true).unwrap();
+        }
+        let keep = vec![0usize, 3, 4, 6];
+        let mask: Vec<f32> = (0..8).map(|c| if keep.contains(&c) { 1.0 } else { 0.0 }).collect();
+        let mut masked = net.clone();
+        masked.set_channel_mask(2, Some(mask)); // after ReLU
+        let y_masked = masked.forward(&x, false).unwrap();
+        let mut pruned = net.clone();
+        prune_feature_maps(&mut pruned, 0, &keep).unwrap();
+        let y_pruned = pruned.forward(&x, false).unwrap();
+        for (a, b) in y_masked.data().iter().zip(y_pruned.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_keep_sets() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = two_conv_net(&mut rng);
+        assert!(prune_feature_maps(&mut net, 0, &[]).is_err());
+        assert!(prune_feature_maps(&mut net, 0, &[3, 1]).is_err());
+        assert!(prune_feature_maps(&mut net, 0, &[0, 99]).is_err());
+        assert!(prune_feature_maps(&mut net, 1, &[0]).is_err(), "node 1 is a bn");
+    }
+
+    #[test]
+    fn vgg_sites_chain_through_the_whole_model() {
+        let mut rng = Rng::seed_from(5);
+        let net = models::vgg16(3, 10, 32, 0.25, &mut rng).unwrap();
+        let sites = conv_sites(&net);
+        assert_eq!(sites.len(), 13);
+        // Every conv except the last consumes into the next conv; the
+        // last one consumes into the classifier.
+        for pair in sites.windows(2) {
+            assert_eq!(pair[0].consumer, Some(pair[1].conv));
+        }
+        let last = sites.last().unwrap();
+        assert!(matches!(net.node(last.consumer.unwrap()), Node::Linear(_)));
+    }
+
+    #[test]
+    fn iterative_pruning_halves_every_vgg_layer() {
+        let mut rng = Rng::seed_from(6);
+        let mut net = models::vgg11(3, 10, 16, 0.25, &mut rng).unwrap();
+        let sites = conv_sites(&net);
+        let original: Vec<usize> = sites
+            .iter()
+            .map(|s| net.conv(s.conv).unwrap().out_channels())
+            .collect();
+        for site in &sites {
+            let c = net.conv(site.conv).unwrap().out_channels();
+            let keep: Vec<usize> = (0..c / 2).collect();
+            prune_feature_maps(&mut net, site.conv, &keep).unwrap();
+        }
+        let x = hs_tensor::Tensor::randn(Shape::d4(1, 3, 16, 16), &mut rng);
+        assert!(net.forward(&x, false).is_ok());
+        for (site, &orig) in conv_sites(&net).iter().zip(&original) {
+            assert_eq!(net.conv(site.conv).unwrap().out_channels(), orig / 2);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! APoZ: average percentage of zeros (Hu et al., 2016).
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+
+/// Hu et al. (2016), "Network Trimming": feature maps whose post-ReLU
+/// activations are mostly zero carry little signal and are pruned first.
+/// The importance score here is `1 − APoZ`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apoz;
+
+impl Apoz {
+    /// Creates the criterion.
+    pub fn new() -> Self {
+        Apoz
+    }
+}
+
+impl PruningCriterion for Apoz {
+    fn name(&self) -> &'static str {
+        "APoZ"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let channels = ctx.channels()?;
+        let acts = ctx.site_activations()?;
+        let shape = acts.shape();
+        if shape.rank() != 4 || shape.dim(1) != channels {
+            return Err(PruneError::BadScoringSet {
+                detail: format!("site activations have shape {shape}, expected [N, {channels}, H, W]"),
+            });
+        }
+        let (n, plane) = (shape.dim(0), shape.dim(2) * shape.dim(3));
+        let mut zeros = vec![0u64; channels];
+        for b in 0..n {
+            for (c, z) in zeros.iter_mut().enumerate() {
+                let base = (b * channels + c) * plane;
+                *z += acts.data()[base..base + plane].iter().filter(|&&v| v <= 0.0).count() as u64;
+            }
+        }
+        let total = (n * plane) as f32;
+        Ok(zeros.iter().map(|&z| 1.0 - z as f32 / total).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::{Conv2d, ReLU};
+    use hs_nn::surgery::conv_sites;
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    #[test]
+    fn dead_channels_score_lowest() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Network::new();
+        let mut conv = Conv2d::new(1, 3, 1, 1, 0, &mut rng);
+        // Filter 0: large negative bias → always zero after ReLU.
+        // Filter 1: passes input through. Filter 2: large positive bias.
+        conv.weight.value =
+            Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.0, 1.0, 0.0]).unwrap();
+        conv.bias.value = Tensor::from_vec(Shape::d1(3), vec![-10.0, 0.0, 10.0]).unwrap();
+        net.push(Node::Conv(conv));
+        net.push(Node::Relu(ReLU::new()));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(4, 1, 5, 5), &mut rng);
+        let labels = [0usize; 4];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let scores = Apoz::new().score(&mut ctx).unwrap();
+        assert!(scores[0] < 1e-6, "dead channel must score ~0, got {}", scores[0]);
+        assert!((scores[2] - 1.0).abs() < 1e-6, "always-on channel must score 1");
+        assert!(scores[1] > 0.2 && scores[1] < 0.8, "pass-through ~half zeros: {}", scores[1]);
+        // keep_set drops the dead channel first.
+        let keep = Apoz::new().keep_set(&mut ctx, 2).unwrap();
+        assert_eq!(keep, vec![1, 2]);
+    }
+}

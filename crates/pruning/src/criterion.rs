@@ -1,0 +1,161 @@
+//! The common interface of all baseline pruning criteria.
+
+use hs_nn::surgery::ConvSite;
+use hs_nn::Network;
+use hs_tensor::{Rng, Tensor};
+
+use crate::error::PruneError;
+
+/// Everything a criterion may look at when scoring one convolution's
+/// feature maps: the network, the conv's location, and a labelled scoring
+/// batch (a subset of the training set).
+#[derive(Debug)]
+pub struct ScoreContext<'a> {
+    /// The network under pruning (criteria may run forward passes).
+    pub net: &'a mut Network,
+    /// Site of the convolution being pruned.
+    pub site: ConvSite,
+    /// Scoring images, `[N, C, H, W]`.
+    pub images: &'a Tensor,
+    /// Scoring labels.
+    pub labels: &'a [usize],
+    /// Criterion-private randomness.
+    pub rng: &'a mut Rng,
+}
+
+impl<'a> ScoreContext<'a> {
+    /// Bundles the borrowed pieces into a context.
+    pub fn new(
+        net: &'a mut Network,
+        site: ConvSite,
+        images: &'a Tensor,
+        labels: &'a [usize],
+        rng: &'a mut Rng,
+    ) -> Self {
+        ScoreContext { net, site, images, labels, rng }
+    }
+
+    /// Feature-map count of the conv at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the site's conv index is stale.
+    pub fn channels(&self) -> Result<usize, PruneError> {
+        Ok(self.net.conv(self.site.conv)?.out_channels())
+    }
+
+    /// Runs the scoring batch through the network and returns the
+    /// activations at the site's mask node (post conv/bn/relu).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn site_activations(&mut self) -> Result<Tensor, PruneError> {
+        let (_, mut captured) =
+            self.net
+                .forward_capture(self.images, &[self.site.mask_node], false)?;
+        Ok(captured.remove(0))
+    }
+}
+
+/// A structured-pruning criterion: given a conv site, decide which
+/// feature maps to keep.
+///
+/// Implementors either override [`keep_set`](Self::keep_set) directly
+/// (subset-selection methods like ThiNet) or implement
+/// [`score`](Self::score) and inherit top-k selection.
+pub trait PruningCriterion: std::fmt::Debug {
+    /// Short display name (`"Li'17"`, `"APoZ"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Per-feature-map importance scores (higher = more worth keeping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError`] when the criterion cannot compute scores
+    /// (bad site, failed forward pass, …).
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError>;
+
+    /// The sorted indices of the `keep` feature maps to retain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::BadKeepCount`] if `keep` is zero or exceeds
+    /// the layer's map count, plus anything [`score`](Self::score) can
+    /// return.
+    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+        let channels = ctx.channels()?;
+        if keep == 0 || keep > channels {
+            return Err(PruneError::BadKeepCount { keep, available: channels });
+        }
+        let scores = self.score(ctx)?;
+        if scores.len() != channels {
+            return Err(PruneError::BadScoringSet {
+                detail: format!("criterion returned {} scores for {channels} maps", scores.len()),
+            });
+        }
+        Ok(top_k_indices(&scores, keep))
+    }
+
+    /// Hook invoked by the pruning driver *after* physical surgery, with
+    /// the keep set that was applied. Reconstruction methods (ThiNet) use
+    /// it to rewrite the consumer's weights; the default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may propagate network errors.
+    fn post_surgery(
+        &mut self,
+        net: &mut Network,
+        site: ConvSite,
+        keep: &[usize],
+    ) -> Result<(), PruneError> {
+        let _ = (net, site, keep);
+        Ok(())
+    }
+}
+
+/// Indices of the `k` largest scores, returned sorted ascending.
+/// Ties break towards the lower index, so results are deterministic.
+///
+/// # Panics
+///
+/// Panics if `k > scores.len()`.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    assert!(k <= scores.len(), "k {} exceeds {} scores", k, scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut keep: Vec<usize> = order[..k].to_vec();
+    keep.sort_unstable();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_selects_largest() {
+        assert_eq!(top_k_indices(&[0.1, 0.9, 0.5, 0.7], 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&[3.0, 2.0, 1.0], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_deterministically() {
+        assert_eq!(top_k_indices(&[1.0, 1.0, 1.0, 1.0], 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn top_k_rejects_oversize() {
+        top_k_indices(&[1.0], 2);
+    }
+
+    #[test]
+    fn top_k_handles_nan_without_panicking() {
+        let keep = top_k_indices(&[f32::NAN, 1.0, 0.5], 1);
+        assert_eq!(keep.len(), 1);
+    }
+}

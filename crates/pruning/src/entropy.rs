@@ -1,0 +1,142 @@
+//! Entropy-based channel pruning (Luo & Wu, 2017).
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+
+/// Luo & Wu (2017): a channel whose spatially-pooled activation takes
+/// nearly the same value on every input is uninformative. The importance
+/// score is the Shannon entropy of the per-image pooled activation,
+/// estimated with a fixed-width histogram over the scoring set.
+#[derive(Debug, Clone, Copy)]
+pub struct EntropyCriterion {
+    bins: usize,
+}
+
+impl EntropyCriterion {
+    /// Creates the criterion with the default 32 histogram bins.
+    pub fn new() -> Self {
+        EntropyCriterion { bins: 32 }
+    }
+
+    /// Overrides the histogram bin count (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2`.
+    pub fn bins(mut self, bins: usize) -> Self {
+        assert!(bins >= 2, "entropy histogram needs at least 2 bins");
+        self.bins = bins;
+        self
+    }
+}
+
+impl Default for EntropyCriterion {
+    fn default() -> Self {
+        EntropyCriterion::new()
+    }
+}
+
+impl PruningCriterion for EntropyCriterion {
+    fn name(&self) -> &'static str {
+        "Entropy"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let channels = ctx.channels()?;
+        let acts = ctx.site_activations()?;
+        let shape = acts.shape();
+        if shape.rank() != 4 || shape.dim(1) != channels {
+            return Err(PruneError::BadScoringSet {
+                detail: format!("site activations have shape {shape}, expected [N, {channels}, H, W]"),
+            });
+        }
+        let (n, plane) = (shape.dim(0), shape.dim(2) * shape.dim(3));
+        if n < 2 {
+            return Err(PruneError::BadScoringSet {
+                detail: format!("entropy estimation needs >= 2 scoring images, got {n}"),
+            });
+        }
+        let mut scores = Vec::with_capacity(channels);
+        let mut pooled = vec![0.0f32; n];
+        for c in 0..channels {
+            for (b, p) in pooled.iter_mut().enumerate() {
+                let base = (b * channels + c) * plane;
+                *p = acts.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
+            }
+            let lo = pooled.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = pooled.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if hi - lo < 1e-9 {
+                // Constant channel → zero entropy.
+                scores.push(0.0);
+                continue;
+            }
+            let mut hist = vec![0usize; self.bins];
+            let scale = self.bins as f32 / (hi - lo);
+            for &v in &pooled {
+                let bin = (((v - lo) * scale) as usize).min(self.bins - 1);
+                hist[bin] += 1;
+            }
+            let mut h = 0.0f32;
+            for &count in &hist {
+                if count > 0 {
+                    let p = count as f32 / n as f32;
+                    h -= p * p.ln();
+                }
+            }
+            scores.push(h);
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::{Conv2d, ReLU};
+    use hs_nn::surgery::conv_sites;
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    #[test]
+    fn constant_channel_has_zero_entropy() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Network::new();
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        // Filter 0 ignores the input entirely (weight 0, bias 5) →
+        // constant. Filter 1 passes input through → varies per image.
+        conv.weight.value = Tensor::from_vec(Shape::d4(2, 1, 1, 1), vec![0.0, 1.0]).unwrap();
+        conv.bias.value = Tensor::from_vec(Shape::d1(2), vec![5.0, 0.0]).unwrap();
+        net.push(Node::Conv(conv));
+        net.push(Node::Relu(ReLU::new()));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(16, 1, 4, 4), &mut rng);
+        let labels = [0usize; 16];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let scores = EntropyCriterion::new().score(&mut ctx).unwrap();
+        assert_eq!(scores[0], 0.0);
+        assert!(scores[1] > 0.5, "informative channel entropy {}", scores[1]);
+        let keep = EntropyCriterion::new().keep_set(&mut ctx, 1).unwrap();
+        assert_eq!(keep, vec![1]);
+    }
+
+    #[test]
+    fn needs_multiple_images() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 2, 1, 1, 0, &mut rng)));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(1, 1, 4, 4), &mut rng);
+        let labels = [0usize];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        assert!(matches!(
+            EntropyCriterion::new().score(&mut ctx),
+            Err(PruneError::BadScoringSet { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn rejects_degenerate_bins() {
+        let _ = EntropyCriterion::new().bins(1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for pruning operations.
+
+use std::error::Error;
+use std::fmt;
+
+use hs_nn::NnError;
+use hs_tensor::TensorError;
+
+/// Error returned by pruning criteria and drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The requested keep count is invalid for the layer.
+    BadKeepCount {
+        /// Requested number of maps to keep.
+        keep: usize,
+        /// Available feature maps.
+        available: usize,
+    },
+    /// The criterion needs data but the scoring set is unusable.
+    BadScoringSet {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::Nn(e) => write!(f, "network error: {e}"),
+            PruneError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PruneError::BadKeepCount { keep, available } => {
+                write!(f, "cannot keep {keep} of {available} feature maps")
+            }
+            PruneError::BadScoringSet { detail } => write!(f, "bad scoring set: {detail}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Nn(e) => Some(e),
+            PruneError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for PruneError {
+    fn from(e: NnError) -> Self {
+        PruneError::Nn(e)
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        PruneError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = PruneError::BadKeepCount { keep: 9, available: 4 };
+        assert!(e.to_string().contains("9 of 4"));
+        let e: PruneError = TensorError::Empty { op: "stack" }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

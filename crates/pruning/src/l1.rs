@@ -1,0 +1,78 @@
+//! Li'17: filter pruning by absolute weight sum.
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+
+/// Li et al. (ICLR 2017): a filter's importance is the L1 norm of its
+/// weights; the smallest-norm filters are pruned.
+///
+/// This is the paper's main baseline ("Li'17" in every table).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1Norm;
+
+impl L1Norm {
+    /// Creates the criterion.
+    pub fn new() -> Self {
+        L1Norm
+    }
+}
+
+impl PruningCriterion for L1Norm {
+    fn name(&self) -> &'static str {
+        "Li'17"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let conv = ctx.net.conv(ctx.site.conv)?;
+        let weight = &conv.weight.value;
+        let n = conv.out_channels();
+        let per_filter = weight.len() / n;
+        let mut scores = Vec::with_capacity(n);
+        for f in 0..n {
+            let slice = &weight.data()[f * per_filter..(f + 1) * per_filter];
+            scores.push(slice.iter().map(|w| w.abs()).sum());
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::Conv2d;
+    use hs_nn::surgery::conv_sites;
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    #[test]
+    fn scores_are_filter_l1_norms() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Network::new();
+        let mut conv = Conv2d::new(1, 3, 1, 1, 0, &mut rng);
+        conv.weight.value =
+            Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.5, -2.0, 1.0]).unwrap();
+        net.push(Node::Conv(conv));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let labels = [0usize];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let mut crit = L1Norm::new();
+        assert_eq!(crit.score(&mut ctx).unwrap(), vec![0.5, 2.0, 1.0]);
+        // keep_set keeps the two largest-norm filters.
+        assert_eq!(crit.keep_set(&mut ctx, 2).unwrap(), vec![1, 2]);
+        assert_eq!(crit.name(), "Li'17");
+    }
+
+    #[test]
+    fn keep_set_validates_count() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 3, 1, 1, 0, &mut rng)));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let labels = [0usize];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        assert!(L1Norm::new().keep_set(&mut ctx, 0).is_err());
+        assert!(L1Norm::new().keep_set(&mut ctx, 4).is_err());
+    }
+}

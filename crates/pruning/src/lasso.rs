@@ -1,0 +1,323 @@
+//! He et al. (ICCV 2017) channel pruning: LASSO channel selection +
+//! least-squares reconstruction (the paper's reference [6]).
+
+use hs_nn::surgery::ConvSite;
+use hs_nn::{Network, Node};
+
+use crate::criterion::{top_k_indices, PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+use crate::linalg::ridge_least_squares;
+use crate::thinet; // shares the contribution-matrix machinery conceptually
+
+/// He, Zhang & Sun (2017): solve
+///
+/// ```text
+/// min_β ‖y − Σ_c β_c · x_c‖² + λ‖β‖₁
+/// ```
+///
+/// over sampled next-layer output locations, where `x_c` is channel `c`'s
+/// additive contribution; channels whose LASSO coefficient is driven to
+/// zero are pruned, and the survivors' weights are rescaled by a ridge
+/// least-squares fit (their "reconstruction" step).
+///
+/// The LASSO is solved by cyclic coordinate descent with soft
+/// thresholding; `λ` is found by bisection so that the requested number
+/// of channels survives, exactly as the original does.
+#[derive(Debug, Clone)]
+pub struct LassoChannel {
+    samples: usize,
+    sweeps: usize,
+    rescale: bool,
+    pending_scales: Option<Vec<f32>>,
+}
+
+impl LassoChannel {
+    /// Creates the criterion with 256 sampled locations and 30
+    /// coordinate-descent sweeps per λ.
+    pub fn new() -> Self {
+        LassoChannel { samples: 256, sweeps: 30, rescale: true, pending_scales: None }
+    }
+
+    /// Overrides the number of sampled reconstruction locations
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sampled location");
+        self.samples = samples;
+        self
+    }
+
+    /// Disables the post-surgery least-squares rescale (builder style).
+    pub fn without_rescale(mut self) -> Self {
+        self.rescale = false;
+        self
+    }
+
+    /// Solves the LASSO for a given λ by cyclic coordinate descent.
+    /// `contrib` is `[L, C]` row-major; returns β.
+    fn lasso(&self, contrib: &[f32], l: usize, c: usize, lambda: f32) -> Vec<f32> {
+        // Precompute column norms ‖x_c‖² and start from β = 0 with the
+        // full signal as residual: y = Σ_c x_c (reconstruct the total).
+        let mut col_sq = vec![0.0f32; c];
+        let mut residual = vec![0.0f32; l];
+        for row in 0..l {
+            let mut y = 0.0f32;
+            for ch in 0..c {
+                let v = contrib[row * c + ch];
+                col_sq[ch] += v * v;
+                y += v;
+            }
+            residual[row] = y;
+        }
+        let mut beta = vec![0.0f32; c];
+        for _ in 0..self.sweeps {
+            for ch in 0..c {
+                if col_sq[ch] < 1e-12 {
+                    continue;
+                }
+                // ρ = x_cᵀ(residual + β_c·x_c)
+                let mut rho = 0.0f32;
+                for row in 0..l {
+                    rho += contrib[row * c + ch] * residual[row];
+                }
+                rho += beta[ch] * col_sq[ch];
+                let new_beta = soft_threshold(rho, lambda) / col_sq[ch];
+                let delta = new_beta - beta[ch];
+                if delta != 0.0 {
+                    for row in 0..l {
+                        residual[row] -= delta * contrib[row * c + ch];
+                    }
+                    beta[ch] = new_beta;
+                }
+            }
+        }
+        beta
+    }
+}
+
+fn soft_threshold(x: f32, lambda: f32) -> f32 {
+    if x > lambda {
+        x - lambda
+    } else if x < -lambda {
+        x + lambda
+    } else {
+        0.0
+    }
+}
+
+impl Default for LassoChannel {
+    fn default() -> Self {
+        LassoChannel::new()
+    }
+}
+
+impl PruningCriterion for LassoChannel {
+    fn name(&self) -> &'static str {
+        "He'17"
+    }
+
+    /// Scores are |β| at a mild fixed λ (used only when `keep_set` is
+    /// bypassed).
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let acts = ctx.site_activations()?;
+        let (contrib, channels) = thinet::contribution_matrix(ctx, &acts, self.samples)?;
+        let beta = self.lasso(&contrib, self.samples, channels, 1e-3);
+        Ok(beta.iter().map(|b| b.abs()).collect())
+    }
+
+    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+        let channels = ctx.channels()?;
+        if keep == 0 || keep > channels {
+            return Err(PruneError::BadKeepCount { keep, available: channels });
+        }
+        let acts = ctx.site_activations()?;
+        let (contrib, _) = thinet::contribution_matrix(ctx, &acts, self.samples)?;
+
+        // Bisection on λ to land on the requested survivor count (the
+        // original increases λ until the constraint is met).
+        let mut lo = 0.0f32;
+        let mut hi = {
+            // An upper bound: max |ρ| at β = 0 kills every channel.
+            let mut max_rho = 0.0f32;
+            for ch in 0..channels {
+                let mut rho = 0.0f32;
+                for row in 0..self.samples {
+                    let y: f32 = (0..channels).map(|c| contrib[row * channels + c]).sum();
+                    rho += contrib[row * channels + ch] * y;
+                }
+                max_rho = max_rho.max(rho.abs());
+            }
+            max_rho.max(1e-6)
+        };
+        let mut best_beta = self.lasso(&contrib, self.samples, channels, lo);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            let beta = self.lasso(&contrib, self.samples, channels, mid);
+            let nonzero = beta.iter().filter(|b| b.abs() > 1e-9).count();
+            if nonzero > keep {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            best_beta = beta;
+            if nonzero == keep {
+                break;
+            }
+        }
+        // Rank by |β| and take exactly `keep` (bisection may straddle).
+        let scores: Vec<f32> = best_beta.iter().map(|b| b.abs()).collect();
+        let keep_set = top_k_indices(&scores, keep);
+
+        if self.rescale {
+            let mut g = vec![0.0f32; self.samples * keep_set.len()];
+            let mut y = vec![0.0f32; self.samples];
+            for row in 0..self.samples {
+                for (j, &c) in keep_set.iter().enumerate() {
+                    g[row * keep_set.len() + j] = contrib[row * channels + c];
+                }
+                y[row] = (0..channels).map(|c| contrib[row * channels + c]).sum();
+            }
+            self.pending_scales =
+                ridge_least_squares(&g, &y, self.samples, keep_set.len(), 1e-4).ok();
+        }
+        Ok(keep_set)
+    }
+
+    fn post_surgery(
+        &mut self,
+        net: &mut Network,
+        site: ConvSite,
+        keep: &[usize],
+    ) -> Result<(), PruneError> {
+        let Some(scales) = self.pending_scales.take() else {
+            return Ok(());
+        };
+        if scales.len() != keep.len() {
+            return Ok(()); // stale fit; skip silently rather than corrupt
+        }
+        let Some(consumer) = site.consumer else {
+            return Ok(());
+        };
+        let scales: Vec<f32> = scales.iter().map(|s| s.clamp(0.1, 10.0)).collect();
+        match net.node_mut(consumer) {
+            Node::Conv(conv) => {
+                let shape = conv.weight.value.shape().clone();
+                let (m, c_in, k) = (shape.dim(0), shape.dim(1), shape.dim(2));
+                if c_in != keep.len() {
+                    return Ok(());
+                }
+                let data = conv.weight.value.data_mut();
+                for mi in 0..m {
+                    for (ci, &s) in scales.iter().enumerate() {
+                        let base = (mi * c_in + ci) * k * k;
+                        for v in &mut data[base..base + k * k] {
+                            *v *= s;
+                        }
+                    }
+                }
+            }
+            Node::Linear(lin) => {
+                let in_features = lin.in_features();
+                if in_features != keep.len() {
+                    return Ok(());
+                }
+                let outs = lin.out_features();
+                let data = lin.weight.value.data_mut();
+                for o in 0..outs {
+                    for (ci, &s) in scales.iter().enumerate() {
+                        data[o * in_features + ci] *= s;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::{Conv2d, GlobalAvgPool, Linear, ReLU};
+    use hs_nn::surgery::{conv_sites, prune_feature_maps};
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    fn net_with_consumer(rng: &mut Rng) -> Network {
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 6, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Conv(Conv2d::new(6, 4, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Gap(GlobalAvgPool::new()));
+        net.push(Node::Linear(Linear::new(4, 3, rng)));
+        net
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_towards_zero() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lasso_zeroes_useless_channels_first() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = net_with_consumer(&mut rng);
+        // Channels 1 and 4 contribute nothing to the consumer.
+        if let Node::Conv(conv) = net.node_mut(2) {
+            let shape = conv.weight.value.shape().clone();
+            let (m, c_in, k) = (shape.dim(0), shape.dim(1), shape.dim(2));
+            let data = conv.weight.value.data_mut();
+            for mi in 0..m {
+                for dead in [1usize, 4] {
+                    let base = (mi * c_in + dead) * k * k;
+                    for v in &mut data[base..base + k * k] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(4, 1, 8, 8), &mut rng);
+        let labels = [0usize; 4];
+        let mut crit = LassoChannel::new().samples(128);
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let keep = crit.keep_set(&mut ctx, 4).unwrap();
+        assert_eq!(keep, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn full_pipeline_with_rescale_runs() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = net_with_consumer(&mut rng);
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(4, 1, 8, 8), &mut rng);
+        let labels = [0usize; 4];
+        let mut crit = LassoChannel::new().samples(64);
+        let keep = {
+            let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+            crit.keep_set(&mut ctx, 3).unwrap()
+        };
+        assert_eq!(keep.len(), 3);
+        prune_feature_maps(&mut net, site.conv, &keep).unwrap();
+        crit.post_surgery(&mut net, site, &keep).unwrap();
+        assert!(net.forward(&images, false).is_ok());
+    }
+
+    #[test]
+    fn keep_set_validates_count() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = net_with_consumer(&mut rng);
+        let site = conv_sites(&net)[0];
+        let images = Tensor::randn(Shape::d4(2, 1, 8, 8), &mut rng);
+        let labels = [0usize; 2];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        assert!(LassoChannel::new().keep_set(&mut ctx, 0).is_err());
+        assert!(LassoChannel::new().keep_set(&mut ctx, 7).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Baseline structured-pruning methods the HeadStart paper compares
+//! against, behind one [`PruningCriterion`] interface:
+//!
+//! | Criterion | Paper | Idea |
+//! |---|---|---|
+//! | [`L1Norm`] | Li et al., ICLR'17 | prune filters with the smallest absolute weight sum |
+//! | [`Apoz`] | Hu et al., 2016 | prune maps with the highest average percentage of zeros |
+//! | [`EntropyCriterion`] | Luo & Wu, 2017 | prune maps whose activation distribution carries little entropy |
+//! | [`Random`] | — | uniform-random control |
+//! | [`ThiNet`] | Luo et al., ICCV'17 | greedy channel subset minimizing next-layer reconstruction error, plus least-squares rescale |
+//! | [`AutoPruner`] | Luo & Wu, 2018 | end-to-end trained sigmoid channel gates with temperature annealing |
+//! | [`LassoChannel`] | He et al., ICCV'17 | LASSO channel selection + least-squares reconstruction |
+//! | [`Slimming`] | Liu et al., ICCV'17 | prune maps with the smallest batch-norm scale `γ` |
+//! | [`TaylorCriterion`] | Molchanov et al., 2016 | first-order Taylor saliency `|Σ ∂L/∂a · a|` |
+//!
+//! All of these are *inception-agnostic* in the paper's terminology: they
+//! decide what to prune from layer-local statistics, not from the effect
+//! on the final output — which is precisely what `hs-core`'s HeadStart
+//! pruner does differently.
+//!
+//! The [`driver`] module runs whole-model prune→fine-tune pipelines and
+//! produces the per-layer traces of the paper's Table 1.
+//!
+//! # Example
+//!
+//! ```
+//! use hs_pruning::{L1Norm, PruningCriterion, ScoreContext};
+//! use hs_nn::{models, surgery};
+//! use hs_tensor::{Rng, Tensor, Shape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng)?;
+//! let site = surgery::conv_sites(&net)[0];
+//! let images = Tensor::randn(Shape::d4(4, 3, 8, 8), &mut rng);
+//! let labels = vec![0, 1, 2, 3];
+//! let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+//! let keep = L1Norm::new().keep_set(&mut ctx, 8)?;
+//! assert_eq!(keep.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apoz;
+mod autopruner;
+mod criterion;
+pub mod driver;
+mod entropy;
+mod error;
+mod l1;
+mod lasso;
+mod linalg;
+mod random;
+mod slimming;
+mod taylor;
+mod thinet;
+
+pub use apoz::Apoz;
+pub use autopruner::AutoPruner;
+pub use criterion::{top_k_indices, PruningCriterion, ScoreContext};
+pub use entropy::EntropyCriterion;
+pub use error::PruneError;
+pub use l1::L1Norm;
+pub use lasso::LassoChannel;
+pub use random::Random;
+pub use slimming::Slimming;
+pub use taylor::TaylorCriterion;
+pub use thinet::ThiNet;

@@ -1,0 +1,137 @@
+//! Minimal dense linear algebra for ThiNet's least-squares rescale.
+
+use crate::error::PruneError;
+
+/// Solves the ridge-regularized least-squares problem
+/// `min_s ‖G·s − y‖² + λ‖s‖²` via the normal equations
+/// `(GᵀG + λI)·s = Gᵀy`, with `G` given row-major as `rows × cols`.
+///
+/// # Errors
+///
+/// Returns [`PruneError::BadScoringSet`] if the dimensions are
+/// inconsistent or the normal matrix is numerically singular even after
+/// regularization.
+pub fn ridge_least_squares(
+    g: &[f32],
+    y: &[f32],
+    rows: usize,
+    cols: usize,
+    lambda: f32,
+) -> Result<Vec<f32>, PruneError> {
+    if g.len() != rows * cols || y.len() != rows || cols == 0 {
+        return Err(PruneError::BadScoringSet {
+            detail: format!(
+                "least squares dims: g {} (want {rows}x{cols}), y {}",
+                g.len(),
+                y.len()
+            ),
+        });
+    }
+    // Normal matrix and right-hand side in f64 for stability.
+    let mut a = vec![0.0f64; cols * cols];
+    let mut b = vec![0.0f64; cols];
+    for r in 0..rows {
+        let row = &g[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            let gi = row[i] as f64;
+            if gi == 0.0 {
+                continue;
+            }
+            b[i] += gi * y[r] as f64;
+            for (j, &gj) in row.iter().enumerate() {
+                a[i * cols + j] += gi * gj as f64;
+            }
+        }
+    }
+    for i in 0..cols {
+        a[i * cols + i] += lambda.max(1e-8) as f64;
+    }
+    solve_in_place(&mut a, &mut b, cols)?;
+    Ok(b.into_iter().map(|v| v as f32).collect())
+}
+
+/// Gaussian elimination with partial pivoting; `a` is `n × n` row-major,
+/// `b` the right-hand side; the solution overwrites `b`.
+fn solve_in_place(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), PruneError> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-12 {
+            return Err(PruneError::BadScoringSet {
+                detail: "singular normal matrix in least squares".to_string(),
+            });
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col * n + k] * b[k];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_solution() {
+        // G = [[1,0],[0,2],[1,1]], s* = [3, -1] → y = [3, -2, 2].
+        let g = [1.0, 0.0, 0.0, 2.0, 1.0, 1.0];
+        let y = [3.0, -2.0, 2.0];
+        let s = ridge_least_squares(&g, &y, 3, 2, 1e-8).unwrap();
+        assert!((s[0] - 3.0).abs() < 1e-3, "{s:?}");
+        assert!((s[1] + 1.0).abs() < 1e-3, "{s:?}");
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_is_reasonable() {
+        // y ≈ 2·g with noise; the fit should land near 2.
+        let g: Vec<f32> = (0..50).map(|i| (i as f32) / 10.0).collect();
+        let y: Vec<f32> = g.iter().enumerate().map(|(i, &v)| 2.0 * v + if i % 2 == 0 { 0.05 } else { -0.05 }).collect();
+        let s = ridge_least_squares(&g, &y, 50, 1, 1e-6).unwrap();
+        assert!((s[0] - 2.0).abs() < 0.02, "{s:?}");
+    }
+
+    #[test]
+    fn regularization_handles_collinear_columns() {
+        // Two identical columns: singular without ridge.
+        let g = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let s = ridge_least_squares(&g, &y, 3, 2, 1e-3).unwrap();
+        // Together they must act like a coefficient of ~2.
+        assert!((s[0] + s[1] - 2.0).abs() < 0.05, "{s:?}");
+    }
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(ridge_least_squares(&[1.0; 5], &[1.0; 2], 2, 2, 0.0).is_err());
+        assert!(ridge_least_squares(&[], &[], 0, 0, 0.0).is_err());
+    }
+}

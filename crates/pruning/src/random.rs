@@ -1,0 +1,59 @@
+//! Uniform-random pruning, the control baseline.
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+
+/// Assigns i.i.d. uniform scores, so `keep_set` retains a uniformly
+/// random subset of feature maps. The "RANDOM" row of the paper's
+/// Tables 2–3 and the grey bars of Figure 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Random;
+
+impl Random {
+    /// Creates the criterion.
+    pub fn new() -> Self {
+        Random
+    }
+}
+
+impl PruningCriterion for Random {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let channels = ctx.channels()?;
+        Ok((0..channels).map(|_| ctx.rng.uniform()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::Conv2d;
+    use hs_nn::surgery::conv_sites;
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    #[test]
+    fn different_rng_states_give_different_subsets() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 32, 1, 1, 0, &mut rng)));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let labels = [0usize];
+        let mut crit = Random::new();
+        let a = {
+            let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+            crit.keep_set(&mut ctx, 16).unwrap()
+        };
+        let b = {
+            let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+            crit.keep_set(&mut ctx, 16).unwrap()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "keep set must be sorted");
+    }
+}

@@ -1,0 +1,88 @@
+//! Network Slimming: batch-norm scale-factor pruning (Liu et al.,
+//! ICCV 2017 — the paper's reference [7]).
+
+use hs_nn::Node;
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+
+/// Liu et al. (2017), "Learning Efficient Convolutional Networks through
+/// Network Slimming": each feature map's importance is the magnitude of
+/// its batch-norm scale factor `|γ|` — a channel whose γ has shrunk
+/// towards zero barely influences the output and is pruned first.
+///
+/// The original trains with an L1 penalty on γ to *induce* that
+/// sparsity; here the criterion reads the γ values the ordinary
+/// weight-decayed training produced (weight decay on BN affine terms is
+/// off by default in this repository, matching common practice, so γ
+/// magnitudes reflect learned channel utility).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Slimming;
+
+impl Slimming {
+    /// Creates the criterion.
+    pub fn new() -> Self {
+        Slimming
+    }
+}
+
+impl PruningCriterion for Slimming {
+    fn name(&self) -> &'static str {
+        "Slimming'17"
+    }
+
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let bn_idx = ctx.site.bn.ok_or_else(|| PruneError::BadScoringSet {
+            detail: "network slimming needs a batch norm after the conv".to_string(),
+        })?;
+        match ctx.net.node(bn_idx) {
+            Node::Bn(bn) => Ok(bn.gamma.value.data().iter().map(|g| g.abs()).collect()),
+            _ => Err(PruneError::BadScoringSet {
+                detail: format!("site.bn index {bn_idx} is not a batch norm"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::{BatchNorm2d, Conv2d, ReLU};
+    use hs_nn::surgery::conv_sites;
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    #[test]
+    fn scores_are_gamma_magnitudes() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 3, 3, 1, 1, &mut rng)));
+        let mut bn = BatchNorm2d::new(3);
+        bn.gamma.value = Tensor::from_vec(Shape::d1(3), vec![0.1, -2.0, 0.5]).unwrap();
+        net.push(Node::Bn(bn));
+        net.push(Node::Relu(ReLU::new()));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let labels = [0usize];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let mut crit = Slimming::new();
+        assert_eq!(crit.score(&mut ctx).unwrap(), vec![0.1, 2.0, 0.5]);
+        assert_eq!(crit.keep_set(&mut ctx, 2).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn requires_batch_norm() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 3, 3, 1, 1, &mut rng)));
+        net.push(Node::Relu(ReLU::new()));
+        let site = conv_sites(&net)[0];
+        let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let labels = [0usize];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        assert!(matches!(
+            Slimming::new().score(&mut ctx),
+            Err(PruneError::BadScoringSet { .. })
+        ));
+    }
+}

@@ -1,0 +1,353 @@
+//! ThiNet: greedy channel selection by next-layer reconstruction
+//! (Luo, Wu & Lin, ICCV 2017).
+
+use hs_nn::surgery::ConvSite;
+use hs_nn::{Network, Node};
+use hs_tensor::Tensor;
+
+use crate::criterion::{PruningCriterion, ScoreContext};
+use crate::error::PruneError;
+use crate::linalg::ridge_least_squares;
+
+/// ThiNet prunes the channels whose removal least perturbs the *next*
+/// layer's output: it samples random output locations of the consumer
+/// convolution, decomposes each into per-input-channel contributions, and
+/// greedily grows the prune set that minimizes the reconstruction error.
+/// After surgery it refits per-channel scales on the kept channels by
+/// ridge least squares (the paper's weight-update step).
+#[derive(Debug, Clone)]
+pub struct ThiNet {
+    samples: usize,
+    rescale: bool,
+    pending_scales: Option<Vec<f32>>,
+}
+
+impl ThiNet {
+    /// Creates ThiNet with 256 sampled reconstruction locations and the
+    /// least-squares rescale enabled.
+    pub fn new() -> Self {
+        ThiNet { samples: 256, rescale: true, pending_scales: None }
+    }
+
+    /// Overrides the number of sampled locations (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "ThiNet needs at least one sampled location");
+        self.samples = samples;
+        self
+    }
+
+    /// Disables the post-surgery least-squares rescale (builder style).
+    pub fn without_rescale(mut self) -> Self {
+        self.rescale = false;
+        self
+    }
+
+}
+
+/// Builds the `[L, C]` contribution matrix: entry `(l, c)` is input
+/// channel `c`'s additive contribution to the consumer's output at a
+/// randomly sampled location `l`. Shared by the reconstruction-based
+/// criteria (ThiNet, He'17 LASSO).
+pub(crate) fn contribution_matrix(
+    ctx: &mut ScoreContext<'_>,
+    acts: &Tensor,
+    samples: usize,
+) -> Result<(Vec<f32>, usize), PruneError> {
+    let channels = acts.shape().dim(1);
+    let consumer = ctx.site.consumer.ok_or_else(|| PruneError::BadScoringSet {
+        detail: "reconstruction criteria need a consumer layer after the pruned conv".to_string(),
+    })?;
+    let n = acts.shape().dim(0);
+    let (h, w) = (acts.shape().dim(2), acts.shape().dim(3));
+    let mut contrib = vec![0.0f32; samples * channels];
+    match ctx.net.node(consumer) {
+        Node::Conv(conv) => {
+            let (k, s, p) = (conv.kernel(), conv.stride(), conv.padding());
+            let m_filters = conv.out_channels();
+            let oh = (h + 2 * p - k) / s + 1;
+            let ow = (w + 2 * p - k) / s + 1;
+            let weight = conv.weight.value.clone();
+            for l in 0..samples {
+                let b = ctx.rng.below(n);
+                let m = ctx.rng.below(m_filters);
+                let oy = ctx.rng.below(oh);
+                let ox = ctx.rng.below(ow);
+                for c in 0..channels {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += weight.at(&[m, c, ky, kx])
+                                * acts.at(&[b, c, iy as usize, ix as usize]);
+                        }
+                    }
+                    contrib[l * channels + c] = acc;
+                }
+            }
+        }
+        Node::Linear(lin) => {
+            // GAP head: channel c contributes W[m, c] · mean(A_c).
+            let weight = lin.weight.value.clone();
+            let outs = lin.out_features();
+            for l in 0..samples {
+                let b = ctx.rng.below(n);
+                let m = ctx.rng.below(outs);
+                for c in 0..channels {
+                    let mut mean = 0.0f32;
+                    for y in 0..h {
+                        for x in 0..w {
+                            mean += acts.at(&[b, c, y, x]);
+                        }
+                    }
+                    mean /= (h * w) as f32;
+                    contrib[l * channels + c] = weight.at(&[m, c]) * mean;
+                }
+            }
+        }
+        _ => {
+            return Err(PruneError::BadScoringSet {
+                detail: "consumer must be a conv or linear layer".to_string(),
+            })
+        }
+    }
+    Ok((contrib, channels))
+}
+
+impl Default for ThiNet {
+    fn default() -> Self {
+        ThiNet::new()
+    }
+}
+
+impl PruningCriterion for ThiNet {
+    fn name(&self) -> &'static str {
+        "ThiNet'17"
+    }
+
+    /// Fallback scoring (used only if `keep_set` is bypassed): a
+    /// channel's mean squared contribution magnitude.
+    fn score(&mut self, ctx: &mut ScoreContext<'_>) -> Result<Vec<f32>, PruneError> {
+        let acts = ctx.site_activations()?;
+        let (contrib, channels) = contribution_matrix(ctx, &acts, self.samples)?;
+        let mut scores = vec![0.0f32; channels];
+        for l in 0..self.samples {
+            for (c, sc) in scores.iter_mut().enumerate() {
+                *sc += contrib[l * channels + c].powi(2);
+            }
+        }
+        Ok(scores)
+    }
+
+    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+        let channels = ctx.channels()?;
+        if keep == 0 || keep > channels {
+            return Err(PruneError::BadKeepCount { keep, available: channels });
+        }
+        let acts = ctx.site_activations()?;
+        let (contrib, _) = contribution_matrix(ctx, &acts, self.samples)?;
+        let prune_count = channels - keep;
+
+        // Greedy: grow the prune set, always adding the channel whose
+        // inclusion keeps the summed removed-contribution norm smallest.
+        let mut pruned = vec![false; channels];
+        let mut residual = vec![0.0f32; self.samples];
+        for _ in 0..prune_count {
+            let mut best: Option<(usize, f32)> = None;
+            for c in 0..channels {
+                if pruned[c] {
+                    continue;
+                }
+                let mut err = 0.0f32;
+                for l in 0..self.samples {
+                    let v = residual[l] + contrib[l * channels + c];
+                    err += v * v;
+                }
+                if best.map(|(_, e)| err < e).unwrap_or(true) {
+                    best = Some((c, err));
+                }
+            }
+            let (c, _) = best.expect("prune_count < channels");
+            pruned[c] = true;
+            for l in 0..self.samples {
+                residual[l] += contrib[l * channels + c];
+            }
+        }
+        let keep_set: Vec<usize> = (0..channels).filter(|&c| !pruned[c]).collect();
+
+        if self.rescale {
+            // Fit scales s so that Σ_{kept} s_c · contrib_c ≈ full output.
+            let mut g = vec![0.0f32; self.samples * keep_set.len()];
+            let mut y = vec![0.0f32; self.samples];
+            for l in 0..self.samples {
+                for (j, &c) in keep_set.iter().enumerate() {
+                    g[l * keep_set.len() + j] = contrib[l * channels + c];
+                }
+                y[l] = (0..channels).map(|c| contrib[l * channels + c]).sum();
+            }
+            match ridge_least_squares(&g, &y, self.samples, keep_set.len(), 1e-4) {
+                Ok(scales) => self.pending_scales = Some(scales),
+                Err(_) => self.pending_scales = None, // degenerate fit: skip rescale
+            }
+        }
+        Ok(keep_set)
+    }
+
+    fn post_surgery(
+        &mut self,
+        net: &mut Network,
+        site: ConvSite,
+        keep: &[usize],
+    ) -> Result<(), PruneError> {
+        let Some(scales) = self.pending_scales.take() else {
+            return Ok(());
+        };
+        if scales.len() != keep.len() {
+            return Err(PruneError::BadScoringSet {
+                detail: format!("{} scales for {} kept channels", scales.len(), keep.len()),
+            });
+        }
+        let Some(consumer) = site.consumer else {
+            return Ok(());
+        };
+        // Clamp pathological fits; small datasets can produce wild scales.
+        let scales: Vec<f32> = scales.iter().map(|s| s.clamp(0.1, 10.0)).collect();
+        match net.node_mut(consumer) {
+            Node::Conv(conv) => {
+                let shape = conv.weight.value.shape().clone();
+                let (m, c_in, k) = (shape.dim(0), shape.dim(1), shape.dim(2));
+                if c_in != keep.len() {
+                    return Err(PruneError::BadScoringSet {
+                        detail: format!("consumer has {c_in} channels, expected {}", keep.len()),
+                    });
+                }
+                let data = conv.weight.value.data_mut();
+                for mi in 0..m {
+                    for (ci, &s) in scales.iter().enumerate() {
+                        let base = (mi * c_in + ci) * k * k;
+                        for v in &mut data[base..base + k * k] {
+                            *v *= s;
+                        }
+                    }
+                }
+            }
+            Node::Linear(lin) => {
+                let in_features = lin.in_features();
+                if in_features != keep.len() {
+                    return Err(PruneError::BadScoringSet {
+                        detail: format!("consumer has {in_features} inputs, expected {}", keep.len()),
+                    });
+                }
+                let outs = lin.out_features();
+                let data = lin.weight.value.data_mut();
+                for o in 0..outs {
+                    for (ci, &s) in scales.iter().enumerate() {
+                        data[o * in_features + ci] *= s;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::layer::{Conv2d, GlobalAvgPool, Linear, ReLU};
+    use hs_nn::surgery::{conv_sites, prune_feature_maps};
+    use hs_nn::{Network, Node};
+    use hs_tensor::{Rng, Shape};
+
+    fn net_with_consumer(rng: &mut Rng) -> Network {
+        let mut net = Network::new();
+        net.push(Node::Conv(Conv2d::new(1, 6, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Conv(Conv2d::new(6, 4, 3, 1, 1, rng)));
+        net.push(Node::Relu(ReLU::new()));
+        net.push(Node::Gap(GlobalAvgPool::new()));
+        net.push(Node::Linear(Linear::new(4, 3, rng)));
+        net
+    }
+
+    #[test]
+    fn prunes_zero_contribution_channels_first() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = net_with_consumer(&mut rng);
+        // Kill the consumer's sensitivity to input channels 1 and 4: the
+        // optimal reconstruction prunes exactly those.
+        if let Node::Conv(conv) = net.node_mut(2) {
+            let shape = conv.weight.value.shape().clone();
+            let (m, c_in, k) = (shape.dim(0), shape.dim(1), shape.dim(2));
+            let data = conv.weight.value.data_mut();
+            for mi in 0..m {
+                for dead in [1usize, 4] {
+                    let base = (mi * c_in + dead) * k * k;
+                    for v in &mut data[base..base + k * k] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let site = conv_sites(&net)[0];
+        let images = hs_tensor::Tensor::randn(Shape::d4(4, 1, 8, 8), &mut rng);
+        let labels = [0usize; 4];
+        let mut crit = ThiNet::new().samples(128);
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let keep = crit.keep_set(&mut ctx, 4).unwrap();
+        assert_eq!(keep, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn full_pipeline_with_rescale_runs() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = net_with_consumer(&mut rng);
+        let site = conv_sites(&net)[0];
+        let images = hs_tensor::Tensor::randn(Shape::d4(4, 1, 8, 8), &mut rng);
+        let labels = [0usize; 4];
+        let mut crit = ThiNet::new().samples(64);
+        let keep = {
+            let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+            crit.keep_set(&mut ctx, 3).unwrap()
+        };
+        prune_feature_maps(&mut net, site.conv, &keep).unwrap();
+        crit.post_surgery(&mut net, site, &keep).unwrap();
+        assert!(net.forward(&images, false).is_ok());
+    }
+
+    #[test]
+    fn last_conv_uses_linear_consumer() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = net_with_consumer(&mut rng);
+        let site = conv_sites(&net)[1]; // consumer is the linear head
+        let images = hs_tensor::Tensor::randn(Shape::d4(4, 1, 8, 8), &mut rng);
+        let labels = [0usize; 4];
+        let mut crit = ThiNet::new().samples(64);
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        let keep = crit.keep_set(&mut ctx, 2).unwrap();
+        assert_eq!(keep.len(), 2);
+    }
+
+    #[test]
+    fn keep_set_validates_count() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = net_with_consumer(&mut rng);
+        let site = conv_sites(&net)[0];
+        let images = hs_tensor::Tensor::randn(Shape::d4(2, 1, 8, 8), &mut rng);
+        let labels = [0usize; 2];
+        let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+        assert!(ThiNet::new().keep_set(&mut ctx, 0).is_err());
+        assert!(ThiNet::new().keep_set(&mut ctx, 7).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor operations.
+///
+/// Hot-path kernels (indexing inside loops) use panics with descriptive
+/// messages instead; anything reachable from user-supplied shapes returns
+/// this type so callers can use `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two tensors were combined but their shapes are incompatible for the
+    /// requested operation.
+    ShapeMismatch {
+        /// Operation that was attempted (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand / first operand.
+        lhs: Shape,
+        /// Shape of the right-hand / second operand.
+        rhs: Shape,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ElementCountMismatch {
+        /// Element count of the existing tensor.
+        have: usize,
+        /// Element count implied by the requested shape.
+        want: usize,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A tensor was constructed from a buffer whose length does not match
+    /// the requested shape.
+    BufferLengthMismatch {
+        /// Length of the provided buffer.
+        buffer: usize,
+        /// Element count implied by the shape.
+        shape: usize,
+    },
+    /// An operation required a non-empty tensor but received an empty one.
+    Empty {
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::ElementCountMismatch { have, want } => {
+                write!(f, "cannot reshape {have} elements into a shape of {want} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::BufferLengthMismatch { buffer, shape } => {
+                write!(f, "buffer of length {buffer} does not match shape of {shape} elements")
+            }
+            TensorError::Empty { op } => write!(f, "operation {op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: Shape::d2(2, 3),
+            rhs: Shape::d2(4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("shape mismatch"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! `im2col`/`col2im` lowering: convolution as matrix multiplication.
+//!
+//! This is the same strategy cuDNN-era GPU frameworks used and the reason
+//! structured (channel/filter) pruning maps directly to smaller GEMMs on
+//! GPGPUs — the premise of the HeadStart paper. A `[C, H, W]` input patch
+//! grid becomes a `[C·kh·kw, oh·ow]` matrix; convolving with filters
+//! `[N, C·kh·kw]` is then a single matmul per sample.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution: input extents, kernel size,
+/// stride and zero padding.
+///
+/// # Example
+///
+/// ```
+/// use hs_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 1, 1);
+/// assert_eq!((g.out_h(), g.out_w()), (32, 32)); // "same" convolution
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero, or if the padded input is
+    /// smaller than the kernel.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+            "padded input {}x{} smaller than kernel {}",
+            in_h + 2 * padding,
+            in_w + 2 * padding,
+            kernel
+        );
+        Conv2dGeometry { in_channels, in_h, in_w, kernel, stride, padding }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the lowered matrix: `C·kh·kw`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the lowered matrix: `oh·ow`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Geometry for the same layer after keeping only `channels` input
+    /// channels (the pruning transformation).
+    pub fn with_in_channels(&self, channels: usize) -> Self {
+        Conv2dGeometry { in_channels: channels, ..*self }
+    }
+}
+
+/// Lowers one `[C, H, W]` sample to the `[C·k·k, oh·ow]` patch matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not rank 3 or its
+/// dimensions disagree with the geometry.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let want = Shape::d3(geom.in_channels, geom.in_h, geom.in_w);
+    if input.shape() != &want {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: input.shape().clone(),
+            rhs: want,
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; geom.col_rows() * cols];
+    let src = input.data();
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    for c in 0..geom.in_channels {
+        let plane = &src[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h {
+                        continue; // zero padding: leave zeros
+                    }
+                    let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    for (ox, d) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix >= 0 && ix < w {
+                            *d = src_row[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(geom.col_rows(), cols), out)
+}
+
+/// Adjoint of [`im2col`]: scatters a `[C·k·k, oh·ow]` patch-matrix gradient
+/// back onto a `[C, H, W]` input gradient (overlaps accumulate).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `col` does not have the
+/// geometry's lowered shape.
+pub fn col2im(col: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let want = Shape::d2(geom.col_rows(), geom.col_cols());
+    if col.shape() != &want {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: col.shape().clone(),
+            rhs: want,
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
+    let src = col.data();
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    for c in 0..geom.in_channels {
+        let plane = &mut out[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let col_row = &src[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    let dst_row = &mut plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                    let src_row = &col_row[oy * ow..(oy + 1) * ow];
+                    for (ox, &s) in src_row.iter().enumerate() {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix >= 0 && ix < w {
+                            dst_row[ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(geom.in_channels, geom.in_h, geom.in_w), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn geometry_same_conv() {
+        let g = Conv2dGeometry::new(16, 32, 32, 3, 1, 1);
+        assert_eq!(g.out_h(), 32);
+        assert_eq!(g.out_w(), 32);
+        assert_eq!(g.col_rows(), 16 * 9);
+        assert_eq!(g.col_cols(), 32 * 32);
+    }
+
+    #[test]
+    fn geometry_strided() {
+        let g = Conv2dGeometry::new(3, 33, 33, 3, 2, 1);
+        assert_eq!(g.out_h(), 17);
+        assert_eq!(g.out_w(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn geometry_rejects_tiny_input() {
+        Conv2dGeometry::new(1, 2, 2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel1() {
+        // With k=1, s=1, p=0 the lowered matrix is the input reshaped.
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(Shape::d3(4, 5, 5), &mut rng);
+        let g = Conv2dGeometry::new(4, 5, 5, 1, 1, 0);
+        let col = im2col(&x, &g).unwrap();
+        assert_eq!(col.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_manual_3x3() {
+        // 1 channel, 3x3 input, 3x3 kernel, no padding → single output
+        // position: the column is the flattened input itself.
+        let x = Tensor::from_fn(Shape::d3(1, 3, 3), |i| (i[1] * 3 + i[2]) as f32);
+        let g = Conv2dGeometry::new(1, 3, 3, 3, 1, 0);
+        let col = im2col(&x, &g).unwrap();
+        assert_eq!(col.shape(), &Shape::d2(9, 1));
+        assert_eq!(col.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let x = Tensor::ones(Shape::d3(1, 2, 2));
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 1, 1);
+        let col = im2col(&x, &g).unwrap();
+        // Top-left output position: kernel window centered at (0,0) —
+        // rows of the patch that fall outside are zero.
+        // Patch row (ky=0,kx=0) reads input (-1,-1) → 0.
+        assert_eq!(col.at(&[0, 0]), 0.0);
+        // Patch row (ky=1,kx=1) reads input (0,0) → 1.
+        assert_eq!(col.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_shape() {
+        let x = Tensor::zeros(Shape::d3(2, 4, 4));
+        let g = Conv2dGeometry::new(3, 4, 4, 3, 1, 1);
+        assert!(im2col(&x, &g).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ — the defining adjoint identity,
+        // which is exactly what backprop correctness requires.
+        let mut rng = Rng::seed_from(7);
+        let g = Conv2dGeometry::new(3, 6, 6, 3, 2, 1);
+        let x = Tensor::randn(Shape::d3(3, 6, 6), &mut rng);
+        let y = Tensor::randn(Shape::d2(g.col_rows(), g.col_cols()), &mut rng);
+        let lhs: f32 = im2col(&x, &g)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).unwrap().data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // k=2, s=1, no padding on a 3-wide input: middle pixel is covered
+        // by two windows; a patch matrix of ones must scatter 2 there.
+        let g = Conv2dGeometry::new(1, 2, 3, 2, 1, 0);
+        let ones = Tensor::ones(Shape::d2(g.col_rows(), g.col_cols()));
+        let im = col2im(&ones, &g).unwrap();
+        // Coverage counts: corners 1, horizontal-middle 2 (ow=2, oh=1).
+        assert_eq!(im.at(&[0, 0, 0]), 1.0);
+        assert_eq!(im.at(&[0, 0, 1]), 2.0);
+        assert_eq!(im.at(&[0, 0, 2]), 1.0);
+    }
+
+    #[test]
+    fn with_in_channels_shrinks() {
+        let g = Conv2dGeometry::new(64, 8, 8, 3, 1, 1);
+        let g2 = g.with_in_channels(32);
+        assert_eq!(g2.in_channels, 32);
+        assert_eq!(g2.out_h(), g.out_h());
+    }
+}

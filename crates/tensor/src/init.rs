@@ -1,0 +1,129 @@
+//! Weight-initialization schemes.
+
+use crate::rng::Rng;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A weight-initialization scheme.
+///
+/// The reproduction follows common practice for the paper's models: Kaiming
+/// (He) initialization for convolution filters feeding ReLUs, Xavier for
+/// fully connected classifier heads.
+///
+/// # Example
+///
+/// ```
+/// use hs_tensor::{Init, Shape, Rng};
+///
+/// let mut rng = Rng::seed_from(0);
+/// // 64 3x3 filters over 32 input channels.
+/// let w = Init::KaimingNormal.sample(Shape::d4(64, 32, 3, 3), &mut rng);
+/// assert_eq!(w.len(), 64 * 32 * 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// A constant value everywhere.
+    Constant(f32),
+    /// He normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU networks.
+    KaimingNormal,
+    /// Glorot/Xavier uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform,
+    /// Plain normal with the given standard deviation.
+    Normal(f32),
+    /// Plain uniform on `[-a, a]`.
+    Uniform(f32),
+}
+
+impl Init {
+    /// Samples a tensor of the given shape under this scheme.
+    ///
+    /// Fan-in/fan-out are derived from the shape using the convolution
+    /// convention: for rank ≥ 2, `fan_in = prod(dims[1..])` and
+    /// `fan_out = dims[0] * prod(dims[2..])`; for rank ≤ 1 both default
+    /// to the element count (so biases behave sanely).
+    pub fn sample(self, shape: impl Into<Shape>, rng: &mut Rng) -> Tensor {
+        let shape = shape.into();
+        let dims = shape.dims();
+        let (fan_in, fan_out) = if dims.len() >= 2 {
+            let receptive: usize = dims[2..].iter().product();
+            (dims[1] * receptive, dims[0] * receptive)
+        } else {
+            let n = shape.len().max(1);
+            (n, n)
+        };
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::Constant(c) => Tensor::full(shape, c),
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                let mut t = Tensor::randn(shape, rng);
+                t.scale(std);
+                t
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand(shape, -a, a, rng)
+            }
+            Init::Normal(std) => {
+                let mut t = Tensor::randn(shape, rng);
+                t.scale(std);
+                t
+            }
+            Init::Uniform(a) => Tensor::rand(shape, -a.abs(), a.abs(), rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = Rng::seed_from(0);
+        assert!(Init::Zeros.sample(Shape::d1(10), &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(2.5)
+            .sample(Shape::d1(10), &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn kaiming_std_matches_fan_in() {
+        let mut rng = Rng::seed_from(1);
+        // fan_in = 128 * 9
+        let w = Init::KaimingNormal.sample(Shape::d4(64, 128, 3, 3), &mut rng);
+        let var = w.sq_norm() / w.len() as f32;
+        let expected = 2.0 / (128.0 * 9.0);
+        assert!((var - expected).abs() < 0.1 * expected, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::seed_from(2);
+        let w = Init::XavierUniform.sample(Shape::d2(100, 50), &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+        // And not degenerate:
+        assert!(w.max() > 0.5 * a);
+    }
+
+    #[test]
+    fn uniform_symmetric() {
+        let mut rng = Rng::seed_from(3);
+        let w = Init::Uniform(0.1).sample(Shape::d1(1000), &mut rng);
+        assert!(w.data().iter().all(|&x| x.abs() <= 0.1));
+        assert!(w.mean().abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_scales_std() {
+        let mut rng = Rng::seed_from(4);
+        let w = Init::Normal(0.01).sample(Shape::d1(10_000), &mut rng);
+        let var = w.sq_norm() / w.len() as f32;
+        assert!((var.sqrt() - 0.01).abs() < 0.002);
+    }
+}

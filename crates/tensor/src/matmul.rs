@@ -1,0 +1,281 @@
+//! Matrix multiplication: the workhorse kernel behind convolution
+//! (via im2col lowering) and fully connected layers.
+//!
+//! The implementation is a cache-friendly `i-k-j` loop with row-parallel
+//! threading over crossbeam scoped threads for large problems. It also
+//! provides the transposed variants backpropagation needs (`Aᵀ·B`, `A·Bᵀ`)
+//! without materializing transposed copies.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Problems smaller than this many multiply-accumulates stay single
+/// threaded; thread spawn overhead dominates below it.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// `out[m×n] += a[m×k] · b[k×n]` for one row band, single threaded.
+fn gemm_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(out.len(), rows * n);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Raw GEMM: `out = a·b` with `a: m×k`, `b: k×n`, row-major slices.
+///
+/// Parallelizes over row bands of `a` when the problem is large enough.
+pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    let work = m * k * n;
+    let threads = thread_count();
+    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+        gemm_band(a, b, &mut out, m, k, n);
+        return out;
+    }
+    let band = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (band_idx, out_chunk) in out.chunks_mut(band * n).enumerate() {
+            let row0 = band_idx * band;
+            let rows = out_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move |_| {
+                gemm_band(a_chunk, b, out_chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker thread panicked");
+    out
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs` of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if either operand is not
+    /// rank 2 or the inner dimensions disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hs_tensor::{Tensor, Shape};
+    /// # fn main() -> Result<(), hs_tensor::TensorError> {
+    /// let a = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+    /// let id = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0])?;
+    /// assert_eq!(a.matmul(&id)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mismatch = || TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: self.shape().clone(),
+            rhs: rhs.shape().clone(),
+        };
+        if self.shape().rank() != 2 || rhs.shape().rank() != 2 {
+            return Err(mismatch());
+        }
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        if k != k2 {
+            return Err(mismatch());
+        }
+        let out = gemm(self.data(), rhs.data(), m, k, n);
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// With `self: k×m` and `rhs: k×n`, the result is `m×n`. This is the
+    /// shape pattern of weight gradients (`Xᵀ·dY`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on rank or inner-dimension
+    /// mismatch.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mismatch = || TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: self.shape().clone(),
+            rhs: rhs.shape().clone(),
+        };
+        if self.shape().rank() != 2 || rhs.shape().rank() != 2 {
+            return Err(mismatch());
+        }
+        let (k, m) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        if k != k2 {
+            return Err(mismatch());
+        }
+        // outᵀ accumulation with the same cache-friendly inner loop:
+        // out[i][j] = Σ_p a[p][i] * b[p][j].
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// With `self: m×k` and `rhs: n×k`, the result is `m×n`. This is the
+    /// shape pattern of input gradients (`dY·Wᵀ` for `Y = X·W`… stored
+    /// row-major as `W: n×k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on rank or inner-dimension
+    /// mismatch.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mismatch = || TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: self.shape().clone(),
+            rhs: rhs.shape().clone(),
+        };
+        if self.shape().rank() != 2 || rhs.shape().rank() != 2 {
+            return Err(mismatch());
+        }
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (n, k2) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        if k != k2 {
+            return Err(mismatch());
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        Tensor::from_fn(Shape::d2(m, n), |idx| {
+            (0..k).map(|p| a.at(&[idx[0], p]) * b.at(&[p, idx[1]])).sum()
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(Shape::d2(5, 7), &mut rng);
+        let b = Tensor::randn(Shape::d2(7, 4), &mut rng);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        let mut rng = Rng::seed_from(2);
+        // Big enough to exceed PARALLEL_THRESHOLD.
+        let a = Tensor::randn(Shape::d2(128, 96), &mut rng);
+        let b = Tensor::randn(Shape::d2(96, 64), &mut rng);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(Shape::d2(6, 6), &mut rng);
+        let id = Tensor::from_fn(Shape::d2(6, 6), |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        assert_close(&a.matmul(&id).unwrap(), &a, 1e-6);
+        assert_close(&id.matmul(&a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(4, 5));
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(Shape::d1(3));
+        assert!(a.matmul(&c).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::randn(Shape::d2(9, 5), &mut rng);
+        let b = Tensor::randn(Shape::d2(9, 6), &mut rng);
+        let expected = a.transpose2().matmul(&b).unwrap();
+        assert_close(&a.matmul_tn(&b).unwrap(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(Shape::d2(4, 7), &mut rng);
+        let b = Tensor::randn(Shape::d2(6, 7), &mut rng);
+        let expected = a.matmul(&b.transpose2()).unwrap();
+        assert_close(&a.matmul_nt(&b).unwrap(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn transposed_variants_reject_mismatch() {
+        let a = Tensor::zeros(Shape::d2(3, 4));
+        let b = Tensor::zeros(Shape::d2(5, 6));
+        assert!(a.matmul_tn(&b).is_err());
+        assert!(a.matmul_nt(&b).is_err());
+    }
+
+    #[test]
+    fn zero_dimension_edge_cases() {
+        let a = Tensor::zeros(Shape::d2(0, 3));
+        let b = Tensor::zeros(Shape::d2(3, 2));
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &Shape::d2(0, 2));
+    }
+}

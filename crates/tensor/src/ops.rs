@@ -1,0 +1,169 @@
+//! Operator overloads and checked elementwise arithmetic.
+//!
+//! Operators (`+`, `-`, `*` between tensors, and with `f32` scalars) panic
+//! on shape mismatch — they exist for readable math in internal kernels.
+//! The checked equivalents ([`Tensor::try_add`] etc.) return errors and are
+//! what public-facing code should use on untrusted shapes.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum of two equal-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn try_add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = self.clone();
+        out.zip_mut_with(other, |a, b| a + b)?;
+        Ok(out)
+    }
+
+    /// Elementwise difference of two equal-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn try_sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = self.clone();
+        out.zip_mut_with(other, |a, b| a - b)?;
+        Ok(out)
+    }
+
+    /// Elementwise (Hadamard) product of two equal-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn try_mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = self.clone();
+        out.zip_mut_with(other, |a, b| a * b)?;
+        Ok(out)
+    }
+}
+
+macro_rules! binary_op {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            /// # Panics
+            ///
+            /// Panics if the shapes differ; use the `try_` variant for a
+            /// checked version.
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                let mut out = self.clone();
+                out.zip_mut_with(rhs, $f).unwrap_or_else(|e| {
+                    panic!("tensor operator `{}`: {e}", stringify!($method))
+                });
+                out
+            }
+        }
+
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            /// # Panics
+            ///
+            /// Panics if the shapes differ.
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+binary_op!(Add, add, |a, b| a + b);
+binary_op!(Sub, sub, |a, b| a - b);
+binary_op!(Mul, mul, |a, b| a * b);
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        let mut out = self.clone();
+        out.scale(rhs);
+        out
+    }
+}
+
+impl Mul<f32> for Tensor {
+    type Output = Tensor;
+    fn mul(mut self, rhs: f32) -> Tensor {
+        self.scale(rhs);
+        self
+    }
+}
+
+impl Add<f32> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: f32) -> Tensor {
+        self.map(|x| x + rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Neg for Tensor {
+    type Output = Tensor;
+    fn neg(mut self) -> Tensor {
+        self.map_inplace(|x| -x);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Shape, Tensor};
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).expect("length matches")
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(vec![1.0, 2.0, 3.0]);
+        let b = t(vec![4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(vec![1.0, -2.0]);
+        assert_eq!((&a * 2.0).data(), &[2.0, -4.0]);
+        assert_eq!((&a + 1.0).data(), &[2.0, -1.0]);
+        assert_eq!((-&a).data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_variants_report_mismatch() {
+        let a = t(vec![1.0, 2.0]);
+        let b = t(vec![1.0, 2.0, 3.0]);
+        assert!(a.try_add(&b).is_err());
+        assert!(a.try_sub(&b).is_err());
+        assert!(a.try_mul(&b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn operator_panics_on_mismatch() {
+        let _ = &t(vec![1.0]) + &t(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn owned_operators_match_borrowed() {
+        let a = t(vec![1.0, 2.0]);
+        let b = t(vec![3.0, 4.0]);
+        assert_eq!(a.clone() + b.clone(), &a + &b);
+        assert_eq!(a.clone() - b.clone(), &a - &b);
+        assert_eq!(a.clone() * b.clone(), &a * &b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Every stochastic component in the reproduction — weight initialization,
+//! data synthesis, Bernoulli action sampling in the HeadStart policy —
+//! draws from this generator so that a fixed seed reproduces an experiment
+//! exactly. The core is xoshiro256++ seeded through SplitMix64, the same
+//! construction used by `rand`'s small RNGs, implemented here so the tensor
+//! crate has no runtime dependency on `rand` itself.
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// # Example
+///
+/// ```
+/// use hs_tensor::Rng;
+///
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_cache: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Different seeds produce statistically independent streams; the
+    /// all-zero internal state is unreachable by construction.
+    pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            state: [next(), next(), next(), next()],
+            gauss_cache: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// component (data, weights, policy) its own stream from one root seed.
+    pub fn split(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // 24 high bits → mantissa-exact uniform in [0,1).
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_in requires lo <= hi (got {lo} > {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, bound)` by rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift; bias is negligible for the bounds used here
+        // (dataset sizes, channel counts ≪ 2^32).
+        ((self.next_u64() >> 32).wrapping_mul(bound as u64) >> 32) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(cached) = self.gauss_cache.take() {
+            return cached;
+        }
+        // Avoid u == 0 so ln stays finite.
+        let u = loop {
+            let u = self.uniform();
+            if u > 1e-12 {
+                break u;
+            }
+        };
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * v;
+        self.gauss_cache = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (a random k-subset),
+    /// returned in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k);
+        all
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Rng::seed_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x), "uniform out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Rng::seed_from(11);
+        let n = 50_000;
+        let mean: f32 = (0..n).map(|_| rng.uniform()).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(13);
+        let n = 100_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::seed_from(17);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+        // Every residue should occur.
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::seed_from(19);
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+        assert!((0..100).all(|_| !rng.bernoulli(0.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng::seed_from(23);
+        let hits = (0..20_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f32 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(29);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input ordered");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from(31);
+        let sample = rng.sample_indices(20, 8);
+        assert_eq!(sample.len(), 8);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicates in sample {sample:?}");
+        assert!(sample.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut root = Rng::seed_from(37);
+        let mut a = root.split();
+        let mut b = root.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

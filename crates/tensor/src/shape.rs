@@ -1,0 +1,245 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// All tensors in this library are contiguous and row-major, so a shape is
+/// sufficient to describe the memory layout; strides are derived on demand.
+///
+/// # Example
+///
+/// ```
+/// use hs_tensor::Shape;
+///
+/// let s = Shape::d4(2, 3, 4, 5); // e.g. NCHW activations
+/// assert_eq!(s.len(), 120);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an explicit dimension list.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Rank-1 shape.
+    pub fn d1(a: usize) -> Self {
+        Shape { dims: vec![a] }
+    }
+
+    /// Rank-2 shape (rows, cols).
+    pub fn d2(a: usize, b: usize) -> Self {
+        Shape { dims: vec![a, b] }
+    }
+
+    /// Rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape { dims: vec![a, b, c] }
+    }
+
+    /// Rank-4 shape, conventionally NCHW in this library.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Shape { dims: vec![a, b, c, d] }
+    }
+
+    /// The dimension list, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for a scalar).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// ```
+    /// use hs_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index into a linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            assert!(
+                index[axis] < self.dims[axis],
+                "index {} out of range for dim {} of size {}",
+                index[axis],
+                axis,
+                self.dims[axis]
+            );
+            off += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        off
+    }
+
+    /// Returns a new shape with `axis` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn without_axis(&self, axis: usize) -> Shape {
+        assert!(axis < self.dims.len(), "axis {axis} out of range");
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::d1(7).len(), 7);
+        assert_eq!(Shape::new(vec![3, 0, 2]).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+        assert_eq!(Shape::d1(9).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trips_with_strides() {
+        let s = Shape::d3(2, 3, 4);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let manual = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.offset(&[i, j, k]), manual);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_rejects_out_of_range() {
+        Shape::d2(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::d2(2, 2).offset(&[0]);
+    }
+
+    #[test]
+    fn without_axis_drops_dimension() {
+        assert_eq!(Shape::d3(2, 3, 4).without_axis(1), Shape::d2(2, 4));
+    }
+
+    #[test]
+    fn display_lists_dims() {
+        assert_eq!(Shape::d3(1, 2, 3).to_string(), "[1, 2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversion_from_arrays_and_vecs() {
+        assert_eq!(Shape::from([2, 3]), Shape::d2(2, 3));
+        assert_eq!(Shape::from(vec![2, 3]), Shape::d2(2, 3));
+        let slice: &[usize] = &[4];
+        assert_eq!(Shape::from(slice), Shape::d1(4));
+    }
+}

@@ -1,0 +1,706 @@
+//! The dense `f32` tensor type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::rng::Rng;
+use crate::shape::Shape;
+
+/// A contiguous, row-major, heap-allocated `f32` tensor.
+///
+/// This is the single array type used throughout the reproduction for
+/// weights, activations, gradients and datasets. It is deliberately simple:
+/// always contiguous, always `f32`, always row-major — the properties the
+/// convolution lowering and the blocked matmul rely on.
+///
+/// # Example
+///
+/// ```
+/// use hs_tensor::{Tensor, Shape};
+///
+/// let t = Tensor::from_fn(Shape::d2(2, 3), |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.at(&[1, 2]), 5.0);
+/// assert_eq!(t.sum(), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BufferLengthMismatch`] if the buffer length
+    /// does not equal the shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.len() != data.len() {
+            return Err(TensorError::BufferLengthMismatch {
+                buffer: data.len(),
+                shape: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = shape.into();
+        let rank = shape.rank();
+        let mut index = vec![0usize; rank];
+        let mut data = Vec::with_capacity(shape.len());
+        for _ in 0..shape.len() {
+            data.push(f(&index));
+            // Odometer increment.
+            for axis in (0..rank).rev() {
+                index[axis] += 1;
+                if index[axis] < shape.dim(axis) {
+                    break;
+                }
+                index[axis] = 0;
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. standard-normal samples.
+    pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.normal()).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. uniform samples in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn rand(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying buffer, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or of the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or of the wrong rank.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the buffer under a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the counts differ.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                have: self.data.len(),
+                want: shape.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(self) -> Self {
+        let len = self.data.len();
+        Tensor { shape: Shape::d1(len), data: self.data }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination with another tensor of identical shape,
+    /// writing into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_mut_with(
+        &mut self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_mut_with",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// `self += alpha * other` (the BLAS `axpy` operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        self.zip_mut_with(other, |a, b| a + alpha * b)
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sets every element to zero (gradient-buffer reset).
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 for robustness on large buffers.
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.data.is_empty(), "mean of empty tensor");
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max of empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn min(&self) -> f32 {
+        assert!(!self.data.is_empty(), "min of empty tensor");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flattened buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of squares of all elements (squared Frobenius norm).
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+    }
+
+    /// Sum of absolute values (L1 norm of the flattened tensor).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x.abs() as f64).sum::<f64>() as f32
+    }
+
+    /// Returns a contiguous sub-tensor: entry `i` along axis 0.
+    ///
+    /// For an NCHW activation batch this extracts one sample (as CHW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0 or `i` is out of range.
+    pub fn index_axis0(&self, i: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "index_axis0 on scalar");
+        let n = self.shape.dim(0);
+        assert!(i < n, "index {i} out of range for axis of size {n}");
+        let inner = self.shape.without_axis(0);
+        let step = inner.len();
+        let data = self.data[i * step..(i + 1) * step].to_vec();
+        Tensor { shape: inner, data }
+    }
+
+    /// Stacks rank-`r` tensors of identical shape into a rank-`r+1` tensor
+    /// along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input and
+    /// [`TensorError::ShapeMismatch`] if any element's shape differs from
+    /// the first's.
+    pub fn stack(parts: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = parts.first().ok_or(TensorError::Empty { op: "stack" })?;
+        let inner = first.shape.clone();
+        let mut data = Vec::with_capacity(parts.len() * inner.len());
+        for p in parts {
+            if p.shape != inner {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack",
+                    lhs: inner,
+                    rhs: p.shape.clone(),
+                });
+            }
+            data.extend_from_slice(&p.data);
+        }
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(inner.dims());
+        Ok(Tensor { shape: Shape::new(dims), data })
+    }
+
+    /// Concatenates tensors along an existing `axis`; all other
+    /// dimensions must agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input,
+    /// [`TensorError::AxisOutOfRange`] for a bad axis, and
+    /// [`TensorError::ShapeMismatch`] if the non-`axis` dimensions of any
+    /// part differ from the first's.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hs_tensor::{Tensor, Shape};
+    /// # fn main() -> Result<(), hs_tensor::TensorError> {
+    /// let a = Tensor::ones(Shape::d2(2, 3));
+    /// let b = Tensor::zeros(Shape::d2(1, 3));
+    /// let c = Tensor::concat(&[a, b], 0)?;
+    /// assert_eq!(c.shape().dims(), &[3, 3]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn concat(parts: &[Tensor], axis: usize) -> Result<Tensor, TensorError> {
+        let first = parts.first().ok_or(TensorError::Empty { op: "concat" })?;
+        let rank = first.shape.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0usize;
+        for p in parts {
+            if p.shape.rank() != rank
+                || p.shape
+                    .dims()
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &d)| i != axis && d != first.shape.dim(i))
+            {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+            axis_total += p.shape.dim(axis);
+        }
+        let outer: usize = first.shape.dims()[..axis].iter().product();
+        let inner: usize = first.shape.dims()[axis + 1..].iter().product();
+        let mut out_dims = first.shape.dims().to_vec();
+        out_dims[axis] = axis_total;
+        let mut data = Vec::with_capacity(outer * axis_total * inner);
+        for o in 0..outer {
+            for p in parts {
+                let span = p.shape.dim(axis) * inner;
+                let start = o * span;
+                data.extend_from_slice(&p.data[start..start + span]);
+            }
+        }
+        Tensor::from_vec(Shape::new(out_dims), data)
+    }
+
+    /// Selects the given entries along `axis`, in the given order,
+    /// producing a new tensor whose `axis` has size `indices.len()`.
+    ///
+    /// This is the primitive behind channel surgery: keeping filters
+    /// `[0, 2, 5]` of a `[N, C, K, K]` weight is
+    /// `w.index_select(0, &[0, 2, 5])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis` is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for the selected axis.
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Result<Tensor, TensorError> {
+        let rank = self.shape.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let dims = self.shape.dims();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = indices.len();
+        let mut out = Vec::with_capacity(outer * indices.len() * inner);
+        for o in 0..outer {
+            for &idx in indices {
+                assert!(idx < axis_len, "index {idx} out of range for axis {axis} of size {axis_len}");
+                let start = (o * axis_len + idx) * inner;
+                out.extend_from_slice(&self.data[start..start + inner]);
+            }
+        }
+        Ok(Tensor { shape: Shape::new(out_dims), data: out })
+    }
+
+    /// Sums over `axis`, reducing the rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis` is invalid.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        let rank = self.shape.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let dims = self.shape.dims();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out[dst + i] += self.data[base + i];
+                }
+            }
+        }
+        Ok(Tensor { shape: self.shape.without_axis(axis), data: out })
+    }
+
+    /// Mean over `axis`, reducing the rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis` is invalid.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        let n = self.shape.dim(axis.min(self.shape.rank().saturating_sub(1)));
+        let mut t = self.sum_axis(axis)?;
+        if n > 0 {
+            t.scale(1.0 / n as f32);
+        }
+        Ok(t)
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose2 requires a rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: Shape::d2(c, r), data: out }
+    }
+
+    /// Returns `true` if all elements are finite (no NaN/±∞); useful as a
+    /// training-divergence check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_correctly() {
+        assert!(Tensor::zeros(Shape::d2(2, 2)).data().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(Shape::d2(2, 2)).data().iter().all(|&x| x == 1.0));
+        assert!(Tensor::full(Shape::d1(3), 7.5).data().iter().all(|&x| x == 7.5));
+        assert_eq!(Tensor::scalar(3.0).at(&[]), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 5]).unwrap_err();
+        assert!(matches!(err, TensorError::BufferLengthMismatch { buffer: 5, shape: 4 }));
+    }
+
+    #[test]
+    fn from_fn_visits_row_major() {
+        let t = Tensor::from_fn(Shape::d2(2, 3), |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let t = Tensor::zeros(Shape::d2(2, 3));
+        assert!(t.clone().reshape(Shape::d1(6)).is_ok());
+        assert!(t.reshape(Shape::d1(7)).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(Shape::d1(4), vec![1.0, -2.0, 3.0, -4.0]).unwrap();
+        assert_eq!(t.sum(), -2.0);
+        assert_eq!(t.mean(), -0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -4.0);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.l1_norm(), 10.0);
+        assert_eq!(t.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn axpy_adds_scaled() {
+        let mut a = Tensor::ones(Shape::d1(3));
+        let b = Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn axpy_rejects_mismatch() {
+        let mut a = Tensor::ones(Shape::d1(3));
+        let b = Tensor::ones(Shape::d1(4));
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn index_axis0_extracts_sample() {
+        let t = Tensor::from_fn(Shape::d3(2, 2, 2), |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        let s = t.index_axis0(1);
+        assert_eq!(s.shape(), &Shape::d2(2, 2));
+        assert_eq!(s.data(), &[100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn stack_inverts_index_axis0() {
+        let t = Tensor::from_fn(Shape::d3(3, 2, 2), |idx| (idx[0] * 4 + idx[1] * 2 + idx[2]) as f32);
+        let parts: Vec<Tensor> = (0..3).map(|i| t.index_axis0(i)).collect();
+        assert_eq!(Tensor::stack(&parts).unwrap(), t);
+    }
+
+    #[test]
+    fn stack_rejects_heterogeneous() {
+        let a = Tensor::zeros(Shape::d1(2));
+        let b = Tensor::zeros(Shape::d1(3));
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_matches_stack_of_rows() {
+        let a = Tensor::from_fn(Shape::d2(2, 3), |i| (i[0] * 3 + i[1]) as f32);
+        let b = Tensor::from_fn(Shape::d2(1, 3), |i| 100.0 + i[1] as f32);
+        let c = Tensor::concat(&[a.clone(), b.clone()], 0).unwrap();
+        assert_eq!(c.shape(), &Shape::d2(3, 3));
+        assert_eq!(&c.data()[..6], a.data());
+        assert_eq!(&c.data()[6..], b.data());
+    }
+
+    #[test]
+    fn concat_middle_axis_interleaves() {
+        // [1, 2, 2] ++ [1, 1, 2] along axis 1 → [1, 3, 2].
+        let a = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(Shape::d3(1, 1, 2), vec![9.0, 8.0]).unwrap();
+        let c = Tensor::concat(&[a, b], 1).unwrap();
+        assert_eq!(c.shape(), &Shape::d3(1, 3, 2));
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_inverts_index_select_split() {
+        let mut rng = Rng::seed_from(41);
+        let t = Tensor::randn(Shape::d3(2, 5, 3), &mut rng);
+        let left = t.index_select(1, &[0, 1]).unwrap();
+        let right = t.index_select(1, &[2, 3, 4]).unwrap();
+        assert_eq!(Tensor::concat(&[left, right], 1).unwrap(), t);
+    }
+
+    #[test]
+    fn concat_validates_inputs() {
+        assert!(Tensor::concat(&[], 0).is_err());
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(2, 4));
+        assert!(Tensor::concat(&[a.clone(), b], 0).is_err());
+        assert!(Tensor::concat(&[a.clone()], 5).is_err());
+        let c = Tensor::zeros(Shape::d1(6));
+        assert!(Tensor::concat(&[a, c], 0).is_err(), "rank mismatch");
+    }
+
+    #[test]
+    fn index_select_middle_axis() {
+        // [2, 3, 2] tensor; select channels [2, 0] along axis 1.
+        let t = Tensor::from_fn(Shape::d3(2, 3, 2), |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        let s = t.index_select(1, &[2, 0]).unwrap();
+        assert_eq!(s.shape(), &Shape::d3(2, 2, 2));
+        assert_eq!(
+            s.data(),
+            &[20.0, 21.0, 0.0, 1.0, 120.0, 121.0, 100.0, 101.0]
+        );
+    }
+
+    #[test]
+    fn index_select_bad_axis_errors() {
+        let t = Tensor::zeros(Shape::d2(2, 2));
+        assert!(matches!(
+            t.index_select(5, &[0]),
+            Err(TensorError::AxisOutOfRange { axis: 5, rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn sum_axis_matches_manual() {
+        let t = Tensor::from_fn(Shape::d3(2, 3, 4), |idx| (idx[0] + idx[1] + idx[2]) as f32);
+        let s = t.sum_axis(1).unwrap();
+        assert_eq!(s.shape(), &Shape::d2(2, 4));
+        for i in 0..2 {
+            for k in 0..4 {
+                let manual: f32 = (0..3).map(|j| t.at(&[i, j, k])).sum();
+                assert_eq!(s.at(&[i, k]), manual);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = t.mean_axis(0).unwrap();
+        assert_eq!(m.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose2_round_trip() {
+        let t = Tensor::from_fn(Shape::d2(3, 5), |idx| (idx[0] * 5 + idx[1]) as f32);
+        assert_eq!(t.transpose2().transpose2(), t);
+        assert_eq!(t.transpose2().at(&[4, 2]), t.at(&[2, 4]));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(Shape::d1(3));
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn randn_uses_rng_deterministically() {
+        let mut r1 = Rng::seed_from(5);
+        let mut r2 = Rng::seed_from(5);
+        assert_eq!(
+            Tensor::randn(Shape::d2(3, 3), &mut r1),
+            Tensor::randn(Shape::d2(3, 3), &mut r2)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Deployment round-trip: train → prune → checkpoint → reload →
+//! estimate on the simulated edge device. What a downstream user does
+//! with a pruned model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example checkpoint_deploy
+//! ```
+
+use std::error::Error;
+
+use headstart::core::{HeadStartConfig, LayerPruner};
+use headstart::data::{Dataset, DatasetSpec};
+use headstart::gpusim::{devices, estimate, estimate_energy_per_frame, lower_network};
+use headstart::nn::optim::Sgd;
+use headstart::nn::{checkpoint, models, surgery, train};
+use headstart::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = Rng::seed_from(5);
+    let ds = Dataset::generate(
+        &DatasetSpec::cifar_like().classes(8).train_per_class(12).test_per_class(8),
+    )?;
+
+    // Train a small model.
+    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)?;
+    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+    train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, 10, &mut rng)?;
+    let acc = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+    println!("trained: {:.2}% test accuracy", acc * 100.0);
+
+    // Prune two layers with HeadStart and make the result physical.
+    let cfg = HeadStartConfig::new(2.0).max_episodes(40).eval_images(48);
+    for ordinal in [1usize, 2] {
+        let d = LayerPruner::new(cfg.clone()).prune(&mut net, ordinal, &ds, &mut rng)?;
+        let conv = net.conv_indices()[ordinal];
+        surgery::prune_feature_maps(&mut net, conv, &d.keep)?;
+        println!("pruned conv{ordinal}: kept {} maps", d.keep.len());
+    }
+    // Refresh BN statistics for deployment (no fine-tuning).
+    train::recalibrate_bn(&mut net, &ds.train_images, 32, 2)?;
+    let pruned_acc = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+    println!("pruned + BN-recalibrated: {:.2}% test accuracy", pruned_acc * 100.0);
+
+    // Ship it: save, reload, verify identical behaviour.
+    let path = std::env::temp_dir().join("headstart_deploy_example.hsck");
+    checkpoint::save(&net, &path)?;
+    let mut deployed = checkpoint::load(&path)?;
+    let deployed_acc = train::evaluate(&mut deployed, &ds.test_images, &ds.test_labels, 64)?;
+    assert_eq!(pruned_acc, deployed_acc, "checkpoint must be bit-exact");
+    println!("checkpoint round-trip verified ({} bytes)", std::fs::metadata(&path)?.len());
+
+    // What does inference cost at the edge?
+    let tx2 = devices::jetson_tx2_gpu();
+    let report = estimate(&tx2, &deployed, ds.channels(), ds.image_size())?;
+    let workload = lower_network("deployed", &deployed, ds.channels(), ds.image_size())?;
+    let energy = estimate_energy_per_frame(&tx2, &workload)?;
+    println!(
+        "on {}: {:.0} fps, {:.3} mJ/frame (roofline estimate)",
+        tx2.name,
+        report.fps(),
+        energy * 1e3
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Inference-speedup estimation on the paper's four platforms — the
+//! Figure 6 experiment, using the roofline latency model in place of the
+//! physical GTX 1080Ti / Jetson TX2 hardware.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example gpu_speedup
+//! ```
+
+use std::error::Error;
+
+use headstart::gpusim::{devices, estimate};
+use headstart::nn::{models, Network};
+use headstart::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = Rng::seed_from(3);
+
+    // Full-width architectures at the paper's real input sizes: the
+    // latency model needs only the architecture, not trained weights.
+    let scenarios: Vec<(&str, usize, Network, Network)> = vec![
+        (
+            "VGG-16 / CIFAR (32x32)",
+            32,
+            models::vgg16(3, 100, 32, 1.0, &mut rng)?,
+            models::vgg16(3, 100, 32, 0.5, &mut rng)?, // sp = 2 pruned width
+        ),
+        (
+            "VGG-16 / CUB (224x224)",
+            224,
+            models::vgg16(3, 200, 224, 1.0, &mut rng)?,
+            models::vgg16(3, 200, 224, 0.5, &mut rng)?,
+        ),
+    ];
+
+    println!(
+        "{:<24} {:<16} {:>12} {:>12} {:>9}",
+        "MODEL / DATASET", "DEVICE", "ORIG fps", "PRUNED fps", "SPEEDUP"
+    );
+    for (name, size, full, pruned) in &scenarios {
+        for device in devices::all() {
+            let f = estimate(&device, full, 3, *size)?;
+            let p = estimate(&device, pruned, 3, *size)?;
+            println!(
+                "{:<24} {:<16} {:>12.1} {:>12.1} {:>8.2}x",
+                name,
+                device.name,
+                f.fps(),
+                p.fps(),
+                p.fps() / f.fps()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: train a small VGG on a synthetic dataset, then compare
+//! HeadStart's learned inception against Li'17 and random pruning on a
+//! single layer — the paper's core claim in miniature.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+
+use headstart::core::{HeadStartConfig, LayerPruner};
+use headstart::data::{Dataset, DatasetSpec};
+use headstart::nn::optim::Sgd;
+use headstart::nn::{models, surgery, train};
+use headstart::pruning::{L1Norm, PruningCriterion, Random, ScoreContext};
+use headstart::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = Rng::seed_from(42);
+
+    // 1. A synthetic CIFAR-like task (stands in for CIFAR-100).
+    let ds = Dataset::generate(&DatasetSpec::cifar_like())?;
+    println!(
+        "dataset: {} classes, {} train / {} test images of {}x{}px",
+        ds.num_classes(),
+        ds.train_labels.len(),
+        ds.test_labels.len(),
+        ds.image_size(),
+        ds.image_size(),
+    );
+
+    // 2. Train a quarter-width VGG-11 to convergence.
+    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)?;
+    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+    for epoch in 0..12 {
+        let stats = train::train_epoch(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
+        println!("epoch {epoch:2}: loss {:.3}, train acc {:.3}", stats.loss, stats.accuracy);
+    }
+    let original = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+    println!("original test accuracy: {:.2}%\n", original * 100.0);
+
+    // 3. Prune ONE layer (conv ordinal 2) to half its maps, three ways,
+    //    and compare inception accuracies (no fine-tuning).
+    let ordinal = 2;
+    let site = surgery::conv_sites(&net)[ordinal];
+    let maps = net.conv(site.conv)?.out_channels();
+    let keep_count = maps / 2;
+    println!("pruning conv #{ordinal} ({maps} maps -> {keep_count}), inception accuracy:");
+
+    // HeadStart: learn the inception with RL.
+    let mut hs_net = net.clone();
+    let cfg = HeadStartConfig::new(2.0);
+    let decision = LayerPruner::new(cfg).prune(&mut hs_net, ordinal, &ds, &mut rng)?;
+    surgery::prune_feature_maps(&mut hs_net, site.conv, &decision.keep)?;
+    let hs_acc = train::evaluate(&mut hs_net, &ds.test_images, &ds.test_labels, 64)?;
+    println!(
+        "  HeadStart: {:.2}%  (learned {} maps in {} episodes)",
+        hs_acc * 100.0,
+        decision.keep.len(),
+        decision.episodes
+    );
+
+    // Metric baselines at exactly keep_count maps.
+    for criterion in [&mut L1Norm::new() as &mut dyn PruningCriterion, &mut Random::new()] {
+        let mut base_net = net.clone();
+        let keep = {
+            let mut ctx = ScoreContext::new(
+                &mut base_net,
+                site,
+                &ds.train_images,
+                &ds.train_labels,
+                &mut rng,
+            );
+            criterion.keep_set(&mut ctx, keep_count)?
+        };
+        surgery::prune_feature_maps(&mut base_net, site.conv, &keep)?;
+        let acc = train::evaluate(&mut base_net, &ds.test_images, &ds.test_labels, 64)?;
+        println!("  {:>9}: {:.2}%", criterion.name(), acc * 100.0);
+    }
+    Ok(())
+}

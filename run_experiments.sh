@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper, teeing outputs to results/.
+# Full runs; pass --quick through to all binaries for a smoke test.
+# Override the experiment list with EXPS="table1_layerwise_cub ..." to
+# re-run a subset.
+set -e
+mkdir -p results
+ARG="$1"
+DEFAULT="fig3_single_layer table1_layerwise_cub table2_vgg_cub \
+table3_vgg_cifar table4_resnet_blocks fig6_inference_speedup ablation_reward"
+for exp in ${EXPS:-$DEFAULT}; do
+    echo "=== $exp ==="
+    cargo run --release -p hs-bench --bin "$exp" -- $ARG 2>results/$exp.log | tee results/$exp.txt
+done
+echo "All experiments done; outputs in results/"

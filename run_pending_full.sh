@@ -1,0 +1,10 @@
+#!/bin/sh
+set -e
+mkdir -p results_pending
+for exp in ablation_reward table2_vgg_cub table3_vgg_cifar table4_resnet_blocks; do
+    echo "=== $exp (full) ==="
+    cargo run --release -p hs-bench --bin "$exp" \
+        2>results_pending/$exp.log > results_pending/$exp.txt
+    echo "DONE $exp"
+done
+echo ALL_PENDING_DONE

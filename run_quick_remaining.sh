@@ -1,0 +1,13 @@
+#!/bin/sh
+# One-core endgame: full fig6 (analytic, fast) + --quick smoke passes of
+# the training-heavy remaining experiments.
+set -e
+mkdir -p results
+cargo run --release -p hs-bench --bin fig6_inference_speedup \
+    2>results/fig6_inference_speedup.log | tee results/fig6_inference_speedup.txt
+for exp in table4_resnet_blocks table2_vgg_cub table3_vgg_cifar ablation_reward; do
+    echo "=== $exp (--quick) ==="
+    cargo run --release -p hs-bench --bin "$exp" -- --quick \
+        2>results/$exp.log | tee results/$exp.txt
+done
+echo QUICK_REMAINING_DONE

@@ -1,0 +1,51 @@
+//! **headstart** — a full reproduction of *"HeadStart: Enforcing Optimal
+//! Inceptions in Pruning Deep Neural Networks for Efficient Inference on
+//! GPGPUs"* (Lin, Lu, Wei & Li, DAC 2019), built from scratch in Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense f32 tensors, matmul, im2col, seeded RNG;
+//! * [`nn`] — layers, backprop, optimizers, VGG/ResNet model zoo,
+//!   parameter/FLOP accounting, channel masking and surgery;
+//! * [`data`] — synthetic CIFAR-100 / CUB-200 style dataset generators;
+//! * [`pruning`] — the baseline criteria (Li'17, APoZ, entropy, random,
+//!   ThiNet, AutoPruner) and whole-model pruning drivers;
+//! * [`core`] — HeadStart itself: head-start policy networks, the
+//!   REINFORCE loop with self-critical baseline, per-layer and per-block
+//!   pruners;
+//! * [`gpusim`] — a roofline latency model of the paper's four inference
+//!   platforms.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use headstart::core::{HeadStartConfig, LayerPruner};
+//! use headstart::data::{Dataset, DatasetSpec};
+//! use headstart::nn::{models, surgery};
+//! use headstart::tensor::Rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny synthetic task and a small VGG.
+//! let ds = Dataset::generate(
+//!     &DatasetSpec::cifar_like().classes(4).train_per_class(6).test_per_class(3).image_size(8),
+//! )?;
+//! let mut rng = Rng::seed_from(1);
+//! let mut net = models::vgg11(3, 4, 8, 0.25, &mut rng)?;
+//!
+//! // Learn an inception for the first conv layer and make it physical.
+//! let cfg = HeadStartConfig::new(2.0).max_episodes(6).eval_images(12);
+//! let decision = LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng)?;
+//! let conv = net.conv_indices()[0];
+//! surgery::prune_feature_maps(&mut net, conv, &decision.keep)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hs_core as core;
+pub use hs_data as data;
+pub use hs_gpusim as gpusim;
+pub use hs_nn as nn;
+pub use hs_pruning as pruning;
+pub use hs_tensor as tensor;

@@ -1,0 +1,77 @@
+//! End-to-end test of the `headstart` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_headstart"))
+}
+
+#[test]
+fn cli_help_lists_commands() {
+    let out = bin().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["train", "prune", "info", "estimate"] {
+        assert!(text.contains(cmd), "help missing `{cmd}`");
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_command_and_bad_flags() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let out = bin().args(["train", "--epochs"]).output().expect("run");
+    assert!(!out.status.success());
+    let out = bin().args(["info"]).output().expect("run");
+    assert!(!out.status.success(), "info without --model must fail");
+}
+
+#[test]
+fn cli_train_prune_info_estimate_pipeline() {
+    let dir = std::env::temp_dir().join("hs_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let model = dir.join("model.hsck");
+    let pruned = dir.join("pruned.hsck");
+
+    // Train (minimal budget: the test checks plumbing, not accuracy).
+    let out = bin()
+        .args([
+            "train", "--model", "lenet", "--epochs", "1", "--seed", "7", "--out",
+            model.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // Info.
+    let out = bin()
+        .args(["info", "--model", model.to_str().expect("utf8")])
+        .output()
+        .expect("info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total:"), "info output: {text}");
+
+    // Prune with a tiny RL budget.
+    let out = bin()
+        .args([
+            "prune", "--model", model.to_str().expect("utf8"), "--sp", "2", "--episodes", "3",
+            "--finetune", "0", "--seed", "7", "--out", pruned.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("prune");
+    assert!(out.status.success(), "prune failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(pruned.exists());
+
+    // Estimate on the simulated devices.
+    let out = bin()
+        .args(["estimate", "--model", pruned.to_str().expect("utf8")])
+        .output()
+        .expect("estimate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GTX 1080Ti") && text.contains("Cortex-A57"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
