@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hs_core::reinforce::{inference_action, logit_gradient, sample_action};
-use hs_core::MaskedEvaluator;
 use hs_core::reward::reward;
+use hs_core::MaskedEvaluator;
 use hs_nn::models;
 use hs_tensor::{Rng, Shape, Tensor};
 
@@ -19,7 +19,9 @@ fn bench_episode_vs_k(c: &mut Criterion) {
     let evaluator =
         MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).expect("evaluator");
     let channels = evaluator.channels();
-    let probs: Vec<f32> = (0..channels).map(|i| 0.3 + 0.4 * ((i % 2) as f32)).collect();
+    let probs: Vec<f32> = (0..channels)
+        .map(|i| 0.3 + 0.4 * ((i % 2) as f32))
+        .collect();
 
     let mut group = c.benchmark_group("episode_cost_vs_k");
     group.sample_size(10);
@@ -32,13 +34,27 @@ fn bench_episode_vs_k(c: &mut Criterion) {
                 for _ in 0..k {
                     let a = sample_action(&probs, &mut rng);
                     let acc = evaluator.accuracy_with_action(&mut net, &a).expect("eval");
-                    rewards.push(reward(acc, 0.7, channels, a.iter().filter(|&&x| x).count().max(1), 2.0));
+                    rewards.push(reward(
+                        acc,
+                        0.7,
+                        channels,
+                        a.iter().filter(|&&x| x).count().max(1),
+                        2.0,
+                    ));
                     actions.push(a);
                 }
                 // Self-critical baseline: one extra evaluation.
                 let inf = inference_action(&probs, 0.5);
-                let acc = evaluator.accuracy_with_action(&mut net, &inf).expect("eval");
-                let baseline = reward(acc, 0.7, channels, inf.iter().filter(|&&x| x).count().max(1), 2.0);
+                let acc = evaluator
+                    .accuracy_with_action(&mut net, &inf)
+                    .expect("eval");
+                let baseline = reward(
+                    acc,
+                    0.7,
+                    channels,
+                    inf.iter().filter(|&&x| x).count().max(1),
+                    2.0,
+                );
                 logit_gradient(&probs, &actions, &rewards, baseline)
             });
         });
@@ -60,7 +76,9 @@ fn bench_baseline_overhead(c: &mut Criterion) {
     c.bench_function("self_critical_baseline_evaluation", |b| {
         b.iter(|| {
             let inf = inference_action(&probs, 0.5);
-            evaluator.accuracy_with_action(&mut net, &inf).expect("eval")
+            evaluator
+                .accuracy_with_action(&mut net, &inf)
+                .expect("eval")
         });
     });
 }

@@ -1,7 +1,7 @@
 //! Benchmarks of the roofline latency model itself (lowering + sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hs_gpusim::{devices, estimate, lower_network, estimate_workload};
+use hs_gpusim::{devices, estimate, estimate_workload, lower_network};
 use hs_nn::models;
 use hs_tensor::Rng;
 

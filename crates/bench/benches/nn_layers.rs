@@ -18,7 +18,8 @@ fn bench_conv_forward(c: &mut Criterion) {
     group.bench_function("forward_backward_8x32x16", |b| {
         b.iter(|| {
             let y = conv.forward(&x, true).expect("forward");
-            conv.backward(&Tensor::ones(y.shape().clone())).expect("backward")
+            conv.backward(&Tensor::ones(y.shape().clone()))
+                .expect("backward")
         });
     });
     group.finish();

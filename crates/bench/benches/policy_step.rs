@@ -46,13 +46,17 @@ fn bench_masked_evaluation(c: &mut Criterion) {
     let images = Tensor::randn(Shape::d4(32, 3, 16, 16), &mut rng);
     let labels: Vec<usize> = (0..32).map(|i| i % 16).collect();
     let site = hs_nn::surgery::conv_sites(&net)[4];
-    let evaluator = MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels)
-        .expect("evaluator");
+    let evaluator =
+        MaskedEvaluator::new(&mut net, site.mask_node, &images, &labels).expect("evaluator");
     let action: Vec<bool> = (0..evaluator.channels()).map(|i| i % 2 == 0).collect();
     let mut group = c.benchmark_group("action_eval");
     group.sample_size(20);
     group.bench_function("suffix_only", |b| {
-        b.iter(|| evaluator.accuracy_with_action(&mut net, &action).expect("eval"));
+        b.iter(|| {
+            evaluator
+                .accuracy_with_action(&mut net, &action)
+                .expect("eval")
+        });
     });
     group.bench_function("naive_full_forward", |b| {
         let mask: Vec<f32> = action.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();

@@ -31,8 +31,7 @@ fn bench_criteria(c: &mut Criterion) {
                     let mut net = net.clone();
                     let mut rng = Rng::seed_from(1);
                     let mut criterion = $make;
-                    let mut ctx =
-                        ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
+                    let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
                     criterion.keep_set(&mut ctx, keep).expect("keep_set")
                 });
             });

@@ -23,22 +23,43 @@ fn main() {
     let budget = Budget::from_args();
     let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
     let mut rng = Rng::seed_from(77);
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
-        .expect("model");
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )
+    .expect("model");
     let phase = Phase::start("pretraining VGG");
     let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
-    println!("# HeadStart ablations, conv ordinal 2, sp = 2 (original acc {}%)", pct(original));
-    println!("{:<34} {:>6} {:>10} {:>9}", "VARIANT", "KEPT", "EPISODES", "INC-ACC%");
+    println!(
+        "# HeadStart ablations, conv ordinal 2, sp = 2 (original acc {}%)",
+        pct(original)
+    );
+    println!(
+        "{:<34} {:>6} {:>10} {:>9}",
+        "VARIANT", "KEPT", "EPISODES", "INC-ACC%"
+    );
 
     let base = HeadStartConfig::new(2.0)
         .max_episodes(budget.rl_episodes)
         .eval_images(budget.rl_eval_images);
     let variants: Vec<(String, HeadStartConfig)> = vec![
         ("paper defaults (k=3, t=0.5, SC)".into(), base.clone()),
-        ("no baseline (plain REINFORCE)".into(), base.clone().without_baseline()),
-        ("k = 1 Monte-Carlo sample".into(), base.clone().monte_carlo_samples(1)),
-        ("k = 5 Monte-Carlo samples".into(), base.clone().monte_carlo_samples(5)),
+        (
+            "no baseline (plain REINFORCE)".into(),
+            base.clone().without_baseline(),
+        ),
+        (
+            "k = 1 Monte-Carlo sample".into(),
+            base.clone().monte_carlo_samples(1),
+        ),
+        (
+            "k = 5 Monte-Carlo samples".into(),
+            base.clone().monte_carlo_samples(5),
+        ),
         ("threshold t = 0.3".into(), base.clone().threshold(0.3)),
         ("threshold t = 0.7".into(), base.clone().threshold(0.7)),
         ("resampled noise input".into(), {

@@ -1,0 +1,212 @@
+//! Kernel microbenchmarks for the persistent-pool + blocked-GEMM work:
+//! times the packed/blocked GEMM against a faithful reimplementation of
+//! the seed's naive `i-k-j` kernel (per-call thread spawning, 8-thread
+//! cap), plus conv forward/backward and a full train step, and writes
+//! the numbers to `BENCH_kernels.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p hs-bench --bin bench_kernels
+//! ```
+
+use std::time::Instant;
+
+use hs_nn::layer::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU};
+use hs_nn::loss::softmax_cross_entropy;
+use hs_nn::optim::{Optimizer, Sgd};
+use hs_nn::{Network, Node};
+use hs_tensor::{gemm_ex, pool, Rng, Shape, Tensor};
+
+/// The seed's GEMM: naive `i-k-j` row bands, threads spawned per call
+/// (capped at 8), zero-skipping inner loop. Kept verbatim in spirit so
+/// the benchmark compares against exactly what the pool replaced.
+fn seed_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    fn band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+    }
+    let mut out = vec![0.0f32; m * n];
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(8);
+    if m * k * n < (1 << 18) || threads < 2 || m < 2 {
+        band(a, b, &mut out, m, k, n);
+        return out;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (band_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let row0 = band_idx * rows_per;
+            let rows = out_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || band(a_chunk, b, out_chunk, rows, k, n));
+        }
+    });
+    out
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct GemmRow {
+    size: usize,
+    seed_secs: f64,
+    new_secs: f64,
+}
+
+fn bench_gemm(size: usize, reps: usize, rng: &mut Rng) -> GemmRow {
+    let a = Tensor::randn(Shape::d2(size, size), rng);
+    let b = Tensor::randn(Shape::d2(size, size), rng);
+    let mut out = vec![0.0f32; size * size];
+    // Warm both paths (page in buffers, populate the scratch arena).
+    let _ = seed_gemm(a.data(), b.data(), size, size, size);
+    gemm_ex(
+        &mut out,
+        a.data(),
+        b.data(),
+        size,
+        size,
+        size,
+        false,
+        false,
+        false,
+    );
+    let seed_secs = best_secs(reps, || {
+        std::hint::black_box(seed_gemm(a.data(), b.data(), size, size, size));
+    });
+    let new_secs = best_secs(reps, || {
+        gemm_ex(
+            &mut out,
+            a.data(),
+            b.data(),
+            size,
+            size,
+            size,
+            false,
+            false,
+            false,
+        );
+        std::hint::black_box(out[0]);
+    });
+    GemmRow {
+        size,
+        seed_secs,
+        new_secs,
+    }
+}
+
+fn gflops(size: usize, secs: f64) -> f64 {
+    2.0 * (size as f64).powi(3) / secs / 1e9
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(2019);
+    println!("# kernel benchmarks ({} pool threads)", pool::num_threads());
+
+    let gemm_rows: Vec<GemmRow> = [(128usize, 20usize), (256, 8), (512, 3)]
+        .iter()
+        .map(|&(s, r)| bench_gemm(s, r, &mut rng))
+        .collect();
+    for row in &gemm_rows {
+        println!(
+            "gemm {s}x{s}x{s}: seed {seed:.2} ms ({sg:.2} GFLOP/s) -> blocked {new:.2} ms ({ng:.2} GFLOP/s), {x:.2}x",
+            s = row.size,
+            seed = row.seed_secs * 1e3,
+            sg = gflops(row.size, row.seed_secs),
+            new = row.new_secs * 1e3,
+            ng = gflops(row.size, row.new_secs),
+            x = row.seed_secs / row.new_secs,
+        );
+    }
+
+    // Conv forward/backward on a mid-size layer.
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng);
+    let x = Tensor::randn(Shape::d4(8, 16, 32, 32), &mut rng);
+    let y = conv.forward(&x, true).expect("conv forward");
+    let dy = Tensor::ones(y.shape().clone());
+    conv.backward(&dy).expect("conv backward");
+    let conv_fwd_secs = best_secs(10, || {
+        std::hint::black_box(conv.forward(&x, true).expect("conv forward"));
+    });
+    // Forward once more so every timed backward has a fresh input cache.
+    let conv_bwd_secs = best_secs(10, || {
+        conv.forward(&x, true).expect("conv forward");
+        std::hint::black_box(conv.backward(&dy).expect("conv backward"));
+    }) - conv_fwd_secs;
+    println!(
+        "conv fwd {:.2} ms, bwd {:.2} ms",
+        conv_fwd_secs * 1e3,
+        conv_bwd_secs * 1e3
+    );
+
+    // Full train step (zero_grad + forward + loss + backward + SGD) on a
+    // small conv net.
+    let mut net = Network::new();
+    net.push(Node::Conv(Conv2d::new(3, 16, 3, 1, 1, &mut rng)));
+    net.push(Node::Relu(ReLU::new()));
+    net.push(Node::MaxPool(MaxPool2d::new(2)));
+    net.push(Node::Conv(Conv2d::new(16, 32, 3, 1, 1, &mut rng)));
+    net.push(Node::Relu(ReLU::new()));
+    net.push(Node::Gap(GlobalAvgPool::new()));
+    net.push(Node::Linear(Linear::new(32, 10, &mut rng)));
+    let images = Tensor::randn(Shape::d4(16, 3, 16, 16), &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let mut opt = Sgd::new(0.01);
+    let mut step = || {
+        net.zero_grad();
+        let logits = net.forward(&images, true).expect("forward");
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+        net.backward(&grad).expect("backward");
+        opt.step(&mut net);
+    };
+    step(); // warm the arena
+    let train_step_secs = best_secs(10, &mut step);
+    println!("train step {:.2} ms", train_step_secs * 1e3);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"pool_threads\": {},\n", pool::num_threads()));
+    json.push_str("  \"gemm\": [\n");
+    for (i, row) in gemm_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"size\": {}, \"seed_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}, \"new_gflops\": {:.3}}}{}\n",
+            row.size,
+            row.seed_secs,
+            row.new_secs,
+            row.seed_secs / row.new_secs,
+            gflops(row.size, row.new_secs),
+            if i + 1 < gemm_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"conv\": {{\"forward_secs\": {:.6}, \"backward_secs\": {:.6}}},\n",
+        conv_fwd_secs, conv_bwd_secs
+    ));
+    json.push_str(&format!(
+        "  \"train_step_secs\": {:.6}\n}}\n",
+        train_step_secs
+    ));
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(out_path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {out_path}");
+}

@@ -27,17 +27,30 @@ fn main() {
     let recalibrate = std::env::args().any(|a| a == "--recalibrate");
     let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
     let mut rng = Rng::seed_from(2019);
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
-        .expect("model");
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )
+    .expect("model");
     let phase = Phase::start("pretraining VGG on synthetic CIFAR");
     let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
     println!(
         "# Figure 3 — single-layer pruning, no fine-tuning (top-1 %, higher is better){}",
-        if recalibrate { ", BN statistics recalibrated" } else { "" }
+        if recalibrate {
+            ", BN statistics recalibrated"
+        } else {
+            ""
+        }
     );
     println!("# original accuracy: {}%", pct(original));
-    println!("{:<8} {:>8} {:>10} {:>8} {:>8} {:>8}", "LAYER", "SPEEDUP", "HeadStart", "Li'17", "APoZ", "Random");
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "LAYER", "SPEEDUP", "HeadStart", "Li'17", "APoZ", "Random"
+    );
 
     // The paper shows conv1_2-ish low layers through conv4_1; at our
     // scale VGG-11 ordinals 1..4 span the same low-to-high range.
@@ -89,12 +102,10 @@ fn main() {
                 };
                 surgery::prune_feature_maps(&mut base, site.conv, &keep).expect("surgery");
                 if recalibrate {
-                    train::recalibrate_bn(&mut base, &ds.train_images, 32, 2)
-                        .expect("recalibrate");
+                    train::recalibrate_bn(&mut base, &ds.train_images, 32, 2).expect("recalibrate");
                 }
                 row.push(
-                    train::evaluate(&mut base, &ds.test_images, &ds.test_labels, 64)
-                        .expect("eval"),
+                    train::evaluate(&mut base, &ds.test_images, &ds.test_labels, 64).expect("eval"),
                 );
             }
             println!(

@@ -87,5 +87,10 @@ fn main() {
     let resnet_cub_full = models::resnet_cifar(18, 3, 200, 1.0, &mut rng).expect("model");
     let mut resnet_cub_pruned = models::resnet_cifar(18, 3, 200, 1.0, &mut rng).expect("model");
     prune_blocks(&mut resnet_cub_pruned, 18, [10, 10, 7]);
-    scenario("ResNet-110 / CUB-200", 224, &resnet_cub_full, &resnet_cub_pruned);
+    scenario(
+        "ResNet-110 / CUB-200",
+        224,
+        &resnet_cub_full,
+        &resnet_cub_pruned,
+    );
 }

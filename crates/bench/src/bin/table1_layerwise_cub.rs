@@ -35,8 +35,14 @@ fn main() {
     let budget = Budget::from_args();
     let ds = cached(&DatasetSpec::cub_like()).expect("dataset");
     let mut rng = Rng::seed_from(1);
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
-        .expect("model");
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )
+    .expect("model");
     let phase = Phase::start("pretraining VGG on synthetic CUB");
     let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
@@ -53,7 +59,10 @@ fn main() {
         "METHOD", "LAYER", "#MAPS", "#PARAM(M)", "#MACS(B)", "INC%", "W/FT%"
     );
 
-    let ft = FineTune { epochs: budget.finetune_epochs, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: budget.finetune_epochs,
+        ..FineTune::default()
+    };
 
     // Li'17 trace.
     let phase = Phase::start("Li'17 whole-model prune");

@@ -19,8 +19,14 @@ fn main() {
     let budget = Budget::from_args();
     let ds = cached(&DatasetSpec::cub_like()).expect("dataset");
     let mut rng = Rng::seed_from(2);
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
-        .expect("model");
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )
+    .expect("model");
     let phase = Phase::start("pretraining VGG on synthetic CUB");
     let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
@@ -40,7 +46,10 @@ fn main() {
         100.0
     );
 
-    let ft = FineTune { epochs: budget.finetune_epochs, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: budget.finetune_epochs,
+        ..FineTune::default()
+    };
 
     // Metric/reconstruction baselines at fixed 50% keep.
     let baselines: Vec<(&str, Box<dyn PruningCriterion>)> = vec![
@@ -53,9 +62,8 @@ fn main() {
         let phase = Phase::start(label);
         let mut pruned = net.clone();
         let mut prng = Rng::seed_from(42);
-        let outcome =
-            prune_whole_model(&mut pruned, criterion.as_mut(), 0.5, &ds, &ft, &mut prng)
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let outcome = prune_whole_model(&mut pruned, criterion.as_mut(), 0.5, &ds, &ft, &mut prng)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
         phase.end();
         println!(
             "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
@@ -92,9 +100,14 @@ fn main() {
     let phase = Phase::start("from scratch");
     let mut scratch_rng = Rng::seed_from(43);
     let total_epochs = budget.finetune_epochs * hs.traces.len();
-    let scratch_acc =
-        train_from_scratch(&hs_net, &ds, total_epochs, &FineTune::default(), &mut scratch_rng)
-            .expect("scratch");
+    let scratch_acc = train_from_scratch(
+        &hs_net,
+        &ds,
+        total_epochs,
+        &FineTune::default(),
+        &mut scratch_rng,
+    )
+    .expect("scratch");
     phase.end();
     println!(
         "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",

@@ -18,8 +18,14 @@ fn main() {
     let budget = Budget::from_args();
     let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
     let mut rng = Rng::seed_from(3);
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)
-        .expect("model");
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )
+    .expect("model");
     let phase = Phase::start("pretraining VGG on synthetic CIFAR");
     let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
@@ -39,7 +45,10 @@ fn main() {
         100.0
     );
 
-    let ft = FineTune { epochs: budget.finetune_epochs, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: budget.finetune_epochs,
+        ..FineTune::default()
+    };
     let keep_ratio = 0.2; // sp = 5
 
     let baselines: Vec<(&str, Box<dyn PruningCriterion>)> = vec![
@@ -51,9 +60,15 @@ fn main() {
         let phase = Phase::start(label);
         let mut pruned = net.clone();
         let mut prng = Rng::seed_from(55);
-        let outcome =
-            prune_whole_model(&mut pruned, criterion.as_mut(), keep_ratio, &ds, &ft, &mut prng)
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let outcome = prune_whole_model(
+            &mut pruned,
+            criterion.as_mut(),
+            keep_ratio,
+            &ds,
+            &ft,
+            &mut prng,
+        )
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
         phase.end();
         println!(
             "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
@@ -87,9 +102,14 @@ fn main() {
     let phase = Phase::start("from scratch");
     let mut scratch_rng = Rng::seed_from(56);
     let total_epochs = budget.finetune_epochs * hs.traces.len();
-    let scratch_acc =
-        train_from_scratch(&hs_net, &ds, total_epochs, &FineTune::default(), &mut scratch_rng)
-            .expect("scratch");
+    let scratch_acc = train_from_scratch(
+        &hs_net,
+        &ds,
+        total_epochs,
+        &FineTune::default(),
+        &mut scratch_rng,
+    )
+    .expect("scratch");
     phase.end();
     println!(
         "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",

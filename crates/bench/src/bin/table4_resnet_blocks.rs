@@ -46,9 +46,8 @@ fn main() {
 
     // Deep model.
     let mut rng = Rng::seed_from(4);
-    let mut deep =
-        models::resnet_cifar(N_DEEP, ds.channels(), ds.num_classes(), WIDTH, &mut rng)
-            .expect("model");
+    let mut deep = models::resnet_cifar(N_DEEP, ds.channels(), ds.num_classes(), WIDTH, &mut rng)
+        .expect("model");
     let phase = Phase::start("pretraining deep ResNet");
     let deep_acc = pretrain(&mut deep, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
     phase.end();
@@ -72,7 +71,10 @@ fn main() {
         .eval_images(budget.rl_eval_images);
     // Block pruning fine-tunes once at the end; give it the whole
     // per-layer budget.
-    let ft = FineTune { epochs: (budget.finetune_epochs * 3).max(1), ..FineTune::default() };
+    let ft = FineTune {
+        epochs: (budget.finetune_epochs * 3).max(1),
+        ..FineTune::default()
+    };
     let mut hs_rng = Rng::seed_from(6);
     let (decision, hs_acc) = BlockPruner::new(cfg)
         .prune_and_finetune(&mut deep, &ds, &ft, &mut hs_rng)
@@ -96,9 +98,19 @@ fn main() {
     let depth_deep = models::resnet_depth(N_DEEP);
     let depth_shallow = models::resnet_depth(N_SHALLOW);
     println!("# Table 4 — block-level pruning on synthetic CIFAR-100");
-    println!("{:<28} {:>10} {:>10} {:>8} {:>8}", "MODEL", "#PARAM(M)", "#MACS(B)", "ACC%", "C.R.%");
+    println!(
+        "{:<28} {:>10} {:>10} {:>8} {:>8}",
+        "MODEL", "#PARAM(M)", "#MACS(B)", "ACC%", "C.R.%"
+    );
     let row = |name: &str, p: f64, f: f64, a: f32, cr: f64| {
-        println!("{:<28} {:>10.4} {:>10.5} {:>8} {:>8.2}", name, p, f, pct(a), cr);
+        println!(
+            "{:<28} {:>10.4} {:>10.5} {:>8} {:>8.2}",
+            name,
+            p,
+            f,
+            pct(a),
+            cr
+        );
     };
     row(
         &format!("ResNet-{depth_deep} original"),

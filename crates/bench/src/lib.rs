@@ -31,12 +31,22 @@ pub struct Budget {
 impl Budget {
     /// The full budget used for the recorded results.
     pub fn full() -> Self {
-        Budget { pretrain_epochs: 14, finetune_epochs: 3, rl_episodes: 60, rl_eval_images: 64 }
+        Budget {
+            pretrain_epochs: 14,
+            finetune_epochs: 3,
+            rl_episodes: 60,
+            rl_eval_images: 64,
+        }
     }
 
     /// A ~10× cheaper smoke-test budget.
     pub fn quick() -> Self {
-        Budget { pretrain_epochs: 2, finetune_epochs: 1, rl_episodes: 12, rl_eval_images: 24 }
+        Budget {
+            pretrain_epochs: 2,
+            finetune_epochs: 1,
+            rl_episodes: 12,
+            rl_eval_images: 24,
+        }
     }
 
     /// Parses the budget from the process arguments (`--quick`).
@@ -65,8 +75,7 @@ pub fn pretrain(
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     let start = Instant::now();
     for epoch in 0..epochs {
-        let stats =
-            train::train_epoch(net, &mut opt, &ds.train_images, &ds.train_labels, 32, rng)?;
+        let stats = train::train_epoch(net, &mut opt, &ds.train_images, &ds.train_labels, 32, rng)?;
         if epoch % 4 == 0 || epoch + 1 == epochs {
             eprintln!(
                 "[pretrain] epoch {epoch:3}: loss {:.3} train-acc {:.3} ({:.1?})",
@@ -95,12 +104,19 @@ impl Phase {
     /// Starts timing a phase and logs it.
     pub fn start(label: &str) -> Self {
         eprintln!("[phase] {label} ...");
-        Phase { label: label.to_string(), start: Instant::now() }
+        Phase {
+            label: label.to_string(),
+            start: Instant::now(),
+        }
     }
 
     /// Ends the phase, logging the elapsed time.
     pub fn end(self) {
-        eprintln!("[phase] {} done in {:.1?}", self.label, self.start.elapsed());
+        eprintln!(
+            "[phase] {} done in {:.1?}",
+            self.label,
+            self.start.elapsed()
+        );
     }
 }
 

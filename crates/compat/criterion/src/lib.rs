@@ -1,0 +1,221 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate, covering exactly the API subset the workspace's benches use.
+//!
+//! The build environment is fully offline (no crates.io registry), so the
+//! real criterion cannot be fetched. This crate keeps every `[[bench]]`
+//! target compiling and runnable:
+//!
+//! - under `cargo bench` (cargo passes `--bench`) each benchmark is warmed
+//!   up and sampled, and mean/min wall-clock times are printed;
+//! - under `cargo test` (no `--bench` flag) each benchmark body runs once
+//!   as a smoke test, so the tier-1 gate stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench executables with `--bench`; anything
+        // else (notably `cargo test`) gets a single smoke iteration.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion { full }
+    }
+}
+
+impl Criterion {
+    /// Configures nothing; kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.full, name, 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a function under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(self.criterion.full, &label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion.full, &label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) runs the body.
+#[derive(Debug)]
+pub struct Bencher {
+    full: bool,
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once in smoke mode or `samples` times when run via
+    /// `cargo bench`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.full {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(full: bool, label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        full,
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+    if !full {
+        return;
+    }
+    if bencher.results.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.results.iter().sum();
+    let mean = total / bencher.results.len() as u32;
+    let min = bencher.results.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<40} mean {mean:>12.3?}   min {min:>12.3?}   samples {}",
+        bencher.results.len()
+    );
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Builds a benchmark-suite function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given benchmark suites.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { full: false };
+        let mut count = 0;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn full_mode_collects_samples() {
+        let mut c = Criterion { full: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0usize;
+        group.bench_function("inc", |b| b.iter(|| count += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

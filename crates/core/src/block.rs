@@ -106,7 +106,11 @@ impl BlockPruner {
         let mut episodes = 0usize;
         for episode in 0..self.cfg.max_episodes {
             episodes = episode + 1;
-            let z = if self.cfg.resample_noise { policy.sample_noise(rng) } else { noise.clone() };
+            let z = if self.cfg.resample_noise {
+                policy.sample_noise(rng)
+            } else {
+                noise.clone()
+            };
             probs = policy.probs(&z)?;
             let mut actions = Vec::with_capacity(self.cfg.k);
             let mut rewards = Vec::with_capacity(self.cfg.k);
@@ -136,7 +140,11 @@ impl BlockPruner {
                 full_params,
                 ds,
             )?;
-            let baseline = if self.cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let baseline = if self.cfg.self_critical_baseline {
+                r_inf
+            } else {
+                0.0
+            };
             let grad = logit_gradient(&probs, &actions, &rewards, baseline);
             policy.train_step(&grad)?;
             reward_history.push(r_inf);
@@ -148,7 +156,11 @@ impl BlockPruner {
                 ) < self.cfg.drift_tol;
             if episodes >= self.cfg.min_episodes
                 && drift_ok
-                && is_stable(&reward_history, self.cfg.stability_window, self.cfg.stability_tol)
+                && is_stable(
+                    &reward_history,
+                    self.cfg.stability_window,
+                    self.cfg.stability_tol,
+                )
             {
                 break;
             }
@@ -158,7 +170,10 @@ impl BlockPruner {
         // Expand to all blocks (non-prunable stay active).
         let mut active = vec![true; blocks.len()];
         for (bit, &node) in final_action.iter().zip(&prunable) {
-            let pos = blocks.iter().position(|&b| b == node).expect("prunable ⊂ blocks");
+            let pos = blocks
+                .iter()
+                .position(|&b| b == node)
+                .expect("prunable ⊂ blocks");
             active[pos] = *bit;
         }
         // Measure the realized compression.
@@ -166,7 +181,12 @@ impl BlockPruner {
         let pruned_params = analyze(net, ds.channels(), ds.image_size())?.total_params as f32;
         set_blocks(net, &blocks, &vec![true; blocks.len()])?;
         let compression_ratio = pruned_params / full_params.max(1.0);
-        Ok(BlockDecision { active, episodes, reward_history, compression_ratio })
+        Ok(BlockDecision {
+            active,
+            episodes,
+            reward_history,
+            compression_ratio,
+        })
     }
 
     /// Applies a decision to the network (deactivates the chosen blocks).
@@ -277,7 +297,9 @@ mod tests {
     fn decision_keeps_downsample_blocks() {
         let (ds, mut net, mut rng) = setup();
         let cfg = HeadStartConfig::new(1.5).max_episodes(4).eval_images(8);
-        let d = BlockPruner::new(cfg).prune(&mut net, &ds, &mut rng).unwrap();
+        let d = BlockPruner::new(cfg)
+            .prune(&mut net, &ds, &mut rng)
+            .unwrap();
         assert_eq!(d.active.len(), 9);
         // Blocks 3 and 6 are the downsample boundaries of ResNet-20.
         assert!(d.active[3] && d.active[6]);
@@ -326,7 +348,10 @@ mod tests {
     fn prune_and_finetune_reports_accuracy() {
         let (ds, mut net, mut rng) = setup();
         let cfg = HeadStartConfig::new(1.5).max_episodes(3).eval_images(8);
-        let ft = FineTune { epochs: 1, ..FineTune::default() };
+        let ft = FineTune {
+            epochs: 1,
+            ..FineTune::default()
+        };
         let (d, acc) = BlockPruner::new(cfg)
             .prune_and_finetune(&mut net, &ds, &ft, &mut rng)
             .unwrap();
@@ -347,6 +372,8 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let mut net = models::vgg11(3, 2, 8, 0.25, &mut rng).unwrap();
         let cfg = HeadStartConfig::new(2.0).max_episodes(2).eval_images(8);
-        assert!(BlockPruner::new(cfg).prune(&mut net, &ds, &mut rng).is_err());
+        assert!(BlockPruner::new(cfg)
+            .prune(&mut net, &ds, &mut rng)
+            .is_err());
     }
 }

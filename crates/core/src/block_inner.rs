@@ -53,9 +53,14 @@ impl InnerLayerPruner {
     ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let blocks = net.block_indices();
-        let &block_node = blocks.get(block_ordinal).ok_or_else(|| HeadStartError::BadTarget {
-            detail: format!("block ordinal {block_ordinal} out of range ({} blocks)", blocks.len()),
-        })?;
+        let &block_node = blocks
+            .get(block_ordinal)
+            .ok_or_else(|| HeadStartError::BadTarget {
+                detail: format!(
+                    "block ordinal {block_ordinal} out of range ({} blocks)",
+                    blocks.len()
+                ),
+            })?;
         let channels = match net.node(block_node) {
             Node::Block(b) => b.inner_channels(),
             _ => unreachable!("block_indices returns blocks"),
@@ -100,7 +105,11 @@ impl InnerLayerPruner {
 
         for episode in 0..self.cfg.max_episodes {
             episodes = episode + 1;
-            let z = if self.cfg.resample_noise { policy.sample_noise(rng) } else { noise.clone() };
+            let z = if self.cfg.resample_noise {
+                policy.sample_noise(rng)
+            } else {
+                noise.clone()
+            };
             probs = policy.probs(&z)?;
             let mut actions = Vec::with_capacity(self.cfg.k);
             let mut rewards = Vec::with_capacity(self.cfg.k);
@@ -112,7 +121,11 @@ impl InnerLayerPruner {
             }
             let inf = inference_action(&probs, self.cfg.t);
             let r_inf = eval_action(net, &inf)?;
-            let baseline = if self.cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let baseline = if self.cfg.self_critical_baseline {
+                r_inf
+            } else {
+                0.0
+            };
             let grad = logit_gradient(&probs, &actions, &rewards, baseline);
             policy.train_step(&grad)?;
             reward_history.push(r_inf);
@@ -124,7 +137,11 @@ impl InnerLayerPruner {
                 ) < self.cfg.drift_tol;
             if episodes >= self.cfg.min_episodes
                 && drift_ok
-                && is_stable(&reward_history, self.cfg.stability_window, self.cfg.stability_tol)
+                && is_stable(
+                    &reward_history,
+                    self.cfg.stability_window,
+                    self.cfg.stability_tol,
+                )
             {
                 break;
             }
@@ -172,9 +189,14 @@ impl InnerLayerPruner {
         decision: &LayerDecision,
     ) -> Result<(), HeadStartError> {
         let blocks = net.block_indices();
-        let &block_node = blocks.get(block_ordinal).ok_or_else(|| HeadStartError::BadTarget {
-            detail: format!("block ordinal {block_ordinal} out of range ({} blocks)", blocks.len()),
-        })?;
+        let &block_node = blocks
+            .get(block_ordinal)
+            .ok_or_else(|| HeadStartError::BadTarget {
+                detail: format!(
+                    "block ordinal {block_ordinal} out of range ({} blocks)",
+                    blocks.len()
+                ),
+            })?;
         match net.node_mut(block_node) {
             Node::Block(b) => {
                 b.prune_inner_maps(&decision.keep)?;
@@ -269,7 +291,9 @@ mod tests {
     fn prune_leaves_network_unmasked() {
         let (ds, mut net, mut rng) = setup();
         let cfg = HeadStartConfig::new(2.0).max_episodes(4).eval_images(8);
-        InnerLayerPruner::new(cfg).prune(&mut net, 1, &ds, &mut rng).unwrap();
+        InnerLayerPruner::new(cfg)
+            .prune(&mut net, 1, &ds, &mut rng)
+            .unwrap();
         for &b in &net.block_indices() {
             if let Node::Block(block) = net.node(b) {
                 assert!(block.inner_mask().is_none());
@@ -289,14 +313,14 @@ mod tests {
             })
             .collect();
         let cfg = HeadStartConfig::new(2.0).max_episodes(4).eval_images(8);
-        let ft = hs_pruning::driver::FineTune { epochs: 1, ..Default::default() };
-        let (decisions, acc) =
-            prune_all_block_inners(&cfg, &ft, &mut net, &ds, &mut rng).unwrap();
+        let ft = hs_pruning::driver::FineTune {
+            epochs: 1,
+            ..Default::default()
+        };
+        let (decisions, acc) = prune_all_block_inners(&cfg, &ft, &mut net, &ds, &mut rng).unwrap();
         assert_eq!(decisions.len(), before.len());
         assert!((0.0..=1.0).contains(&acc));
-        for (ordinal, (&node, d)) in
-            net.block_indices().iter().zip(&decisions).enumerate()
-        {
+        for (ordinal, (&node, d)) in net.block_indices().iter().zip(&decisions).enumerate() {
             match net.node(node) {
                 Node::Block(b) => assert_eq!(
                     b.inner_channels(),
@@ -313,6 +337,8 @@ mod tests {
     fn rejects_bad_ordinal() {
         let (ds, mut net, mut rng) = setup();
         let cfg = HeadStartConfig::new(2.0).max_episodes(2).eval_images(8);
-        assert!(InnerLayerPruner::new(cfg).prune(&mut net, 99, &ds, &mut rng).is_err());
+        assert!(InnerLayerPruner::new(cfg)
+            .prune(&mut net, 99, &ds, &mut rng)
+            .is_err());
     }
 }

@@ -1,7 +1,5 @@
 //! HeadStart hyper-parameters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::HeadStartError;
 
 /// Hyper-parameters of the HeadStart pruner.
@@ -23,7 +21,7 @@ use crate::error::HeadStartError;
 /// assert!(cfg.validate().is_ok());
 /// assert_eq!(cfg.sp, 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadStartConfig {
     /// Target speedup `sp` (compression ratio is `1/sp`, Eq. 11).
     pub sp: f32,
@@ -129,9 +127,8 @@ impl HeadStartConfig {
     /// Returns [`HeadStartError::BadConfig`] naming the first invalid
     /// field.
     pub fn validate(&self) -> Result<(), HeadStartError> {
-        let bad = |field: &'static str, detail: String| {
-            Err(HeadStartError::BadConfig { field, detail })
-        };
+        let bad =
+            |field: &'static str, detail: String| Err(HeadStartError::BadConfig { field, detail });
         if !self.sp.is_finite() || self.sp < 1.0 {
             return bad("sp", format!("{} (speedup must be >= 1)", self.sp));
         }
@@ -150,7 +147,10 @@ impl HeadStartConfig {
         if self.min_episodes > self.max_episodes {
             return bad(
                 "min_episodes",
-                format!("{} exceeds max_episodes {}", self.min_episodes, self.max_episodes),
+                format!(
+                    "{} exceeds max_episodes {}",
+                    self.min_episodes, self.max_episodes
+                ),
             );
         }
         if self.stability_window == 0 {
@@ -163,7 +163,10 @@ impl HeadStartConfig {
             return bad("eval_images", "must be > 0".into());
         }
         if self.noise_size < 4 {
-            return bad("noise_size", format!("{} below the 4px minimum", self.noise_size));
+            return bad(
+                "noise_size",
+                format!("{} below the 4px minimum", self.noise_size),
+            );
         }
         Ok(())
     }
@@ -185,11 +188,20 @@ mod tests {
     #[test]
     fn invalid_fields_are_rejected() {
         assert!(HeadStartConfig::new(0.5).validate().is_err());
-        assert!(HeadStartConfig::new(2.0).monte_carlo_samples(0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0)
+            .monte_carlo_samples(0)
+            .validate()
+            .is_err());
         assert!(HeadStartConfig::new(2.0).threshold(1.5).validate().is_err());
-        assert!(HeadStartConfig::new(2.0).max_episodes(0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0)
+            .max_episodes(0)
+            .validate()
+            .is_err());
         assert!(HeadStartConfig::new(2.0).eval_images(0).validate().is_err());
-        assert!(HeadStartConfig::new(2.0).learning_rate(0.0).validate().is_err());
+        assert!(HeadStartConfig::new(2.0)
+            .learning_rate(0.0)
+            .validate()
+            .is_err());
     }
 
     #[test]

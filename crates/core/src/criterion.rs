@@ -33,21 +33,23 @@ impl HeadStartCriterion {
     /// Creates the adapter. The config's `sp` field is overridden per
     /// call from the requested keep count.
     pub fn new(cfg: HeadStartConfig) -> Self {
-        HeadStartCriterion { cfg, last_reward_history: Vec::new() }
+        HeadStartCriterion {
+            cfg,
+            last_reward_history: Vec::new(),
+        }
     }
 
-    fn run_rl(
-        &mut self,
-        ctx: &mut ScoreContext<'_>,
-        sp: f32,
-    ) -> Result<Vec<f32>, PruneError> {
+    fn run_rl(&mut self, ctx: &mut ScoreContext<'_>, sp: f32) -> Result<Vec<f32>, PruneError> {
         let channels = ctx.channels()?;
         let mut cfg = self.cfg.clone();
         cfg.sp = sp;
-        cfg.validate().map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
-        let evaluator =
-            MaskedEvaluator::new(ctx.net, ctx.site.mask_node, ctx.images, ctx.labels)
-                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+        cfg.validate().map_err(|e| PruneError::BadScoringSet {
+            detail: e.to_string(),
+        })?;
+        let evaluator = MaskedEvaluator::new(ctx.net, ctx.site.mask_node, ctx.images, ctx.labels)
+            .map_err(|e| PruneError::BadScoringSet {
+            detail: e.to_string(),
+        })?;
         let acc_original = evaluator.baseline_accuracy();
         let mut policy = HeadStartNetwork::with_hyperparams(
             channels,
@@ -56,16 +58,22 @@ impl HeadStartCriterion {
             cfg.weight_decay,
             ctx.rng,
         )
-        .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+        .map_err(|e| PruneError::BadScoringSet {
+            detail: e.to_string(),
+        })?;
         let noise = policy.sample_noise(ctx.rng);
         let mut probs = vec![0.5f32; channels];
         let mut prob_history: Vec<Vec<f32>> = Vec::new();
         self.last_reward_history.clear();
         for episode in 0..cfg.max_episodes {
-            let z = if cfg.resample_noise { policy.sample_noise(ctx.rng) } else { noise.clone() };
-            probs = policy
-                .probs(&z)
-                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+            let z = if cfg.resample_noise {
+                policy.sample_noise(ctx.rng)
+            } else {
+                noise.clone()
+            };
+            probs = policy.probs(&z).map_err(|e| PruneError::BadScoringSet {
+                detail: e.to_string(),
+            })?;
             let mut actions = Vec::with_capacity(cfg.k);
             let mut rewards = Vec::with_capacity(cfg.k);
             for _ in 0..cfg.k {
@@ -76,11 +84,17 @@ impl HeadStartCriterion {
             }
             let inf = inference_action(&probs, cfg.t);
             let r_inf = action_reward(ctx.net, &evaluator, &inf, channels, acc_original, cfg.sp)?;
-            let baseline = if cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let baseline = if cfg.self_critical_baseline {
+                r_inf
+            } else {
+                0.0
+            };
             let grad = logit_gradient(&probs, &actions, &rewards, baseline);
             policy
                 .train_step(&grad)
-                .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+                .map_err(|e| PruneError::BadScoringSet {
+                    detail: e.to_string(),
+                })?;
             self.last_reward_history.push(r_inf);
             prob_history.push(probs.clone());
             let drift_ok = prob_history.len() > cfg.stability_window
@@ -90,7 +104,11 @@ impl HeadStartCriterion {
                 ) < cfg.drift_tol;
             if episode + 1 >= cfg.min_episodes
                 && drift_ok
-                && is_stable(&self.last_reward_history, cfg.stability_window, cfg.stability_tol)
+                && is_stable(
+                    &self.last_reward_history,
+                    cfg.stability_window,
+                    cfg.stability_tol,
+                )
             {
                 break;
             }
@@ -111,9 +129,12 @@ fn action_reward(
     if kept == 0 {
         return Ok(reward(0.0, acc_original, channels, 0, sp));
     }
-    let acc = evaluator
-        .accuracy_with_action(net, action)
-        .map_err(|e| PruneError::BadScoringSet { detail: e.to_string() })?;
+    let acc =
+        evaluator
+            .accuracy_with_action(net, action)
+            .map_err(|e| PruneError::BadScoringSet {
+                detail: e.to_string(),
+            })?;
     Ok(reward(acc, acc_original, channels, kept, sp))
 }
 
@@ -128,10 +149,17 @@ impl PruningCriterion for HeadStartCriterion {
         self.run_rl(ctx, sp)
     }
 
-    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+    fn keep_set(
+        &mut self,
+        ctx: &mut ScoreContext<'_>,
+        keep: usize,
+    ) -> Result<Vec<usize>, PruneError> {
         let channels = ctx.channels()?;
         if keep == 0 || keep > channels {
-            return Err(PruneError::BadKeepCount { keep, available: channels });
+            return Err(PruneError::BadKeepCount {
+                keep,
+                available: channels,
+            });
         }
         let sp = channels as f32 / keep as f32;
         let probs = self.run_rl(ctx, sp.max(1.0))?;

@@ -81,7 +81,10 @@ mod tests {
     fn conversions_and_source() {
         let e: HeadStartError = TensorError::Empty { op: "stack" }.into();
         assert!(Error::source(&e).is_some());
-        let e = HeadStartError::BadConfig { field: "sp", detail: "must be >= 1".into() };
+        let e = HeadStartError::BadConfig {
+            field: "sp",
+            detail: "must be >= 1".into(),
+        };
         assert!(e.to_string().contains("sp"));
     }
 }

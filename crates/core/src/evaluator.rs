@@ -7,9 +7,13 @@
 
 use hs_nn::loss::accuracy;
 use hs_nn::Network;
-use hs_tensor::Tensor;
+use hs_tensor::{pool, Tensor};
 
 use crate::error::HeadStartError;
+
+/// Masked prefixes smaller than this many elements are zeroed on the
+/// calling thread; larger ones mask sample-parallel on the worker pool.
+const MASK_PARALLEL_ELEMS: usize = 1 << 15;
 
 /// Evaluates the accuracy of a network under arbitrary channel masks at
 /// one site, re-running only the suffix after the masked node.
@@ -84,25 +88,43 @@ impl MaskedEvaluator {
     ) -> Result<f32, HeadStartError> {
         if action.len() != self.channels {
             return Err(HeadStartError::BadTarget {
-                detail: format!("action of {} bits for {} channels", action.len(), self.channels),
+                detail: format!(
+                    "action of {} bits for {} channels",
+                    action.len(),
+                    self.channels
+                ),
             });
         }
         let mut masked = self.prefix.clone();
         let shape = masked.shape().clone();
-        let (batch, inner) = match shape.rank() {
-            4 => (shape.dim(0), shape.dim(2) * shape.dim(3)),
-            _ => (shape.dim(0), 1),
+        let inner = match shape.rank() {
+            4 => shape.dim(2) * shape.dim(3),
+            _ => 1,
         };
+        let sample_len = self.channels * inner;
         let data = masked.data_mut();
-        for b in 0..batch {
+        let mask_sample = |sample: &mut [f32]| {
             for (c, &keep) in action.iter().enumerate() {
                 if !keep {
-                    let base = (b * self.channels + c) * inner;
-                    for v in &mut data[base..base + inner] {
-                        *v = 0.0;
-                    }
+                    sample[c * inner..(c + 1) * inner].fill(0.0);
                 }
             }
+        };
+        if data.len() < MASK_PARALLEL_ELEMS {
+            for sample in data.chunks_mut(sample_len) {
+                mask_sample(sample);
+            }
+        } else {
+            // One task per evaluation sample; samples are disjoint slices,
+            // so the masking is deterministic under any thread count.
+            let mask_sample = &mask_sample;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(sample_len)
+                .map(|sample| {
+                    Box::new(move || mask_sample(sample)) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool::run_tasks(tasks);
         }
         let logits = net.forward_range(&masked, self.mask_node + 1, false)?;
         Ok(accuracy(&logits, &self.labels)?)

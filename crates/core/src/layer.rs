@@ -67,9 +67,14 @@ impl LayerPruner {
     ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let sites = conv_sites(net);
-        let site = *sites.get(conv_ordinal).ok_or_else(|| HeadStartError::BadTarget {
-            detail: format!("conv ordinal {conv_ordinal} out of range ({} convs)", sites.len()),
-        })?;
+        let site = *sites
+            .get(conv_ordinal)
+            .ok_or_else(|| HeadStartError::BadTarget {
+                detail: format!(
+                    "conv ordinal {conv_ordinal} out of range ({} convs)",
+                    sites.len()
+                ),
+            })?;
         let channels = net.conv(site.conv)?.out_channels();
 
         // Evaluation split: a fixed prefix of the training set (the
@@ -115,7 +120,11 @@ impl LayerPruner {
             // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
             let inf = inference_action(&probs, self.cfg.t);
             let r_inf = self.action_reward(net, &evaluator, &inf, channels, acc_original)?;
-            let baseline = if self.cfg.self_critical_baseline { r_inf } else { 0.0 };
+            let baseline = if self.cfg.self_critical_baseline {
+                r_inf
+            } else {
+                0.0
+            };
 
             let grad = logit_gradient(&probs, &actions, &rewards, baseline);
             policy.train_step(&grad)?;
@@ -130,7 +139,11 @@ impl LayerPruner {
                 ) < self.cfg.drift_tol;
             if episodes >= self.cfg.min_episodes
                 && drift_ok
-                && is_stable(&reward_history, self.cfg.stability_window, self.cfg.stability_tol)
+                && is_stable(
+                    &reward_history,
+                    self.cfg.stability_window,
+                    self.cfg.stability_tol,
+                )
             {
                 break;
             }
@@ -148,14 +161,19 @@ impl LayerPruner {
                 .unwrap_or(0);
             final_action[best] = true;
         }
-        let inception_eval_accuracy =
-            evaluator.accuracy_with_action(net, &final_action)?;
+        let inception_eval_accuracy = evaluator.accuracy_with_action(net, &final_action)?;
         let keep: Vec<usize> = final_action
             .iter()
             .enumerate()
             .filter_map(|(i, &a)| a.then_some(i))
             .collect();
-        Ok(LayerDecision { keep, probs, episodes, reward_history, inception_eval_accuracy })
+        Ok(LayerDecision {
+            keep,
+            probs,
+            episodes,
+            reward_history,
+            inception_eval_accuracy,
+        })
     }
 
     fn action_reward(
@@ -200,7 +218,9 @@ mod tests {
     fn decision_has_consistent_fields() {
         let (ds, mut net, mut rng) = tiny_setup();
         let cfg = HeadStartConfig::new(2.0).max_episodes(8).eval_images(16);
-        let d = LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng).unwrap();
+        let d = LayerPruner::new(cfg)
+            .prune(&mut net, 0, &ds, &mut rng)
+            .unwrap();
         assert!(!d.keep.is_empty());
         assert!(d.keep.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(d.probs.len(), 16); // vgg11 @ 0.25 width: first conv = 16 maps
@@ -216,7 +236,9 @@ mod tests {
         let (ds, mut net, mut rng) = tiny_setup();
         // Give the policy room to converge.
         let cfg = HeadStartConfig::new(2.0).max_episodes(60).eval_images(16);
-        let d = LayerPruner::new(cfg).prune(&mut net, 1, &ds, &mut rng).unwrap();
+        let d = LayerPruner::new(cfg)
+            .prune(&mut net, 1, &ds, &mut rng)
+            .unwrap();
         let channels = 32; // vgg11 @ 0.25: second conv
         let learned_sp = channels as f32 / d.keep.len() as f32;
         assert!(
@@ -230,16 +252,22 @@ mod tests {
     fn rejects_bad_ordinal_and_config() {
         let (ds, mut net, mut rng) = tiny_setup();
         let cfg = HeadStartConfig::new(2.0).max_episodes(2).eval_images(8);
-        assert!(LayerPruner::new(cfg.clone()).prune(&mut net, 99, &ds, &mut rng).is_err());
+        assert!(LayerPruner::new(cfg.clone())
+            .prune(&mut net, 99, &ds, &mut rng)
+            .is_err());
         let bad = HeadStartConfig::new(0.1);
-        assert!(LayerPruner::new(bad).prune(&mut net, 0, &ds, &mut rng).is_err());
+        assert!(LayerPruner::new(bad)
+            .prune(&mut net, 0, &ds, &mut rng)
+            .is_err());
     }
 
     #[test]
     fn reward_history_is_finite() {
         let (ds, mut net, mut rng) = tiny_setup();
         let cfg = HeadStartConfig::new(3.0).max_episodes(6).eval_images(8);
-        let d = LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng).unwrap();
+        let d = LayerPruner::new(cfg)
+            .prune(&mut net, 0, &ds, &mut rng)
+            .unwrap();
         assert!(d.reward_history.iter().all(|r| r.is_finite()));
     }
 }

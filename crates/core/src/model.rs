@@ -55,11 +55,9 @@ impl HeadStartPruner {
             let maps_before = net.conv(conv_node)?.out_channels();
             let decision = layer_pruner.prune(net, ordinal, ds, rng)?;
             prune_feature_maps(net, conv_node, &decision.keep)?;
-            let inception_accuracy =
-                train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
+            let inception_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
             self.ft.run(net, &ds.train_images, &ds.train_labels, rng)?;
-            let finetuned_accuracy =
-                train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
+            let finetuned_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
             let cost = analyze(net, ds.channels(), ds.image_size())?;
             traces.push(LayerTrace {
                 conv_node,
@@ -75,8 +73,12 @@ impl HeadStartPruner {
         }
         let final_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
         let cost = analyze(net, ds.channels(), ds.image_size())?;
-        let outcome =
-            PruneOutcome { criterion: "HeadStart", traces, final_accuracy, cost };
+        let outcome = PruneOutcome {
+            criterion: "HeadStart",
+            traces,
+            final_accuracy,
+            cost,
+        };
         Ok((outcome, decisions))
     }
 }
@@ -101,9 +103,13 @@ mod tests {
         let mut net = models::vgg11(3, 4, 8, 0.125, &mut rng).unwrap();
         let before = analyze(&net, 3, 8).unwrap();
         let cfg = HeadStartConfig::new(2.0).max_episodes(4).eval_images(12);
-        let ft = FineTune { epochs: 1, ..FineTune::default() };
-        let (outcome, decisions) =
-            HeadStartPruner::new(cfg, ft).prune_model(&mut net, &ds, &mut rng).unwrap();
+        let ft = FineTune {
+            epochs: 1,
+            ..FineTune::default()
+        };
+        let (outcome, decisions) = HeadStartPruner::new(cfg, ft)
+            .prune_model(&mut net, &ds, &mut rng)
+            .unwrap();
         assert_eq!(outcome.traces.len(), 8);
         assert_eq!(decisions.len(), 8);
         assert!(outcome.cost.total_params < before.total_params);

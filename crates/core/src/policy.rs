@@ -82,9 +82,18 @@ impl HeadStartNetwork {
         net.push(Node::Conv(Conv2d::new(HIDDEN, HIDDEN, 3, 1, 1, rng)));
         net.push(Node::Relu(ReLU::new()));
         net.push(Node::Flatten(Flatten::new()));
-        net.push(Node::Linear(Linear::new(HIDDEN * noise_size * noise_size, out_units, rng)));
+        net.push(Node::Linear(Linear::new(
+            HIDDEN * noise_size * noise_size,
+            out_units,
+            rng,
+        )));
         let opt = RmsProp::new(lr).weight_decay(weight_decay);
-        Ok(HeadStartNetwork { net, opt, out_units, noise_size })
+        Ok(HeadStartNetwork {
+            net,
+            opt,
+            out_units,
+            noise_size,
+        })
     }
 
     /// Number of probabilities the policy emits.
@@ -105,7 +114,11 @@ impl HeadStartNetwork {
     /// Propagates network errors (e.g. a noise map of the wrong shape).
     pub fn probs(&mut self, noise: &Tensor) -> Result<Vec<f32>, HeadStartError> {
         let logits = self.net.forward(noise, true)?;
-        Ok(logits.data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect())
+        Ok(logits
+            .data()
+            .iter()
+            .map(|&l| 1.0 / (1.0 + (-l).exp()))
+            .collect())
     }
 
     /// Applies one policy-gradient step given `∂L/∂logits` (computed by

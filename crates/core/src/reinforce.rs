@@ -69,7 +69,10 @@ pub fn logit_gradient(
 /// Panics if the vectors differ in length.
 pub fn policy_drift(old: &[f32], new: &[f32]) -> f32 {
     assert_eq!(old.len(), new.len(), "probability vectors differ in length");
-    old.iter().zip(new).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    old.iter()
+        .zip(new)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Convergence detector: true when the last `window` rewards span less
@@ -108,7 +111,10 @@ mod tests {
 
     #[test]
     fn inference_action_thresholds() {
-        assert_eq!(inference_action(&[0.2, 0.5, 0.9], 0.5), vec![false, true, true]);
+        assert_eq!(
+            inference_action(&[0.2, 0.5, 0.9], 0.5),
+            vec![false, true, true]
+        );
         assert_eq!(kept_count(&[true, false, true]), 2);
     }
 
@@ -143,7 +149,10 @@ mod tests {
         let probs = [0.5f32];
         let g1 = logit_gradient(&probs, &[vec![true]], &[1.0], 0.0);
         let g2 = logit_gradient(&probs, &[vec![true], vec![true]], &[1.0, 1.0], 0.0);
-        assert!((g1[0] - g2[0]).abs() < 1e-7, "averaging must not double-count");
+        assert!(
+            (g1[0] - g2[0]).abs() < 1e-7,
+            "averaging must not double-count"
+        );
     }
 
     #[test]
@@ -158,7 +167,7 @@ mod tests {
         for _ in 0..trials {
             let a = sample_action(&probs, &mut rng);
             // Constant reward so only the baseline differs.
-            sum_nob += logit_gradient(&probs, &[a.clone()], &[1.0], 0.0)[0] as f64;
+            sum_nob += logit_gradient(&probs, std::slice::from_ref(&a), &[1.0], 0.0)[0] as f64;
             sum_b += logit_gradient(&probs, &[a], &[1.0], 0.4)[0] as f64;
         }
         let mean_nob = sum_nob / trials as f64;

@@ -34,7 +34,10 @@ impl Augment {
 
     /// No augmentation (identity).
     pub fn none() -> Self {
-        Augment { flip: false, pad: 0 }
+        Augment {
+            flip: false,
+            pad: 0,
+        }
     }
 
     /// Applies the augmentation to a `[N, C, H, W]` batch, drawing one
@@ -82,7 +85,11 @@ impl Augment {
                         if sx0 < 0 || sx0 >= w as isize {
                             continue;
                         }
-                        let sx = if flip { w - 1 - sx0 as usize } else { sx0 as usize };
+                        let sx = if flip {
+                            w - 1 - sx0 as usize
+                        } else {
+                            sx0 as usize
+                        };
                         out[base + y * w + x] = src[base + sy as usize * w + sx];
                     }
                 }
@@ -135,15 +142,16 @@ mod tests {
     #[test]
     fn translation_pads_with_zeros() {
         let mut rng = Rng::seed_from(2);
-        let aug = Augment { flip: false, pad: 2 };
+        let aug = Augment {
+            flip: false,
+            pad: 2,
+        };
         let x = Tensor::ones(Shape::d4(16, 1, 5, 5));
         let y = aug.apply(&x, &mut rng).unwrap();
         // Every sample's content is still 0/1, and at least one sample
         // got shifted (has zeros from the padding).
         assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
-        let shifted = (0..16).any(|i| {
-            (0..25).any(|p| y.index_axis0(i).data()[p] == 0.0)
-        });
+        let shifted = (0..16).any(|i| (0..25).any(|p| y.index_axis0(i).data()[p] == 0.0));
         assert!(shifted, "no sample was translated in 16 draws");
     }
 
@@ -151,9 +159,16 @@ mod tests {
     fn rejects_bad_inputs() {
         let mut rng = Rng::seed_from(3);
         let aug = Augment::cifar_standard();
-        assert!(aug.apply(&Tensor::zeros(Shape::d2(2, 2)), &mut rng).is_err());
-        let big_pad = Augment { flip: false, pad: 9 };
-        assert!(big_pad.apply(&Tensor::zeros(Shape::d4(1, 1, 4, 4)), &mut rng).is_err());
+        assert!(aug
+            .apply(&Tensor::zeros(Shape::d2(2, 2)), &mut rng)
+            .is_err());
+        let big_pad = Augment {
+            flip: false,
+            pad: 9,
+        };
+        assert!(big_pad
+            .apply(&Tensor::zeros(Shape::d4(1, 1, 4, 4)), &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! process-wide cache keyed by the spec avoids repeated synthesis.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::error::DataError;
 use crate::generator::Dataset;
@@ -45,7 +43,7 @@ fn key_of(spec: &DatasetSpec) -> Key {
 pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
     let key = key_of(spec);
     {
-        let guard = CACHE.lock();
+        let guard = CACHE.lock().expect("dataset cache lock poisoned");
         if let Some(map) = guard.as_ref() {
             if let Some(ds) = map.get(&key) {
                 return Ok(Arc::clone(ds));
@@ -55,7 +53,7 @@ pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
     // Generate outside the lock: synthesis can take a while and other
     // threads may want other specs meanwhile.
     let ds = Arc::new(Dataset::generate(spec)?);
-    let mut guard = CACHE.lock();
+    let mut guard = CACHE.lock().expect("dataset cache lock poisoned");
     let map = guard.get_or_insert_with(HashMap::new);
     Ok(Arc::clone(map.entry(key).or_insert(ds)))
 }

@@ -22,7 +22,9 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::BadSpec { field, detail } => write!(f, "bad dataset spec ({field}): {detail}"),
+            DataError::BadSpec { field, detail } => {
+                write!(f, "bad dataset spec ({field}): {detail}")
+            }
             DataError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }
@@ -49,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = DataError::BadSpec { field: "classes", detail: "must be > 0".into() };
+        let e = DataError::BadSpec {
+            field: "classes",
+            detail: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("classes"));
         let t = DataError::from(TensorError::Empty { op: "stack" });
         assert!(Error::source(&t).is_some());

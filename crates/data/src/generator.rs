@@ -53,9 +53,14 @@ fn random_component(rng: &mut Rng, channels: usize, max_freq: f32, amp_scale: f3
 }
 
 fn genus_prototype(rng: &mut Rng, channels: usize) -> Prototype {
-    let components = (0..4).map(|_| random_component(rng, channels, 4.0, 1.0)).collect();
+    let components = (0..4)
+        .map(|_| random_component(rng, channels, 4.0, 1.0))
+        .collect();
     let color_bias = (0..channels).map(|_| rng.normal_with(0.0, 0.5)).collect();
-    Prototype { components, color_bias }
+    Prototype {
+        components,
+        color_bias,
+    }
 }
 
 /// Builds the class prototypes. For fine-grained datasets each class
@@ -67,20 +72,23 @@ fn class_prototypes(spec: &DatasetSpec, rng: &mut Rng) -> Vec<Prototype> {
             .map(|_| {
                 let mut p = genus_prototype(rng, spec.channels);
                 // Coarse datasets: one extra strong component per class.
-                p.components.push(random_component(rng, spec.channels, 6.0, 1.0));
+                p.components
+                    .push(random_component(rng, spec.channels, 6.0, 1.0));
                 p
             })
             .collect(),
         DatasetKind::CubLike => {
-            let genera: Vec<Prototype> =
-                (0..spec.num_genera).map(|_| genus_prototype(rng, spec.channels)).collect();
+            let genera: Vec<Prototype> = (0..spec.num_genera)
+                .map(|_| genus_prototype(rng, spec.channels))
+                .collect();
             (0..spec.num_classes)
                 .map(|c| {
                     let mut p = genera[c % spec.num_genera].clone();
                     // The class-discriminative signal is deliberately
                     // subtle: one weak high-frequency component and a tiny
                     // color shift.
-                    p.components.push(random_component(rng, spec.channels, 8.0, 0.6));
+                    p.components
+                        .push(random_component(rng, spec.channels, 8.0, 0.6));
                     for b in &mut p.color_bias {
                         *b += rng.normal_with(0.0, 0.15);
                     }
@@ -92,18 +100,17 @@ fn class_prototypes(spec: &DatasetSpec, rng: &mut Rng) -> Vec<Prototype> {
 }
 
 /// Renders one sample of a prototype into `out` (length `C·S·S`).
-fn render_sample(
-    proto: &Prototype,
-    spec: &DatasetSpec,
-    rng: &mut Rng,
-    out: &mut [f32],
-) {
+fn render_sample(proto: &Prototype, spec: &DatasetSpec, rng: &mut Rng, out: &mut [f32]) {
     let s = spec.size;
     let inv = 1.0 / s as f32;
     // Instance-level jitter: global phase shift and per-component
     // amplitude scaling — the same texture seen under different "pose".
     let phase_jitter = rng.normal_with(0.0, spec.jitter);
-    let scales: Vec<f32> = proto.components.iter().map(|_| rng.uniform_in(0.7, 1.3)).collect();
+    let scales: Vec<f32> = proto
+        .components
+        .iter()
+        .map(|_| rng.uniform_in(0.7, 1.3))
+        .collect();
     // Structured clutter: sample-specific components carrying no class
     // information. Unlike pixel noise, a convnet cannot average these
     // away, so they bound the attainable accuracy realistically.
@@ -152,15 +159,17 @@ fn render_split(
     // Interleave classes so any prefix of the dataset is roughly balanced.
     for _rep in 0..per_class {
         for (class, proto) in protos.iter().enumerate() {
-            render_sample(proto, spec, rng, &mut data[i * sample_len..(i + 1) * sample_len]);
+            render_sample(
+                proto,
+                spec,
+                rng,
+                &mut data[i * sample_len..(i + 1) * sample_len],
+            );
             labels.push(class);
             i += 1;
         }
     }
-    let images = Tensor::from_vec(
-        Shape::d4(n, spec.channels, spec.size, spec.size),
-        data,
-    )?;
+    let images = Tensor::from_vec(Shape::d4(n, spec.channels, spec.size, spec.size), data)?;
     Ok((images, labels))
 }
 
@@ -168,7 +177,11 @@ fn render_split(
 /// statistics, and returns `(mean, std)`.
 fn normalize(train: &mut Tensor, test: &mut Tensor) -> (f32, f32) {
     let mean = train.mean();
-    let var = train.data().iter().map(|&x| ((x - mean) as f64).powi(2)).sum::<f64>()
+    let var = train
+        .data()
+        .iter()
+        .map(|&x| ((x - mean) as f64).powi(2))
+        .sum::<f64>()
         / train.len() as f64;
     let std = (var.sqrt() as f32).max(1e-6);
     let f = move |x: f32| (x - mean) / std;
@@ -195,7 +208,13 @@ impl Dataset {
         let (mut test_images, test_labels) =
             render_split(&protos, spec, spec.num_test_per_class, &mut test_rng)?;
         normalize(&mut train_images, &mut test_images);
-        Ok(Dataset { train_images, train_labels, test_images, test_labels, spec: spec.clone() })
+        Ok(Dataset {
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+            spec: spec.clone(),
+        })
     }
 
     /// Number of classes.
@@ -316,7 +335,11 @@ mod tests {
             }
         }
         let dist = |a: usize, b: usize| -> f32 {
-            means[a].iter().zip(&means[b]).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+            means[a]
+                .iter()
+                .zip(&means[b])
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
                 / len as f32
         };
         // Classes c and c + genera share a genus (c % genera layout).

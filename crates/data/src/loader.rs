@@ -42,7 +42,11 @@ impl<'a> DataLoader<'a> {
     ///
     /// Returns [`DataError::BadSpec`] if the images are not `[N, C, H, W]`
     /// with one label per image, or if `batch_size` is zero.
-    pub fn new(images: &'a Tensor, labels: &'a [usize], batch_size: usize) -> Result<Self, DataError> {
+    pub fn new(
+        images: &'a Tensor,
+        labels: &'a [usize],
+        batch_size: usize,
+    ) -> Result<Self, DataError> {
         if images.shape().rank() != 4 || images.shape().dim(0) != labels.len() {
             return Err(DataError::BadSpec {
                 field: "loader",
@@ -55,7 +59,11 @@ impl<'a> DataLoader<'a> {
                 detail: "must be > 0".to_string(),
             });
         }
-        Ok(DataLoader { images, labels, batch_size })
+        Ok(DataLoader {
+            images,
+            labels,
+            batch_size,
+        })
     }
 
     /// Number of batches per epoch.
@@ -67,7 +75,13 @@ impl<'a> DataLoader<'a> {
     pub fn epoch(&mut self, rng: &mut Rng) -> Epoch<'_> {
         let mut order: Vec<usize> = (0..self.labels.len()).collect();
         rng.shuffle(&mut order);
-        Epoch { images: self.images, labels: self.labels, order, batch_size: self.batch_size, cursor: 0 }
+        Epoch {
+            images: self.images,
+            labels: self.labels,
+            order,
+            batch_size: self.batch_size,
+            cursor: 0,
+        }
     }
 }
 
@@ -109,7 +123,11 @@ mod tests {
 
     fn ds() -> Dataset {
         Dataset::generate(
-            &DatasetSpec::cifar_like().classes(3).train_per_class(5).test_per_class(2).image_size(8),
+            &DatasetSpec::cifar_like()
+                .classes(3)
+                .train_per_class(5)
+                .test_per_class(2)
+                .image_size(8),
         )
         .unwrap()
     }

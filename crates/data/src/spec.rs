@@ -1,11 +1,9 @@
 //! Dataset specifications.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DataError;
 
 /// Which statistical family a synthetic dataset imitates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// CIFAR-100-like: coarse classes, low inter-class similarity,
     /// small images.
@@ -22,7 +20,7 @@ pub enum DatasetKind {
 /// Defaults are scaled so that the complete experiment suite trains on a
 /// laptop CPU; raise `classes`, `train_per_class` and `image_size` to
 /// approach the real datasets' scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset family.
     pub kind: DatasetKind,
@@ -172,7 +170,10 @@ impl DatasetSpec {
             return bad("test_per_class", "must be > 0".into());
         }
         if self.size < 4 {
-            return bad("image_size", format!("{} is below the 4px minimum", self.size));
+            return bad(
+                "image_size",
+                format!("{} is below the 4px minimum", self.size),
+            );
         }
         if self.channels == 0 {
             return bad("channels", "must be > 0".into());
@@ -183,14 +184,20 @@ impl DatasetSpec {
         if self.kind == DatasetKind::CubLike && self.num_genera > self.num_classes {
             return bad(
                 "genera",
-                format!("{} genera exceed {} classes", self.num_genera, self.num_classes),
+                format!(
+                    "{} genera exceed {} classes",
+                    self.num_genera, self.num_classes
+                ),
             );
         }
         if !self.noise.is_finite() || self.noise < 0.0 {
             return bad("noise", format!("{} is not a valid std-dev", self.noise));
         }
         if !self.distractor_amp.is_finite() || self.distractor_amp < 0.0 {
-            return bad("distractor_amp", format!("{} is not a valid amplitude", self.distractor_amp));
+            return bad(
+                "distractor_amp",
+                format!("{} is not a valid amplitude", self.distractor_amp),
+            );
         }
         if !self.jitter.is_finite() || self.jitter < 0.0 {
             return bad("jitter", format!("{} is not a valid std-dev", self.jitter));
@@ -238,12 +245,40 @@ mod tests {
     #[test]
     fn invalid_fields_are_named() {
         let err = DatasetSpec::cifar_like().classes(0).validate().unwrap_err();
-        assert!(matches!(err, DataError::BadSpec { field: "classes", .. }));
-        let err = DatasetSpec::cub_like().genera(100).classes(10).validate().unwrap_err();
-        assert!(matches!(err, DataError::BadSpec { field: "genera", .. }));
-        let err = DatasetSpec::cifar_like().image_size(2).validate().unwrap_err();
-        assert!(matches!(err, DataError::BadSpec { field: "image_size", .. }));
-        let err = DatasetSpec::cifar_like().noise_std(-1.0).validate().unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::BadSpec {
+                field: "classes",
+                ..
+            }
+        ));
+        let err = DatasetSpec::cub_like()
+            .genera(100)
+            .classes(10)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::BadSpec {
+                field: "genera",
+                ..
+            }
+        ));
+        let err = DatasetSpec::cifar_like()
+            .image_size(2)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::BadSpec {
+                field: "image_size",
+                ..
+            }
+        ));
+        let err = DatasetSpec::cifar_like()
+            .noise_std(-1.0)
+            .validate()
+            .unwrap_err();
         assert!(matches!(err, DataError::BadSpec { field: "noise", .. }));
     }
 }

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_names_field() {
-        let e = GpuSimError::BadDevice { field: "peak_gflops", detail: "0".into() };
+        let e = GpuSimError::BadDevice {
+            field: "peak_gflops",
+            detail: "0".into(),
+        };
         assert!(e.to_string().contains("peak_gflops"));
     }
 }

@@ -1,7 +1,5 @@
 //! The roofline latency model.
 
-use serde::{Deserialize, Serialize};
-
 use hs_nn::Network;
 
 use crate::error::GpuSimError;
@@ -11,7 +9,7 @@ use crate::workload::{lower_network, LayerWork, Workload};
 ///
 /// Construct the paper's four platforms with the [`crate::devices`]
 /// functions, or build custom ones for what-if studies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Display name.
     pub name: String,
@@ -39,9 +37,14 @@ impl DeviceSpec {
     /// # Errors
     ///
     /// Returns [`GpuSimError::BadDevice`] naming the first bad field.
+    // Negated comparisons are deliberate: they also reject NaN fields.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), GpuSimError> {
         let bad = |field: &'static str, v: f64| {
-            Err(GpuSimError::BadDevice { field, detail: format!("{v}") })
+            Err(GpuSimError::BadDevice {
+                field,
+                detail: format!("{v}"),
+            })
         };
         if !(self.peak_gflops > 0.0) {
             return bad("peak_gflops", self.peak_gflops);
@@ -87,7 +90,7 @@ impl DeviceSpec {
 }
 
 /// Latency of one kernel, with its roofline breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerLatency {
     /// Kernel kind.
     pub kind: String,
@@ -98,7 +101,7 @@ pub struct LayerLatency {
 }
 
 /// A full-model latency estimate on one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyReport {
     /// Device name.
     pub device: String,
@@ -172,7 +175,11 @@ pub fn estimate_energy_per_frame(
     let mut energy = 0.0f64;
     for work in &workload.layers {
         let t = device.kernel_seconds(work);
-        let u = if work.macs == 0 { 0.1 } else { device.utilization(work.macs) };
+        let u = if work.macs == 0 {
+            0.1
+        } else {
+            device.utilization(work.macs)
+        };
         let power = device.tdp_watts * (u + device.idle_fraction * (1.0 - u));
         energy += power * t;
     }
@@ -260,7 +267,9 @@ mod tests {
         let d = devices::gtx_1080ti();
         let mut last = 0.0;
         for macs in [1_000u64, 1_000_000, 1_000_000_000, 10_000_000_000] {
-            let t = estimate_workload(&d, &toy_work(macs, 1_000_000)).unwrap().total_seconds;
+            let t = estimate_workload(&d, &toy_work(macs, 1_000_000))
+                .unwrap()
+                .total_seconds;
             assert!(t >= last, "latency decreased with more work: {t} < {last}");
             last = t;
         }

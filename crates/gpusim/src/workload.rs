@@ -1,7 +1,5 @@
 //! Lowering a network architecture into a device-independent workload.
 
-use serde::{Deserialize, Serialize};
-
 use hs_nn::accounting::analyze;
 use hs_nn::Network;
 
@@ -11,7 +9,7 @@ use crate::error::GpuSimError;
 const ELEM: u64 = 4;
 
 /// One kernel's worth of work: arithmetic plus data movement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerWork {
     /// Node kind (`"conv"`, `"linear"`, `"bn"`, …).
     pub kind: String,
@@ -36,7 +34,7 @@ impl LayerWork {
 }
 
 /// A whole model's inference workload for one input sample.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     /// Human-readable model tag.
     pub name: String,
@@ -117,7 +115,10 @@ pub fn lower_network(
             }
         }
     }
-    Ok(Workload { name: name.to_string(), layers })
+    Ok(Workload {
+        name: name.to_string(),
+        layers,
+    })
 }
 
 #[cfg(test)]
@@ -166,11 +167,19 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let net = models::vgg11(3, 10, 32, 1.0, &mut rng).unwrap();
         let w = lower_network("vgg", &net, 3, 32).unwrap();
-        let intensities: Vec<f64> =
-            w.layers.iter().filter(|l| l.kind == "conv").map(|l| l.intensity()).collect();
+        let intensities: Vec<f64> = w
+            .layers
+            .iter()
+            .filter(|l| l.kind == "conv")
+            .map(|l| l.intensity())
+            .collect();
         // Early convs reuse weights over many positions → high intensity;
         // the last convs run at 1×1 spatial and are weight-dominated.
-        assert!(intensities[1] > 10.0, "early conv intensity {}", intensities[1]);
+        assert!(
+            intensities[1] > 10.0,
+            "early conv intensity {}",
+            intensities[1]
+        );
         assert!(
             *intensities.last().unwrap() < 2.0,
             "late conv intensity {}",

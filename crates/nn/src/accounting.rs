@@ -7,13 +7,11 @@
 //! counts *multiply-accumulate operations* (MACs), not separate
 //! multiplies and adds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NnError;
 use crate::network::{Network, Node};
 
 /// Cost of one network node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerCost {
     /// Index of the node in the network.
     pub node_index: usize,
@@ -30,7 +28,7 @@ pub struct LayerCost {
 }
 
 /// Whole-network cost: per-node breakdown plus totals.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkCost {
     /// Per-node costs in execution order.
     pub layers: Vec<LayerCost>,
@@ -87,8 +85,16 @@ enum ShapeState {
 ///
 /// Returns [`NnError::BadInput`] if the architecture is inconsistent with
 /// the input shape (e.g. a channel mismatch mid-network).
-pub fn analyze(net: &Network, in_channels: usize, input_size: usize) -> Result<NetworkCost, NnError> {
-    let mut state = ShapeState::Spatial { c: in_channels, h: input_size, w: input_size };
+pub fn analyze(
+    net: &Network,
+    in_channels: usize,
+    input_size: usize,
+) -> Result<NetworkCost, NnError> {
+    let mut state = ShapeState::Spatial {
+        c: in_channels,
+        h: input_size,
+        w: input_size,
+    };
     let mut layers = Vec::with_capacity(net.len());
     for (i, node) in net.iter().enumerate() {
         let (cost, next) = node_cost(i, node, state)?;
@@ -99,11 +105,18 @@ pub fn analyze(net: &Network, in_channels: usize, input_size: usize) -> Result<N
     }
     let total_params = layers.iter().map(|l| l.params).sum();
     let total_flops = layers.iter().map(|l| l.flops).sum();
-    Ok(NetworkCost { layers, total_params, total_flops })
+    Ok(NetworkCost {
+        layers,
+        total_params,
+        total_flops,
+    })
 }
 
 fn bad(detail: String) -> NnError {
-    NnError::BadInput { what: "accounting::analyze", detail }
+    NnError::BadInput {
+        what: "accounting::analyze",
+        detail,
+    }
 }
 
 fn conv_out(h: usize, kernel: usize, stride: usize, padding: usize) -> usize {
@@ -138,7 +151,14 @@ fn node_cost(
                 params: n * ck2 + n,
                 flops: n * ck2 * (oh * ow) as u64,
             };
-            Ok((Some(cost), ShapeState::Spatial { c: conv.out_channels(), h: oh, w: ow }))
+            Ok((
+                Some(cost),
+                ShapeState::Spatial {
+                    c: conv.out_channels(),
+                    h: oh,
+                    w: ow,
+                },
+            ))
         }
         Node::Bn(bn) => {
             let ShapeState::Spatial { c, h, w } = state else {
@@ -181,9 +201,15 @@ fn node_cost(
             };
             let win = pool.window();
             if h % win != 0 || w % win != 0 {
-                return Err(bad(format!("maxpool node {index}: {h}x{w} not divisible by {win}")));
+                return Err(bad(format!(
+                    "maxpool node {index}: {h}x{w} not divisible by {win}"
+                )));
             }
-            let next = ShapeState::Spatial { c, h: h / win, w: w / win };
+            let next = ShapeState::Spatial {
+                c,
+                h: h / win,
+                w: w / win,
+            };
             let cost = LayerCost {
                 node_index: index,
                 kind: "maxpool".to_string(),
@@ -200,9 +226,15 @@ fn node_cost(
             };
             let win = pool.window();
             if h % win != 0 || w % win != 0 {
-                return Err(bad(format!("avgpool node {index}: {h}x{w} not divisible by {win}")));
+                return Err(bad(format!(
+                    "avgpool node {index}: {h}x{w} not divisible by {win}"
+                )));
             }
-            let next = ShapeState::Spatial { c, h: h / win, w: w / win };
+            let next = ShapeState::Spatial {
+                c,
+                h: h / win,
+                w: w / win,
+            };
             let cost = LayerCost {
                 node_index: index,
                 kind: "avgpool".to_string(),
@@ -261,7 +293,12 @@ fn node_cost(
                 params: (lin.out_features() * lin.in_features() + lin.out_features()) as u64,
                 flops: (lin.out_features() * lin.in_features()) as u64,
             };
-            Ok((Some(cost), ShapeState::Flat { f: lin.out_features() }))
+            Ok((
+                Some(cost),
+                ShapeState::Flat {
+                    f: lin.out_features(),
+                },
+            ))
         }
         Node::Block(block) => {
             let ShapeState::Spatial { c, h, w } = state else {
@@ -275,7 +312,11 @@ fn node_cost(
             }
             let stride = block.stride();
             let (oh, ow) = (conv_out(h, 3, stride, 1), conv_out(w, 3, stride, 1));
-            let next = ShapeState::Spatial { c: block.out_channels(), h: oh, w: ow };
+            let next = ShapeState::Spatial {
+                c: block.out_channels(),
+                h: oh,
+                w: ow,
+            };
             if !block.is_active() {
                 // Bypassed block: no parameters deployed, no computation.
                 let cost = LayerCost {
@@ -323,8 +364,19 @@ mod tests {
         let cost = analyze(&net, 3, 32).unwrap();
         // Conv stack of VGG-16 (with biases):
         let convs: &[(usize, usize)] = &[
-            (3, 64), (64, 64), (64, 128), (128, 128), (128, 256), (256, 256), (256, 256),
-            (256, 512), (512, 512), (512, 512), (512, 512), (512, 512), (512, 512),
+            (3, 64),
+            (64, 64),
+            (64, 128),
+            (128, 128),
+            (128, 256),
+            (256, 256),
+            (256, 256),
+            (256, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
         ];
         let mut expected: u64 = convs.iter().map(|&(i, o)| (o * i * 9 + o) as u64).sum();
         // BN affine params.
@@ -334,14 +386,20 @@ mod tests {
         assert_eq!(cost.total_params, expected);
         // Ballpark of the paper's Table 3 "14.77 M" (they exclude
         // BN/classifier bookkeeping differences): within 5%.
-        assert!((cost.params_millions() - 14.77).abs() / 14.77 < 0.05, "{}", cost.params_millions());
+        assert!(
+            (cost.params_millions() - 14.77).abs() / 14.77 < 0.05,
+            "{}",
+            cost.params_millions()
+        );
     }
 
     #[test]
     fn conv_flops_formula() {
         let mut rng = Rng::seed_from(1);
         let mut net = Network::new();
-        net.push(Node::Conv(crate::layer::Conv2d::new(3, 8, 3, 1, 1, &mut rng)));
+        net.push(Node::Conv(crate::layer::Conv2d::new(
+            3, 8, 3, 1, 1, &mut rng,
+        )));
         let cost = analyze(&net, 3, 10).unwrap();
         assert_eq!(cost.layers[0].flops, (8 * 3 * 9 * 10 * 10) as u64);
         assert_eq!(cost.layers[0].params, (8 * 3 * 9 + 8) as u64);
@@ -359,7 +417,11 @@ mod tests {
         assert!(pruned.total_params < full.total_params);
         assert!(pruned.total_flops < full.total_flops);
         // The difference equals that block's standalone cost.
-        let block_cost = full.layers.iter().find(|l| l.node_index == blocks[1]).unwrap();
+        let block_cost = full
+            .layers
+            .iter()
+            .find(|l| l.node_index == blocks[1])
+            .unwrap();
         assert_eq!(full.total_params - pruned.total_params, block_cost.params);
         assert_eq!(full.total_flops - pruned.total_flops, block_cost.flops);
     }

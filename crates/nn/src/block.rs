@@ -6,8 +6,6 @@
 //! convolutions disappear from the computation, exactly the
 //! BlockDrop/stochastic-depth observation the paper cites.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Rng, Tensor};
 
 use crate::error::NnError;
@@ -21,7 +19,7 @@ use crate::param::Param;
 /// blocks cannot be deactivated because the bypass would break tensor
 /// shapes. Identity-shortcut blocks can be toggled with
 /// [`ResidualBlock::set_active`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResidualBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -36,7 +34,6 @@ pub struct ResidualBlock {
     /// the paper's "apply the HeadStart concept to the convolutional
     /// layers in each block" generalization.
     inner_mask: Option<Vec<f32>>,
-    #[serde(skip)]
     cache: Option<BlockCache>,
 }
 
@@ -156,10 +153,9 @@ impl ResidualBlock {
     ///
     /// Returns [`NnError::NoForwardCache`] without a training forward.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or(NnError::NoForwardCache { layer: "ResidualBlock" })?;
+        let cache = self.cache.take().ok_or(NnError::NoForwardCache {
+            layer: "ResidualBlock",
+        })?;
         if !cache.ran_main {
             return Ok(grad_out.clone());
         }
@@ -253,7 +249,9 @@ impl ResidualBlock {
     pub fn prune_inner_maps(&mut self, keep: &[usize]) -> Result<(), NnError> {
         let channels = self.conv1.out_channels();
         if keep.is_empty() {
-            return Err(NnError::BadMask { detail: "keep set is empty".to_string() });
+            return Err(NnError::BadMask {
+                detail: "keep set is empty".to_string(),
+            });
         }
         let mut prev: Option<usize> = None;
         for &k in keep {
@@ -318,7 +316,12 @@ impl ResidualBlock {
             ),
         ];
         if let Some((conv, _)) = &self.downsample {
-            v.push((conv.out_channels(), conv.in_channels(), conv.kernel(), conv.stride()));
+            v.push((
+                conv.out_channels(),
+                conv.in_channels(),
+                conv.kernel(),
+                conv.stride(),
+            ));
         }
         v
     }
@@ -352,8 +355,14 @@ impl ResidualBlock {
     /// `(conv1, bn1, conv2, bn2, downsample, active)`.
     pub(crate) fn checkpoint_parts(
         &self,
-    ) -> (&Conv2d, &BatchNorm2d, &Conv2d, &BatchNorm2d, Option<(&Conv2d, &BatchNorm2d)>, bool)
-    {
+    ) -> (
+        &Conv2d,
+        &BatchNorm2d,
+        &Conv2d,
+        &BatchNorm2d,
+        Option<(&Conv2d, &BatchNorm2d)>,
+        bool,
+    ) {
         (
             &self.conv1,
             &self.bn1,
@@ -531,7 +540,9 @@ mod tests {
             block.cache = None;
         }
         let keep = vec![0usize, 2];
-        let mask: Vec<f32> = (0..4).map(|c| if keep.contains(&c) { 1.0 } else { 0.0 }).collect();
+        let mask: Vec<f32> = (0..4)
+            .map(|c| if keep.contains(&c) { 1.0 } else { 0.0 })
+            .collect();
         let mut masked = block.clone();
         masked.set_inner_mask(Some(mask)).unwrap();
         let y_masked = masked.forward(&x, false).unwrap();

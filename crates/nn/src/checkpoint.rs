@@ -214,7 +214,9 @@ fn read_node(r: &mut impl Read) -> io::Result<Node> {
                 None
             };
             let active = read_bool(r)?;
-            Node::Block(ResidualBlock::from_checkpoint_parts(c1, b1, c2, b2, down, active))
+            Node::Block(ResidualBlock::from_checkpoint_parts(
+                c1, b1, c2, b2, down, active,
+            ))
         }
         9 => {
             let mut buf = [0u8; 4];

@@ -44,7 +44,10 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::BadInput { what, detail } => write!(f, "bad input to {what}: {detail}"),
             NnError::NoForwardCache { layer } => {
-                write!(f, "backward called on {layer} without a cached forward pass")
+                write!(
+                    f,
+                    "backward called on {layer} without a cached forward pass"
+                )
             }
             NnError::BadNodeIndex { index, expected } => {
                 write!(f, "node index {index} is not a {expected}")

@@ -1,7 +1,5 @@
 //! Activation functions.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::Tensor;
 
 use crate::error::NnError;
@@ -11,9 +9,8 @@ use crate::error::NnError;
 /// The APoZ pruning criterion (Hu et al. 2016) counts zeros *after* this
 /// activation, which is why the network keeps ReLU as an explicit node
 /// rather than fusing it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReLU {
-    #[serde(skip)]
     mask: Option<Vec<bool>>,
 }
 
@@ -48,7 +45,11 @@ impl ReLU {
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 what: "ReLU::backward",
-                detail: format!("grad has {} elements, cache has {}", grad_out.len(), mask.len()),
+                detail: format!(
+                    "grad has {} elements, cache has {}",
+                    grad_out.len(),
+                    mask.len()
+                ),
             });
         }
         let mut dx = grad_out.clone();

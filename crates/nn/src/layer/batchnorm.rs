@@ -1,7 +1,5 @@
 //! Batch normalization over NCHW activations.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Shape, Tensor};
 
 use crate::error::NnError;
@@ -12,7 +10,7 @@ use crate::param::Param;
 /// Training mode normalizes with batch statistics and updates exponential
 /// running averages; evaluation mode uses the running averages, so a
 /// pruned-and-frozen model is deterministic.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     /// Scale (`γ`), `[C]`.
     pub gamma: Param,
@@ -24,7 +22,6 @@ pub struct BatchNorm2d {
     pub running_var: Tensor,
     momentum: f32,
     eps: f32,
-    #[serde(skip)]
     cache: Option<BnCache>,
 }
 
@@ -63,7 +60,12 @@ impl BatchNorm2d {
     ) -> Result<Self, NnError> {
         let c = gamma.len();
         let want = Shape::d1(c);
-        for (name, t) in [("gamma", &gamma), ("beta", &beta), ("running_mean", &running_mean), ("running_var", &running_var)] {
+        for (name, t) in [
+            ("gamma", &gamma),
+            ("beta", &beta),
+            ("running_mean", &running_mean),
+            ("running_var", &running_var),
+        ] {
             if t.shape() != &want {
                 return Err(NnError::BadInput {
                     what: "BatchNorm2d::from_parts",
@@ -107,6 +109,7 @@ impl BatchNorm2d {
         let mut out = input.clone();
         let mut x_hat = Tensor::zeros(shape.clone());
         let mut inv_stds = vec![0.0f32; c];
+        #[allow(clippy::needless_range_loop)] // `ch` also derives plane offsets
         for ch in 0..c {
             let (mean, var) = if train {
                 let mut sum = 0.0f64;
@@ -119,15 +122,15 @@ impl BatchNorm2d {
                     }
                 }
                 let mean = (sum / per_channel as f64) as f32;
-                let var = ((sq / per_channel as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                let var =
+                    ((sq / per_channel as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
                 // Exponential running averages (unbiased variance like
                 // PyTorch uses n/(n-1) but the difference is negligible at
                 // our batch sizes; we keep the biased batch variance).
                 let m = self.momentum;
                 self.running_mean.data_mut()[ch] =
                     (1.0 - m) * self.running_mean.data()[ch] + m * mean;
-                self.running_var.data_mut()[ch] =
-                    (1.0 - m) * self.running_var.data()[ch] + m * var;
+                self.running_var.data_mut()[ch] = (1.0 - m) * self.running_var.data()[ch] + m * var;
                 (mean, var)
             } else {
                 (self.running_mean.data()[ch], self.running_var.data()[ch])
@@ -146,7 +149,11 @@ impl BatchNorm2d {
             }
         }
         if train {
-            self.cache = Some(BnCache { x_hat, inv_std: inv_stds, batch_shape: shape.clone() });
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+                batch_shape: shape.clone(),
+            });
         } else {
             self.cache = None;
         }
@@ -160,10 +167,9 @@ impl BatchNorm2d {
     /// Returns [`NnError::NoForwardCache`] without a training forward, or
     /// [`NnError::BadInput`] on a shape mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or(NnError::NoForwardCache { layer: "BatchNorm2d" })?;
+        let cache = self.cache.take().ok_or(NnError::NoForwardCache {
+            layer: "BatchNorm2d",
+        })?;
         if grad_out.shape() != &cache.batch_shape {
             return Err(NnError::BadInput {
                 what: "BatchNorm2d::backward",

@@ -1,8 +1,7 @@
 //! 2-D convolution, the layer HeadStart prunes.
 
-use serde::{Deserialize, Serialize};
-
-use hs_tensor::{col2im, im2col, Conv2dGeometry, Init, Rng, Shape, Tensor};
+use hs_tensor::workspace::with_scratch;
+use hs_tensor::{col2im_into, gemm_ex, im2col_into, Conv2dGeometry, Init, Rng, Shape, Tensor};
 
 use crate::error::NnError;
 use crate::param::Param;
@@ -14,7 +13,7 @@ use crate::param::Param;
 /// and axis 1 is the *channel* axis (pruned when the previous layer's
 /// feature maps are dropped). This is exactly the `ΔN×C×k×k` /
 /// `M×ΔN×k×k` bookkeeping of the paper's Figure 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     /// Filter bank, `[N, C, k, k]`.
     pub weight: Param,
@@ -23,7 +22,6 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     padding: usize,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 
@@ -37,10 +35,8 @@ impl Conv2d {
         padding: usize,
         rng: &mut Rng,
     ) -> Self {
-        let weight = Init::KaimingNormal.sample(
-            Shape::d4(out_channels, in_channels, kernel, kernel),
-            rng,
-        );
+        let weight =
+            Init::KaimingNormal.sample(Shape::d4(out_channels, in_channels, kernel, kernel), rng);
         Conv2d {
             weight: Param::new(weight),
             bias: Param::new_no_decay(Tensor::zeros(Shape::d1(out_channels))),
@@ -117,7 +113,14 @@ impl Conv2d {
     }
 
     fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
-        Conv2dGeometry::new(self.in_channels(), in_h, in_w, self.kernel, self.stride, self.padding)
+        Conv2dGeometry::new(
+            self.in_channels(),
+            in_h,
+            in_w,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
     }
 
     /// Forward pass over a `[B, C, H, W]` batch.
@@ -131,38 +134,37 @@ impl Conv2d {
         if shape.rank() != 4 || shape.dim(1) != self.in_channels() {
             return Err(NnError::BadInput {
                 what: "Conv2d",
-                detail: format!(
-                    "expected [B, {}, H, W], got {}",
-                    self.in_channels(),
-                    shape
-                ),
+                detail: format!("expected [B, {}, H, W], got {}", self.in_channels(), shape),
             });
         }
         let (batch, _, in_h, in_w) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
         let geom = self.geometry(in_h, in_w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let n = self.out_channels();
-        let w2d = self
-            .weight
-            .value
-            .clone()
-            .reshape(Shape::d2(n, geom.col_rows()))?;
-        let mut out = Vec::with_capacity(batch * n * oh * ow);
+        let positions = oh * ow;
+        // The [N, C, k, k] filter bank is already the [N, C·k·k] GEMM
+        // operand row-major — use it in place, no clone/reshape.
+        let w2d = self.weight.value.data();
+        let col_rows = geom.col_rows();
+        let sample_len = geom.input_len();
+        let mut out = vec![0.0f32; batch * n * positions];
         for b in 0..batch {
-            let sample = input.index_axis0(b);
-            let col = im2col(&sample, &geom)?;
-            let mut y = w2d.matmul(&col)?; // [N, oh*ow]
+            let sample = &input.data()[b * sample_len..(b + 1) * sample_len];
+            let y = &mut out[b * n * positions..(b + 1) * n * positions];
+            // Lower the sample into workspace scratch: after warm-up this
+            // whole loop performs zero heap allocations.
+            with_scratch(geom.col_len(), |col| {
+                im2col_into(sample, col, &geom);
+                gemm_ex(y, w2d, col, n, col_rows, positions, false, false, false);
+            });
             // Broadcast bias over spatial positions.
-            let positions = oh * ow;
-            let ydata = y.data_mut();
             for (f, &bias) in self.bias.value.data().iter().enumerate() {
                 if bias != 0.0 {
-                    for v in &mut ydata[f * positions..(f + 1) * positions] {
+                    for v in &mut y[f * positions..(f + 1) * positions] {
                         *v += bias;
                     }
                 }
             }
-            out.extend_from_slice(y.data());
         }
         if train {
             self.cached_input = Some(input.clone());
@@ -197,29 +199,40 @@ impl Conv2d {
             });
         }
         let positions = oh * ow;
-        let w2d = self
-            .weight
-            .value
-            .clone()
-            .reshape(Shape::d2(n, geom.col_rows()))?;
-        let mut dw2d = Tensor::zeros(Shape::d2(n, geom.col_rows()));
-        let mut dx = Vec::with_capacity(input.len());
+        let col_rows = geom.col_rows();
+        let sample_len = geom.input_len();
+        // Split-borrow the parameters so the weight value (GEMM operand)
+        // and the weight gradient (GEMM accumulator) can be used together.
+        let Conv2d { weight, bias, .. } = self;
+        let w2d = weight.value.data();
+        // [N, C, k, k] gradient flat == [N, C·k·k]: accumulate GEMM output
+        // directly into the gradient buffer, no temporary + axpy.
+        let wgrad = weight.grad.data_mut();
+        let bgrad = bias.grad.data_mut();
+        let mut dx = vec![0.0f32; input.len()];
         for b in 0..batch {
-            let sample = input.index_axis0(b);
-            let col = im2col(&sample, &geom)?; // recomputed: trades FLOPs for memory
-            let dy = grad_out.index_axis0(b).reshape(Shape::d2(n, positions))?;
-            // dW += dY · colᵀ
-            dw2d.axpy(1.0, &dy.matmul_nt(&col)?)?;
+            let sample = &input.data()[b * sample_len..(b + 1) * sample_len];
+            let dy = &grad_out.data()[b * n * positions..(b + 1) * n * positions];
+            let dsample = &mut dx[b * sample_len..(b + 1) * sample_len];
+            with_scratch(geom.col_len(), |col| {
+                // Recomputed im2col: trades FLOPs for activation memory.
+                im2col_into(sample, col, &geom);
+                // dW += dY · colᵀ
+                gemm_ex(wgrad, dy, col, n, positions, col_rows, false, true, true);
+                with_scratch(geom.col_len(), |dcol| {
+                    // dX = col2im(Wᵀ · dY)
+                    gemm_ex(dcol, w2d, dy, col_rows, n, positions, true, false, false);
+                    col2im_into(dcol, dsample, &geom, false);
+                });
+            });
             // db += Σ_positions dY
-            let db = dy.sum_axis(1)?;
-            self.bias.grad.axpy(1.0, &db)?;
-            // dX = col2im(Wᵀ · dY)
-            let dcol = w2d.matmul_tn(&dy)?;
-            let dsample = col2im(&dcol, &geom)?;
-            dx.extend_from_slice(dsample.data());
+            for (f, g) in bgrad.iter_mut().enumerate() {
+                *g += dy[f * positions..(f + 1) * positions]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum::<f64>() as f32;
+            }
         }
-        let dw = dw2d.reshape(self.weight.value.shape().clone())?;
-        self.weight.grad.axpy(1.0, &dw)?;
         Ok(Tensor::from_vec(in_shape, dx)?)
     }
 
@@ -234,12 +247,7 @@ impl Conv2d {
 mod tests {
     use super::*;
 
-    fn finite_diff_check(
-        conv: &mut Conv2d,
-        x: &Tensor,
-        eps: f32,
-        tol: f32,
-    ) {
+    fn finite_diff_check(conv: &mut Conv2d, x: &Tensor, eps: f32, tol: f32) {
         // Scalar objective: sum of outputs. Analytic gradients via
         // backward(ones) vs numeric central differences.
         let y = conv.forward(x, true).unwrap();
@@ -304,7 +312,9 @@ mod tests {
         let mut conv = Conv2d::new(2, 1, 1, 1, 0, &mut rng);
         conv.weight.value = Tensor::from_vec(Shape::d4(1, 2, 1, 1), vec![2.0, -1.0]).unwrap();
         conv.bias.value = Tensor::from_vec(Shape::d1(1), vec![0.5]).unwrap();
-        let x = Tensor::from_fn(Shape::d4(1, 2, 2, 2), |i| (i[1] * 10 + i[2] * 2 + i[3]) as f32);
+        let x = Tensor::from_fn(Shape::d4(1, 2, 2, 2), |i| {
+            (i[1] * 10 + i[2] * 2 + i[3]) as f32
+        });
         let y = conv.forward(&x, false).unwrap();
         for h in 0..2 {
             for w in 0..2 {
@@ -347,7 +357,9 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
         let x = Tensor::randn(Shape::d4(1, 1, 4, 4), &mut rng);
         conv.forward(&x, false).unwrap();
-        assert!(conv.backward(&Tensor::zeros(Shape::d4(1, 1, 4, 4))).is_err());
+        assert!(conv
+            .backward(&Tensor::zeros(Shape::d4(1, 1, 4, 4)))
+            .is_err());
     }
 
     #[test]

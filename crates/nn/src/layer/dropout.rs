@@ -1,7 +1,5 @@
 //! Inverted dropout.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Rng, Tensor};
 
 use crate::error::NnError;
@@ -13,11 +11,10 @@ use crate::error::NnError;
 /// The layer owns its RNG stream (seeded at construction) so training
 /// runs stay reproducible without threading a generator through every
 /// forward call.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: Rng,
-    #[serde(skip)]
     mask: Option<Vec<f32>>,
 }
 
@@ -28,8 +25,15 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, rng: &mut Rng) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
-        Dropout { p, rng: rng.split(), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1), got {p}"
+        );
+        Dropout {
+            p,
+            rng: rng.split(),
+            mask: None,
+        }
     }
 
     /// The drop probability.
@@ -45,7 +49,13 @@ impl Dropout {
         }
         let scale = 1.0 / (1.0 - self.p);
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.bernoulli(self.p) { 0.0 } else { scale })
+            .map(|_| {
+                if self.rng.bernoulli(self.p) {
+                    0.0
+                } else {
+                    scale
+                }
+            })
             .collect();
         let mut out = input.clone();
         for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
@@ -69,7 +79,11 @@ impl Dropout {
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 what: "Dropout::backward",
-                detail: format!("grad has {} elements, cache has {}", grad_out.len(), mask.len()),
+                detail: format!(
+                    "grad has {} elements, cache has {}",
+                    grad_out.len(),
+                    mask.len()
+                ),
             });
         }
         let mut dx = grad_out.clone();

@@ -1,15 +1,12 @@
 //! Reshape bridge between convolutional and fully connected stages.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Shape, Tensor};
 
 use crate::error::NnError;
 
 /// Flattens `[B, C, H, W]` (or any rank ≥ 2 tensor) to `[B, F]`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    #[serde(skip)]
     in_shape: Option<Shape>,
 }
 

@@ -1,8 +1,6 @@
 //! Fully connected layer.
 
-use serde::{Deserialize, Serialize};
-
-use hs_tensor::{Init, Rng, Shape, Tensor};
+use hs_tensor::{gemm_ex, Init, Rng, Shape, Tensor};
 
 use crate::error::NnError;
 use crate::param::Param;
@@ -11,13 +9,12 @@ use crate::param::Param;
 ///
 /// The weight's *input* axis (axis 1) is what channel surgery shrinks when
 /// the last convolutional layer loses feature maps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     /// Weight matrix `[out_features, in_features]`.
     pub weight: Param,
     /// Bias `[out_features]`.
     pub bias: Param,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 
@@ -25,7 +22,9 @@ impl Linear {
     /// Creates a layer with Xavier-uniform weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
         Linear {
-            weight: Param::new(Init::XavierUniform.sample(Shape::d2(out_features, in_features), rng)),
+            weight: Param::new(
+                Init::XavierUniform.sample(Shape::d2(out_features, in_features), rng),
+            ),
             bias: Param::new_no_decay(Tensor::zeros(Shape::d1(out_features))),
             cached_input: None,
         }
@@ -49,7 +48,11 @@ impl Linear {
                 detail: format!("bias {} vs {} outputs", bias.shape(), weight.shape().dim(0)),
             });
         }
-        Ok(Linear { weight: Param::new(weight), bias: Param::new_no_decay(bias), cached_input: None })
+        Ok(Linear {
+            weight: Param::new(weight),
+            bias: Param::new_no_decay(bias),
+            cached_input: None,
+        })
     }
 
     /// Input feature count.
@@ -71,7 +74,11 @@ impl Linear {
         if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features() {
             return Err(NnError::BadInput {
                 what: "Linear",
-                detail: format!("expected [B, {}], got {}", self.in_features(), input.shape()),
+                detail: format!(
+                    "expected [B, {}], got {}",
+                    self.in_features(),
+                    input.shape()
+                ),
             });
         }
         let mut y = input.matmul_nt(&self.weight.value)?;
@@ -102,9 +109,34 @@ impl Linear {
             .cached_input
             .take()
             .ok_or(NnError::NoForwardCache { layer: "Linear" })?;
-        // dW = dYᵀ · X, db = Σ_batch dY, dX = dY · W
-        self.weight.grad.axpy(1.0, &grad_out.matmul_tn(&input)?)?;
-        self.bias.grad.axpy(1.0, &grad_out.sum_axis(0)?)?;
+        let batch = input.shape().dim(0);
+        let (out, inf) = (self.out_features(), self.in_features());
+        if grad_out.shape() != &Shape::d2(batch, out) {
+            return Err(NnError::BadInput {
+                what: "Linear::backward",
+                detail: format!("grad shape {} != [{batch}, {out}]", grad_out.shape()),
+            });
+        }
+        // dW = dYᵀ · X, accumulated straight into the gradient buffer.
+        gemm_ex(
+            self.weight.grad.data_mut(),
+            grad_out.data(),
+            input.data(),
+            out,
+            batch,
+            inf,
+            true,
+            false,
+            true,
+        );
+        // db += Σ_batch dY
+        let bgrad = self.bias.grad.data_mut();
+        for row in grad_out.data().chunks(out) {
+            for (g, &d) in bgrad.iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dX = dY · W
         Ok(grad_out.matmul(&self.weight.value)?)
     }
 
@@ -174,8 +206,15 @@ mod tests {
 
     #[test]
     fn from_parts_validates() {
-        assert!(Linear::from_parts(Tensor::zeros(Shape::d2(2, 3)), Tensor::zeros(Shape::d1(2))).is_ok());
-        assert!(Linear::from_parts(Tensor::zeros(Shape::d2(2, 3)), Tensor::zeros(Shape::d1(3))).is_err());
-        assert!(Linear::from_parts(Tensor::zeros(Shape::d1(6)), Tensor::zeros(Shape::d1(2))).is_err());
+        assert!(
+            Linear::from_parts(Tensor::zeros(Shape::d2(2, 3)), Tensor::zeros(Shape::d1(2))).is_ok()
+        );
+        assert!(
+            Linear::from_parts(Tensor::zeros(Shape::d2(2, 3)), Tensor::zeros(Shape::d1(3)))
+                .is_err()
+        );
+        assert!(
+            Linear::from_parts(Tensor::zeros(Shape::d1(6)), Tensor::zeros(Shape::d1(2))).is_err()
+        );
     }
 }

@@ -1,7 +1,5 @@
 //! Spatial pooling layers.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Shape, Tensor};
 
 use crate::error::NnError;
@@ -10,10 +8,9 @@ use crate::error::NnError;
 ///
 /// H and W must be divisible by the window size (the VGG/ResNet
 /// configurations in this repository always satisfy that).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
-    #[serde(skip)]
     cache: Option<PoolCache>,
 }
 
@@ -33,7 +30,10 @@ impl MaxPool2d {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        MaxPool2d { window, cache: None }
+        MaxPool2d {
+            window,
+            cache: None,
+        }
     }
 
     /// The pooling window / stride.
@@ -49,7 +49,9 @@ impl MaxPool2d {
     /// divisible by the window.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
         let shape = input.shape();
-        if shape.rank() != 4 || shape.dim(2) % self.window != 0 || shape.dim(3) % self.window != 0
+        if shape.rank() != 4
+            || !shape.dim(2).is_multiple_of(self.window)
+            || !shape.dim(3).is_multiple_of(self.window)
         {
             return Err(NnError::BadInput {
                 what: "MaxPool2d",
@@ -125,10 +127,9 @@ impl MaxPool2d {
 
 /// Non-overlapping window average pooling over `[B, C, H, W]`
 /// (LeNet-style subsampling).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     window: usize,
-    #[serde(skip)]
     in_shape: Option<Shape>,
 }
 
@@ -141,7 +142,10 @@ impl AvgPool2d {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        AvgPool2d { window, in_shape: None }
+        AvgPool2d {
+            window,
+            in_shape: None,
+        }
     }
 
     /// The pooling window / stride.
@@ -157,7 +161,9 @@ impl AvgPool2d {
     /// divisible by the window.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
         let shape = input.shape();
-        if shape.rank() != 4 || shape.dim(2) % self.window != 0 || shape.dim(3) % self.window != 0
+        if shape.rank() != 4
+            || !shape.dim(2).is_multiple_of(self.window)
+            || !shape.dim(3).is_multiple_of(self.window)
         {
             return Err(NnError::BadInput {
                 what: "AvgPool2d",
@@ -204,7 +210,12 @@ impl AvgPool2d {
             .in_shape
             .take()
             .ok_or(NnError::NoForwardCache { layer: "AvgPool2d" })?;
-        let (b, c, h, w) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2), in_shape.dim(3));
+        let (b, c, h, w) = (
+            in_shape.dim(0),
+            in_shape.dim(1),
+            in_shape.dim(2),
+            in_shape.dim(3),
+        );
         let (oh, ow) = (h / self.window, w / self.window);
         if grad_out.shape() != &Shape::d4(b, c, oh, ow) {
             return Err(NnError::BadInput {
@@ -240,9 +251,8 @@ impl AvgPool2d {
 /// Used as the feature→classifier bridge in all models here so that
 /// pruning the last convolution's feature maps maps one-to-one onto the
 /// classifier's input features.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GlobalAvgPool {
-    #[serde(skip)]
     in_shape: Option<Shape>,
 }
 
@@ -287,11 +297,15 @@ impl GlobalAvgPool {
     /// Returns [`NnError::NoForwardCache`] without a training forward, or
     /// [`NnError::BadInput`] on shape mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let in_shape = self
-            .in_shape
-            .take()
-            .ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool" })?;
-        let (b, c, h, w) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2), in_shape.dim(3));
+        let in_shape = self.in_shape.take().ok_or(NnError::NoForwardCache {
+            layer: "GlobalAvgPool",
+        })?;
+        let (b, c, h, w) = (
+            in_shape.dim(0),
+            in_shape.dim(1),
+            in_shape.dim(2),
+            in_shape.dim(3),
+        );
         if grad_out.shape() != &Shape::d2(b, c) {
             return Err(NnError::BadInput {
                 what: "GlobalAvgPool::backward",

@@ -1,8 +1,30 @@
 //! Classification loss and metrics.
 
-use hs_tensor::Tensor;
+use hs_tensor::{pool, Tensor};
 
 use crate::error::NnError;
+
+/// Softmax batches smaller than this many elements are normalized on the
+/// calling thread; larger ones run row-chunked on the worker pool.
+const SOFTMAX_PARALLEL_ELEMS: usize = 1 << 15;
+
+/// Rows are handed to the pool in fixed groups of this size (independent
+/// of the thread count; each row is normalized independently anyway).
+const SOFTMAX_ROW_CHUNK: usize = 64;
+
+fn softmax_rows(rows: &mut [f32], k: usize) {
+    for row in rows.chunks_mut(k) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
 
 /// Numerically stable row-wise softmax of a `[B, K]` logit matrix.
 ///
@@ -18,16 +40,15 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
     }
     let k = logits.shape().dim(1);
     let mut out = logits.clone();
-    for row in out.data_mut().chunks_mut(k) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+    if out.len() < SOFTMAX_PARALLEL_ELEMS || k == 0 {
+        softmax_rows(out.data_mut(), k);
+    } else {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .data_mut()
+            .chunks_mut(SOFTMAX_ROW_CHUNK * k)
+            .map(|rows| Box::new(move || softmax_rows(rows, k)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool::run_tasks(tasks);
     }
     Ok(out)
 }
@@ -43,10 +64,7 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
 ///
 /// Returns [`NnError::BadInput`] if the logits are not `[B, K]`, if
 /// `targets.len() != B`, or if any target is `>= K`.
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    targets: &[usize],
-) -> Result<(f32, Tensor), NnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor), NnError> {
     let probs = softmax(logits)?;
     let (b, k) = (logits.shape().dim(0), logits.shape().dim(1));
     if targets.len() != b {
@@ -111,7 +129,11 @@ pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> Result<f3
     if logits.shape().rank() != 2 || logits.shape().dim(0) != targets.len() || k == 0 {
         return Err(NnError::BadInput {
             what: "top_k_accuracy",
-            detail: format!("logits {}, {} targets, k {k}", logits.shape(), targets.len()),
+            detail: format!(
+                "logits {}, {} targets, k {k}",
+                logits.shape(),
+                targets.len()
+            ),
         });
     }
     let classes = logits.shape().dim(1);
@@ -286,11 +308,7 @@ mod tests {
 
     #[test]
     fn confusion_matrix_rows_sum_to_class_counts() {
-        let logits = Tensor::from_vec(
-            Shape::d2(3, 2),
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let logits = Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         let m = confusion_matrix(&logits, &[0, 0, 1]).unwrap();
         assert_eq!(m[0], vec![1, 1]); // one class-0 correct, one → 1
         assert_eq!(m[1], vec![1, 0]); // the class-1 sample predicted 0
@@ -299,11 +317,8 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits = Tensor::from_vec(
-            Shape::d2(3, 2),
-            vec![1.0, 0.0, 0.0, 1.0, 5.0, -1.0],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 0.0, 0.0, 1.0, 5.0, -1.0]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

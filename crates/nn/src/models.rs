@@ -106,7 +106,7 @@ pub fn vgg_from_config(
                 channels = out;
             }
             VggItem::Pool => {
-                if spatial >= 2 && spatial % 2 == 0 {
+                if spatial >= 2 && spatial.is_multiple_of(2) {
                     net.push(Node::MaxPool(MaxPool2d::new(2)));
                     spatial /= 2;
                 }
@@ -163,7 +163,7 @@ pub fn lenet(
     width: f32,
     rng: &mut Rng,
 ) -> Result<Network, NnError> {
-    if classes == 0 || input_size < 4 || input_size % 4 != 0 {
+    if classes == 0 || input_size < 4 || !input_size.is_multiple_of(4) {
         return Err(NnError::BadInput {
             what: "lenet",
             detail: format!("classes {classes}, input_size {input_size} (needs multiple of 4)"),
@@ -209,12 +209,19 @@ pub fn alexnet(
     let mut channels = in_channels;
     for (i, &out) in widths.iter().enumerate() {
         let kernel = if i == 0 { 5 } else { 3 };
-        net.push(Node::Conv(Conv2d::new(channels, out, kernel, 1, kernel / 2, rng)));
+        net.push(Node::Conv(Conv2d::new(
+            channels,
+            out,
+            kernel,
+            1,
+            kernel / 2,
+            rng,
+        )));
         net.push(Node::Bn(BatchNorm2d::new(out)));
         net.push(Node::Relu(ReLU::new()));
         channels = out;
         // Pools after conv 0, 1 and 4 (the AlexNet pattern).
-        if matches!(i, 0 | 1 | 4) && spatial >= 2 && spatial % 2 == 0 {
+        if matches!(i, 0 | 1 | 4) && spatial >= 2 && spatial.is_multiple_of(2) {
             net.push(Node::MaxPool(MaxPool2d::new(2)));
             spatial /= 2;
         }
@@ -252,7 +259,14 @@ pub fn resnet_cifar(
         scale_channels(64, width),
     ];
     let mut net = Network::new();
-    net.push(Node::Conv(Conv2d::new(in_channels, widths[0], 3, 1, 1, rng)));
+    net.push(Node::Conv(Conv2d::new(
+        in_channels,
+        widths[0],
+        3,
+        1,
+        1,
+        rng,
+    )));
     net.push(Node::Bn(BatchNorm2d::new(widths[0])));
     net.push(Node::Relu(ReLU::new()));
     let mut channels = widths[0];
@@ -280,7 +294,8 @@ pub fn reinitialize(net: &mut Network, rng: &mut Rng) {
             Node::Conv(conv) => reinit_conv(conv, rng),
             Node::Bn(bn) => reinit_bn(bn),
             Node::Linear(lin) => {
-                lin.weight.value = Init::XavierUniform.sample(lin.weight.value.shape().clone(), rng);
+                lin.weight.value =
+                    Init::XavierUniform.sample(lin.weight.value.shape().clone(), rng);
                 lin.weight.zero_grad();
                 lin.bias.value.fill(0.0);
                 lin.bias.zero_grad();
@@ -442,11 +457,18 @@ mod tests {
         let mut diff = 0.0f32;
         let mut old = Vec::new();
         let mut neu = Vec::new();
-        before.clone().visit_params(&mut |p| old.push(p.value.clone()));
+        before
+            .clone()
+            .visit_params(&mut |p| old.push(p.value.clone()));
         net.visit_params(&mut |p| neu.push(p.value.clone()));
         for (a, b) in old.iter().zip(&neu) {
             assert_eq!(a.shape(), b.shape());
-            diff += a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum::<f32>();
+            diff += a
+                .data()
+                .iter()
+                .zip(b.data())
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f32>();
         }
         assert!(diff > 0.0);
         // And the reinitialized network still runs.

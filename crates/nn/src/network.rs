@@ -1,8 +1,6 @@
 //! The network container: a sequence of nodes with masking, capture and
 //! block-level control.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::Tensor;
 
 use crate::block::ResidualBlock;
@@ -17,8 +15,11 @@ use crate::param::Param;
 /// The enum (rather than trait objects) keeps surgery, accounting and
 /// serialization straightforward: pruning code can pattern-match on the
 /// exact layer kinds it needs to rewrite.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 #[allow(missing_docs)]
+// Nodes live in one short Vec per network; boxing the residual-block
+// variant would complicate every match for a negligible size win.
+#[allow(clippy::large_enum_variant)]
 pub enum Node {
     Conv(Conv2d),
     Bn(BatchNorm2d),
@@ -102,18 +103,15 @@ impl Node {
 /// channel is multiplied by zero on the forward pass (and its gradient is
 /// zeroed on the backward pass). This is how HeadStart evaluates candidate
 /// inceptions cheaply before committing to physical surgery.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     nodes: Vec<Node>,
     masks: Vec<Option<Vec<f32>>>,
     /// When true, training forward passes cache pre-mask activations so
     /// that [`Network::take_mask_grad`] can report `∂L/∂mask` after the
     /// backward pass (used by learned-gate pruning such as AutoPruner).
-    #[serde(skip)]
     mask_grad_enabled: bool,
-    #[serde(skip)]
     premask: Vec<Option<Tensor>>,
-    #[serde(skip)]
     mask_grads: Vec<Option<Vec<f32>>>,
 }
 
@@ -321,7 +319,10 @@ impl Network {
         train: bool,
     ) -> Result<Tensor, NnError> {
         if start > self.nodes.len() {
-            return Err(NnError::BadNodeIndex { index: start, expected: "node range start" });
+            return Err(NnError::BadNodeIndex {
+                index: start,
+                expected: "node range start",
+            });
         }
         let mut x = input.clone();
         for i in start..self.nodes.len() {
@@ -353,7 +354,10 @@ impl Network {
     ) -> Result<(Tensor, Vec<Tensor>), NnError> {
         for &c in capture {
             if c >= self.nodes.len() {
-                return Err(NnError::BadNodeIndex { index: c, expected: "existing node" });
+                return Err(NnError::BadNodeIndex {
+                    index: c,
+                    expected: "existing node",
+                });
             }
         }
         let mut captured: Vec<Option<Tensor>> = vec![None; capture.len()];
@@ -370,7 +374,10 @@ impl Network {
                 }
             }
         }
-        let captured = captured.into_iter().map(|t| t.expect("validated above")).collect();
+        let captured = captured
+            .into_iter()
+            .map(|t| t.expect("validated above"))
+            .collect();
         Ok((x, captured))
     }
 
@@ -427,7 +434,10 @@ impl Network {
     pub fn set_block_active(&mut self, index: usize, active: bool) -> Result<(), NnError> {
         match self.nodes.get_mut(index) {
             Some(Node::Block(b)) => b.set_active(active),
-            _ => Err(NnError::BadNodeIndex { index, expected: "residual block" }),
+            _ => Err(NnError::BadNodeIndex {
+                index,
+                expected: "residual block",
+            }),
         }
     }
 
@@ -439,7 +449,10 @@ impl Network {
     pub fn conv(&self, index: usize) -> Result<&Conv2d, NnError> {
         match self.nodes.get(index) {
             Some(Node::Conv(c)) => Ok(c),
-            _ => Err(NnError::BadNodeIndex { index, expected: "conv" }),
+            _ => Err(NnError::BadNodeIndex {
+                index,
+                expected: "conv",
+            }),
         }
     }
 }
@@ -560,7 +573,10 @@ mod tests {
         let mut net = tiny_net(&mut rng);
         net.set_channel_mask(2, Some(vec![1.0; 3]));
         let x = Tensor::randn(Shape::d4(1, 1, 8, 8), &mut rng);
-        assert!(matches!(net.forward(&x, false), Err(NnError::BadMask { .. })));
+        assert!(matches!(
+            net.forward(&x, false),
+            Err(NnError::BadMask { .. })
+        ));
     }
 
     #[test]

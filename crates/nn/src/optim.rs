@@ -1,10 +1,38 @@
 //! Optimizers: SGD with momentum (fine-tuning) and RMSprop (the paper's
 //! choice for training the head-start policy networks).
 
-use hs_tensor::Tensor;
+use hs_tensor::{pool, Tensor};
 
 use crate::network::Network;
 use crate::param::Param;
+
+/// Chunk size for pooled parameter updates. Fixed (not thread-derived) so
+/// update order within each chunk — and the resulting floats — never
+/// depend on `HS_NUM_THREADS`.
+const UPDATE_CHUNK: usize = 1 << 15;
+
+/// Applies `f` to matching fixed-size chunks of optimizer state, weights
+/// and gradients, in parallel for large parameters.
+fn par_zip3(
+    state: &mut [f32],
+    value: &mut [f32],
+    grad: &[f32],
+    f: impl Fn(&mut [f32], &mut [f32], &[f32]) + Sync,
+) {
+    debug_assert!(state.len() == value.len() && value.len() == grad.len());
+    if value.len() <= UPDATE_CHUNK {
+        f(state, value, grad);
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = state
+        .chunks_mut(UPDATE_CHUNK)
+        .zip(value.chunks_mut(UPDATE_CHUNK))
+        .zip(grad.chunks(UPDATE_CHUNK))
+        .map(|((s, v), g)| Box::new(move || f(s, v, g)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::run_tasks(tasks);
+}
 
 /// A gradient-descent optimizer over a [`Network`]'s parameters.
 ///
@@ -48,7 +76,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Sets the momentum coefficient (builder style).
@@ -82,16 +115,14 @@ impl Optimizer for Sgd {
             let v = &mut velocity[idx];
             debug_assert_eq!(v.shape(), p.value.shape(), "optimizer state shape drift");
             let decay = if p.decay { wd } else { 0.0 };
-            for ((vi, w), &gi) in v
-                .data_mut()
-                .iter_mut()
-                .zip(p.value.data_mut().iter_mut())
-                .zip(p.grad.data())
-            {
-                let g = gi + decay * *w;
-                *vi = mom * *vi + g;
-                *w -= lr * *vi;
-            }
+            let Param { value, grad, .. } = p;
+            par_zip3(v.data_mut(), value.data_mut(), grad.data(), |vs, ws, gs| {
+                for ((vi, w), &gi) in vs.iter_mut().zip(ws.iter_mut()).zip(gs) {
+                    let g = gi + decay * *w;
+                    *vi = mom * *vi + g;
+                    *w -= lr * *vi;
+                }
+            });
             idx += 1;
         });
     }
@@ -120,7 +151,13 @@ impl RmsProp {
     /// Creates RMSprop with the given learning rate, smoothing `α = 0.99`
     /// and `ε = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        RmsProp { lr, alpha: 0.99, eps: 1e-8, weight_decay: 0.0, sq_avg: Vec::new() }
+        RmsProp {
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            sq_avg: Vec::new(),
+        }
     }
 
     /// Sets the smoothing constant `α` (builder style).
@@ -150,15 +187,26 @@ impl Optimizer for RmsProp {
             if sq_avg.len() <= idx {
                 sq_avg.push(Tensor::zeros(p.value.shape().clone()));
             }
-            debug_assert_eq!(sq_avg[idx].shape(), p.value.shape(), "optimizer state shape drift");
+            debug_assert_eq!(
+                sq_avg[idx].shape(),
+                p.value.shape(),
+                "optimizer state shape drift"
+            );
             let decay = if p.decay { wd } else { 0.0 };
-            let s = sq_avg[idx].data_mut();
-            let grads = p.grad.data().to_vec();
-            for ((w, &g0), s) in p.value.data_mut().iter_mut().zip(grads.iter()).zip(s.iter_mut()) {
-                let g = g0 + decay * *w;
-                *s = alpha * *s + (1.0 - alpha) * g * g;
-                *w -= lr * g / (s.sqrt() + eps);
-            }
+            // Split-borrow value and grad so no gradient copy is needed.
+            let Param { value, grad, .. } = p;
+            par_zip3(
+                sq_avg[idx].data_mut(),
+                value.data_mut(),
+                grad.data(),
+                |ss, ws, gs| {
+                    for ((w, &g0), s) in ws.iter_mut().zip(gs).zip(ss.iter_mut()) {
+                        let g = g0 + decay * *w;
+                        *s = alpha * *s + (1.0 - alpha) * g * g;
+                        *w -= lr * g / (s.sqrt() + eps);
+                    }
+                },
+            );
             idx += 1;
         });
     }
@@ -205,7 +253,11 @@ impl StepLr {
     pub fn new(base_lr: f32, step_epochs: usize, gamma: f32) -> Self {
         assert!(step_epochs > 0, "step_epochs must be positive");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
-        StepLr { base_lr, step_epochs, gamma }
+        StepLr {
+            base_lr,
+            step_epochs,
+            gamma,
+        }
     }
 
     /// The learning rate the schedule prescribes for `epoch` (0-based).

@@ -1,8 +1,6 @@
 //! Trainable parameters: a value tensor paired with its gradient
 //! accumulator.
 
-use serde::{Deserialize, Serialize};
-
 use hs_tensor::{Shape, Tensor};
 
 /// A trainable parameter: value plus gradient accumulator of equal shape.
@@ -11,7 +9,7 @@ use hs_tensor::{Shape, Tensor};
 /// [`Network::visit_params`](crate::Network::visit_params); the visit
 /// order is deterministic, which is how optimizers associate per-parameter
 /// state (momentum buffers etc.) without global IDs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Current value.
     pub value: Tensor,
@@ -26,13 +24,21 @@ impl Param {
     /// Wraps a value tensor with a zeroed gradient, with weight decay on.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { value, grad, decay: true }
+        Param {
+            value,
+            grad,
+            decay: true,
+        }
     }
 
     /// Wraps a value tensor with weight decay off (biases, BN affine).
     pub fn new_no_decay(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { value, grad, decay: false }
+        Param {
+            value,
+            grad,
+            decay: false,
+        }
     }
 
     /// Zeroes the gradient accumulator.

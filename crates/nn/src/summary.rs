@@ -72,7 +72,10 @@ mod tests {
         let net = models::vgg11(3, 10, 16, 0.25, &mut rng).unwrap();
         let text = render(&net, 3, 16).unwrap();
         // 8 convs + 8 bns + 1 linear rows (relu/pool are cost-free).
-        let rows = text.lines().filter(|l| l.contains("conv") || l.contains("linear")).count();
+        let rows = text
+            .lines()
+            .filter(|l| l.contains("conv") || l.contains("linear"))
+            .count();
         assert_eq!(rows, 9, "{text}");
         assert!(text.starts_with("input: [3, 16, 16]"));
         assert!(text.trim_end().ends_with('B') || text.contains("total:"));

@@ -11,8 +11,6 @@
 //!    models bridge with global average pooling, so feature maps map
 //!    one-to-one onto classifier inputs).
 
-
-
 use crate::error::NnError;
 use crate::layer::{BatchNorm2d, Conv2d, Linear};
 use crate::network::{Network, Node};
@@ -69,7 +67,13 @@ pub fn conv_sites(net: &Network) -> Vec<ConvSite> {
             }
         }
         let mask_node = relu.or(bn).unwrap_or(conv);
-        sites.push(ConvSite { conv, bn, relu, mask_node, consumer });
+        sites.push(ConvSite {
+            conv,
+            bn,
+            relu,
+            mask_node,
+            consumer,
+        });
     }
     sites
 }
@@ -84,7 +88,9 @@ pub fn keep_from_mask(mask: &[f32]) -> Vec<usize> {
 
 fn validate_keep(keep: &[usize], channels: usize) -> Result<(), NnError> {
     if keep.is_empty() {
-        return Err(NnError::BadMask { detail: "keep set is empty".to_string() });
+        return Err(NnError::BadMask {
+            detail: "keep set is empty".to_string(),
+        });
     }
     let mut prev = None;
     for &k in keep {
@@ -113,7 +119,12 @@ fn shrink_conv_filters(conv: &Conv2d, keep: &[usize]) -> Result<Conv2d, NnError>
 
 fn shrink_conv_channels(conv: &Conv2d, keep: &[usize]) -> Result<Conv2d, NnError> {
     let weight = conv.weight.value.index_select(1, keep)?;
-    Conv2d::from_parts(weight, conv.bias.value.clone(), conv.stride(), conv.padding())
+    Conv2d::from_parts(
+        weight,
+        conv.bias.value.clone(),
+        conv.stride(),
+        conv.padding(),
+    )
 }
 
 fn shrink_bn(bn: &BatchNorm2d, keep: &[usize]) -> Result<BatchNorm2d, NnError> {
@@ -151,7 +162,10 @@ pub fn prune_feature_maps(
     let site = conv_sites(net)
         .into_iter()
         .find(|s| s.conv == conv_index)
-        .ok_or(NnError::BadNodeIndex { index: conv_index, expected: "conv" })?;
+        .ok_or(NnError::BadNodeIndex {
+            index: conv_index,
+            expected: "conv",
+        })?;
     let old_channels = net.conv(conv_index)?.out_channels();
     validate_keep(keep, old_channels)?;
 
@@ -321,7 +335,9 @@ mod tests {
             net.forward(&x, true).unwrap();
         }
         let keep = vec![0usize, 3, 4, 6];
-        let mask: Vec<f32> = (0..8).map(|c| if keep.contains(&c) { 1.0 } else { 0.0 }).collect();
+        let mask: Vec<f32> = (0..8)
+            .map(|c| if keep.contains(&c) { 1.0 } else { 0.0 })
+            .collect();
         let mut masked = net.clone();
         masked.set_channel_mask(2, Some(mask)); // after ReLU
         let y_masked = masked.forward(&x, false).unwrap();
@@ -340,7 +356,10 @@ mod tests {
         assert!(prune_feature_maps(&mut net, 0, &[]).is_err());
         assert!(prune_feature_maps(&mut net, 0, &[3, 1]).is_err());
         assert!(prune_feature_maps(&mut net, 0, &[0, 99]).is_err());
-        assert!(prune_feature_maps(&mut net, 1, &[0]).is_err(), "node 1 is a bn");
+        assert!(
+            prune_feature_maps(&mut net, 1, &[0]).is_err(),
+            "node 1 is a bn"
+        );
     }
 
     #[test]

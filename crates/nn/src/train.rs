@@ -161,7 +161,10 @@ pub fn recalibrate_bn(
     if images.shape().rank() != 4 || images.shape().dim(0) == 0 {
         return Err(NnError::BadInput {
             what: "recalibrate_bn",
-            detail: format!("images must be non-empty [N, C, H, W], got {}", images.shape()),
+            detail: format!(
+                "images must be non-empty [N, C, H, W], got {}",
+                images.shape()
+            ),
         });
     }
     let n = images.shape().dim(0);

@@ -27,7 +27,9 @@ impl PruningCriterion for Apoz {
         let shape = acts.shape();
         if shape.rank() != 4 || shape.dim(1) != channels {
             return Err(PruneError::BadScoringSet {
-                detail: format!("site activations have shape {shape}, expected [N, {channels}, H, W]"),
+                detail: format!(
+                    "site activations have shape {shape}, expected [N, {channels}, H, W]"
+                ),
             });
         }
         let (n, plane) = (shape.dim(0), shape.dim(2) * shape.dim(3));
@@ -35,7 +37,10 @@ impl PruningCriterion for Apoz {
         for b in 0..n {
             for (c, z) in zeros.iter_mut().enumerate() {
                 let base = (b * channels + c) * plane;
-                *z += acts.data()[base..base + plane].iter().filter(|&&v| v <= 0.0).count() as u64;
+                *z += acts.data()[base..base + plane]
+                    .iter()
+                    .filter(|&&v| v <= 0.0)
+                    .count() as u64;
             }
         }
         let total = (n * plane) as f32;
@@ -58,8 +63,7 @@ mod tests {
         let mut conv = Conv2d::new(1, 3, 1, 1, 0, &mut rng);
         // Filter 0: large negative bias → always zero after ReLU.
         // Filter 1: passes input through. Filter 2: large positive bias.
-        conv.weight.value =
-            Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.0, 1.0, 0.0]).unwrap();
+        conv.weight.value = Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.0, 1.0, 0.0]).unwrap();
         conv.bias.value = Tensor::from_vec(Shape::d1(3), vec![-10.0, 0.0, 10.0]).unwrap();
         net.push(Node::Conv(conv));
         net.push(Node::Relu(ReLU::new()));
@@ -68,9 +72,20 @@ mod tests {
         let labels = [0usize; 4];
         let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
         let scores = Apoz::new().score(&mut ctx).unwrap();
-        assert!(scores[0] < 1e-6, "dead channel must score ~0, got {}", scores[0]);
-        assert!((scores[2] - 1.0).abs() < 1e-6, "always-on channel must score 1");
-        assert!(scores[1] > 0.2 && scores[1] < 0.8, "pass-through ~half zeros: {}", scores[1]);
+        assert!(
+            scores[0] < 1e-6,
+            "dead channel must score ~0, got {}",
+            scores[0]
+        );
+        assert!(
+            (scores[2] - 1.0).abs() < 1e-6,
+            "always-on channel must score 1"
+        );
+        assert!(
+            scores[1] > 0.2 && scores[1] < 0.8,
+            "pass-through ~half zeros: {}",
+            scores[1]
+        );
         // keep_set drops the dead channel first.
         let keep = Apoz::new().keep_set(&mut ctx, 2).unwrap();
         assert_eq!(keep, vec![1, 2]);

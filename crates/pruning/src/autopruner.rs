@@ -86,10 +86,10 @@ impl PruningCriterion for AutoPruner {
         let result = (|| -> Result<Vec<f32>, PruneError> {
             for it in 0..self.iterations {
                 let t = self.temp_start
-                    + (self.temp_end - self.temp_start) * it as f32
-                        / self.iterations.max(1) as f32;
+                    + (self.temp_end - self.temp_start) * it as f32 / self.iterations.max(1) as f32;
                 let gates: Vec<f32> = alpha.iter().map(|&a| sigmoid(t * a)).collect();
-                ctx.net.set_channel_mask(site.mask_node, Some(gates.clone()));
+                ctx.net
+                    .set_channel_mask(site.mask_node, Some(gates.clone()));
                 let logits = ctx.net.forward(ctx.images, true)?;
                 let (_, grad) = softmax_cross_entropy(&logits, ctx.labels)?;
                 ctx.net.backward(&grad)?;
@@ -171,7 +171,10 @@ mod tests {
             let mut ctx = ScoreContext::new(&mut net, site, &images, &labels, &mut rng);
             crit.score(&mut ctx).unwrap();
         }
-        assert!(net.channel_mask(site.mask_node).is_none(), "mask must be cleared");
+        assert!(
+            net.channel_mask(site.mask_node).is_none(),
+            "mask must be cleared"
+        );
         let after = net.forward(&images, false).unwrap();
         // BN running stats move during gate training (train-mode
         // forwards), so compare only approximately.

@@ -32,7 +32,13 @@ impl<'a> ScoreContext<'a> {
         labels: &'a [usize],
         rng: &'a mut Rng,
     ) -> Self {
-        ScoreContext { net, site, images, labels, rng }
+        ScoreContext {
+            net,
+            site,
+            images,
+            labels,
+            rng,
+        }
     }
 
     /// Feature-map count of the conv at this site.
@@ -83,15 +89,25 @@ pub trait PruningCriterion: std::fmt::Debug {
     /// Returns [`PruneError::BadKeepCount`] if `keep` is zero or exceeds
     /// the layer's map count, plus anything [`score`](Self::score) can
     /// return.
-    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+    fn keep_set(
+        &mut self,
+        ctx: &mut ScoreContext<'_>,
+        keep: usize,
+    ) -> Result<Vec<usize>, PruneError> {
         let channels = ctx.channels()?;
         if keep == 0 || keep > channels {
-            return Err(PruneError::BadKeepCount { keep, available: channels });
+            return Err(PruneError::BadKeepCount {
+                keep,
+                available: channels,
+            });
         }
         let scores = self.score(ctx)?;
         if scores.len() != channels {
             return Err(PruneError::BadScoringSet {
-                detail: format!("criterion returned {} scores for {channels} maps", scores.len()),
+                detail: format!(
+                    "criterion returned {} scores for {channels} maps",
+                    scores.len()
+                ),
             });
         }
         Ok(top_k_indices(&scores, keep))
@@ -125,7 +141,10 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     assert!(k <= scores.len(), "k {} exceeds {} scores", k, scores.len());
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut keep: Vec<usize> = order[..k].to_vec();
     keep.sort_unstable();

@@ -29,7 +29,13 @@ pub struct FineTune {
 
 impl Default for FineTune {
     fn default() -> Self {
-        FineTune { epochs: 4, lr: 0.02, momentum: 0.9, weight_decay: 5e-4, batch_size: 32 }
+        FineTune {
+            epochs: 4,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            batch_size: 32,
+        }
     }
 }
 
@@ -49,8 +55,18 @@ impl FineTune {
         if self.epochs == 0 {
             return Ok(());
         }
-        let mut opt = Sgd::new(self.lr).momentum(self.momentum).weight_decay(self.weight_decay);
-        train::fit(net, &mut opt, images, labels, self.batch_size, self.epochs, rng)?;
+        let mut opt = Sgd::new(self.lr)
+            .momentum(self.momentum)
+            .weight_decay(self.weight_decay);
+        train::fit(
+            net,
+            &mut opt,
+            images,
+            labels,
+            self.batch_size,
+            self.epochs,
+            rng,
+        )?;
         Ok(())
     }
 }
@@ -111,7 +127,10 @@ pub fn prune_whole_model(
     rng: &mut Rng,
 ) -> Result<PruneOutcome, PruneError> {
     if !(0.0..=1.0).contains(&keep_ratio) || keep_ratio == 0.0 {
-        return Err(PruneError::BadKeepCount { keep: 0, available: 0 });
+        return Err(PruneError::BadKeepCount {
+            keep: 0,
+            available: 0,
+        });
     }
     let scoring_n = SCORING_IMAGES.min(ds.train_labels.len());
     let scoring_idx: Vec<usize> = (0..scoring_n).collect();
@@ -123,20 +142,16 @@ pub fn prune_whole_model(
     for ordinal in 0..conv_count {
         let site = conv_sites(net)[ordinal];
         let maps_before = net.conv(site.conv)?.out_channels();
-        let keep_count = ((maps_before as f32 * keep_ratio).round() as usize)
-            .clamp(1, maps_before);
+        let keep_count = ((maps_before as f32 * keep_ratio).round() as usize).clamp(1, maps_before);
         let keep = {
-            let mut ctx =
-                ScoreContext::new(net, site, &scoring_images, &scoring_labels, rng);
+            let mut ctx = ScoreContext::new(net, site, &scoring_images, &scoring_labels, rng);
             criterion.keep_set(&mut ctx, keep_count)?
         };
         prune_feature_maps(net, site.conv, &keep)?;
         criterion.post_surgery(net, site, &keep)?;
-        let inception_accuracy =
-            train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
+        let inception_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
         ft.run(net, &ds.train_images, &ds.train_labels, rng)?;
-        let finetuned_accuracy =
-            train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
+        let finetuned_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
         let cost = analyze(net, ds.channels(), ds.image_size())?;
         traces.push(LayerTrace {
             conv_node: site.conv,
@@ -151,7 +166,12 @@ pub fn prune_whole_model(
     }
     let final_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
     let cost = analyze(net, ds.channels(), ds.image_size())?;
-    Ok(PruneOutcome { criterion: criterion.name(), traces, final_accuracy, cost })
+    Ok(PruneOutcome {
+        criterion: criterion.name(),
+        traces,
+        final_accuracy,
+        cost,
+    })
 }
 
 /// Prunes a *single* layer (no fine-tuning) and reports the inception
@@ -173,7 +193,10 @@ pub fn prune_single_layer(
 ) -> Result<f32, PruneError> {
     let sites = conv_sites(net);
     let site = *sites.get(conv_ordinal).ok_or(PruneError::BadScoringSet {
-        detail: format!("conv ordinal {conv_ordinal} out of range ({} convs)", sites.len()),
+        detail: format!(
+            "conv ordinal {conv_ordinal} out of range ({} convs)",
+            sites.len()
+        ),
     })?;
     let maps = net.conv(site.conv)?.out_channels();
     let keep_count = ((maps as f32 * keep_ratio).round() as usize).clamp(1, maps);
@@ -208,7 +231,12 @@ pub fn train_from_scratch(
     models::reinitialize(&mut fresh, rng);
     let schedule = FineTune { epochs, ..*ft };
     schedule.run(&mut fresh, &ds.train_images, &ds.train_labels, rng)?;
-    Ok(train::evaluate(&mut fresh, &ds.test_images, &ds.test_labels, 64)?)
+    Ok(train::evaluate(
+        &mut fresh,
+        &ds.test_images,
+        &ds.test_labels,
+        64,
+    )?)
 }
 
 #[cfg(test)]
@@ -239,12 +267,15 @@ mod tests {
         let mut rng = Rng::seed_from(0);
         let mut net = tiny_vgg(&ds, &mut rng);
         let before = analyze(&net, 3, 8).unwrap();
-        let ft = FineTune { epochs: 1, ..FineTune::default() };
+        let ft = FineTune {
+            epochs: 1,
+            ..FineTune::default()
+        };
         let outcome =
             prune_whole_model(&mut net, &mut L1Norm::new(), 0.5, &ds, &ft, &mut rng).unwrap();
         assert_eq!(outcome.traces.len(), 8); // VGG-11 has 8 convs
         for t in &outcome.traces {
-            assert_eq!(t.maps_after, (t.maps_before + 1) / 2);
+            assert_eq!(t.maps_after, t.maps_before.div_ceil(2));
         }
         assert!(outcome.cost.total_params < before.total_params);
         assert!(outcome.cost.total_flops < before.total_flops);
@@ -272,7 +303,10 @@ mod tests {
         let ds = tiny_ds();
         let mut rng = Rng::seed_from(2);
         let mut net = tiny_vgg(&ds, &mut rng);
-        let ft = FineTune { epochs: 0, ..FineTune::default() };
+        let ft = FineTune {
+            epochs: 0,
+            ..FineTune::default()
+        };
         prune_whole_model(&mut net, &mut L1Norm::new(), 0.5, &ds, &ft, &mut rng).unwrap();
         let acc = train_from_scratch(&net, &ds, 1, &FineTune::default(), &mut rng).unwrap();
         assert!((0.0..=1.0).contains(&acc));

@@ -47,7 +47,9 @@ impl PruningCriterion for EntropyCriterion {
         let shape = acts.shape();
         if shape.rank() != 4 || shape.dim(1) != channels {
             return Err(PruneError::BadScoringSet {
-                detail: format!("site activations have shape {shape}, expected [N, {channels}, H, W]"),
+                detail: format!(
+                    "site activations have shape {shape}, expected [N, {channels}, H, W]"
+                ),
             });
         }
         let (n, plane) = (shape.dim(0), shape.dim(2) * shape.dim(3));

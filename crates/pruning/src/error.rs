@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = PruneError::BadKeepCount { keep: 9, available: 4 };
+        let e = PruneError::BadKeepCount {
+            keep: 9,
+            available: 4,
+        };
         assert!(e.to_string().contains("9 of 4"));
         let e: PruneError = TensorError::Empty { op: "stack" }.into();
         assert!(Error::source(&e).is_some());

@@ -49,8 +49,7 @@ mod tests {
         let mut rng = Rng::seed_from(0);
         let mut net = Network::new();
         let mut conv = Conv2d::new(1, 3, 1, 1, 0, &mut rng);
-        conv.weight.value =
-            Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.5, -2.0, 1.0]).unwrap();
+        conv.weight.value = Tensor::from_vec(Shape::d4(3, 1, 1, 1), vec![0.5, -2.0, 1.0]).unwrap();
         net.push(Node::Conv(conv));
         let site = conv_sites(&net)[0];
         let images = Tensor::zeros(Shape::d4(1, 1, 4, 4));

@@ -35,7 +35,12 @@ impl LassoChannel {
     /// Creates the criterion with 256 sampled locations and 30
     /// coordinate-descent sweeps per λ.
     pub fn new() -> Self {
-        LassoChannel { samples: 256, sweeps: 30, rescale: true, pending_scales: None }
+        LassoChannel {
+            samples: 256,
+            sweeps: 30,
+            rescale: true,
+            pending_scales: None,
+        }
     }
 
     /// Overrides the number of sampled reconstruction locations
@@ -128,10 +133,17 @@ impl PruningCriterion for LassoChannel {
         Ok(beta.iter().map(|b| b.abs()).collect())
     }
 
-    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+    fn keep_set(
+        &mut self,
+        ctx: &mut ScoreContext<'_>,
+        keep: usize,
+    ) -> Result<Vec<usize>, PruneError> {
         let channels = ctx.channels()?;
         if keep == 0 || keep > channels {
-            return Err(PruneError::BadKeepCount { keep, available: channels });
+            return Err(PruneError::BadKeepCount {
+                keep,
+                available: channels,
+            });
         }
         let acts = ctx.site_activations()?;
         let (contrib, _) = thinet::contribution_matrix(ctx, &acts, self.samples)?;

@@ -114,7 +114,11 @@ mod tests {
     fn overdetermined_noisy_fit_is_reasonable() {
         // y ≈ 2·g with noise; the fit should land near 2.
         let g: Vec<f32> = (0..50).map(|i| (i as f32) / 10.0).collect();
-        let y: Vec<f32> = g.iter().enumerate().map(|(i, &v)| 2.0 * v + if i % 2 == 0 { 0.05 } else { -0.05 }).collect();
+        let y: Vec<f32> = g
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * v + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
         let s = ridge_least_squares(&g, &y, 50, 1, 1e-6).unwrap();
         assert!((s[0] - 2.0).abs() < 0.02, "{s:?}");
     }

@@ -58,7 +58,8 @@ impl PruningCriterion for TaylorCriterion {
             let n = ctx.images.shape().dim(0);
             let per = n.div_ceil(self.batches).max(1);
             let indices: Vec<usize> = (0..n).collect();
-            ctx.net.set_channel_mask(site.mask_node, Some(vec![1.0; channels]));
+            ctx.net
+                .set_channel_mask(site.mask_node, Some(vec![1.0; channels]));
             for chunk in indices.chunks(per) {
                 let x = ctx.images.index_select(0, chunk)?;
                 let y: Vec<usize> = chunk.iter().map(|&i| ctx.labels[i]).collect();
@@ -116,7 +117,11 @@ mod tests {
         let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
         let mut ctx = ScoreContext::new(&mut n, site, &images, &labels, &mut rng);
         let scores = TaylorCriterion::new().score(&mut ctx).unwrap();
-        assert!(scores[1] < 1e-9, "disconnected channel saliency {}", scores[1]);
+        assert!(
+            scores[1] < 1e-9,
+            "disconnected channel saliency {}",
+            scores[1]
+        );
         assert!(scores.iter().enumerate().any(|(i, &s)| i != 1 && s > 1e-6));
         // keep_set drops the dead channel.
         let keep = TaylorCriterion::new().keep_set(&mut ctx, 3).unwrap();

@@ -26,7 +26,11 @@ impl ThiNet {
     /// Creates ThiNet with 256 sampled reconstruction locations and the
     /// least-squares rescale enabled.
     pub fn new() -> Self {
-        ThiNet { samples: 256, rescale: true, pending_scales: None }
+        ThiNet {
+            samples: 256,
+            rescale: true,
+            pending_scales: None,
+        }
     }
 
     /// Overrides the number of sampled locations (builder style).
@@ -45,7 +49,6 @@ impl ThiNet {
         self.rescale = false;
         self
     }
-
 }
 
 /// Builds the `[L, C]` contribution matrix: entry `(l, c)` is input
@@ -149,10 +152,17 @@ impl PruningCriterion for ThiNet {
         Ok(scores)
     }
 
-    fn keep_set(&mut self, ctx: &mut ScoreContext<'_>, keep: usize) -> Result<Vec<usize>, PruneError> {
+    fn keep_set(
+        &mut self,
+        ctx: &mut ScoreContext<'_>,
+        keep: usize,
+    ) -> Result<Vec<usize>, PruneError> {
         let channels = ctx.channels()?;
         if keep == 0 || keep > channels {
-            return Err(PruneError::BadKeepCount { keep, available: channels });
+            return Err(PruneError::BadKeepCount {
+                keep,
+                available: channels,
+            });
         }
         let acts = ctx.site_activations()?;
         let (contrib, _) = contribution_matrix(ctx, &acts, self.samples)?;
@@ -245,7 +255,10 @@ impl PruningCriterion for ThiNet {
                 let in_features = lin.in_features();
                 if in_features != keep.len() {
                     return Err(PruneError::BadScoringSet {
-                        detail: format!("consumer has {in_features} inputs, expected {}", keep.len()),
+                        detail: format!(
+                            "consumer has {in_features} inputs, expected {}",
+                            keep.len()
+                        ),
                     });
                 }
                 let outs = lin.out_features();

@@ -58,13 +58,19 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
             }
             TensorError::ElementCountMismatch { have, want } => {
-                write!(f, "cannot reshape {have} elements into a shape of {want} elements")
+                write!(
+                    f,
+                    "cannot reshape {have} elements into a shape of {want} elements"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
             }
             TensorError::BufferLengthMismatch { buffer, shape } => {
-                write!(f, "buffer of length {buffer} does not match shape of {shape} elements")
+                write!(
+                    f,
+                    "buffer of length {buffer} does not match shape of {shape} elements"
+                )
             }
             TensorError::Empty { op } => write!(f, "operation {op} requires a non-empty tensor"),
         }

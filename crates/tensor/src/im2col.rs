@@ -5,10 +5,22 @@
 //! GPGPUs — the premise of the HeadStart paper. A `[C, H, W]` input patch
 //! grid becomes a `[C·kh·kw, oh·ow]` matrix; convolving with filters
 //! `[N, C·kh·kw]` is then a single matmul per sample.
+//!
+//! The `_into` variants ([`im2col_into`], [`col2im_into`]) lower into a
+//! caller-owned slice — typically scratch from [`crate::workspace`] — so
+//! hot loops perform no heap allocation, and they parallelize over
+//! channels on the persistent [`crate::pool`] for large feature maps.
+//! Each channel owns a disjoint slice of the output, so results are
+//! bit-identical for every thread count.
 
 use crate::error::TensorError;
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Lowered matrices smaller than this many elements are not worth pool
+/// dispatch; they run on the calling thread.
+const PARALLEL_ELEMS: usize = 1 << 16;
 
 /// Static geometry of a 2-D convolution: input extents, kernel size,
 /// stride and zero padding.
@@ -61,7 +73,14 @@ impl Conv2dGeometry {
             in_w + 2 * padding,
             kernel
         );
-        Conv2dGeometry { in_channels, in_h, in_w, kernel, stride, padding }
+        Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output height.
@@ -84,14 +103,180 @@ impl Conv2dGeometry {
         self.out_h() * self.out_w()
     }
 
+    /// Elements of one `[C, H, W]` input sample.
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Elements of the lowered `[C·k·k, oh·ow]` matrix.
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+
     /// Geometry for the same layer after keeping only `channels` input
     /// channels (the pruning transformation).
     pub fn with_in_channels(&self, channels: usize) -> Self {
-        Conv2dGeometry { in_channels: channels, ..*self }
+        Conv2dGeometry {
+            in_channels: channels,
+            ..*self
+        }
     }
 }
 
+/// Gathers one input channel's patches into its `k·k` rows of the lowered
+/// matrix. `out` must be pre-zeroed (padding cells stay zero).
+fn im2col_channel(plane: &[f32], out_rows: &mut [f32], geom: &Conv2dGeometry) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    for ky in 0..k {
+        for kx in 0..k {
+            let row = ky * k + kx;
+            let dst = &mut out_rows[row * cols..(row + 1) * cols];
+            for oy in 0..oh {
+                let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                if iy < 0 || iy >= h {
+                    continue; // zero padding: leave zeros
+                }
+                let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                for (ox, d) in dst_row.iter_mut().enumerate() {
+                    let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                    if ix >= 0 && ix < w {
+                        *d = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters one channel's `k·k` lowered rows back onto its input plane.
+fn col2im_channel(col_rows: &[f32], plane: &mut [f32], geom: &Conv2dGeometry) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    for ky in 0..k {
+        for kx in 0..k {
+            let row = ky * k + kx;
+            let col_row = &col_rows[row * cols..(row + 1) * cols];
+            for oy in 0..oh {
+                let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                if iy < 0 || iy >= h {
+                    continue;
+                }
+                let dst_row = &mut plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                let src_row = &col_row[oy * ow..(oy + 1) * ow];
+                for (ox, &s) in src_row.iter().enumerate() {
+                    let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                    if ix >= 0 && ix < w {
+                        dst_row[ix as usize] += s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lowers one `[C, H, W]` sample (as a flat slice) into a caller-owned
+/// `[C·k·k, oh·ow]` buffer without allocating. Large feature maps
+/// parallelize over channels on the persistent pool.
+///
+/// # Panics
+///
+/// Panics if `input` or `out` lengths disagree with `geom`.
+pub fn im2col_into(input: &[f32], out: &mut [f32], geom: &Conv2dGeometry) {
+    assert_eq!(
+        input.len(),
+        geom.input_len(),
+        "im2col_into: input length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        geom.col_len(),
+        "im2col_into: output length mismatch"
+    );
+    out.fill(0.0);
+    let plane = geom.in_h * geom.in_w;
+    let rows_per_c = geom.kernel * geom.kernel * geom.col_cols();
+    let run = |c0: usize, c1: usize, out: &mut [f32]| {
+        for c in c0..c1 {
+            im2col_channel(
+                &input[c * plane..(c + 1) * plane],
+                &mut out[(c - c0) * rows_per_c..(c - c0 + 1) * rows_per_c],
+                geom,
+            );
+        }
+    };
+    if out.len() < PARALLEL_ELEMS || geom.in_channels < 2 {
+        run(0, geom.in_channels, out);
+        return;
+    }
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per_c)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let run = &run;
+            Box::new(move || run(c, c + 1, chunk)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_tasks(tasks);
+}
+
+/// Adjoint of [`im2col_into`]: scatters a `[C·k·k, oh·ow]` patch-matrix
+/// gradient (flat slice) onto a caller-owned `[C, H, W]` buffer. Overlapping
+/// windows accumulate; with `accumulate = false` the output is zeroed
+/// first, otherwise the scatter adds to its existing contents.
+///
+/// # Panics
+///
+/// Panics if `col` or `out` lengths disagree with `geom`.
+pub fn col2im_into(col: &[f32], out: &mut [f32], geom: &Conv2dGeometry, accumulate: bool) {
+    assert_eq!(
+        col.len(),
+        geom.col_len(),
+        "col2im_into: column length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        geom.input_len(),
+        "col2im_into: output length mismatch"
+    );
+    if !accumulate {
+        out.fill(0.0);
+    }
+    let plane = geom.in_h * geom.in_w;
+    let rows_per_c = geom.kernel * geom.kernel * geom.col_cols();
+    let run = |c0: usize, c1: usize, out: &mut [f32]| {
+        for c in c0..c1 {
+            col2im_channel(
+                &col[c * rows_per_c..(c + 1) * rows_per_c],
+                &mut out[(c - c0) * plane..(c - c0 + 1) * plane],
+                geom,
+            );
+        }
+    };
+    if col.len() < PARALLEL_ELEMS || geom.in_channels < 2 {
+        run(0, geom.in_channels, out);
+        return;
+    }
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(plane)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let run = &run;
+            Box::new(move || run(c, c + 1, chunk)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_tasks(tasks);
+}
+
 /// Lowers one `[C, H, W]` sample to the `[C·k·k, oh·ow]` patch matrix.
+///
+/// Allocates a fresh tensor; hot paths should prefer [`im2col_into`] with
+/// workspace scratch.
 ///
 /// # Errors
 ///
@@ -106,40 +291,16 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
             rhs: want,
         });
     }
-    let (oh, ow) = (geom.out_h(), geom.out_w());
-    let k = geom.kernel;
-    let cols = oh * ow;
-    let mut out = vec![0.0f32; geom.col_rows() * cols];
-    let src = input.data();
-    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
-    for c in 0..geom.in_channels {
-        let plane = &src[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let dst = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    if iy < 0 || iy >= h {
-                        continue; // zero padding: leave zeros
-                    }
-                    let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
-                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
-                    for (ox, d) in dst_row.iter_mut().enumerate() {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix >= 0 && ix < w {
-                            *d = src_row[ix as usize];
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(Shape::d2(geom.col_rows(), cols), out)
+    let mut out = vec![0.0f32; geom.col_len()];
+    im2col_into(input.data(), &mut out, geom);
+    Tensor::from_vec(Shape::d2(geom.col_rows(), geom.col_cols()), out)
 }
 
 /// Adjoint of [`im2col`]: scatters a `[C·k·k, oh·ow]` patch-matrix gradient
 /// back onto a `[C, H, W]` input gradient (overlaps accumulate).
+///
+/// Allocates a fresh tensor; hot paths should prefer [`col2im_into`] with
+/// workspace scratch.
 ///
 /// # Errors
 ///
@@ -154,35 +315,8 @@ pub fn col2im(col: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError
             rhs: want,
         });
     }
-    let (oh, ow) = (geom.out_h(), geom.out_w());
-    let k = geom.kernel;
-    let cols = oh * ow;
-    let mut out = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
-    let src = col.data();
-    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
-    for c in 0..geom.in_channels {
-        let plane = &mut out[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let col_row = &src[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    if iy < 0 || iy >= h {
-                        continue;
-                    }
-                    let dst_row = &mut plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
-                    let src_row = &col_row[oy * ow..(oy + 1) * ow];
-                    for (ox, &s) in src_row.iter().enumerate() {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix >= 0 && ix < w {
-                            dst_row[ix as usize] += s;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let mut out = vec![0.0f32; geom.input_len()];
+    col2im_into(col.data(), &mut out, geom, false);
     Tensor::from_vec(Shape::d3(geom.in_channels, geom.in_h, geom.in_w), out)
 }
 
@@ -275,7 +409,10 @@ mod tests {
             .zip(col2im(&y, &g).unwrap().data())
             .map(|(a, b)| a * b)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -297,5 +434,40 @@ mod tests {
         let g2 = g.with_in_channels(32);
         assert_eq!(g2.in_channels, 32);
         assert_eq!(g2.out_h(), g.out_h());
+    }
+
+    #[test]
+    fn parallel_im2col_matches_serial_layout() {
+        // Big enough to take the pooled path; compare against per-channel
+        // serial lowering.
+        let mut rng = Rng::seed_from(9);
+        let g = Conv2dGeometry::new(8, 40, 40, 3, 1, 1);
+        let x = Tensor::randn(Shape::d3(8, 40, 40), &mut rng);
+        assert!(g.col_len() >= PARALLEL_ELEMS);
+        let col = im2col(&x, &g).unwrap();
+        let mut want = vec![0.0f32; g.col_len()];
+        let plane = g.in_h * g.in_w;
+        let rows_per_c = g.kernel * g.kernel * g.col_cols();
+        for c in 0..g.in_channels {
+            im2col_channel(
+                &x.data()[c * plane..(c + 1) * plane],
+                &mut want[c * rows_per_c..(c + 1) * rows_per_c],
+                &g,
+            );
+        }
+        assert_eq!(col.data(), &want[..]);
+    }
+
+    #[test]
+    fn col2im_into_accumulate_adds() {
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 1, 1);
+        let col = vec![1.0f32; g.col_len()];
+        let mut fresh = vec![0.0f32; g.input_len()];
+        col2im_into(&col, &mut fresh, &g, false);
+        let mut twice = fresh.clone();
+        col2im_into(&col, &mut twice, &g, true);
+        for (t, f) in twice.iter().zip(&fresh) {
+            assert_eq!(*t, 2.0 * f);
+        }
     }
 }

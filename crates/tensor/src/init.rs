@@ -83,7 +83,11 @@ mod tests {
     #[test]
     fn zeros_and_constant() {
         let mut rng = Rng::seed_from(0);
-        assert!(Init::Zeros.sample(Shape::d1(10), &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Zeros
+            .sample(Shape::d1(10), &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Init::Constant(2.5)
             .sample(Shape::d1(10), &mut rng)
             .data()
@@ -98,7 +102,10 @@ mod tests {
         let w = Init::KaimingNormal.sample(Shape::d4(64, 128, 3, 3), &mut rng);
         let var = w.sq_norm() / w.len() as f32;
         let expected = 2.0 / (128.0 * 9.0);
-        assert!((var - expected).abs() < 0.1 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.1 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

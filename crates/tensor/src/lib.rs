@@ -31,13 +31,16 @@ mod im2col;
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod rng;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use error::TensorError;
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::Init;
+pub use matmul::gemm_ex;
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -55,9 +55,8 @@ macro_rules! binary_op {
             /// checked version.
             fn $method(self, rhs: &Tensor) -> Tensor {
                 let mut out = self.clone();
-                out.zip_mut_with(rhs, $f).unwrap_or_else(|e| {
-                    panic!("tensor operator `{}`: {e}", stringify!($method))
-                });
+                out.zip_mut_with(rhs, $f)
+                    .unwrap_or_else(|e| panic!("tensor operator `{}`: {e}", stringify!($method)));
                 out
             }
         }

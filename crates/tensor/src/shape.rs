@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
 ///
 /// All tensors in this library are contiguous and row-major, so a shape is
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.rank(), 4);
 /// assert_eq!(s.dim(1), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }
@@ -47,12 +45,16 @@ impl Shape {
 
     /// Rank-3 shape.
     pub fn d3(a: usize, b: usize, c: usize) -> Self {
-        Shape { dims: vec![a, b, c] }
+        Shape {
+            dims: vec![a, b, c],
+        }
     }
 
     /// Rank-4 shape, conventionally NCHW in this library.
     pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
-        Shape { dims: vec![a, b, c, d] }
+        Shape {
+            dims: vec![a, b, c, d],
+        }
     }
 
     /// The dimension list, outermost first.
@@ -162,13 +164,17 @@ impl From<Vec<usize>> for Shape {
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 

@@ -1,10 +1,46 @@
 //! The dense `f32` tensor type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TensorError;
+use crate::pool;
 use crate::rng::Rng;
 use crate::shape::Shape;
+
+/// Elementwise kernels split buffers into chunks of this many elements for
+/// the worker pool. The size is fixed (never derived from the thread
+/// count), so chunk boundaries — and with them floating-point results —
+/// are identical under any `HS_NUM_THREADS`.
+const PAR_CHUNK: usize = 1 << 15;
+
+/// Applies `f` to fixed-size disjoint chunks of `data`, in parallel when
+/// the buffer is large enough to amortize pool dispatch.
+fn par_apply(data: &mut [f32], f: impl Fn(&mut [f32]) + Sync) {
+    if data.len() <= PAR_CHUNK {
+        f(data);
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+        .chunks_mut(PAR_CHUNK)
+        .map(|chunk| Box::new(move || f(chunk)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::run_tasks(tasks);
+}
+
+/// Like [`par_apply`] but over paired chunks of two equal-length buffers.
+fn par_apply2(data: &mut [f32], other: &[f32], f: impl Fn(&mut [f32], &[f32]) + Sync) {
+    debug_assert_eq!(data.len(), other.len());
+    if data.len() <= PAR_CHUNK {
+        f(data, other);
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+        .chunks_mut(PAR_CHUNK)
+        .zip(other.chunks(PAR_CHUNK))
+        .map(|(a, b)| Box::new(move || f(a, b)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::run_tasks(tasks);
+}
 
 /// A contiguous, row-major, heap-allocated `f32` tensor.
 ///
@@ -22,7 +58,7 @@ use crate::shape::Shape;
 /// assert_eq!(t.at(&[1, 2]), 5.0);
 /// assert_eq!(t.sum(), 15.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -33,7 +69,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor of ones.
@@ -45,12 +84,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -178,22 +223,28 @@ impl Tensor {
     /// Flattens to rank 1.
     pub fn flatten(self) -> Self {
         let len = self.data.len();
-        Tensor { shape: Shape::d1(len), data: self.data }
-    }
-
-    /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: Shape::d1(len),
+            data: self.data,
         }
     }
 
-    /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    /// Applies `f` to every element, producing a new tensor. Large buffers
+    /// run chunked on the persistent worker pool.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Applies `f` to every element in place. Large buffers run chunked on
+    /// the persistent worker pool.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        par_apply(&mut self.data, |chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Elementwise combination with another tensor of identical shape,
@@ -205,7 +256,7 @@ impl Tensor {
     pub fn zip_mut_with(
         &mut self,
         other: &Tensor,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<(), TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
@@ -214,9 +265,11 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a = f(*a, b);
-        }
+        par_apply2(&mut self.data, &other.data, |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src.iter()) {
+                *a = f(*a, b);
+            }
+        });
         Ok(())
     }
 
@@ -231,22 +284,27 @@ impl Tensor {
 
     /// Multiplies every element by `alpha` in place.
     pub fn scale(&mut self, alpha: f32) {
-        for x in &mut self.data {
-            *x *= alpha;
-        }
+        par_apply(&mut self.data, |chunk| {
+            for x in chunk {
+                *x *= alpha;
+            }
+        });
     }
 
     /// Sets every element to zero (gradient-buffer reset).
     pub fn fill(&mut self, value: f32) {
-        for x in &mut self.data {
-            *x = value;
-        }
+        par_apply(&mut self.data, |chunk| chunk.fill(value));
     }
 
     /// Sum of all elements.
+    ///
+    /// Accumulates in f64 over fixed-size chunks (parallel on large
+    /// buffers); the chunking is independent of the thread count, so the
+    /// result is bit-identical under any `HS_NUM_THREADS`.
     pub fn sum(&self) -> f32 {
-        // Pairwise-ish accumulation in f64 for robustness on large buffers.
-        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+        pool::reduce_chunks(self.data.len(), PAR_CHUNK, |s, e| {
+            self.data[s..e].iter().map(|&x| x as f64).sum::<f64>()
+        }) as f32
     }
 
     /// Mean of all elements.
@@ -297,12 +355,19 @@ impl Tensor {
 
     /// Sum of squares of all elements (squared Frobenius norm).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+        pool::reduce_chunks(self.data.len(), PAR_CHUNK, |s, e| {
+            self.data[s..e]
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+        }) as f32
     }
 
     /// Sum of absolute values (L1 norm of the flattened tensor).
     pub fn l1_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x.abs() as f64).sum::<f64>() as f32
+        pool::reduce_chunks(self.data.len(), PAR_CHUNK, |s, e| {
+            self.data[s..e].iter().map(|&x| x.abs() as f64).sum::<f64>()
+        }) as f32
     }
 
     /// Returns a contiguous sub-tensor: entry `i` along axis 0.
@@ -346,7 +411,10 @@ impl Tensor {
         }
         let mut dims = vec![parts.len()];
         dims.extend_from_slice(inner.dims());
-        Ok(Tensor { shape: Shape::new(dims), data })
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
     }
 
     /// Concatenates tensors along an existing `axis`; all other
@@ -437,12 +505,18 @@ impl Tensor {
         let mut out = Vec::with_capacity(outer * indices.len() * inner);
         for o in 0..outer {
             for &idx in indices {
-                assert!(idx < axis_len, "index {idx} out of range for axis {axis} of size {axis_len}");
+                assert!(
+                    idx < axis_len,
+                    "index {idx} out of range for axis {axis} of size {axis_len}"
+                );
                 let start = (o * axis_len + idx) * inner;
                 out.extend_from_slice(&self.data[start..start + inner]);
             }
         }
-        Ok(Tensor { shape: Shape::new(out_dims), data: out })
+        Ok(Tensor {
+            shape: Shape::new(out_dims),
+            data: out,
+        })
     }
 
     /// Sums over `axis`, reducing the rank by one.
@@ -469,7 +543,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Tensor { shape: self.shape.without_axis(axis), data: out })
+        Ok(Tensor {
+            shape: self.shape.without_axis(axis),
+            data: out,
+        })
     }
 
     /// Mean over `axis`, reducing the rank by one.
@@ -478,7 +555,9 @@ impl Tensor {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] if `axis` is invalid.
     pub fn mean_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
-        let n = self.shape.dim(axis.min(self.shape.rank().saturating_sub(1)));
+        let n = self
+            .shape
+            .dim(axis.min(self.shape.rank().saturating_sub(1)));
         let mut t = self.sum_axis(axis)?;
         if n > 0 {
             t.scale(1.0 / n as f32);
@@ -500,7 +579,10 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: Shape::d2(c, r), data: out }
+        Tensor {
+            shape: Shape::d2(c, r),
+            data: out,
+        }
     }
 
     /// Returns `true` if all elements are finite (no NaN/±∞); useful as a
@@ -522,9 +604,18 @@ mod tests {
 
     #[test]
     fn constructors_fill_correctly() {
-        assert!(Tensor::zeros(Shape::d2(2, 2)).data().iter().all(|&x| x == 0.0));
-        assert!(Tensor::ones(Shape::d2(2, 2)).data().iter().all(|&x| x == 1.0));
-        assert!(Tensor::full(Shape::d1(3), 7.5).data().iter().all(|&x| x == 7.5));
+        assert!(Tensor::zeros(Shape::d2(2, 2))
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(Tensor::ones(Shape::d2(2, 2))
+            .data()
+            .iter()
+            .all(|&x| x == 1.0));
+        assert!(Tensor::full(Shape::d1(3), 7.5)
+            .data()
+            .iter()
+            .all(|&x| x == 7.5));
         assert_eq!(Tensor::scalar(3.0).at(&[]), 3.0);
     }
 
@@ -532,7 +623,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
         let err = Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 5]).unwrap_err();
-        assert!(matches!(err, TensorError::BufferLengthMismatch { buffer: 5, shape: 4 }));
+        assert!(matches!(
+            err,
+            TensorError::BufferLengthMismatch {
+                buffer: 5,
+                shape: 4
+            }
+        ));
     }
 
     #[test]
@@ -577,7 +674,9 @@ mod tests {
 
     #[test]
     fn index_axis0_extracts_sample() {
-        let t = Tensor::from_fn(Shape::d3(2, 2, 2), |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        let t = Tensor::from_fn(Shape::d3(2, 2, 2), |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32
+        });
         let s = t.index_axis0(1);
         assert_eq!(s.shape(), &Shape::d2(2, 2));
         assert_eq!(s.data(), &[100.0, 101.0, 110.0, 111.0]);
@@ -585,7 +684,9 @@ mod tests {
 
     #[test]
     fn stack_inverts_index_axis0() {
-        let t = Tensor::from_fn(Shape::d3(3, 2, 2), |idx| (idx[0] * 4 + idx[1] * 2 + idx[2]) as f32);
+        let t = Tensor::from_fn(Shape::d3(3, 2, 2), |idx| {
+            (idx[0] * 4 + idx[1] * 2 + idx[2]) as f32
+        });
         let parts: Vec<Tensor> = (0..3).map(|i| t.index_axis0(i)).collect();
         assert_eq!(Tensor::stack(&parts).unwrap(), t);
     }
@@ -633,7 +734,7 @@ mod tests {
         let a = Tensor::zeros(Shape::d2(2, 3));
         let b = Tensor::zeros(Shape::d2(2, 4));
         assert!(Tensor::concat(&[a.clone(), b], 0).is_err());
-        assert!(Tensor::concat(&[a.clone()], 5).is_err());
+        assert!(Tensor::concat(std::slice::from_ref(&a), 5).is_err());
         let c = Tensor::zeros(Shape::d1(6));
         assert!(Tensor::concat(&[a, c], 0).is_err(), "rank mismatch");
     }
@@ -641,7 +742,9 @@ mod tests {
     #[test]
     fn index_select_middle_axis() {
         // [2, 3, 2] tensor; select channels [2, 0] along axis 1.
-        let t = Tensor::from_fn(Shape::d3(2, 3, 2), |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        let t = Tensor::from_fn(Shape::d3(2, 3, 2), |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32
+        });
         let s = t.index_select(1, &[2, 0]).unwrap();
         assert_eq!(s.shape(), &Shape::d3(2, 2, 2));
         assert_eq!(

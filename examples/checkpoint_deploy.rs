@@ -20,13 +20,30 @@ use headstart::tensor::Rng;
 fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = Rng::seed_from(5);
     let ds = Dataset::generate(
-        &DatasetSpec::cifar_like().classes(8).train_per_class(12).test_per_class(8),
+        &DatasetSpec::cifar_like()
+            .classes(8)
+            .train_per_class(12)
+            .test_per_class(8),
     )?;
 
     // Train a small model.
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)?;
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
-    train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, 10, &mut rng)?;
+    train::fit(
+        &mut net,
+        &mut opt,
+        &ds.train_images,
+        &ds.train_labels,
+        32,
+        10,
+        &mut rng,
+    )?;
     let acc = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
     println!("trained: {:.2}% test accuracy", acc * 100.0);
 
@@ -41,7 +58,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Refresh BN statistics for deployment (no fine-tuning).
     train::recalibrate_bn(&mut net, &ds.train_images, 32, 2)?;
     let pruned_acc = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
-    println!("pruned + BN-recalibrated: {:.2}% test accuracy", pruned_acc * 100.0);
+    println!(
+        "pruned + BN-recalibrated: {:.2}% test accuracy",
+        pruned_acc * 100.0
+    );
 
     // Ship it: save, reload, verify identical behaviour.
     let path = std::env::temp_dir().join("headstart_deploy_example.hsck");
@@ -49,7 +69,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut deployed = checkpoint::load(&path)?;
     let deployed_acc = train::evaluate(&mut deployed, &ds.test_images, &ds.test_labels, 64)?;
     assert_eq!(pruned_acc, deployed_acc, "checkpoint must be bit-exact");
-    println!("checkpoint round-trip verified ({} bytes)", std::fs::metadata(&path)?.len());
+    println!(
+        "checkpoint round-trip verified ({} bytes)",
+        std::fs::metadata(&path)?.len()
+    );
 
     // What does inference cost at the edge?
     let tx2 = devices::jetson_tx2_gpu();

@@ -26,18 +26,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     // the paper's ResNet-110; its "shallow sibling" is ResNet-20 (n = 3),
     // standing in for ResNet-56.
     let n_deep = 6;
-    let mut deep =
-        models::resnet_cifar(n_deep, ds.channels(), ds.num_classes(), 0.25, &mut rng)?;
+    let mut deep = models::resnet_cifar(n_deep, ds.channels(), ds.num_classes(), 0.25, &mut rng)?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     for _ in 0..12 {
-        train::train_epoch(&mut deep, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
+        train::train_epoch(
+            &mut deep,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            32,
+            &mut rng,
+        )?;
     }
     let deep_acc = train::evaluate(&mut deep, &ds.test_images, &ds.test_labels, 64)?;
     let deep_cost = analyze(&deep, ds.channels(), ds.image_size())?;
 
     // HeadStart block pruning towards half the parameters.
     let cfg = HeadStartConfig::new(2.0).max_episodes(40);
-    let ft = FineTune { epochs: 6, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 6,
+        ..FineTune::default()
+    };
     let pruner = BlockPruner::new(cfg);
     let (decision, pruned_acc) = pruner.prune_and_finetune(&mut deep, &ds, &ft, &mut rng)?;
     let pruned_cost = analyze(&deep, ds.channels(), ds.image_size())?;
@@ -51,7 +60,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
 
-    println!("ResNet-{} original : acc {:.2}%, {:.3}M params", 6 * n_deep + 2, deep_acc * 100.0, deep_cost.params_millions());
+    println!(
+        "ResNet-{} original : acc {:.2}%, {:.3}M params",
+        6 * n_deep + 2,
+        deep_acc * 100.0,
+        deep_cost.params_millions()
+    );
     println!(
         "HeadStart pruned    : acc {:.2}%, {:.3}M params (C.R. {:.1}%), blocks per group <{}, {}, {}> of <{n_deep}, {n_deep}, {n_deep}>",
         pruned_acc * 100.0,
@@ -66,7 +80,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut shallow = models::resnet_cifar(3, ds.channels(), ds.num_classes(), 0.25, &mut rng)?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     for _ in 0..18 {
-        train::train_epoch(&mut shallow, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
+        train::train_epoch(
+            &mut shallow,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            32,
+            &mut rng,
+        )?;
     }
     let shallow_acc = train::evaluate(&mut shallow, &ds.test_images, &ds.test_labels, 64)?;
     let shallow_cost = analyze(&shallow, ds.channels(), ds.image_size())?;

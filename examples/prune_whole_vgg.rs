@@ -24,10 +24,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     // pruning decisions hurt much more than on the CIFAR substitute).
     let ds = Dataset::generate(&DatasetSpec::cub_like())?;
 
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)?;
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     for _ in 0..14 {
-        train::train_epoch(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
+        train::train_epoch(
+            &mut net,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            32,
+            &mut rng,
+        )?;
     }
     let original = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
     let cost = analyze(&net, ds.channels(), ds.image_size())?;
@@ -41,10 +54,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Whole-model HeadStart pruning at sp = 2, fine-tuning 3 epochs per
     // layer (scaled down from the paper's 40).
     let cfg = HeadStartConfig::new(2.0).max_episodes(40);
-    let ft = FineTune { epochs: 3, ..FineTune::default() };
-    let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model(&mut net, &ds, &mut rng)?;
+    let ft = FineTune {
+        epochs: 3,
+        ..FineTune::default()
+    };
+    let (outcome, _decisions) =
+        HeadStartPruner::new(cfg, ft).prune_model(&mut net, &ds, &mut rng)?;
 
-    println!("{:<8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}", "LAYER", "#MAPS", "KEPT", "#PARAM(M)", "#MACS(B)", "ACC(INC)%", "ACC(FT)%");
+    println!(
+        "{:<8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "LAYER", "#MAPS", "KEPT", "#PARAM(M)", "#MACS(B)", "ACC(INC)%", "ACC(FT)%"
+    );
     for t in &outcome.traces {
         println!(
             "conv{:<4} {:>6} {:>6} {:>10.3} {:>10.4} {:>10.2} {:>9.2}",

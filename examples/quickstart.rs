@@ -32,11 +32,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 2. Train a quarter-width VGG-11 to convergence.
-    let mut net = models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), 0.25, &mut rng)?;
+    let mut net = models::vgg11(
+        ds.channels(),
+        ds.num_classes(),
+        ds.image_size(),
+        0.25,
+        &mut rng,
+    )?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     for epoch in 0..12 {
-        let stats = train::train_epoch(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
-        println!("epoch {epoch:2}: loss {:.3}, train acc {:.3}", stats.loss, stats.accuracy);
+        let stats = train::train_epoch(
+            &mut net,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            32,
+            &mut rng,
+        )?;
+        println!(
+            "epoch {epoch:2}: loss {:.3}, train acc {:.3}",
+            stats.loss, stats.accuracy
+        );
     }
     let original = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
     println!("original test accuracy: {:.2}%\n", original * 100.0);
@@ -63,7 +79,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Metric baselines at exactly keep_count maps.
-    for criterion in [&mut L1Norm::new() as &mut dyn PruningCriterion, &mut Random::new()] {
+    for criterion in [
+        &mut L1Norm::new() as &mut dyn PruningCriterion,
+        &mut Random::new(),
+    ] {
         let mut base_net = net.clone();
         let keep = {
             let mut ctx = ScoreContext::new(

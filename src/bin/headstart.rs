@@ -49,7 +49,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -102,9 +104,18 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     )?;
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
     for epoch in 0..epochs {
-        let stats =
-            train::train_epoch(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 32, &mut rng)?;
-        println!("epoch {epoch:3}: loss {:.4} train-acc {:.4}", stats.loss, stats.accuracy);
+        let stats = train::train_epoch(
+            &mut net,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            32,
+            &mut rng,
+        )?;
+        println!(
+            "epoch {epoch:3}: loss {:.4} train-acc {:.4}",
+            stats.loss, stats.accuracy
+        );
     }
     let acc = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
     println!("test accuracy: {:.2}%", acc * 100.0);
@@ -125,7 +136,10 @@ fn cmd_prune(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let mut rng = Rng::seed_from(seed);
     let before = analyze(&net, ds.channels(), ds.image_size())?;
     let cfg = HeadStartConfig::new(sp).max_episodes(episodes);
-    let ft = FineTune { epochs: finetune, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: finetune,
+        ..FineTune::default()
+    };
     let (outcome, _) = HeadStartPruner::new(cfg, ft).prune_model(&mut net, &ds, &mut rng)?;
     for t in &outcome.traces {
         println!(

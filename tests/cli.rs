@@ -36,12 +36,23 @@ fn cli_train_prune_info_estimate_pipeline() {
     // Train (minimal budget: the test checks plumbing, not accuracy).
     let out = bin()
         .args([
-            "train", "--model", "lenet", "--epochs", "1", "--seed", "7", "--out",
+            "train",
+            "--model",
+            "lenet",
+            "--epochs",
+            "1",
+            "--seed",
+            "7",
+            "--out",
             model.to_str().expect("utf8"),
         ])
         .output()
         .expect("train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     // Info.
@@ -56,12 +67,27 @@ fn cli_train_prune_info_estimate_pipeline() {
     // Prune with a tiny RL budget.
     let out = bin()
         .args([
-            "prune", "--model", model.to_str().expect("utf8"), "--sp", "2", "--episodes", "3",
-            "--finetune", "0", "--seed", "7", "--out", pruned.to_str().expect("utf8"),
+            "prune",
+            "--model",
+            model.to_str().expect("utf8"),
+            "--sp",
+            "2",
+            "--episodes",
+            "3",
+            "--finetune",
+            "0",
+            "--seed",
+            "7",
+            "--out",
+            pruned.to_str().expect("utf8"),
         ])
         .output()
         .expect("prune");
-    assert!(out.status.success(), "prune failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "prune failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(pruned.exists());
 
     // Estimate on the simulated devices.
@@ -71,7 +97,10 @@ fn cli_train_prune_info_estimate_pipeline() {
         .expect("estimate");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("GTX 1080Ti") && text.contains("Cortex-A57"), "{text}");
+    assert!(
+        text.contains("GTX 1080Ti") && text.contains("Cortex-A57"),
+        "{text}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -41,8 +41,16 @@ fn sgd_training_replays_exactly() {
         let mut rng = Rng::seed_from(11);
         let mut net = models::vgg11(3, 3, 8, 0.125, &mut rng).unwrap();
         let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
-        train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 8, 3, &mut rng)
-            .unwrap();
+        train::fit(
+            &mut net,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            8,
+            3,
+            &mut rng,
+        )
+        .unwrap();
         let mut sum = 0.0f64;
         net.visit_params(&mut |p| sum += p.value.sum() as f64);
         sum
@@ -57,8 +65,16 @@ fn rmsprop_training_replays_exactly() {
         let mut rng = Rng::seed_from(13);
         let mut net = models::lenet(3, 3, 8, 1.0, &mut rng).unwrap();
         let mut opt = RmsProp::new(0.01);
-        train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 8, 3, &mut rng)
-            .unwrap();
+        train::fit(
+            &mut net,
+            &mut opt,
+            &ds.train_images,
+            &ds.train_labels,
+            8,
+            3,
+            &mut rng,
+        )
+        .unwrap();
         let mut sum = 0.0f64;
         net.visit_params(&mut |p| sum += p.value.sum() as f64);
         sum
@@ -73,7 +89,9 @@ fn rl_pruning_decision_replays_exactly() {
         let mut rng = Rng::seed_from(17);
         let mut net = models::vgg11(3, 3, 8, 0.25, &mut rng).unwrap();
         let cfg = HeadStartConfig::new(2.0).max_episodes(5).eval_images(8);
-        LayerPruner::new(cfg).prune(&mut net, 0, &ds, &mut rng).unwrap()
+        LayerPruner::new(cfg)
+            .prune(&mut net, 0, &ds, &mut rng)
+            .unwrap()
     };
     let a = run();
     let b = run();
@@ -90,7 +108,16 @@ fn checkpoint_round_trip_preserves_training_state() {
     let mut rng = Rng::seed_from(19);
     let mut net = models::resnet_cifar(1, 3, 3, 0.25, &mut rng).unwrap();
     let mut opt = Sgd::new(0.05).momentum(0.9);
-    train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 8, 2, &mut rng).unwrap();
+    train::fit(
+        &mut net,
+        &mut opt,
+        &ds.train_images,
+        &ds.train_labels,
+        8,
+        2,
+        &mut rng,
+    )
+    .unwrap();
     let bytes = checkpoint::to_bytes(&net).unwrap();
     let mut restored = checkpoint::from_bytes(&bytes).unwrap();
     let acc_a = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 16).unwrap();

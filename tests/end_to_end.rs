@@ -29,8 +29,16 @@ fn pretrain(ds: &Dataset, width: f32, epochs: usize, rng: &mut Rng) -> headstart
     let mut net =
         models::vgg11(ds.channels(), ds.num_classes(), ds.image_size(), width, rng).expect("model");
     let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
-    train::fit(&mut net, &mut opt, &ds.train_images, &ds.train_labels, 16, epochs, rng)
-        .expect("training");
+    train::fit(
+        &mut net,
+        &mut opt,
+        &ds.train_images,
+        &ds.train_labels,
+        16,
+        epochs,
+        rng,
+    )
+    .expect("training");
     net
 }
 
@@ -39,7 +47,10 @@ fn every_baseline_criterion_completes_a_whole_model_prune() {
     let ds = tiny_dataset();
     let mut rng = Rng::seed_from(1);
     let net = pretrain(&ds, 0.125, 2, &mut rng);
-    let ft = FineTune { epochs: 1, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 1,
+        ..FineTune::default()
+    };
     let full_cost = analyze(&net, ds.channels(), ds.image_size()).unwrap();
 
     let mut criteria: Vec<Box<dyn headstart::pruning::PruningCriterion>> = vec![
@@ -55,11 +66,18 @@ fn every_baseline_criterion_completes_a_whole_model_prune() {
     ];
     for criterion in criteria.iter_mut() {
         let mut pruned = net.clone();
-        let outcome =
-            prune_whole_model(&mut pruned, criterion.as_mut(), 0.5, &ds, &ft, &mut rng)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", criterion.name()));
-        assert!(outcome.cost.total_params < full_cost.total_params, "{}", criterion.name());
-        assert!(pruned.forward(&ds.test_images, false).is_ok(), "{}", criterion.name());
+        let outcome = prune_whole_model(&mut pruned, criterion.as_mut(), 0.5, &ds, &ft, &mut rng)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", criterion.name()));
+        assert!(
+            outcome.cost.total_params < full_cost.total_params,
+            "{}",
+            criterion.name()
+        );
+        assert!(
+            pruned.forward(&ds.test_images, false).is_ok(),
+            "{}",
+            criterion.name()
+        );
         assert_eq!(outcome.traces.len(), 8);
     }
 }
@@ -68,7 +86,10 @@ fn every_baseline_criterion_completes_a_whole_model_prune() {
 fn headstart_whole_model_pipeline_is_deterministic() {
     let ds = tiny_dataset();
     let cfg = HeadStartConfig::new(2.0).max_episodes(6).eval_images(16);
-    let ft = FineTune { epochs: 1, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 1,
+        ..FineTune::default()
+    };
     let run = |seed: u64| {
         let mut rng = Rng::seed_from(seed);
         let mut net = pretrain(&ds, 0.125, 2, &mut rng);
@@ -77,7 +98,11 @@ fn headstart_whole_model_pipeline_is_deterministic() {
             .expect("prune");
         (
             outcome.final_accuracy,
-            outcome.traces.iter().map(|t| t.maps_after).collect::<Vec<_>>(),
+            outcome
+                .traces
+                .iter()
+                .map(|t| t.maps_after)
+                .collect::<Vec<_>>(),
         )
     };
     let (acc_a, maps_a) = run(7);
@@ -87,7 +112,10 @@ fn headstart_whole_model_pipeline_is_deterministic() {
     let (_, maps_c) = run(8);
     // A different seed virtually always chooses at least one different
     // layer width at this scale.
-    assert!(maps_a != maps_c || acc_a != run(8).0, "different seeds gave identical runs");
+    assert!(
+        maps_a != maps_c || acc_a != run(8).0,
+        "different seeds gave identical runs"
+    );
 }
 
 #[test]
@@ -109,7 +137,9 @@ fn headstart_single_layer_competitive_with_random_on_inception_accuracy() {
         let mut rng = Rng::seed_from(100 + seed);
         let mut hs_net = net.clone();
         let cfg = HeadStartConfig::new(4.0).max_episodes(60).eval_images(32);
-        let d = LayerPruner::new(cfg).prune(&mut hs_net, ordinal, &ds, &mut rng).unwrap();
+        let d = LayerPruner::new(cfg)
+            .prune(&mut hs_net, ordinal, &ds, &mut rng)
+            .unwrap();
         let conv = hs_net.conv_indices()[ordinal];
         surgery::prune_feature_maps(&mut hs_net, conv, &d.keep).unwrap();
         hs_total += train::evaluate(&mut hs_net, &ds.test_images, &ds.test_labels, 64).unwrap();
@@ -126,8 +156,7 @@ fn headstart_single_layer_competitive_with_random_on_inception_accuracy() {
                 &ds.train_labels,
                 &mut rng,
             );
-            headstart::pruning::PruningCriterion::keep_set(&mut crit, &mut ctx, keep_count)
-                .unwrap()
+            headstart::pruning::PruningCriterion::keep_set(&mut crit, &mut ctx, keep_count).unwrap()
         };
         surgery::prune_feature_maps(&mut rnd_net, site.conv, &keep).unwrap();
         rnd_total += train::evaluate(&mut rnd_net, &ds.test_images, &ds.test_labels, 64).unwrap();
@@ -145,7 +174,10 @@ fn from_scratch_uses_the_pruned_architecture() {
     let ds = tiny_dataset();
     let mut rng = Rng::seed_from(4);
     let mut net = pretrain(&ds, 0.125, 1, &mut rng);
-    let ft = FineTune { epochs: 0, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 0,
+        ..FineTune::default()
+    };
     prune_whole_model(&mut net, &mut L1Norm::new(), 0.5, &ds, &ft, &mut rng).unwrap();
     let pruned_cost = analyze(&net, ds.channels(), ds.image_size()).unwrap();
     let acc = train_from_scratch(&net, &ds, 2, &FineTune::default(), &mut rng).unwrap();
@@ -159,11 +191,13 @@ fn from_scratch_uses_the_pruned_architecture() {
 fn block_pruned_resnet_runs_and_costs_less() {
     let ds = tiny_dataset();
     let mut rng = Rng::seed_from(5);
-    let mut net =
-        models::resnet_cifar(2, ds.channels(), ds.num_classes(), 0.25, &mut rng).unwrap();
+    let mut net = models::resnet_cifar(2, ds.channels(), ds.num_classes(), 0.25, &mut rng).unwrap();
     let full = analyze(&net, ds.channels(), ds.image_size()).unwrap();
     let cfg = HeadStartConfig::new(2.0).max_episodes(10).eval_images(16);
-    let ft = FineTune { epochs: 1, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 1,
+        ..FineTune::default()
+    };
     let (decision, acc) = BlockPruner::new(cfg)
         .prune_and_finetune(&mut net, &ds, &ft, &mut rng)
         .unwrap();
@@ -181,12 +215,21 @@ fn pruning_makes_models_faster_on_every_simulated_device() {
     let mut net = pretrain(&ds, 0.25, 1, &mut rng);
     let before: Vec<f64> = devices::all()
         .iter()
-        .map(|d| estimate(d, &net, ds.channels(), ds.image_size()).unwrap().fps())
+        .map(|d| {
+            estimate(d, &net, ds.channels(), ds.image_size())
+                .unwrap()
+                .fps()
+        })
         .collect();
-    let ft = FineTune { epochs: 0, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 0,
+        ..FineTune::default()
+    };
     prune_whole_model(&mut net, &mut L1Norm::new(), 0.5, &ds, &ft, &mut rng).unwrap();
     for (d, &fps_before) in devices::all().iter().zip(&before) {
-        let fps_after = estimate(d, &net, ds.channels(), ds.image_size()).unwrap().fps();
+        let fps_after = estimate(d, &net, ds.channels(), ds.image_size())
+            .unwrap()
+            .fps();
         assert!(
             fps_after > fps_before,
             "{}: {fps_after} fps not faster than {fps_before}",
@@ -204,15 +247,17 @@ fn headstart_criterion_adapter_plugs_into_the_baseline_driver() {
     let ds = tiny_dataset();
     let mut rng = Rng::seed_from(21);
     let mut net = pretrain(&ds, 0.125, 2, &mut rng);
-    let ft = FineTune { epochs: 0, ..FineTune::default() };
+    let ft = FineTune {
+        epochs: 0,
+        ..FineTune::default()
+    };
     let mut criterion =
         HeadStartCriterion::new(HeadStartConfig::new(2.0).max_episodes(4).eval_images(8));
-    let outcome =
-        prune_whole_model(&mut net, &mut criterion, 0.5, &ds, &ft, &mut rng).unwrap();
+    let outcome = prune_whole_model(&mut net, &mut criterion, 0.5, &ds, &ft, &mut rng).unwrap();
     assert_eq!(outcome.criterion, "HeadStart");
     // Exact keep counts, like every other driver run.
     for t in &outcome.traces {
-        assert_eq!(t.maps_after, (t.maps_before + 1) / 2);
+        assert_eq!(t.maps_after, t.maps_before.div_ceil(2));
     }
 }
 
@@ -221,8 +266,7 @@ fn block_inner_pruning_end_to_end() {
     use headstart::core::InnerLayerPruner;
     let ds = tiny_dataset();
     let mut rng = Rng::seed_from(22);
-    let mut net =
-        models::resnet_cifar(2, ds.channels(), ds.num_classes(), 0.25, &mut rng).unwrap();
+    let mut net = models::resnet_cifar(2, ds.channels(), ds.num_classes(), 0.25, &mut rng).unwrap();
     let before = analyze(&net, ds.channels(), ds.image_size()).unwrap();
     let cfg = HeadStartConfig::new(2.0).max_episodes(6).eval_images(12);
     let pruner = InnerLayerPruner::new(cfg);
@@ -249,8 +293,9 @@ fn masked_and_surgical_pruning_agree_end_to_end() {
     let site = surgery::conv_sites(&net)[2];
     let channels = net.conv(site.conv).unwrap().out_channels();
     let keep: Vec<usize> = (0..channels).step_by(2).collect();
-    let mask: Vec<f32> =
-        (0..channels).map(|c| if keep.contains(&c) { 1.0 } else { 0.0 }).collect();
+    let mask: Vec<f32> = (0..channels)
+        .map(|c| if keep.contains(&c) { 1.0 } else { 0.0 })
+        .collect();
     let mut masked = net.clone();
     masked.set_channel_mask(site.mask_node, Some(mask));
     let masked_acc = train::evaluate(&mut masked, &ds.test_images, &ds.test_labels, 64).unwrap();

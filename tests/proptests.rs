@@ -1,4 +1,10 @@
 //! Property-based tests over the workspace's core invariants.
+//!
+//! The original external property-testing dependency is unavailable in
+//! the offline build, so each property is driven by a deterministic
+//! `Rng`-seeded loop: every iteration draws fresh random dimensions and
+//! values, which preserves the shrink-free spirit of the originals while
+//! keeping failures reproducible from the printed iteration seed.
 
 use headstart::gpusim::{estimate_workload, LayerWork, Workload};
 use headstart::nn::layer::{
@@ -8,103 +14,161 @@ use headstart::nn::surgery::{conv_sites, keep_from_mask, prune_feature_maps};
 use headstart::nn::{checkpoint, Network, Node};
 use headstart::pruning::top_k_indices;
 use headstart::tensor::{col2im, im2col, Conv2dGeometry, Rng, Shape, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Reshape preserves the buffer; double reshape round-trips.
-    #[test]
-    fn reshape_round_trips(n in 1usize..6, m in 1usize..6, seed in 0u64..1000) {
+/// Reshape preserves the buffer; double reshape round-trips.
+#[test]
+fn reshape_round_trips() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let n = 1 + rng.below(5);
+        let m = 1 + rng.below(5);
         let t = Tensor::randn(Shape::d2(n, m), &mut rng);
         let flat = t.clone().reshape(Shape::d1(n * m)).unwrap();
-        prop_assert_eq!(flat.data(), t.data());
+        assert_eq!(flat.data(), t.data(), "seed {seed}");
         let back = flat.reshape(Shape::d2(n, m)).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t, "seed {seed}");
     }
+}
 
-    /// index_select along axis 0 then stack reassembles the original.
-    #[test]
-    fn index_select_axis0_is_row_extraction(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+/// index_select along axis 0 with the identity index set reassembles the
+/// original.
+#[test]
+fn index_select_axis0_is_row_extraction() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let rows = 1 + rng.below(4);
+        let cols = 1 + rng.below(4);
         let t = Tensor::randn(Shape::d2(rows, cols), &mut rng);
         let all: Vec<usize> = (0..rows).collect();
-        prop_assert_eq!(t.index_select(0, &all).unwrap(), t);
+        assert_eq!(t.index_select(0, &all).unwrap(), t, "seed {seed}");
     }
+}
 
-    /// ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for random geometries — the
-    /// adjoint identity that conv backprop correctness rests on.
-    #[test]
-    fn im2col_col2im_adjoint(
-        c in 1usize..4,
-        h in 4usize..9,
-        k in 1usize..4,
-        stride in 1usize..3,
-        padding in 0usize..2,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(h + 2 * padding >= k);
-        let geom = Conv2dGeometry::new(c, h, h, k, stride, padding);
+/// ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for random geometries — the
+/// adjoint identity that conv backprop correctness rests on.
+#[test]
+fn im2col_col2im_adjoint() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let c = 1 + rng.below(3);
+        let h = 4 + rng.below(5);
+        let k = 1 + rng.below(3);
+        let stride = 1 + rng.below(2);
+        let padding = rng.below(2);
+        if h + 2 * padding < k {
+            continue;
+        }
+        let geom = Conv2dGeometry::new(c, h, h, k, stride, padding);
         let x = Tensor::randn(Shape::d3(c, h, h), &mut rng);
         let y = Tensor::randn(Shape::d2(geom.col_rows(), geom.col_cols()), &mut rng);
-        let lhs: f64 = im2col(&x, &geom).unwrap().data().iter()
-            .zip(y.data()).map(|(a, b)| (a * b) as f64).sum();
-        let rhs: f64 = x.data().iter()
-            .zip(col2im(&y, &geom).unwrap().data()).map(|(a, b)| (a * b) as f64).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+        let lhs: f64 = im2col(&x, &geom)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &geom).unwrap().data())
+            .map(|(a, b)| (a * b) as f64)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "seed {seed}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    /// matmul distributes over addition: (A+B)·C == A·C + B·C.
-    #[test]
-    fn matmul_is_linear(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+/// matmul distributes over addition: (A+B)·C == A·C + B·C.
+#[test]
+fn matmul_is_linear() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let m = 1 + rng.below(4);
+        let k = 1 + rng.below(4);
+        let n = 1 + rng.below(4);
         let a = Tensor::randn(Shape::d2(m, k), &mut rng);
         let b = Tensor::randn(Shape::d2(m, k), &mut rng);
         let c = Tensor::randn(Shape::d2(k, n), &mut rng);
         let lhs = (&a + &b).matmul(&c).unwrap();
         let rhs = &a.matmul(&c).unwrap() + &b.matmul(&c).unwrap();
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()));
+            assert!(
+                (x - y).abs() < 1e-4 * (1.0 + x.abs()),
+                "seed {seed}: {x} vs {y}"
+            );
         }
     }
+}
 
-    /// top_k returns exactly k sorted, distinct, in-range indices, and
-    /// no excluded score strictly beats an included one.
-    #[test]
-    fn top_k_is_a_correct_selection(scores in prop::collection::vec(-100.0f32..100.0, 1..30), frac in 0.01f32..1.0) {
-        let k = ((scores.len() as f32 * frac).ceil() as usize).clamp(1, scores.len());
+/// top_k returns exactly k sorted, distinct, in-range indices, and no
+/// excluded score strictly beats an included one.
+#[test]
+fn top_k_is_a_correct_selection() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let len = 1 + rng.below(29);
+        let scores: Vec<f32> = (0..len).map(|_| rng.uniform_in(-100.0, 100.0)).collect();
+        let frac = rng.uniform_in(0.01, 1.0);
+        let k = ((len as f32 * frac).ceil() as usize).clamp(1, len);
         let keep = top_k_indices(&scores, k);
-        prop_assert_eq!(keep.len(), k);
-        prop_assert!(keep.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(keep.iter().all(|&i| i < scores.len()));
-        let min_kept = keep.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        assert_eq!(keep.len(), k, "seed {seed}");
+        assert!(keep.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert!(keep.iter().all(|&i| i < len), "seed {seed}");
+        let min_kept = keep
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f32::INFINITY, f32::min);
         for (i, &s) in scores.iter().enumerate() {
             if !keep.contains(&i) {
-                prop_assert!(s <= min_kept, "excluded {} beats kept min {}", s, min_kept);
+                assert!(
+                    s <= min_kept,
+                    "seed {seed}: excluded {s} beats kept min {min_kept}"
+                );
             }
         }
     }
+}
 
-    /// keep_from_mask inverts a 0/1 mask.
-    #[test]
-    fn keep_from_mask_matches_nonzeros(bits in prop::collection::vec(prop::bool::ANY, 1..40)) {
+/// keep_from_mask inverts a 0/1 mask.
+#[test]
+fn keep_from_mask_matches_nonzeros() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let len = 1 + rng.below(39);
+        let bits: Vec<bool> = (0..len).map(|_| rng.bernoulli(0.5)).collect();
         let mask: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let keep = keep_from_mask(&mask);
-        prop_assert_eq!(keep.len(), bits.iter().filter(|&&b| b).count());
+        assert_eq!(
+            keep.len(),
+            bits.iter().filter(|&&b| b).count(),
+            "seed {seed}"
+        );
         for &i in &keep {
-            prop_assert!(bits[i]);
+            assert!(bits[i], "seed {seed}");
         }
     }
+}
 
-    /// Surgery == masking, for arbitrary non-empty keep sets on a small
-    /// conv-bn-relu-conv network (eval mode).
-    #[test]
-    fn surgery_equals_masking(bits in prop::collection::vec(prop::bool::ANY, 6), seed in 0u64..500) {
-        let keep: Vec<usize> = bits.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
-        prop_assume!(!keep.is_empty());
+/// Surgery == masking, for arbitrary non-empty keep sets on a small
+/// conv-bn-relu-conv network (eval mode).
+#[test]
+fn surgery_equals_masking() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let bits: Vec<bool> = (0..6).map(|_| rng.bernoulli(0.5)).collect();
+        let keep: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        if keep.is_empty() {
+            continue;
+        }
         let mut net = Network::new();
         net.push(Node::Conv(Conv2d::new(2, 6, 3, 1, 1, &mut rng)));
         net.push(Node::Bn(BatchNorm2d::new(6)));
@@ -122,50 +186,54 @@ proptest! {
         prune_feature_maps(&mut net, site.conv, &keep).unwrap();
         let y_pruned = net.forward(&x, false).unwrap();
         for (a, b) in y_masked.data().iter().zip(y_pruned.data()) {
-            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{} vs {}", a, b);
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                "seed {seed}: {a} vs {b}"
+            );
         }
     }
+}
 
-    /// Augmentation preserves shape and never invents values: every
-    /// output pixel is either zero (padding) or present somewhere in the
-    /// same sample/channel of the input.
-    #[test]
-    fn augmentation_is_a_permutation_with_padding(
-        pad in 0usize..3,
-        flip in prop::bool::ANY,
-        seed in 0u64..500,
-    ) {
-        use headstart::data::Augment;
+/// Augmentation preserves shape and never invents values: every output
+/// pixel is either zero (padding) or present somewhere in the same
+/// sample/channel of the input.
+#[test]
+fn augmentation_is_a_permutation_with_padding() {
+    use headstart::data::Augment;
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let pad = rng.below(3);
+        let flip = rng.bernoulli(0.5);
         let x = Tensor::randn(Shape::d4(2, 2, 6, 6), &mut rng);
         let aug = Augment { flip, pad };
         let y = aug.apply(&x, &mut rng).unwrap();
-        prop_assert_eq!(y.shape(), x.shape());
+        assert_eq!(y.shape(), x.shape(), "seed {seed}");
         for n in 0..2 {
             for c in 0..2 {
-                let src: Vec<f32> = (0..36)
-                    .map(|p| x.at(&[n, c, p / 6, p % 6]))
-                    .collect();
+                let src: Vec<f32> = (0..36).map(|p| x.at(&[n, c, p / 6, p % 6])).collect();
                 for p in 0..36 {
                     let v = y.at(&[n, c, p / 6, p % 6]);
-                    prop_assert!(
-                        v == 0.0 || src.iter().any(|&s| s == v),
-                        "pixel {} not from source (n={}, c={})", v, n, c
+                    assert!(
+                        v == 0.0 || src.contains(&v),
+                        "seed {seed}: pixel {v} not from source (n={n}, c={c})"
                     );
                 }
             }
         }
     }
+}
 
-    /// Checkpoints round-trip random small architectures bit-exactly:
-    /// the restored network computes the identical function.
-    #[test]
-    fn checkpoint_round_trips_random_architectures(
-        stages in prop::collection::vec((2usize..6, prop::bool::ANY, 0u8..3), 1..4),
-        classes in 2usize..5,
-        seed in 0u64..500,
-    ) {
+/// Checkpoints round-trip random small architectures bit-exactly: the
+/// restored network computes the identical function.
+#[test]
+fn checkpoint_round_trips_random_architectures() {
+    for seed in 0..CASES {
         let mut rng = Rng::seed_from(seed);
+        let n_stages = 1 + rng.below(3);
+        let stages: Vec<(usize, bool, u8)> = (0..n_stages)
+            .map(|_| (2 + rng.below(4), rng.bernoulli(0.5), rng.below(3) as u8))
+            .collect();
+        let classes = 2 + rng.below(3);
         let mut net = Network::new();
         let mut channels = 2usize;
         let mut spatial = 8usize;
@@ -177,8 +245,14 @@ proptest! {
             net.push(Node::Relu(ReLU::new()));
             if spatial >= 4 {
                 match pool_kind {
-                    1 => { net.push(Node::MaxPool(MaxPool2d::new(2))); spatial /= 2; }
-                    2 => { net.push(Node::AvgPool(AvgPool2d::new(2))); spatial /= 2; }
+                    1 => {
+                        net.push(Node::MaxPool(MaxPool2d::new(2)));
+                        spatial /= 2;
+                    }
+                    2 => {
+                        net.push(Node::AvgPool(AvgPool2d::new(2)));
+                        spatial /= 2;
+                    }
                     _ => {}
                 }
             }
@@ -193,43 +267,64 @@ proptest! {
         let mut restored = checkpoint::from_bytes(&bytes).unwrap();
         let ya = net.forward(&x, false).unwrap();
         let yb = restored.forward(&x, false).unwrap();
-        prop_assert_eq!(ya, yb);
+        assert_eq!(ya, yb, "seed {seed}");
         // Serialization is byte-stable.
-        prop_assert_eq!(bytes, checkpoint::to_bytes(&restored).unwrap());
+        assert_eq!(
+            bytes,
+            checkpoint::to_bytes(&restored).unwrap(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Roofline latency is monotone: strictly more MACs and bytes on
-    /// every kernel can never be faster.
-    #[test]
-    fn roofline_latency_is_monotone(
-        macs in prop::collection::vec(1u64..10_000_000, 1..8),
-        extra in 1u64..1_000_000,
-    ) {
+/// Roofline latency is monotone: strictly more MACs and bytes on every
+/// kernel can never be faster.
+#[test]
+fn roofline_latency_is_monotone() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let n_layers = 1 + rng.below(7);
+        let macs: Vec<u64> = (0..n_layers)
+            .map(|_| 1 + rng.below(9_999_999) as u64)
+            .collect();
+        let extra = 1 + rng.below(999_999) as u64;
         let mk = |macs: &[u64], bump: u64| Workload {
             name: "w".into(),
-            layers: macs.iter().map(|&m| LayerWork {
-                kind: "conv".into(),
-                macs: m + bump,
-                bytes_read: 4 * (m + bump),
-                bytes_written: 1024,
-            }).collect(),
+            layers: macs
+                .iter()
+                .map(|&m| LayerWork {
+                    kind: "conv".into(),
+                    macs: m + bump,
+                    bytes_read: 4 * (m + bump),
+                    bytes_written: 1024,
+                })
+                .collect(),
         };
         let d = headstart::gpusim::devices::gtx_1080ti();
         let base = estimate_workload(&d, &mk(&macs, 0)).unwrap().total_seconds;
-        let bigger = estimate_workload(&d, &mk(&macs, extra)).unwrap().total_seconds;
-        prop_assert!(bigger >= base);
+        let bigger = estimate_workload(&d, &mk(&macs, extra))
+            .unwrap()
+            .total_seconds;
+        assert!(bigger >= base, "seed {seed}: {bigger} < {base}");
     }
+}
 
-    /// The reward algebra (Eqs. 2–4): on-target actions with equal
-    /// accuracy always dominate off-target ones.
-    #[test]
-    fn reward_prefers_target_speedup(total in 4usize..256, acc in 0.0f32..1.0) {
-        use headstart::core::reward::reward;
+/// The reward algebra (Eqs. 2–4): on-target actions with equal accuracy
+/// always dominate off-target ones.
+#[test]
+fn reward_prefers_target_speedup() {
+    use headstart::core::reward::reward;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let total = 4 + rng.below(252);
+        let acc = rng.uniform_in(0.0, 1.0);
         let sp = 2.0f32;
         let on_target = (total as f32 / sp).round() as usize;
-        prop_assume!(on_target >= 1 && on_target < total);
+        if on_target < 1 || on_target >= total {
+            continue;
+        }
         let r_on = reward(acc, 0.8, total, on_target, sp);
         let r_off = reward(acc, 0.8, total, (on_target / 2).max(1), sp);
-        prop_assert!(r_on >= r_off);
+        assert!(r_on >= r_off, "seed {seed}: {r_on} < {r_off}");
     }
 }
