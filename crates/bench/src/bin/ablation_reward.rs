@@ -13,39 +13,24 @@
 //! cargo run --release -p hs-bench --bin ablation_reward [--quick]
 //! ```
 
-use hs_bench::{pct, pretrain, Budget, Phase};
-use hs_core::{HeadStartConfig, LayerPruner};
-use hs_data::{cached, DatasetSpec};
-use hs_nn::{models, surgery, train};
-use hs_tensor::Rng;
+use hs_core::HeadStartConfig;
+use hs_runner::{pct, prepare, Budget, RunnerConfig};
 
 fn main() {
-    let budget = Budget::from_args();
-    let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
-    let mut rng = Rng::seed_from(77);
-    let mut net = models::vgg11(
-        ds.channels(),
-        ds.num_classes(),
-        ds.image_size(),
-        0.25,
-        &mut rng,
-    )
-    .expect("model");
-    let phase = Phase::start("pretraining VGG");
-    let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
-    phase.end();
+    let mut cfg = RunnerConfig::new("ablation");
+    cfg.seed = 77;
+    cfg.budget = Budget::from_args();
+    let prepared = prepare(&cfg).expect("prepare");
     println!(
         "# HeadStart ablations, conv ordinal 2, sp = 2 (original acc {}%)",
-        pct(original)
+        pct(prepared.original_accuracy)
     );
     println!(
         "{:<34} {:>6} {:>10} {:>9}",
         "VARIANT", "KEPT", "EPISODES", "INC-ACC%"
     );
 
-    let base = HeadStartConfig::new(2.0)
-        .max_episodes(budget.rl_episodes)
-        .eval_images(budget.rl_eval_images);
+    let base = prepared.headstart_layer_cfg(2.0);
     let variants: Vec<(String, HeadStartConfig)> = vec![
         ("paper defaults (k=3, t=0.5, SC)".into(), base.clone()),
         (
@@ -71,22 +56,17 @@ fn main() {
 
     // Average each variant over 2 seeds for stability.
     let seeds = [500u64, 501];
-    for (label, cfg) in variants {
+    for (label, vcfg) in variants {
         let mut kept_total = 0usize;
         let mut episodes_total = 0usize;
         let mut acc_total = 0.0f32;
         for &seed in &seeds {
-            let mut vnet = net.clone();
-            let mut vrng = Rng::seed_from(seed);
-            let d = LayerPruner::new(cfg.clone())
-                .prune(&mut vnet, 2, &ds, &mut vrng)
+            let run = prepared
+                .single_layer_headstart(&vcfg, 2, false, seed)
                 .expect("prune");
-            let conv = vnet.conv_indices()[2];
-            surgery::prune_feature_maps(&mut vnet, conv, &d.keep).expect("surgery");
-            acc_total +=
-                train::evaluate(&mut vnet, &ds.test_images, &ds.test_labels, 64).expect("eval");
-            kept_total += d.keep.len();
-            episodes_total += d.episodes;
+            kept_total += run.kept;
+            episodes_total += run.episodes;
+            acc_total += run.accuracy;
         }
         let n = seeds.len();
         println!(

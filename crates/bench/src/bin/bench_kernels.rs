@@ -14,6 +14,7 @@ use hs_nn::layer::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU};
 use hs_nn::loss::softmax_cross_entropy;
 use hs_nn::optim::{Optimizer, Sgd};
 use hs_nn::{Network, Node};
+use hs_runner::{write_json, Json};
 use hs_tensor::{gemm_ex, pool, Rng, Shape, Tensor};
 
 /// The seed's GEMM: naive `i-k-j` row bands, threads spawned per call
@@ -182,31 +183,35 @@ fn main() {
     let train_step_secs = best_secs(10, &mut step);
     println!("train step {:.2} ms", train_step_secs * 1e3);
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"pool_threads\": {},\n", pool::num_threads()));
-    json.push_str("  \"gemm\": [\n");
-    for (i, row) in gemm_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"size\": {}, \"seed_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}, \"new_gflops\": {:.3}}}{}\n",
-            row.size,
-            row.seed_secs,
-            row.new_secs,
-            row.seed_secs / row.new_secs,
-            gflops(row.size, row.new_secs),
-            if i + 1 < gemm_rows.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"conv\": {{\"forward_secs\": {:.6}, \"backward_secs\": {:.6}}},\n",
-        conv_fwd_secs, conv_bwd_secs
-    ));
-    json.push_str(&format!(
-        "  \"train_step_secs\": {:.6}\n}}\n",
-        train_step_secs
-    ));
+    let gemm_json = gemm_rows
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                ("size".into(), Json::num(row.size as f64)),
+                ("seed_secs".into(), Json::num(row.seed_secs)),
+                ("new_secs".into(), Json::num(row.new_secs)),
+                ("speedup".into(), Json::num(row.seed_secs / row.new_secs)),
+                (
+                    "new_gflops".into(),
+                    Json::num(gflops(row.size, row.new_secs)),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("pool_threads".into(), Json::num(pool::num_threads() as f64)),
+        ("gemm".into(), Json::Arr(gemm_json)),
+        (
+            "conv".into(),
+            Json::Obj(vec![
+                ("forward_secs".into(), Json::num(conv_fwd_secs)),
+                ("backward_secs".into(), Json::num(conv_bwd_secs)),
+            ]),
+        ),
+        ("train_step_secs".into(), Json::num(train_step_secs)),
+    ]);
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    std::fs::write(out_path, &json).expect("write BENCH_kernels.json");
+    write_json(out_path, &doc).expect("write BENCH_kernels.json");
     println!("wrote {out_path}");
 }

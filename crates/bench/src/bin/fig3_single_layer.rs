@@ -4,6 +4,10 @@
 //! accuracy (higher is better) and finds HeadStart far more robust,
 //! with Li'17/APoZ degrading to random at high speedups.
 //!
+//! Baseline criteria score the same class-balanced 64-image training
+//! subset the whole-model driver feeds them, so single-layer and
+//! whole-model comparisons go through one code path.
+//!
 //! Pass `--recalibrate` to refresh batch-norm running statistics (a few
 //! training-mode forward passes, no gradient steps) after each surgery
 //! and before measuring — applied to every method equally. The paper's
@@ -15,29 +19,15 @@
 //! cargo run --release -p hs-bench --bin fig3_single_layer [--quick] [--recalibrate]
 //! ```
 
-use hs_bench::{pct, pretrain, Budget, Phase};
-use hs_core::{HeadStartConfig, LayerPruner};
-use hs_data::{cached, DatasetSpec};
-use hs_nn::{models, surgery, train};
-use hs_pruning::{Apoz, L1Norm, PruningCriterion, Random, ScoreContext};
-use hs_tensor::Rng;
+use hs_runner::{pct, prepare, BaselineKind, Budget, RunnerConfig};
 
 fn main() {
-    let budget = Budget::from_args();
     let recalibrate = std::env::args().any(|a| a == "--recalibrate");
-    let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
-    let mut rng = Rng::seed_from(2019);
-    let mut net = models::vgg11(
-        ds.channels(),
-        ds.num_classes(),
-        ds.image_size(),
-        0.25,
-        &mut rng,
-    )
-    .expect("model");
-    let phase = Phase::start("pretraining VGG on synthetic CIFAR");
-    let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
-    phase.end();
+    let mut cfg = RunnerConfig::new("fig3");
+    cfg.seed = 2019;
+    cfg.budget = Budget::from_args();
+    let prepared = prepare(&cfg).expect("prepare");
+
     println!(
         "# Figure 3 — single-layer pruning, no fine-tuning (top-1 %, higher is better){}",
         if recalibrate {
@@ -46,7 +36,7 @@ fn main() {
             ""
         }
     );
-    println!("# original accuracy: {}%", pct(original));
+    println!("# original accuracy: {}%", pct(prepared.original_accuracy));
     println!(
         "{:<8} {:>8} {:>10} {:>8} {:>8} {:>8}",
         "LAYER", "SPEEDUP", "HeadStart", "Li'17", "APoZ", "Random"
@@ -56,57 +46,22 @@ fn main() {
     // scale VGG-11 ordinals 1..4 span the same low-to-high range.
     for ordinal in [1usize, 2, 3, 4] {
         for sp in [2.0f32, 3.0, 4.0, 5.0] {
-            let maps = {
-                let site = surgery::conv_sites(&net)[ordinal];
-                net.conv(site.conv).expect("conv").out_channels()
-            };
-            let keep_count = ((maps as f32 / sp).round() as usize).max(1);
-
             // HeadStart learns its own inception at this sp.
-            let hs_acc = {
-                let mut hs_net = net.clone();
-                let mut rl_rng = Rng::seed_from(100 + ordinal as u64 * 10 + sp as u64);
-                let cfg = HeadStartConfig::new(sp)
-                    .max_episodes(budget.rl_episodes)
-                    .eval_images(budget.rl_eval_images);
-                let d = LayerPruner::new(cfg)
-                    .prune(&mut hs_net, ordinal, &ds, &mut rl_rng)
-                    .expect("headstart");
-                let conv = hs_net.conv_indices()[ordinal];
-                surgery::prune_feature_maps(&mut hs_net, conv, &d.keep).expect("surgery");
-                if recalibrate {
-                    train::recalibrate_bn(&mut hs_net, &ds.train_images, 32, 2)
-                        .expect("recalibrate");
-                }
-                train::evaluate(&mut hs_net, &ds.test_images, &ds.test_labels, 64).expect("eval")
-            };
+            let hs = prepared
+                .single_layer_headstart(
+                    &prepared.headstart_layer_cfg(sp),
+                    ordinal,
+                    recalibrate,
+                    100 + ordinal as u64 * 10 + sp as u64,
+                )
+                .expect("headstart");
 
-            let mut row = vec![hs_acc];
-            for criterion in [
-                &mut L1Norm::new() as &mut dyn PruningCriterion,
-                &mut Apoz::new(),
-                &mut Random::new(),
-            ] {
-                let mut base = net.clone();
-                let mut crng = Rng::seed_from(7 + ordinal as u64);
-                let site = surgery::conv_sites(&base)[ordinal];
-                let keep = {
-                    let mut ctx = ScoreContext::new(
-                        &mut base,
-                        site,
-                        &ds.train_images,
-                        &ds.train_labels,
-                        &mut crng,
-                    );
-                    criterion.keep_set(&mut ctx, keep_count).expect("keep set")
-                };
-                surgery::prune_feature_maps(&mut base, site.conv, &keep).expect("surgery");
-                if recalibrate {
-                    train::recalibrate_bn(&mut base, &ds.train_images, 32, 2).expect("recalibrate");
-                }
-                row.push(
-                    train::evaluate(&mut base, &ds.test_images, &ds.test_labels, 64).expect("eval"),
-                );
+            let mut row = vec![hs.accuracy];
+            for kind in [BaselineKind::L1, BaselineKind::Apoz, BaselineKind::Random] {
+                let run = prepared
+                    .single_layer_baseline(kind, ordinal, sp, recalibrate, 7 + ordinal as u64)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+                row.push(run.accuracy);
             }
             println!(
                 "conv{:<4} {:>8.1} {:>10} {:>8} {:>8} {:>8}",

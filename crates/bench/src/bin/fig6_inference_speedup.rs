@@ -10,11 +10,12 @@
 //! ResNet-110 keeps the paper's learned <10, 10, 7> blocks per group.
 //!
 //! ```text
-//! cargo run --release -p hs-bench --bin fig6_inference_speedup
+//! cargo run --release -p hs-bench --bin fig6_inference_speedup [--artifact PATH]
 //! ```
 
 use hs_gpusim::{devices, estimate, DeviceSpec};
 use hs_nn::{models, Network, Node};
+use hs_runner::{write_json, Json};
 use hs_tensor::Rng;
 
 /// Deactivates blocks so each group keeps `keep[g]` of its `n` blocks
@@ -42,6 +43,12 @@ fn fps_of(device: &DeviceSpec, net: &Network, size: usize) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let artifact = args
+        .iter()
+        .position(|a| a == "--artifact")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mut rng = Rng::seed_from(0);
     println!("# Figure 6 — inference fps, original vs HeadStart-pruned (roofline model)");
     println!(
@@ -51,7 +58,8 @@ fn main() {
 
     // (a) Jetson TX2 (CPU + GPU), (b) Xeon + 1080Ti — all four devices
     // for each scenario.
-    let scenario = |name: &str, size: usize, full: &Network, pruned: &Network| {
+    let mut rows: Vec<Json> = Vec::new();
+    let mut scenario = |name: &str, size: usize, full: &Network, pruned: &Network| {
         for device in devices::all() {
             let f = fps_of(&device, full, size);
             let p = fps_of(&device, pruned, size);
@@ -63,6 +71,13 @@ fn main() {
                 p,
                 p / f
             );
+            rows.push(Json::Obj(vec![
+                ("scenario".into(), Json::str(name)),
+                ("device".into(), Json::str(device.name)),
+                ("original_fps".into(), Json::num(f)),
+                ("pruned_fps".into(), Json::num(p)),
+                ("speedup".into(), Json::num(p / f)),
+            ]));
         }
         println!();
     };
@@ -93,4 +108,10 @@ fn main() {
         &resnet_cub_full,
         &resnet_cub_pruned,
     );
+
+    if let Some(path) = artifact {
+        let doc = Json::Obj(vec![("rows".into(), Json::Arr(rows))]);
+        write_json(&path, &doc).expect("write artifact");
+        println!("wrote {path}");
+    }
 }

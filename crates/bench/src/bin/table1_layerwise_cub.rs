@@ -7,13 +7,8 @@
 //! cargo run --release -p hs-bench --bin table1_layerwise_cub [--quick]
 //! ```
 
-use hs_bench::{pct, pretrain, Budget, Phase};
-use hs_core::{HeadStartConfig, HeadStartPruner};
-use hs_data::{cached, DatasetSpec};
-use hs_nn::{accounting, models};
-use hs_pruning::driver::{prune_whole_model, FineTune, LayerTrace};
-use hs_pruning::L1Norm;
-use hs_tensor::Rng;
+use hs_pruning::driver::LayerTrace;
+use hs_runner::{pct, prepare, BaselineKind, Budget, DataChoice, Method, RunnerConfig};
 
 fn print_rows(method: &str, traces: &[LayerTrace]) {
     for t in traces {
@@ -32,64 +27,44 @@ fn print_rows(method: &str, traces: &[LayerTrace]) {
 }
 
 fn main() {
-    let budget = Budget::from_args();
-    let ds = cached(&DatasetSpec::cub_like()).expect("dataset");
-    let mut rng = Rng::seed_from(1);
-    let mut net = models::vgg11(
-        ds.channels(),
-        ds.num_classes(),
-        ds.image_size(),
-        0.25,
-        &mut rng,
-    )
-    .expect("model");
-    let phase = Phase::start("pretraining VGG on synthetic CUB");
-    let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
-    phase.end();
-    let cost = accounting::analyze(&net, ds.channels(), ds.image_size()).expect("cost");
+    let mut cfg = RunnerConfig::new("table1");
+    cfg.data = DataChoice::CubLike;
+    cfg.seed = 1;
+    cfg.budget = Budget::from_args();
+    let prepared = prepare(&cfg).expect("prepare");
+
     println!("# Table 1 — iterative whole-model pruning on synthetic CUB, sp = 2");
     println!(
         "# original: acc {}%, {:.4}M params, {:.5}B MACs",
-        pct(original),
-        cost.params_millions(),
-        cost.flops_billions()
+        pct(prepared.original_accuracy),
+        prepared.original_cost.params_millions(),
+        prepared.original_cost.flops_billions()
     );
     println!(
         "{:<10} {:<7} {:>11} {:>9} {:>9} {:>9} {:>9}",
         "METHOD", "LAYER", "#MAPS", "#PARAM(M)", "#MACS(B)", "INC%", "W/FT%"
     );
 
-    let ft = FineTune {
-        epochs: budget.finetune_epochs,
-        ..FineTune::default()
-    };
-
-    // Li'17 trace.
-    let phase = Phase::start("Li'17 whole-model prune");
-    let mut li_net = net.clone();
-    let mut li_rng = Rng::seed_from(11);
-    let li = prune_whole_model(&mut li_net, &mut L1Norm::new(), 0.5, &ds, &ft, &mut li_rng)
+    let li = prepared
+        .run_method(
+            &Method::Baseline {
+                kind: BaselineKind::L1,
+                keep_ratio: 0.5,
+            },
+            11,
+        )
         .expect("li17");
-    phase.end();
     print_rows("Li'17", &li.traces);
 
-    // HeadStart trace.
-    let phase = Phase::start("HeadStart whole-model prune");
-    let mut hs_net = net.clone();
-    let mut hs_rng = Rng::seed_from(12);
-    let cfg = HeadStartConfig::new(2.0)
-        .max_episodes(budget.rl_episodes)
-        .eval_images(budget.rl_eval_images);
-    let (hs, _) = HeadStartPruner::new(cfg, ft)
-        .prune_model(&mut hs_net, &ds, &mut hs_rng)
+    let hs = prepared
+        .run_method(&Method::HeadStartLayers { sp: 2.0 }, 12)
         .expect("headstart");
-    phase.end();
     print_rows("HeadStart", &hs.traces);
 
     println!(
         "# final: Li'17 {}% vs HeadStart {}% (original {}%)",
         pct(li.final_accuracy),
         pct(hs.final_accuracy),
-        pct(original)
+        pct(prepared.original_accuracy)
     );
 }

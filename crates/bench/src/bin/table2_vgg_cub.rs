@@ -7,114 +7,64 @@
 //! cargo run --release -p hs-bench --bin table2_vgg_cub [--quick]
 //! ```
 
-use hs_bench::{pct, pretrain, Budget, Phase};
-use hs_core::{HeadStartConfig, HeadStartPruner};
-use hs_data::{cached, DatasetSpec};
-use hs_nn::{accounting, models};
-use hs_pruning::driver::{prune_whole_model, train_from_scratch, FineTune};
-use hs_pruning::{AutoPruner, L1Norm, PruningCriterion, Random, ThiNet};
-use hs_tensor::Rng;
+use hs_nn::accounting::NetworkCost;
+use hs_runner::{pct, prepare, BaselineKind, Budget, DataChoice, Method, RunnerConfig};
 
 fn main() {
-    let budget = Budget::from_args();
-    let ds = cached(&DatasetSpec::cub_like()).expect("dataset");
-    let mut rng = Rng::seed_from(2);
-    let mut net = models::vgg11(
-        ds.channels(),
-        ds.num_classes(),
-        ds.image_size(),
-        0.25,
-        &mut rng,
-    )
-    .expect("model");
-    let phase = Phase::start("pretraining VGG on synthetic CUB");
-    let original = pretrain(&mut net, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
-    phase.end();
-    let full_cost = accounting::analyze(&net, ds.channels(), ds.image_size()).expect("cost");
+    let mut cfg = RunnerConfig::new("table2");
+    cfg.data = DataChoice::CubLike;
+    cfg.seed = 2;
+    cfg.budget = Budget::from_args();
+    let prepared = prepare(&cfg).expect("prepare");
+    let full_cost = prepared.original_cost.clone();
 
     println!("# Table 2 — whole-model VGG on synthetic CUB, sp = 2");
     println!(
         "{:<16} {:>10} {:>10} {:>8} {:>10}",
         "METHOD", "#PARAM(M)", "#MACS(B)", "ACC%", "C.R.%"
     );
-    println!(
-        "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
-        "VGG ORIGINAL",
-        full_cost.params_millions(),
-        full_cost.flops_billions(),
-        pct(original),
-        100.0
-    );
-
-    let ft = FineTune {
-        epochs: budget.finetune_epochs,
-        ..FineTune::default()
-    };
-
-    // Metric/reconstruction baselines at fixed 50% keep.
-    let baselines: Vec<(&str, Box<dyn PruningCriterion>)> = vec![
-        ("Random", Box::new(Random::new())),
-        ("ThiNet'17", Box::new(ThiNet::new())),
-        ("AutoPruner'18", Box::new(AutoPruner::new().iterations(20))),
-        ("Li'17", Box::new(L1Norm::new())),
-    ];
-    for (label, mut criterion) in baselines {
-        let phase = Phase::start(label);
-        let mut pruned = net.clone();
-        let mut prng = Rng::seed_from(42);
-        let outcome = prune_whole_model(&mut pruned, criterion.as_mut(), 0.5, &ds, &ft, &mut prng)
-            .unwrap_or_else(|e| panic!("{label}: {e}"));
-        phase.end();
+    let row = |label: &str, cost: &NetworkCost, acc: f32| {
         println!(
             "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
             label,
-            outcome.cost.params_millions(),
-            outcome.cost.flops_billions(),
-            pct(outcome.final_accuracy),
-            100.0 * outcome.cost.total_params as f64 / full_cost.total_params as f64
+            cost.params_millions(),
+            cost.flops_billions(),
+            pct(acc),
+            100.0 * cost.total_params as f64 / full_cost.total_params as f64
         );
+    };
+    row("VGG ORIGINAL", &full_cost, prepared.original_accuracy);
+
+    // Metric/reconstruction baselines at fixed 50% keep.
+    for kind in [
+        BaselineKind::Random,
+        BaselineKind::ThiNet,
+        BaselineKind::AutoPruner { iterations: 20 },
+        BaselineKind::L1,
+    ] {
+        let outcome = prepared
+            .run_method(
+                &Method::Baseline {
+                    kind,
+                    keep_ratio: 0.5,
+                },
+                42,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        row(&outcome.label, &outcome.cost, outcome.final_accuracy);
     }
 
     // HeadStart (learned keep counts, may drift slightly from 50%).
-    let phase = Phase::start("HeadStart");
-    let mut hs_net = net.clone();
-    let mut hs_rng = Rng::seed_from(42);
-    let cfg = HeadStartConfig::new(2.0)
-        .max_episodes(budget.rl_episodes)
-        .eval_images(budget.rl_eval_images);
-    let (hs, _) = HeadStartPruner::new(cfg, ft)
-        .prune_model(&mut hs_net, &ds, &mut hs_rng)
+    let hs = prepared
+        .run_method(&Method::HeadStartLayers { sp: 2.0 }, 42)
         .expect("headstart");
-    phase.end();
-    println!(
-        "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
-        "HeadStart",
-        hs.cost.params_millions(),
-        hs.cost.flops_billions(),
-        pct(hs.final_accuracy),
-        100.0 * hs.cost.total_params as f64 / full_cost.total_params as f64
-    );
+    row(&hs.label, &hs.cost, hs.final_accuracy);
 
     // From scratch: the HeadStart architecture, reinitialized, trained
     // with the same total budget the pruned model received.
-    let phase = Phase::start("from scratch");
-    let mut scratch_rng = Rng::seed_from(43);
-    let total_epochs = budget.finetune_epochs * hs.traces.len();
-    let scratch_acc = train_from_scratch(
-        &hs_net,
-        &ds,
-        total_epochs,
-        &FineTune::default(),
-        &mut scratch_rng,
-    )
-    .expect("scratch");
-    phase.end();
-    println!(
-        "{:<16} {:>10.4} {:>10.5} {:>8} {:>10.2}",
-        "from scratch",
-        hs.cost.params_millions(),
-        hs.cost.flops_billions(),
-        pct(scratch_acc),
-        100.0 * hs.cost.total_params as f64 / full_cost.total_params as f64
-    );
+    let total_epochs = prepared.budget.finetune_epochs * hs.traces.len();
+    let scratch = prepared
+        .run_scratch(&hs.net, total_epochs, 43)
+        .expect("scratch");
+    row(&scratch.label, &scratch.cost, scratch.final_accuracy);
 }

@@ -13,20 +13,17 @@
 //! cargo run --release -p hs-bench --bin table4_resnet_blocks [--quick]
 //! ```
 
-use hs_bench::{pct, pretrain, Budget, Phase};
-use hs_core::{BlockPruner, HeadStartConfig};
-use hs_data::{cached, DatasetSpec};
+use hs_data::Dataset;
 use hs_nn::accounting::analyze;
 use hs_nn::{models, Network, Node};
-use hs_pruning::driver::{train_from_scratch, FineTune};
-use hs_tensor::Rng;
+use hs_runner::{pct, prepare, Budget, Method, ModelChoice, ModelKind, RunnerConfig};
 
 const N_DEEP: usize = 6; // ResNet-38
 const N_SHALLOW: usize = 3; // ResNet-20
 const WIDTH: f32 = 0.25;
 
 /// Per-group (params, flops) across the three ResNet groups.
-fn group_costs(net: &Network, ds: &hs_data::Dataset, n: usize) -> [(u64, u64); 3] {
+fn group_costs(net: &Network, ds: &Dataset, n: usize) -> [(u64, u64); 3] {
     let cost = analyze(net, ds.channels(), ds.image_size()).expect("cost");
     let blocks = net.block_indices();
     let groups = models::resnet_block_groups(n);
@@ -40,60 +37,32 @@ fn group_costs(net: &Network, ds: &hs_data::Dataset, n: usize) -> [(u64, u64); 3
     out
 }
 
+fn resnet_config(label: &str, n: usize, seed: u64, budget: Budget) -> RunnerConfig {
+    let mut cfg = RunnerConfig::new(label);
+    cfg.model = ModelChoice::new(ModelKind::ResNetCifar { n }, WIDTH);
+    cfg.seed = seed;
+    cfg.budget = budget;
+    cfg
+}
+
 fn main() {
     let budget = Budget::from_args();
-    let ds = cached(&DatasetSpec::cifar_like()).expect("dataset");
 
-    // Deep model.
-    let mut rng = Rng::seed_from(4);
-    let mut deep = models::resnet_cifar(N_DEEP, ds.channels(), ds.num_classes(), WIDTH, &mut rng)
-        .expect("model");
-    let phase = Phase::start("pretraining deep ResNet");
-    let deep_acc = pretrain(&mut deep, &ds, budget.pretrain_epochs, &mut rng).expect("pretrain");
-    phase.end();
-    let deep_cost = analyze(&deep, ds.channels(), ds.image_size()).expect("cost");
-
-    // Shallow sibling with the same total budget.
-    let mut rng2 = Rng::seed_from(5);
-    let mut shallow =
-        models::resnet_cifar(N_SHALLOW, ds.channels(), ds.num_classes(), WIDTH, &mut rng2)
-            .expect("model");
-    let phase = Phase::start("pretraining shallow ResNet");
-    let shallow_acc =
-        pretrain(&mut shallow, &ds, budget.pretrain_epochs, &mut rng2).expect("pretrain");
-    phase.end();
-    let shallow_cost = analyze(&shallow, ds.channels(), ds.image_size()).expect("cost");
+    // Deep model and its shallow sibling, same pre-training budget.
+    let deep = prepare(&resnet_config("table4-deep", N_DEEP, 4, budget)).expect("prepare deep");
+    let shallow =
+        prepare(&resnet_config("table4-shallow", N_SHALLOW, 5, budget)).expect("prepare shallow");
 
     // HeadStart block pruning of the deep model.
-    let phase = Phase::start("HeadStart block pruning");
-    let cfg = HeadStartConfig::new(2.0)
-        .max_episodes(budget.rl_episodes)
-        .eval_images(budget.rl_eval_images);
-    // Block pruning fine-tunes once at the end; give it the whole
-    // per-layer budget.
-    let ft = FineTune {
-        epochs: (budget.finetune_epochs * 3).max(1),
-        ..FineTune::default()
-    };
-    let mut hs_rng = Rng::seed_from(6);
-    let (decision, hs_acc) = BlockPruner::new(cfg)
-        .prune_and_finetune(&mut deep, &ds, &ft, &mut hs_rng)
+    let hs = deep
+        .run_method(&Method::HeadStartBlocks { sp: 2.0 }, 6)
         .expect("block pruning");
-    phase.end();
-    let hs_cost = analyze(&deep, ds.channels(), ds.image_size()).expect("cost");
+    let decision = hs.block_decision.as_ref().expect("block decision");
 
     // From scratch with the same (block-pruned) structure.
-    let phase = Phase::start("from scratch");
-    let mut scratch_rng = Rng::seed_from(7);
-    let scratch_acc = train_from_scratch(
-        &deep,
-        &ds,
-        budget.pretrain_epochs,
-        &FineTune::default(),
-        &mut scratch_rng,
-    )
-    .expect("scratch");
-    phase.end();
+    let scratch = deep
+        .run_scratch(&hs.net, budget.pretrain_epochs, 7)
+        .expect("scratch");
 
     let depth_deep = models::resnet_depth(N_DEEP);
     let depth_shallow = models::resnet_depth(N_SHALLOW);
@@ -112,33 +81,34 @@ fn main() {
             cr
         );
     };
+    let deep_cost = deep.original_cost.clone();
     row(
         &format!("ResNet-{depth_deep} original"),
         deep_cost.params_millions(),
         deep_cost.flops_billions(),
-        deep_acc,
+        deep.original_accuracy,
         100.0,
     );
     row(
         &format!("ResNet-{depth_shallow} original"),
-        shallow_cost.params_millions(),
-        shallow_cost.flops_billions(),
-        shallow_acc,
-        100.0 * shallow_cost.total_params as f64 / deep_cost.total_params as f64,
+        shallow.original_cost.params_millions(),
+        shallow.original_cost.flops_billions(),
+        shallow.original_accuracy,
+        100.0 * shallow.original_cost.total_params as f64 / deep_cost.total_params as f64,
     );
     row(
         &format!("ResNet-{depth_deep} HeadStart"),
-        hs_cost.params_millions(),
-        hs_cost.flops_billions(),
-        hs_acc,
-        100.0 * hs_cost.total_params as f64 / deep_cost.total_params as f64,
+        hs.cost.params_millions(),
+        hs.cost.flops_billions(),
+        hs.final_accuracy,
+        100.0 * hs.cost.total_params as f64 / deep_cost.total_params as f64,
     );
     row(
         &format!("ResNet-{depth_deep} HS f. scratch"),
-        hs_cost.params_millions(),
-        hs_cost.flops_billions(),
-        scratch_acc,
-        100.0 * hs_cost.total_params as f64 / deep_cost.total_params as f64,
+        hs.cost.params_millions(),
+        hs.cost.flops_billions(),
+        scratch.final_accuracy,
+        100.0 * hs.cost.total_params as f64 / deep_cost.total_params as f64,
     );
 
     // Figures 4 & 5: per-group breakdown.
@@ -149,16 +119,15 @@ fn main() {
             kept[*g] += 1;
         }
     }
-    // Sanity: active flags in the network agree with the decision.
-    let blocks = deep.block_indices();
+    // Sanity: active flags in the pruned network agree with the decision.
+    let blocks = hs.net.block_indices();
     for (&node, &a) in blocks.iter().zip(&decision.active) {
-        if let Node::Block(b) = deep.node(node) {
+        if let Node::Block(b) = hs.net.node(node) {
             assert_eq!(b.is_active(), a, "decision/network disagreement");
         }
     }
-    let hs_groups = group_costs(&deep, &ds, N_DEEP);
-    // Re-instantiate the shallow model's groups for comparison.
-    let sh_groups = group_costs(&shallow, &ds, N_SHALLOW);
+    let hs_groups = group_costs(&hs.net, &deep.ds, N_DEEP);
+    let sh_groups = group_costs(&shallow.net, &shallow.ds, N_SHALLOW);
     println!("\n# Figures 4 & 5 — per-group #PARAMETERS (x1e5) and #FLOPS (x1e7)");
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14}",

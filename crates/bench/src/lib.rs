@@ -1,6 +1,11 @@
 //! Shared plumbing for the experiment binaries (one per paper
 //! table/figure) and the Criterion micro-benchmarks.
 //!
+//! The pipeline itself — budgets, pre-training, phase stopwatches, JSON
+//! artifacts, whole-model prune drivers — lives in the `hs-runner`
+//! crate; this crate re-exports the handful of names the binaries and
+//! older call sites use so downstream code keeps compiling.
+//!
 //! Every experiment binary accepts `--quick` on the command line, which
 //! divides the training/RL budgets by roughly 10 — useful for smoke
 //! testing; the numbers recorded in `EXPERIMENTS.md` come from full
@@ -8,132 +13,4 @@
 
 #![warn(missing_docs)]
 
-use std::time::Instant;
-
-use hs_data::Dataset;
-use hs_nn::optim::Sgd;
-use hs_nn::{train, Network, NnError};
-use hs_tensor::Rng;
-
-/// Budget profile of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Budget {
-    /// Epochs used to pre-train the original model.
-    pub pretrain_epochs: usize,
-    /// Fine-tuning epochs after pruning each layer.
-    pub finetune_epochs: usize,
-    /// RL episode cap per layer.
-    pub rl_episodes: usize,
-    /// Evaluation-split size for RL rewards.
-    pub rl_eval_images: usize,
-}
-
-impl Budget {
-    /// The full budget used for the recorded results.
-    pub fn full() -> Self {
-        Budget {
-            pretrain_epochs: 14,
-            finetune_epochs: 3,
-            rl_episodes: 60,
-            rl_eval_images: 64,
-        }
-    }
-
-    /// A ~10× cheaper smoke-test budget.
-    pub fn quick() -> Self {
-        Budget {
-            pretrain_epochs: 2,
-            finetune_epochs: 1,
-            rl_episodes: 12,
-            rl_eval_images: 24,
-        }
-    }
-
-    /// Parses the budget from the process arguments (`--quick`).
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
-            eprintln!("[budget] --quick: reduced budgets, numbers will be rough");
-            Budget::quick()
-        } else {
-            Budget::full()
-        }
-    }
-}
-
-/// Trains a fresh SGD schedule on `net` (momentum 0.9, weight decay
-/// 5e-4, the paper's fine-tuning settings) and reports progress.
-///
-/// # Errors
-///
-/// Propagates training errors.
-pub fn pretrain(
-    net: &mut Network,
-    ds: &Dataset,
-    epochs: usize,
-    rng: &mut Rng,
-) -> Result<f32, NnError> {
-    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
-    let start = Instant::now();
-    for epoch in 0..epochs {
-        let stats = train::train_epoch(net, &mut opt, &ds.train_images, &ds.train_labels, 32, rng)?;
-        if epoch % 4 == 0 || epoch + 1 == epochs {
-            eprintln!(
-                "[pretrain] epoch {epoch:3}: loss {:.3} train-acc {:.3} ({:.1?})",
-                stats.loss,
-                stats.accuracy,
-                start.elapsed()
-            );
-        }
-    }
-    train::evaluate(net, &ds.test_images, &ds.test_labels, 64)
-}
-
-/// Percentage formatting used across all tables.
-pub fn pct(x: f32) -> String {
-    format!("{:.2}", x * 100.0)
-}
-
-/// A labelled stopwatch for experiment phases.
-#[derive(Debug)]
-pub struct Phase {
-    label: String,
-    start: Instant,
-}
-
-impl Phase {
-    /// Starts timing a phase and logs it.
-    pub fn start(label: &str) -> Self {
-        eprintln!("[phase] {label} ...");
-        Phase {
-            label: label.to_string(),
-            start: Instant::now(),
-        }
-    }
-
-    /// Ends the phase, logging the elapsed time.
-    pub fn end(self) {
-        eprintln!(
-            "[phase] {} done in {:.1?}",
-            self.label,
-            self.start.elapsed()
-        );
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn budgets_are_ordered() {
-        let f = Budget::full();
-        let q = Budget::quick();
-        assert!(q.pretrain_epochs < f.pretrain_epochs);
-        assert!(q.rl_episodes < f.rl_episodes);
-    }
-
-    #[test]
-    fn pct_formats() {
-        assert_eq!(pct(0.7239), "72.39");
-    }
-}
+pub use hs_runner::{pct, pretrain, Budget, Phase};

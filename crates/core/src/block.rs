@@ -5,7 +5,9 @@
 //! Downsample blocks (the first block of groups 2 and 3) change tensor
 //! shapes and therefore always stay active. The speedup half of the
 //! reward is measured on *parameters* (Eq. 11: compression ratio
-//! `W'/W`), which is how Table 4 reports "C.R.".
+//! `W'/W`), which is how Table 4 reports "C.R.". The episode loop itself
+//! lives in the shared [`EpisodeEngine`]; this module only builds the
+//! [`BlockUnit`](crate::units::BlockUnit) and interprets the outcome.
 
 use hs_data::Dataset;
 use hs_nn::accounting::analyze;
@@ -15,10 +17,9 @@ use hs_pruning::driver::FineTune;
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
+use crate::engine::{EngineObserver, EpisodeEngine, EpisodeTrace, NullObserver};
 use crate::error::HeadStartError;
-use crate::policy::HeadStartNetwork;
-use crate::reinforce::{inference_action, is_stable, logit_gradient, policy_drift, sample_action};
-use crate::reward::acc_term;
+use crate::units::BlockUnit;
 
 /// The outcome of block-level pruning.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,10 +27,8 @@ pub struct BlockDecision {
     /// One keep-flag per residual block, aligned with
     /// [`Network::block_indices`]. Non-prunable blocks are always `true`.
     pub active: Vec<bool>,
-    /// Episodes the policy trained for.
-    pub episodes: usize,
-    /// Reward of the inference action per episode.
-    pub reward_history: Vec<f32>,
+    /// Episode trace emitted by the engine.
+    pub trace: EpisodeTrace,
     /// Parameter compression ratio `W'/W` the decision realizes.
     pub compression_ratio: f32,
 }
@@ -38,6 +37,16 @@ impl BlockDecision {
     /// Number of blocks kept active.
     pub fn active_blocks(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Episodes the policy trained for.
+    pub fn episodes(&self) -> usize {
+        self.trace.episodes
+    }
+
+    /// Reward of the inference action per episode.
+    pub fn reward_history(&self) -> &[f32] {
+        &self.trace.reward_history
     }
 }
 
@@ -68,6 +77,21 @@ impl BlockPruner {
         ds: &Dataset,
         rng: &mut Rng,
     ) -> Result<BlockDecision, HeadStartError> {
+        self.prune_observed(net, ds, rng, &mut NullObserver)
+    }
+
+    /// As [`BlockPruner::prune`], reporting each episode to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockPruner::prune`].
+    pub fn prune_observed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<BlockDecision, HeadStartError> {
         self.cfg.validate()?;
         let blocks = net.block_indices();
         let prunable: Vec<usize> = blocks
@@ -92,84 +116,21 @@ impl BlockPruner {
         let logits = net.forward(&eval_images, false)?;
         let acc_original = accuracy(&logits, &eval_labels)?;
 
-        let mut policy = HeadStartNetwork::with_hyperparams(
-            prunable.len(),
-            self.cfg.noise_size,
-            self.cfg.lr,
-            self.cfg.weight_decay,
-            rng,
-        )?;
-        let noise = policy.sample_noise(rng);
-        let mut probs = vec![0.5f32; prunable.len()];
-        let mut reward_history = Vec::new();
-        let mut prob_history: Vec<Vec<f32>> = Vec::new();
-        let mut episodes = 0usize;
-        for episode in 0..self.cfg.max_episodes {
-            episodes = episode + 1;
-            let z = if self.cfg.resample_noise {
-                policy.sample_noise(rng)
-            } else {
-                noise.clone()
-            };
-            probs = policy.probs(&z)?;
-            let mut actions = Vec::with_capacity(self.cfg.k);
-            let mut rewards = Vec::with_capacity(self.cfg.k);
-            for _ in 0..self.cfg.k {
-                let a = sample_action(&probs, rng);
-                let r = self.action_reward(
-                    net,
-                    &prunable,
-                    &a,
-                    &eval_images,
-                    &eval_labels,
-                    acc_original,
-                    full_params,
-                    ds,
-                )?;
-                actions.push(a);
-                rewards.push(r);
-            }
-            let inf = inference_action(&probs, self.cfg.t);
-            let r_inf = self.action_reward(
-                net,
-                &prunable,
-                &inf,
-                &eval_images,
-                &eval_labels,
-                acc_original,
-                full_params,
-                ds,
-            )?;
-            let baseline = if self.cfg.self_critical_baseline {
-                r_inf
-            } else {
-                0.0
-            };
-            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
-            policy.train_step(&grad)?;
-            reward_history.push(r_inf);
-            prob_history.push(probs.clone());
-            let drift_ok = prob_history.len() > self.cfg.stability_window
-                && policy_drift(
-                    &prob_history[prob_history.len() - 1 - self.cfg.stability_window],
-                    &probs,
-                ) < self.cfg.drift_tol;
-            if episodes >= self.cfg.min_episodes
-                && drift_ok
-                && is_stable(
-                    &reward_history,
-                    self.cfg.stability_window,
-                    self.cfg.stability_tol,
-                )
-            {
-                break;
-            }
-        }
+        let mut unit = BlockUnit::new(
+            &prunable,
+            &eval_images,
+            &eval_labels,
+            acc_original,
+            full_params,
+            ds.channels(),
+            ds.image_size(),
+            self.cfg.sp,
+        );
+        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
 
-        let final_action = inference_action(&probs, self.cfg.t);
         // Expand to all blocks (non-prunable stay active).
         let mut active = vec![true; blocks.len()];
-        for (bit, &node) in final_action.iter().zip(&prunable) {
+        for (bit, &node) in outcome.final_action.iter().zip(&prunable) {
             let pos = blocks
                 .iter()
                 .position(|&b| b == node)
@@ -183,8 +144,7 @@ impl BlockPruner {
         let compression_ratio = pruned_params / full_params.max(1.0);
         Ok(BlockDecision {
             active,
-            episodes,
-            reward_history,
+            trace: outcome.trace,
             compression_ratio,
         })
     }
@@ -229,34 +189,6 @@ impl BlockPruner {
             .map_err(HeadStartError::Prune)?;
         let acc = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
         Ok((decision, acc))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn action_reward(
-        &self,
-        net: &mut Network,
-        prunable: &[usize],
-        action: &[bool],
-        eval_images: &hs_tensor::Tensor,
-        eval_labels: &[usize],
-        acc_original: f32,
-        full_params: f32,
-        ds: &Dataset,
-    ) -> Result<f32, HeadStartError> {
-        // Apply the candidate action.
-        for (&node, &keep) in prunable.iter().zip(action) {
-            net.set_block_active(node, keep)?;
-        }
-        let logits = net.forward(eval_images, false)?;
-        let acc = accuracy(&logits, eval_labels)?;
-        let pruned_params = analyze(net, ds.channels(), ds.image_size())?.total_params as f32;
-        // Restore.
-        for &node in prunable {
-            net.set_block_active(node, true)?;
-        }
-        let learned_speedup = full_params / pruned_params.max(1.0);
-        let spd = (learned_speedup - self.cfg.sp).abs();
-        Ok(acc_term(acc, acc_original) - spd)
     }
 }
 
@@ -333,12 +265,16 @@ mod tests {
 
     #[test]
     fn apply_validates_length() {
+        use crate::engine::ConvergenceReason;
         let (_, mut net, _) = setup();
         let cfg = HeadStartConfig::new(2.0);
         let d = BlockDecision {
             active: vec![true; 3],
-            episodes: 1,
-            reward_history: vec![],
+            trace: EpisodeTrace {
+                episodes: 1,
+                reward_history: vec![],
+                convergence: ConvergenceReason::EpisodeBudget,
+            },
             compression_ratio: 1.0,
         };
         assert!(BlockPruner::new(cfg).apply(&mut net, &d).is_err());

@@ -8,6 +8,9 @@
 //! disturbs the shortcut arithmetic. Actions are evaluated with the
 //! block's inner channel mask and made physical with
 //! [`ResidualBlock::prune_inner_maps`](hs_nn::block::ResidualBlock::prune_inner_maps).
+//! The episode loop lives in the shared [`EpisodeEngine`]; this module
+//! builds the [`InnerUnit`](crate::units::InnerUnit) and interprets the
+//! outcome.
 
 use hs_data::Dataset;
 use hs_nn::loss::accuracy;
@@ -15,13 +18,11 @@ use hs_nn::{Network, Node};
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
+use crate::engine::{EngineObserver, EpisodeEngine, NullObserver, PruningUnit};
 use crate::error::HeadStartError;
 use crate::layer::LayerDecision;
-use crate::policy::HeadStartNetwork;
-use crate::reinforce::{
-    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
-};
-use crate::reward::reward;
+use crate::reinforce::kept_count;
+use crate::units::InnerUnit;
 
 /// Per-block-interior HeadStart pruner.
 #[derive(Debug, Clone)]
@@ -51,6 +52,23 @@ impl InnerLayerPruner {
         ds: &Dataset,
         rng: &mut Rng,
     ) -> Result<LayerDecision, HeadStartError> {
+        self.prune_observed(net, block_ordinal, ds, rng, &mut NullObserver)
+    }
+
+    /// As [`InnerLayerPruner::prune`], reporting each episode to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`InnerLayerPruner::prune`].
+    pub fn prune_observed(
+        &self,
+        net: &mut Network,
+        block_ordinal: usize,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let blocks = net.block_indices();
         let &block_node = blocks
@@ -73,105 +91,32 @@ impl InnerLayerPruner {
         let logits = net.forward(&eval_images, false)?;
         let acc_original = accuracy(&logits, &eval_labels)?;
 
-        let mut policy = HeadStartNetwork::with_hyperparams(
+        let mut unit = InnerUnit::new(
+            block_node,
             channels,
-            self.cfg.noise_size,
-            self.cfg.lr,
-            self.cfg.weight_decay,
-            rng,
-        )?;
-        let noise = policy.sample_noise(rng);
-        let mut probs = vec![0.5f32; channels];
-        let mut reward_history = Vec::new();
-        let mut prob_history: Vec<Vec<f32>> = Vec::new();
-        let mut episodes = 0usize;
+            &eval_images,
+            &eval_labels,
+            acc_original,
+            self.cfg.sp,
+        );
+        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
 
-        let eval_action = |net: &mut Network, action: &[bool]| -> Result<f32, HeadStartError> {
-            let kept = kept_count(action);
-            if kept == 0 {
-                return Ok(reward(0.0, acc_original, channels, 0, self.cfg.sp));
-            }
-            let mask: Vec<f32> = action.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
-            if let Node::Block(b) = net.node_mut(block_node) {
-                b.set_inner_mask(Some(mask))?;
-            }
-            let logits = net.forward(&eval_images, false)?;
-            if let Node::Block(b) = net.node_mut(block_node) {
-                b.set_inner_mask(None)?;
-            }
-            let acc = accuracy(&logits, &eval_labels)?;
-            Ok(reward(acc, acc_original, channels, kept, self.cfg.sp))
-        };
-
-        for episode in 0..self.cfg.max_episodes {
-            episodes = episode + 1;
-            let z = if self.cfg.resample_noise {
-                policy.sample_noise(rng)
-            } else {
-                noise.clone()
-            };
-            probs = policy.probs(&z)?;
-            let mut actions = Vec::with_capacity(self.cfg.k);
-            let mut rewards = Vec::with_capacity(self.cfg.k);
-            for _ in 0..self.cfg.k {
-                let a = sample_action(&probs, rng);
-                let r = eval_action(net, &a)?;
-                actions.push(a);
-                rewards.push(r);
-            }
-            let inf = inference_action(&probs, self.cfg.t);
-            let r_inf = eval_action(net, &inf)?;
-            let baseline = if self.cfg.self_critical_baseline {
-                r_inf
-            } else {
-                0.0
-            };
-            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
-            policy.train_step(&grad)?;
-            reward_history.push(r_inf);
-            prob_history.push(probs.clone());
-            let drift_ok = prob_history.len() > self.cfg.stability_window
-                && policy_drift(
-                    &prob_history[prob_history.len() - 1 - self.cfg.stability_window],
-                    &probs,
-                ) < self.cfg.drift_tol;
-            if episodes >= self.cfg.min_episodes
-                && drift_ok
-                && is_stable(
-                    &reward_history,
-                    self.cfg.stability_window,
-                    self.cfg.stability_tol,
-                )
-            {
-                break;
-            }
-        }
-
-        let mut final_action = inference_action(&probs, self.cfg.t);
-        if kept_count(&final_action) == 0 {
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            final_action[best] = true;
-        }
-        // Report the inception accuracy of the final action.
-        let final_reward = eval_action(net, &final_action)?;
+        // Report the inception accuracy of the final action by inverting
+        // the reward: R + SPD = log(acc/acc₀ + 1).
+        let final_reward = unit.action_reward(net, &outcome.final_action)?;
         let inception_eval_accuracy =
-            ((final_reward + spd_of(channels, &final_action, self.cfg.sp)).exp() - 1.0)
+            ((final_reward + spd_of(channels, &outcome.final_action, self.cfg.sp)).exp() - 1.0)
                 * acc_original;
-        let keep: Vec<usize> = final_action
+        let keep: Vec<usize> = outcome
+            .final_action
             .iter()
             .enumerate()
             .filter_map(|(i, &a)| a.then_some(i))
             .collect();
         Ok(LayerDecision {
             keep,
-            probs,
-            episodes,
-            reward_history,
+            probs: outcome.probs,
+            trace: outcome.trace,
             inception_eval_accuracy: inception_eval_accuracy.clamp(0.0, 1.0),
         })
     }

@@ -1,19 +1,17 @@
 //! Adapter exposing HeadStart through the baseline
 //! [`PruningCriterion`] interface, for *controlled* comparisons where
 //! every method must keep exactly the same number of maps (the paper's
-//! Figure 3 single-layer study).
+//! Figure 3 single-layer study). The RL loop itself runs in the shared
+//! [`EpisodeEngine`], exactly as in the native pruners.
 
 use hs_data::{Dataset, DatasetSpec};
 use hs_pruning::{top_k_indices, PruneError, PruningCriterion, ScoreContext};
 use hs_tensor::Tensor;
 
 use crate::config::HeadStartConfig;
+use crate::engine::EpisodeEngine;
 use crate::evaluator::MaskedEvaluator;
-use crate::policy::HeadStartNetwork;
-use crate::reinforce::{
-    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
-};
-use crate::reward::reward;
+use crate::units::LayerUnit;
 
 /// HeadStart as a drop-in [`PruningCriterion`].
 ///
@@ -40,102 +38,21 @@ impl HeadStartCriterion {
     }
 
     fn run_rl(&mut self, ctx: &mut ScoreContext<'_>, sp: f32) -> Result<Vec<f32>, PruneError> {
-        let channels = ctx.channels()?;
+        let bad_scoring = |e: crate::error::HeadStartError| PruneError::BadScoringSet {
+            detail: e.to_string(),
+        };
         let mut cfg = self.cfg.clone();
         cfg.sp = sp;
-        cfg.validate().map_err(|e| PruneError::BadScoringSet {
-            detail: e.to_string(),
-        })?;
+        cfg.validate().map_err(bad_scoring)?;
         let evaluator = MaskedEvaluator::new(ctx.net, ctx.site.mask_node, ctx.images, ctx.labels)
-            .map_err(|e| PruneError::BadScoringSet {
-            detail: e.to_string(),
-        })?;
-        let acc_original = evaluator.baseline_accuracy();
-        let mut policy = HeadStartNetwork::with_hyperparams(
-            channels,
-            cfg.noise_size,
-            cfg.lr,
-            cfg.weight_decay,
-            ctx.rng,
-        )
-        .map_err(|e| PruneError::BadScoringSet {
-            detail: e.to_string(),
-        })?;
-        let noise = policy.sample_noise(ctx.rng);
-        let mut probs = vec![0.5f32; channels];
-        let mut prob_history: Vec<Vec<f32>> = Vec::new();
-        self.last_reward_history.clear();
-        for episode in 0..cfg.max_episodes {
-            let z = if cfg.resample_noise {
-                policy.sample_noise(ctx.rng)
-            } else {
-                noise.clone()
-            };
-            probs = policy.probs(&z).map_err(|e| PruneError::BadScoringSet {
-                detail: e.to_string(),
-            })?;
-            let mut actions = Vec::with_capacity(cfg.k);
-            let mut rewards = Vec::with_capacity(cfg.k);
-            for _ in 0..cfg.k {
-                let a = sample_action(&probs, ctx.rng);
-                let r = action_reward(ctx.net, &evaluator, &a, channels, acc_original, cfg.sp)?;
-                actions.push(a);
-                rewards.push(r);
-            }
-            let inf = inference_action(&probs, cfg.t);
-            let r_inf = action_reward(ctx.net, &evaluator, &inf, channels, acc_original, cfg.sp)?;
-            let baseline = if cfg.self_critical_baseline {
-                r_inf
-            } else {
-                0.0
-            };
-            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
-            policy
-                .train_step(&grad)
-                .map_err(|e| PruneError::BadScoringSet {
-                    detail: e.to_string(),
-                })?;
-            self.last_reward_history.push(r_inf);
-            prob_history.push(probs.clone());
-            let drift_ok = prob_history.len() > cfg.stability_window
-                && policy_drift(
-                    &prob_history[prob_history.len() - 1 - cfg.stability_window],
-                    &probs,
-                ) < cfg.drift_tol;
-            if episode + 1 >= cfg.min_episodes
-                && drift_ok
-                && is_stable(
-                    &self.last_reward_history,
-                    cfg.stability_window,
-                    cfg.stability_tol,
-                )
-            {
-                break;
-            }
-        }
-        Ok(probs)
+            .map_err(bad_scoring)?;
+        let mut unit = LayerUnit::new(&evaluator, cfg.sp);
+        let outcome = EpisodeEngine::new(&cfg)
+            .run(ctx.net, &mut unit, ctx.rng)
+            .map_err(bad_scoring)?;
+        self.last_reward_history = outcome.trace.reward_history;
+        Ok(outcome.probs)
     }
-}
-
-fn action_reward(
-    net: &mut hs_nn::Network,
-    evaluator: &MaskedEvaluator,
-    action: &[bool],
-    channels: usize,
-    acc_original: f32,
-    sp: f32,
-) -> Result<f32, PruneError> {
-    let kept = kept_count(action);
-    if kept == 0 {
-        return Ok(reward(0.0, acc_original, channels, 0, sp));
-    }
-    let acc =
-        evaluator
-            .accuracy_with_action(net, action)
-            .map_err(|e| PruneError::BadScoringSet {
-                detail: e.to_string(),
-            })?;
-    Ok(reward(acc, acc_original, channels, kept, sp))
 }
 
 impl PruningCriterion for HeadStartCriterion {

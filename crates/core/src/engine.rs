@@ -1,0 +1,467 @@
+//! The unified REINFORCE episode engine.
+//!
+//! HeadStart is one algorithm regardless of what it prunes: sample
+//! Bernoulli actions from the head-start policy, score them with
+//! `R(A) = ACC − SPD`, take a self-critical REINFORCE step (Eqs. 5–10),
+//! and repeat until both the reward and the policy stop moving. This
+//! module owns that loop once — policy initialization, noise sampling,
+//! Monte-Carlo action sampling, reward evaluation, the self-critical
+//! baseline, the policy-gradient update and the convergence check — and
+//! is parameterized by a [`PruningUnit`] that defines *what* an action
+//! bit toggles (per-layer feature maps, whole residual blocks, or the
+//! filters inside a block) and how an action is rewarded.
+//!
+//! [`LayerPruner`](crate::LayerPruner), [`BlockPruner`](crate::BlockPruner)
+//! and [`InnerLayerPruner`](crate::InnerLayerPruner) are thin adapters
+//! over this engine; they set up their unit, run it, and translate the
+//! [`EngineOutcome`] into their decision types.
+//!
+//! Observability is uniform too: an [`EngineObserver`] receives one
+//! [`EpisodeEvent`] per episode (inference reward, action ℓ₀, baseline)
+//! and the final [`EpisodeTrace`], replacing the ad-hoc per-pruner trace
+//! fields the three loops used to accumulate independently.
+
+use hs_nn::Network;
+use hs_tensor::Rng;
+
+use crate::config::HeadStartConfig;
+use crate::error::HeadStartError;
+use crate::policy::HeadStartNetwork;
+use crate::reinforce::{
+    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
+};
+
+/// What an episode's action bits toggle, and how an action is scored.
+///
+/// Implementations must not consume randomness inside
+/// [`PruningUnit::action_reward`]: the engine's RNG stream is part of the
+/// reproducibility contract (a fixed seed replays the exact decision).
+pub trait PruningUnit {
+    /// Human-readable unit kind, surfaced through observer events and
+    /// error messages (e.g. `"layer"`, `"block"`, `"block-inner"`).
+    fn kind(&self) -> &'static str;
+
+    /// Number of binary units in the action vector (feature maps,
+    /// residual blocks, …) — the policy emits one probability each.
+    fn unit_count(&self) -> usize;
+
+    /// Reward `R(A) = ACC − SPD` of one candidate action. The network is
+    /// borrowed mutably so implementations can apply-and-restore masks,
+    /// but must leave it exactly as found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError>;
+
+    /// Whether the degenerate all-drop inference action should be
+    /// guarded by force-keeping the highest-probability unit. Feature-map
+    /// units need this (an empty layer is unbuildable); block units do
+    /// not (shortcuts keep the network defined).
+    fn guard_empty_inference(&self) -> bool {
+        true
+    }
+}
+
+/// Why the engine stopped training the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceReason {
+    /// Reward spread and policy drift both fell below tolerance over the
+    /// stability window ("nearly constant loss and reward", Sec. IV-A).
+    Stable,
+    /// The episode budget (`max_episodes`) ran out first.
+    EpisodeBudget,
+}
+
+/// The per-run trace every pruning path now emits: how long the policy
+/// trained, the reward of the inference action per episode, and why the
+/// loop stopped. One struct, shared by all unit kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeTrace {
+    /// Episodes the policy trained for.
+    pub episodes: usize,
+    /// Reward of the inference action `R(Aᴵ)` per episode.
+    pub reward_history: Vec<f32>,
+    /// Why training stopped.
+    pub convergence: ConvergenceReason,
+}
+
+impl EpisodeTrace {
+    /// True when the loop stopped on the stability criterion rather than
+    /// the episode budget.
+    pub fn converged(&self) -> bool {
+        self.convergence == ConvergenceReason::Stable
+    }
+}
+
+/// Everything an observer sees about one finished episode.
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeEvent<'a> {
+    /// Unit kind, from [`PruningUnit::kind`].
+    pub unit_kind: &'static str,
+    /// Zero-based episode index.
+    pub episode: usize,
+    /// Keep probabilities the policy emitted this episode.
+    pub probs: &'a [f32],
+    /// Rewards of the `k` Monte-Carlo sampled actions.
+    pub sampled_rewards: &'a [f32],
+    /// Reward of the deterministic inference action `R(Aᴵ)`.
+    pub inference_reward: f32,
+    /// Baseline used in the gradient (equals `inference_reward` with the
+    /// self-critical baseline on, `0.0` otherwise).
+    pub baseline: f32,
+    /// `‖Aᴵ‖₀` — units the inference action keeps.
+    pub inference_l0: usize,
+}
+
+/// Hook for tracing the engine without changing its behavior. All
+/// methods default to no-ops, so implementations override only what they
+/// need.
+pub trait EngineObserver {
+    /// Called once per episode, after the policy-gradient step.
+    fn on_episode(&mut self, _event: &EpisodeEvent<'_>) {}
+
+    /// Called once when the loop stops, with the completed trace.
+    fn on_converged(&mut self, _unit_kind: &'static str, _trace: &EpisodeTrace) {}
+}
+
+/// The do-nothing observer used by [`EpisodeEngine::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl EngineObserver for NullObserver {}
+
+/// An observer that logs episode rewards to stderr every `every`
+/// episodes — handy for watching long prune schedules converge.
+#[derive(Debug, Clone)]
+pub struct StderrObserver {
+    /// Log every n-th episode (0 logs only convergence).
+    pub every: usize,
+}
+
+impl EngineObserver for StderrObserver {
+    fn on_episode(&mut self, event: &EpisodeEvent<'_>) {
+        if self.every > 0 && event.episode.is_multiple_of(self.every) {
+            eprintln!(
+                "[engine/{}] episode {:3}: R(A^I) {:+.4} |A|_0 {} baseline {:+.4}",
+                event.unit_kind,
+                event.episode,
+                event.inference_reward,
+                event.inference_l0,
+                event.baseline
+            );
+        }
+    }
+
+    fn on_converged(&mut self, unit_kind: &'static str, trace: &EpisodeTrace) {
+        eprintln!(
+            "[engine/{}] stopped after {} episodes ({:?})",
+            unit_kind, trace.episodes, trace.convergence
+        );
+    }
+}
+
+/// What the engine hands back: the converged probabilities, the guarded
+/// inference action, and the episode trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Final keep probabilities emitted by the policy.
+    pub probs: Vec<f32>,
+    /// The final inception `Aᴵ = 𝜑ₜ(p)`, guarded against the degenerate
+    /// empty action when the unit requests it.
+    pub final_action: Vec<bool>,
+    /// Per-episode trace.
+    pub trace: EpisodeTrace,
+}
+
+/// The single REINFORCE episode loop driving every HeadStart pruner.
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeEngine<'cfg> {
+    cfg: &'cfg HeadStartConfig,
+}
+
+impl<'cfg> EpisodeEngine<'cfg> {
+    /// Creates an engine over a configuration.
+    pub fn new(cfg: &'cfg HeadStartConfig) -> Self {
+        EpisodeEngine { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HeadStartConfig {
+        self.cfg
+    }
+
+    /// Runs the episode loop without observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] for an invalid config (the
+    /// engine entry is where every prune path fails fast) and propagates
+    /// unit/network errors.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        unit: &mut dyn PruningUnit,
+        rng: &mut Rng,
+    ) -> Result<EngineOutcome, HeadStartError> {
+        self.run_observed(net, unit, rng, &mut NullObserver)
+    }
+
+    /// Runs the episode loop, reporting each episode to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`EpisodeEngine::run`].
+    pub fn run_observed(
+        &self,
+        net: &mut Network,
+        unit: &mut dyn PruningUnit,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<EngineOutcome, HeadStartError> {
+        let cfg = self.cfg;
+        cfg.validate()?;
+        let units = unit.unit_count();
+
+        let mut policy = HeadStartNetwork::with_hyperparams(
+            units,
+            cfg.noise_size,
+            cfg.lr,
+            cfg.weight_decay,
+            rng,
+        )?;
+        // The default fixed noise map gives the policy a stationary
+        // optimization target; `resample_noise` is the ablation knob.
+        let fixed_noise = policy.sample_noise(rng);
+
+        let mut probs = vec![0.5f32; units];
+        let mut reward_history = Vec::new();
+        let mut prob_history: Vec<Vec<f32>> = Vec::new();
+        let mut episodes = 0usize;
+        let mut convergence = ConvergenceReason::EpisodeBudget;
+        for episode in 0..cfg.max_episodes {
+            episodes = episode + 1;
+            let noise = if cfg.resample_noise {
+                policy.sample_noise(rng)
+            } else {
+                fixed_noise.clone()
+            };
+            probs = policy.probs(&noise)?;
+
+            // k Monte-Carlo samples (Eq. 6) ...
+            let mut actions = Vec::with_capacity(cfg.k);
+            let mut rewards = Vec::with_capacity(cfg.k);
+            for _ in 0..cfg.k {
+                let action = sample_action(&probs, rng);
+                let r = unit.action_reward(net, &action)?;
+                actions.push(action);
+                rewards.push(r);
+            }
+            // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
+            let inf = inference_action(&probs, cfg.t);
+            let r_inf = unit.action_reward(net, &inf)?;
+            let baseline = if cfg.self_critical_baseline {
+                r_inf
+            } else {
+                0.0
+            };
+
+            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
+            policy.train_step(&grad)?;
+            reward_history.push(r_inf);
+            prob_history.push(probs.clone());
+            observer.on_episode(&EpisodeEvent {
+                unit_kind: unit.kind(),
+                episode,
+                probs: &probs,
+                sampled_rewards: &rewards,
+                inference_reward: r_inf,
+                baseline,
+                inference_l0: kept_count(&inf),
+            });
+
+            // Converged when both the reward and the policy itself have
+            // stopped moving over the stability window.
+            let drift_ok = prob_history.len() > cfg.stability_window
+                && policy_drift(
+                    &prob_history[prob_history.len() - 1 - cfg.stability_window],
+                    &probs,
+                ) < cfg.drift_tol;
+            if episodes >= cfg.min_episodes
+                && drift_ok
+                && is_stable(&reward_history, cfg.stability_window, cfg.stability_tol)
+            {
+                convergence = ConvergenceReason::Stable;
+                break;
+            }
+        }
+
+        // The final inception: the inference action of the converged
+        // policy, guarded against the degenerate empty action where the
+        // unit requires at least one survivor.
+        let mut final_action = inference_action(&probs, cfg.t);
+        if unit.guard_empty_inference() && kept_count(&final_action) == 0 {
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            final_action[best] = true;
+        }
+        let trace = EpisodeTrace {
+            episodes,
+            reward_history,
+            convergence,
+        };
+        observer.on_converged(unit.kind(), &trace);
+        Ok(EngineOutcome {
+            probs,
+            final_action,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A network-free unit: rewards actions by closeness to a target
+    /// keep-count, so the engine's learning dynamics can be tested in
+    /// isolation from any model.
+    struct SyntheticUnit {
+        units: usize,
+        target_kept: usize,
+        rewards_seen: usize,
+    }
+
+    impl PruningUnit for SyntheticUnit {
+        fn kind(&self) -> &'static str {
+            "synthetic"
+        }
+
+        fn unit_count(&self) -> usize {
+            self.units
+        }
+
+        fn action_reward(
+            &mut self,
+            _net: &mut Network,
+            action: &[bool],
+        ) -> Result<f32, HeadStartError> {
+            self.rewards_seen += 1;
+            let kept = kept_count(action) as f32;
+            Ok(-(kept - self.target_kept as f32).abs())
+        }
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        episodes: usize,
+        converged: usize,
+        last_l0: usize,
+    }
+
+    impl EngineObserver for CountingObserver {
+        fn on_episode(&mut self, event: &EpisodeEvent<'_>) {
+            self.episodes += 1;
+            self.last_l0 = event.inference_l0;
+            assert_eq!(event.unit_kind, "synthetic");
+            assert_eq!(event.sampled_rewards.len(), 3);
+        }
+
+        fn on_converged(&mut self, kind: &'static str, trace: &EpisodeTrace) {
+            self.converged += 1;
+            assert_eq!(kind, "synthetic");
+            assert!(trace.episodes > 0);
+        }
+    }
+
+    #[test]
+    fn engine_learns_the_target_keep_count() {
+        let cfg = HeadStartConfig::new(2.0).max_episodes(120).eval_images(8);
+        let mut net = Network::new();
+        let mut unit = SyntheticUnit {
+            units: 8,
+            target_kept: 4,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(0);
+        let out = EpisodeEngine::new(&cfg)
+            .run(&mut net, &mut unit, &mut rng)
+            .unwrap();
+        let kept = kept_count(&out.final_action);
+        assert!(
+            (2..=6).contains(&kept),
+            "learned keep count {kept} far from target 4"
+        );
+        assert_eq!(out.trace.reward_history.len(), out.trace.episodes);
+        // k samples + 1 inference evaluation per episode.
+        assert_eq!(unit.rewards_seen, out.trace.episodes * (cfg.k + 1));
+    }
+
+    #[test]
+    fn observer_sees_every_episode_and_convergence() {
+        let cfg = HeadStartConfig::new(2.0).max_episodes(6).eval_images(8);
+        let mut net = Network::new();
+        let mut unit = SyntheticUnit {
+            units: 4,
+            target_kept: 2,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(1);
+        let mut obs = CountingObserver::default();
+        let out = EpisodeEngine::new(&cfg)
+            .run_observed(&mut net, &mut unit, &mut rng, &mut obs)
+            .unwrap();
+        assert_eq!(obs.episodes, out.trace.episodes);
+        assert_eq!(obs.converged, 1);
+    }
+
+    #[test]
+    fn invalid_config_fails_fast_at_engine_entry() {
+        let cfg = HeadStartConfig::new(0.1); // sp < 1 is invalid
+        let mut net = Network::new();
+        let mut unit = SyntheticUnit {
+            units: 4,
+            target_kept: 2,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(2);
+        let err = EpisodeEngine::new(&cfg)
+            .run(&mut net, &mut unit, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, HeadStartError::BadConfig { field: "sp", .. }));
+        assert_eq!(unit.rewards_seen, 0, "no rewards before validation");
+    }
+
+    #[test]
+    fn empty_inference_guard_respects_unit_preference() {
+        // A unit whose reward pushes every probability to zero.
+        struct DropEverything;
+        impl PruningUnit for DropEverything {
+            fn kind(&self) -> &'static str {
+                "drop"
+            }
+            fn unit_count(&self) -> usize {
+                3
+            }
+            fn action_reward(
+                &mut self,
+                _net: &mut Network,
+                action: &[bool],
+            ) -> Result<f32, HeadStartError> {
+                Ok(-(kept_count(action) as f32))
+            }
+        }
+        let cfg = HeadStartConfig::new(2.0).max_episodes(150).eval_images(8);
+        let mut net = Network::new();
+        let mut rng = Rng::seed_from(3);
+        let out = EpisodeEngine::new(&cfg)
+            .run(&mut net, &mut DropEverything, &mut rng)
+            .unwrap();
+        // guard_empty_inference defaults to true: at least one survivor.
+        assert!(kept_count(&out.final_action) >= 1);
+    }
+}

@@ -1,4 +1,5 @@
-//! Per-layer HeadStart pruning: the RL loop of Section III.
+//! Per-layer HeadStart pruning: the RL loop of Section III, as a thin
+//! adapter over the shared [`EpisodeEngine`].
 
 use hs_data::Dataset;
 use hs_nn::surgery::conv_sites;
@@ -6,13 +7,10 @@ use hs_nn::Network;
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
+use crate::engine::{EngineObserver, EpisodeEngine, EpisodeTrace, NullObserver};
 use crate::error::HeadStartError;
 use crate::evaluator::MaskedEvaluator;
-use crate::policy::HeadStartNetwork;
-use crate::reinforce::{
-    inference_action, is_stable, kept_count, logit_gradient, policy_drift, sample_action,
-};
-use crate::reward::reward;
+use crate::units::LayerUnit;
 
 /// The outcome of pruning one layer: the learned inception.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,13 +19,24 @@ pub struct LayerDecision {
     pub keep: Vec<usize>,
     /// Final keep probabilities emitted by the policy.
     pub probs: Vec<f32>,
-    /// Episodes the policy trained for.
-    pub episodes: usize,
-    /// Reward of the inference action per episode (convergence trace).
-    pub reward_history: Vec<f32>,
+    /// Episode trace emitted by the engine (episode count, per-episode
+    /// inference rewards, convergence reason).
+    pub trace: EpisodeTrace,
     /// Evaluation-batch accuracy of the chosen action, before surgery
     /// and fine-tuning (the inception accuracy on the eval split).
     pub inception_eval_accuracy: f32,
+}
+
+impl LayerDecision {
+    /// Episodes the policy trained for.
+    pub fn episodes(&self) -> usize {
+        self.trace.episodes
+    }
+
+    /// Reward of the inference action per episode (convergence trace).
+    pub fn reward_history(&self) -> &[f32] {
+        &self.trace.reward_history
+    }
 }
 
 /// Trains one head-start network against one convolutional layer and
@@ -65,6 +74,22 @@ impl LayerPruner {
         ds: &Dataset,
         rng: &mut Rng,
     ) -> Result<LayerDecision, HeadStartError> {
+        self.prune_observed(net, conv_ordinal, ds, rng, &mut NullObserver)
+    }
+
+    /// As [`LayerPruner::prune`], reporting each episode to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerPruner::prune`].
+    pub fn prune_observed(
+        &self,
+        net: &mut Network,
+        conv_ordinal: usize,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let sites = conv_sites(net);
         let site = *sites
@@ -75,7 +100,6 @@ impl LayerPruner {
                     sites.len()
                 ),
             })?;
-        let channels = net.conv(site.conv)?.out_channels();
 
         // Evaluation split: a fixed prefix of the training set (the
         // generators interleave classes, so it is class-balanced).
@@ -84,113 +108,22 @@ impl LayerPruner {
         let eval_images = ds.train_images.index_select(0, &idx)?;
         let eval_labels: Vec<usize> = ds.train_labels[..n_eval].to_vec();
         let evaluator = MaskedEvaluator::new(net, site.mask_node, &eval_images, &eval_labels)?;
-        let acc_original = evaluator.baseline_accuracy();
 
-        let mut policy = HeadStartNetwork::with_hyperparams(
-            channels,
-            self.cfg.noise_size,
-            self.cfg.lr,
-            self.cfg.weight_decay,
-            rng,
-        )?;
-        let fixed_noise = policy.sample_noise(rng);
-
-        let mut reward_history = Vec::new();
-        let mut prob_history: Vec<Vec<f32>> = Vec::new();
-        let mut episodes = 0usize;
-        let mut probs = vec![0.5f32; channels];
-        for episode in 0..self.cfg.max_episodes {
-            episodes = episode + 1;
-            let noise = if self.cfg.resample_noise {
-                policy.sample_noise(rng)
-            } else {
-                fixed_noise.clone()
-            };
-            probs = policy.probs(&noise)?;
-
-            // k Monte-Carlo samples (Eq. 6) ...
-            let mut actions = Vec::with_capacity(self.cfg.k);
-            let mut rewards = Vec::with_capacity(self.cfg.k);
-            for _ in 0..self.cfg.k {
-                let action = sample_action(&probs, rng);
-                let r = self.action_reward(net, &evaluator, &action, channels, acc_original)?;
-                actions.push(action);
-                rewards.push(r);
-            }
-            // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
-            let inf = inference_action(&probs, self.cfg.t);
-            let r_inf = self.action_reward(net, &evaluator, &inf, channels, acc_original)?;
-            let baseline = if self.cfg.self_critical_baseline {
-                r_inf
-            } else {
-                0.0
-            };
-
-            let grad = logit_gradient(&probs, &actions, &rewards, baseline);
-            policy.train_step(&grad)?;
-            reward_history.push(r_inf);
-            prob_history.push(probs.clone());
-            // Converged when both the reward and the policy itself have
-            // stopped moving over the stability window.
-            let drift_ok = prob_history.len() > self.cfg.stability_window
-                && policy_drift(
-                    &prob_history[prob_history.len() - 1 - self.cfg.stability_window],
-                    &probs,
-                ) < self.cfg.drift_tol;
-            if episodes >= self.cfg.min_episodes
-                && drift_ok
-                && is_stable(
-                    &reward_history,
-                    self.cfg.stability_window,
-                    self.cfg.stability_tol,
-                )
-            {
-                break;
-            }
-        }
-
-        // The final inception: the inference action of the converged
-        // policy, guarded against the degenerate empty action.
-        let mut final_action = inference_action(&probs, self.cfg.t);
-        if kept_count(&final_action) == 0 {
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            final_action[best] = true;
-        }
-        let inception_eval_accuracy = evaluator.accuracy_with_action(net, &final_action)?;
-        let keep: Vec<usize> = final_action
+        let mut unit = LayerUnit::new(&evaluator, self.cfg.sp);
+        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
+        let inception_eval_accuracy = unit.accuracy(net, &outcome.final_action)?;
+        let keep: Vec<usize> = outcome
+            .final_action
             .iter()
             .enumerate()
             .filter_map(|(i, &a)| a.then_some(i))
             .collect();
         Ok(LayerDecision {
             keep,
-            probs,
-            episodes,
-            reward_history,
+            probs: outcome.probs,
+            trace: outcome.trace,
             inception_eval_accuracy,
         })
-    }
-
-    fn action_reward(
-        &self,
-        net: &mut Network,
-        evaluator: &MaskedEvaluator,
-        action: &[bool],
-        channels: usize,
-        acc_original: f32,
-    ) -> Result<f32, HeadStartError> {
-        let kept = kept_count(action);
-        if kept == 0 {
-            // No defined speedup; prohibitive penalty, skip the forward.
-            return Ok(reward(0.0, acc_original, channels, 0, self.cfg.sp));
-        }
-        let acc = evaluator.accuracy_with_action(net, action)?;
-        Ok(reward(acc, acc_original, channels, kept, self.cfg.sp))
     }
 }
 
@@ -224,8 +157,8 @@ mod tests {
         assert!(!d.keep.is_empty());
         assert!(d.keep.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(d.probs.len(), 16); // vgg11 @ 0.25 width: first conv = 16 maps
-        assert!(d.episodes >= 1 && d.episodes <= 8);
-        assert_eq!(d.reward_history.len(), d.episodes);
+        assert!(d.episodes() >= 1 && d.episodes() <= 8);
+        assert_eq!(d.reward_history().len(), d.episodes());
         assert!((0.0..=1.0).contains(&d.inception_eval_accuracy));
         // Network untouched: all 16 maps still present.
         assert_eq!(net.conv(net.conv_indices()[0]).unwrap().out_channels(), 16);
@@ -268,6 +201,35 @@ mod tests {
         let d = LayerPruner::new(cfg)
             .prune(&mut net, 0, &ds, &mut rng)
             .unwrap();
-        assert!(d.reward_history.iter().all(|r| r.is_finite()));
+        assert!(d.reward_history().iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn observer_trace_matches_decision() {
+        use crate::engine::{EpisodeEvent, EpisodeTrace};
+
+        #[derive(Default)]
+        struct Collect {
+            rewards: Vec<f32>,
+            traces: Vec<EpisodeTrace>,
+        }
+        impl EngineObserver for Collect {
+            fn on_episode(&mut self, e: &EpisodeEvent<'_>) {
+                assert_eq!(e.unit_kind, "layer");
+                self.rewards.push(e.inference_reward);
+            }
+            fn on_converged(&mut self, _k: &'static str, t: &EpisodeTrace) {
+                self.traces.push(t.clone());
+            }
+        }
+
+        let (ds, mut net, mut rng) = tiny_setup();
+        let cfg = HeadStartConfig::new(2.0).max_episodes(5).eval_images(8);
+        let mut obs = Collect::default();
+        let d = LayerPruner::new(cfg)
+            .prune_observed(&mut net, 0, &ds, &mut rng, &mut obs)
+            .unwrap();
+        assert_eq!(obs.rewards, d.trace.reward_history);
+        assert_eq!(obs.traces, vec![d.trace.clone()]);
     }
 }

@@ -50,6 +50,7 @@ pub mod block;
 pub mod block_inner;
 mod config;
 mod criterion;
+pub mod engine;
 mod error;
 mod evaluator;
 mod layer;
@@ -57,13 +58,19 @@ pub mod model;
 mod policy;
 pub mod reinforce;
 pub mod reward;
+pub mod units;
 
 pub use block::{BlockDecision, BlockPruner};
 pub use block_inner::{prune_all_block_inners, InnerLayerPruner};
 pub use config::HeadStartConfig;
 pub use criterion::HeadStartCriterion;
+pub use engine::{
+    ConvergenceReason, EngineObserver, EngineOutcome, EpisodeEngine, EpisodeEvent, EpisodeTrace,
+    NullObserver, PruningUnit, StderrObserver,
+};
 pub use error::HeadStartError;
 pub use evaluator::MaskedEvaluator;
 pub use layer::{LayerDecision, LayerPruner};
 pub use model::HeadStartPruner;
 pub use policy::HeadStartNetwork;
+pub use units::{BlockUnit, InnerUnit, LayerUnit};

@@ -1,0 +1,222 @@
+//! The three [`PruningUnit`] implementations HeadStart ships: per-layer
+//! feature maps, whole residual blocks, and the filters inside a block.
+//!
+//! Each unit binds the reward function `R(A) = ACC − SPD` to a concrete
+//! granularity; the shared [`EpisodeEngine`](crate::EpisodeEngine) does
+//! the rest. All three apply-and-restore their masks inside
+//! [`PruningUnit::action_reward`], leaving the network untouched.
+
+use hs_nn::accounting::analyze;
+use hs_nn::loss::accuracy;
+use hs_nn::{Network, Node};
+use hs_tensor::Tensor;
+
+use crate::engine::PruningUnit;
+use crate::error::HeadStartError;
+use crate::evaluator::MaskedEvaluator;
+use crate::reinforce::kept_count;
+use crate::reward::{acc_term, reward};
+
+/// Feature-map granularity: one action bit per output channel of a
+/// convolution, evaluated through a [`MaskedEvaluator`] (which caches
+/// the forward prefix up to the masked layer).
+#[derive(Debug)]
+pub struct LayerUnit<'a> {
+    evaluator: &'a MaskedEvaluator,
+    channels: usize,
+    acc_original: f32,
+    sp: f32,
+}
+
+impl<'a> LayerUnit<'a> {
+    /// Binds an evaluator and a target speedup. The original accuracy is
+    /// the evaluator's cached baseline.
+    pub fn new(evaluator: &'a MaskedEvaluator, sp: f32) -> Self {
+        LayerUnit {
+            channels: evaluator.channels(),
+            acc_original: evaluator.baseline_accuracy(),
+            evaluator,
+            sp,
+        }
+    }
+
+    /// Eval-split accuracy of the original (unmasked) network.
+    pub fn acc_original(&self) -> f32 {
+        self.acc_original
+    }
+
+    /// Eval-split accuracy under an action mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn accuracy(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.evaluator.accuracy_with_action(net, action)
+    }
+}
+
+impl PruningUnit for LayerUnit<'_> {
+    fn kind(&self) -> &'static str {
+        "layer"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.channels
+    }
+
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        let kept = kept_count(action);
+        if kept == 0 {
+            // No defined speedup; prohibitive penalty, skip the forward.
+            return Ok(reward(0.0, self.acc_original, self.channels, 0, self.sp));
+        }
+        let acc = self.evaluator.accuracy_with_action(net, action)?;
+        Ok(reward(acc, self.acc_original, self.channels, kept, self.sp))
+    }
+}
+
+/// Residual-block granularity: one action bit per *prunable* block; an
+/// inactive block is bypassed through its identity shortcut. The speedup
+/// half of the reward is measured on parameters (Eq. 11: compression
+/// ratio `W'/W`), matching how Table 4 reports "C.R.".
+#[derive(Debug)]
+pub struct BlockUnit<'a> {
+    prunable: &'a [usize],
+    eval_images: &'a Tensor,
+    eval_labels: &'a [usize],
+    acc_original: f32,
+    full_params: f32,
+    in_channels: usize,
+    image_size: usize,
+    sp: f32,
+}
+
+impl<'a> BlockUnit<'a> {
+    /// Binds the prunable block nodes, the evaluation split, and the
+    /// measurements the block reward needs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        prunable: &'a [usize],
+        eval_images: &'a Tensor,
+        eval_labels: &'a [usize],
+        acc_original: f32,
+        full_params: f32,
+        in_channels: usize,
+        image_size: usize,
+        sp: f32,
+    ) -> Self {
+        BlockUnit {
+            prunable,
+            eval_images,
+            eval_labels,
+            acc_original,
+            full_params,
+            in_channels,
+            image_size,
+            sp,
+        }
+    }
+}
+
+impl PruningUnit for BlockUnit<'_> {
+    fn kind(&self) -> &'static str {
+        "block"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.prunable.len()
+    }
+
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        // Apply the candidate action.
+        for (&node, &keep) in self.prunable.iter().zip(action) {
+            net.set_block_active(node, keep)?;
+        }
+        let logits = net.forward(self.eval_images, false)?;
+        let acc = accuracy(&logits, self.eval_labels)?;
+        let pruned_params = analyze(net, self.in_channels, self.image_size)?.total_params as f32;
+        // Restore.
+        for &node in self.prunable {
+            net.set_block_active(node, true)?;
+        }
+        let learned_speedup = self.full_params / pruned_params.max(1.0);
+        let spd = (learned_speedup - self.sp).abs();
+        Ok(acc_term(acc, self.acc_original) - spd)
+    }
+
+    fn guard_empty_inference(&self) -> bool {
+        // An all-drop action is still a defined network: every block is
+        // bypassed through its shortcut and downsample blocks never make
+        // it into the action vector.
+        false
+    }
+}
+
+/// Intra-block granularity: one action bit per inner channel of a
+/// residual block's first convolution — they feed only the block's
+/// second convolution, so removing them never disturbs the shortcut
+/// arithmetic. Actions are evaluated through the block's inner channel
+/// mask.
+#[derive(Debug)]
+pub struct InnerUnit<'a> {
+    block_node: usize,
+    eval_images: &'a Tensor,
+    eval_labels: &'a [usize],
+    acc_original: f32,
+    channels: usize,
+    sp: f32,
+}
+
+impl<'a> InnerUnit<'a> {
+    /// Binds a block node, its inner channel count, and the evaluation
+    /// split.
+    pub fn new(
+        block_node: usize,
+        channels: usize,
+        eval_images: &'a Tensor,
+        eval_labels: &'a [usize],
+        acc_original: f32,
+        sp: f32,
+    ) -> Self {
+        InnerUnit {
+            block_node,
+            eval_images,
+            eval_labels,
+            acc_original,
+            channels,
+            sp,
+        }
+    }
+
+    /// Eval-split accuracy of the original (unmasked) network.
+    pub fn acc_original(&self) -> f32 {
+        self.acc_original
+    }
+}
+
+impl PruningUnit for InnerUnit<'_> {
+    fn kind(&self) -> &'static str {
+        "block-inner"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.channels
+    }
+
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        let kept = kept_count(action);
+        if kept == 0 {
+            return Ok(reward(0.0, self.acc_original, self.channels, 0, self.sp));
+        }
+        let mask: Vec<f32> = action.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+        if let Node::Block(b) = net.node_mut(self.block_node) {
+            b.set_inner_mask(Some(mask))?;
+        }
+        let logits = net.forward(self.eval_images, false)?;
+        if let Node::Block(b) = net.node_mut(self.block_node) {
+            b.set_inner_mask(None)?;
+        }
+        let acc = accuracy(&logits, self.eval_labels)?;
+        Ok(reward(acc, self.acc_original, self.channels, kept, self.sp))
+    }
+}

@@ -1,0 +1,54 @@
+//! `hs_run` — one pipeline run from the command line.
+//!
+//! ```text
+//! hs_run --data cifar --model vgg11 --method headstart --sp 2 \
+//!        --checkpoint vgg11.hsck --artifact run.json
+//! ```
+//!
+//! Flags: `--label --data --model --width --method --sp --keep --seed
+//! --prune-seed --quick --smoke --pretrain --finetune --episodes
+//! --eval-images --checkpoint --artifact`. See `RunnerConfig::from_args`.
+
+use std::process::ExitCode;
+
+use hs_runner::{pct, run, RunnerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: hs_run [--data cifar|cub] [--model vgg11|vgg16|resnet20|resnet38|lenet|alexnet]\n\
+             \x20             [--width F] [--method headstart|headstart-blocks|headstart-inner|\n\
+             \x20              random|l1|apoz|thinet|autopruner] [--sp F] [--keep F]\n\
+             \x20             [--seed N] [--prune-seed N] [--quick|--smoke]\n\
+             \x20             [--pretrain N] [--finetune N] [--episodes N] [--eval-images N]\n\
+             \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let cfg = match RunnerConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("hs_run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cfg) {
+        Ok(report) => {
+            println!(
+                "{}: accuracy {} -> {} | params {} -> {} ({}% of original)",
+                report.label,
+                pct(report.original_accuracy),
+                pct(report.final_accuracy),
+                report.original_cost.total_params,
+                report.final_cost.total_params,
+                format_args!("{:.1}", report.compression_pct()),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hs_run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

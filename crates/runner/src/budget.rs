@@ -1,0 +1,75 @@
+//! Budget profiles: how much compute a pipeline run spends on each
+//! phase. The recorded experiment numbers come from [`Budget::full`];
+//! `--quick` swaps in a ~10× cheaper profile for smoke testing, and the
+//! runner CLI can override any single knob.
+
+/// Budget profile of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Epochs used to pre-train the original model.
+    pub pretrain_epochs: usize,
+    /// Fine-tuning epochs after pruning each layer.
+    pub finetune_epochs: usize,
+    /// RL episode cap per layer.
+    pub rl_episodes: usize,
+    /// Evaluation-split size for RL rewards.
+    pub rl_eval_images: usize,
+}
+
+impl Budget {
+    /// The full budget used for the recorded results.
+    pub fn full() -> Self {
+        Budget {
+            pretrain_epochs: 14,
+            finetune_epochs: 3,
+            rl_episodes: 60,
+            rl_eval_images: 64,
+        }
+    }
+
+    /// A ~10× cheaper smoke-test budget.
+    pub fn quick() -> Self {
+        Budget {
+            pretrain_epochs: 2,
+            finetune_epochs: 1,
+            rl_episodes: 12,
+            rl_eval_images: 24,
+        }
+    }
+
+    /// A minimal budget for CI smoke runs: just enough work to cross
+    /// every pipeline stage.
+    pub fn smoke() -> Self {
+        Budget {
+            pretrain_epochs: 1,
+            finetune_epochs: 0,
+            rl_episodes: 4,
+            rl_eval_images: 8,
+        }
+    }
+
+    /// Parses the budget from the process arguments (`--quick`).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            eprintln!("[budget] --quick: reduced budgets, numbers will be rough");
+            Budget::quick()
+        } else {
+            Budget::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_ordered() {
+        let f = Budget::full();
+        let q = Budget::quick();
+        let s = Budget::smoke();
+        assert!(q.pretrain_epochs < f.pretrain_epochs);
+        assert!(q.rl_episodes < f.rl_episodes);
+        assert!(s.rl_episodes <= q.rl_episodes);
+    }
+}

@@ -1,0 +1,463 @@
+//! Run configuration: which dataset, model, method and budget a
+//! pipeline executes. Every choice parses from CLI-style strings so the
+//! `hs_run` binary and the experiment binaries share one vocabulary.
+
+use std::path::PathBuf;
+
+use hs_core::HeadStartConfig;
+use hs_data::{Dataset, DatasetSpec};
+use hs_nn::{models, Network, NnError};
+use hs_pruning::{Apoz, AutoPruner, L1Norm, PruningCriterion, Random, ThiNet};
+use hs_tensor::Rng;
+
+use crate::budget::Budget;
+use crate::error::RunnerError;
+
+/// Which synthetic dataset a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataChoice {
+    /// CIFAR-100 substitute (small images, many classes).
+    CifarLike,
+    /// CUB-200 substitute (fine-grained, larger images).
+    CubLike,
+}
+
+impl DataChoice {
+    /// The dataset specification for this choice.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DataChoice::CifarLike => DatasetSpec::cifar_like(),
+            DataChoice::CubLike => DatasetSpec::cub_like(),
+        }
+    }
+
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataChoice::CifarLike => "cifar",
+            DataChoice::CubLike => "cub",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadConfig`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self, RunnerError> {
+        match s {
+            "cifar" => Ok(DataChoice::CifarLike),
+            "cub" => Ok(DataChoice::CubLike),
+            other => Err(RunnerError::BadConfig(format!(
+                "unknown dataset `{other}` (use cifar or cub)"
+            ))),
+        }
+    }
+}
+
+/// Which architecture a run instantiates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelKind {
+    /// VGG-11 with batch norm.
+    Vgg11,
+    /// VGG-16 with batch norm.
+    Vgg16,
+    /// CIFAR-style ResNet with `n` blocks per group (depth `6n + 2`).
+    ResNetCifar {
+        /// Blocks per group.
+        n: usize,
+    },
+    /// LeNet-style small conv net.
+    LeNet,
+    /// AlexNet-style conv net.
+    AlexNet,
+}
+
+/// An architecture plus its width multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelChoice {
+    /// Architecture family.
+    pub kind: ModelKind,
+    /// Width multiplier (fraction of the paper's channel counts).
+    pub width: f32,
+}
+
+impl ModelChoice {
+    /// Creates a model choice.
+    pub fn new(kind: ModelKind, width: f32) -> Self {
+        ModelChoice { kind, width }
+    }
+
+    /// CLI name of the architecture.
+    pub fn name(&self) -> String {
+        match self.kind {
+            ModelKind::Vgg11 => "vgg11".to_string(),
+            ModelKind::Vgg16 => "vgg16".to_string(),
+            ModelKind::ResNetCifar { n } => format!("resnet{}", models::resnet_depth(n)),
+            ModelKind::LeNet => "lenet".to_string(),
+            ModelKind::AlexNet => "alexnet".to_string(),
+        }
+    }
+
+    /// Parses a CLI name into a kind (width is a separate flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadConfig`] for unknown names.
+    pub fn parse(name: &str, width: f32) -> Result<Self, RunnerError> {
+        let kind = match name {
+            "vgg11" => ModelKind::Vgg11,
+            "vgg16" => ModelKind::Vgg16,
+            "resnet20" => ModelKind::ResNetCifar { n: 3 },
+            "resnet38" => ModelKind::ResNetCifar { n: 6 },
+            "lenet" => ModelKind::LeNet,
+            "alexnet" => ModelKind::AlexNet,
+            other => {
+                return Err(RunnerError::BadConfig(format!(
+                    "unknown model `{other}` (use vgg11|vgg16|resnet20|resnet38|lenet|alexnet)"
+                )))
+            }
+        };
+        Ok(ModelChoice { kind, width })
+    }
+
+    /// Instantiates the architecture for a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn build(&self, ds: &Dataset, rng: &mut Rng) -> Result<Network, NnError> {
+        let (c, classes, size, w) = (ds.channels(), ds.num_classes(), ds.image_size(), self.width);
+        match self.kind {
+            ModelKind::Vgg11 => models::vgg11(c, classes, size, w, rng),
+            ModelKind::Vgg16 => models::vgg16(c, classes, size, w, rng),
+            ModelKind::ResNetCifar { n } => models::resnet_cifar(n, c, classes, w, rng),
+            ModelKind::LeNet => models::lenet(c, classes, size, w, rng),
+            ModelKind::AlexNet => models::alexnet(c, classes, size, w, rng),
+        }
+    }
+}
+
+/// A non-RL pruning criterion used as a comparison baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Uniform random keep set.
+    Random,
+    /// Li'17 L1-norm filter magnitude.
+    L1,
+    /// Average Percentage of Zeros.
+    Apoz,
+    /// ThiNet'17 greedy reconstruction.
+    ThiNet,
+    /// AutoPruner'18 with a given optimization budget.
+    AutoPruner {
+        /// Optimization iterations.
+        iterations: usize,
+    },
+}
+
+impl BaselineKind {
+    /// Instantiates the criterion.
+    pub fn build(&self) -> Box<dyn PruningCriterion> {
+        match self {
+            BaselineKind::Random => Box::new(Random::new()),
+            BaselineKind::L1 => Box::new(L1Norm::new()),
+            BaselineKind::Apoz => Box::new(Apoz::new()),
+            BaselineKind::ThiNet => Box::new(ThiNet::new()),
+            BaselineKind::AutoPruner { iterations } => {
+                Box::new(AutoPruner::new().iterations(*iterations))
+            }
+        }
+    }
+
+    /// Display label, matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::Random => "Random",
+            BaselineKind::L1 => "Li'17",
+            BaselineKind::Apoz => "APoZ",
+            BaselineKind::ThiNet => "ThiNet'17",
+            BaselineKind::AutoPruner { .. } => "AutoPruner'18",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadConfig`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self, RunnerError> {
+        match s {
+            "random" => Ok(BaselineKind::Random),
+            "l1" => Ok(BaselineKind::L1),
+            "apoz" => Ok(BaselineKind::Apoz),
+            "thinet" => Ok(BaselineKind::ThiNet),
+            "autopruner" => Ok(BaselineKind::AutoPruner { iterations: 20 }),
+            other => Err(RunnerError::BadConfig(format!(
+                "unknown baseline `{other}` (use random|l1|apoz|thinet|autopruner)"
+            ))),
+        }
+    }
+}
+
+/// What a pipeline run does to the pre-trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Method {
+    /// HeadStart per-layer feature-map pruning, front to back with
+    /// fine-tuning (Tables 1–3).
+    HeadStartLayers {
+        /// Target speedup per layer.
+        sp: f32,
+    },
+    /// HeadStart whole-block pruning for ResNets (Table 4).
+    HeadStartBlocks {
+        /// Target parameter speedup.
+        sp: f32,
+    },
+    /// HeadStart intra-block filter pruning for ResNets.
+    HeadStartInner {
+        /// Target speedup per block interior.
+        sp: f32,
+    },
+    /// A baseline criterion at a fixed per-layer keep ratio.
+    Baseline {
+        /// The criterion.
+        kind: BaselineKind,
+        /// Fraction of maps each layer keeps.
+        keep_ratio: f32,
+    },
+}
+
+impl Method {
+    /// Display label for tables and artifacts.
+    pub fn label(&self) -> String {
+        match self {
+            Method::HeadStartLayers { .. } => "HeadStart".to_string(),
+            Method::HeadStartBlocks { .. } => "HeadStart-blocks".to_string(),
+            Method::HeadStartInner { .. } => "HeadStart-inner".to_string(),
+            Method::Baseline { kind, .. } => kind.label().to_string(),
+        }
+    }
+
+    /// Builds the HeadStart config for RL methods under a budget.
+    /// Returns `None` for baselines.
+    pub fn headstart_config(&self, budget: &Budget) -> Option<HeadStartConfig> {
+        let sp = match self {
+            Method::HeadStartLayers { sp }
+            | Method::HeadStartBlocks { sp }
+            | Method::HeadStartInner { sp } => *sp,
+            Method::Baseline { .. } => return None,
+        };
+        Some(
+            HeadStartConfig::new(sp)
+                .max_episodes(budget.rl_episodes)
+                .eval_images(budget.rl_eval_images),
+        )
+    }
+
+    /// Parses a CLI method name plus its `sp`/`keep_ratio` parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadConfig`] for unknown names.
+    pub fn parse(name: &str, sp: f32, keep_ratio: f32) -> Result<Self, RunnerError> {
+        match name {
+            "headstart" => Ok(Method::HeadStartLayers { sp }),
+            "headstart-blocks" => Ok(Method::HeadStartBlocks { sp }),
+            "headstart-inner" => Ok(Method::HeadStartInner { sp }),
+            other => Ok(Method::Baseline {
+                kind: BaselineKind::parse(other)?,
+                keep_ratio,
+            }),
+        }
+    }
+}
+
+/// Everything a pipeline run needs: data, model, seeds, budget, method
+/// and optional checkpoint/artifact paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerConfig {
+    /// Human-readable run label (artifact + log prefix).
+    pub label: String,
+    /// Dataset choice.
+    pub data: DataChoice,
+    /// Model choice.
+    pub model: ModelChoice,
+    /// Seed for model init + pre-training.
+    pub seed: u64,
+    /// Seed for the prune schedule (independent of pre-training).
+    pub prune_seed: u64,
+    /// Compute budget.
+    pub budget: Budget,
+    /// What to do to the model.
+    pub method: Method,
+    /// Checkpoint path: loaded if it exists (skipping pre-training),
+    /// written after pre-training otherwise.
+    pub checkpoint: Option<PathBuf>,
+    /// Where to write the JSON run artifact.
+    pub artifact: Option<PathBuf>,
+}
+
+impl RunnerConfig {
+    /// A config with library defaults: CIFAR-like data, quarter-width
+    /// VGG-11, HeadStart at sp = 2, full budget, no checkpoint/artifact.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunnerConfig {
+            label: label.into(),
+            data: DataChoice::CifarLike,
+            model: ModelChoice::new(ModelKind::Vgg11, 0.25),
+            seed: 42,
+            prune_seed: 42,
+            budget: Budget::full(),
+            method: Method::HeadStartLayers { sp: 2.0 },
+            checkpoint: None,
+            artifact: None,
+        }
+    }
+
+    /// Parses a config from `--flag value` style arguments (the `hs_run`
+    /// CLI). Unknown flags error; every flag has a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadConfig`] for malformed arguments.
+    pub fn from_args(args: &[String]) -> Result<Self, RunnerError> {
+        let mut cfg = RunnerConfig::new("hs_run");
+        let mut model_name = "vgg11".to_string();
+        let mut method_name = "headstart".to_string();
+        let mut width = 0.25f32;
+        let mut sp = 2.0f32;
+        let mut keep_ratio = 0.5f32;
+        let mut prune_seed: Option<u64> = None;
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if arg == "--quick" {
+                cfg.budget = Budget::quick();
+                i += 1;
+                continue;
+            }
+            if arg == "--smoke" {
+                cfg.budget = Budget::smoke();
+                i += 1;
+                continue;
+            }
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| RunnerError::BadConfig(format!("expected --flag, got `{arg}`")))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| RunnerError::BadConfig(format!("--{key} needs a value")))?;
+            let bad = |what: &str| RunnerError::BadConfig(format!("--{key}: bad {what} `{value}`"));
+            match key {
+                "label" => cfg.label = value.clone(),
+                "data" => cfg.data = DataChoice::parse(value)?,
+                "model" => model_name = value.clone(),
+                "width" => width = value.parse().map_err(|_| bad("float"))?,
+                "method" => method_name = value.clone(),
+                "sp" => sp = value.parse().map_err(|_| bad("float"))?,
+                "keep" => keep_ratio = value.parse().map_err(|_| bad("float"))?,
+                "seed" => cfg.seed = value.parse().map_err(|_| bad("integer"))?,
+                "prune-seed" => prune_seed = Some(value.parse().map_err(|_| bad("integer"))?),
+                "pretrain" => {
+                    cfg.budget.pretrain_epochs = value.parse().map_err(|_| bad("integer"))?
+                }
+                "finetune" => {
+                    cfg.budget.finetune_epochs = value.parse().map_err(|_| bad("integer"))?
+                }
+                "episodes" => cfg.budget.rl_episodes = value.parse().map_err(|_| bad("integer"))?,
+                "eval-images" => {
+                    cfg.budget.rl_eval_images = value.parse().map_err(|_| bad("integer"))?
+                }
+                "checkpoint" => cfg.checkpoint = Some(PathBuf::from(value)),
+                "artifact" => cfg.artifact = Some(PathBuf::from(value)),
+                other => return Err(RunnerError::BadConfig(format!("unknown flag `--{other}`"))),
+            }
+            i += 2;
+        }
+        cfg.model = ModelChoice::parse(&model_name, width)?;
+        cfg.method = Method::parse(&method_name, sp, keep_ratio)?;
+        cfg.prune_seed = prune_seed.unwrap_or(cfg.seed);
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let cfg = RunnerConfig::from_args(&argv(
+            "--label t3 --data cifar --model vgg11 --width 0.25 --method headstart --sp 5 \
+             --seed 3 --prune-seed 55 --quick --episodes 9 --artifact out.json",
+        ))
+        .unwrap();
+        assert_eq!(cfg.label, "t3");
+        assert_eq!(cfg.data, DataChoice::CifarLike);
+        assert_eq!(cfg.method, Method::HeadStartLayers { sp: 5.0 });
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.prune_seed, 55);
+        // --episodes after --quick overrides just that knob.
+        assert_eq!(cfg.budget.rl_episodes, 9);
+        assert_eq!(cfg.budget.pretrain_epochs, Budget::quick().pretrain_epochs);
+        assert_eq!(
+            cfg.artifact.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+    }
+
+    #[test]
+    fn parses_baseline_methods() {
+        for (name, kind) in [
+            ("random", BaselineKind::Random),
+            ("l1", BaselineKind::L1),
+            ("apoz", BaselineKind::Apoz),
+            ("thinet", BaselineKind::ThiNet),
+            ("autopruner", BaselineKind::AutoPruner { iterations: 20 }),
+        ] {
+            let m = Method::parse(name, 2.0, 0.5).unwrap();
+            assert_eq!(
+                m,
+                Method::Baseline {
+                    kind,
+                    keep_ratio: 0.5
+                }
+            );
+            assert!(m.headstart_config(&Budget::quick()).is_none());
+        }
+        assert!(Method::parse("nope", 2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn rl_methods_get_budgeted_configs() {
+        let budget = Budget::quick();
+        let cfg = Method::HeadStartLayers { sp: 3.0 }
+            .headstart_config(&budget)
+            .unwrap();
+        assert_eq!(cfg.sp, 3.0);
+        assert_eq!(cfg.max_episodes, budget.rl_episodes);
+        assert_eq!(cfg.eval_images, budget.rl_eval_images);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(RunnerConfig::from_args(&argv("--bogus 1")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--seed abc")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--data mnist")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--model resnet999")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--seed")).is_err());
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for name in ["vgg11", "vgg16", "resnet20", "resnet38", "lenet", "alexnet"] {
+            let m = ModelChoice::parse(name, 0.5).unwrap();
+            assert_eq!(m.name(), name);
+        }
+    }
+}

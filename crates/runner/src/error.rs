@@ -1,0 +1,78 @@
+//! The runner's error type: a thin union over every layer it drives.
+
+use std::fmt;
+use std::io;
+
+use hs_core::HeadStartError;
+use hs_data::DataError;
+use hs_nn::NnError;
+use hs_pruning::PruneError;
+use hs_tensor::TensorError;
+
+/// Anything that can go wrong while running a pipeline.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// Dataset generation or caching failed.
+    Data(DataError),
+    /// A network operation failed.
+    Nn(NnError),
+    /// A baseline criterion or the prune driver failed.
+    Prune(PruneError),
+    /// The HeadStart engine failed.
+    HeadStart(HeadStartError),
+    /// Checkpoint or artifact I/O failed.
+    Io(io::Error),
+    /// The run configuration is invalid (bad flag, unknown name, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Data(e) => write!(f, "dataset: {e}"),
+            RunnerError::Nn(e) => write!(f, "network: {e}"),
+            RunnerError::Prune(e) => write!(f, "pruning: {e}"),
+            RunnerError::HeadStart(e) => write!(f, "headstart: {e}"),
+            RunnerError::Io(e) => write!(f, "io: {e}"),
+            RunnerError::BadConfig(detail) => write!(f, "bad run config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<DataError> for RunnerError {
+    fn from(e: DataError) -> Self {
+        RunnerError::Data(e)
+    }
+}
+
+impl From<NnError> for RunnerError {
+    fn from(e: NnError) -> Self {
+        RunnerError::Nn(e)
+    }
+}
+
+impl From<PruneError> for RunnerError {
+    fn from(e: PruneError) -> Self {
+        RunnerError::Prune(e)
+    }
+}
+
+impl From<HeadStartError> for RunnerError {
+    fn from(e: HeadStartError) -> Self {
+        RunnerError::HeadStart(e)
+    }
+}
+
+impl From<io::Error> for RunnerError {
+    fn from(e: io::Error) -> Self {
+        RunnerError::Io(e)
+    }
+}
+
+impl From<TensorError> for RunnerError {
+    fn from(e: TensorError) -> Self {
+        RunnerError::Nn(NnError::from(e))
+    }
+}

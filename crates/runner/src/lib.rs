@@ -1,0 +1,30 @@
+//! `hs-runner` — the config-driven experiment pipeline.
+//!
+//! Every HeadStart experiment is the same story: build a dataset,
+//! pre-train a model (or restore a checkpoint), prune it front to back
+//! with some method, fine-tune, evaluate, and write down what happened.
+//! This crate owns that story once, so the experiment binaries in
+//! `hs-bench` reduce to *which* models, methods and seeds to feed it.
+//!
+//! ```no_run
+//! use hs_runner::{run, RunnerConfig};
+//!
+//! let mut cfg = RunnerConfig::new("demo");
+//! cfg.budget = hs_runner::Budget::smoke();
+//! let report = run(&cfg).expect("pipeline");
+//! println!("{} -> {}", report.original_accuracy, report.final_accuracy);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod config;
+pub mod error;
+pub mod pipeline;
+pub mod report;
+
+pub use budget::Budget;
+pub use config::{BaselineKind, DataChoice, Method, ModelChoice, ModelKind, RunnerConfig};
+pub use error::RunnerError;
+pub use pipeline::{prepare, pretrain, run, MethodRun, PipelineReport, Prepared, SingleLayerRun};
+pub use report::{pct, write_json, Json, Phase, StageTiming};

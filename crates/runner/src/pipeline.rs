@@ -1,0 +1,502 @@
+//! The end-to-end pipeline: dataset → pre-train (or checkpoint load) →
+//! prune schedule → fine-tune → eval → JSON artifact, with per-stage
+//! wall-clock timings. Every experiment binary is a thin arrangement of
+//! these stages; [`run`] is the whole thing behind one [`RunnerConfig`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hs_core::{
+    prune_all_block_inners, BlockDecision, BlockPruner, HeadStartConfig, HeadStartPruner,
+    LayerPruner,
+};
+use hs_data::{cached, Dataset};
+use hs_nn::accounting::{analyze, NetworkCost};
+use hs_nn::optim::Sgd;
+use hs_nn::surgery::{conv_sites, prune_feature_maps};
+use hs_nn::{checkpoint, train, Network, NnError};
+use hs_pruning::driver::{
+    prune_whole_model, train_from_scratch, FineTune, LayerTrace, PruneOutcome,
+};
+use hs_pruning::ScoreContext;
+use hs_tensor::Rng;
+
+use crate::budget::Budget;
+use crate::config::{BaselineKind, Method, RunnerConfig};
+use crate::error::RunnerError;
+use crate::report::{write_json, Json, Phase, StageTiming};
+
+/// How many scoring images baseline criteria see in single-layer runs —
+/// the same class-balanced subset size the whole-model driver uses.
+const SCORING_IMAGES: usize = 64;
+
+/// Trains a fresh SGD schedule on `net` (momentum 0.9, weight decay
+/// 5e-4, the paper's settings) and reports progress.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn pretrain(
+    net: &mut Network,
+    ds: &Dataset,
+    epochs: usize,
+    rng: &mut Rng,
+) -> Result<f32, NnError> {
+    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+    let start = Instant::now();
+    for epoch in 0..epochs {
+        let stats = train::train_epoch(net, &mut opt, &ds.train_images, &ds.train_labels, 32, rng)?;
+        if epoch % 4 == 0 || epoch + 1 == epochs {
+            eprintln!(
+                "[pretrain] epoch {epoch:3}: loss {:.3} train-acc {:.3} ({:.1?})",
+                stats.loss,
+                stats.accuracy,
+                start.elapsed()
+            );
+        }
+    }
+    train::evaluate(net, &ds.test_images, &ds.test_labels, 64)
+}
+
+/// A pre-trained model plus everything needed to prune it: the shared
+/// starting point of every experiment. Produced by [`prepare`].
+#[derive(Debug)]
+pub struct Prepared {
+    /// The dataset (shared through the process-wide cache).
+    pub ds: Arc<Dataset>,
+    /// The pre-trained (or checkpoint-restored) model.
+    pub net: Network,
+    /// Test accuracy of the original model.
+    pub original_accuracy: f32,
+    /// Cost breakdown of the original model.
+    pub original_cost: NetworkCost,
+    /// The budget the run was prepared under.
+    pub budget: Budget,
+    /// Stage timings accumulated so far (dataset, pretrain/checkpoint).
+    pub stages: Vec<StageTiming>,
+}
+
+/// Builds the dataset and pre-trained model for a config. If
+/// `cfg.checkpoint` points at an existing file it is loaded instead of
+/// pre-training; otherwise the model is pre-trained and, when a
+/// checkpoint path is configured, saved there for later resume.
+///
+/// # Errors
+///
+/// Propagates dataset, training and I/O errors.
+pub fn prepare(cfg: &RunnerConfig) -> Result<Prepared, RunnerError> {
+    let mut stages = Vec::new();
+    let phase = Phase::start(&format!("[{}] dataset {}", cfg.label, cfg.data.name()));
+    let ds = cached(&cfg.data.spec())?;
+    phase.record(&mut stages);
+
+    let mut rng = Rng::seed_from(cfg.seed);
+    let mut net = cfg.model.build(&ds, &mut rng)?;
+    let restored = match &cfg.checkpoint {
+        Some(path) if path.exists() => {
+            let phase = Phase::start(&format!(
+                "[{}] checkpoint load {}",
+                cfg.label,
+                path.display()
+            ));
+            net = checkpoint::load(path)?;
+            phase.record(&mut stages);
+            true
+        }
+        _ => false,
+    };
+    if !restored {
+        let phase = Phase::start(&format!(
+            "[{}] pretrain {} ({} epochs)",
+            cfg.label,
+            cfg.model.name(),
+            cfg.budget.pretrain_epochs
+        ));
+        pretrain(&mut net, &ds, cfg.budget.pretrain_epochs, &mut rng)?;
+        phase.record(&mut stages);
+        if let Some(path) = &cfg.checkpoint {
+            checkpoint::save(&net, path)?;
+            eprintln!("[{}] saved checkpoint to {}", cfg.label, path.display());
+        }
+    }
+    let original_accuracy = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+    let original_cost = analyze(&net, ds.channels(), ds.image_size())?;
+    Ok(Prepared {
+        ds,
+        net,
+        original_accuracy,
+        original_cost,
+        budget: cfg.budget,
+        stages,
+    })
+}
+
+/// Outcome of running one pruning method on a [`Prepared`] model.
+#[derive(Debug)]
+pub struct MethodRun {
+    /// Method label.
+    pub label: String,
+    /// The pruned (and fine-tuned) model.
+    pub net: Network,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+    /// Final cost breakdown.
+    pub cost: NetworkCost,
+    /// Per-layer trace (empty for block/inner/scratch methods).
+    pub traces: Vec<LayerTrace>,
+    /// Block decision, for [`Method::HeadStartBlocks`] runs.
+    pub block_decision: Option<BlockDecision>,
+    /// Wall-clock seconds the method took.
+    pub seconds: f64,
+}
+
+/// Outcome of a single-layer prune (the Figure 3 / ablation
+/// measurement): no fine-tuning, inception accuracy only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleLayerRun {
+    /// Feature maps kept.
+    pub kept: usize,
+    /// RL episodes trained (0 for baselines).
+    pub episodes: usize,
+    /// Test accuracy after surgery, before any fine-tuning.
+    pub accuracy: f32,
+}
+
+impl Prepared {
+    /// The fine-tuning schedule the budget prescribes.
+    pub fn finetune(&self) -> FineTune {
+        FineTune {
+            epochs: self.budget.finetune_epochs,
+            ..FineTune::default()
+        }
+    }
+
+    /// Runs a whole-model pruning method on a clone of the prepared
+    /// model. `seed` drives the method's own RNG stream, independent of
+    /// pre-training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and training errors.
+    pub fn run_method(&self, method: &Method, seed: u64) -> Result<MethodRun, RunnerError> {
+        let label = method.label();
+        let phase = Phase::start(&format!("prune: {label}"));
+        let start = Instant::now();
+        let mut net = self.net.clone();
+        let mut rng = Rng::seed_from(seed);
+        let ft = self.finetune();
+        let mut traces = Vec::new();
+        let mut block_decision = None;
+        let final_accuracy;
+        match method {
+            Method::HeadStartLayers { .. } => {
+                let cfg = method
+                    .headstart_config(&self.budget)
+                    .expect("RL method has a config");
+                let (outcome, _decisions) =
+                    HeadStartPruner::new(cfg, ft).prune_model(&mut net, &self.ds, &mut rng)?;
+                let PruneOutcome {
+                    traces: t,
+                    final_accuracy: acc,
+                    ..
+                } = outcome;
+                traces = t;
+                final_accuracy = acc;
+            }
+            Method::HeadStartBlocks { .. } => {
+                let cfg = method
+                    .headstart_config(&self.budget)
+                    .expect("RL method has a config");
+                // Block pruning fine-tunes once at the end; give it the
+                // whole per-layer budget.
+                let ft = FineTune {
+                    epochs: (self.budget.finetune_epochs * 3).max(1),
+                    ..FineTune::default()
+                };
+                let (decision, acc) =
+                    BlockPruner::new(cfg).prune_and_finetune(&mut net, &self.ds, &ft, &mut rng)?;
+                block_decision = Some(decision);
+                final_accuracy = acc;
+            }
+            Method::HeadStartInner { .. } => {
+                let cfg = method
+                    .headstart_config(&self.budget)
+                    .expect("RL method has a config");
+                let (_decisions, acc) =
+                    prune_all_block_inners(&cfg, &ft, &mut net, &self.ds, &mut rng)?;
+                final_accuracy = acc;
+            }
+            Method::Baseline { kind, keep_ratio } => {
+                let mut criterion = kind.build();
+                let outcome = prune_whole_model(
+                    &mut net,
+                    criterion.as_mut(),
+                    *keep_ratio,
+                    &self.ds,
+                    &ft,
+                    &mut rng,
+                )?;
+                traces = outcome.traces;
+                final_accuracy = outcome.final_accuracy;
+            }
+        }
+        let cost = analyze(&net, self.ds.channels(), self.ds.image_size())?;
+        phase.end();
+        Ok(MethodRun {
+            label,
+            net,
+            final_accuracy,
+            cost,
+            traces,
+            block_decision,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The "from scratch" control: re-initializes `arch` (a pruned
+    /// architecture) and trains it for `epochs` with the default
+    /// fine-tuning schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn run_scratch(
+        &self,
+        arch: &Network,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<MethodRun, RunnerError> {
+        let phase = Phase::start("from scratch");
+        let start = Instant::now();
+        let mut rng = Rng::seed_from(seed);
+        let final_accuracy =
+            train_from_scratch(arch, &self.ds, epochs, &FineTune::default(), &mut rng)?;
+        let cost = analyze(arch, self.ds.channels(), self.ds.image_size())?;
+        phase.end();
+        Ok(MethodRun {
+            label: "from scratch".to_string(),
+            net: arch.clone(),
+            final_accuracy,
+            cost,
+            traces: Vec::new(),
+            block_decision: None,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The HeadStart config for a single-layer run at `sp`, under this
+    /// run's budget.
+    pub fn headstart_layer_cfg(&self, sp: f32) -> HeadStartConfig {
+        HeadStartConfig::new(sp)
+            .max_episodes(self.budget.rl_episodes)
+            .eval_images(self.budget.rl_eval_images)
+    }
+
+    /// Single-layer HeadStart prune on a clone (no fine-tuning): learns
+    /// the inception of conv `ordinal`, applies the surgery, optionally
+    /// recalibrates batch-norm statistics, and reports test accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning, surgery and evaluation errors.
+    pub fn single_layer_headstart(
+        &self,
+        cfg: &HeadStartConfig,
+        ordinal: usize,
+        recalibrate: bool,
+        seed: u64,
+    ) -> Result<SingleLayerRun, RunnerError> {
+        let mut net = self.net.clone();
+        let mut rng = Rng::seed_from(seed);
+        let d = LayerPruner::new(cfg.clone()).prune(&mut net, ordinal, &self.ds, &mut rng)?;
+        let conv = net.conv_indices()[ordinal];
+        prune_feature_maps(&mut net, conv, &d.keep)?;
+        let accuracy = self.post_surgery_accuracy(&mut net, recalibrate)?;
+        Ok(SingleLayerRun {
+            kept: d.keep.len(),
+            episodes: d.episodes(),
+            accuracy,
+        })
+    }
+
+    /// Single-layer baseline prune on a clone (no fine-tuning), keeping
+    /// `1/sp` of the layer's maps. The criterion scores the same
+    /// class-balanced training subset the whole-model driver uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates criterion, surgery and evaluation errors.
+    pub fn single_layer_baseline(
+        &self,
+        kind: BaselineKind,
+        ordinal: usize,
+        sp: f32,
+        recalibrate: bool,
+        seed: u64,
+    ) -> Result<SingleLayerRun, RunnerError> {
+        let mut net = self.net.clone();
+        let mut rng = Rng::seed_from(seed);
+        let sites = conv_sites(&net);
+        let site = *sites.get(ordinal).ok_or_else(|| {
+            RunnerError::BadConfig(format!("conv ordinal {ordinal} out of range"))
+        })?;
+        let maps = net.conv(site.conv)?.out_channels();
+        let keep_count = ((maps as f32 / sp).round() as usize).clamp(1, maps);
+        let scoring_n = SCORING_IMAGES.min(self.ds.train_labels.len());
+        let idx: Vec<usize> = (0..scoring_n).collect();
+        let scoring_images = self.ds.train_images.index_select(0, &idx)?;
+        let scoring_labels: Vec<usize> = self.ds.train_labels[..scoring_n].to_vec();
+        let mut criterion = kind.build();
+        let keep = {
+            let mut ctx =
+                ScoreContext::new(&mut net, site, &scoring_images, &scoring_labels, &mut rng);
+            criterion.keep_set(&mut ctx, keep_count)?
+        };
+        prune_feature_maps(&mut net, site.conv, &keep)?;
+        criterion.post_surgery(&mut net, site, &keep)?;
+        let accuracy = self.post_surgery_accuracy(&mut net, recalibrate)?;
+        Ok(SingleLayerRun {
+            kept: keep.len(),
+            episodes: 0,
+            accuracy,
+        })
+    }
+
+    fn post_surgery_accuracy(
+        &self,
+        net: &mut Network,
+        recalibrate: bool,
+    ) -> Result<f32, RunnerError> {
+        if recalibrate {
+            train::recalibrate_bn(net, &self.ds.train_images, 32, 2)?;
+        }
+        Ok(train::evaluate(
+            net,
+            &self.ds.test_images,
+            &self.ds.test_labels,
+            64,
+        )?)
+    }
+}
+
+/// The complete record of one pipeline run.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Run label.
+    pub label: String,
+    /// Test accuracy before pruning.
+    pub original_accuracy: f32,
+    /// Test accuracy after the method (and its fine-tuning).
+    pub final_accuracy: f32,
+    /// Cost before pruning.
+    pub original_cost: NetworkCost,
+    /// Cost after pruning.
+    pub final_cost: NetworkCost,
+    /// Per-layer trace, when the method produces one.
+    pub traces: Vec<LayerTrace>,
+    /// All stage timings (dataset, pretrain/checkpoint, prune, eval).
+    pub stages: Vec<StageTiming>,
+}
+
+impl PipelineReport {
+    /// Parameter compression ratio `W'/W` in percent.
+    pub fn compression_pct(&self) -> f64 {
+        100.0 * self.final_cost.total_params as f64 / self.original_cost.total_params.max(1) as f64
+    }
+
+    /// Renders the report as a JSON artifact.
+    pub fn to_json(&self) -> Json {
+        let traces = self
+            .traces
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("conv_ordinal".into(), Json::num(t.conv_ordinal as f64)),
+                    ("maps_before".into(), Json::num(t.maps_before as f64)),
+                    ("maps_after".into(), Json::num(t.maps_after as f64)),
+                    ("params_after".into(), Json::num(t.params_after as f64)),
+                    ("flops_after".into(), Json::num(t.flops_after as f64)),
+                    (
+                        "inception_accuracy".into(),
+                        Json::num(f64::from(t.inception_accuracy)),
+                    ),
+                    (
+                        "finetuned_accuracy".into(),
+                        Json::num(f64::from(t.finetuned_accuracy)),
+                    ),
+                ])
+            })
+            .collect();
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(s.name.clone())),
+                    ("seconds".into(), Json::num(s.seconds)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("label".into(), Json::str(self.label.clone())),
+            (
+                "original_accuracy".into(),
+                Json::num(f64::from(self.original_accuracy)),
+            ),
+            (
+                "final_accuracy".into(),
+                Json::num(f64::from(self.final_accuracy)),
+            ),
+            (
+                "original_params".into(),
+                Json::num(self.original_cost.total_params as f64),
+            ),
+            (
+                "final_params".into(),
+                Json::num(self.final_cost.total_params as f64),
+            ),
+            (
+                "original_flops".into(),
+                Json::num(self.original_cost.total_flops as f64),
+            ),
+            (
+                "final_flops".into(),
+                Json::num(self.final_cost.total_flops as f64),
+            ),
+            ("compression_pct".into(), Json::num(self.compression_pct())),
+            ("layers".into(), Json::Arr(traces)),
+            ("stages".into(), Json::Arr(stages)),
+        ])
+    }
+}
+
+/// Runs one complete pipeline from a config: dataset → pre-train or
+/// checkpoint-load → prune → fine-tune → eval, writing the JSON
+/// artifact when `cfg.artifact` is set.
+///
+/// # Errors
+///
+/// Propagates every stage's errors.
+pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
+    let prepared = prepare(cfg)?;
+    let method_run = prepared.run_method(&cfg.method, cfg.prune_seed)?;
+    let mut stages = prepared.stages.clone();
+    stages.push(StageTiming {
+        name: format!("prune:{}", method_run.label),
+        seconds: method_run.seconds,
+    });
+    let report = PipelineReport {
+        label: cfg.label.clone(),
+        original_accuracy: prepared.original_accuracy,
+        final_accuracy: method_run.final_accuracy,
+        original_cost: prepared.original_cost,
+        final_cost: method_run.cost,
+        traces: method_run.traces,
+        stages,
+    };
+    if let Some(path) = &cfg.artifact {
+        write_json(path, &report.to_json())?;
+        eprintln!("[{}] wrote artifact to {}", cfg.label, path.display());
+    }
+    Ok(report)
+}

@@ -1,0 +1,226 @@
+//! Reporting plumbing shared by every pipeline: phase stopwatches with
+//! recorded stage timings, percentage formatting, and a hand-rolled JSON
+//! value for run artifacts (the build is fully offline — no serde).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Percentage formatting used across all tables.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// One timed pipeline stage, as recorded in run artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (`pretrain`, `prune`, `finetune`, …).
+    pub name: String,
+    /// Wall-clock seconds spent in the stage.
+    pub seconds: f64,
+}
+
+/// A labelled stopwatch for experiment phases. [`Phase::end`] returns
+/// the elapsed seconds so pipelines can record a [`StageTiming`].
+#[derive(Debug)]
+pub struct Phase {
+    label: String,
+    start: Instant,
+}
+
+impl Phase {
+    /// Starts timing a phase and logs it.
+    pub fn start(label: &str) -> Self {
+        eprintln!("[phase] {label} ...");
+        Phase {
+            label: label.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the phase, logging and returning the elapsed seconds.
+    pub fn end(self) -> f64 {
+        let seconds = self.start.elapsed().as_secs_f64();
+        eprintln!("[phase] {} done in {:.1}s", self.label, seconds);
+        seconds
+    }
+
+    /// Ends the phase and records it into a stage list.
+    pub fn record(self, stages: &mut Vec<StageTiming>) -> f64 {
+        let label = self.label.clone();
+        let seconds = self.end();
+        stages.push(StageTiming {
+            name: label,
+            seconds,
+        });
+        seconds
+    }
+}
+
+/// A minimal JSON value — enough for run artifacts, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite renders as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: a numeric value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Renders the value as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a JSON artifact to disk.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: impl AsRef<Path>, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.7239), "72.39");
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("a \"quoted\"\nline")),
+            ("count".into(), Json::num(3.0)),
+            ("ratio".into(), Json::num(0.5)),
+            (
+                "items".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\\\"quoted\\\"\\nline"));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_non_finite_is_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn phase_records_stage() {
+        let mut stages = Vec::new();
+        let p = Phase::start("test");
+        let secs = p.record(&mut stages);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].name, "test");
+        assert!(secs >= 0.0);
+    }
+}

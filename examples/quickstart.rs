@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "  HeadStart: {:.2}%  (learned {} maps in {} episodes)",
         hs_acc * 100.0,
         decision.keep.len(),
-        decision.episodes
+        decision.episodes()
     );
 
     // Metric baselines at exactly keep_count maps.

@@ -1,5 +1,8 @@
 #!/bin/sh
 # Regenerates every table/figure of the paper, teeing outputs to results/.
+# Each experiment binary is a thin arrangement of the hs-runner pipeline
+# (see crates/runner); single ad-hoc runs go through the hs_run binary:
+#   cargo run --release -p hs-runner --bin hs_run -- --quick --artifact run.json
 # Full runs; pass --quick through to all binaries for a smoke test.
 # Override the experiment list with EXPS="table1_layerwise_cub ..." to
 # re-run a subset.
@@ -12,4 +15,7 @@ for exp in ${EXPS:-$DEFAULT}; do
     echo "=== $exp ==="
     cargo run --release -p hs-bench --bin "$exp" -- $ARG 2>results/$exp.log | tee results/$exp.txt
 done
+echo "=== hs_run (pipeline artifact) ==="
+cargo run --release -p hs-runner --bin hs_run -- $ARG --label pipeline \
+    --artifact results/pipeline.json 2>results/hs_run.log | tee results/hs_run.txt
 echo "All experiments done; outputs in results/"

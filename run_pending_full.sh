@@ -1,4 +1,6 @@
 #!/bin/sh
+# Full (non-quick) re-runs of the training-heavy experiments; all four
+# binaries are thin wrappers over the hs-runner pipeline crate.
 set -e
 mkdir -p results_pending
 for exp in ablation_reward table2_vgg_cub table3_vgg_cifar table4_resnet_blocks; do

@@ -14,7 +14,10 @@
 //!   REINFORCE loop with self-critical baseline, per-layer and per-block
 //!   pruners;
 //! * [`gpusim`] — a roofline latency model of the paper's four inference
-//!   platforms.
+//!   platforms;
+//! * [`runner`] — the config-driven end-to-end pipeline (dataset →
+//!   pre-train or checkpoint → prune → fine-tune → eval → JSON artifact)
+//!   that every experiment binary is built on.
 //!
 //! # Quickstart
 //!
@@ -48,4 +51,5 @@ pub use hs_data as data;
 pub use hs_gpusim as gpusim;
 pub use hs_nn as nn;
 pub use hs_pruning as pruning;
+pub use hs_runner as runner;
 pub use hs_tensor as tensor;

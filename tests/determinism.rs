@@ -96,8 +96,7 @@ fn rl_pruning_decision_replays_exactly() {
     let a = run();
     let b = run();
     assert_eq!(a.keep, b.keep);
-    assert_eq!(a.episodes, b.episodes);
-    assert_eq!(a.reward_history, b.reward_history);
+    assert_eq!(a.trace, b.trace);
 }
 
 #[test]
