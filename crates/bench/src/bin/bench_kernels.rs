@@ -15,6 +15,7 @@ use hs_nn::loss::softmax_cross_entropy;
 use hs_nn::optim::{Optimizer, Sgd};
 use hs_nn::{Network, Node};
 use hs_runner::{write_json, Json};
+use hs_telemetry::metrics::MetricSnapshot;
 use hs_tensor::{gemm_ex, pool, Rng, Shape, Tensor};
 
 /// The seed's GEMM: naive `i-k-j` row bands, threads spawned per call
@@ -198,6 +199,33 @@ fn main() {
             ])
         })
         .collect();
+    // Snapshot the telemetry metrics registry: by now the timed kernels
+    // have driven every hs_tensor_* counter, so the artifact records how
+    // much work (GEMM calls/FLOPs, im2col bytes, pool batches, scratch
+    // high-water) the benchmark actually exercised.
+    let metrics_json = hs_telemetry::metrics::snapshot()
+        .into_iter()
+        .map(|m| match m {
+            MetricSnapshot::Counter { name, value } => Json::Obj(vec![
+                ("name".into(), Json::str(name)),
+                ("kind".into(), Json::str("counter")),
+                ("value".into(), Json::num(value as f64)),
+            ]),
+            MetricSnapshot::Gauge { name, value } => Json::Obj(vec![
+                ("name".into(), Json::str(name)),
+                ("kind".into(), Json::str("gauge")),
+                ("value".into(), Json::num(value)),
+            ]),
+            MetricSnapshot::Histogram {
+                name, count, sum, ..
+            } => Json::Obj(vec![
+                ("name".into(), Json::str(name)),
+                ("kind".into(), Json::str("histogram")),
+                ("count".into(), Json::num(count as f64)),
+                ("sum".into(), Json::num(sum)),
+            ]),
+        })
+        .collect();
     let doc = Json::Obj(vec![
         ("pool_threads".into(), Json::num(pool::num_threads() as f64)),
         ("gemm".into(), Json::Arr(gemm_json)),
@@ -209,6 +237,7 @@ fn main() {
             ]),
         ),
         ("train_step_secs".into(), Json::num(train_step_secs)),
+        ("metrics".into(), Json::Arr(metrics_json)),
     ]);
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

@@ -183,7 +183,25 @@ impl BlockPruner {
         ft: &FineTune,
         rng: &mut Rng,
     ) -> Result<(BlockDecision, f32), HeadStartError> {
-        let decision = self.prune(net, ds, rng)?;
+        self.prune_and_finetune_observed(net, ds, ft, rng, &mut NullObserver)
+    }
+
+    /// As [`BlockPruner::prune_and_finetune`], reporting each episode to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and training errors.
+    pub fn prune_and_finetune_observed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        ft: &FineTune,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<(BlockDecision, f32), HeadStartError> {
+        observer.on_unit_start("block", 0);
+        let decision = self.prune_observed(net, ds, rng, observer)?;
         self.apply(net, &decision)?;
         ft.run(net, &ds.train_images, &ds.train_labels, rng)
             .map_err(HeadStartError::Prune)?;

@@ -175,12 +175,31 @@ pub fn prune_all_block_inners(
     ds: &Dataset,
     rng: &mut Rng,
 ) -> Result<(Vec<LayerDecision>, f32), HeadStartError> {
+    prune_all_block_inners_observed(cfg, ft, net, ds, rng, &mut NullObserver)
+}
+
+/// As [`prune_all_block_inners`], reporting every episode of every block
+/// to `observer` (with [`EngineObserver::on_unit_start`] marking block
+/// boundaries).
+///
+/// # Errors
+///
+/// Propagates configuration, network and training errors.
+pub fn prune_all_block_inners_observed(
+    cfg: &HeadStartConfig,
+    ft: &hs_pruning::driver::FineTune,
+    net: &mut Network,
+    ds: &Dataset,
+    rng: &mut Rng,
+    observer: &mut dyn EngineObserver,
+) -> Result<(Vec<LayerDecision>, f32), HeadStartError> {
     cfg.validate()?;
     let pruner = InnerLayerPruner::new(cfg.clone());
     let block_count = net.block_indices().len();
     let mut decisions = Vec::with_capacity(block_count);
     for ordinal in 0..block_count {
-        let decision = pruner.prune(net, ordinal, ds, rng)?;
+        observer.on_unit_start("block-inner", ordinal);
+        let decision = pruner.prune_observed(net, ordinal, ds, rng, observer)?;
         pruner.apply(net, ordinal, &decision)?;
         ft.run(net, &ds.train_images, &ds.train_labels, rng)
             .map_err(HeadStartError::Prune)?;

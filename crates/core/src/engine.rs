@@ -22,6 +22,7 @@
 //! fields the three loops used to accumulate independently.
 
 use hs_nn::Network;
+use hs_telemetry::Level;
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
@@ -118,6 +119,11 @@ pub struct EpisodeEvent<'a> {
 /// methods default to no-ops, so implementations override only what they
 /// need.
 pub trait EngineObserver {
+    /// Called by whole-model schedules before each unit's episode loop
+    /// starts, with the unit's ordinal (layer index, block index, …), so
+    /// observers can attribute the following episodes.
+    fn on_unit_start(&mut self, _unit_kind: &'static str, _ordinal: usize) {}
+
     /// Called once per episode, after the policy-gradient step.
     fn on_episode(&mut self, _event: &EpisodeEvent<'_>) {}
 
@@ -131,32 +137,64 @@ pub struct NullObserver;
 
 impl EngineObserver for NullObserver {}
 
-/// An observer that logs episode rewards to stderr every `every`
-/// episodes — handy for watching long prune schedules converge.
+/// An observer that logs episode rewards every `every` episodes — handy
+/// for watching long prune schedules converge.
+///
+/// Historically this printed to stderr unconditionally; it now routes
+/// through the telemetry dispatcher at a configurable [`Level`], so the
+/// lines respect the process's `--log-level` (and also land in a JSONL
+/// trace when one is configured).
 #[derive(Debug, Clone)]
 pub struct StderrObserver {
     /// Log every n-th episode (0 logs only convergence).
     pub every: usize,
+    /// Level the lines are emitted at. [`Level::Debug`] by default, so
+    /// an unconfigured process (stderr at info) stays quiet.
+    pub level: Level,
+}
+
+impl StderrObserver {
+    /// Logs every `every`-th episode at [`Level::Debug`].
+    pub fn new(every: usize) -> StderrObserver {
+        StderrObserver {
+            every,
+            level: Level::Debug,
+        }
+    }
+
+    /// Builder: emits at `level` instead of [`Level::Debug`].
+    #[must_use]
+    pub fn at_level(mut self, level: Level) -> StderrObserver {
+        self.level = level;
+        self
+    }
 }
 
 impl EngineObserver for StderrObserver {
     fn on_episode(&mut self, event: &EpisodeEvent<'_>) {
-        if self.every > 0 && event.episode.is_multiple_of(self.every) {
-            eprintln!(
-                "[engine/{}] episode {:3}: R(A^I) {:+.4} |A|_0 {} baseline {:+.4}",
-                event.unit_kind,
-                event.episode,
-                event.inference_reward,
-                event.inference_l0,
-                event.baseline
+        if self.every > 0
+            && event.episode.is_multiple_of(self.every)
+            && hs_telemetry::enabled(self.level)
+        {
+            hs_telemetry::log(
+                self.level,
+                &format!("engine/{}", event.unit_kind),
+                format!(
+                    "episode {:3}: R(A^I) {:+.4} |A|_0 {} baseline {:+.4}",
+                    event.episode, event.inference_reward, event.inference_l0, event.baseline
+                ),
             );
         }
     }
 
     fn on_converged(&mut self, unit_kind: &'static str, trace: &EpisodeTrace) {
-        eprintln!(
-            "[engine/{}] stopped after {} episodes ({:?})",
-            unit_kind, trace.episodes, trace.convergence
+        hs_telemetry::log(
+            self.level,
+            &format!("engine/{unit_kind}"),
+            format!(
+                "stopped after {} episodes ({:?})",
+                trace.episodes, trace.convergence
+            ),
         );
     }
 }

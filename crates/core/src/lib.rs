@@ -55,13 +55,14 @@ mod error;
 mod evaluator;
 mod layer;
 pub mod model;
+pub mod observe;
 mod policy;
 pub mod reinforce;
 pub mod reward;
 pub mod units;
 
 pub use block::{BlockDecision, BlockPruner};
-pub use block_inner::{prune_all_block_inners, InnerLayerPruner};
+pub use block_inner::{prune_all_block_inners, prune_all_block_inners_observed, InnerLayerPruner};
 pub use config::HeadStartConfig;
 pub use criterion::HeadStartCriterion;
 pub use engine::{
@@ -72,5 +73,6 @@ pub use error::HeadStartError;
 pub use evaluator::MaskedEvaluator;
 pub use layer::{LayerDecision, LayerPruner};
 pub use model::HeadStartPruner;
+pub use observe::TelemetryObserver;
 pub use policy::HeadStartNetwork;
 pub use units::{BlockUnit, InnerUnit, LayerUnit};

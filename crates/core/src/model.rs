@@ -9,6 +9,7 @@ use hs_pruning::driver::{FineTune, LayerTrace, PruneOutcome};
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
+use crate::engine::{EngineObserver, NullObserver};
 use crate::error::HeadStartError;
 use crate::layer::{LayerDecision, LayerPruner};
 
@@ -45,6 +46,23 @@ impl HeadStartPruner {
         ds: &Dataset,
         rng: &mut Rng,
     ) -> Result<(PruneOutcome, Vec<LayerDecision>), HeadStartError> {
+        self.prune_model_observed(net, ds, rng, &mut NullObserver)
+    }
+
+    /// As [`HeadStartPruner::prune_model`], reporting every episode of
+    /// every layer to `observer` (with
+    /// [`EngineObserver::on_unit_start`] marking layer boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, network and training errors.
+    pub fn prune_model_observed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<(PruneOutcome, Vec<LayerDecision>), HeadStartError> {
         self.cfg.validate()?;
         let layer_pruner = LayerPruner::new(self.cfg.clone());
         let conv_count = net.conv_indices().len();
@@ -53,7 +71,8 @@ impl HeadStartPruner {
         for ordinal in 0..conv_count {
             let conv_node = net.conv_indices()[ordinal];
             let maps_before = net.conv(conv_node)?.out_channels();
-            let decision = layer_pruner.prune(net, ordinal, ds, rng)?;
+            observer.on_unit_start("layer", ordinal);
+            let decision = layer_pruner.prune_observed(net, ordinal, ds, rng, observer)?;
             prune_feature_maps(net, conv_node, &decision.keep)?;
             let inception_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
             self.ft.run(net, &ds.train_images, &ds.train_labels, rng)?;

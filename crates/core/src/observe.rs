@@ -1,0 +1,190 @@
+//! Telemetry-backed engine observation.
+//!
+//! [`TelemetryObserver`] turns the engine's [`EpisodeEvent`] stream into
+//! the workspace's structured telemetry: one `episode` JSONL event per
+//! REINFORCE episode carrying the paper's per-episode quantities — the
+//! reward `R(Aᴵ)` and its decomposition into `ACC` and `SPD` (Eqs. 2–4),
+//! the inception size `‖Aᴵ‖₀`, the self-critical baseline, and the
+//! policy-gradient diagnostics (mean advantage of the sampled actions and
+//! the Bernoulli policy entropy) — plus `hs_core_*` metrics recorded into
+//! the global registry.
+//!
+//! The decomposition needs no extra evaluation passes: the engine reports
+//! `R = ACC − SPD`, and `SPD = |C/‖Aᴵ‖₀ − sp|` is a closed form of the
+//! event's `probs.len()` and `inference_l0`, so `ACC = R + SPD`.
+
+use std::sync::OnceLock;
+
+use hs_telemetry::metrics::{self, Counter, Histogram};
+use hs_telemetry::{Event, EventKind, Level};
+
+use crate::config::HeadStartConfig;
+use crate::engine::{EngineObserver, EpisodeEvent, EpisodeTrace};
+use crate::reward::spd_term;
+
+fn episodes_total() -> &'static Counter {
+    static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| metrics::counter("hs_core_episodes_total"))
+}
+
+fn convergences_total() -> &'static Counter {
+    static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| metrics::counter("hs_core_convergences_total"))
+}
+
+fn reward_hist() -> &'static Histogram {
+    static HANDLE: OnceLock<&'static Histogram> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        metrics::histogram(
+            "hs_core_inference_reward",
+            &[-8.0, -4.0, -2.0, -1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0],
+        )
+    })
+}
+
+/// Mean Bernoulli entropy (nats) of the policy's keep probabilities — a
+/// measure of how committed the policy is to its inception.
+pub fn policy_entropy(probs: &[f32]) -> f32 {
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = probs
+        .iter()
+        .map(|&p| {
+            let p = p.clamp(1e-7, 1.0 - 1e-7);
+            -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+        })
+        .sum();
+    sum / probs.len() as f32
+}
+
+/// An [`EngineObserver`] that emits one telemetry `episode` event per
+/// episode (at [`Level::Debug`]) and records `hs_core_*` metrics.
+///
+/// Needs the config's speedup target `sp` to split the reward back into
+/// its `ACC` and `SPD` halves.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryObserver {
+    sp: f32,
+    /// Context string for the event name, e.g. `"conv:3"`; events are
+    /// named `<unit_kind>/<context>`.
+    context_id: usize,
+}
+
+impl TelemetryObserver {
+    /// Creates an observer deriving `SPD` against the given target.
+    pub fn new(sp: f32) -> TelemetryObserver {
+        TelemetryObserver { sp, context_id: 0 }
+    }
+
+    /// Creates an observer for a configuration.
+    pub fn from_config(cfg: &HeadStartConfig) -> TelemetryObserver {
+        TelemetryObserver::new(cfg.sp)
+    }
+
+    /// Sets the ordinal of the layer/block being pruned; it appears in
+    /// event names (`layer:3`) so traces from a whole-model run stay
+    /// attributable.
+    #[must_use]
+    pub fn context(mut self, ordinal: usize) -> TelemetryObserver {
+        self.context_id = ordinal;
+        self
+    }
+}
+
+impl EngineObserver for TelemetryObserver {
+    fn on_unit_start(&mut self, _unit_kind: &'static str, ordinal: usize) {
+        self.context_id = ordinal;
+    }
+
+    fn on_episode(&mut self, event: &EpisodeEvent<'_>) {
+        episodes_total().inc();
+        reward_hist().observe(event.inference_reward as f64);
+        if !hs_telemetry::enabled(Level::Debug) {
+            return;
+        }
+        let spd = spd_term(event.probs.len(), event.inference_l0, self.sp);
+        let acc = event.inference_reward + spd;
+        let mean_sampled = if event.sampled_rewards.is_empty() {
+            0.0
+        } else {
+            event.sampled_rewards.iter().sum::<f32>() / event.sampled_rewards.len() as f32
+        };
+        let out = Event::new(
+            EventKind::Episode,
+            Level::Debug,
+            format!("{}:{}", event.unit_kind, self.context_id),
+        )
+        .field("episode", event.episode)
+        .field("reward", event.inference_reward)
+        .field("acc", acc)
+        .field("spd", spd)
+        .field("l0", event.inference_l0)
+        .field("units", event.probs.len())
+        .field("baseline", event.baseline)
+        .field("advantage_mean", mean_sampled - event.baseline)
+        .field("policy_entropy", policy_entropy(event.probs));
+        hs_telemetry::emit(out);
+    }
+
+    fn on_converged(&mut self, unit_kind: &'static str, trace: &EpisodeTrace) {
+        convergences_total().inc();
+        hs_telemetry::log_with(
+            Level::Debug,
+            "hs-core",
+            format!(
+                "{unit_kind}:{} policy stopped after {} episodes ({:?})",
+                self.context_id, trace.episodes, trace.convergence
+            ),
+            vec![
+                ("episodes".to_string(), trace.episodes.into()),
+                ("converged".to_string(), trace.converged().into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_peaks_at_half_and_vanishes_at_certainty() {
+        let uniform = policy_entropy(&[0.5, 0.5]);
+        assert!((uniform - 2.0f32.ln()).abs() < 1e-5);
+        assert!(policy_entropy(&[0.0, 1.0]) < 1e-4);
+        assert!(policy_entropy(&[]).abs() < 1e-9);
+        assert!(policy_entropy(&[0.5, 1.0]) < uniform);
+    }
+
+    #[test]
+    fn observer_records_episode_metrics() {
+        let before = episodes_total().get();
+        let probs = vec![0.9f32, 0.2, 0.7];
+        let rewards = vec![0.1f32, -0.3];
+        let mut obs = TelemetryObserver::new(2.0).context(5);
+        obs.on_episode(&EpisodeEvent {
+            unit_kind: "layer",
+            episode: 0,
+            probs: &probs,
+            sampled_rewards: &rewards,
+            inference_reward: -0.2,
+            baseline: -0.2,
+            inference_l0: 2,
+        });
+        assert_eq!(episodes_total().get(), before + 1);
+        assert!(reward_hist().count() > 0);
+    }
+
+    #[test]
+    fn acc_spd_split_inverts_the_reward() {
+        // reward = ACC − SPD by construction; the observer's ACC = R + SPD
+        // must therefore recover the ACC used to build the reward.
+        let sp = 2.0;
+        let (total, kept) = (64, 30);
+        let acc = 0.55f32;
+        let reward = acc - spd_term(total, kept, sp);
+        let recovered = reward + spd_term(total, kept, sp);
+        assert!((recovered - acc).abs() < 1e-6);
+    }
+}

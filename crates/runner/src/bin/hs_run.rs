@@ -7,7 +7,8 @@
 //!
 //! Flags: `--label --data --model --width --method --sp --keep --seed
 //! --prune-seed --quick --smoke --pretrain --finetune --episodes
-//! --eval-images --checkpoint --artifact`. See `RunnerConfig::from_args`.
+//! --eval-images --checkpoint --artifact --telemetry --metrics
+//! --log-level`. See `RunnerConfig::from_args`.
 
 use std::process::ExitCode;
 
@@ -22,7 +23,9 @@ fn main() -> ExitCode {
              \x20              random|l1|apoz|thinet|autopruner] [--sp F] [--keep F]\n\
              \x20             [--seed N] [--prune-seed N] [--quick|--smoke]\n\
              \x20             [--pretrain N] [--finetune N] [--episodes N] [--eval-images N]\n\
-             \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]"
+             \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]\n\
+             \x20             [--telemetry PATH.jsonl] [--metrics PATH.prom]\n\
+             \x20             [--log-level error|warn|info|debug|trace]"
         );
         return ExitCode::SUCCESS;
     }
@@ -47,6 +50,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // Keep whatever telemetry the failed run buffered.
+            hs_telemetry::flush();
             eprintln!("hs_run: {e}");
             ExitCode::FAILURE
         }

@@ -1,0 +1,107 @@
+//! `telemetry_lint` — validates a JSONL telemetry event stream against
+//! schema version 1 (see `hs_telemetry::schema`). CI runs this on the
+//! smoke pipeline's `--telemetry` output instead of depending on jq.
+//!
+//! ```text
+//! telemetry_lint events.jsonl [--require-kind KIND]...
+//! ```
+//!
+//! Exits non-zero when any line fails validation, when the file is
+//! empty, or when a `--require-kind` (e.g. `episode`, `span`) never
+//! appears in the stream. Prints a per-kind event count on success.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use hs_telemetry::schema::{parse, validate_line, Json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: telemetry_lint <events.jsonl> [--require-kind KIND]...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return usage(),
+            "--require-kind" => {
+                let Some(kind) = args.get(i + 1) else {
+                    return usage();
+                };
+                required.push(kind.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return usage(),
+            positional => {
+                if path.replace(positional.to_string()).is_some() {
+                    return usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("telemetry_lint: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut violations = 0usize;
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        total += 1;
+        if let Err(e) = validate_line(line) {
+            violations += 1;
+            eprintln!("telemetry_lint: {path}:{}: {e}", lineno + 1);
+            continue;
+        }
+        // validate_line guarantees a string `kind` on success.
+        let kind = parse(line)
+            .ok()
+            .and_then(|v| {
+                v.as_obj()
+                    .and_then(|o| o.get("kind").and_then(Json::as_str).map(String::from))
+            })
+            .expect("validated line has a kind");
+        *kinds.entry(kind).or_default() += 1;
+    }
+
+    if total == 0 {
+        eprintln!("telemetry_lint: {path}: no events");
+        return ExitCode::FAILURE;
+    }
+    if violations > 0 {
+        eprintln!("telemetry_lint: {path}: {violations}/{total} lines invalid");
+        return ExitCode::FAILURE;
+    }
+    let mut missing = false;
+    for kind in &required {
+        if !kinds.contains_key(kind) {
+            eprintln!("telemetry_lint: {path}: no `{kind}` events");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    let summary: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!(
+        "telemetry_lint: {path}: {total} events ok ({})",
+        summary.join(" ")
+    );
+    ExitCode::SUCCESS
+}

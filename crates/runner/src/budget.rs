@@ -51,7 +51,11 @@ impl Budget {
     /// Parses the budget from the process arguments (`--quick`).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--quick") {
-            eprintln!("[budget] --quick: reduced budgets, numbers will be rough");
+            hs_telemetry::log(
+                hs_telemetry::Level::Warn,
+                "budget",
+                "--quick: reduced budgets, numbers will be rough".to_string(),
+            );
             Budget::quick()
         } else {
             Budget::full()

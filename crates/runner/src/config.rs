@@ -8,6 +8,7 @@ use hs_core::HeadStartConfig;
 use hs_data::{Dataset, DatasetSpec};
 use hs_nn::{models, Network, NnError};
 use hs_pruning::{Apoz, AutoPruner, L1Norm, PruningCriterion, Random, ThiNet};
+use hs_telemetry::Level;
 use hs_tensor::Rng;
 
 use crate::budget::Budget;
@@ -296,6 +297,14 @@ pub struct RunnerConfig {
     pub checkpoint: Option<PathBuf>,
     /// Where to write the JSON run artifact.
     pub artifact: Option<PathBuf>,
+    /// Where to write the JSONL telemetry event stream (`--telemetry`).
+    pub telemetry: Option<PathBuf>,
+    /// Where to dump the Prometheus-text metrics snapshot when the run
+    /// ends (`--metrics`).
+    pub metrics: Option<PathBuf>,
+    /// Stderr verbosity (`--log-level`); `None` keeps the default
+    /// ([`Level::Info`]).
+    pub log_level: Option<Level>,
 }
 
 impl RunnerConfig {
@@ -312,6 +321,9 @@ impl RunnerConfig {
             method: Method::HeadStartLayers { sp: 2.0 },
             checkpoint: None,
             artifact: None,
+            telemetry: None,
+            metrics: None,
+            log_level: None,
         }
     }
 
@@ -371,6 +383,11 @@ impl RunnerConfig {
                 }
                 "checkpoint" => cfg.checkpoint = Some(PathBuf::from(value)),
                 "artifact" => cfg.artifact = Some(PathBuf::from(value)),
+                "telemetry" => cfg.telemetry = Some(PathBuf::from(value)),
+                "metrics" => cfg.metrics = Some(PathBuf::from(value)),
+                "log-level" => {
+                    cfg.log_level = Some(Level::parse(value).ok_or_else(|| bad("level"))?)
+                }
                 other => return Err(RunnerError::BadConfig(format!("unknown flag `--{other}`"))),
             }
             i += 2;
@@ -451,6 +468,27 @@ mod tests {
         assert!(RunnerConfig::from_args(&argv("--data mnist")).is_err());
         assert!(RunnerConfig::from_args(&argv("--model resnet999")).is_err());
         assert!(RunnerConfig::from_args(&argv("--seed")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--log-level loud")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let cfg = RunnerConfig::from_args(&argv(
+            "--telemetry events.jsonl --metrics run.prom --log-level debug",
+        ))
+        .unwrap();
+        assert_eq!(
+            cfg.telemetry.as_deref(),
+            Some(std::path::Path::new("events.jsonl"))
+        );
+        assert_eq!(
+            cfg.metrics.as_deref(),
+            Some(std::path::Path::new("run.prom"))
+        );
+        assert_eq!(cfg.log_level, Some(Level::Debug));
+        // Defaults stay off so library users never touch global sinks.
+        let plain = RunnerConfig::new("x");
+        assert!(plain.telemetry.is_none() && plain.metrics.is_none() && plain.log_level.is_none());
     }
 
     #[test]

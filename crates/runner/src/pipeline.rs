@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hs_core::{
-    prune_all_block_inners, BlockDecision, BlockPruner, HeadStartConfig, HeadStartPruner,
-    LayerPruner,
+    prune_all_block_inners_observed, BlockDecision, BlockPruner, HeadStartConfig, HeadStartPruner,
+    LayerPruner, TelemetryObserver,
 };
 use hs_data::{cached, Dataset};
 use hs_nn::accounting::{analyze, NetworkCost};
@@ -19,6 +19,7 @@ use hs_pruning::driver::{
     prune_whole_model, train_from_scratch, FineTune, LayerTrace, PruneOutcome,
 };
 use hs_pruning::ScoreContext;
+use hs_telemetry::{Event, EventKind, Level, TelemetryConfig};
 use hs_tensor::Rng;
 
 use crate::budget::Budget;
@@ -46,13 +47,19 @@ pub fn pretrain(
     let start = Instant::now();
     for epoch in 0..epochs {
         let stats = train::train_epoch(net, &mut opt, &ds.train_images, &ds.train_labels, 32, rng)?;
-        if epoch % 4 == 0 || epoch + 1 == epochs {
-            eprintln!(
-                "[pretrain] epoch {epoch:3}: loss {:.3} train-acc {:.3} ({:.1?})",
-                stats.loss,
-                stats.accuracy,
-                start.elapsed()
-            );
+        if (epoch % 4 == 0 || epoch + 1 == epochs) && hs_telemetry::enabled(Level::Info) {
+            // Elapsed time rides in `secs` (stripped by determinism
+            // tests), never in the message or fields.
+            let mut progress = Event::new(EventKind::Log, Level::Info, "pretrain")
+                .message(format!(
+                    "epoch {epoch:3}: loss {:.3} train-acc {:.3}",
+                    stats.loss, stats.accuracy
+                ))
+                .field("epoch", epoch)
+                .field("loss", stats.loss)
+                .field("train_accuracy", stats.accuracy);
+            progress.secs = Some(start.elapsed().as_secs_f64());
+            hs_telemetry::emit(progress);
         }
     }
     train::evaluate(net, &ds.test_images, &ds.test_labels, 64)
@@ -116,7 +123,7 @@ pub fn prepare(cfg: &RunnerConfig) -> Result<Prepared, RunnerError> {
         phase.record(&mut stages);
         if let Some(path) = &cfg.checkpoint {
             checkpoint::save(&net, path)?;
-            eprintln!("[{}] saved checkpoint to {}", cfg.label, path.display());
+            hs_telemetry::artifact(&cfg.label, path);
         }
     }
     let original_accuracy = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
@@ -193,8 +200,13 @@ impl Prepared {
                 let cfg = method
                     .headstart_config(&self.budget)
                     .expect("RL method has a config");
-                let (outcome, _decisions) =
-                    HeadStartPruner::new(cfg, ft).prune_model(&mut net, &self.ds, &mut rng)?;
+                let mut observer = TelemetryObserver::from_config(&cfg);
+                let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model_observed(
+                    &mut net,
+                    &self.ds,
+                    &mut rng,
+                    &mut observer,
+                )?;
                 let PruneOutcome {
                     traces: t,
                     final_accuracy: acc,
@@ -213,8 +225,14 @@ impl Prepared {
                     epochs: (self.budget.finetune_epochs * 3).max(1),
                     ..FineTune::default()
                 };
-                let (decision, acc) =
-                    BlockPruner::new(cfg).prune_and_finetune(&mut net, &self.ds, &ft, &mut rng)?;
+                let mut observer = TelemetryObserver::from_config(&cfg);
+                let (decision, acc) = BlockPruner::new(cfg).prune_and_finetune_observed(
+                    &mut net,
+                    &self.ds,
+                    &ft,
+                    &mut rng,
+                    &mut observer,
+                )?;
                 block_decision = Some(decision);
                 final_accuracy = acc;
             }
@@ -222,8 +240,15 @@ impl Prepared {
                 let cfg = method
                     .headstart_config(&self.budget)
                     .expect("RL method has a config");
-                let (_decisions, acc) =
-                    prune_all_block_inners(&cfg, &ft, &mut net, &self.ds, &mut rng)?;
+                let mut observer = TelemetryObserver::from_config(&cfg);
+                let (_decisions, acc) = prune_all_block_inners_observed(
+                    &cfg,
+                    &ft,
+                    &mut net,
+                    &self.ds,
+                    &mut rng,
+                    &mut observer,
+                )?;
                 final_accuracy = acc;
             }
             Method::Baseline { kind, keep_ratio } => {
@@ -474,10 +499,27 @@ impl PipelineReport {
 /// checkpoint-load → prune → fine-tune → eval, writing the JSON
 /// artifact when `cfg.artifact` is set.
 ///
+/// When `cfg.telemetry` or `cfg.log_level` is set the process-global
+/// telemetry sinks are (re)configured first; every stage then runs
+/// inside a root `pipeline` span, so stage spans in the JSONL stream
+/// nest as `pipeline/…`. When `cfg.metrics` is set the metrics registry
+/// is rendered to that path in Prometheus text format at the end.
+///
 /// # Errors
 ///
 /// Propagates every stage's errors.
 pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
+    if cfg.telemetry.is_some() || cfg.log_level.is_some() {
+        hs_telemetry::configure(&TelemetryConfig {
+            stderr_level: cfg.log_level,
+            jsonl: cfg.telemetry.clone(),
+        })?;
+    }
+    let pipeline_span = hs_telemetry::span!(
+        "pipeline",
+        "label" => cfg.label.clone(),
+        "method" => cfg.method.label(),
+    );
     let prepared = prepare(cfg)?;
     let method_run = prepared.run_method(&cfg.method, cfg.prune_seed)?;
     let mut stages = prepared.stages.clone();
@@ -496,7 +538,13 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
     };
     if let Some(path) = &cfg.artifact {
         write_json(path, &report.to_json())?;
-        eprintln!("[{}] wrote artifact to {}", cfg.label, path.display());
+        hs_telemetry::artifact(&cfg.label, path);
     }
+    pipeline_span.close();
+    if let Some(path) = &cfg.metrics {
+        std::fs::write(path, hs_telemetry::metrics::render_prometheus())?;
+        hs_telemetry::artifact(&cfg.label, path);
+    }
+    hs_telemetry::flush_metrics();
     Ok(report)
 }

@@ -4,7 +4,8 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
+
+use hs_telemetry::{Event, EventKind, Level, Span};
 
 /// Percentage formatting used across all tables.
 pub fn pct(x: f32) -> String {
@@ -20,28 +21,39 @@ pub struct StageTiming {
     pub seconds: f64,
 }
 
-/// A labelled stopwatch for experiment phases. [`Phase::end`] returns
-/// the elapsed seconds so pipelines can record a [`StageTiming`].
+/// A labelled stopwatch for experiment phases, backed by a telemetry
+/// span: nested phases produce `/`-joined span paths in the JSONL
+/// stream, and the start/done progress lines are `Level::Info` log
+/// events (rendered on stderr by default, as they always were).
+/// [`Phase::end`] returns the elapsed seconds so pipelines can record a
+/// [`StageTiming`].
 #[derive(Debug)]
 pub struct Phase {
     label: String,
-    start: Instant,
+    span: Span,
 }
 
 impl Phase {
     /// Starts timing a phase and logs it.
     pub fn start(label: &str) -> Self {
-        eprintln!("[phase] {label} ...");
+        hs_telemetry::log(Level::Info, "phase", format!("{label} ..."));
         Phase {
             label: label.to_string(),
-            start: Instant::now(),
+            span: hs_telemetry::span::enter(label),
         }
     }
 
     /// Ends the phase, logging and returning the elapsed seconds.
     pub fn end(self) -> f64 {
-        let seconds = self.start.elapsed().as_secs_f64();
-        eprintln!("[phase] {} done in {:.1}s", self.label, seconds);
+        let seconds = self.span.close();
+        if hs_telemetry::enabled(Level::Info) {
+            // The duration rides in the event's `secs` slot, not the
+            // message, so seeded runs emit identical JSONL prefixes.
+            let mut done = Event::new(EventKind::Log, Level::Info, "phase")
+                .message(format!("{} done", self.label));
+            done.secs = Some(seconds);
+            hs_telemetry::emit(done);
+        }
         seconds
     }
 

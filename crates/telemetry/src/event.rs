@@ -1,0 +1,289 @@
+//! The telemetry event: the one record type every sink consumes, and its
+//! single-line JSON rendering (the JSONL schema).
+//!
+//! # JSONL schema (version 1)
+//!
+//! Every line is one JSON object with these keys, in this order:
+//!
+//! ```json
+//! {"schema":1,"kind":"span","level":"debug","name":"pipeline/pretrain",
+//!  "message":"","fields":{"depth":1},"secs":0.42,"ts":1.37}
+//! ```
+//!
+//! - `schema` — integer schema version ([`SCHEMA_VERSION`]).
+//! - `kind` — `log` | `span` | `episode` | `metric` | `artifact`.
+//! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
+//! - `name` — log target, span path (`/`-joined), metric name, or
+//!   episode context.
+//! - `message` — human-readable text (may be empty).
+//! - `fields` — flat object of structured payload values.
+//! - `secs` — wall-clock duration, present on `span` events only.
+//! - `ts` — seconds since the process's telemetry epoch.
+//!
+//! `secs` and `ts` are deliberately rendered **last** so determinism
+//! tests can compare the line prefix before the first wall-clock value.
+
+use std::fmt::Write as _;
+
+use crate::level::Level;
+
+/// Version stamped into every event line. Bump when the line layout or
+/// key semantics change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// What an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A leveled log line.
+    Log,
+    /// A closed span (name = `/`-joined path, `secs` = duration).
+    Span,
+    /// One REINFORCE episode (reward/ACC/SPD/sparsity fields).
+    Episode,
+    /// One metric's state at a metrics flush.
+    Metric,
+    /// An artifact (checkpoint, report, metrics dump) written to disk.
+    Artifact,
+}
+
+impl EventKind {
+    /// The `kind` string in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Log => "log",
+            EventKind::Span => "span",
+            EventKind::Episode => "episode",
+            EventKind::Metric => "metric",
+            EventKind::Artifact => "artifact",
+        }
+    }
+
+    /// Every kind (used by validators).
+    pub fn all() -> [EventKind; 5] {
+        [
+            EventKind::Log,
+            EventKind::Span,
+            EventKind::Episode,
+            EventKind::Metric,
+            EventKind::Artifact,
+        ]
+    }
+}
+
+/// A structured payload value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A finite (or not — rendered `null`) float.
+    F64(f64),
+    /// An unsigned integer (counters, counts, indices).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $cast:ty),+ $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $cast)
+            }
+        })+
+    };
+}
+
+field_from!(
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// Ordered structured payload of an event.
+pub type Fields = Vec<(String, FieldValue)>;
+
+/// One telemetry record. Built by the span/log/metrics front-ends,
+/// stamped with `ts` by the dispatcher, consumed by sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What the event describes.
+    pub kind: EventKind,
+    /// Severity / verbosity.
+    pub level: Level,
+    /// Target / span path / metric name.
+    pub name: String,
+    /// Human-readable text (may be empty).
+    pub message: String,
+    /// Structured payload, rendered as a flat JSON object.
+    pub fields: Fields,
+    /// Wall-clock duration in seconds; `Some` on span events.
+    pub secs: Option<f64>,
+    /// Seconds since the telemetry epoch, stamped at emission.
+    pub ts: f64,
+}
+
+impl Event {
+    /// A bare event with empty message and fields.
+    pub fn new(kind: EventKind, level: Level, name: impl Into<String>) -> Event {
+        Event {
+            kind,
+            level,
+            name: name.into(),
+            message: String::new(),
+            fields: Vec::new(),
+            secs: None,
+            ts: 0.0,
+        }
+    }
+
+    /// Builder: sets the message.
+    #[must_use]
+    pub fn message(mut self, message: impl Into<String>) -> Event {
+        self.message = message.into();
+        self
+    }
+
+    /// Builder: appends one field.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Renders the event as one line of schema-version-1 JSON (no
+    /// trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"schema\":{SCHEMA_VERSION},");
+        let _ = write!(out, "\"kind\":\"{}\",", self.kind.as_str());
+        let _ = write!(out, "\"level\":\"{}\",", self.level.as_str());
+        out.push_str("\"name\":");
+        write_json_str(&mut out, &self.name);
+        out.push_str(",\"message\":");
+        write_json_str(&mut out, &self.message);
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, key);
+            out.push(':');
+            write_field(&mut out, value);
+        }
+        out.push('}');
+        if let Some(secs) = self.secs {
+            out.push_str(",\"secs\":");
+            write_json_num(&mut out, secs);
+        }
+        out.push_str(",\"ts\":");
+        write_json_num(&mut out, self.ts);
+        out.push('}');
+        out
+    }
+}
+
+fn write_field(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::F64(v) => write_json_num(out, *v),
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        FieldValue::Str(v) => write_json_str(out, v),
+    }
+}
+
+/// Writes a float as JSON: integral finite values render without a
+/// fraction, non-finite values render as `null`.
+fn write_json_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Writes a JSON string literal with the escapes the schema validator
+/// understands.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_schema_ordered_line() {
+        let mut e = Event::new(EventKind::Span, Level::Debug, "pipeline/pretrain")
+            .field("depth", 1u64)
+            .field("ok", true);
+        e.secs = Some(0.5);
+        e.ts = 2.0;
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"schema\":1,\"kind\":\"span\",\"level\":\"debug\","));
+        assert!(line.contains("\"fields\":{\"depth\":1,\"ok\":true}"));
+        assert!(line.ends_with(",\"secs\":0.5,\"ts\":2}"));
+    }
+
+    #[test]
+    fn escapes_strings_and_nan() {
+        let e = Event::new(EventKind::Log, Level::Info, "t")
+            .message("a \"b\"\nc")
+            .field("x", f64::NAN);
+        let line = e.to_json_line();
+        assert!(line.contains("\\\"b\\\"\\nc"));
+        assert!(line.contains("\"x\":null"));
+    }
+
+    #[test]
+    fn field_conversions_cover_common_types() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(0.5f32), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("s"), FieldValue::Str("s".into()));
+    }
+}

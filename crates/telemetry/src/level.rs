@@ -1,0 +1,84 @@
+//! Verbosity levels, ordered from most to least severe. A sink at level
+//! `L` accepts every event whose level is `<= L` in this ordering, so
+//! `Level::Trace` accepts everything.
+
+use std::fmt;
+
+/// Event severity / verbosity. The numeric representation increases with
+/// verbosity so `event_level as u8 <= sink_level as u8` is the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Suspicious conditions the run survives.
+    Warn = 1,
+    /// Progress reporting (the default stderr verbosity).
+    Info = 2,
+    /// Per-episode / per-span detail.
+    Debug = 3,
+    /// Everything, including per-kernel noise.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lower-case name, as rendered in events and parsed from the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a CLI-style level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Every level, in severity order (used by validators).
+    pub fn all() -> [Level; 5] {
+        [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ]
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for level in Level::all() {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn ordering_is_verbosity() {
+        assert!((Level::Error as u8) < (Level::Trace as u8));
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -1,0 +1,572 @@
+//! Process-global metrics registry: counters, gauges and fixed-bucket
+//! histograms behind relaxed atomics, cheap enough to record from the
+//! `hs-tensor` worker pool's kernels on any thread.
+//!
+//! Metrics are registered by name on first use and live for the process
+//! lifetime (`&'static` handles); cache the handle in a `OnceLock` at hot
+//! call sites so the registry lock is taken once:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! use hs_telemetry::metrics::{self, Counter};
+//!
+//! fn calls() -> &'static Counter {
+//!     static C: OnceLock<&'static Counter> = OnceLock::new();
+//!     C.get_or_init(|| metrics::counter("hs_doc_calls_total"))
+//! }
+//! calls().inc();
+//! ```
+//!
+//! Naming convention: `hs_<crate>_<what>[_total|_bytes|_secs]`, e.g.
+//! `hs_tensor_gemm_calls_total`. Rendered either as Prometheus text
+//! format ([`render_prometheus`]) or as one JSONL event per metric at a
+//! metrics flush ([`crate::flush_metrics`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::event::{Event, EventKind, FieldValue};
+use crate::level::Level;
+
+/// A monotonically increasing `u64`.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed; ordering across metrics is not meaningful).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-write-wins `f64` (stored as bits in an `AtomicU64`), with a
+/// compare-and-swap `record_max` for high-water marks.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    pub fn record_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A histogram over fixed, ascending bucket upper bounds. Observation is
+/// a binary search plus three relaxed atomic updates; bounds are fixed at
+/// registration so concurrent observers never rebalance.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    /// Ascending upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `len == bounds.len() + 1`.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bucket_index(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS; histograms record at span/kernel-batch rate,
+        // so contention is negligible.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Index of the bucket that counts `v`: the first bound `>= v`, or
+    /// the final `+Inf` bucket.
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`0.0 <= q <= 1.0`). Returns `0.0` when empty and the largest
+    /// finite bound when the quantile falls in the `+Inf` bucket — a
+    /// bucket-resolution estimate, not an exact order statistic.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.bounds.last().copied().unwrap_or(f64::INFINITY)
+                };
+            }
+        }
+        self.bounds.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Ascending finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Non-cumulative per-bucket counts (`bounds().len() + 1` entries,
+    /// last is the `+Inf` bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Log-spaced seconds buckets (1 µs → 10 s) for kernel and stage timing
+/// histograms.
+pub const TIME_BUCKETS_SECS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+#[derive(Debug)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn name(&self) -> &'static str {
+        match self {
+            Metric::Counter(c) => c.name,
+            Metric::Gauge(g) => g.name,
+            Metric::Histogram(h) => h.name,
+        }
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Metric>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Metric>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Returns the counter registered under `name`, creating it on first
+/// use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for metric in reg.iter() {
+        if metric.name() == name {
+            match metric {
+                Metric::Counter(c) => return c,
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            }
+        }
+    }
+    let handle: &'static Counter = Box::leak(Box::new(Counter {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        value: AtomicU64::new(0),
+    }));
+    reg.push(Metric::Counter(handle));
+    handle
+}
+
+/// Returns the gauge registered under `name`, creating it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for metric in reg.iter() {
+        if metric.name() == name {
+            match metric {
+                Metric::Gauge(g) => return g,
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            }
+        }
+    }
+    let handle: &'static Gauge = Box::leak(Box::new(Gauge {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        bits: AtomicU64::new(0.0f64.to_bits()),
+    }));
+    reg.push(Metric::Gauge(handle));
+    handle
+}
+
+/// Returns the histogram registered under `name`, creating it with the
+/// given ascending bucket `bounds` on first use. Later calls ignore
+/// `bounds` (the first registration wins).
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty or not strictly ascending, or if `name`
+/// is already registered as a different metric kind.
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for metric in reg.iter() {
+        if metric.name() == name {
+            match metric {
+                Metric::Histogram(h) => return h,
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            }
+        }
+    }
+    assert!(!bounds.is_empty(), "histogram `{name}` needs bounds");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "histogram `{name}` bounds must be strictly ascending"
+    );
+    let handle: &'static Histogram = Box::leak(Box::new(Histogram {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        bounds: bounds.to_vec(),
+        buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+        sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        count: AtomicU64::new(0),
+    }));
+    reg.push(Metric::Histogram(handle));
+    handle
+}
+
+/// Zeroes every registered metric (bench/test hook — registrations and
+/// handles stay valid).
+pub fn reset() {
+    let reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for metric in reg.iter() {
+        match metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.set(0.0),
+            Metric::Histogram(h) => {
+                for bucket in &h.buckets {
+                    bucket.store(0, Ordering::Relaxed);
+                }
+                h.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+                h.count.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One metric's state, as captured by [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's name and value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: u64,
+    },
+    /// A gauge's name and value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A histogram's name and summary.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// `(upper_bound, non_cumulative_count)` per finite bucket, then
+        /// `(+Inf, count)`.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// Captures every registered metric, in registration order.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    reg.iter()
+        .map(|metric| match metric {
+            Metric::Counter(c) => MetricSnapshot::Counter {
+                name: c.name.to_string(),
+                value: c.get(),
+            },
+            Metric::Gauge(g) => MetricSnapshot::Gauge {
+                name: g.name.to_string(),
+                value: g.get(),
+            },
+            Metric::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let mut buckets: Vec<(f64, u64)> = h
+                    .bounds
+                    .iter()
+                    .copied()
+                    .zip(counts.iter().copied())
+                    .collect();
+                buckets.push((f64::INFINITY, *counts.last().unwrap_or(&0)));
+                MetricSnapshot::Histogram {
+                    name: h.name.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (counters with `# TYPE ... counter`, histograms with
+/// cumulative `_bucket{le=...}` series plus `_sum` / `_count`).
+pub fn render_prometheus() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for snap in snapshot() {
+        match snap {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricSnapshot::Histogram {
+                name,
+                count,
+                sum,
+                buckets,
+            } => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for (bound, bucket_count) in &buckets[..buckets.len().saturating_sub(1)] {
+                    cum += bucket_count;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{name}_sum {sum}");
+                let _ = writeln!(out, "{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Builds one [`EventKind::Metric`] event per registered metric (the
+/// JSONL side of a metrics flush). Used by [`crate::flush_metrics`].
+pub fn flush_events() -> Vec<Event> {
+    snapshot()
+        .into_iter()
+        .map(|snap| {
+            let mut event = Event::new(EventKind::Metric, Level::Debug, snap.name());
+            match snap {
+                MetricSnapshot::Counter { value, .. } => {
+                    event.fields.push(("metric_kind".into(), "counter".into()));
+                    event.fields.push(("value".into(), FieldValue::U64(value)));
+                }
+                MetricSnapshot::Gauge { value, .. } => {
+                    event.fields.push(("metric_kind".into(), "gauge".into()));
+                    event.fields.push(("value".into(), FieldValue::F64(value)));
+                }
+                MetricSnapshot::Histogram { count, sum, .. } => {
+                    event
+                        .fields
+                        .push(("metric_kind".into(), "histogram".into()));
+                    event.fields.push(("count".into(), FieldValue::U64(count)));
+                    event.fields.push(("sum".into(), FieldValue::F64(sum)));
+                }
+            }
+            event
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = counter("hs_test_counter_total");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        assert!(std::ptr::eq(c, counter("hs_test_counter_total")));
+
+        let g = gauge("hs_test_gauge");
+        g.set(2.5);
+        g.record_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.record_max(7.25);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = histogram("hs_test_hist_bounds", &[1.0, 2.0, 4.0]);
+        // v <= bound lands in that bucket; v > last bound overflows.
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0, "boundary value belongs below");
+        assert_eq!(h.bucket_index(1.0001), 1);
+        assert_eq!(h.bucket_index(2.0), 1);
+        assert_eq!(h.bucket_index(4.0), 2);
+        assert_eq!(h.bucket_index(4.1), 3, "overflow lands in +Inf bucket");
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+        assert!((h.sum() - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_buckets() {
+        let h = histogram("hs_test_hist_quant", &[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe(0.5); // bucket le=1
+        }
+        for _ in 0..10 {
+            h.observe(50.0); // bucket le=100
+        }
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.89), 1.0);
+        assert_eq!(h.quantile(0.95), 100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        let empty = histogram("hs_test_hist_empty", &[1.0]);
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let c = counter("hs_test_prom_total");
+        c.add(3);
+        let h = histogram("hs_test_prom_secs", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE hs_test_prom_total counter"));
+        assert!(text.contains("hs_test_prom_secs_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("hs_test_prom_secs_bucket{le=\"1\"} 2"));
+        assert!(text.contains("hs_test_prom_secs_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("hs_test_prom_secs_count 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_rejected() {
+        let _ = counter("hs_test_conflict");
+        let _ = gauge("hs_test_conflict");
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let c = counter("hs_test_concurrent_total");
+        let before = c.get();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), before + 8000);
+    }
+}

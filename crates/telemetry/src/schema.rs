@@ -1,0 +1,358 @@
+//! Schema validation for the JSONL event stream: a minimal JSON parser
+//! (no external dependencies — the workspace builds fully offline) plus
+//! [`validate_line`], used by the test suite and the `telemetry_lint`
+//! CI binary to check emitted traces against schema version 1.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventKind;
+use crate::event::SCHEMA_VERSION;
+use crate::level::Level;
+
+/// A parsed JSON value. Only what the event schema needs: objects keep
+/// sorted keys, numbers are `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order not preserved; the schema's key *order* is
+    /// checked on the raw line, not the parsed value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value from `input` (which must contain nothing else).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad utf8".to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| "bad utf8 in \\u".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        // Surrogates never appear in our own output; map
+                        // them to U+FFFD rather than decoding pairs.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "bad utf8 in string".to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Fields every `episode` event must carry (what the paper's training
+/// loop logs per episode).
+pub const EPISODE_REQUIRED_FIELDS: [&str; 5] = ["reward", "acc", "spd", "l0", "baseline"];
+
+/// Validates one JSONL line against schema version 1.
+///
+/// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
+/// `kind` and `level` are known; `name` / `message` are strings;
+/// `fields` is a flat object; `ts` is a number; `span` events carry a
+/// numeric `secs`; `episode` events carry [`EPISODE_REQUIRED_FIELDS`].
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let value = parse(line)?;
+    let obj = value.as_obj().ok_or("line is not a JSON object")?;
+
+    let schema = obj
+        .get("schema")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `schema`")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!("unknown schema version {schema}"));
+    }
+
+    let kind = obj
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing string `kind`")?;
+    if !EventKind::all().iter().any(|k| k.as_str() == kind) {
+        return Err(format!("unknown kind `{kind}`"));
+    }
+
+    let level = obj
+        .get("level")
+        .and_then(Json::as_str)
+        .ok_or("missing string `level`")?;
+    if Level::parse(level).is_none() {
+        return Err(format!("unknown level `{level}`"));
+    }
+
+    obj.get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing string `name`")?;
+    obj.get("message")
+        .and_then(Json::as_str)
+        .ok_or("missing string `message`")?;
+
+    let fields = obj
+        .get("fields")
+        .and_then(Json::as_obj)
+        .ok_or("missing object `fields`")?;
+    for (key, value) in fields {
+        if matches!(value, Json::Obj(_) | Json::Arr(_)) {
+            return Err(format!("field `{key}` is not a flat value"));
+        }
+    }
+
+    obj.get("ts")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `ts`")?;
+
+    if kind == "span" {
+        obj.get("secs")
+            .and_then(Json::as_num)
+            .ok_or("span event missing numeric `secs`")?;
+    }
+    if kind == "episode" {
+        for required in EPISODE_REQUIRED_FIELDS {
+            if !fields.contains_key(required) {
+                return Err(format!("episode event missing field `{required}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse(r#"{"a":[1,-2.5,true,null],"b":{"c":"x\n\"y\""}}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(
+            obj["a"],
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Bool(true),
+                Json::Null
+            ])
+        );
+        assert_eq!(
+            obj["b"].as_obj().unwrap()["c"],
+            Json::Str("x\n\"y\"".into())
+        );
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn emitted_events_validate() {
+        let mut span = Event::new(EventKind::Span, Level::Debug, "pipeline/pretrain");
+        span.secs = Some(0.25);
+        validate_line(&span.to_json_line()).unwrap();
+
+        let log = Event::new(EventKind::Log, Level::Info, "runner")
+            .message("budget \"check\" passed")
+            .field("flops", 1.5e9);
+        validate_line(&log.to_json_line()).unwrap();
+
+        let episode = Event::new(EventKind::Episode, Level::Debug, "conv:0")
+            .field("reward", 0.4)
+            .field("acc", 0.5)
+            .field("spd", 0.1)
+            .field("l0", 12u64)
+            .field("baseline", 0.3);
+        validate_line(&episode.to_json_line()).unwrap();
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line(r#"{"schema":2,"kind":"log"}"#)
+            .unwrap_err()
+            .contains("schema"));
+        let bad_kind = r#"{"schema":1,"kind":"blip","level":"info","name":"n","message":"","fields":{},"ts":0}"#;
+        assert!(validate_line(bad_kind).unwrap_err().contains("kind"));
+        let span_no_secs = r#"{"schema":1,"kind":"span","level":"debug","name":"n","message":"","fields":{},"ts":0}"#;
+        assert!(validate_line(span_no_secs).unwrap_err().contains("secs"));
+        let episode_missing = r#"{"schema":1,"kind":"episode","level":"debug","name":"n","message":"","fields":{"reward":1},"ts":0}"#;
+        assert!(validate_line(episode_missing).unwrap_err().contains("acc"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Pluggable event sinks: human-readable stderr (the default) and a
+//! JSONL event-stream writer. The dispatcher in the crate root fans each
+//! event out to every sink whose level accepts it.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::{Event, EventKind};
+use crate::level::Level;
+
+/// Consumes events. Implementations must be cheap to call at episode
+/// rate; kernel-rate data goes through the metrics registry instead.
+pub trait Sink: Send + std::fmt::Debug {
+    /// Most verbose level this sink accepts.
+    fn level(&self) -> Level;
+
+    /// Handles one event (already filtered to `level()`).
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes buffered output.
+    fn flush(&mut self) {}
+}
+
+/// The default sink: renders events as the `[target] message` stderr
+/// lines the CLI always printed. Span closes and episodes only appear at
+/// [`Level::Debug`] and below, keeping the default output unchanged.
+#[derive(Debug, Clone)]
+pub struct StderrSink {
+    level: Level,
+}
+
+impl StderrSink {
+    /// Creates a stderr sink at the given verbosity.
+    pub fn new(level: Level) -> StderrSink {
+        StderrSink { level }
+    }
+}
+
+impl Sink for StderrSink {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn emit(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::Log | EventKind::Artifact => {
+                // Durations ride in `secs` (never the message) so JSONL
+                // stays deterministic; surface them here for humans.
+                if let Some(secs) = event.secs {
+                    eprintln!("[{}] {} in {secs:.1}s", event.name, event.message);
+                } else {
+                    eprintln!("[{}] {}", event.name, event.message);
+                }
+            }
+            EventKind::Span => {
+                let secs = event.secs.unwrap_or(0.0);
+                eprintln!("[span] {} done in {secs:.2}s", event.name);
+            }
+            EventKind::Episode | EventKind::Metric => {
+                let fields: Vec<String> = event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect();
+                eprintln!("[{}] {}", event.name, fields.join(" "));
+            }
+        }
+    }
+}
+
+/// Writes one [`Event::to_json_line`] per event to a file. Accepts every
+/// level: filtering a JSONL trace is the reader's job.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn level(&self) -> Level {
+        Level::Trace
+    }
+
+    fn emit(&mut self, event: &Event) {
+        // A failed write must not take down the pipeline; drop the line.
+        let _ = writeln!(self.out, "{}", event.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("hs_telemetry_sink_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&Event::new(EventKind::Log, Level::Info, "a").message("one"));
+            sink.emit(&Event::new(EventKind::Log, Level::Info, "b").message("two"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("{\"schema\":1,")));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,156 @@
+//! Nested wall-clock spans. Entering a span pushes its name onto a
+//! thread-local stack; closing (or dropping) it emits one
+//! [`EventKind::Span`] event whose `name` is the `/`-joined path of every
+//! open ancestor — `pipeline/prune:HeadStart/finetune` — so a JSONL
+//! reader can reconstruct the stage tree without matching open/close
+//! pairs.
+//!
+//! Timing always happens ([`Span::close`] returns the elapsed seconds,
+//! which the runner records as stage timings); the *event* is only built
+//! when some sink accepts [`Level::Debug`].
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, FieldValue, Fields};
+use crate::level::Level;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Close it explicitly with [`Span::close`] to get the
+/// elapsed seconds, or let it drop at scope end.
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    depth: usize,
+    start: Instant,
+    fields: Fields,
+    closed: bool,
+}
+
+/// Opens a span named `name` nested under any spans already open on this
+/// thread. Prefer the [`span!`](crate::span!) macro, which also attaches
+/// fields.
+pub fn enter(name: &str) -> Span {
+    let (path, depth) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        let path = if let Some(parent) = stack.last() {
+            format!("{parent}/{name}")
+        } else {
+            name.to_string()
+        };
+        stack.push(path.clone());
+        (path, depth)
+    });
+    Span {
+        path,
+        depth,
+        start: Instant::now(),
+        fields: Vec::new(),
+        closed: false,
+    }
+}
+
+impl Span {
+    /// The `/`-joined path of this span (including its own name).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Attaches a structured field, emitted with the close event.
+    pub fn field(&mut self, key: impl Into<String>, value: impl Into<FieldValue>) {
+        self.fields.push((key.into(), value.into()));
+    }
+
+    /// Closes the span now and returns the elapsed wall-clock seconds.
+    pub fn close(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        self.closed = true;
+        let secs = self.start.elapsed().as_secs_f64();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guard-style usage is LIFO; truncating to our depth also
+            // recovers from spans leaked by a panic further in.
+            stack.truncate(self.depth);
+        });
+        if crate::enabled(Level::Debug) {
+            let mut event = Event::new(EventKind::Span, Level::Debug, self.path.clone());
+            event.fields = std::mem::take(&mut self.fields);
+            event
+                .fields
+                .insert(0, ("depth".to_string(), FieldValue::U64(self.depth as u64)));
+            event.secs = Some(secs);
+            crate::emit(event);
+        }
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.finish();
+        }
+    }
+}
+
+/// Opens a [`Span`], optionally attaching fields:
+/// `span!("finetune", "epochs" => 3usize)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+    ($name:expr, $($key:expr => $value:expr),+ $(,)?) => {{
+        let mut s = $crate::span::enter($name);
+        $( s.field($key, $value); )+
+        s
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_nest_and_unwind() {
+        let outer = enter("outer");
+        assert_eq!(outer.path(), "outer");
+        {
+            let inner = enter("inner");
+            assert_eq!(inner.path(), "outer/inner");
+            let secs = inner.close();
+            assert!(secs >= 0.0);
+        }
+        let sibling = enter("sibling");
+        assert_eq!(sibling.path(), "outer/sibling");
+        drop(sibling);
+        drop(outer);
+        let fresh = enter("fresh");
+        assert_eq!(fresh.path(), "fresh");
+    }
+
+    #[test]
+    fn macro_attaches_fields() {
+        let s = crate::span!("macro-span", "n" => 2usize, "label" => "x");
+        assert_eq!(s.path(), "macro-span");
+        assert_eq!(s.fields.len(), 2);
+    }
+
+    #[test]
+    fn dropping_outer_before_inner_recovers() {
+        let outer = enter("a");
+        let inner = enter("a-child");
+        drop(outer); // truncates to depth 0
+        drop(inner); // must not panic
+        let next = enter("b");
+        assert_eq!(next.path(), "b");
+    }
+}

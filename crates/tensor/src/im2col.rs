@@ -16,6 +16,7 @@
 use crate::error::TensorError;
 use crate::pool;
 use crate::shape::Shape;
+use crate::telem;
 use crate::tensor::Tensor;
 
 /// Lowered matrices smaller than this many elements are not worth pool
@@ -198,6 +199,8 @@ pub fn im2col_into(input: &[f32], out: &mut [f32], geom: &Conv2dGeometry) {
         geom.col_len(),
         "im2col_into: output length mismatch"
     );
+    telem::im2col_calls().inc();
+    telem::im2col_bytes().add(std::mem::size_of_val(out) as u64);
     out.fill(0.0);
     let plane = geom.in_h * geom.in_w;
     let rows_per_c = geom.kernel * geom.kernel * geom.col_cols();
@@ -244,6 +247,7 @@ pub fn col2im_into(col: &[f32], out: &mut [f32], geom: &Conv2dGeometry, accumula
         geom.input_len(),
         "col2im_into: output length mismatch"
     );
+    telem::col2im_calls().inc();
     if !accumulate {
         out.fill(0.0);
     }

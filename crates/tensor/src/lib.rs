@@ -34,6 +34,7 @@ mod ops;
 pub mod pool;
 mod rng;
 mod shape;
+mod telem;
 mod tensor;
 pub mod workspace;
 

@@ -22,6 +22,7 @@
 use crate::error::TensorError;
 use crate::pool;
 use crate::shape::Shape;
+use crate::telem;
 use crate::tensor::Tensor;
 use crate::workspace::with_scratch;
 
@@ -315,10 +316,15 @@ pub fn gemm_ex(
         return;
     }
     let work = m * k * n;
+    telem::gemm_calls().inc();
+    telem::gemm_flops().add(2 * work as u64);
     if work < SMALL_THRESHOLD {
+        // No timing here: two clock reads would be measurable against a
+        // few thousand multiply-accumulates.
         gemm_small(out, a, b, m, k, n, trans_a, trans_b);
         return;
     }
+    let timer = std::time::Instant::now();
     // Serial problems use one row block covering all of `m`; because MC is
     // a multiple of MR the strip decomposition (and hence every float
     // result) is identical either way.
@@ -350,6 +356,7 @@ pub fn gemm_ex(
             });
         }
     }
+    telem::gemm_secs().observe(timer.elapsed().as_secs_f64());
 }
 
 impl Tensor {

@@ -137,6 +137,8 @@ pub fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     if tasks.is_empty() {
         return;
     }
+    crate::telem::pool_batches().inc();
+    crate::telem::pool_tasks().add(tasks.len() as u64);
     let inline = tasks.len() == 1 || IS_WORKER.with(|w| w.get());
     if inline || pool().workers == 0 {
         // Same panic behavior as the pooled path: run every task, then

@@ -23,6 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 /// Number of checkout requests served from an existing buffer.
 static REUSES: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently checked out across all threads; its peak feeds the
+/// `hs_tensor_scratch_highwater_bytes` gauge.
+static OUTSTANDING_BYTES: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static ARENA: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
@@ -59,7 +62,7 @@ fn checkout(len: usize) -> Vec<f32> {
         }
         best.map(|(i, _)| arena.swap_remove(i))
     });
-    match hit {
+    let buf = match hit {
         Some(mut buf) => {
             REUSES.fetch_add(1, Ordering::Relaxed);
             // SAFETY-free resize: set_len via resize keeps it simple; the
@@ -73,10 +76,16 @@ fn checkout(len: usize) -> Vec<f32> {
             buf.resize(len, 0.0);
             buf
         }
-    }
+    };
+    let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+    let now = OUTSTANDING_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    crate::telem::scratch_highwater_bytes().record_max(now as f64);
+    buf
 }
 
 fn give_back(buf: Vec<f32>) {
+    let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+    OUTSTANDING_BYTES.fetch_sub(bytes, Ordering::Relaxed);
     const MAX_POOLED: usize = 16;
     ARENA.with(|arena| {
         let mut arena = arena.borrow_mut();

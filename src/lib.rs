@@ -4,6 +4,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`telemetry`] — zero-dependency structured tracing and metrics:
+//!   nested spans, a process-global counter/gauge/histogram registry,
+//!   and JSONL / Prometheus-text sinks;
 //! * [`tensor`] — dense f32 tensors, matmul, im2col, seeded RNG;
 //! * [`nn`] — layers, backprop, optimizers, VGG/ResNet model zoo,
 //!   parameter/FLOP accounting, channel masking and surgery;
@@ -52,4 +55,5 @@ pub use hs_gpusim as gpusim;
 pub use hs_nn as nn;
 pub use hs_pruning as pruning;
 pub use hs_runner as runner;
+pub use hs_telemetry as telemetry;
 pub use hs_tensor as tensor;

@@ -1,0 +1,145 @@
+//! End-to-end telemetry tests: a smoke pipeline run must emit a
+//! schema-valid JSONL event stream with per-episode events and nested
+//! stage spans, dump non-trivial kernel metrics in Prometheus text
+//! format, and — run twice from the same seeds — produce identical
+//! event sequences modulo wall-clock values.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use headstart::runner::{run, Budget, RunnerConfig};
+use headstart::telemetry::schema::{parse, validate_line, Json};
+
+/// Telemetry sinks are process-global; serialize every test that
+/// reconfigures them.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir.join(name)
+}
+
+fn smoke_config(label: &str, jsonl: &Path) -> RunnerConfig {
+    let mut cfg = RunnerConfig::new(label);
+    cfg.budget = Budget::smoke();
+    cfg.telemetry = Some(jsonl.to_path_buf());
+    cfg
+}
+
+fn kind_of(line: &str) -> String {
+    parse(line)
+        .expect("line parses")
+        .as_obj()
+        .and_then(|o| o.get("kind").and_then(Json::as_str).map(String::from))
+        .expect("line has kind")
+}
+
+fn name_of(line: &str) -> String {
+    parse(line)
+        .expect("line parses")
+        .as_obj()
+        .and_then(|o| o.get("name").and_then(Json::as_str).map(String::from))
+        .expect("line has name")
+}
+
+#[test]
+fn smoke_run_emits_valid_events_nested_spans_and_metrics() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let jsonl = tmp("telemetry_smoke.jsonl");
+    let prom = tmp("telemetry_smoke.prom");
+    let mut cfg = smoke_config("telemetry-smoke", &jsonl);
+    cfg.metrics = Some(prom.clone());
+    run(&cfg).expect("pipeline");
+
+    let text = std::fs::read_to_string(&jsonl).expect("jsonl written");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "telemetry stream is non-empty");
+    for line in &lines {
+        validate_line(line).unwrap_or_else(|e| panic!("invalid event `{line}`: {e}"));
+    }
+
+    // Per-episode events from the REINFORCE loop (TelemetryObserver).
+    let episodes: Vec<&&str> = lines.iter().filter(|l| kind_of(l) == "episode").collect();
+    assert!(!episodes.is_empty(), "episode events emitted");
+    assert!(
+        episodes.iter().all(|l| name_of(l).starts_with("layer:")),
+        "episodes attributed to layers"
+    );
+
+    // Stage spans nest under the root pipeline span.
+    let span_names: Vec<String> = lines
+        .iter()
+        .filter(|l| kind_of(l) == "span")
+        .map(|l| name_of(l))
+        .collect();
+    assert!(
+        span_names.iter().any(|n| n == "pipeline"),
+        "root span closed: {span_names:?}"
+    );
+    assert!(
+        span_names
+            .iter()
+            .any(|n| n.starts_with("pipeline/") && n.contains("pretrain")),
+        "pretrain stage nested under pipeline: {span_names:?}"
+    );
+    assert!(
+        span_names.iter().any(|n| n.starts_with("pipeline/prune:")),
+        "prune stage nested under pipeline: {span_names:?}"
+    );
+
+    // The Prometheus dump exists and the kernels actually counted work.
+    let prom_text = std::fs::read_to_string(&prom).expect("prometheus dump written");
+    let gemm_line = prom_text
+        .lines()
+        .find(|l| l.starts_with("hs_tensor_gemm_calls_total "))
+        .unwrap_or_else(|| panic!("gemm counter missing:\n{prom_text}"));
+    let calls: f64 = gemm_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .expect("counter value");
+    assert!(calls > 0.0, "gemm calls counted: {gemm_line}");
+    assert!(
+        prom_text.contains("# TYPE hs_core_inference_reward histogram"),
+        "reward histogram rendered"
+    );
+}
+
+/// The stable prefix of a JSONL event line: everything before the first
+/// wall-clock value (`secs`/`ts` are rendered last by construction).
+/// `metric` events are excluded — the registry is process-global and
+/// cumulative, so their values depend on whatever ran earlier.
+fn comparable(line: &str) -> Option<String> {
+    if line.is_empty() || kind_of(line) == "metric" {
+        return None;
+    }
+    let cut = line
+        .find(",\"secs\":")
+        .or_else(|| line.find(",\"ts\":"))
+        .unwrap_or(line.len());
+    Some(line[..cut].to_string())
+}
+
+#[test]
+fn seeded_runs_emit_identical_event_streams() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let paths = [tmp("telemetry_det_a.jsonl"), tmp("telemetry_det_b.jsonl")];
+    let mut streams = Vec::new();
+    for jsonl in &paths {
+        let cfg = smoke_config("telemetry-det", jsonl);
+        run(&cfg).expect("pipeline");
+        let text = std::fs::read_to_string(jsonl).expect("jsonl written");
+        let events: Vec<String> = text.lines().filter_map(comparable).collect();
+        assert!(!events.is_empty());
+        streams.push(events);
+    }
+    assert_eq!(
+        streams[0].len(),
+        streams[1].len(),
+        "seeded runs emit the same number of events"
+    );
+    for (i, (a, b)) in streams[0].iter().zip(&streams[1]).enumerate() {
+        assert_eq!(a, b, "event {i} differs between seeded runs");
+    }
+}
