@@ -292,6 +292,7 @@ mod tests {
                 episodes: 1,
                 reward_history: vec![],
                 convergence: ConvergenceReason::EpisodeBudget,
+                resets: 0,
             },
             compression_ratio: 1.0,
         };

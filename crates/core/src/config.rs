@@ -2,6 +2,68 @@
 
 use crate::error::HeadStartError;
 
+/// Divergence-guard policy for the episode engine.
+///
+/// REINFORCE on a misconfigured reward can diverge — NaN/Inf rewards
+/// from a broken evaluation, exploding magnitudes, or a policy that
+/// saturates to certainty before learning anything. The guard watches
+/// every episode for these symptoms; on detection the engine resets the
+/// head-start policy and retries the unit, and after `max_resets`
+/// failed retries falls back to a deterministic keep-everything
+/// inception instead of aborting the whole pipeline run.
+///
+/// Defaults are conservative: non-finite rewards are always treated as
+/// divergence (healthy arithmetic cannot produce them), while the
+/// magnitude and entropy checks ship disabled (`reward_limit =
+/// infinity`, `entropy_floor = 0`) so guarded runs stay bit-identical
+/// to unguarded ones on the normal path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Policy resets attempted before the deterministic fallback.
+    pub max_resets: usize,
+    /// Absolute reward magnitude above which an episode counts as
+    /// exploding. `f32::INFINITY` (the default) disables the check;
+    /// NaN/Inf rewards are divergent regardless.
+    pub reward_limit: f32,
+    /// Mean Bernoulli policy entropy (nats) below which the policy
+    /// counts as collapsed. `0.0` (the default) disables the check.
+    pub entropy_floor: f32,
+    /// Episodes to wait before the entropy check applies, so a policy
+    /// that legitimately commits fast is not misread as collapsed.
+    pub entropy_grace: usize,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> GuardPolicy {
+        GuardPolicy {
+            max_resets: 2,
+            reward_limit: f32::INFINITY,
+            entropy_floor: 0.0,
+            entropy_grace: 20,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// Validates the guard fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadStartError::BadConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HeadStartError> {
+        let bad =
+            |field: &'static str, detail: String| Err(HeadStartError::BadConfig { field, detail });
+        if self.reward_limit.is_nan() || self.reward_limit <= 0.0 {
+            return bad("guard.reward_limit", format!("{}", self.reward_limit));
+        }
+        if !self.entropy_floor.is_finite() || self.entropy_floor < 0.0 {
+            return bad("guard.entropy_floor", format!("{}", self.entropy_floor));
+        }
+        Ok(())
+    }
+}
+
 /// Hyper-parameters of the HeadStart pruner.
 ///
 /// Defaults follow Section IV-A of the paper: `k = 3` Monte-Carlo
@@ -57,6 +119,9 @@ pub struct HeadStartConfig {
     /// (plain REINFORCE, Eq. 7) is the paper's implicit ablation for the
     /// variance-reduction claim.
     pub self_critical_baseline: bool,
+    /// Divergence-guard policy (NaN rewards, exploding magnitudes,
+    /// entropy collapse) for the episode engine.
+    pub guard: GuardPolicy,
 }
 
 impl HeadStartConfig {
@@ -78,7 +143,14 @@ impl HeadStartConfig {
             noise_size: 8,
             resample_noise: false,
             self_critical_baseline: true,
+            guard: GuardPolicy::default(),
         }
+    }
+
+    /// Sets the divergence-guard policy (builder style).
+    pub fn guard_policy(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
+        self
     }
 
     /// Sets `k`, the Monte-Carlo sample count (builder style).
@@ -168,7 +240,7 @@ impl HeadStartConfig {
                 format!("{} below the 4px minimum", self.noise_size),
             );
         }
-        Ok(())
+        self.guard.validate()
     }
 }
 
@@ -202,6 +274,28 @@ mod tests {
             .learning_rate(0.0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn guard_defaults_are_conservative_and_validated() {
+        let guard = GuardPolicy::default();
+        assert_eq!(guard.max_resets, 2);
+        assert!(guard.reward_limit.is_infinite());
+        assert_eq!(guard.entropy_floor, 0.0);
+        assert!(guard.validate().is_ok());
+        let bad = GuardPolicy {
+            reward_limit: f32::NAN,
+            ..GuardPolicy::default()
+        };
+        assert!(HeadStartConfig::new(2.0)
+            .guard_policy(bad)
+            .validate()
+            .is_err());
+        let bad = GuardPolicy {
+            entropy_floor: -1.0,
+            ..GuardPolicy::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -72,6 +72,66 @@ pub enum ConvergenceReason {
     Stable,
     /// The episode budget (`max_episodes`) ran out first.
     EpisodeBudget,
+    /// The divergence guard exhausted its policy resets and the engine
+    /// emitted the deterministic keep-everything fallback inception.
+    GuardFallback,
+}
+
+/// What the divergence guard detected (see
+/// [`GuardPolicy`](crate::config::GuardPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardReason {
+    /// A sampled or inference reward was NaN or infinite.
+    NonFiniteReward,
+    /// A reward magnitude exceeded `guard.reward_limit`.
+    ExplodingReward,
+    /// Mean policy entropy fell below `guard.entropy_floor` after the
+    /// grace period.
+    EntropyCollapse,
+}
+
+impl GuardReason {
+    /// Stable string for telemetry fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GuardReason::NonFiniteReward => "non_finite_reward",
+            GuardReason::ExplodingReward => "exploding_reward",
+            GuardReason::EntropyCollapse => "entropy_collapse",
+        }
+    }
+}
+
+/// What the engine did about a detected divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardAction {
+    /// The head-start policy was re-initialized and the unit retried.
+    PolicyReset,
+    /// Resets were exhausted; the deterministic keep-everything
+    /// inception was emitted instead.
+    ThresholdFallback,
+}
+
+impl GuardAction {
+    /// Stable string for telemetry fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GuardAction::PolicyReset => "policy_reset",
+            GuardAction::ThresholdFallback => "threshold_fallback",
+        }
+    }
+}
+
+/// Everything an observer sees about one guard recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// What the guard detected.
+    pub reason: GuardReason,
+    /// What the engine did about it.
+    pub action: GuardAction,
+    /// Episode (within the failed attempt) the divergence surfaced at.
+    pub episode: usize,
+    /// Policy resets performed so far for this unit, this one included.
+    pub resets: usize,
 }
 
 /// The per-run trace every pruning path now emits: how long the policy
@@ -79,12 +139,17 @@ pub enum ConvergenceReason {
 /// loop stopped. One struct, shared by all unit kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeTrace {
-    /// Episodes the policy trained for.
+    /// Episodes the policy trained for (in the final attempt, when the
+    /// divergence guard restarted the unit).
     pub episodes: usize,
-    /// Reward of the inference action `R(Aᴵ)` per episode.
+    /// Reward of the inference action `R(Aᴵ)` per episode (of the final
+    /// attempt).
     pub reward_history: Vec<f32>,
     /// Why training stopped.
     pub convergence: ConvergenceReason,
+    /// Policy resets the divergence guard performed for this unit
+    /// (`0` on the healthy path).
+    pub resets: usize,
 }
 
 impl EpisodeTrace {
@@ -126,6 +191,10 @@ pub trait EngineObserver {
 
     /// Called once per episode, after the policy-gradient step.
     fn on_episode(&mut self, _event: &EpisodeEvent<'_>) {}
+
+    /// Called when the divergence guard detects a failure and recovers
+    /// (policy reset or deterministic fallback).
+    fn on_recovery(&mut self, _unit_kind: &'static str, _event: &RecoveryEvent) {}
 
     /// Called once when the loop stops, with the completed trace.
     fn on_converged(&mut self, _unit_kind: &'static str, _trace: &EpisodeTrace) {}
@@ -260,7 +329,107 @@ impl<'cfg> EpisodeEngine<'cfg> {
         let cfg = self.cfg;
         cfg.validate()?;
         let units = unit.unit_count();
+        let mut resets = 0usize;
+        loop {
+            match self.attempt(net, unit, rng, observer, units)? {
+                Attempt::Finished {
+                    probs,
+                    reward_history,
+                    episodes,
+                    convergence,
+                } => {
+                    // The final inception: the inference action of the
+                    // converged policy, guarded against the degenerate
+                    // empty action where the unit requires at least one
+                    // survivor.
+                    let mut final_action = inference_action(&probs, cfg.t);
+                    if unit.guard_empty_inference() && kept_count(&final_action) == 0 {
+                        let best = probs
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        final_action[best] = true;
+                    }
+                    let trace = EpisodeTrace {
+                        episodes,
+                        reward_history,
+                        convergence,
+                        resets,
+                    };
+                    observer.on_converged(unit.kind(), &trace);
+                    return Ok(EngineOutcome {
+                        probs,
+                        final_action,
+                        trace,
+                    });
+                }
+                Attempt::Diverged {
+                    reason,
+                    episode,
+                    reward_history,
+                } => {
+                    resets += 1;
+                    if resets <= cfg.guard.max_resets {
+                        // Reset: re-initialize the policy (the retry draws
+                        // fresh weights and noise from the RNG stream) and
+                        // run the unit again.
+                        observer.on_recovery(
+                            unit.kind(),
+                            &RecoveryEvent {
+                                reason,
+                                action: GuardAction::PolicyReset,
+                                episode,
+                                resets,
+                            },
+                        );
+                        continue;
+                    }
+                    // Resets exhausted: deterministic fallback. Keeping
+                    // every unit (no pruning for this layer/block) is the
+                    // inception a threshold over the untrained prior
+                    // produces, and it always leaves the network valid.
+                    observer.on_recovery(
+                        unit.kind(),
+                        &RecoveryEvent {
+                            reason,
+                            action: GuardAction::ThresholdFallback,
+                            episode,
+                            resets,
+                        },
+                    );
+                    let trace = EpisodeTrace {
+                        episodes: episode + 1,
+                        reward_history,
+                        convergence: ConvergenceReason::GuardFallback,
+                        resets,
+                    };
+                    observer.on_converged(unit.kind(), &trace);
+                    return Ok(EngineOutcome {
+                        probs: vec![1.0f32; units],
+                        final_action: vec![true; units],
+                        trace,
+                    });
+                }
+            }
+        }
+    }
 
+    /// One guarded pass of the episode loop: policy init, noise, episodes
+    /// until convergence, budget exhaustion, or detected divergence.
+    fn attempt(
+        &self,
+        net: &mut Network,
+        unit: &mut dyn PruningUnit,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        units: usize,
+    ) -> Result<Attempt, HeadStartError> {
+        let cfg = self.cfg;
+        let guard = &cfg.guard;
         let mut policy = HeadStartNetwork::with_hyperparams(
             units,
             cfg.noise_size,
@@ -285,6 +454,16 @@ impl<'cfg> EpisodeEngine<'cfg> {
                 fixed_noise.clone()
             };
             probs = policy.probs(&noise)?;
+            if guard.entropy_floor > 0.0
+                && episode >= guard.entropy_grace
+                && crate::observe::policy_entropy(&probs) < guard.entropy_floor
+            {
+                return Ok(Attempt::Diverged {
+                    reason: GuardReason::EntropyCollapse,
+                    episode,
+                    reward_history,
+                });
+            }
 
             // k Monte-Carlo samples (Eq. 6) ...
             let mut actions = Vec::with_capacity(cfg.k);
@@ -297,7 +476,22 @@ impl<'cfg> EpisodeEngine<'cfg> {
             }
             // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
             let inf = inference_action(&probs, cfg.t);
-            let r_inf = unit.action_reward(net, &inf)?;
+            let mut r_inf = unit.action_reward(net, &inf)?;
+            // Deterministic fault injection (armed only by tests/CI):
+            // poison the inference reward so the guard path is exercised
+            // end to end without a contrived unit.
+            if hs_telemetry::faults::armed()
+                && hs_telemetry::faults::trip("nan_reward", unit.kind())
+            {
+                r_inf = f32::NAN;
+            }
+            if let Some(reason) = divergence(guard, &rewards, r_inf) {
+                return Ok(Attempt::Diverged {
+                    reason,
+                    episode,
+                    reward_history,
+                });
+            }
             let baseline = if cfg.self_critical_baseline {
                 r_inf
             } else {
@@ -333,32 +527,47 @@ impl<'cfg> EpisodeEngine<'cfg> {
                 break;
             }
         }
-
-        // The final inception: the inference action of the converged
-        // policy, guarded against the degenerate empty action where the
-        // unit requires at least one survivor.
-        let mut final_action = inference_action(&probs, cfg.t);
-        if unit.guard_empty_inference() && kept_count(&final_action) == 0 {
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            final_action[best] = true;
-        }
-        let trace = EpisodeTrace {
-            episodes,
-            reward_history,
-            convergence,
-        };
-        observer.on_converged(unit.kind(), &trace);
-        Ok(EngineOutcome {
+        Ok(Attempt::Finished {
             probs,
-            final_action,
-            trace,
+            reward_history,
+            episodes,
+            convergence,
         })
     }
+}
+
+/// Outcome of one guarded episode-loop attempt.
+enum Attempt {
+    /// The loop ran to convergence or budget exhaustion.
+    Finished {
+        probs: Vec<f32>,
+        reward_history: Vec<f32>,
+        episodes: usize,
+        convergence: ConvergenceReason,
+    },
+    /// The guard detected divergence mid-loop.
+    Diverged {
+        reason: GuardReason,
+        episode: usize,
+        reward_history: Vec<f32>,
+    },
+}
+
+/// Checks one episode's rewards against the guard policy. Pure
+/// observation: consumes no randomness and mutates nothing, so enabling
+/// the guard leaves healthy runs bit-identical.
+fn divergence(
+    guard: &crate::config::GuardPolicy,
+    sampled: &[f32],
+    r_inf: f32,
+) -> Option<GuardReason> {
+    if !r_inf.is_finite() || sampled.iter().any(|r| !r.is_finite()) {
+        return Some(GuardReason::NonFiniteReward);
+    }
+    if r_inf.abs() > guard.reward_limit || sampled.iter().any(|r| r.abs() > guard.reward_limit) {
+        return Some(GuardReason::ExplodingReward);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -472,6 +681,195 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, HeadStartError::BadConfig { field: "sp", .. }));
         assert_eq!(unit.rewards_seen, 0, "no rewards before validation");
+    }
+
+    /// A unit that returns NaN rewards from `fail_from` onwards —
+    /// forever, so every retry diverges too.
+    struct PoisonedUnit {
+        units: usize,
+        fail_from: usize,
+        rewards_seen: usize,
+    }
+
+    impl PruningUnit for PoisonedUnit {
+        fn kind(&self) -> &'static str {
+            "poisoned"
+        }
+
+        fn unit_count(&self) -> usize {
+            self.units
+        }
+
+        fn action_reward(
+            &mut self,
+            _net: &mut Network,
+            action: &[bool],
+        ) -> Result<f32, HeadStartError> {
+            self.rewards_seen += 1;
+            if self.rewards_seen > self.fail_from {
+                Ok(f32::NAN)
+            } else {
+                Ok(-(kept_count(action) as f32))
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct RecoveryRecorder {
+        recoveries: Vec<(GuardReason, GuardAction, usize)>,
+    }
+
+    impl EngineObserver for RecoveryRecorder {
+        fn on_recovery(&mut self, kind: &'static str, event: &RecoveryEvent) {
+            assert_eq!(kind, "poisoned");
+            self.recoveries
+                .push((event.reason, event.action, event.resets));
+        }
+    }
+
+    #[test]
+    fn nan_rewards_trigger_resets_then_deterministic_fallback() {
+        let cfg = HeadStartConfig::new(2.0).max_episodes(50).eval_images(8);
+        assert_eq!(cfg.guard.max_resets, 2);
+        let mut net = Network::new();
+        let mut unit = PoisonedUnit {
+            units: 6,
+            fail_from: 10,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(4);
+        let mut obs = RecoveryRecorder::default();
+        let out = EpisodeEngine::new(&cfg)
+            .run_observed(&mut net, &mut unit, &mut rng, &mut obs)
+            .unwrap();
+        // 2 resets + 1 fallback, in order.
+        assert_eq!(obs.recoveries.len(), 3);
+        assert_eq!(
+            obs.recoveries[0],
+            (GuardReason::NonFiniteReward, GuardAction::PolicyReset, 1)
+        );
+        assert_eq!(
+            obs.recoveries[1],
+            (GuardReason::NonFiniteReward, GuardAction::PolicyReset, 2)
+        );
+        assert_eq!(
+            obs.recoveries[2],
+            (
+                GuardReason::NonFiniteReward,
+                GuardAction::ThresholdFallback,
+                3
+            )
+        );
+        // The fallback keeps every unit and reports itself honestly.
+        assert_eq!(out.final_action, vec![true; 6]);
+        assert_eq!(out.trace.convergence, ConvergenceReason::GuardFallback);
+        assert_eq!(out.trace.resets, 3);
+        assert!(!out.trace.converged());
+    }
+
+    #[test]
+    fn transient_divergence_recovers_within_the_reset_budget() {
+        // Rewards go NaN briefly, then the unit heals: the first retry
+        // should run to completion with a normal convergence reason.
+        struct HealingUnit {
+            rewards_seen: usize,
+        }
+        impl PruningUnit for HealingUnit {
+            fn kind(&self) -> &'static str {
+                "poisoned"
+            }
+            fn unit_count(&self) -> usize {
+                4
+            }
+            fn action_reward(
+                &mut self,
+                _net: &mut Network,
+                action: &[bool],
+            ) -> Result<f32, HeadStartError> {
+                self.rewards_seen += 1;
+                // Exactly one poisoned reward: the retry starts healthy.
+                if self.rewards_seen == 8 {
+                    Ok(f32::INFINITY)
+                } else {
+                    Ok(-((kept_count(action) as f32) - 2.0).abs())
+                }
+            }
+        }
+        let cfg = HeadStartConfig::new(2.0).max_episodes(30).eval_images(8);
+        let mut net = Network::new();
+        let mut unit = HealingUnit { rewards_seen: 0 };
+        let mut rng = Rng::seed_from(5);
+        let mut obs = RecoveryRecorder::default();
+        let out = EpisodeEngine::new(&cfg)
+            .run_observed(&mut net, &mut unit, &mut rng, &mut obs)
+            .unwrap();
+        assert_eq!(obs.recoveries.len(), 1);
+        assert_eq!(obs.recoveries[0].1, GuardAction::PolicyReset);
+        assert_ne!(out.trace.convergence, ConvergenceReason::GuardFallback);
+        assert_eq!(out.trace.resets, 1);
+    }
+
+    #[test]
+    fn exploding_rewards_and_entropy_collapse_are_detected() {
+        assert_eq!(
+            divergence(
+                &crate::config::GuardPolicy::default(),
+                &[1.0, f32::NAN],
+                0.0
+            ),
+            Some(GuardReason::NonFiniteReward)
+        );
+        let limited = crate::config::GuardPolicy {
+            reward_limit: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            divergence(&limited, &[1.0], 50.0),
+            Some(GuardReason::ExplodingReward)
+        );
+        assert_eq!(
+            divergence(&limited, &[-11.0], 0.5),
+            Some(GuardReason::ExplodingReward)
+        );
+        assert_eq!(divergence(&limited, &[1.0, -2.0], 0.5), None);
+
+        // Entropy collapse: a saturated policy past the grace period
+        // diverges when the floor is enabled.
+        struct Saturating;
+        impl PruningUnit for Saturating {
+            fn kind(&self) -> &'static str {
+                "poisoned"
+            }
+            fn unit_count(&self) -> usize {
+                4
+            }
+            fn action_reward(
+                &mut self,
+                _net: &mut Network,
+                action: &[bool],
+            ) -> Result<f32, HeadStartError> {
+                // Strongly favor keeping everything: probabilities
+                // saturate toward 1 and entropy collapses.
+                Ok(kept_count(action) as f32 * 100.0)
+            }
+        }
+        let guard = crate::config::GuardPolicy {
+            entropy_floor: 0.6,
+            entropy_grace: 2,
+            max_resets: 0,
+            ..Default::default()
+        };
+        let cfg = HeadStartConfig::new(2.0)
+            .max_episodes(200)
+            .eval_images(8)
+            .learning_rate(0.5)
+            .guard_policy(guard);
+        let mut net = Network::new();
+        let mut rng = Rng::seed_from(6);
+        let out = EpisodeEngine::new(&cfg)
+            .run(&mut net, &mut Saturating, &mut rng)
+            .unwrap();
+        assert_eq!(out.trace.convergence, ConvergenceReason::GuardFallback);
     }
 
     #[test]

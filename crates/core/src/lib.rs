@@ -63,11 +63,11 @@ pub mod units;
 
 pub use block::{BlockDecision, BlockPruner};
 pub use block_inner::{prune_all_block_inners, prune_all_block_inners_observed, InnerLayerPruner};
-pub use config::HeadStartConfig;
+pub use config::{GuardPolicy, HeadStartConfig};
 pub use criterion::HeadStartCriterion;
 pub use engine::{
     ConvergenceReason, EngineObserver, EngineOutcome, EpisodeEngine, EpisodeEvent, EpisodeTrace,
-    NullObserver, PruningUnit, StderrObserver,
+    GuardAction, GuardReason, NullObserver, PruningUnit, RecoveryEvent, StderrObserver,
 };
 pub use error::HeadStartError;
 pub use evaluator::MaskedEvaluator;

@@ -19,7 +19,7 @@ use hs_telemetry::metrics::{self, Counter, Histogram};
 use hs_telemetry::{Event, EventKind, Level};
 
 use crate::config::HeadStartConfig;
-use crate::engine::{EngineObserver, EpisodeEvent, EpisodeTrace};
+use crate::engine::{EngineObserver, EpisodeEvent, EpisodeTrace, RecoveryEvent};
 use crate::reward::spd_term;
 
 fn episodes_total() -> &'static Counter {
@@ -30,6 +30,11 @@ fn episodes_total() -> &'static Counter {
 fn convergences_total() -> &'static Counter {
     static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
     HANDLE.get_or_init(|| metrics::counter("hs_core_convergences_total"))
+}
+
+fn recoveries_total() -> &'static Counter {
+    static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| metrics::counter("hs_core_guard_recoveries_total"))
 }
 
 fn reward_hist() -> &'static Histogram {
@@ -125,6 +130,27 @@ impl EngineObserver for TelemetryObserver {
         .field("advantage_mean", mean_sampled - event.baseline)
         .field("policy_entropy", policy_entropy(event.probs));
         hs_telemetry::emit(out);
+    }
+
+    fn on_recovery(&mut self, unit_kind: &'static str, event: &RecoveryEvent) {
+        recoveries_total().inc();
+        hs_telemetry::emit(
+            Event::new(
+                EventKind::Recovery,
+                Level::Warn,
+                format!("{}:{}", unit_kind, self.context_id),
+            )
+            .message(format!(
+                "divergence ({}) at episode {}; {}",
+                event.reason.as_str(),
+                event.episode,
+                event.action.as_str()
+            ))
+            .field("reason", event.reason.as_str())
+            .field("action", event.action.as_str())
+            .field("episode", event.episode)
+            .field("resets", event.resets),
+        );
     }
 
     fn on_converged(&mut self, unit_kind: &'static str, trace: &EpisodeTrace) {

@@ -8,11 +8,20 @@
 //! Flags: `--label --data --model --width --method --sp --keep --seed
 //! --prune-seed --quick --smoke --pretrain --finetune --episodes
 //! --eval-images --checkpoint --artifact --telemetry --metrics
-//! --log-level`. See `RunnerConfig::from_args`.
+//! --log-level --run-dir`. See `RunnerConfig::from_args`.
+//!
+//! With `--run-dir DIR` the run journals its progress into `DIR` (one
+//! checkpoint per pruned unit plus `run.journal.json`); after a crash,
+//! `hs_run --resume DIR` continues from the last completed unit and
+//! produces results bit-identical to the uninterrupted run. Setting
+//! `HS_FAULT=kind:site[:n],…` arms the deterministic fault-injection
+//! harness (kinds: `io_error io_flaky corrupt truncate kill_after
+//! nan_reward`).
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use hs_runner::{pct, run, RunnerConfig};
+use hs_runner::{arm_from_env, pct, resume_run, run, PipelineReport, RunnerConfig, RunnerError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,28 +34,42 @@ fn main() -> ExitCode {
              \x20             [--pretrain N] [--finetune N] [--episodes N] [--eval-images N]\n\
              \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]\n\
              \x20             [--telemetry PATH.jsonl] [--metrics PATH.prom]\n\
-             \x20             [--log-level error|warn|info|debug|trace]"
+             \x20             [--log-level error|warn|info|debug|trace]\n\
+             \x20             [--run-dir DIR]\n\
+             \x20      hs_run --resume DIR\n\
+             \n\
+             \x20 --run-dir DIR  journal the run into DIR (crash-safe, resumable)\n\
+             \x20 --resume DIR   continue an interrupted journaled run\n\
+             \x20 HS_FAULT=kind:site[:n],...  arm deterministic fault injection"
         );
         return ExitCode::SUCCESS;
     }
-    let cfg = match RunnerConfig::from_args(&args) {
-        Ok(cfg) => cfg,
-        Err(e) => {
-            eprintln!("hs_run: {e}");
-            return ExitCode::FAILURE;
+    if let Err(e) = arm_from_env() {
+        eprintln!("hs_run: {e}");
+        return ExitCode::FAILURE;
+    }
+    let outcome = if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        match args.get(pos + 1) {
+            Some(dir) if args.len() == 2 => resume_run(Path::new(dir)),
+            Some(_) => Err(RunnerError::BadConfig(
+                "--resume takes no other flags (the journal carries the config)".to_string(),
+            )),
+            None => Err(RunnerError::BadConfig(
+                "--resume needs a run directory".to_string(),
+            )),
+        }
+    } else {
+        match RunnerConfig::from_args(&args) {
+            Ok(cfg) => run(&cfg),
+            Err(e) => {
+                eprintln!("hs_run: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    match run(&cfg) {
+    match outcome {
         Ok(report) => {
-            println!(
-                "{}: accuracy {} -> {} | params {} -> {} ({}% of original)",
-                report.label,
-                pct(report.original_accuracy),
-                pct(report.final_accuracy),
-                report.original_cost.total_params,
-                report.final_cost.total_params,
-                format_args!("{:.1}", report.compression_pct()),
-            );
+            print_summary(&report);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -56,4 +79,16 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn print_summary(report: &PipelineReport) {
+    println!(
+        "{}: accuracy {} -> {} | params {} -> {} ({}% of original)",
+        report.label,
+        pct(report.original_accuracy),
+        pct(report.final_accuracy),
+        report.original_cost.total_params,
+        report.final_cost.total_params,
+        format_args!("{:.1}", report.compression_pct()),
+    );
 }

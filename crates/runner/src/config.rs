@@ -182,6 +182,17 @@ impl BaselineKind {
         }
     }
 
+    /// CLI name, the inverse of [`BaselineKind::parse`].
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            BaselineKind::Random => "random",
+            BaselineKind::L1 => "l1",
+            BaselineKind::Apoz => "apoz",
+            BaselineKind::ThiNet => "thinet",
+            BaselineKind::AutoPruner { .. } => "autopruner",
+        }
+    }
+
     /// Parses a CLI name.
     ///
     /// # Errors
@@ -240,6 +251,38 @@ impl Method {
         }
     }
 
+    /// CLI name, the inverse of [`Method::parse`]. Together with
+    /// [`Method::sp`] and [`Method::keep_ratio`] this round-trips a
+    /// method through the run journal's config echo.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Method::HeadStartLayers { .. } => "headstart",
+            Method::HeadStartBlocks { .. } => "headstart-blocks",
+            Method::HeadStartInner { .. } => "headstart-inner",
+            Method::Baseline { kind, .. } => kind.cli_name(),
+        }
+    }
+
+    /// The target speedup, for RL methods (baselines report the default
+    /// `2.0`, which [`Method::parse`] ignores for them).
+    pub fn sp(&self) -> f32 {
+        match self {
+            Method::HeadStartLayers { sp }
+            | Method::HeadStartBlocks { sp }
+            | Method::HeadStartInner { sp } => *sp,
+            Method::Baseline { .. } => 2.0,
+        }
+    }
+
+    /// The per-layer keep ratio, for baselines (RL methods report the
+    /// default `0.5`, which [`Method::parse`] ignores for them).
+    pub fn keep_ratio(&self) -> f32 {
+        match self {
+            Method::Baseline { keep_ratio, .. } => *keep_ratio,
+            _ => 0.5,
+        }
+    }
+
     /// Builds the HeadStart config for RL methods under a budget.
     /// Returns `None` for baselines.
     pub fn headstart_config(&self, budget: &Budget) -> Option<HeadStartConfig> {
@@ -295,6 +338,11 @@ pub struct RunnerConfig {
     /// Checkpoint path: loaded if it exists (skipping pre-training),
     /// written after pre-training otherwise.
     pub checkpoint: Option<PathBuf>,
+    /// Run directory for crash-safe journaled runs (`--run-dir`). When
+    /// set, the pipeline writes `run.journal.json` plus per-unit
+    /// checkpoints there so an interrupted run can be continued with
+    /// `hs_run --resume DIR`.
+    pub run_dir: Option<PathBuf>,
     /// Where to write the JSON run artifact.
     pub artifact: Option<PathBuf>,
     /// Where to write the JSONL telemetry event stream (`--telemetry`).
@@ -320,6 +368,7 @@ impl RunnerConfig {
             budget: Budget::full(),
             method: Method::HeadStartLayers { sp: 2.0 },
             checkpoint: None,
+            run_dir: None,
             artifact: None,
             telemetry: None,
             metrics: None,
@@ -382,6 +431,7 @@ impl RunnerConfig {
                     cfg.budget.rl_eval_images = value.parse().map_err(|_| bad("integer"))?
                 }
                 "checkpoint" => cfg.checkpoint = Some(PathBuf::from(value)),
+                "run-dir" => cfg.run_dir = Some(PathBuf::from(value)),
                 "artifact" => cfg.artifact = Some(PathBuf::from(value)),
                 "telemetry" => cfg.telemetry = Some(PathBuf::from(value)),
                 "metrics" => cfg.metrics = Some(PathBuf::from(value)),
@@ -489,6 +539,31 @@ mod tests {
         // Defaults stay off so library users never touch global sinks.
         let plain = RunnerConfig::new("x");
         assert!(plain.telemetry.is_none() && plain.metrics.is_none() && plain.log_level.is_none());
+    }
+
+    #[test]
+    fn run_dir_flag_and_method_names_round_trip() {
+        let cfg = RunnerConfig::from_args(&argv("--run-dir runs/a")).unwrap();
+        assert_eq!(cfg.run_dir.as_deref(), Some(std::path::Path::new("runs/a")));
+        assert!(RunnerConfig::new("x").run_dir.is_none());
+        for name in [
+            "headstart",
+            "headstart-blocks",
+            "headstart-inner",
+            "random",
+            "l1",
+            "apoz",
+            "thinet",
+            "autopruner",
+        ] {
+            let m = Method::parse(name, 3.0, 0.25).unwrap();
+            assert_eq!(m.cli_name(), name);
+            // Re-parsing the echoed name + parameters reproduces the method.
+            assert_eq!(
+                Method::parse(m.cli_name(), m.sp(), m.keep_ratio()).unwrap(),
+                m
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,16 @@ pub enum RunnerError {
     Io(io::Error),
     /// The run configuration is invalid (bad flag, unknown name, …).
     BadConfig(String),
+    /// The run journal is missing, malformed, or inconsistent with the
+    /// run directory it describes.
+    Journal(String),
+    /// A `kill_after` fault fired: the pipeline aborted at a stage
+    /// boundary as if the process had been killed there. Only produced
+    /// under fault injection (`HS_FAULT`), never in production runs.
+    InjectedCrash {
+        /// The stage boundary the simulated crash hit.
+        site: String,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -35,6 +45,10 @@ impl fmt::Display for RunnerError {
             RunnerError::HeadStart(e) => write!(f, "headstart: {e}"),
             RunnerError::Io(e) => write!(f, "io: {e}"),
             RunnerError::BadConfig(detail) => write!(f, "bad run config: {detail}"),
+            RunnerError::Journal(detail) => write!(f, "run journal: {detail}"),
+            RunnerError::InjectedCrash { site } => {
+                write!(f, "injected crash at stage boundary `{site}`")
+            }
         }
     }
 }

@@ -6,6 +6,14 @@
 //! This crate owns that story once, so the experiment binaries in
 //! `hs-bench` reduce to *which* models, methods and seeds to feed it.
 //!
+//! Runs are **crash-safe** when given a run directory (`--run-dir`):
+//! every artifact write is atomic, each pruned unit is checkpointed and
+//! journaled (see [`journal`]), and an interrupted run continues from
+//! its last completed unit with `hs_run --resume DIR` — bit-identical
+//! to the uninterrupted run. The [`faults`] module drives the
+//! deterministic fault-injection harness (`HS_FAULT`) the crash/resume
+//! tests are built on.
+//!
 //! ```no_run
 //! use hs_runner::{run, RunnerConfig};
 //!
@@ -20,11 +28,17 @@
 pub mod budget;
 pub mod config;
 pub mod error;
+pub mod faults;
+pub mod journal;
 pub mod pipeline;
 pub mod report;
+pub mod resume;
 
 pub use budget::Budget;
 pub use config::{BaselineKind, DataChoice, Method, ModelChoice, ModelKind, RunnerConfig};
 pub use error::RunnerError;
+pub use faults::{arm_from_env, crash_point, FAULT_ENV};
+pub use journal::{Journal, Stage, UnitRecord, JOURNAL_FILE};
 pub use pipeline::{prepare, pretrain, run, MethodRun, PipelineReport, Prepared, SingleLayerRun};
 pub use report::{pct, write_json, Json, Phase, StageTiming};
+pub use resume::{resume_run, FINAL_CHECKPOINT, PRETRAINED_CHECKPOINT};

@@ -106,9 +106,38 @@ pub fn prepare(cfg: &RunnerConfig) -> Result<Prepared, RunnerError> {
                 cfg.label,
                 path.display()
             ));
-            net = checkpoint::load(path)?;
-            phase.record(&mut stages);
-            true
+            match checkpoint::load(path) {
+                Ok(loaded) => {
+                    net = loaded;
+                    phase.record(&mut stages);
+                    true
+                }
+                // A checkpoint that fails its checksums is a stale
+                // cache, not a fatal condition: note it and re-pretrain
+                // (same seed → bit-identical model).
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    phase.end();
+                    hs_telemetry::emit(
+                        Event::new(EventKind::Recovery, Level::Warn, "runner")
+                            .message(format!(
+                                "checkpoint {} failed verification ({e}); re-pretraining",
+                                path.display()
+                            ))
+                            .field("reason", "corrupt_checkpoint")
+                            .field("action", "re_pretrain"),
+                    );
+                    false
+                }
+                Err(e) => {
+                    phase.end();
+                    return Err(RunnerError::Io(e));
+                }
+            }
         }
         _ => false,
     };
@@ -197,9 +226,9 @@ impl Prepared {
         let final_accuracy;
         match method {
             Method::HeadStartLayers { .. } => {
-                let cfg = method
-                    .headstart_config(&self.budget)
-                    .expect("RL method has a config");
+                let cfg = method.headstart_config(&self.budget).ok_or_else(|| {
+                    RunnerError::BadConfig("HeadStart method without an RL config".to_string())
+                })?;
                 let mut observer = TelemetryObserver::from_config(&cfg);
                 let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model_observed(
                     &mut net,
@@ -216,9 +245,9 @@ impl Prepared {
                 final_accuracy = acc;
             }
             Method::HeadStartBlocks { .. } => {
-                let cfg = method
-                    .headstart_config(&self.budget)
-                    .expect("RL method has a config");
+                let cfg = method.headstart_config(&self.budget).ok_or_else(|| {
+                    RunnerError::BadConfig("HeadStart method without an RL config".to_string())
+                })?;
                 // Block pruning fine-tunes once at the end; give it the
                 // whole per-layer budget.
                 let ft = FineTune {
@@ -237,9 +266,9 @@ impl Prepared {
                 final_accuracy = acc;
             }
             Method::HeadStartInner { .. } => {
-                let cfg = method
-                    .headstart_config(&self.budget)
-                    .expect("RL method has a config");
+                let cfg = method.headstart_config(&self.budget).ok_or_else(|| {
+                    RunnerError::BadConfig("HeadStart method without an RL config".to_string())
+                })?;
                 let mut observer = TelemetryObserver::from_config(&cfg);
                 let (_decisions, acc) = prune_all_block_inners_observed(
                     &cfg,
@@ -515,6 +544,9 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
             jsonl: cfg.telemetry.clone(),
         })?;
     }
+    if let Some(dir) = cfg.run_dir.clone() {
+        return crate::resume::run_journaled(cfg, &dir, None);
+    }
     let pipeline_span = hs_telemetry::span!(
         "pipeline",
         "label" => cfg.label.clone(),
@@ -542,7 +574,11 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
     }
     pipeline_span.close();
     if let Some(path) = &cfg.metrics {
-        std::fs::write(path, hs_telemetry::metrics::render_prometheus())?;
+        hs_telemetry::io::atomic_write_as(
+            path,
+            "metrics",
+            hs_telemetry::metrics::render_prometheus().as_bytes(),
+        )?;
         hs_telemetry::artifact(&cfg.label, path);
     }
     hs_telemetry::flush_metrics();

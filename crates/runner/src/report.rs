@@ -183,13 +183,14 @@ fn pad(out: &mut String, indent: usize) {
     }
 }
 
-/// Writes a JSON artifact to disk.
+/// Writes a JSON artifact to disk atomically (tmp + fsync + rename), so
+/// a crash mid-write never leaves a truncated artifact behind.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Propagates filesystem errors (site `artifact` for fault injection).
 pub fn write_json(path: impl AsRef<Path>, value: &Json) -> std::io::Result<()> {
-    std::fs::write(path, value.render())
+    hs_telemetry::io::atomic_write_as(path.as_ref(), "artifact", value.render().as_bytes())
 }
 
 #[cfg(test)]

@@ -1,0 +1,436 @@
+//! Crash-safe journaled pipeline runs and the `--resume` path.
+//!
+//! A journaled run (`--run-dir DIR`) executes the same pipeline as
+//! [`crate::pipeline::run`] but checkpoints its progress after every
+//! stage: the pre-trained model lands in `DIR/pretrained.hsck`, every
+//! pruned unit writes `DIR/unit-NN.hsck` plus a journal entry carrying
+//! the learned inception and the complete prune-RNG state, and the
+//! finished model lands in `DIR/final.hsck` with the journal marked
+//! finalized. All writes are atomic, so the directory is consistent at
+//! every instant.
+//!
+//! [`resume_run`] replays that journal: it reloads the pre-trained
+//! checkpoint (re-pretraining deterministically if it went corrupt),
+//! walks the unit records **backwards past any checkpoint that fails
+//! its checksum** to the last verifying one, restores the RNG from that
+//! unit's snapshot, and continues with the first incomplete unit. Since
+//! the per-unit loop is a faithful mirror of the uninterrupted one and
+//! the RNG snapshot is exact, a killed-and-resumed seeded run produces
+//! **bit-identical** masks, weights and accuracies — the parity the
+//! crash/resume test suite asserts.
+//!
+//! Resume granularity is per unit for the per-layer methods
+//! ([`Method::HeadStartLayers`] and [`Method::Baseline`], whose unit
+//! loops live here) and per stage for the block-level methods (their
+//! single RL episode loop reruns from the pre-trained checkpoint, which
+//! is equally deterministic because the prune RNG is freshly seeded).
+
+use std::path::Path;
+use std::time::Instant;
+
+use hs_core::{EngineObserver, LayerPruner, TelemetryObserver};
+use hs_nn::accounting::{analyze, NetworkCost};
+use hs_nn::surgery::{conv_sites, prune_feature_maps};
+use hs_nn::{checkpoint, train, Network};
+use hs_pruning::driver::LayerTrace;
+use hs_pruning::ScoreContext;
+use hs_telemetry::{Event, EventKind, Level, TelemetryConfig};
+use hs_tensor::Rng;
+
+use crate::config::{Method, RunnerConfig};
+use crate::error::RunnerError;
+use crate::faults::crash_point;
+use crate::journal::{Journal, Stage, UnitRecord};
+use crate::pipeline::{prepare, PipelineReport, Prepared};
+use crate::report::{write_json, Phase, StageTiming};
+
+/// File name of the pre-trained checkpoint inside a run directory
+/// (used when the config does not name its own checkpoint path).
+pub const PRETRAINED_CHECKPOINT: &str = "pretrained.hsck";
+
+/// File name of the finished model inside a run directory.
+pub const FINAL_CHECKPOINT: &str = "final.hsck";
+
+/// Scoring-subset size for baseline criteria, matching
+/// `hs_pruning::driver::prune_whole_model` so journaled baseline runs
+/// stay bit-identical to monolithic ones.
+const SCORING_IMAGES: usize = 64;
+
+/// Resumes an interrupted journaled run from its run directory: the
+/// journal supplies the full configuration, so no other flags are
+/// needed. Completed work is loaded from checkpoints, not redone;
+/// corrupt checkpoints are detected by their checksums and rewound
+/// past.
+///
+/// # Errors
+///
+/// [`RunnerError::Journal`] when `dir` holds no usable journal, plus
+/// every pipeline error.
+pub fn resume_run(dir: &Path) -> Result<PipelineReport, RunnerError> {
+    let journal = Journal::load(dir)?;
+    let cfg = journal.to_config(dir);
+    if cfg.telemetry.is_some() || cfg.log_level.is_some() {
+        hs_telemetry::configure(&TelemetryConfig {
+            stderr_level: cfg.log_level,
+            jsonl: cfg.telemetry.clone(),
+        })?;
+    }
+    run_journaled(&cfg, dir, Some(journal))
+}
+
+/// Runs a journaled pipeline in `dir`. With `resume: None` this is a
+/// fresh run (any previous journal in the directory is replaced);
+/// with a loaded journal it continues from the first incomplete unit.
+///
+/// # Errors
+///
+/// Propagates every stage's errors, including
+/// [`RunnerError::InjectedCrash`] under fault injection.
+pub(crate) fn run_journaled(
+    cfg: &RunnerConfig,
+    dir: &Path,
+    resume: Option<Journal>,
+) -> Result<PipelineReport, RunnerError> {
+    std::fs::create_dir_all(dir)?;
+    let mut cfg = cfg.clone();
+    if cfg.checkpoint.is_none() {
+        cfg.checkpoint = Some(dir.join(PRETRAINED_CHECKPOINT));
+    }
+    let pipeline_span = hs_telemetry::span!(
+        "pipeline",
+        "label" => cfg.label.clone(),
+        "method" => cfg.method.label(),
+    );
+    let resuming = resume.is_some();
+    let prepared = prepare(&cfg)?;
+    crash_point("pretrain")?;
+
+    let mut journal = match resume {
+        Some(mut journal) => {
+            // prepare() is deterministic, so a differing original
+            // accuracy means the pre-trained checkpoint was replaced
+            // (e.g. re-pretrained after corruption) — note it and trust
+            // the freshly computed value.
+            if journal.original_accuracy.to_bits() != prepared.original_accuracy.to_bits() {
+                hs_telemetry::log(
+                    Level::Warn,
+                    "runner",
+                    "pre-trained model changed since the journal was written".to_string(),
+                );
+                journal.original_accuracy = prepared.original_accuracy;
+            }
+            hs_telemetry::emit(
+                Event::new(EventKind::Resume, Level::Info, "runner")
+                    .message(format!("resuming from {}", Journal::path(dir).display()))
+                    .field("journal", Journal::path(dir).display().to_string())
+                    .field("units_done", journal.units.len() as u64)
+                    .field("stage", journal.stage.as_str()),
+            );
+            journal
+        }
+        None => Journal::new(cfg.clone(), prepared.original_accuracy),
+    };
+    journal.save(dir)?;
+
+    let report = match &cfg.method {
+        Method::HeadStartLayers { .. } | Method::Baseline { .. } => {
+            run_units(&cfg, dir, &prepared, &mut journal)?
+        }
+        Method::HeadStartBlocks { .. } | Method::HeadStartInner { .. } => {
+            run_stagewise(&cfg, dir, &prepared, &mut journal, resuming)?
+        }
+    };
+
+    if let Some(path) = &cfg.artifact {
+        write_json(path, &report.to_json())?;
+        hs_telemetry::artifact(&cfg.label, path);
+    }
+    pipeline_span.close();
+    if let Some(path) = &cfg.metrics {
+        hs_telemetry::io::atomic_write_as(
+            path,
+            "metrics",
+            hs_telemetry::metrics::render_prometheus().as_bytes(),
+        )?;
+        hs_telemetry::artifact(&cfg.label, path);
+    }
+    hs_telemetry::flush_metrics();
+    Ok(report)
+}
+
+/// The journaled per-unit pruning loop shared by the per-layer methods.
+/// Each iteration mirrors one unit of the monolithic drivers
+/// (`HeadStartPruner::prune_model_observed` /
+/// `hs_pruning::driver::prune_whole_model`), then checkpoints the model
+/// and journals the unit before crossing the `prune_unit` crash point.
+fn run_units(
+    cfg: &RunnerConfig,
+    dir: &Path,
+    prepared: &Prepared,
+    journal: &mut Journal,
+) -> Result<PipelineReport, RunnerError> {
+    let label = cfg.method.label();
+    let phase = Phase::start(&format!("prune: {label}"));
+    let start_time = Instant::now();
+    let ds = &prepared.ds;
+    let ft = prepared.finetune();
+
+    let (mut net, mut rng, start) = restore_prune_state(dir, prepared, journal, cfg.prune_seed)?;
+
+    // Method-specific unit machinery, built fresh either way: the layer
+    // pruner and criteria carry no state across units.
+    enum Units {
+        HeadStart {
+            pruner: LayerPruner,
+            observer: TelemetryObserver,
+        },
+        Baseline {
+            criterion: Box<dyn hs_pruning::PruningCriterion>,
+            keep_ratio: f32,
+            scoring_images: hs_tensor::Tensor,
+            scoring_labels: Vec<usize>,
+        },
+    }
+    let mut units = match &cfg.method {
+        Method::HeadStartLayers { .. } => {
+            let hs_cfg = cfg
+                .method
+                .headstart_config(&prepared.budget)
+                .ok_or_else(|| {
+                    RunnerError::BadConfig("HeadStart method without an RL config".to_string())
+                })?;
+            let observer = TelemetryObserver::from_config(&hs_cfg);
+            Units::HeadStart {
+                pruner: LayerPruner::new(hs_cfg),
+                observer,
+            }
+        }
+        Method::Baseline { kind, keep_ratio } => {
+            if !(0.0..=1.0).contains(keep_ratio) || *keep_ratio == 0.0 {
+                return Err(RunnerError::BadConfig(format!(
+                    "keep ratio {keep_ratio} outside (0, 1]"
+                )));
+            }
+            let scoring_n = SCORING_IMAGES.min(ds.train_labels.len());
+            let idx: Vec<usize> = (0..scoring_n).collect();
+            Units::Baseline {
+                criterion: kind.build(),
+                keep_ratio: *keep_ratio,
+                scoring_images: ds.train_images.index_select(0, &idx)?,
+                scoring_labels: ds.train_labels[..scoring_n].to_vec(),
+            }
+        }
+        _ => unreachable!("run_units only handles per-layer methods"),
+    };
+
+    let conv_count = net.conv_indices().len();
+    for ordinal in start..conv_count {
+        let conv_node = net.conv_indices()[ordinal];
+        let maps_before = net.conv(conv_node)?.out_channels();
+        let keep = match &mut units {
+            Units::HeadStart { pruner, observer } => {
+                observer.on_unit_start("layer", ordinal);
+                let decision = pruner.prune_observed(&mut net, ordinal, ds, &mut rng, observer)?;
+                prune_feature_maps(&mut net, conv_node, &decision.keep)?;
+                decision.keep
+            }
+            Units::Baseline {
+                criterion,
+                keep_ratio,
+                scoring_images,
+                scoring_labels,
+            } => {
+                let site = conv_sites(&net)[ordinal];
+                let keep_count =
+                    ((maps_before as f32 * *keep_ratio).round() as usize).clamp(1, maps_before);
+                let keep = {
+                    let mut ctx =
+                        ScoreContext::new(&mut net, site, scoring_images, scoring_labels, &mut rng);
+                    criterion.keep_set(&mut ctx, keep_count)?
+                };
+                prune_feature_maps(&mut net, site.conv, &keep)?;
+                criterion.post_surgery(&mut net, site, &keep)?;
+                keep
+            }
+        };
+        let inception_accuracy = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+        ft.run(&mut net, &ds.train_images, &ds.train_labels, &mut rng)?;
+        let finetuned_accuracy = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+        let cost = analyze(&net, ds.channels(), ds.image_size())?;
+
+        let name = format!("unit-{ordinal:02}.hsck");
+        checkpoint::save(&net, dir.join(&name))?;
+        journal.units.push(UnitRecord {
+            ordinal,
+            conv_node,
+            maps_before,
+            keep,
+            inception_accuracy,
+            finetuned_accuracy,
+            params_after: cost.total_params,
+            flops_after: cost.total_flops,
+            checkpoint: name,
+            rng_after: rng.snapshot(),
+        });
+        journal.save(dir)?;
+        crash_point("prune_unit")?;
+    }
+
+    let final_accuracy = train::evaluate(&mut net, &ds.test_images, &ds.test_labels, 64)?;
+    let final_cost = analyze(&net, ds.channels(), ds.image_size())?;
+    checkpoint::save(&net, dir.join(FINAL_CHECKPOINT))?;
+    journal.stage = Stage::Finalized;
+    journal.final_accuracy = Some(final_accuracy);
+    journal.save(dir)?;
+    crash_point("finalize")?;
+
+    phase.end();
+    let mut stages = prepared.stages.clone();
+    stages.push(StageTiming {
+        name: format!("prune:{label}"),
+        seconds: start_time.elapsed().as_secs_f64(),
+    });
+    Ok(report_from_journal(
+        cfg,
+        prepared,
+        journal,
+        final_cost,
+        final_accuracy,
+        stages,
+    ))
+}
+
+/// Restores the pruning state for a (possibly resumed) per-unit run:
+/// walks the journal's unit records from the newest backwards until a
+/// checkpoint verifies, truncating records whose checkpoints are
+/// corrupt or missing (each rewind emits a `recovery` event). Falls
+/// back to the pre-trained model and a freshly seeded prune RNG when no
+/// unit survives.
+fn restore_prune_state(
+    dir: &Path,
+    prepared: &Prepared,
+    journal: &mut Journal,
+    prune_seed: u64,
+) -> Result<(Network, Rng, usize), RunnerError> {
+    let mut rewound = false;
+    while let Some(last) = journal.units.last() {
+        let path = dir.join(&last.checkpoint);
+        match checkpoint::load(&path) {
+            Ok(net) => {
+                let rng = Rng::from_snapshot(last.rng_after);
+                let start = last.ordinal + 1;
+                if rewound {
+                    journal.save(dir)?;
+                }
+                return Ok((net, rng, start));
+            }
+            Err(e) => {
+                hs_telemetry::emit(
+                    Event::new(EventKind::Recovery, Level::Warn, "runner")
+                        .message(format!(
+                            "unit {} checkpoint failed verification ({e}); rewinding",
+                            last.ordinal
+                        ))
+                        .field("reason", "corrupt_checkpoint")
+                        .field("action", "rewind_unit")
+                        .field("ordinal", last.ordinal as u64),
+                );
+                journal.units.pop();
+                rewound = true;
+            }
+        }
+    }
+    if rewound {
+        journal.save(dir)?;
+    }
+    Ok((prepared.net.clone(), Rng::seed_from(prune_seed), 0))
+}
+
+/// Stage-granular journaling for the block-level methods: the whole
+/// prune stage either completed (journal finalized, final checkpoint on
+/// disk) or reruns deterministically from the pre-trained model.
+fn run_stagewise(
+    cfg: &RunnerConfig,
+    dir: &Path,
+    prepared: &Prepared,
+    journal: &mut Journal,
+    resuming: bool,
+) -> Result<PipelineReport, RunnerError> {
+    if resuming && journal.stage == Stage::Finalized {
+        if let Ok(net) = checkpoint::load(dir.join(FINAL_CHECKPOINT)) {
+            let final_cost = analyze(&net, prepared.ds.channels(), prepared.ds.image_size())?;
+            let final_accuracy = journal.final_accuracy.ok_or_else(|| {
+                RunnerError::Journal("finalized journal without a final accuracy".to_string())
+            })?;
+            return Ok(report_from_journal(
+                cfg,
+                prepared,
+                journal,
+                final_cost,
+                final_accuracy,
+                prepared.stages.clone(),
+            ));
+        }
+        // The final checkpoint went corrupt: redo the stage (the prune
+        // RNG is freshly seeded, so the rerun is bit-identical).
+        hs_telemetry::emit(
+            Event::new(EventKind::Recovery, Level::Warn, "runner")
+                .message("final checkpoint failed verification; redoing prune stage".to_string())
+                .field("reason", "corrupt_checkpoint")
+                .field("action", "redo_stage"),
+        );
+    }
+    let method_run = prepared.run_method(&cfg.method, cfg.prune_seed)?;
+    checkpoint::save(&method_run.net, dir.join(FINAL_CHECKPOINT))?;
+    journal.stage = Stage::Finalized;
+    journal.final_accuracy = Some(method_run.final_accuracy);
+    journal.save(dir)?;
+    crash_point("finalize")?;
+    let mut stages = prepared.stages.clone();
+    stages.push(StageTiming {
+        name: format!("prune:{}", method_run.label),
+        seconds: method_run.seconds,
+    });
+    Ok(PipelineReport {
+        label: cfg.label.clone(),
+        original_accuracy: prepared.original_accuracy,
+        final_accuracy: method_run.final_accuracy,
+        original_cost: prepared.original_cost.clone(),
+        final_cost: method_run.cost,
+        traces: method_run.traces,
+        stages,
+    })
+}
+
+fn report_from_journal(
+    cfg: &RunnerConfig,
+    prepared: &Prepared,
+    journal: &Journal,
+    final_cost: NetworkCost,
+    final_accuracy: f32,
+    stages: Vec<StageTiming>,
+) -> PipelineReport {
+    let traces = journal
+        .units
+        .iter()
+        .map(|u| LayerTrace {
+            conv_node: u.conv_node,
+            conv_ordinal: u.ordinal,
+            maps_before: u.maps_before,
+            maps_after: u.keep.len(),
+            params_after: u.params_after,
+            flops_after: u.flops_after,
+            inception_accuracy: u.inception_accuracy,
+            finetuned_accuracy: u.finetuned_accuracy,
+        })
+        .collect();
+    PipelineReport {
+        label: cfg.label.clone(),
+        original_accuracy: journal.original_accuracy,
+        final_accuracy,
+        original_cost: prepared.original_cost.clone(),
+        final_cost,
+        traces,
+        stages,
+    }
+}

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! - `schema` — integer schema version ([`SCHEMA_VERSION`]).
-//! - `kind` — `log` | `span` | `episode` | `metric` | `artifact`.
+//! - `kind` — `log` | `span` | `episode` | `metric` | `artifact` |
+//!   `recovery` | `fault_injected` | `resume`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -44,6 +45,13 @@ pub enum EventKind {
     Metric,
     /// An artifact (checkpoint, report, metrics dump) written to disk.
     Artifact,
+    /// A recovery action taken after a detected failure (divergent
+    /// policy reset, corrupt-checkpoint fallback, IO retry success).
+    Recovery,
+    /// A deterministic fault-injection site fired (testing only).
+    FaultInjected,
+    /// A pipeline resumed from a run journal instead of starting fresh.
+    Resume,
 }
 
 impl EventKind {
@@ -55,17 +63,23 @@ impl EventKind {
             EventKind::Episode => "episode",
             EventKind::Metric => "metric",
             EventKind::Artifact => "artifact",
+            EventKind::Recovery => "recovery",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Resume => "resume",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 5] {
+    pub fn all() -> [EventKind; 8] {
         [
             EventKind::Log,
             EventKind::Span,
             EventKind::Episode,
             EventKind::Metric,
             EventKind::Artifact,
+            EventKind::Recovery,
+            EventKind::FaultInjected,
+            EventKind::Resume,
         ]
     }
 }

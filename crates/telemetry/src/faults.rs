@@ -1,0 +1,218 @@
+//! Deterministic fault injection: a process-global registry of armed
+//! faults that any crate in the workspace can consult at well-defined
+//! sites — no real `kill -9`, no flaky filesystem mocks.
+//!
+//! A fault is `kind:site:n`: the *n*-th time (1-based) a call site asks
+//! [`trip`] about `(kind, site)`, the fault fires exactly once and a
+//! `fault_injected` telemetry event is emitted. Several faults are armed
+//! together as a comma-separated plan, e.g.
+//!
+//! ```text
+//! HS_FAULT=io_error:checkpoint:2,kill_after:prune_unit:1
+//! ```
+//!
+//! (the `HS_FAULT` environment variable is parsed and armed by
+//! `hs-runner`; this module only owns the registry so lower layers —
+//! atomic file IO, the episode engine — can consult it without a
+//! dependency on the runner).
+//!
+//! The registry is disarmed by default and gated behind one relaxed
+//! atomic load, so production call sites pay nothing. Hit counting is
+//! deterministic: for a seeded single-threaded pipeline the same plan
+//! always fires at the same operation.
+//!
+//! Fault kinds used across the workspace (the matrix CI exercises):
+//!
+//! | kind        | site         | effect at the consulting site            |
+//! |-------------|--------------|------------------------------------------|
+//! | `io_error`  | `checkpoint`, `artifact`, `journal`, `metrics` | the write fails hard with a typed IO error |
+//! | `io_flaky`  | same sites   | the first write attempt fails with a transient error; bounded retry recovers |
+//! | `corrupt`   | `checkpoint` | the just-written file gets one byte flipped |
+//! | `truncate`  | `checkpoint` | the just-written file loses its tail     |
+//! | `kill_after`| `pretrain`, `prune_unit`, `finalize` | the pipeline aborts as if killed at the stage boundary |
+//! | `nan_reward`| `layer`, `block`, `block-inner` | the episode's inference reward becomes NaN |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind};
+use crate::level::Level;
+
+/// One armed fault: fires on the `nth` (1-based) [`trip`] of
+/// `(kind, site)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Fault kind (`io_error`, `kill_after`, `nan_reward`, …).
+    pub kind: String,
+    /// Site name the consulting code passes to [`trip`].
+    pub site: String,
+    /// 1-based hit on which the fault fires (exactly once).
+    pub nth: u64,
+}
+
+/// A parsed set of faults, armed together with [`arm`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults in plan order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated plan like
+    /// `io_error:checkpoint:2,kill_after:prune_unit:1`. The count is
+    /// optional and defaults to 1 (`corrupt:checkpoint` ≡
+    /// `corrupt:checkpoint:1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let (kind, site, nth) = match parts.as_slice() {
+                [kind, site] => (*kind, *site, 1),
+                [kind, site, n] => {
+                    let nth: u64 = n
+                        .parse()
+                        .map_err(|_| format!("fault `{entry}`: bad count `{n}`"))?;
+                    if nth == 0 {
+                        return Err(format!("fault `{entry}`: count must be >= 1"));
+                    }
+                    (*kind, *site, nth)
+                }
+                _ => return Err(format!("fault `{entry}`: expected kind:site[:n]")),
+            };
+            if kind.is_empty() || site.is_empty() {
+                return Err(format!("fault `{entry}`: empty kind or site"));
+            }
+            faults.push(Fault {
+                kind: kind.to_string(),
+                site: site.to_string(),
+                nth,
+            });
+        }
+        Ok(FaultPlan { faults })
+    }
+}
+
+#[derive(Debug)]
+struct ArmedFault {
+    fault: Fault,
+    hits: u64,
+    fired: bool,
+}
+
+/// Fast gate: true while any plan is armed. Lets [`trip`] cost one
+/// relaxed load in production.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+static PLAN: Mutex<Vec<ArmedFault>> = Mutex::new(Vec::new());
+
+/// Arms a fault plan, replacing any previous one and resetting all hit
+/// counters.
+pub fn arm(plan: FaultPlan) {
+    let mut guard = PLAN.lock().expect("fault plan poisoned");
+    *guard = plan
+        .faults
+        .into_iter()
+        .map(|fault| ArmedFault {
+            fault,
+            hits: 0,
+            fired: false,
+        })
+        .collect();
+    ARMED.store(!guard.is_empty(), Ordering::Relaxed);
+}
+
+/// Disarms all faults. Safe to call when nothing is armed.
+pub fn disarm() {
+    arm(FaultPlan::default());
+}
+
+/// True while a non-empty fault plan is armed (one relaxed load).
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Records a hit at `(kind, site)` and reports whether an armed fault
+/// fires on this hit. Fires exactly once (on the configured n-th hit)
+/// and emits a `fault_injected` telemetry event when it does.
+///
+/// With nothing armed this is one relaxed atomic load and never fires —
+/// production call sites can consult it unconditionally.
+pub fn trip(kind: &str, site: &str) -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = PLAN.lock().expect("fault plan poisoned");
+    for armed in guard.iter_mut() {
+        if armed.fault.kind == kind && armed.fault.site == site {
+            armed.hits += 1;
+            if !armed.fired && armed.hits == armed.fault.nth {
+                armed.fired = true;
+                let hit = armed.hits;
+                drop(guard);
+                crate::emit(
+                    Event::new(EventKind::FaultInjected, Level::Warn, "faults")
+                        .message(format!("injected {kind} at {site} (hit {hit})"))
+                        .field("fault", kind)
+                        .field("site", site)
+                        .field("hit", hit),
+                );
+                return true;
+            }
+            return false;
+        }
+    }
+    false
+}
+
+/// Serializes tests (across this crate) that arm the process-global
+/// fault registry, so parallel test threads never see each other's plan.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plans_and_rejects_malformed_entries() {
+        let plan = FaultPlan::parse("io_error:checkpoint:2, kill_after:prune_unit:1").unwrap();
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.faults[0].kind, "io_error");
+        assert_eq!(plan.faults[0].site, "checkpoint");
+        assert_eq!(plan.faults[0].nth, 2);
+        // Count defaults to 1.
+        assert_eq!(
+            FaultPlan::parse("corrupt:checkpoint").unwrap().faults[0].nth,
+            1
+        );
+        assert!(FaultPlan::parse("").unwrap().faults.is_empty());
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("io_error:checkpoint:zero").is_err());
+        assert!(FaultPlan::parse("io_error:checkpoint:0").is_err());
+        assert!(FaultPlan::parse("io_error::1").is_err());
+    }
+
+    #[test]
+    fn fires_exactly_once_on_the_nth_hit() {
+        let _guard = test_lock();
+        arm(FaultPlan::parse("io_error:site_a:3").unwrap());
+        assert!(armed());
+        assert!(!trip("io_error", "site_a")); // hit 1
+        assert!(!trip("io_error", "site_b")); // other site, not counted
+        assert!(!trip("other", "site_a")); // other kind, not counted
+        assert!(!trip("io_error", "site_a")); // hit 2
+        assert!(trip("io_error", "site_a")); // hit 3: fires
+        assert!(!trip("io_error", "site_a")); // never again
+        disarm();
+        assert!(!armed());
+        assert!(!trip("io_error", "site_a"));
+    }
+}

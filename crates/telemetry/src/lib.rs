@@ -16,6 +16,10 @@
 //! - **Sinks** ([`sink`]): a human-readable stderr sink (the default, so
 //!   CLI output is unchanged when telemetry is off) and a JSONL
 //!   event-stream writer, selected at runtime via [`configure`].
+//! - **Atomic IO** ([`io::atomic_write`]): crash-safe artifact writes
+//!   (tmp + fsync + rename) with bounded retry on transient errors.
+//! - **Fault injection** ([`faults`]): a deterministic, disarmed-by-default
+//!   registry tests use to make IO and training failures reproducible.
 //!
 //! Events that no sink would accept are dropped before formatting, so an
 //! unconfigured process pays one relaxed atomic load per call site.
@@ -38,6 +42,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod faults;
+pub mod io;
 pub mod level;
 pub mod metrics;
 pub mod schema;
@@ -49,7 +55,6 @@ pub use level::Level;
 pub use sink::{JsonlSink, Sink, StderrSink};
 pub use span::Span;
 
-use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -93,7 +98,7 @@ pub struct TelemetryConfig {
 /// # Errors
 ///
 /// Propagates I/O errors from opening the JSONL file.
-pub fn configure(cfg: &TelemetryConfig) -> io::Result<()> {
+pub fn configure(cfg: &TelemetryConfig) -> std::io::Result<()> {
     let stderr_level = cfg.stderr_level.unwrap_or(Level::Info);
     let mut new_sinks: Vec<Box<dyn Sink>> = vec![Box::new(StderrSink::new(stderr_level))];
     if let Some(path) = &cfg.jsonl {

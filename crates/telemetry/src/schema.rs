@@ -222,12 +222,27 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// loop logs per episode).
 pub const EPISODE_REQUIRED_FIELDS: [&str; 5] = ["reward", "acc", "spd", "l0", "baseline"];
 
+/// Fields every `recovery` event must carry: what went wrong and what
+/// the recovery action was.
+pub const RECOVERY_REQUIRED_FIELDS: [&str; 2] = ["reason", "action"];
+
+/// Fields every `fault_injected` event must carry: the fault kind, the
+/// site it fired at, and which hit tripped it.
+pub const FAULT_REQUIRED_FIELDS: [&str; 3] = ["fault", "site", "hit"];
+
+/// Fields every `resume` event must carry: the journal the run resumed
+/// from and how many pruned units were already complete.
+pub const RESUME_REQUIRED_FIELDS: [&str; 2] = ["journal", "units_done"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
 /// `kind` and `level` are known; `name` / `message` are strings;
 /// `fields` is a flat object; `ts` is a number; `span` events carry a
-/// numeric `secs`; `episode` events carry [`EPISODE_REQUIRED_FIELDS`].
+/// numeric `secs`; `episode` events carry [`EPISODE_REQUIRED_FIELDS`],
+/// `recovery` events [`RECOVERY_REQUIRED_FIELDS`], `fault_injected`
+/// events [`FAULT_REQUIRED_FIELDS`] and `resume` events
+/// [`RESUME_REQUIRED_FIELDS`].
 ///
 /// # Errors
 ///
@@ -286,11 +301,16 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             .and_then(Json::as_num)
             .ok_or("span event missing numeric `secs`")?;
     }
-    if kind == "episode" {
-        for required in EPISODE_REQUIRED_FIELDS {
-            if !fields.contains_key(required) {
-                return Err(format!("episode event missing field `{required}`"));
-            }
+    let required: &[&str] = match kind {
+        "episode" => &EPISODE_REQUIRED_FIELDS,
+        "recovery" => &RECOVERY_REQUIRED_FIELDS,
+        "fault_injected" => &FAULT_REQUIRED_FIELDS,
+        "resume" => &RESUME_REQUIRED_FIELDS,
+        _ => &[],
+    };
+    for field in required {
+        if !fields.contains_key(*field) {
+            return Err(format!("{kind} event missing field `{field}`"));
         }
     }
     Ok(())
@@ -340,6 +360,34 @@ mod tests {
             .field("l0", 12u64)
             .field("baseline", 0.3);
         validate_line(&episode.to_json_line()).unwrap();
+    }
+
+    #[test]
+    fn robustness_kinds_validate_with_required_fields() {
+        let recovery = Event::new(EventKind::Recovery, Level::Warn, "engine/layer:0")
+            .field("reason", "nan_reward")
+            .field("action", "policy_reset")
+            .field("reset", 1u64);
+        validate_line(&recovery.to_json_line()).unwrap();
+
+        let fault = Event::new(EventKind::FaultInjected, Level::Warn, "faults")
+            .field("fault", "io_error")
+            .field("site", "checkpoint")
+            .field("hit", 2u64);
+        validate_line(&fault.to_json_line()).unwrap();
+
+        let resume = Event::new(EventKind::Resume, Level::Info, "runner")
+            .field("journal", "run/run.journal.json")
+            .field("units_done", 3u64);
+        validate_line(&resume.to_json_line()).unwrap();
+
+        // Missing required fields are violations.
+        let bare = Event::new(EventKind::Recovery, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("reason"));
+        let bare = Event::new(EventKind::FaultInjected, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("fault"));
+        let bare = Event::new(EventKind::Resume, Level::Info, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("journal"));
     }
 
     #[test]

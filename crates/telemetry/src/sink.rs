@@ -44,7 +44,11 @@ impl Sink for StderrSink {
 
     fn emit(&mut self, event: &Event) {
         match event.kind {
-            EventKind::Log | EventKind::Artifact => {
+            EventKind::Log
+            | EventKind::Artifact
+            | EventKind::Recovery
+            | EventKind::FaultInjected
+            | EventKind::Resume => {
                 // Durations ride in `secs` (never the message) so JSONL
                 // stays deterministic; surface them here for humans.
                 if let Some(secs) = event.secs {

@@ -42,6 +42,6 @@ pub use error::TensorError;
 pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::Init;
 pub use matmul::gemm_ex;
-pub use rng::Rng;
+pub use rng::{Rng, RngSnapshot};
 pub use shape::Shape;
 pub use tensor::Tensor;
