@@ -454,10 +454,7 @@ impl<'cfg> EpisodeEngine<'cfg> {
                 fixed_noise.clone()
             };
             probs = policy.probs(&noise)?;
-            if guard.entropy_floor > 0.0
-                && episode >= guard.entropy_grace
-                && crate::observe::policy_entropy(&probs) < guard.entropy_floor
-            {
+            if entropy_collapsed(guard, episode, &probs) {
                 return Ok(Attempt::Diverged {
                     reason: GuardReason::EntropyCollapse,
                     episode,
@@ -551,6 +548,17 @@ enum Attempt {
         episode: usize,
         reward_history: Vec<f32>,
     },
+}
+
+/// Whether the policy's mean entropy counts as collapsed at `episode`.
+/// The comparison is **strict**: entropy exactly at the floor is still
+/// healthy, so a floor set from an observed healthy run never trips on
+/// that same run. Disabled while `entropy_floor` is 0 or during the
+/// grace window.
+fn entropy_collapsed(guard: &crate::config::GuardPolicy, episode: usize, probs: &[f32]) -> bool {
+    guard.entropy_floor > 0.0
+        && episode >= guard.entropy_grace
+        && crate::observe::policy_entropy(probs) < guard.entropy_floor
 }
 
 /// Checks one episode's rewards against the guard policy. Pure
@@ -899,5 +907,114 @@ mod tests {
             .unwrap();
         // guard_empty_inference defaults to true: at least one survivor.
         assert!(kept_count(&out.final_action) >= 1);
+    }
+
+    #[test]
+    fn entropy_exactly_at_the_floor_is_still_healthy() {
+        // The collapse comparison is strict: a floor calibrated from an
+        // observed healthy entropy must not trip on that same value.
+        let probs = vec![0.3f32, 0.5, 0.7, 0.9];
+        let at_floor = crate::observe::policy_entropy(&probs);
+        let guard = crate::config::GuardPolicy {
+            entropy_floor: at_floor,
+            entropy_grace: 0,
+            ..Default::default()
+        };
+        assert!(!entropy_collapsed(&guard, 0, &probs));
+        // One ulp above the observed entropy and the same policy trips.
+        let above = crate::config::GuardPolicy {
+            entropy_floor: at_floor.next_up(),
+            entropy_grace: 0,
+            ..Default::default()
+        };
+        assert!(entropy_collapsed(&above, 0, &probs));
+        // The grace window suppresses the check entirely...
+        let graced = crate::config::GuardPolicy {
+            entropy_floor: 1_000.0,
+            entropy_grace: 5,
+            ..Default::default()
+        };
+        assert!(!entropy_collapsed(&graced, 4, &probs));
+        // ...until the boundary episode, where it applies (>=, not >).
+        assert!(entropy_collapsed(&graced, 5, &probs));
+        // A floor of exactly 0.0 disables the check even for a fully
+        // saturated (zero-entropy) policy.
+        let disabled = crate::config::GuardPolicy {
+            entropy_floor: 0.0,
+            entropy_grace: 0,
+            ..Default::default()
+        };
+        assert!(!entropy_collapsed(&disabled, 10, &[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn nan_reward_on_the_very_first_episode_is_guarded() {
+        // fail_from: 0 poisons the first reward the engine ever sees —
+        // there is no healthy history to fall back on, and the guard
+        // must still reset and eventually keep everything.
+        let cfg = HeadStartConfig::new(2.0).max_episodes(50).eval_images(8);
+        let mut net = Network::new();
+        let mut unit = PoisonedUnit {
+            units: 5,
+            fail_from: 0,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(7);
+        let mut obs = RecoveryRecorder::default();
+        let out = EpisodeEngine::new(&cfg)
+            .run_observed(&mut net, &mut unit, &mut rng, &mut obs)
+            .unwrap();
+        // Every attempt dies on episode 0: 2 resets + 1 fallback.
+        assert_eq!(obs.recoveries.len(), 3);
+        assert!(obs
+            .recoveries
+            .iter()
+            .all(|(reason, _, _)| *reason == GuardReason::NonFiniteReward));
+        assert_eq!(out.trace.convergence, ConvergenceReason::GuardFallback);
+        assert_eq!(out.trace.episodes, 1, "diverged on the first episode");
+        assert!(
+            out.trace.reward_history.is_empty(),
+            "no healthy episode ever completed"
+        );
+        assert_eq!(out.final_action, vec![true; 5]);
+    }
+
+    #[test]
+    fn zero_reset_budget_falls_back_immediately_keeping_everything() {
+        let guard = crate::config::GuardPolicy {
+            max_resets: 0,
+            ..Default::default()
+        };
+        let cfg = HeadStartConfig::new(2.0)
+            .max_episodes(50)
+            .eval_images(8)
+            .guard_policy(guard);
+        let mut net = Network::new();
+        let mut unit = PoisonedUnit {
+            units: 4,
+            fail_from: 0,
+            rewards_seen: 0,
+        };
+        let mut rng = Rng::seed_from(8);
+        let mut obs = RecoveryRecorder::default();
+        let out = EpisodeEngine::new(&cfg)
+            .run_observed(&mut net, &mut unit, &mut rng, &mut obs)
+            .unwrap();
+        // No retry at all: a single ThresholdFallback recovery.
+        assert_eq!(obs.recoveries.len(), 1);
+        assert_eq!(
+            obs.recoveries[0],
+            (
+                GuardReason::NonFiniteReward,
+                GuardAction::ThresholdFallback,
+                1
+            )
+        );
+        assert_eq!(out.trace.convergence, ConvergenceReason::GuardFallback);
+        assert_eq!(out.final_action, vec![true; 4]);
+        assert_eq!(out.probs, vec![1.0f32; 4]);
+        // The fallback consumed exactly one attempt's worth of rewards:
+        // the k sampled actions plus the poisoned inference evaluation.
+        assert_eq!(unit.rewards_seen, cfg.k + 1);
     }
 }

@@ -20,6 +20,22 @@ fn key_of(spec: &DatasetSpec) -> Key {
     format!("{spec:?}")
 }
 
+/// Locks the cache, recovering from poisoning: a panic elsewhere while
+/// the lock was held (e.g. in a caller's thread during generation)
+/// drops the possibly half-updated map and lets every later request
+/// rebuild entries, instead of panicking forever on `.expect()`.
+fn lock_cache() -> std::sync::MutexGuard<'static, Option<HashMap<Key, Arc<Dataset>>>> {
+    match CACHE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            CACHE.clear_poison();
+            guard
+        }
+    }
+}
+
 /// Returns the dataset for `spec`, generating it on first request and
 /// serving a shared handle afterwards.
 ///
@@ -43,7 +59,7 @@ fn key_of(spec: &DatasetSpec) -> Key {
 pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
     let key = key_of(spec);
     {
-        let guard = CACHE.lock().expect("dataset cache lock poisoned");
+        let guard = lock_cache();
         if let Some(map) = guard.as_ref() {
             if let Some(ds) = map.get(&key) {
                 return Ok(Arc::clone(ds));
@@ -53,7 +69,7 @@ pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
     // Generate outside the lock: synthesis can take a while and other
     // threads may want other specs meanwhile.
     let ds = Arc::new(Dataset::generate(spec)?);
-    let mut guard = CACHE.lock().expect("dataset cache lock poisoned");
+    let mut guard = lock_cache();
     let map = guard.get_or_insert_with(HashMap::new);
     Ok(Arc::clone(map.entry(key).or_insert(ds)))
 }
@@ -62,8 +78,16 @@ pub fn cached(spec: &DatasetSpec) -> Result<Arc<Dataset>, DataError> {
 mod tests {
     use super::*;
 
+    /// Serializes tests that touch the process-global cache, so the
+    /// poisoning test's rebuild never races a ptr_eq assertion.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     #[test]
     fn cache_returns_same_arc() {
+        let _guard = test_lock();
         let spec = DatasetSpec::cifar_like()
             .classes(2)
             .train_per_class(2)
@@ -77,6 +101,7 @@ mod tests {
 
     #[test]
     fn different_specs_get_different_datasets() {
+        let _guard = test_lock();
         let s1 = DatasetSpec::cifar_like()
             .classes(2)
             .train_per_class(2)
@@ -93,5 +118,28 @@ mod tests {
     #[test]
     fn cache_propagates_validation_errors() {
         assert!(cached(&DatasetSpec::cifar_like().classes(0)).is_err());
+    }
+
+    #[test]
+    fn cache_recovers_from_a_poisoned_lock() {
+        let _guard = test_lock();
+        // Poison the cache mutex: a thread panics while holding it.
+        let _ = std::thread::spawn(|| {
+            let _guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+            panic!("poison the dataset cache");
+        })
+        .join();
+
+        // Every later request must still be served (the entry is
+        // rebuilt), not panic on "dataset cache lock poisoned".
+        let spec = DatasetSpec::cifar_like()
+            .classes(2)
+            .train_per_class(2)
+            .test_per_class(1)
+            .image_size(8)
+            .with_seed(424242);
+        let a = cached(&spec).expect("cache must recover after poisoning");
+        let b = cached(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "rebuilt entry must be cached again");
     }
 }

@@ -1,0 +1,186 @@
+//! Thread-safe shared inference over a [`Network`].
+//!
+//! Serving code wants many request handlers (and reference checkers in
+//! tests) to classify against *one* model instance, but
+//! [`Network::forward`] takes `&mut self` — batch-norm layers update
+//! running statistics in training mode and every layer caches
+//! activations for backprop. [`SharedNetwork`] wraps the network in an
+//! `Arc<Mutex<…>>` so handles can be cloned freely across threads; each
+//! inference takes the lock for exactly one forward pass in inference
+//! mode (`train = false`, so the pass is a pure function of the
+//! weights).
+//!
+//! The lock recovers from poisoning: a panicking caller mid-forward
+//! cannot take the model down with it. Inference mode never leaves
+//! half-updated state behind (weights are only read), so continuing
+//! with the poisoned network is sound — the serving path must keep
+//! answering, not propagate one request's panic forever.
+
+use std::sync::{Arc, Mutex};
+
+use hs_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::network::Network;
+
+/// Classifies a batch: one inference-mode forward pass, then per-row
+/// argmax over the logits.
+///
+/// # Errors
+///
+/// Propagates layer errors, and [`NnError::BadInput`] if the logits are
+/// not a non-empty `[N, classes]` matrix.
+///
+/// # Example
+///
+/// ```
+/// use hs_nn::{infer::predict, models};
+/// use hs_tensor::{Rng, Shape, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = Rng::seed_from(7);
+/// let mut net = models::lenet(3, 10, 32, 1.0, &mut rng)?;
+/// let x = Tensor::randn(Shape::d4(2, 3, 32, 32), &mut rng);
+/// let classes = predict(&mut net, &x)?;
+/// assert_eq!(classes.len(), 2);
+/// assert!(classes.iter().all(|&c| c < 10));
+/// # Ok(())
+/// # }
+/// ```
+pub fn predict(net: &mut Network, images: &Tensor) -> Result<Vec<usize>, NnError> {
+    let logits = net.forward(images, false)?;
+    argmax_rows(&logits)
+}
+
+/// Per-row argmax of a `[N, classes]` logits matrix. Ties break toward
+/// the lower class index, matching the accuracy computation in
+/// [`crate::train`].
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] unless the tensor is a rank-2 matrix
+/// with at least one column.
+pub fn argmax_rows(logits: &Tensor) -> Result<Vec<usize>, NnError> {
+    if logits.shape().rank() != 2 || logits.shape().dim(1) == 0 {
+        return Err(NnError::BadInput {
+            what: "argmax_rows",
+            detail: format!("logits must be [N, classes], got {}", logits.shape()),
+        });
+    }
+    let (n, classes) = (logits.shape().dim(0), logits.shape().dim(1));
+    let data = logits.data();
+    let mut out = Vec::with_capacity(n);
+    for row in 0..n {
+        let row = &data[row * classes..(row + 1) * classes];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// A cloneable, thread-safe handle to one network used for inference.
+#[derive(Debug, Clone)]
+pub struct SharedNetwork {
+    inner: Arc<Mutex<Network>>,
+}
+
+impl SharedNetwork {
+    /// Wraps a network for shared inference.
+    pub fn new(net: Network) -> SharedNetwork {
+        SharedNetwork {
+            inner: Arc::new(Mutex::new(net)),
+        }
+    }
+
+    /// Locks the model, recovering from poisoning (see module docs).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Network> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Classifies a `[N, C, H, W]` batch under the lock; see [`predict`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`predict`] errors.
+    pub fn classify(&self, images: &Tensor) -> Result<Vec<usize>, NnError> {
+        predict(&mut self.lock(), images)
+    }
+
+    /// Runs `f` with exclusive access to the underlying network (e.g.
+    /// summaries or accounting on a live serving model).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Network) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use hs_tensor::{Rng, Shape};
+
+    fn net_and_batch() -> (Network, Tensor) {
+        let mut rng = Rng::seed_from(11);
+        let net = models::lenet(3, 10, 16, 1.0, &mut rng).unwrap();
+        let x = Tensor::randn(Shape::d4(3, 3, 16, 16), &mut rng);
+        (net, x)
+    }
+
+    #[test]
+    fn shared_classification_matches_direct_prediction() {
+        let (mut net, x) = net_and_batch();
+        let direct = predict(&mut net, &x).unwrap();
+        let shared = SharedNetwork::new(net);
+        assert_eq!(shared.classify(&x).unwrap(), direct);
+        // Inference is read-only: a second pass is identical.
+        assert_eq!(shared.classify(&x).unwrap(), direct);
+    }
+
+    #[test]
+    fn handles_share_one_model_across_threads() {
+        let (net, x) = net_and_batch();
+        let shared = SharedNetwork::new(net);
+        let reference = shared.classify(&x).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                let x = x.clone();
+                std::thread::spawn(move || shared.classify(&x).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn classification_survives_a_poisoned_lock() {
+        let (net, x) = net_and_batch();
+        let shared = SharedNetwork::new(net);
+        let reference = shared.classify(&x).unwrap();
+        let poisoner = shared.clone();
+        let _ = std::thread::spawn(move || {
+            poisoner.with(|_net| panic!("panic while holding the model lock"))
+        })
+        .join();
+        assert_eq!(
+            shared.classify(&x).unwrap(),
+            reference,
+            "a caller panic must not take the serving model down"
+        );
+    }
+
+    #[test]
+    fn argmax_rejects_non_matrix_logits() {
+        let t = Tensor::zeros(Shape::d1(4));
+        assert!(argmax_rows(&t).is_err());
+    }
+}

@@ -42,6 +42,7 @@ pub mod accounting;
 pub mod block;
 pub mod checkpoint;
 pub mod error;
+pub mod infer;
 pub mod layer;
 pub mod loss;
 pub mod models;

@@ -3,12 +3,16 @@
 //! smoke pipeline's `--telemetry` output instead of depending on jq.
 //!
 //! ```text
-//! telemetry_lint events.jsonl [--require-kind KIND]...
+//! telemetry_lint events.jsonl [--require-kind KIND]... [--require-order A,B]...
 //! ```
 //!
-//! Exits non-zero when any line fails validation, when the file is
-//! empty, or when a `--require-kind` (e.g. `episode`, `span`) never
-//! appears in the stream. Prints a per-kind event count on success.
+//! Exits non-zero when any line fails validation (including an unknown
+//! event kind), when the file is empty, when a `--require-kind` (e.g.
+//! `episode`, `span`) never appears in the stream, or when a
+//! `--require-order A,B` pair is missing or out of order (the first
+//! `A` must precede the first `B` — e.g. `degrade,restore` asserts the
+//! serving stack degraded before it restored). Prints a per-kind event
+//! count on success.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -16,7 +20,9 @@ use std::process::ExitCode;
 use hs_telemetry::schema::{parse, validate_line, Json};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: telemetry_lint <events.jsonl> [--require-kind KIND]...");
+    eprintln!(
+        "usage: telemetry_lint <events.jsonl> [--require-kind KIND]... [--require-order A,B]..."
+    );
     ExitCode::from(2)
 }
 
@@ -24,6 +30,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut ordered: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +40,16 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 required.push(kind.clone());
+                i += 2;
+            }
+            "--require-order" => {
+                let Some(pair) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Some((a, b)) = pair.split_once(',') else {
+                    return usage();
+                };
+                ordered.push((a.to_string(), b.to_string()));
                 i += 2;
             }
             flag if flag.starts_with("--") => return usage(),
@@ -57,6 +74,7 @@ fn main() -> ExitCode {
     };
 
     let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut first_seen: BTreeMap<String, usize> = BTreeMap::new();
     let mut violations = 0usize;
     let mut total = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -77,6 +95,7 @@ fn main() -> ExitCode {
                     .and_then(|o| o.get("kind").and_then(Json::as_str).map(String::from))
             })
             .expect("validated line has a kind");
+        first_seen.entry(kind.clone()).or_insert(lineno + 1);
         *kinds.entry(kind).or_default() += 1;
     }
 
@@ -93,6 +112,26 @@ fn main() -> ExitCode {
         if !kinds.contains_key(kind) {
             eprintln!("telemetry_lint: {path}: no `{kind}` events");
             missing = true;
+        }
+    }
+    for (a, b) in &ordered {
+        match (first_seen.get(a), first_seen.get(b)) {
+            (Some(la), Some(lb)) if la < lb => {}
+            (Some(la), Some(lb)) => {
+                eprintln!(
+                    "telemetry_lint: {path}: `{a}` (line {la}) does not precede `{b}` (line {lb})"
+                );
+                missing = true;
+            }
+            (first_a, first_b) => {
+                if first_a.is_none() {
+                    eprintln!("telemetry_lint: {path}: no `{a}` events (required before `{b}`)");
+                }
+                if first_b.is_none() {
+                    eprintln!("telemetry_lint: {path}: no `{b}` events (required after `{a}`)");
+                }
+                missing = true;
+            }
         }
     }
     if missing {

@@ -30,6 +30,7 @@ pub mod config;
 pub mod error;
 pub mod faults;
 pub mod journal;
+pub mod manifest;
 pub mod pipeline;
 pub mod report;
 pub mod resume;
@@ -39,6 +40,7 @@ pub use config::{BaselineKind, DataChoice, Method, ModelChoice, ModelKind, Runne
 pub use error::RunnerError;
 pub use faults::{arm_from_env, crash_point, FAULT_ENV};
 pub use journal::{Journal, Stage, UnitRecord, JOURNAL_FILE};
+pub use manifest::{ServeManifest, MANIFEST_FILE};
 pub use pipeline::{prepare, pretrain, run, MethodRun, PipelineReport, Prepared, SingleLayerRun};
 pub use report::{pct, write_json, Json, Phase, StageTiming};
 pub use resume::{resume_run, FINAL_CHECKPOINT, PRETRAINED_CHECKPOINT};

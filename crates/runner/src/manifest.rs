@@ -1,0 +1,299 @@
+//! The serve manifest: `serve.manifest.json`, written when a journaled
+//! pipeline run finalizes. It pairs the **dense** pre-trained checkpoint
+//! with the **pruned** inception checkpoint plus everything `hs_serve`
+//! needs to load and drive them — dataset/model choice, the target
+//! speedup, and the measured accuracy/cost of each slot — so graceful
+//! degradation can hot-swap between the two models of *one* run without
+//! any extra flags.
+//!
+//! Checkpoint paths are stored as written (the run directory's own
+//! files stay relative) and resolved against the manifest's directory
+//! on load, so a moved run directory still serves. Reading uses the
+//! workspace's own JSON parser ([`hs_telemetry::schema::parse`]);
+//! writing goes through the atomic writer like every other artifact.
+
+use std::path::{Path, PathBuf};
+
+use hs_telemetry::schema;
+
+use crate::config::{DataChoice, ModelChoice};
+use crate::error::RunnerError;
+use crate::report::Json;
+
+/// File name of the serve manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "serve.manifest.json";
+
+/// Manifest format version (bumped on breaking layout changes).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Everything `hs_serve` needs to serve one finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeManifest {
+    /// Human-readable run label.
+    pub label: String,
+    /// Dataset the models were trained on (request inputs are drawn
+    /// from its deterministic test split).
+    pub data: DataChoice,
+    /// Architecture + width of the dense model.
+    pub model: ModelChoice,
+    /// The run's target speedup `sp` (dense FLOPs / pruned FLOPs goal).
+    pub sp: f32,
+    /// Dense (pre-trained) checkpoint path, relative to the manifest's
+    /// directory unless absolute.
+    pub dense: String,
+    /// Pruned (inception) checkpoint path, same resolution rule.
+    pub pruned: String,
+    /// Test accuracy of the dense model.
+    pub dense_accuracy: f32,
+    /// Test accuracy of the pruned model.
+    pub pruned_accuracy: f32,
+    /// Parameter count of the dense model.
+    pub dense_params: u64,
+    /// Parameter count of the pruned model.
+    pub pruned_params: u64,
+    /// MAC count of the dense model.
+    pub dense_flops: u64,
+    /// MAC count of the pruned model.
+    pub pruned_flops: u64,
+}
+
+impl ServeManifest {
+    /// The manifest path inside a run directory.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Atomically writes the manifest into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (site `artifact` for fault
+    /// injection).
+    pub fn save(&self, dir: &Path) -> Result<(), RunnerError> {
+        let bytes = self.to_json().render();
+        hs_telemetry::io::atomic_write_as(&ServeManifest::path(dir), "artifact", bytes.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and validates a manifest. `path` may be the manifest file
+    /// itself or a run directory containing one.
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerError::BadConfig`] when the file is missing, unparsable,
+    /// or structurally wrong; the message names the first problem.
+    pub fn load(path: &Path) -> Result<ServeManifest, RunnerError> {
+        let path = if path.is_dir() {
+            ServeManifest::path(path)
+        } else {
+            path.to_path_buf()
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| RunnerError::BadConfig(format!("{}: {e}", path.display())))?;
+        let value = schema::parse(&text)
+            .map_err(|e| RunnerError::BadConfig(format!("{}: {e}", path.display())))?;
+        ServeManifest::from_json(&value)
+            .map_err(|e| RunnerError::BadConfig(format!("{}: {e}", path.display())))
+    }
+
+    /// The dense checkpoint path resolved against the manifest's
+    /// directory.
+    pub fn dense_path(&self, manifest_dir: &Path) -> PathBuf {
+        resolve(manifest_dir, &self.dense)
+    }
+
+    /// The pruned checkpoint path resolved against the manifest's
+    /// directory.
+    pub fn pruned_path(&self, manifest_dir: &Path) -> PathBuf {
+        resolve(manifest_dir, &self.pruned)
+    }
+
+    /// How much cheaper one pruned inference is than a dense one, as a
+    /// multiplier in (0, 1]: the measured FLOP ratio, falling back to
+    /// the configured `1/sp` when a count is missing.
+    pub fn pruned_cost_scale(&self) -> f64 {
+        let ratio = if self.dense_flops > 0 && self.pruned_flops > 0 {
+            self.pruned_flops as f64 / self.dense_flops as f64
+        } else if self.sp > 1.0 {
+            1.0 / f64::from(self.sp)
+        } else {
+            1.0
+        };
+        ratio.clamp(0.01, 1.0)
+    }
+
+    /// Renders the manifest as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::num(MANIFEST_VERSION as f64)),
+            ("label".into(), Json::str(self.label.clone())),
+            ("data".into(), Json::str(self.data.name())),
+            ("model".into(), Json::str(self.model.name())),
+            ("width".into(), Json::num(f64::from(self.model.width))),
+            ("sp".into(), Json::num(f64::from(self.sp))),
+            ("dense".into(), Json::str(self.dense.clone())),
+            ("pruned".into(), Json::str(self.pruned.clone())),
+            (
+                "dense_accuracy".into(),
+                Json::num(f64::from(self.dense_accuracy)),
+            ),
+            (
+                "pruned_accuracy".into(),
+                Json::num(f64::from(self.pruned_accuracy)),
+            ),
+            ("dense_params".into(), hex(self.dense_params)),
+            ("pruned_params".into(), hex(self.pruned_params)),
+            ("dense_flops".into(), hex(self.dense_flops)),
+            ("pruned_flops".into(), hex(self.pruned_flops)),
+        ])
+    }
+
+    /// Parses a manifest from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(value: &schema::Json) -> Result<ServeManifest, String> {
+        let obj = value.as_obj().ok_or("manifest is not a JSON object")?;
+        let version = num(obj, "version")? as u64;
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        Ok(ServeManifest {
+            label: str_field(obj, "label")?,
+            data: DataChoice::parse(&str_field(obj, "data")?).map_err(|e| e.to_string())?,
+            model: ModelChoice::parse(&str_field(obj, "model")?, num(obj, "width")? as f32)
+                .map_err(|e| e.to_string())?,
+            sp: num(obj, "sp")? as f32,
+            dense: str_field(obj, "dense")?,
+            pruned: str_field(obj, "pruned")?,
+            dense_accuracy: num(obj, "dense_accuracy")? as f32,
+            pruned_accuracy: num(obj, "pruned_accuracy")? as f32,
+            dense_params: hex_field(obj, "dense_params")?,
+            pruned_params: hex_field(obj, "pruned_params")?,
+            dense_flops: hex_field(obj, "dense_flops")?,
+            pruned_flops: hex_field(obj, "pruned_flops")?,
+        })
+    }
+}
+
+fn resolve(dir: &Path, stored: &str) -> PathBuf {
+    let p = Path::new(stored);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        dir.join(p)
+    }
+}
+
+/// A u64 as a JSON hex string, matching the run journal's convention
+/// (JSON numbers are doubles and would round above 2⁵³).
+fn hex(v: u64) -> Json {
+    Json::str(format!("{v:#x}"))
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("`{s}` is not a 0x-prefixed hex string"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| format!("`{s}` is not a valid hex u64"))
+}
+
+fn num(obj: &std::collections::BTreeMap<String, schema::Json>, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(schema::Json::as_num)
+        .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+fn str_field(
+    obj: &std::collections::BTreeMap<String, schema::Json>,
+    key: &str,
+) -> Result<String, String> {
+    obj.get(key)
+        .and_then(schema::Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn hex_field(
+    obj: &std::collections::BTreeMap<String, schema::Json>,
+    key: &str,
+) -> Result<u64, String> {
+    let s = str_field(obj, key)?;
+    parse_hex(&s).map_err(|e| format!("`{key}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeManifest {
+        ServeManifest {
+            label: "manifest-test".into(),
+            data: DataChoice::CifarLike,
+            model: ModelChoice::parse("lenet", 1.0).unwrap(),
+            sp: 2.0,
+            dense: "pretrained.hsck".into(),
+            pruned: "final.hsck".into(),
+            dense_accuracy: 0.5,
+            pruned_accuracy: 0.375,
+            dense_params: (1 << 60) + 3, // would round as a JSON double
+            pruned_params: 1234,
+            dense_flops: 8_000_000,
+            pruned_flops: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_exactly() {
+        let manifest = sample();
+        let text = manifest.to_json().render();
+        let parsed = ServeManifest::from_json(&schema::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn manifest_saves_loads_and_resolves_paths() {
+        let dir = std::env::temp_dir().join(format!("hs-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = sample();
+        manifest.save(&dir).unwrap();
+        // Load by directory and by explicit file path.
+        assert_eq!(ServeManifest::load(&dir).unwrap(), manifest);
+        let by_file = ServeManifest::load(&ServeManifest::path(&dir)).unwrap();
+        assert_eq!(by_file.dense_path(&dir), dir.join("pretrained.hsck"));
+        assert_eq!(by_file.pruned_path(&dir), dir.join("final.hsck"));
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cost_scale_prefers_measured_flops() {
+        let mut m = sample();
+        assert!((m.pruned_cost_scale() - 0.25).abs() < 1e-9);
+        m.pruned_flops = 0; // falls back to 1/sp
+        assert!((m.pruned_cost_scale() - 0.5).abs() < 1e-9);
+        m.sp = 1.0;
+        assert!((m.pruned_cost_scale() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected_with_context() {
+        let manifest = sample();
+        let rendered = manifest.to_json().render();
+        for (needle, replacement) in [
+            ("\"version\": 1", "\"version\": 9"),
+            ("\"cifar\"", "\"imagenet\""),
+            ("\"dense\": \"pretrained.hsck\"", "\"dense\": 17"),
+        ] {
+            let broken = rendered.replace(needle, replacement);
+            assert_ne!(broken, rendered, "needle `{needle}` not found");
+            let parsed = schema::parse(&broken).unwrap();
+            assert!(
+                ServeManifest::from_json(&parsed).is_err(),
+                "accepted {replacement}"
+            );
+        }
+        assert!(ServeManifest::load(Path::new("/nonexistent-hs-manifest")).is_err());
+    }
+}

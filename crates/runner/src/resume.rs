@@ -41,6 +41,7 @@ use crate::config::{Method, RunnerConfig};
 use crate::error::RunnerError;
 use crate::faults::crash_point;
 use crate::journal::{Journal, Stage, UnitRecord};
+use crate::manifest::ServeManifest;
 use crate::pipeline::{prepare, PipelineReport, Prepared};
 use crate::report::{write_json, Phase, StageTiming};
 
@@ -141,6 +142,12 @@ pub(crate) fn run_journaled(
         }
     };
 
+    // The run is finalized: pair the dense and pruned checkpoints in a
+    // serve manifest so `hs_serve` can load both slots without flags.
+    let manifest = serve_manifest(&cfg, dir, &prepared, &report);
+    manifest.save(dir)?;
+    hs_telemetry::artifact(&cfg.label, &ServeManifest::path(dir));
+
     if let Some(path) = &cfg.artifact {
         write_json(path, &report.to_json())?;
         hs_telemetry::artifact(&cfg.label, path);
@@ -156,6 +163,39 @@ pub(crate) fn run_journaled(
     }
     hs_telemetry::flush_metrics();
     Ok(report)
+}
+
+/// Builds the serve manifest for a finalized journaled run: the dense
+/// slot is the pre-trained checkpoint (stored relative when it lives in
+/// the run directory), the pruned slot is `final.hsck`.
+fn serve_manifest(
+    cfg: &RunnerConfig,
+    dir: &Path,
+    prepared: &Prepared,
+    report: &PipelineReport,
+) -> ServeManifest {
+    let dense = match &cfg.checkpoint {
+        Some(p) if p.parent() == Some(dir) => p
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string()),
+        Some(p) => p.display().to_string(),
+        None => PRETRAINED_CHECKPOINT.to_string(),
+    };
+    ServeManifest {
+        label: cfg.label.clone(),
+        data: cfg.data,
+        model: cfg.model,
+        sp: cfg.method.sp(),
+        dense,
+        pruned: FINAL_CHECKPOINT.to_string(),
+        dense_accuracy: prepared.original_accuracy,
+        pruned_accuracy: report.final_accuracy,
+        dense_params: prepared.original_cost.total_params,
+        pruned_params: report.final_cost.total_params,
+        dense_flops: prepared.original_cost.total_flops,
+        pruned_flops: report.final_cost.total_flops,
+    }
 }
 
 /// The journaled per-unit pruning loop shared by the per-layer methods.

@@ -1,0 +1,93 @@
+//! CLI contract of `telemetry_lint`: unknown kinds are hard failures,
+//! the serving kinds are recognised, and `--require-order` enforces the
+//! degrade→restore sequence CI depends on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lint(lines: &str, tag: &str, extra: &[&str]) -> Output {
+    let path = std::env::temp_dir().join(format!("hs-lint-{}-{tag}.jsonl", std::process::id()));
+    std::fs::write(&path, lines).expect("write stream");
+    let out = Command::new(env!("CARGO_BIN_EXE_telemetry_lint"))
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("run telemetry_lint");
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+/// One schema-valid JSONL event line; `fields` is the inner body of
+/// the `fields` object.
+fn line(kind: &str, fields: &str) -> String {
+    format!(
+        "{{\"schema\": 1, \"kind\": \"{kind}\", \"level\": \"info\", \"name\": \"t\", \
+         \"message\": \"m\", \"fields\": {{{fields}}}, \"ts\": 1.5}}\n"
+    )
+}
+
+#[test]
+fn unknown_event_kind_exits_non_zero() {
+    let out = lint(&line("mystery_kind", ""), "unknown", &[]);
+    assert!(!out.status.success(), "unknown kind must fail the lint");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mystery_kind"), "stderr names the kind: {err}");
+}
+
+#[test]
+fn serve_kinds_are_recognised() {
+    let stream = [
+        line("serve_request", "\"id\": 1, \"outcome\": \"accepted\""),
+        line(
+            "serve_batch",
+            "\"size\": 2, \"model\": \"dense\", \"outcome\": \"ok\"",
+        ),
+        line("serve_breaker", "\"from\": \"closed\", \"to\": \"open\""),
+        line(
+            "degrade",
+            "\"reason\": \"breaker_open\", \"model\": \"pruned\"",
+        ),
+        line("restore", "\"reason\": \"recovered\", \"model\": \"dense\""),
+    ]
+    .concat();
+    let out = lint(
+        &stream,
+        "serve-kinds",
+        &["--require-kind", "degrade", "--require-kind", "restore"],
+    );
+    assert!(
+        out.status.success(),
+        "serve kinds rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn require_order_enforces_degrade_before_restore() {
+    let degrade = line(
+        "degrade",
+        "\"reason\": \"breaker_open\", \"model\": \"pruned\"",
+    );
+    let restore = line("restore", "\"reason\": \"recovered\", \"model\": \"dense\"");
+    let order = ["--require-order", "degrade,restore"];
+
+    let ok = lint(&format!("{degrade}{restore}"), "order-ok", &order);
+    assert!(
+        ok.status.success(),
+        "in-order stream rejected: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    let flipped = lint(&format!("{restore}{degrade}"), "order-flipped", &order);
+    assert!(!flipped.status.success(), "out-of-order stream must fail");
+
+    let missing = lint(&degrade, "order-missing", &order);
+    assert!(!missing.status.success(), "missing `restore` must fail");
+    let err = String::from_utf8_lossy(&missing.stderr);
+    assert!(err.contains("restore"), "stderr names the gap: {err}");
+}
+
+#[test]
+fn lint_binary_path_exists() {
+    assert!(PathBuf::from(env!("CARGO_BIN_EXE_telemetry_lint")).exists());
+}

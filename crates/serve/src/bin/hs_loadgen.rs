@@ -1,0 +1,100 @@
+//! `hs_loadgen` — write a deterministic load plan for `hs_serve`.
+//!
+//! ```text
+//! hs_loadgen --mode open --requests 200 --gap-us 800 --deadline-us 30000 \
+//!            --seed 7 --out load.json
+//! ```
+//!
+//! `--mode open` pre-computes the full arrival schedule (arrivals keep
+//! coming regardless of server health — the honest overload workload);
+//! `--mode closed` records a client-simulation spec (`--concurrency`
+//! clients, `--think-us` pause after each outcome). Either way the
+//! output is a plain JSON file: the same flags always produce the same
+//! bytes, so a serving run driven by it is replayable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hs_serve::LoadSpec;
+
+fn usage() {
+    eprintln!(
+        "usage: hs_loadgen [--mode open|closed] [--requests N] [--gap-us N]\n\
+         \x20                [--deadline-us N] [--seed N] [--concurrency N] [--think-us N]\n\
+         \x20                --out PATH.json\n\
+         \n\
+         \x20 --mode open    fixed arrival schedule (default)\n\
+         \x20 --mode closed  think-time client simulation spec"
+    );
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut mode = "open".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut spec = LoadSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |what: &str| format!("{flag}: expected {what}, got `{value}`");
+        match flag.as_str() {
+            "--mode" => {
+                if value != "open" && value != "closed" {
+                    return Err(bad("`open` or `closed`"));
+                }
+                mode = value.clone();
+            }
+            "--out" => out = Some(PathBuf::from(value)),
+            "--requests" => spec.requests = value.parse().map_err(|_| bad("integer"))?,
+            "--gap-us" => spec.gap = value.parse().map_err(|_| bad("integer"))?,
+            "--deadline-us" => spec.deadline = value.parse().map_err(|_| bad("integer"))?,
+            "--seed" => spec.seed = value.parse().map_err(|_| bad("integer"))?,
+            "--concurrency" => spec.concurrency = value.parse().map_err(|_| bad("integer"))?,
+            "--think-us" => spec.think = value.parse().map_err(|_| bad("integer"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    let out = out.ok_or("--out is required")?;
+    match mode.as_str() {
+        "open" => {
+            let profile = spec.open_profile();
+            profile.save(&out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote open-loop plan: {} arrivals over {} us -> {}",
+                profile.entries.len(),
+                profile.entries.last().map(|e| e.at).unwrap_or(0),
+                out.display()
+            );
+        }
+        _ => {
+            spec.save(&out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote closed-loop plan: {} requests from {} clients (think {} us) -> {}",
+                spec.requests,
+                spec.concurrency,
+                spec.think,
+                out.display()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hs_loadgen: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

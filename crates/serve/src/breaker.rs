@@ -1,0 +1,184 @@
+//! The circuit breaker around the compute pool.
+//!
+//! Consecutive batch failures (timeouts, inference errors) trip the
+//! breaker **open**: no batches run until a cooldown elapses, giving
+//! whatever is slow a chance to recover instead of queueing more doomed
+//! work behind it. After the cooldown the breaker goes **half-open**
+//! and admits probe batches; the first success closes it, the first
+//! failure re-opens it for another cooldown.
+//!
+//! Every transition emits a `serve_breaker` telemetry event and updates
+//! the `hs_serve_breaker_state` gauge (0 = closed, 1 = open,
+//! 2 = half-open). Time is virtual microseconds, like everything in
+//! this crate.
+
+use hs_telemetry::{metrics, Event, EventKind, Level};
+
+use crate::request::Micros;
+
+/// Breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: batches flow.
+    Closed,
+    /// Tripped: nothing runs until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe batches are admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable name used in telemetry fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    fn gauge_value(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
+/// A consecutive-failure circuit breaker in virtual time.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    threshold: usize,
+    cooldown: Micros,
+    consecutive_failures: usize,
+    open_until: Micros,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (min 1) and staying open for `cooldown` virtual microseconds.
+    pub fn new(threshold: usize, cooldown: Micros) -> CircuitBreaker {
+        metrics::gauge("hs_serve_breaker_state").set(0.0);
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            open_until: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (transitions happen in `allow`/`on_*`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How often the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// While open: when probes become admissible. The engine folds this
+    /// into its next-event time so virtual time can jump straight to it.
+    pub fn gate(&self) -> Option<Micros> {
+        match self.state {
+            BreakerState::Open => Some(self.open_until),
+            _ => None,
+        }
+    }
+
+    /// May a batch execute at `now`? Transitions open → half-open when
+    /// the cooldown has elapsed.
+    pub fn allow(&mut self, now: Micros) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open if now >= self.open_until => {
+                self.transition(BreakerState::HalfOpen, now);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Records a successful batch. A half-open probe success closes the
+    /// breaker; returns true when that recovery transition happened.
+    pub fn on_success(&mut self, now: Micros) -> bool {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.transition(BreakerState::Closed, now);
+            return true;
+        }
+        false
+    }
+
+    /// Records a failed batch (timeout or inference error). Returns
+    /// true when this failure tripped the breaker open.
+    pub fn on_failure(&mut self, now: Micros) -> bool {
+        self.consecutive_failures += 1;
+        let should_trip = self.state == BreakerState::HalfOpen
+            || (self.state == BreakerState::Closed && self.consecutive_failures >= self.threshold);
+        if should_trip {
+            self.open_until = now + self.cooldown;
+            self.trips += 1;
+            metrics::counter("hs_serve_breaker_trips_total").inc();
+            self.transition(BreakerState::Open, now);
+        }
+        should_trip
+    }
+
+    fn transition(&mut self, to: BreakerState, now: Micros) {
+        let from = self.state;
+        self.state = to;
+        metrics::gauge("hs_serve_breaker_state").set(to.gauge_value());
+        hs_telemetry::emit(
+            Event::new(EventKind::ServeBreaker, Level::Warn, "serve/breaker")
+                .message(format!("breaker {} -> {}", from.as_str(), to.as_str()))
+                .field("from", from.as_str())
+                .field("to", to.as_str())
+                .field("at", now)
+                .field("failures", self.consecutive_failures as u64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_on_consecutive_failures_and_recovers_via_probe() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(0));
+        assert!(!b.on_failure(10)); // 1/2
+        assert!(!b.on_success(20)); // success resets the streak
+        assert!(!b.on_failure(30)); // 1/2 again
+        assert!(b.on_failure(40)); // 2/2: trips
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.gate(), Some(1_040));
+        assert!(!b.allow(1_039)); // still cooling down
+        assert!(b.allow(1_040)); // half-open probe
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.on_success(1_050)); // probe success closes
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(3, 500);
+        for t in [0, 1, 2] {
+            b.on_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(502));
+        assert!(b.on_failure(510), "one half-open failure must re-trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.gate(), Some(1_010));
+        assert_eq!(b.trips(), 2);
+    }
+}

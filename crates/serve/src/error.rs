@@ -1,0 +1,60 @@
+//! The serve crate's error type.
+
+use std::fmt;
+use std::io;
+
+use hs_nn::NnError;
+
+/// Anything the serving stack can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A model slot could not be loaded, even after retries.
+    Load {
+        /// Which slot failed (`dense` / `pruned`).
+        slot: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: io::Error,
+    },
+    /// An inference pass failed (shape mismatch, bad checkpoint).
+    Nn(NnError),
+    /// Reading/writing a profile, manifest, or report failed.
+    Io(io::Error),
+    /// A malformed config, profile, or CLI flag.
+    BadConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Load {
+                slot,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "loading {slot} model failed after {attempts} attempts: {last}"
+                )
+            }
+            ServeError::Nn(e) => write!(f, "inference error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> ServeError {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}

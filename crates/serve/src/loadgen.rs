@@ -1,0 +1,517 @@
+//! Deterministic load generation: seeded open- and closed-loop drivers.
+//!
+//! An **open-loop** profile is a fixed arrival schedule generated from
+//! a seed (arrivals keep coming regardless of how the server copes —
+//! the honest way to measure overload). A **closed-loop** driver
+//! simulates `concurrency` clients that each wait for their previous
+//! request's outcome plus a think time before issuing the next one
+//! (back-pressure reaches the clients, like a connection-pooled RPC
+//! caller).
+//!
+//! Profiles serialise to JSON so `hs_loadgen` can write a schedule once
+//! and `hs_serve` can replay it byte-for-byte; both sides use the
+//! workspace's own JSON reader/writer — no external crates.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hs_runner::report::{write_json, Json};
+use hs_telemetry::schema;
+use hs_tensor::Rng;
+
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::request::{Micros, Outcome, Request};
+
+/// Profile format version (bumped on breaking layout changes).
+pub const PROFILE_VERSION: u64 = 1;
+
+/// One scheduled arrival in an open-loop profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Request id (unique within the profile).
+    pub id: u64,
+    /// Arrival time.
+    pub at: Micros,
+    /// Absolute deadline.
+    pub deadline: Micros,
+    /// Sample index into the serving input pool.
+    pub sample: usize,
+}
+
+/// A fixed, replayable arrival schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// The seed the schedule was generated from (recorded for
+    /// provenance; replay uses the entries, not the seed).
+    pub seed: u64,
+    /// Arrivals in nondecreasing `at` order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+/// Knobs for generating load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Open loop: mean inter-arrival gap.
+    pub gap: Micros,
+    /// Relative deadline given to every request.
+    pub deadline: Micros,
+    /// RNG seed (arrival jitter, sample choice).
+    pub seed: u64,
+    /// Closed loop: number of concurrent clients.
+    pub concurrency: usize,
+    /// Closed loop: pause between an outcome and the client's next
+    /// request.
+    pub think: Micros,
+}
+
+impl Default for LoadSpec {
+    fn default() -> LoadSpec {
+        LoadSpec {
+            requests: 64,
+            gap: 1_000,
+            deadline: 50_000,
+            seed: 0x4853,
+            concurrency: 4,
+            think: 2_000,
+        }
+    }
+}
+
+impl LoadSpec {
+    /// Generates the open-loop arrival schedule: inter-arrival steps
+    /// are `gap ± 25%`, jittered by the seeded RNG, so the same spec
+    /// always yields the same profile.
+    pub fn open_profile(&self) -> LoadProfile {
+        let mut rng = Rng::seed_from(self.seed);
+        let mut at: Micros = 0;
+        let jitter_span = self.gap / 2 + 1;
+        let entries = (0..self.requests)
+            .map(|id| {
+                at += self.gap - self.gap / 4 + rng.next_u64() % jitter_span;
+                ProfileEntry {
+                    id,
+                    at,
+                    deadline: at + self.deadline,
+                    sample: (rng.next_u64() % 4096) as usize,
+                }
+            })
+            .collect();
+        LoadProfile {
+            seed: self.seed,
+            entries,
+        }
+    }
+
+    /// Renders a closed-loop spec as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::num(PROFILE_VERSION as f64)),
+            ("mode".into(), Json::str("closed")),
+            ("seed".into(), Json::str(format!("{:#x}", self.seed))),
+            ("requests".into(), Json::num(self.requests as f64)),
+            ("gap".into(), Json::num(self.gap as f64)),
+            ("deadline".into(), Json::num(self.deadline as f64)),
+            ("concurrency".into(), Json::num(self.concurrency as f64)),
+            ("think".into(), Json::num(self.think as f64)),
+        ])
+    }
+
+    /// Writes the spec to `path` (pretty JSON, trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        write_json(path, &self.to_json())?;
+        Ok(())
+    }
+
+    /// Parses a closed-loop spec from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(value: &schema::Json) -> Result<LoadSpec, String> {
+        let obj = value.as_obj().ok_or("spec is not a JSON object")?;
+        let version = field_num(obj, "version")? as u64;
+        if version != PROFILE_VERSION {
+            return Err(format!("unsupported profile version {version}"));
+        }
+        let seed_str = obj
+            .get("seed")
+            .and_then(schema::Json::as_str)
+            .ok_or("missing string `seed`")?;
+        let seed = seed_str
+            .strip_prefix("0x")
+            .and_then(|d| u64::from_str_radix(d, 16).ok())
+            .ok_or_else(|| format!("`{seed_str}` is not a 0x-prefixed hex u64"))?;
+        Ok(LoadSpec {
+            requests: field_num(obj, "requests")? as u64,
+            gap: field_num(obj, "gap")? as Micros,
+            deadline: field_num(obj, "deadline")? as Micros,
+            seed,
+            concurrency: field_num(obj, "concurrency")? as usize,
+            think: field_num(obj, "think")? as Micros,
+        })
+    }
+}
+
+/// A saved load plan: either a fixed open-loop schedule or a
+/// closed-loop spec replayed by simulating its clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Replay a fixed arrival schedule.
+    Open(LoadProfile),
+    /// Simulate `concurrency` think-time clients.
+    Closed(LoadSpec),
+}
+
+impl Plan {
+    /// Loads a plan written by `hs_loadgen` (dispatching on its
+    /// `mode` field).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] when the file is missing, unparsable,
+    /// or structurally wrong.
+    pub fn load(path: &Path) -> Result<Plan, ServeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
+        let value = schema::parse(&text)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
+        let mode = value
+            .as_obj()
+            .and_then(|o| o.get("mode"))
+            .and_then(schema::Json::as_str)
+            .unwrap_or("open")
+            .to_string();
+        let plan = match mode.as_str() {
+            "open" => Plan::Open(LoadProfile::from_json(&value).map_err(err_at(path))?),
+            "closed" => Plan::Closed(LoadSpec::from_json(&value).map_err(err_at(path))?),
+            other => {
+                return Err(ServeError::BadConfig(format!(
+                    "{}: unknown mode `{other}` (expected `open` or `closed`)",
+                    path.display()
+                )))
+            }
+        };
+        Ok(plan)
+    }
+
+    /// Drives `engine` with this plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (see [`ServeEngine::tick`]).
+    pub fn drive(&self, engine: &mut ServeEngine) -> Result<Vec<Outcome>, ServeError> {
+        match self {
+            Plan::Open(profile) => drive_open(engine, profile),
+            Plan::Closed(spec) => drive_closed(engine, spec),
+        }
+    }
+}
+
+fn err_at(path: &Path) -> impl Fn(String) -> ServeError + '_ {
+    move |e| ServeError::BadConfig(format!("{}: {e}", path.display()))
+}
+
+impl LoadProfile {
+    /// Renders the profile as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::num(PROFILE_VERSION as f64)),
+            ("mode".into(), Json::str("open")),
+            ("seed".into(), Json::str(format!("{:#x}", self.seed))),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::num(e.id as f64)),
+                                ("at".into(), Json::num(e.at as f64)),
+                                ("deadline".into(), Json::num(e.deadline as f64)),
+                                ("sample".into(), Json::num(e.sample as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the profile to `path` (pretty JSON, trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        write_json(path, &self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a profile written by [`save`](LoadProfile::save).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] when the file is missing, unparsable,
+    /// or structurally wrong.
+    pub fn load(path: &Path) -> Result<LoadProfile, ServeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
+        let value = schema::parse(&text)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
+        LoadProfile::from_json(&value)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))
+    }
+
+    /// Parses a profile from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(value: &schema::Json) -> Result<LoadProfile, String> {
+        let obj = value.as_obj().ok_or("profile is not a JSON object")?;
+        let version = field_num(obj, "version")? as u64;
+        if version != PROFILE_VERSION {
+            return Err(format!("unsupported profile version {version}"));
+        }
+        let seed_str = obj
+            .get("seed")
+            .and_then(schema::Json::as_str)
+            .ok_or("missing string `seed`")?;
+        let seed = seed_str
+            .strip_prefix("0x")
+            .and_then(|d| u64::from_str_radix(d, 16).ok())
+            .ok_or_else(|| format!("`{seed_str}` is not a 0x-prefixed hex u64"))?;
+        let entries = match obj.get("entries") {
+            Some(schema::Json::Arr(items)) => items
+                .iter()
+                .map(|item| {
+                    let e = item.as_obj().ok_or("entry is not a JSON object")?;
+                    Ok(ProfileEntry {
+                        id: field_num(e, "id")? as u64,
+                        at: field_num(e, "at")? as Micros,
+                        deadline: field_num(e, "deadline")? as Micros,
+                        sample: field_num(e, "sample")? as usize,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing array `entries`".to_string()),
+        };
+        Ok(LoadProfile { seed, entries })
+    }
+}
+
+fn field_num(obj: &BTreeMap<String, schema::Json>, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(schema::Json::as_num)
+        .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+/// Replays an open-loop profile against the engine: tick to each
+/// arrival, submit, then drain whatever is still queued. Returns every
+/// terminal outcome (completions, typed rejections) in event order.
+///
+/// # Errors
+///
+/// Propagates engine errors (see [`ServeEngine::tick`]).
+pub fn drive_open(
+    engine: &mut ServeEngine,
+    profile: &LoadProfile,
+) -> Result<Vec<Outcome>, ServeError> {
+    let mut outcomes = Vec::new();
+    for e in &profile.entries {
+        outcomes.extend(engine.tick(e.at)?);
+        let req = Request {
+            id: e.id,
+            sample: e.sample,
+            arrival: e.at,
+            deadline: e.deadline,
+        };
+        if let Some(rej) = engine.submit(req, e.at) {
+            outcomes.push(Outcome::Rejected(rej));
+        }
+    }
+    outcomes.extend(engine.drain()?);
+    Ok(outcomes)
+}
+
+/// Runs a closed loop: `spec.concurrency` virtual clients that each
+/// wait for their previous request's outcome plus `spec.think` before
+/// issuing the next, until `spec.requests` have been issued in total.
+///
+/// # Errors
+///
+/// Propagates engine errors (see [`ServeEngine::tick`]).
+pub fn drive_closed(engine: &mut ServeEngine, spec: &LoadSpec) -> Result<Vec<Outcome>, ServeError> {
+    let concurrency = spec.concurrency.max(1);
+    let mut rng = Rng::seed_from(spec.seed);
+    // Stagger client starts so they don't arrive as one burst.
+    let mut next_issue: Vec<Option<Micros>> = (0..concurrency)
+        .map(|c| Some(c as Micros * spec.think.max(1) / concurrency as Micros))
+        .collect();
+    let mut pending: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut outcomes = Vec::new();
+    let mut issued: u64 = 0;
+    let mut now: Micros = 0;
+
+    loop {
+        let client = if issued < spec.requests {
+            next_issue
+                .iter()
+                .enumerate()
+                .filter_map(|(c, t)| t.map(|t| (t, c)))
+                .min()
+        } else {
+            None
+        };
+        let engine_next = engine.next_event();
+        let (t, issue_from) = match (client, engine_next) {
+            (Some((ct, c)), Some(et)) if ct <= et => (ct, Some(c)),
+            (Some(_), Some(et)) => (et, None),
+            (Some((ct, c)), None) => (ct, Some(c)),
+            (None, Some(et)) => (et, None),
+            (None, None) => break,
+        };
+        now = now.max(t);
+        let produced = engine.tick(now)?;
+        settle(&produced, &mut pending, &mut next_issue, spec.think);
+        outcomes.extend(produced);
+        if let Some(c) = issue_from {
+            let id = issued;
+            issued += 1;
+            next_issue[c] = None;
+            let req = Request {
+                id,
+                sample: (rng.next_u64() % 4096) as usize,
+                arrival: now,
+                deadline: now + spec.deadline,
+            };
+            match engine.submit(req, now) {
+                Some(rej) => {
+                    // Shed at admission: the client backs off a full
+                    // think time and tries again with a new request.
+                    next_issue[c] = Some(now + spec.think);
+                    outcomes.push(Outcome::Rejected(rej));
+                }
+                None => {
+                    pending.insert(id, c);
+                }
+            }
+        }
+    }
+    let produced = engine.drain()?;
+    settle(&produced, &mut pending, &mut next_issue, spec.think);
+    outcomes.extend(produced);
+    Ok(outcomes)
+}
+
+/// Wakes up the clients whose requests just reached an outcome.
+fn settle(
+    produced: &[Outcome],
+    pending: &mut BTreeMap<u64, usize>,
+    next_issue: &mut [Option<Micros>],
+    think: Micros,
+) {
+    for o in produced {
+        if let Some(c) = pending.remove(&o.id()) {
+            let finished = match o {
+                Outcome::Completed(r) => r.completed,
+                Outcome::Rejected(r) => r.at,
+            };
+            next_issue[c] = Some(finished + think);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::model::ModelSlots;
+    use hs_nn::infer::SharedNetwork;
+    use hs_nn::models;
+    use hs_tensor::{Shape, Tensor};
+
+    fn engine() -> ServeEngine {
+        let mut rng = Rng::seed_from(7);
+        let net = models::lenet(1, 4, 8, 0.5, &mut rng).unwrap();
+        let slots = ModelSlots::new(SharedNetwork::new(net.clone()), SharedNetwork::new(net));
+        let inputs = Tensor::randn(Shape::d4(6, 1, 8, 8), &mut Rng::seed_from(3));
+        ServeEngine::new(ServeConfig::default(), slots, inputs).unwrap()
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let spec = LoadSpec {
+            requests: 12,
+            ..LoadSpec::default()
+        };
+        let profile = spec.open_profile();
+        assert_eq!(profile, spec.open_profile(), "generation must be seeded");
+        let path = std::env::temp_dir().join(format!("hs-profile-{}.json", std::process::id()));
+        profile.save(&path).unwrap();
+        assert_eq!(LoadProfile::load(&path).unwrap(), profile);
+        assert_eq!(Plan::load(&path).unwrap(), Plan::Open(profile));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn closed_spec_round_trips_as_a_plan() {
+        let spec = LoadSpec {
+            requests: 9,
+            concurrency: 2,
+            think: 700,
+            ..LoadSpec::default()
+        };
+        let path = std::env::temp_dir().join(format!("hs-spec-{}.json", std::process::id()));
+        spec.save(&path).unwrap();
+        assert_eq!(Plan::load(&path).unwrap(), Plan::Closed(spec));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_request() {
+        let spec = LoadSpec {
+            requests: 20,
+            gap: 500,
+            deadline: 100_000,
+            ..LoadSpec::default()
+        };
+        let profile = spec.open_profile();
+        let mut eng = engine();
+        let outcomes = drive_open(&mut eng, &profile).unwrap();
+        assert_eq!(outcomes.len(), 20, "every request needs a terminal outcome");
+        let mut ids: Vec<u64> = outcomes.iter().map(Outcome::id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_the_requested_count() {
+        let spec = LoadSpec {
+            requests: 15,
+            concurrency: 3,
+            think: 1_500,
+            deadline: 100_000,
+            ..LoadSpec::default()
+        };
+        let mut eng = engine();
+        let outcomes = drive_closed(&mut eng, &spec).unwrap();
+        assert_eq!(outcomes.len(), 15);
+        let completed = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Completed(_)))
+            .count();
+        assert!(
+            completed > 0,
+            "a lightly loaded closed loop must complete work"
+        );
+        assert_eq!(eng.summary().submitted, 15);
+    }
+}

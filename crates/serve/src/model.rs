@@ -1,0 +1,310 @@
+//! Model slots: the dense / pruned checkpoint pair, loaded with retry.
+//!
+//! Model (re)load is the serving path's riskiest IO: a checkpoint may
+//! be mid-replacement, on flaky storage, or corrupt. [`load_with_retry`]
+//! wraps [`hs_nn::checkpoint`] reads in a bounded retry loop with
+//! exponential backoff and **deterministic jitter** (drawn from a
+//! seeded [`hs_tensor::Rng`], so two runs back off identically).
+//! Backoff advances the caller's *virtual* clock — nothing sleeps.
+//!
+//! Fault sites (exercised by `HS_FAULT`):
+//!
+//! - `load_fail:model_load` — the attempt fails with a transient error;
+//! - `corrupt:model_load` — the attempt sees a one-byte-flipped
+//!   checkpoint image, which the HSCK checksums reject; the next
+//!   attempt re-reads the clean file.
+
+use std::io;
+use std::path::Path;
+
+use hs_nn::checkpoint;
+use hs_nn::infer::SharedNetwork;
+use hs_telemetry::{faults, Event, EventKind, Level};
+use hs_tensor::Rng;
+
+use crate::error::ServeError;
+use crate::request::Micros;
+
+/// Which of the two checkpoints of a run a value refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The dense pre-trained model (full accuracy, full cost).
+    Dense,
+    /// The pruned inception (bounded accuracy drop, realised speedup).
+    Pruned,
+}
+
+impl SlotKind {
+    /// Stable name used in telemetry fields and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SlotKind::Dense => "dense",
+            SlotKind::Pruned => "pruned",
+        }
+    }
+}
+
+/// Retry policy for model (re)load.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up (min 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is
+    /// `base_backoff << (n - 1)` plus jitter, in virtual micros.
+    pub base_backoff: Micros,
+    /// Upper bound (exclusive) of the uniform jitter added to each
+    /// backoff; 0 disables jitter.
+    pub jitter: Micros,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 10_000,
+            jitter: 1_000,
+        }
+    }
+}
+
+/// Loads a checkpoint with bounded retry, exponential backoff, and
+/// deterministic jitter. `clock` is the caller's virtual clock; each
+/// backoff advances it instead of sleeping. Emits a `recovery` event
+/// when a retry ultimately succeeds.
+///
+/// # Errors
+///
+/// [`ServeError::Load`] after `policy.max_attempts` failures.
+pub fn load_with_retry(
+    path: &Path,
+    slot: SlotKind,
+    policy: RetryPolicy,
+    rng: &mut Rng,
+    clock: &mut Micros,
+) -> Result<SharedNetwork, ServeError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match load_once(path) {
+            Ok(net) => {
+                if attempt > 1 {
+                    hs_telemetry::emit(
+                        Event::new(EventKind::Recovery, Level::Warn, "serve/model")
+                            .message(format!(
+                                "loaded {} model after {attempt} attempts",
+                                slot.as_str()
+                            ))
+                            .field("reason", "model_load_failure")
+                            .field("action", "retried_load")
+                            .field("slot", slot.as_str())
+                            .field("attempts", attempt as u64),
+                    );
+                }
+                return Ok(SharedNetwork::new(net));
+            }
+            Err(err) if attempt < max_attempts => {
+                let backoff = policy.base_backoff << (attempt - 1);
+                let jitter = if policy.jitter > 0 {
+                    rng.next_u64() % policy.jitter
+                } else {
+                    0
+                };
+                *clock += backoff + jitter;
+                hs_telemetry::log(
+                    Level::Warn,
+                    "serve/model",
+                    format!(
+                        "loading {} model failed (attempt {attempt}/{max_attempts}): {err}",
+                        slot.as_str()
+                    ),
+                );
+            }
+            Err(err) => {
+                return Err(ServeError::Load {
+                    slot: slot.as_str(),
+                    attempts: attempt,
+                    last: err,
+                })
+            }
+        }
+    }
+}
+
+/// One load attempt, consulting the `model_load` fault site.
+fn load_once(path: &Path) -> io::Result<hs_nn::Network> {
+    if faults::armed() && faults::trip("load_fail", "model_load") {
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "injected load_fail at site `model_load`",
+        ));
+    }
+    let mut bytes = std::fs::read(path)?;
+    if faults::armed() && faults::trip("corrupt", "model_load") {
+        // Flip one byte of the in-memory image; the checkpoint
+        // checksums reject it and the next attempt re-reads cleanly.
+        let mid = bytes.len() / 2;
+        if let Some(b) = bytes.get_mut(mid) {
+            *b ^= 0xFF;
+        }
+    }
+    checkpoint::from_bytes(&bytes)
+}
+
+/// The dense/pruned pair with one active slot.
+#[derive(Debug)]
+pub struct ModelSlots {
+    /// The dense model.
+    pub dense: SharedNetwork,
+    /// The pruned inception.
+    pub pruned: SharedNetwork,
+    active: SlotKind,
+}
+
+impl ModelSlots {
+    /// A slot pair starting on the dense model.
+    pub fn new(dense: SharedNetwork, pruned: SharedNetwork) -> ModelSlots {
+        ModelSlots {
+            dense,
+            pruned,
+            active: SlotKind::Dense,
+        }
+    }
+
+    /// Which slot currently serves.
+    pub fn active(&self) -> SlotKind {
+        self.active
+    }
+
+    /// The network handle of the active slot.
+    pub fn active_model(&self) -> &SharedNetwork {
+        match self.active {
+            SlotKind::Dense => &self.dense,
+            SlotKind::Pruned => &self.pruned,
+        }
+    }
+
+    /// Hot-swaps the active slot (in-memory; both models stay loaded).
+    pub fn swap_to(&mut self, slot: SlotKind) {
+        self.active = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::models;
+    use hs_telemetry::faults::{Fault, FaultPlan};
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    use crate::fault_test_lock as fault_lock;
+
+    fn plan(entries: &[(&str, u64)]) -> FaultPlan {
+        FaultPlan {
+            faults: entries
+                .iter()
+                .map(|(kind, nth)| Fault {
+                    kind: (*kind).to_string(),
+                    site: "model_load".to_string(),
+                    nth: *nth,
+                })
+                .collect(),
+        }
+    }
+
+    fn checkpoint_on_disk(tag: &str) -> (std::path::PathBuf, hs_nn::Network) {
+        let dir = std::env::temp_dir().join(format!("hs-serve-model-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rng = Rng::seed_from(5);
+        let net = models::lenet(3, 10, 16, 1.0, &mut rng).unwrap();
+        let path = dir.join("m.hsck");
+        checkpoint::save(&net, &path).unwrap();
+        (path, net)
+    }
+
+    #[test]
+    fn load_retries_transient_failures_with_deterministic_backoff() {
+        let _guard = fault_lock();
+        let (path, net) = checkpoint_on_disk("flaky");
+        faults::arm(plan(&[("load_fail", 1), ("corrupt", 2)]));
+        // Attempt 1: injected load_fail. Attempt 2: corrupt image,
+        // rejected by the checksums. Attempt 3: clean.
+        let mut clock_a = 0;
+        let mut rng_a = Rng::seed_from(99);
+        let shared = load_with_retry(
+            &path,
+            SlotKind::Dense,
+            RetryPolicy::default(),
+            &mut rng_a,
+            &mut clock_a,
+        )
+        .unwrap();
+        faults::disarm();
+        assert!(clock_a > 0, "backoff must advance the virtual clock");
+
+        // Same seed, same faults => identical backoff schedule.
+        faults::arm(plan(&[("load_fail", 1), ("corrupt", 2)]));
+        let mut clock_b = 0;
+        let mut rng_b = Rng::seed_from(99);
+        load_with_retry(
+            &path,
+            SlotKind::Dense,
+            RetryPolicy::default(),
+            &mut rng_b,
+            &mut clock_b,
+        )
+        .unwrap();
+        faults::disarm();
+        assert_eq!(clock_a, clock_b, "jitter must be deterministic");
+
+        // The loaded model predicts like the original.
+        let x = Tensor::randn(Shape::d4(2, 3, 16, 16), &mut Rng::seed_from(1));
+        let mut direct = net;
+        assert_eq!(
+            shared.classify(&x).unwrap(),
+            hs_nn::infer::predict(&mut direct, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn load_gives_up_after_max_attempts() {
+        let _guard = fault_lock();
+        let (path, _net) = checkpoint_on_disk("hard");
+        faults::arm(plan(&[
+            ("load_fail", 1),
+            ("load_fail", 2),
+            ("load_fail", 3),
+        ]));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let err = load_with_retry(
+            &path,
+            SlotKind::Pruned,
+            policy,
+            &mut Rng::seed_from(1),
+            &mut 0,
+        )
+        .unwrap_err();
+        faults::disarm();
+        match err {
+            ServeError::Load { slot, attempts, .. } => {
+                assert_eq!(slot, "pruned");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected Load error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn slots_swap_between_dense_and_pruned() {
+        let (_path, net) = checkpoint_on_disk("swap");
+        let mut slots = ModelSlots::new(SharedNetwork::new(net.clone()), SharedNetwork::new(net));
+        assert_eq!(slots.active(), SlotKind::Dense);
+        slots.swap_to(SlotKind::Pruned);
+        assert_eq!(slots.active(), SlotKind::Pruned);
+        slots.swap_to(SlotKind::Dense);
+        assert_eq!(slots.active(), SlotKind::Dense);
+    }
+}

@@ -1,0 +1,145 @@
+//! The bounded admission queue: reject-with-reason, never OOM.
+//!
+//! Admission is the first line of defence under overload. The queue
+//! holds at most `capacity` requests; anything beyond that is shed
+//! *immediately* with a typed [`RejectReason::QueueFull`] instead of
+//! growing without bound until the allocator kills the process. Depth
+//! is tracked in a gauge and a histogram so overload shows up in
+//! metrics before it shows up in latency.
+
+use std::collections::VecDeque;
+
+use hs_telemetry::metrics;
+
+use crate::request::{Micros, RejectReason, Request};
+
+/// Histogram bounds for queue depth observations.
+const DEPTH_BUCKETS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// A FIFO of admitted requests with a hard capacity.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    items: VecDeque<Request>,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The `i`-th oldest queued request, if any.
+    pub fn peek(&self, i: usize) -> Option<&Request> {
+        self.items.get(i)
+    }
+
+    /// Admits a request, or sheds it with [`RejectReason::QueueFull`]
+    /// when at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed rejection reason; the caller wraps it with the
+    /// request id and time.
+    pub fn push(&mut self, req: Request) -> Result<(), RejectReason> {
+        if self.items.len() >= self.capacity {
+            return Err(RejectReason::QueueFull {
+                depth: self.items.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(req);
+        self.observe_depth();
+        Ok(())
+    }
+
+    /// Returns a request to the *front* of the queue (a timed-out batch
+    /// putting its requests back for retry). Bypasses the capacity
+    /// check: these requests were already admitted once.
+    pub fn push_front(&mut self, req: Request) {
+        self.items.push_front(req);
+        self.observe_depth();
+    }
+
+    /// Pops the oldest request.
+    pub fn pop(&mut self) -> Option<Request> {
+        let req = self.items.pop_front();
+        if req.is_some() {
+            metrics::gauge("hs_serve_queue_depth").set(self.items.len() as f64);
+        }
+        req
+    }
+
+    /// When the oldest queued request arrived (the linger clock).
+    pub fn oldest_arrival(&self) -> Option<Micros> {
+        self.items.front().map(|r| r.arrival)
+    }
+
+    fn observe_depth(&self) {
+        let depth = self.items.len() as f64;
+        metrics::gauge("hs_serve_queue_depth").set(depth);
+        metrics::histogram("hs_serve_queue_depth_hist", &DEPTH_BUCKETS).observe(depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: Micros) -> Request {
+        Request {
+            id,
+            sample: 0,
+            arrival,
+            deadline: arrival + 1_000,
+        }
+    }
+
+    #[test]
+    fn sheds_typed_when_full() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(req(0, 10)).unwrap();
+        q.push(req(1, 20)).unwrap();
+        match q.push(req(2, 30)) {
+            Err(RejectReason::QueueFull { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.oldest_arrival(), Some(10));
+    }
+
+    #[test]
+    fn fifo_order_with_front_requeue() {
+        let mut q = AdmissionQueue::new(4);
+        q.push(req(0, 0)).unwrap();
+        q.push(req(1, 5)).unwrap();
+        let first = q.pop().unwrap();
+        assert_eq!(first.id, 0);
+        // A timed-out batch puts its requests back at the front.
+        q.push_front(first);
+        assert_eq!(q.pop().unwrap().id, 0);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed requests, responses, and rejections.
+//!
+//! Time is **virtual**: integer microseconds since the start of the
+//! serving session, supplied by whoever drives the engine. The engine
+//! never reads a wall clock, which is what makes every overload test
+//! reproducible byte-for-byte.
+
+/// Virtual time in integer microseconds.
+pub type Micros = u64;
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned id, echoed in the response/rejection.
+    pub id: u64,
+    /// Index into the engine's input pool (taken modulo the pool size),
+    /// selecting which image this request asks about.
+    pub sample: usize,
+    /// When the request arrived.
+    pub arrival: Micros,
+    /// Absolute deadline: a response completed after this instant is
+    /// worthless to the caller.
+    pub deadline: Micros,
+}
+
+/// A completed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request id.
+    pub id: u64,
+    /// Predicted class (argmax of the model's logits).
+    pub class: usize,
+    /// Which model slot produced the prediction.
+    pub model: crate::model::SlotKind,
+    /// When the batch carrying this request finished.
+    pub completed: Micros,
+    /// The request's absolute deadline (always >= `completed`).
+    pub deadline: Micros,
+    /// Time spent queued before its batch started.
+    pub queued_micros: Micros,
+    /// Modeled compute time of its batch.
+    pub infer_micros: Micros,
+}
+
+/// Why a request was shed instead of served. Every rejection is typed —
+/// the caller can tell back-pressure (`QueueFull`) from a hopeless
+/// deadline at admission (`DeadlineUnmeetable`) from a deadline that
+/// expired while waiting (`DeadlineExpired`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue is at capacity.
+    QueueFull {
+        /// Queue depth at rejection (== capacity).
+        depth: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Admission-time estimate says the deadline cannot be met even if
+    /// everything goes well — shedding now is cheaper than timing out
+    /// later.
+    DeadlineUnmeetable {
+        /// Estimated completion time.
+        projected: Micros,
+        /// The request's deadline.
+        deadline: Micros,
+    },
+    /// The deadline passed while the request waited in the queue (the
+    /// batcher drops it rather than burn compute on a dead request).
+    DeadlineExpired {
+        /// When the drop decision was made.
+        now: Micros,
+        /// The request's deadline.
+        deadline: Micros,
+    },
+}
+
+impl RejectReason {
+    /// Stable short name used in telemetry fields and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::DeadlineUnmeetable { .. } => "deadline_unmeetable",
+            RejectReason::DeadlineExpired { .. } => "deadline_expired",
+        }
+    }
+}
+
+/// A shed request: which one, why, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// The request id.
+    pub id: u64,
+    /// Why it was shed.
+    pub reason: RejectReason,
+    /// When the decision was made.
+    pub at: Micros,
+}
+
+/// A request's terminal outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served with a prediction, in deadline.
+    Completed(Response),
+    /// Shed with a typed reason.
+    Rejected(Rejection),
+}
+
+impl Outcome {
+    /// The request id this outcome belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Completed(r) => r.id,
+            Outcome::Rejected(r) => r.id,
+        }
+    }
+}

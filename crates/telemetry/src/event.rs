@@ -12,7 +12,8 @@
 //!
 //! - `schema` — integer schema version ([`SCHEMA_VERSION`]).
 //! - `kind` — `log` | `span` | `episode` | `metric` | `artifact` |
-//!   `recovery` | `fault_injected` | `resume`.
+//!   `recovery` | `fault_injected` | `resume` | `serve_request` |
+//!   `serve_batch` | `serve_breaker` | `degrade` | `restore`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -52,6 +53,17 @@ pub enum EventKind {
     FaultInjected,
     /// A pipeline resumed from a run journal instead of starting fresh.
     Resume,
+    /// One serve request's terminal outcome (completed or rejected).
+    ServeRequest,
+    /// One executed (or timed-out) inference micro-batch.
+    ServeBatch,
+    /// A circuit-breaker state transition in the serving path.
+    ServeBreaker,
+    /// The service degraded from the dense model to the pruned
+    /// inception under overload or a tripped breaker.
+    Degrade,
+    /// The service restored the dense model after recovery.
+    Restore,
 }
 
 impl EventKind {
@@ -66,11 +78,16 @@ impl EventKind {
             EventKind::Recovery => "recovery",
             EventKind::FaultInjected => "fault_injected",
             EventKind::Resume => "resume",
+            EventKind::ServeRequest => "serve_request",
+            EventKind::ServeBatch => "serve_batch",
+            EventKind::ServeBreaker => "serve_breaker",
+            EventKind::Degrade => "degrade",
+            EventKind::Restore => "restore",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 8] {
+    pub fn all() -> [EventKind; 13] {
         [
             EventKind::Log,
             EventKind::Span,
@@ -80,6 +97,11 @@ impl EventKind {
             EventKind::Recovery,
             EventKind::FaultInjected,
             EventKind::Resume,
+            EventKind::ServeRequest,
+            EventKind::ServeBatch,
+            EventKind::ServeBreaker,
+            EventKind::Degrade,
+            EventKind::Restore,
         ]
     }
 }

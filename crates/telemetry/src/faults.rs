@@ -31,7 +31,13 @@
 //! | `truncate`  | `checkpoint` | the just-written file loses its tail     |
 //! | `kill_after`| `pretrain`, `prune_unit`, `finalize` | the pipeline aborts as if killed at the stage boundary |
 //! | `nan_reward`| `layer`, `block`, `block-inner` | the episode's inference reward becomes NaN |
+//! | `slow_infer`| `infer`      | a serve micro-batch's modeled compute time is inflated past its timeout |
+//! | `load_fail` | `model_load` | a model (re)load attempt fails with a transient error; retry with backoff recovers |
+//!
+//! (`corrupt:model_load` is also recognised: the serving loader sees a
+//! one-byte-flipped checkpoint image on that attempt and retries.)
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -50,6 +56,110 @@ pub struct Fault {
     pub nth: u64,
 }
 
+/// Every fault kind a plan may name. [`FaultPlan::parse`] rejects
+/// anything else, so a typo in `HS_FAULT` fails at startup instead of
+/// silently running without faults.
+pub const KNOWN_KINDS: [&str; 8] = [
+    "io_error",
+    "io_flaky",
+    "corrupt",
+    "truncate",
+    "kill_after",
+    "nan_reward",
+    "slow_infer",
+    "load_fail",
+];
+
+/// Every site a plan may name (the workspace's consulting call sites).
+/// [`arm`]/[`trip`] stay unrestricted — tests arm synthetic sites
+/// programmatically — but specs that reach [`FaultPlan::parse`] must
+/// use a real site.
+pub const KNOWN_SITES: [&str; 12] = [
+    "checkpoint",
+    "artifact",
+    "journal",
+    "metrics",
+    "pretrain",
+    "prune_unit",
+    "finalize",
+    "layer",
+    "block",
+    "block-inner",
+    "infer",
+    "model_load",
+];
+
+/// A rejected fault-plan spec: which entry was malformed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultParseError {
+    /// The entry did not have the `kind:site[:n]` shape.
+    BadShape {
+        /// The offending entry.
+        entry: String,
+    },
+    /// The count was not a positive integer.
+    BadCount {
+        /// The offending entry.
+        entry: String,
+        /// The count text that failed to parse (or was zero).
+        count: String,
+    },
+    /// The kind or site component was empty.
+    EmptyComponent {
+        /// The offending entry.
+        entry: String,
+    },
+    /// The kind is not one of [`KNOWN_KINDS`].
+    UnknownKind {
+        /// The offending entry.
+        entry: String,
+        /// The unrecognised kind.
+        kind: String,
+    },
+    /// The site is not one of [`KNOWN_SITES`].
+    UnknownSite {
+        /// The offending entry.
+        entry: String,
+        /// The unrecognised site.
+        site: String,
+    },
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultParseError::BadShape { entry } => {
+                write!(f, "fault `{entry}`: expected kind:site[:n]")
+            }
+            FaultParseError::BadCount { entry, count } => {
+                write!(
+                    f,
+                    "fault `{entry}`: bad count `{count}` (want integer >= 1)"
+                )
+            }
+            FaultParseError::EmptyComponent { entry } => {
+                write!(f, "fault `{entry}`: empty kind or site")
+            }
+            FaultParseError::UnknownKind { entry, kind } => {
+                write!(
+                    f,
+                    "fault `{entry}`: unknown kind `{kind}` (valid kinds: {})",
+                    KNOWN_KINDS.join(", ")
+                )
+            }
+            FaultParseError::UnknownSite { entry, site } => {
+                write!(
+                    f,
+                    "fault `{entry}`: unknown site `{site}` (valid sites: {})",
+                    KNOWN_SITES.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
 /// A parsed set of faults, armed together with [`arm`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -65,27 +175,46 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first malformed
-    /// entry.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// Returns a typed [`FaultParseError`] for the first malformed
+    /// entry — including unknown kinds and sites, which previously
+    /// armed fine and then never fired.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultParseError> {
         let mut faults = Vec::new();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
             let parts: Vec<&str> = entry.split(':').collect();
             let (kind, site, nth) = match parts.as_slice() {
                 [kind, site] => (*kind, *site, 1),
                 [kind, site, n] => {
-                    let nth: u64 = n
-                        .parse()
-                        .map_err(|_| format!("fault `{entry}`: bad count `{n}`"))?;
-                    if nth == 0 {
-                        return Err(format!("fault `{entry}`: count must be >= 1"));
-                    }
+                    let nth = n.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        FaultParseError::BadCount {
+                            entry: entry.to_string(),
+                            count: (*n).to_string(),
+                        }
+                    })?;
                     (*kind, *site, nth)
                 }
-                _ => return Err(format!("fault `{entry}`: expected kind:site[:n]")),
+                _ => {
+                    return Err(FaultParseError::BadShape {
+                        entry: entry.to_string(),
+                    })
+                }
             };
             if kind.is_empty() || site.is_empty() {
-                return Err(format!("fault `{entry}`: empty kind or site"));
+                return Err(FaultParseError::EmptyComponent {
+                    entry: entry.to_string(),
+                });
+            }
+            if !KNOWN_KINDS.contains(&kind) {
+                return Err(FaultParseError::UnknownKind {
+                    entry: entry.to_string(),
+                    kind: kind.to_string(),
+                });
+            }
+            if !KNOWN_SITES.contains(&site) {
+                return Err(FaultParseError::UnknownSite {
+                    entry: entry.to_string(),
+                    site: site.to_string(),
+                });
             }
             faults.push(Fault {
                 kind: kind.to_string(),
@@ -137,8 +266,12 @@ pub fn armed() -> bool {
 }
 
 /// Records a hit at `(kind, site)` and reports whether an armed fault
-/// fires on this hit. Fires exactly once (on the configured n-th hit)
-/// and emits a `fault_injected` telemetry event when it does.
+/// fires on this hit. Each armed entry fires exactly once, on the
+/// configured n-th hit of its `(kind, site)` pair — a plan may list the
+/// same pair several times with different counts
+/// (`slow_infer:infer:1,slow_infer:infer:2` fires on the first *and*
+/// second hit), and every matching entry sees every hit. A
+/// `fault_injected` telemetry event is emitted when an entry fires.
 ///
 /// With nothing armed this is one relaxed atomic load and never fires —
 /// production call sites can consult it unconditionally.
@@ -147,24 +280,26 @@ pub fn trip(kind: &str, site: &str) -> bool {
         return false;
     }
     let mut guard = PLAN.lock().expect("fault plan poisoned");
+    let mut fired_hit = None;
     for armed in guard.iter_mut() {
         if armed.fault.kind == kind && armed.fault.site == site {
             armed.hits += 1;
-            if !armed.fired && armed.hits == armed.fault.nth {
+            if fired_hit.is_none() && !armed.fired && armed.hits == armed.fault.nth {
                 armed.fired = true;
-                let hit = armed.hits;
-                drop(guard);
-                crate::emit(
-                    Event::new(EventKind::FaultInjected, Level::Warn, "faults")
-                        .message(format!("injected {kind} at {site} (hit {hit})"))
-                        .field("fault", kind)
-                        .field("site", site)
-                        .field("hit", hit),
-                );
-                return true;
+                fired_hit = Some(armed.hits);
             }
-            return false;
         }
+    }
+    drop(guard);
+    if let Some(hit) = fired_hit {
+        crate::emit(
+            Event::new(EventKind::FaultInjected, Level::Warn, "faults")
+                .message(format!("injected {kind} at {site} (hit {hit})"))
+                .field("fault", kind)
+                .field("site", site)
+                .field("hit", hit),
+        );
+        return true;
     }
     false
 }
@@ -194,16 +329,59 @@ mod tests {
             1
         );
         assert!(FaultPlan::parse("").unwrap().faults.is_empty());
-        assert!(FaultPlan::parse("nonsense").is_err());
-        assert!(FaultPlan::parse("io_error:checkpoint:zero").is_err());
-        assert!(FaultPlan::parse("io_error:checkpoint:0").is_err());
-        assert!(FaultPlan::parse("io_error::1").is_err());
+        assert!(matches!(
+            FaultPlan::parse("nonsense"),
+            Err(FaultParseError::BadShape { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("io_error:checkpoint:zero"),
+            Err(FaultParseError::BadCount { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("io_error:checkpoint:0"),
+            Err(FaultParseError::BadCount { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("io_error::1"),
+            Err(FaultParseError::EmptyComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_kinds_and_sites_with_the_valid_lists() {
+        // A typo'd kind used to arm silently and never fire; now it is
+        // a startup error naming every valid kind.
+        let err = FaultPlan::parse("io_eror:checkpoint:1").unwrap_err();
+        assert!(matches!(err, FaultParseError::UnknownKind { ref kind, .. } if kind == "io_eror"));
+        let text = err.to_string();
+        for kind in KNOWN_KINDS {
+            assert!(text.contains(kind), "error text missing kind `{kind}`");
+        }
+
+        let err = FaultPlan::parse("io_error:chekpoint").unwrap_err();
+        assert!(
+            matches!(err, FaultParseError::UnknownSite { ref site, .. } if site == "chekpoint")
+        );
+        assert!(err.to_string().contains("checkpoint"));
+
+        // The serve kinds/sites are recognised.
+        let plan =
+            FaultPlan::parse("slow_infer:infer:3,load_fail:model_load,corrupt:model_load").unwrap();
+        assert_eq!(plan.faults.len(), 3);
     }
 
     #[test]
     fn fires_exactly_once_on_the_nth_hit() {
         let _guard = test_lock();
-        arm(FaultPlan::parse("io_error:site_a:3").unwrap());
+        // Synthetic sites are armed directly — parse-level site
+        // validation only applies to user-supplied specs.
+        arm(FaultPlan {
+            faults: vec![Fault {
+                kind: "io_error".into(),
+                site: "site_a".into(),
+                nth: 3,
+            }],
+        });
         assert!(armed());
         assert!(!trip("io_error", "site_a")); // hit 1
         assert!(!trip("io_error", "site_b")); // other site, not counted

@@ -179,9 +179,21 @@ fn corrupt_after_write(path: &Path, site: &str) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::FaultPlan;
+    use crate::faults::{Fault, FaultPlan};
 
     use crate::faults::test_lock as fault_lock;
+
+    /// Single-fault plan on a synthetic site (parse validates site
+    /// names, so tests arm the registry directly).
+    fn one_fault(kind: &str, site: &str) -> FaultPlan {
+        FaultPlan {
+            faults: vec![Fault {
+                kind: kind.into(),
+                site: site.into(),
+                nth: 1,
+            }],
+        }
+    }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("hs_io_test_{tag}_{}", std::process::id()));
@@ -220,7 +232,7 @@ mod tests {
         let _guard = fault_lock();
         let dir = temp_dir("flaky");
         let path = dir.join("out.bin");
-        faults::arm(FaultPlan::parse("io_flaky:flaky_site:1").unwrap());
+        faults::arm(one_fault("io_flaky", "flaky_site"));
         atomic_write_as(&path, "flaky_site", b"payload").unwrap();
         faults::disarm();
         assert_eq!(fs::read(&path).unwrap(), b"payload");
@@ -232,7 +244,7 @@ mod tests {
         let _guard = fault_lock();
         let dir = temp_dir("hard");
         let path = dir.join("out.bin");
-        faults::arm(FaultPlan::parse("io_error:hard_site:1").unwrap());
+        faults::arm(one_fault("io_error", "hard_site"));
         let err = atomic_write_as(&path, "hard_site", b"payload").unwrap_err();
         faults::disarm();
         assert!(err.to_string().contains("injected io_error"));
@@ -246,14 +258,14 @@ mod tests {
         let dir = temp_dir("corrupt");
         let path = dir.join("out.bin");
         let payload = vec![0u8; 64];
-        faults::arm(FaultPlan::parse("corrupt:c_site:1").unwrap());
+        faults::arm(one_fault("corrupt", "c_site"));
         atomic_write_as(&path, "c_site", &payload).unwrap();
         faults::disarm();
         let on_disk = fs::read(&path).unwrap();
         assert_eq!(on_disk.len(), 64);
         assert_ne!(on_disk, payload, "corrupt fault left the file intact");
 
-        faults::arm(FaultPlan::parse("truncate:t_site:1").unwrap());
+        faults::arm(one_fault("truncate", "t_site"));
         atomic_write_as(&path, "t_site", &payload).unwrap();
         faults::disarm();
         assert_eq!(fs::read(&path).unwrap().len(), 32);

@@ -234,6 +234,21 @@ pub const FAULT_REQUIRED_FIELDS: [&str; 3] = ["fault", "site", "hit"];
 /// from and how many pruned units were already complete.
 pub const RESUME_REQUIRED_FIELDS: [&str; 2] = ["journal", "units_done"];
 
+/// Fields every `serve_request` event must carry: the request id and
+/// its terminal outcome (`completed` or a typed `reject:…` reason).
+pub const SERVE_REQUEST_REQUIRED_FIELDS: [&str; 2] = ["id", "outcome"];
+
+/// Fields every `serve_batch` event must carry: batch size, the model
+/// slot it ran on, and whether it completed or timed out.
+pub const SERVE_BATCH_REQUIRED_FIELDS: [&str; 3] = ["size", "model", "outcome"];
+
+/// Fields every `serve_breaker` event must carry: the transition edge.
+pub const SERVE_BREAKER_REQUIRED_FIELDS: [&str; 2] = ["from", "to"];
+
+/// Fields every `degrade` / `restore` event must carry: why the swap
+/// happened and which model slot is now active.
+pub const DEGRADE_REQUIRED_FIELDS: [&str; 2] = ["reason", "model"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
@@ -306,6 +321,10 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "recovery" => &RECOVERY_REQUIRED_FIELDS,
         "fault_injected" => &FAULT_REQUIRED_FIELDS,
         "resume" => &RESUME_REQUIRED_FIELDS,
+        "serve_request" => &SERVE_REQUEST_REQUIRED_FIELDS,
+        "serve_batch" => &SERVE_BATCH_REQUIRED_FIELDS,
+        "serve_breaker" => &SERVE_BREAKER_REQUIRED_FIELDS,
+        "degrade" | "restore" => &DEGRADE_REQUIRED_FIELDS,
         _ => &[],
     };
     for field in required {
@@ -381,6 +400,32 @@ mod tests {
             .field("units_done", 3u64);
         validate_line(&resume.to_json_line()).unwrap();
 
+        let request = Event::new(EventKind::ServeRequest, Level::Debug, "serve")
+            .field("id", 7u64)
+            .field("outcome", "reject:queue_full");
+        validate_line(&request.to_json_line()).unwrap();
+
+        let batch = Event::new(EventKind::ServeBatch, Level::Debug, "serve")
+            .field("size", 4u64)
+            .field("model", "dense")
+            .field("outcome", "timeout");
+        validate_line(&batch.to_json_line()).unwrap();
+
+        let breaker = Event::new(EventKind::ServeBreaker, Level::Warn, "serve")
+            .field("from", "closed")
+            .field("to", "open");
+        validate_line(&breaker.to_json_line()).unwrap();
+
+        let degrade = Event::new(EventKind::Degrade, Level::Warn, "serve")
+            .field("reason", "breaker_open")
+            .field("model", "pruned");
+        validate_line(&degrade.to_json_line()).unwrap();
+
+        let restore = Event::new(EventKind::Restore, Level::Info, "serve")
+            .field("reason", "recovered")
+            .field("model", "dense");
+        validate_line(&restore.to_json_line()).unwrap();
+
         // Missing required fields are violations.
         let bare = Event::new(EventKind::Recovery, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
@@ -388,6 +433,10 @@ mod tests {
         assert!(validate_line(&bare).unwrap_err().contains("fault"));
         let bare = Event::new(EventKind::Resume, Level::Info, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("journal"));
+        let bare = Event::new(EventKind::ServeRequest, Level::Debug, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("id"));
+        let bare = Event::new(EventKind::Degrade, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("reason"));
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl Sink for StderrSink {
             | EventKind::Artifact
             | EventKind::Recovery
             | EventKind::FaultInjected
-            | EventKind::Resume => {
+            | EventKind::Resume
+            | EventKind::ServeBreaker
+            | EventKind::Degrade
+            | EventKind::Restore => {
                 // Durations ride in `secs` (never the message) so JSONL
                 // stays deterministic; surface them here for humans.
                 if let Some(secs) = event.secs {
@@ -61,7 +64,10 @@ impl Sink for StderrSink {
                 let secs = event.secs.unwrap_or(0.0);
                 eprintln!("[span] {} done in {secs:.2}s", event.name);
             }
-            EventKind::Episode | EventKind::Metric => {
+            EventKind::Episode
+            | EventKind::Metric
+            | EventKind::ServeRequest
+            | EventKind::ServeBatch => {
                 let fields: Vec<String> = event
                     .fields
                     .iter()

@@ -20,7 +20,11 @@
 //!   platforms;
 //! * [`runner`] — the config-driven end-to-end pipeline (dataset →
 //!   pre-train or checkpoint → prune → fine-tune → eval → JSON artifact)
-//!   that every experiment binary is built on.
+//!   that every experiment binary is built on;
+//! * [`serve`] — the deploy-time serving stack over a run's dense/pruned
+//!   checkpoint pair: bounded admission with typed load shedding,
+//!   deadline-aware micro-batching, a circuit breaker, and graceful
+//!   degradation that hot-swaps to the pruned inception under overload.
 //!
 //! # Quickstart
 //!
@@ -55,5 +59,6 @@ pub use hs_gpusim as gpusim;
 pub use hs_nn as nn;
 pub use hs_pruning as pruning;
 pub use hs_runner as runner;
+pub use hs_serve as serve;
 pub use hs_telemetry as telemetry;
 pub use hs_tensor as tensor;

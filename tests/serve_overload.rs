@@ -1,0 +1,272 @@
+//! Flagship robustness test for the serving stack: a seeded open-loop
+//! overload with injected `slow_infer` faults must be fully
+//! deterministic and fully accounted for — every request gets exactly
+//! one typed terminal outcome, the breaker trips and recovers, the
+//! engine degrades to the pruned checkpoint and restores dense, every
+//! completed response is in deadline and matches direct inference on
+//! the serving model, and two runs produce a byte-identical telemetry
+//! event sequence (modulo the wall-clock `secs`/`ts` suffixes).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use headstart::nn::infer::predict;
+use headstart::nn::{checkpoint, models};
+use headstart::serve::{
+    drive_open, load_with_retry, LoadProfile, LoadSpec, ModelSlots, Outcome, RejectReason,
+    RetryPolicy, ServeConfig, ServeEngine, ServeSummary, SlotKind,
+};
+use headstart::telemetry::faults::{self, Fault, FaultPlan};
+use headstart::telemetry::{Level, TelemetryConfig};
+use headstart::tensor::{Rng, Shape, Tensor};
+
+/// The scenario: arrivals outpace the dense model (~800µs apart vs
+/// 1500µs/request), the first two batches hit `slow_infer` faults and
+/// time out, tripping the breaker; degradation swaps to the pruned
+/// model (4x cheaper), which drains the backlog and earns the restore.
+fn scenario() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 6,
+        batch_max: 2,
+        linger: 1_000,
+        base_cost: 1_000,
+        per_item_cost: 1_000,
+        batch_timeout: 10_000,
+        breaker_threshold: 2,
+        breaker_cooldown: 20_000,
+        slow_factor: 20,
+        pruned_cost_scale: 0.25,
+        degrade_high: 4,
+        overload_strikes: 2,
+        recover_low: 1,
+        recovery_batches: 2,
+    }
+}
+
+fn load() -> LoadProfile {
+    LoadSpec {
+        requests: 60,
+        gap: 800,
+        deadline: 30_000,
+        seed: 0x4853,
+        ..LoadSpec::default()
+    }
+    .open_profile()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve_overload");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir.join(name)
+}
+
+/// Saves a distinct dense/pruned checkpoint pair once and returns their
+/// paths plus the serving input pool. The two models are genuinely
+/// different networks so predictions reveal which slot served.
+fn fixtures() -> (PathBuf, PathBuf, Tensor) {
+    let dense_path = tmp("dense.hsck");
+    let pruned_path = tmp("pruned.hsck");
+    let mut rng = Rng::seed_from(21);
+    let dense = models::lenet(3, 10, 16, 1.0, &mut rng).expect("dense net");
+    let pruned = models::lenet(3, 10, 16, 0.5, &mut rng).expect("pruned net");
+    checkpoint::save(&dense, &dense_path).expect("save dense");
+    checkpoint::save(&pruned, &pruned_path).expect("save pruned");
+    let inputs = Tensor::randn(Shape::d4(8, 3, 16, 16), &mut Rng::seed_from(33));
+    (dense_path, pruned_path, inputs)
+}
+
+/// One full serving session under the fault plan, with telemetry routed
+/// to `jsonl`. Returns the terminal outcomes and the engine summary.
+fn run_once(
+    dense_path: &Path,
+    pruned_path: &Path,
+    inputs: &Tensor,
+    jsonl: &Path,
+) -> (Vec<Outcome>, ServeSummary) {
+    headstart::telemetry::configure(&TelemetryConfig {
+        stderr_level: Some(Level::Error),
+        jsonl: Some(jsonl.to_path_buf()),
+    })
+    .expect("configure telemetry");
+    faults::arm(FaultPlan {
+        faults: [1u64, 2]
+            .iter()
+            .map(|nth| Fault {
+                kind: "slow_infer".to_string(),
+                site: "infer".to_string(),
+                nth: *nth,
+            })
+            .collect(),
+    });
+
+    let mut rng = Rng::seed_from(11);
+    let mut clock = 0;
+    let policy = RetryPolicy::default();
+    let dense = load_with_retry(dense_path, SlotKind::Dense, policy, &mut rng, &mut clock)
+        .expect("load dense");
+    let pruned = load_with_retry(pruned_path, SlotKind::Pruned, policy, &mut rng, &mut clock)
+        .expect("load pruned");
+    let mut engine = ServeEngine::new(scenario(), ModelSlots::new(dense, pruned), inputs.clone())
+        .expect("engine");
+
+    let outcomes = drive_open(&mut engine, &load()).expect("drive");
+    faults::disarm();
+    headstart::telemetry::flush();
+    (outcomes, engine.summary())
+}
+
+/// The deterministic prefix of a JSONL event line: everything before
+/// the wall-clock `secs`/`ts` suffix.
+fn stable_prefix(line: &str) -> &str {
+    let cut = ["\",\"secs\":", ",\"secs\":", ",\"ts\":"]
+        .iter()
+        .filter_map(|pat| line.find(pat))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+#[test]
+fn overloaded_service_sheds_degrades_and_recovers_deterministically() {
+    let (dense_path, pruned_path, inputs) = fixtures();
+    let jsonl_a = tmp("run-a.jsonl");
+    let jsonl_b = tmp("run-b.jsonl");
+
+    let (outcomes, summary) = run_once(&dense_path, &pruned_path, &inputs, &jsonl_a);
+    let (outcomes_b, summary_b) = run_once(&dense_path, &pruned_path, &inputs, &jsonl_b);
+
+    // --- Determinism: identical outcomes, summary, and event stream. ---
+    assert_eq!(
+        outcomes, outcomes_b,
+        "outcome sequence must be reproducible"
+    );
+    assert_eq!(summary, summary_b, "summary must be reproducible");
+    let text_a = std::fs::read_to_string(&jsonl_a).expect("read run A telemetry");
+    let text_b = std::fs::read_to_string(&jsonl_b).expect("read run B telemetry");
+    let stable_a: Vec<&str> = text_a.lines().map(stable_prefix).collect();
+    let stable_b: Vec<&str> = text_b.lines().map(stable_prefix).collect();
+    assert!(!stable_a.is_empty(), "run A produced no telemetry");
+    assert_eq!(
+        stable_a, stable_b,
+        "telemetry event sequence must be byte-identical modulo secs/ts"
+    );
+
+    // --- Accounting: exactly one terminal outcome per request. ---
+    let profile = load();
+    assert_eq!(summary.submitted, profile.entries.len() as u64);
+    let mut ids: Vec<u64> = outcomes.iter().map(Outcome::id).collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..profile.entries.len() as u64).collect::<Vec<_>>(),
+        "every request needs exactly one terminal outcome"
+    );
+    assert_eq!(
+        summary.completed + summary.rejected_total(),
+        summary.submitted
+    );
+
+    // --- Typed load shedding: the over-budget requests are rejected
+    // with reasons, and the counters agree with the outcome stream. ---
+    let mut queue_full = 0u64;
+    let mut unmeetable = 0u64;
+    let mut expired = 0u64;
+    for o in &outcomes {
+        if let Outcome::Rejected(rej) = o {
+            match rej.reason {
+                RejectReason::QueueFull { depth, capacity } => {
+                    assert_eq!(depth, capacity, "queue_full must report a full queue");
+                    queue_full += 1;
+                }
+                RejectReason::DeadlineUnmeetable {
+                    projected,
+                    deadline,
+                } => {
+                    assert!(projected > deadline, "unmeetable must be hopeless");
+                    unmeetable += 1;
+                }
+                RejectReason::DeadlineExpired { now, deadline } => {
+                    assert!(deadline < now + 1, "expired deadline must be in the past");
+                    expired += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(queue_full, summary.rejected_queue_full);
+    assert_eq!(unmeetable, summary.rejected_unmeetable);
+    assert_eq!(expired, summary.rejected_expired);
+    assert!(
+        summary.rejected_total() > 0,
+        "the scenario is over budget; some requests must be shed"
+    );
+    assert!(
+        summary.completed > 0,
+        "shedding must not starve the accepted requests"
+    );
+
+    // --- Breaker and degradation: the slow faults trip the breaker,
+    // degradation engages, and the service recovers and restores. ---
+    assert_eq!(summary.batch_timeouts, 2, "both slow batches must time out");
+    assert_eq!(summary.breaker_trips, 1, "back-to-back timeouts trip once");
+    assert!(summary.degrades >= 1, "the trip must degrade to pruned");
+    assert_eq!(
+        summary.degrades, summary.restores,
+        "every degradation must eventually restore the dense model"
+    );
+
+    // --- Correctness: every completion is in deadline and matches
+    // direct inference with the model slot that served it. ---
+    let sample_of: BTreeMap<u64, usize> = profile
+        .entries
+        .iter()
+        .map(|e| (e.id, e.sample % 8))
+        .collect();
+    let expected_dense = {
+        let mut rng = Rng::seed_from(21);
+        let mut net = models::lenet(3, 10, 16, 1.0, &mut rng).expect("dense net");
+        predict(&mut net, &inputs).expect("dense reference")
+    };
+    let expected_pruned = {
+        let mut rng = Rng::seed_from(21);
+        let _ = models::lenet(3, 10, 16, 1.0, &mut rng).expect("dense net");
+        let mut net = models::lenet(3, 10, 16, 0.5, &mut rng).expect("pruned net");
+        predict(&mut net, &inputs).expect("pruned reference")
+    };
+    let mut served_by_pruned = 0usize;
+    let mut served_by_dense = 0usize;
+    for o in &outcomes {
+        if let Outcome::Completed(r) = o {
+            assert!(
+                r.completed <= r.deadline,
+                "request {} completed at {} past deadline {}",
+                r.id,
+                r.completed,
+                r.deadline
+            );
+            let sample = sample_of[&r.id];
+            let expected = match r.model {
+                SlotKind::Dense => {
+                    served_by_dense += 1;
+                    expected_dense[sample]
+                }
+                SlotKind::Pruned => {
+                    served_by_pruned += 1;
+                    expected_pruned[sample]
+                }
+            };
+            assert_eq!(
+                r.class, expected,
+                "request {} prediction must match direct inference on {:?}",
+                r.id, r.model
+            );
+        }
+    }
+    assert!(
+        served_by_pruned > 0,
+        "degradation must actually serve traffic on the pruned model"
+    );
+    assert!(
+        served_by_dense > 0,
+        "the restore must put traffic back on the dense model"
+    );
+}
