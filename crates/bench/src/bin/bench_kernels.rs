@@ -10,10 +10,12 @@
 
 use std::time::Instant;
 
+use hs_gpusim::{devices, estimate};
 use hs_nn::layer::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU};
 use hs_nn::loss::softmax_cross_entropy;
 use hs_nn::optim::{Optimizer, Sgd};
-use hs_nn::{Network, Node};
+use hs_nn::surgery::conv_sites;
+use hs_nn::{compact, models, Network, Node};
 use hs_runner::{write_json, Json};
 use hs_telemetry::metrics::MetricSnapshot;
 use hs_tensor::{gemm_ex, pool, Rng, Shape, Tensor};
@@ -120,9 +122,93 @@ fn gflops(size: usize, secs: f64) -> f64 {
     2.0 * (size as f64).powi(3) / secs / 1e9
 }
 
+/// One dense-vs-masked-vs-compacted forward-pass measurement: the same
+/// pruning decision executed logically (0/1 channel masks, full-shape
+/// kernels) and physically (compacted shapes), plus the roofline
+/// model's predicted speedup for the shape change.
+struct ForwardRow {
+    model: &'static str,
+    sp: usize,
+    dense_secs: f64,
+    masked_secs: f64,
+    compact_secs: f64,
+    /// Executed-MAC ratio dense/compacted (upper bound on the speedup).
+    flop_speedup: f64,
+    /// Roofline-predicted dense/compacted latency ratio (CPU device).
+    predicted_speedup: f64,
+}
+
+impl ForwardRow {
+    fn measured_speedup(&self) -> f64 {
+        self.dense_secs / self.compact_secs
+    }
+
+    /// Relative error of the roofline prediction vs the measurement.
+    fn prediction_error_pct(&self) -> f64 {
+        100.0 * (self.predicted_speedup - self.measured_speedup()).abs() / self.measured_speedup()
+    }
+}
+
+/// Benchmarks one model at one target speedup: masks every conv site
+/// down to `1/sp` of its maps (first `c/sp` channels — the timing is
+/// pattern-independent), compacts a clone, and times eval-mode forward
+/// passes of all three variants on the same batch.
+fn bench_forward(
+    model: &'static str,
+    net: &Network,
+    in_channels: usize,
+    input_size: usize,
+    sp: usize,
+    reps: usize,
+    rng: &mut Rng,
+) -> ForwardRow {
+    let mut dense = net.clone();
+    let mut masked = net.clone();
+    for site in conv_sites(&masked) {
+        let c = masked.conv(site.conv).expect("conv site").out_channels();
+        let keep = (c / sp).max(1);
+        let mask: Vec<f32> = (0..c).map(|i| if i < keep { 1.0 } else { 0.0 }).collect();
+        masked.set_channel_mask(site.mask_node, Some(mask));
+    }
+    let compacted = compact::compact(&masked, in_channels, input_size).expect("compact");
+    let report = compacted.report;
+    let mut compact_net = compacted.net;
+
+    let x = Tensor::randn(Shape::d4(8, in_channels, input_size, input_size), rng);
+    let fwd = |net: &mut Network| {
+        std::hint::black_box(net.forward(&x, false).expect("forward"));
+    };
+    fwd(&mut dense); // warm all three (arena, page-in)
+    fwd(&mut masked);
+    fwd(&mut compact_net);
+    let dense_secs = best_secs(reps, || fwd(&mut dense));
+    let masked_secs = best_secs(reps, || fwd(&mut masked));
+    let compact_secs = best_secs(reps, || fwd(&mut compact_net));
+
+    // Roofline prediction on the CPU device the benchmark itself runs
+    // on a sibling of: the *relative* dense/compact latency is what the
+    // measured speedup is checked against.
+    let device = devices::xeon_e2620();
+    let dense_est = estimate(&device, &dense, in_channels, input_size).expect("roofline dense");
+    let compact_est =
+        estimate(&device, &compact_net, in_channels, input_size).expect("roofline compact");
+    ForwardRow {
+        model,
+        sp,
+        dense_secs,
+        masked_secs,
+        compact_secs,
+        flop_speedup: report.speedup(),
+        predicted_speedup: dense_est.total_seconds / compact_est.total_seconds,
+    }
+}
+
 fn main() {
     let mut rng = Rng::seed_from(2019);
-    println!("# kernel benchmarks ({} pool threads)", pool::num_threads());
+    println!(
+        "# kernel benchmarks ({} pool threads)",
+        pool::effective_threads()
+    );
 
     let gemm_rows: Vec<GemmRow> = [(128usize, 20usize), (256, 8), (512, 3)]
         .iter()
@@ -184,6 +270,53 @@ fn main() {
     let train_step_secs = best_secs(10, &mut step);
     println!("train step {:.2} ms", train_step_secs * 1e3);
 
+    // Whole-network forward passes: the same pruning decision as masks
+    // (logical) and as compacted shapes (physical), per model and
+    // target speedup, against the roofline model's prediction.
+    let vgg = models::vgg11(3, 10, 32, 0.5, &mut rng).expect("vgg11");
+    let alex = models::alexnet(3, 10, 32, 0.5, &mut rng).expect("alexnet");
+    let mut forward_rows = Vec::new();
+    for (name, net) in [("vgg11", &vgg), ("alexnet", &alex)] {
+        for sp in [2usize, 4] {
+            let row = bench_forward(name, net, 3, 32, sp, 5, &mut rng);
+            println!(
+                "forward {name} sp={sp}: dense {:.2} ms, masked {:.2} ms, compact {:.2} ms \
+                 -> {:.2}x measured ({:.2}x flops, {:.2}x roofline, {:.1}% error)",
+                row.dense_secs * 1e3,
+                row.masked_secs * 1e3,
+                row.compact_secs * 1e3,
+                row.measured_speedup(),
+                row.flop_speedup,
+                row.predicted_speedup,
+                row.prediction_error_pct(),
+            );
+            forward_rows.push(row);
+        }
+    }
+
+    let forward_json = forward_rows
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                ("model".into(), Json::str(row.model)),
+                ("sp".into(), Json::num(row.sp as f64)),
+                ("dense_secs".into(), Json::num(row.dense_secs)),
+                ("masked_secs".into(), Json::num(row.masked_secs)),
+                ("compact_secs".into(), Json::num(row.compact_secs)),
+                ("measured_speedup".into(), Json::num(row.measured_speedup())),
+                (
+                    "masked_speedup".into(),
+                    Json::num(row.dense_secs / row.masked_secs),
+                ),
+                ("flop_speedup".into(), Json::num(row.flop_speedup)),
+                ("predicted_speedup".into(), Json::num(row.predicted_speedup)),
+                (
+                    "prediction_error_pct".into(),
+                    Json::num(row.prediction_error_pct()),
+                ),
+            ])
+        })
+        .collect();
     let gemm_json = gemm_rows
         .iter()
         .map(|row| {
@@ -227,8 +360,15 @@ fn main() {
         })
         .collect();
     let doc = Json::Obj(vec![
-        ("pool_threads".into(), Json::num(pool::num_threads() as f64)),
+        // The pool size actually used by the timed kernels (workers +
+        // caller), not just the configured target: `HS_NUM_THREADS`
+        // overrides are reflected here.
+        (
+            "pool_threads".into(),
+            Json::num(pool::effective_threads() as f64),
+        ),
         ("gemm".into(), Json::Arr(gemm_json)),
+        ("forward".into(), Json::Arr(forward_json)),
         (
             "conv".into(),
             Json::Obj(vec![

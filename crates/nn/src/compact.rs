@@ -1,0 +1,520 @@
+//! Structural compaction: turning a *logically* pruned network (masks,
+//! deactivated blocks) into a *physically* smaller one that the dense
+//! kernels run at reduced shapes — the step that converts the paper's
+//! FLOP-reduction claims into measured wall-clock speedup.
+//!
+//! A pruned checkpoint carries up to three kinds of logical sparsity:
+//!
+//! 1. **Channel masks** at a conv site's mask node (per-layer pruning):
+//!    realized by [`crate::surgery::prune_feature_maps`] — conv filters,
+//!    the following batch norm, and the consumer's input channels (or
+//!    the classifier's input columns) all shrink to the kept set.
+//! 2. **Deactivated residual blocks** (block pruning): an inactive
+//!    block's forward pass is the identity, so the node is removed
+//!    outright — an exact transformation.
+//! 3. **Block inner masks** (intra-block pruning): realized by
+//!    [`crate::block::ResidualBlock::prune_inner_maps`] — conv1's
+//!    filters, bn1, and conv2's input channels shrink; the block's
+//!    output shape is unchanged.
+//!
+//! Compaction applies all three and then asserts the invariant that
+//! makes the result fast: **no masks survive**. The compacted forward
+//! pass is pure dense kernels on reduced shapes, with zero masking
+//! work. Equivalence to the masked-dense forward is enforced by the
+//! seeded parity suite (`tests/compact_parity.rs`); masks must be
+//! binary (exactly 0.0 / 1.0) for the equivalence to hold, and
+//! non-binary masks are rejected with a typed error instead of being
+//! silently mis-realized.
+//!
+//! Every rewritten unit emits a `compact` telemetry event with its
+//! before/after shape, a summary event carries the whole-network FLOP
+//! ratio, and the `hs_nn_compact_flops_saved_total` counter accumulates
+//! the MACs removed.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use hs_telemetry::metrics::{self, Counter};
+use hs_telemetry::{Event, EventKind, Level};
+
+use crate::accounting::analyze;
+use crate::error::NnError;
+use crate::network::{Network, Node};
+use crate::surgery::{conv_sites, keep_from_mask, prune_feature_maps};
+
+/// Why a network could not be compacted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactError {
+    /// Every filter of a unit is masked out: compacting would produce a
+    /// zero-dimension GEMM. The caller should keep at least one filter
+    /// (or skip the unit) before compacting.
+    DegenerateUnit {
+        /// Node index of the degenerate unit.
+        node: usize,
+        /// Unit kind (`"conv"` or `"block-inner"`).
+        kind: &'static str,
+    },
+    /// A mask carries values other than exactly 0.0 / 1.0; dropping its
+    /// zero channels would not reproduce the masked forward pass.
+    NonBinaryMask {
+        /// Node index the mask is attached to.
+        node: usize,
+    },
+    /// A sparsity pattern this pass cannot realize (e.g. two masks on
+    /// one conv site, or a mask on a node with no surgery rule).
+    Unsupported {
+        /// Node index of the offending structure.
+        node: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An underlying surgery or shape-analysis failure.
+    Nn(NnError),
+}
+
+impl fmt::Display for CompactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactError::DegenerateUnit { node, kind } => write!(
+                f,
+                "compaction of {kind} node {node} would leave zero channels; \
+                 keep at least one filter"
+            ),
+            CompactError::NonBinaryMask { node } => write!(
+                f,
+                "node {node} carries a non-binary mask; compaction requires 0/1 masks"
+            ),
+            CompactError::Unsupported { node, detail } => {
+                write!(f, "cannot compact node {node}: {detail}")
+            }
+            CompactError::Nn(e) => write!(f, "compaction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+impl From<NnError> for CompactError {
+    fn from(e: NnError) -> CompactError {
+        CompactError::Nn(e)
+    }
+}
+
+/// One unit rewritten by compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactChange {
+    /// Node index in the network *as compacted so far* (block removals
+    /// shift later indices down).
+    pub node: usize,
+    /// Unit kind: `"conv"` (channel-mask surgery), `"block"` (inactive
+    /// block removed), `"block-inner"` (inner-mask surgery).
+    pub kind: &'static str,
+    /// Channels before: conv output maps, block width, or inner maps.
+    pub before: usize,
+    /// Channels after (`0` for a removed block).
+    pub after: usize,
+}
+
+/// What compaction did: the per-unit rewrites plus whole-network cost
+/// before and after, measured by [`crate::accounting::analyze`].
+///
+/// The *before* numbers describe the **stored structure**: inactive
+/// blocks and masked channels are counted at their dense shapes,
+/// because that is what the checkpoint physically carries and what a
+/// naive dense executor would run. The *after* numbers describe the
+/// compacted network, where stored == executed by construction. The
+/// difference is exactly what compaction removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Every rewritten unit, in compaction order.
+    pub changes: Vec<CompactChange>,
+    /// Stored trainable parameters before compaction.
+    pub params_before: u64,
+    /// Stored trainable parameters after compaction.
+    pub params_after: u64,
+    /// Stored-structure MACs per sample before compaction.
+    pub flops_before: u64,
+    /// MACs per sample after compaction.
+    pub flops_after: u64,
+}
+
+impl CompactReport {
+    /// `flops_after / flops_before` in (0, 1]; `1.0` for an empty net.
+    pub fn flop_ratio(&self) -> f64 {
+        if self.flops_before == 0 {
+            1.0
+        } else {
+            self.flops_after as f64 / self.flops_before as f64
+        }
+    }
+
+    /// MACs removed per sample.
+    pub fn flops_saved(&self) -> u64 {
+        self.flops_before.saturating_sub(self.flops_after)
+    }
+
+    /// `flops_before / flops_after` — the model-level speedup the
+    /// compacted shapes should realize on a compute-bound device.
+    pub fn speedup(&self) -> f64 {
+        if self.flops_after == 0 {
+            1.0
+        } else {
+            self.flops_before as f64 / self.flops_after as f64
+        }
+    }
+}
+
+/// A physically compacted network paired with the report of what
+/// changed. The wrapped network carries **no masks, no inactive blocks,
+/// no inner masks** — its forward pass is dense kernels on reduced
+/// shapes only.
+#[derive(Debug, Clone)]
+pub struct CompactNetwork {
+    /// The compacted network.
+    pub net: Network,
+    /// What compaction did.
+    pub report: CompactReport,
+}
+
+fn compact_flops_saved() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("hs_nn_compact_flops_saved_total"))
+}
+
+/// Returns the binary keep set of `mask`, or the appropriate typed
+/// error for all-zero / non-binary masks.
+fn binary_keep(mask: &[f32], node: usize, kind: &'static str) -> Result<Vec<usize>, CompactError> {
+    if mask.iter().any(|&m| m != 0.0 && m != 1.0) {
+        return Err(CompactError::NonBinaryMask { node });
+    }
+    let keep = keep_from_mask(mask);
+    if keep.is_empty() {
+        return Err(CompactError::DegenerateUnit { node, kind });
+    }
+    Ok(keep)
+}
+
+/// Compacts `net` in place (see the module docs for the three rewrite
+/// rules) and returns the report. `in_channels`/`input_size` describe
+/// the input the network was trained on (needed for cost analysis).
+///
+/// # Errors
+///
+/// [`CompactError::DegenerateUnit`] when a unit has every filter
+/// masked, [`CompactError::NonBinaryMask`] for soft masks,
+/// [`CompactError::Unsupported`] for sparsity this pass cannot realize
+/// (the network is left partially compacted only on error paths that
+/// say so), and [`CompactError::Nn`] for underlying surgery failures.
+pub fn compact_in_place(
+    net: &mut Network,
+    in_channels: usize,
+    input_size: usize,
+) -> Result<CompactReport, CompactError> {
+    // Cost the *stored* structure: `analyze` skips inactive blocks (they
+    // execute nothing), but their weights are still in the checkpoint
+    // and a naive dense executor would still run them — reactivate every
+    // block in a throwaway clone so `before` counts what compaction is
+    // about to physically remove.
+    let before = {
+        let mut stored = net.clone();
+        for idx in stored.block_indices() {
+            stored.set_block_active(idx, true)?;
+        }
+        analyze(&stored, in_channels, input_size)?
+    };
+    let mut changes = Vec::new();
+
+    // 1. Inactive residual blocks: the forward pass is the identity, so
+    // removal is exact. Walk backwards so indices stay valid.
+    for idx in net.block_indices().into_iter().rev() {
+        let Node::Block(block) = net.node(idx) else {
+            unreachable!("block_indices returns blocks");
+        };
+        if !block.is_active() {
+            let width = block.out_channels();
+            net.remove_node(idx);
+            changes.push(CompactChange {
+                node: idx,
+                kind: "block",
+                before: width,
+                after: 0,
+            });
+        }
+    }
+    changes.reverse(); // removals were collected back-to-front
+
+    // 2. Inner masks on the surviving blocks.
+    for idx in net.block_indices() {
+        let Node::Block(block) = net.node_mut(idx) else {
+            unreachable!("block_indices returns blocks");
+        };
+        if let Some(mask) = block.inner_mask().map(<[f32]>::to_vec) {
+            let inner_before = block.inner_channels();
+            let keep = binary_keep(&mask, idx, "block-inner")?;
+            if keep.len() == inner_before {
+                block.set_inner_mask(None)?;
+                continue; // full keep: the mask was a no-op
+            }
+            block.prune_inner_maps(&keep)?;
+            changes.push(CompactChange {
+                node: idx,
+                kind: "block-inner",
+                before: inner_before,
+                after: keep.len(),
+            });
+        }
+    }
+
+    // 3. Channel masks at the top-level conv sites.
+    for site in conv_sites(net) {
+        let mut masked: Vec<usize> = [Some(site.conv), site.bn, site.relu]
+            .into_iter()
+            .flatten()
+            .filter(|&i| net.channel_mask(i).is_some())
+            .collect();
+        let Some(mask_node) = masked.pop() else {
+            continue;
+        };
+        if !masked.is_empty() {
+            return Err(CompactError::Unsupported {
+                node: site.conv,
+                detail: "conv site carries more than one channel mask".to_string(),
+            });
+        }
+        let mask = net
+            .channel_mask(mask_node)
+            .expect("mask present by construction")
+            .to_vec();
+        let maps_before = net.conv(site.conv)?.out_channels();
+        let keep = binary_keep(&mask, mask_node, "conv")?;
+        if keep.len() == maps_before {
+            net.set_channel_mask(mask_node, None); // full keep: no-op mask
+            continue;
+        }
+        prune_feature_maps(net, site.conv, &keep)?;
+        changes.push(CompactChange {
+            node: site.conv,
+            kind: "conv",
+            before: maps_before,
+            after: keep.len(),
+        });
+    }
+
+    // Invariant: nothing logical survives. A leftover mask means a
+    // sparsity pattern without a surgery rule (e.g. a mask on a linear
+    // node) — refuse rather than ship a "compacted" net that still
+    // masks on every forward pass.
+    for i in 0..net.len() {
+        if net.channel_mask(i).is_some() {
+            return Err(CompactError::Unsupported {
+                node: i,
+                detail: format!(
+                    "a mask survived compaction on {} node {i}",
+                    net.node(i).kind()
+                ),
+            });
+        }
+    }
+
+    let after = analyze(net, in_channels, input_size)?;
+    let report = CompactReport {
+        changes,
+        params_before: before.total_params,
+        params_after: after.total_params,
+        flops_before: before.total_flops,
+        flops_after: after.total_flops,
+    };
+    emit_events(&report);
+    Ok(report)
+}
+
+/// Clones and compacts `net`, returning the [`CompactNetwork`] pair.
+///
+/// # Errors
+///
+/// See [`compact_in_place`].
+pub fn compact(
+    net: &Network,
+    in_channels: usize,
+    input_size: usize,
+) -> Result<CompactNetwork, CompactError> {
+    let mut compacted = net.clone();
+    let report = compact_in_place(&mut compacted, in_channels, input_size)?;
+    Ok(CompactNetwork {
+        net: compacted,
+        report,
+    })
+}
+
+/// One `compact` event per rewritten unit plus a network summary, and
+/// the saved-FLOPs counter. Field values are derived only from shapes,
+/// so seeded runs emit byte-identical streams (modulo `ts`).
+fn emit_events(report: &CompactReport) {
+    for change in &report.changes {
+        hs_telemetry::emit(
+            Event::new(
+                EventKind::Compact,
+                Level::Debug,
+                format!("compact/{}:{}", change.kind, change.node),
+            )
+            .field("kind", change.kind)
+            .field("before", change.before as u64)
+            .field("after", change.after as u64),
+        );
+    }
+    hs_telemetry::emit(
+        Event::new(EventKind::Compact, Level::Info, "compact/network")
+            .message(format!(
+                "compacted {} unit(s): {} -> {} MACs",
+                report.changes.len(),
+                report.flops_before,
+                report.flops_after
+            ))
+            .field("before", report.flops_before)
+            .field("after", report.flops_after)
+            .field("flop_ratio", report.flop_ratio())
+            .field("params_before", report.params_before)
+            .field("params_after", report.params_after)
+            .field("units", report.changes.len() as u64),
+    );
+    compact_flops_saved().add(report.flops_saved());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use hs_tensor::{Rng, Shape, Tensor};
+
+    /// Masks half the channels of every conv site of a single-branch net.
+    fn mask_half(net: &mut Network) {
+        for site in conv_sites(net) {
+            let c = net.conv(site.conv).unwrap().out_channels();
+            let mask: Vec<f32> = (0..c).map(|i| if i < c / 2 { 1.0 } else { 0.0 }).collect();
+            net.set_channel_mask(site.mask_node, Some(mask));
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_masked_convs_and_clears_masks() {
+        let mut rng = Rng::seed_from(7);
+        let mut net = models::lenet(1, 10, 16, 1.0, &mut rng).unwrap();
+        mask_half(&mut net);
+        let report = compact_in_place(&mut net, 1, 16).unwrap();
+        assert_eq!(report.changes.len(), 2);
+        assert!(report.flops_after < report.flops_before);
+        assert!(report.flop_ratio() < 0.5);
+        for i in 0..net.len() {
+            assert!(net.channel_mask(i).is_none());
+        }
+        let x = Tensor::randn(Shape::d4(1, 1, 16, 16), &mut rng);
+        assert!(net.forward(&x, false).is_ok());
+    }
+
+    #[test]
+    fn inactive_blocks_are_removed() {
+        let mut rng = Rng::seed_from(8);
+        let mut net = models::resnet_cifar(2, 3, 10, 0.25, &mut rng).unwrap();
+        let blocks = net.block_indices();
+        // Deactivate the prunable (identity-shortcut) second block.
+        net.set_block_active(blocks[1], false).unwrap();
+        let nodes_before = net.len();
+        let report = compact_in_place(&mut net, 3, 8).unwrap();
+        assert_eq!(net.len(), nodes_before - 1);
+        assert_eq!(report.changes.len(), 1);
+        assert_eq!(report.changes[0].kind, "block");
+        assert_eq!(report.changes[0].after, 0);
+        // The bypassed block executed nothing, but its weights were
+        // stored; removal shrinks both the FLOP and parameter footprint.
+        assert!(report.flops_after < report.flops_before);
+        assert!(report.params_after < report.params_before);
+        let x = Tensor::randn(Shape::d4(1, 3, 8, 8), &mut rng);
+        assert!(net.forward(&x, false).is_ok());
+    }
+
+    #[test]
+    fn inner_masks_shrink_block_interiors() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = models::resnet_cifar(1, 3, 10, 0.5, &mut rng).unwrap();
+        let idx = net.block_indices()[0];
+        let inner = match net.node(idx) {
+            Node::Block(b) => b.inner_channels(),
+            _ => unreachable!(),
+        };
+        let mask: Vec<f32> = (0..inner)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        match net.node_mut(idx) {
+            Node::Block(b) => b.set_inner_mask(Some(mask)).unwrap(),
+            _ => unreachable!(),
+        }
+        let report = compact_in_place(&mut net, 3, 8).unwrap();
+        assert_eq!(report.changes.len(), 1);
+        assert_eq!(report.changes[0].kind, "block-inner");
+        assert_eq!(report.changes[0].before, inner);
+        assert_eq!(report.changes[0].after, inner.div_ceil(2));
+        match net.node(idx) {
+            Node::Block(b) => {
+                assert_eq!(b.inner_channels(), inner.div_ceil(2));
+                assert!(b.inner_mask().is_none());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn degenerate_all_zero_mask_is_a_typed_error() {
+        let mut rng = Rng::seed_from(10);
+        let mut net = models::lenet(1, 10, 16, 1.0, &mut rng).unwrap();
+        let site = conv_sites(&net)[0];
+        let c = net.conv(site.conv).unwrap().out_channels();
+        net.set_channel_mask(site.mask_node, Some(vec![0.0; c]));
+        let err = compact(&net, 1, 16).unwrap_err();
+        assert!(matches!(
+            err,
+            CompactError::DegenerateUnit { kind: "conv", .. }
+        ));
+    }
+
+    #[test]
+    fn non_binary_masks_are_rejected() {
+        let mut rng = Rng::seed_from(11);
+        let mut net = models::lenet(1, 10, 16, 1.0, &mut rng).unwrap();
+        let site = conv_sites(&net)[0];
+        let c = net.conv(site.conv).unwrap().out_channels();
+        let mut mask = vec![1.0f32; c];
+        mask[0] = 0.5;
+        net.set_channel_mask(site.mask_node, Some(mask));
+        assert!(matches!(
+            compact(&net, 1, 16).unwrap_err(),
+            CompactError::NonBinaryMask { .. }
+        ));
+    }
+
+    #[test]
+    fn full_masks_compact_to_a_noop() {
+        let mut rng = Rng::seed_from(12);
+        let mut net = models::lenet(1, 10, 16, 1.0, &mut rng).unwrap();
+        let site = conv_sites(&net)[0];
+        let c = net.conv(site.conv).unwrap().out_channels();
+        net.set_channel_mask(site.mask_node, Some(vec![1.0; c]));
+        let report = compact_in_place(&mut net, 1, 16).unwrap();
+        assert!(report.changes.is_empty());
+        assert_eq!(report.flops_before, report.flops_after);
+        assert!((report.flop_ratio() - 1.0).abs() < 1e-12);
+        assert!(net.channel_mask(site.mask_node).is_none());
+    }
+
+    #[test]
+    fn leftover_masks_without_a_surgery_rule_are_refused() {
+        let mut rng = Rng::seed_from(13);
+        let mut net = models::lenet(1, 10, 16, 1.0, &mut rng).unwrap();
+        let linear = net.len() - 1;
+        let mask: Vec<f32> = (0..10).map(|i| (i % 2 == 0) as u32 as f32).collect();
+        net.set_channel_mask(linear, Some(mask));
+        assert!(matches!(
+            compact(&net, 1, 16).unwrap_err(),
+            CompactError::Unsupported { .. }
+        ));
+    }
+}

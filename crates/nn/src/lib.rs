@@ -5,7 +5,7 @@
 //!
 //! The paper prunes *feature maps*: deciding to drop map `m` of layer `i`
 //! removes filter `m` of layer `i` **and** input channel `m` of layer
-//! `i+1`. This crate provides all three views of that operation:
+//! `i+1`. This crate provides four views of that operation:
 //!
 //! 1. **Masking** ([`Network::set_channel_mask`]) — multiply feature maps
 //!    by a 0/1 vector. Cheap, reversible, used while the HeadStart policy
@@ -16,6 +16,10 @@
 //! 3. **Accounting** ([`accounting`]) — exact parameter and FLOP counts
 //!    for any (possibly pruned) architecture, the quantities reported in
 //!    the paper's tables.
+//! 4. **Compaction** ([`compact`]) — realize *every* remaining logical
+//!    pruning decision at once (channel masks, deactivated blocks, block
+//!    inner masks), yielding a mask-free network whose forward pass runs
+//!    the dense kernels at physically reduced shapes.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 pub mod accounting;
 pub mod block;
 pub mod checkpoint;
+pub mod compact;
 pub mod error;
 pub mod infer;
 pub mod layer;
@@ -53,6 +58,7 @@ pub mod summary;
 pub mod surgery;
 pub mod train;
 
+pub use compact::{CompactError, CompactNetwork, CompactReport};
 pub use error::NnError;
 pub use network::{Network, Node};
 pub use param::Param;

@@ -136,6 +136,22 @@ impl Network {
         self.nodes.len() - 1
     }
 
+    /// Removes and returns the node at `index`, shifting later nodes
+    /// down. The per-node mask/premask/gradient bookkeeping shrinks in
+    /// lockstep, so masks attached to other nodes follow them to their
+    /// new indices. Used by structural compaction to drop inactive
+    /// residual blocks (whose forward pass is the identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove_node(&mut self, index: usize) -> Node {
+        self.masks.remove(index);
+        self.premask.remove(index);
+        self.mask_grads.remove(index);
+        self.nodes.remove(index)
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

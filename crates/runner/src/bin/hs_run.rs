@@ -8,7 +8,7 @@
 //! Flags: `--label --data --model --width --method --sp --keep --seed
 //! --prune-seed --quick --smoke --pretrain --finetune --episodes
 //! --eval-images --checkpoint --artifact --telemetry --metrics
-//! --log-level --run-dir`. See `RunnerConfig::from_args`.
+//! --log-level --run-dir --compact`. See `RunnerConfig::from_args`.
 //!
 //! With `--run-dir DIR` the run journals its progress into `DIR` (one
 //! checkpoint per pruned unit plus `run.journal.json`); after a crash,
@@ -35,10 +35,11 @@ fn main() -> ExitCode {
              \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]\n\
              \x20             [--telemetry PATH.jsonl] [--metrics PATH.prom]\n\
              \x20             [--log-level error|warn|info|debug|trace]\n\
-             \x20             [--run-dir DIR]\n\
+             \x20             [--run-dir DIR] [--compact]\n\
              \x20      hs_run --resume DIR\n\
              \n\
              \x20 --run-dir DIR  journal the run into DIR (crash-safe, resumable)\n\
+             \x20 --compact      physically shrink the pruned model into DIR/compact.hsck\n\
              \x20 --resume DIR   continue an interrupted journaled run\n\
              \x20 HS_FAULT=kind:site[:n],...  arm deterministic fault injection"
         );
@@ -91,4 +92,10 @@ fn print_summary(report: &PipelineReport) {
         report.final_cost.total_params,
         format_args!("{:.1}", report.compression_pct()),
     );
+    if let Some(c) = &report.compact {
+        println!(
+            "{}: compact {} | flop speedup {:.2}x (target {:.1}x) | {} unit(s) rewritten",
+            report.label, c.checkpoint, c.achieved_speedup, c.target_speedup, c.units
+        );
+    }
 }

@@ -343,6 +343,11 @@ pub struct RunnerConfig {
     /// checkpoints there so an interrupted run can be continued with
     /// `hs_run --resume DIR`.
     pub run_dir: Option<PathBuf>,
+    /// Structurally compact the pruned network after fine-tuning
+    /// (`--compact`): realize masks / deactivated blocks as physically
+    /// smaller tensors and write `compact.hsck` next to the journal.
+    /// Requires `run_dir`.
+    pub compact: bool,
     /// Where to write the JSON run artifact.
     pub artifact: Option<PathBuf>,
     /// Where to write the JSONL telemetry event stream (`--telemetry`).
@@ -369,6 +374,7 @@ impl RunnerConfig {
             method: Method::HeadStartLayers { sp: 2.0 },
             checkpoint: None,
             run_dir: None,
+            compact: false,
             artifact: None,
             telemetry: None,
             metrics: None,
@@ -400,6 +406,11 @@ impl RunnerConfig {
             }
             if arg == "--smoke" {
                 cfg.budget = Budget::smoke();
+                i += 1;
+                continue;
+            }
+            if arg == "--compact" {
+                cfg.compact = true;
                 i += 1;
                 continue;
             }
@@ -546,6 +557,11 @@ mod tests {
         let cfg = RunnerConfig::from_args(&argv("--run-dir runs/a")).unwrap();
         assert_eq!(cfg.run_dir.as_deref(), Some(std::path::Path::new("runs/a")));
         assert!(RunnerConfig::new("x").run_dir.is_none());
+        // --compact is a valueless flag and defaults to off.
+        let cfg = RunnerConfig::from_args(&argv("--compact --run-dir runs/a --seed 7")).unwrap();
+        assert!(cfg.compact);
+        assert_eq!(cfg.seed, 7);
+        assert!(!RunnerConfig::from_args(&argv("--seed 7")).unwrap().compact);
         for name in [
             "headstart",
             "headstart-blocks",

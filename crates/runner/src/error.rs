@@ -5,7 +5,7 @@ use std::io;
 
 use hs_core::HeadStartError;
 use hs_data::DataError;
-use hs_nn::NnError;
+use hs_nn::{CompactError, NnError};
 use hs_pruning::PruneError;
 use hs_tensor::TensorError;
 
@@ -20,6 +20,8 @@ pub enum RunnerError {
     Prune(PruneError),
     /// The HeadStart engine failed.
     HeadStart(HeadStartError),
+    /// Structural compaction of the pruned model failed.
+    Compact(CompactError),
     /// Checkpoint or artifact I/O failed.
     Io(io::Error),
     /// The run configuration is invalid (bad flag, unknown name, …).
@@ -43,6 +45,7 @@ impl fmt::Display for RunnerError {
             RunnerError::Nn(e) => write!(f, "network: {e}"),
             RunnerError::Prune(e) => write!(f, "pruning: {e}"),
             RunnerError::HeadStart(e) => write!(f, "headstart: {e}"),
+            RunnerError::Compact(e) => write!(f, "compaction: {e}"),
             RunnerError::Io(e) => write!(f, "io: {e}"),
             RunnerError::BadConfig(detail) => write!(f, "bad run config: {detail}"),
             RunnerError::Journal(detail) => write!(f, "run journal: {detail}"),
@@ -76,6 +79,12 @@ impl From<PruneError> for RunnerError {
 impl From<HeadStartError> for RunnerError {
     fn from(e: HeadStartError) -> Self {
         RunnerError::HeadStart(e)
+    }
+}
+
+impl From<CompactError> for RunnerError {
+    fn from(e: CompactError) -> Self {
+        RunnerError::Compact(e)
     }
 }
 

@@ -195,6 +195,7 @@ impl Journal {
                 Json::num(cfg.budget.rl_eval_images as f64),
             ),
             ("checkpoint".into(), opt_path(&cfg.checkpoint)),
+            ("compact".into(), Json::Bool(cfg.compact)),
             ("artifact".into(), opt_path(&cfg.artifact)),
             ("telemetry".into(), opt_path(&cfg.telemetry)),
             ("metrics".into(), opt_path(&cfg.metrics)),
@@ -286,6 +287,12 @@ impl Journal {
         cfg.budget.rl_episodes = num(cfg_obj, "rl_episodes")? as usize;
         cfg.budget.rl_eval_images = num(cfg_obj, "rl_eval_images")? as usize;
         cfg.checkpoint = opt_path_field(cfg_obj, "checkpoint")?;
+        // Absent in journals written before the compact stage existed.
+        cfg.compact = match cfg_obj.get("compact") {
+            None | Some(schema::Json::Null) => false,
+            Some(schema::Json::Bool(b)) => *b,
+            Some(_) => return Err("`compact` is not a boolean".to_string()),
+        };
         cfg.artifact = opt_path_field(cfg_obj, "artifact")?;
         cfg.telemetry = opt_path_field(cfg_obj, "telemetry")?;
         cfg.metrics = opt_path_field(cfg_obj, "metrics")?;
@@ -458,6 +465,7 @@ mod tests {
         cfg.seed = u64::MAX - 3; // exercises the full u64 range
         cfg.prune_seed = 7;
         cfg.checkpoint = Some(PathBuf::from("run/pretrained.hsck"));
+        cfg.compact = true; // exercises the boolean config echo
         let mut rng = Rng::seed_from(123);
         let _ = rng.normal(); // odd draw count leaves a gauss cache behind
         let mut journal = Journal::new(cfg, 0.25);

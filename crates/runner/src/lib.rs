@@ -41,6 +41,8 @@ pub use error::RunnerError;
 pub use faults::{arm_from_env, crash_point, FAULT_ENV};
 pub use journal::{Journal, Stage, UnitRecord, JOURNAL_FILE};
 pub use manifest::{ServeManifest, MANIFEST_FILE};
-pub use pipeline::{prepare, pretrain, run, MethodRun, PipelineReport, Prepared, SingleLayerRun};
+pub use pipeline::{
+    prepare, pretrain, run, CompactSummary, MethodRun, PipelineReport, Prepared, SingleLayerRun,
+};
 pub use report::{pct, write_json, Json, Phase, StageTiming};
-pub use resume::{resume_run, FINAL_CHECKPOINT, PRETRAINED_CHECKPOINT};
+pub use resume::{resume_run, COMPACT_CHECKPOINT, FINAL_CHECKPOINT, PRETRAINED_CHECKPOINT};

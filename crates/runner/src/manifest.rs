@@ -55,6 +55,11 @@ pub struct ServeManifest {
     pub dense_flops: u64,
     /// MAC count of the pruned model.
     pub pruned_flops: u64,
+    /// Structurally compacted variant of the pruned checkpoint, when
+    /// the run's `--compact` stage produced one (same resolution rule
+    /// as `pruned`). `hs_serve` prefers it for the degraded tier and
+    /// falls back to the masked-dense `pruned` checkpoint when absent.
+    pub pruned_compact: Option<String>,
 }
 
 impl ServeManifest {
@@ -108,6 +113,14 @@ impl ServeManifest {
         resolve(manifest_dir, &self.pruned)
     }
 
+    /// The compacted pruned checkpoint path resolved against the
+    /// manifest's directory, when the manifest records one.
+    pub fn pruned_compact_path(&self, manifest_dir: &Path) -> Option<PathBuf> {
+        self.pruned_compact
+            .as_ref()
+            .map(|p| resolve(manifest_dir, p))
+    }
+
     /// How much cheaper one pruned inference is than a dense one, as a
     /// multiplier in (0, 1]: the measured FLOP ratio, falling back to
     /// the configured `1/sp` when a count is missing.
@@ -122,9 +135,11 @@ impl ServeManifest {
         ratio.clamp(0.01, 1.0)
     }
 
-    /// Renders the manifest as a JSON value.
+    /// Renders the manifest as a JSON value. The `pruned_compact` key
+    /// is emitted only when set, so manifests from runs without a
+    /// compact stage are byte-identical to pre-compaction ones.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::num(MANIFEST_VERSION as f64)),
             ("label".into(), Json::str(self.label.clone())),
             ("data".into(), Json::str(self.data.name())),
@@ -145,7 +160,11 @@ impl ServeManifest {
             ("pruned_params".into(), hex(self.pruned_params)),
             ("dense_flops".into(), hex(self.dense_flops)),
             ("pruned_flops".into(), hex(self.pruned_flops)),
-        ])
+        ];
+        if let Some(p) = &self.pruned_compact {
+            fields.push(("pruned_compact".into(), Json::str(p.clone())));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a manifest from a JSON value.
@@ -173,6 +192,16 @@ impl ServeManifest {
             pruned_params: hex_field(obj, "pruned_params")?,
             dense_flops: hex_field(obj, "dense_flops")?,
             pruned_flops: hex_field(obj, "pruned_flops")?,
+            // Optional: absent in manifests written before the compact
+            // stage existed (still version 1).
+            pruned_compact: match obj.get("pruned_compact") {
+                None | Some(schema::Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(String::from)
+                        .ok_or("`pruned_compact` is not a string")?,
+                ),
+            },
         })
     }
 }
@@ -241,6 +270,7 @@ mod tests {
             pruned_params: 1234,
             dense_flops: 8_000_000,
             pruned_flops: 2_000_000,
+            pruned_compact: Some("compact.hsck".into()),
         }
     }
 
@@ -263,8 +293,26 @@ mod tests {
         let by_file = ServeManifest::load(&ServeManifest::path(&dir)).unwrap();
         assert_eq!(by_file.dense_path(&dir), dir.join("pretrained.hsck"));
         assert_eq!(by_file.pruned_path(&dir), dir.join("final.hsck"));
+        assert_eq!(
+            by_file.pruned_compact_path(&dir),
+            Some(dir.join("compact.hsck"))
+        );
         assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_compact_is_optional_on_version_1() {
+        // A manifest written before the compact stage existed parses
+        // with `pruned_compact: None`, and a compact-less manifest
+        // renders without the key at all.
+        let mut m = sample();
+        m.pruned_compact = None;
+        let text = m.to_json().render();
+        assert!(!text.contains("pruned_compact"));
+        let parsed = ServeManifest::from_json(&schema::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.pruned_compact_path(Path::new("run")), None);
     }
 
     #[test]

@@ -433,6 +433,39 @@ impl Prepared {
     }
 }
 
+/// Artifact record of the post-prune compaction stage (`--compact`):
+/// the physically shrunk checkpoint plus achieved-vs-target speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactSummary {
+    /// Checkpoint file name relative to the run directory.
+    pub checkpoint: String,
+    /// Parameters of the compacted model.
+    pub params: u64,
+    /// MACs per sample of the compacted model.
+    pub flops: u64,
+    /// The method's target speedup (`sp`).
+    pub target_speedup: f64,
+    /// FLOP speedup actually realized: original MACs / compacted MACs.
+    pub achieved_speedup: f64,
+    /// Units physically rewritten (conv surgeries, removed blocks,
+    /// shrunk block interiors).
+    pub units: usize,
+}
+
+impl CompactSummary {
+    /// Renders the summary as a JSON artifact fragment.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("checkpoint".into(), Json::str(self.checkpoint.clone())),
+            ("params".into(), Json::num(self.params as f64)),
+            ("flops".into(), Json::num(self.flops as f64)),
+            ("target_speedup".into(), Json::num(self.target_speedup)),
+            ("achieved_speedup".into(), Json::num(self.achieved_speedup)),
+            ("units".into(), Json::num(self.units as f64)),
+        ])
+    }
+}
+
 /// The complete record of one pipeline run.
 #[derive(Debug)]
 pub struct PipelineReport {
@@ -450,6 +483,8 @@ pub struct PipelineReport {
     pub traces: Vec<LayerTrace>,
     /// All stage timings (dataset, pretrain/checkpoint, prune, eval).
     pub stages: Vec<StageTiming>,
+    /// The compaction stage's record, when `--compact` ran.
+    pub compact: Option<CompactSummary>,
 }
 
 impl PipelineReport {
@@ -520,6 +555,13 @@ impl PipelineReport {
             ("compression_pct".into(), Json::num(self.compression_pct())),
             ("layers".into(), Json::Arr(traces)),
             ("stages".into(), Json::Arr(stages)),
+            (
+                "compact".into(),
+                match &self.compact {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -547,6 +589,13 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
     if let Some(dir) = cfg.run_dir.clone() {
         return crate::resume::run_journaled(cfg, &dir, None);
     }
+    if cfg.compact {
+        // The compacted checkpoint lives next to the journal; without a
+        // run directory there is nowhere durable to put it.
+        return Err(RunnerError::BadConfig(
+            "--compact requires --run-dir".to_string(),
+        ));
+    }
     let pipeline_span = hs_telemetry::span!(
         "pipeline",
         "label" => cfg.label.clone(),
@@ -567,6 +616,7 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
         final_cost: method_run.cost,
         traces: method_run.traces,
         stages,
+        compact: None,
     };
     if let Some(path) = &cfg.artifact {
         write_json(path, &report.to_json())?;

@@ -42,7 +42,7 @@ use crate::error::RunnerError;
 use crate::faults::crash_point;
 use crate::journal::{Journal, Stage, UnitRecord};
 use crate::manifest::ServeManifest;
-use crate::pipeline::{prepare, PipelineReport, Prepared};
+use crate::pipeline::{prepare, CompactSummary, PipelineReport, Prepared};
 use crate::report::{write_json, Phase, StageTiming};
 
 /// File name of the pre-trained checkpoint inside a run directory
@@ -51,6 +51,10 @@ pub const PRETRAINED_CHECKPOINT: &str = "pretrained.hsck";
 
 /// File name of the finished model inside a run directory.
 pub const FINAL_CHECKPOINT: &str = "final.hsck";
+
+/// File name of the structurally compacted model inside a run
+/// directory (written by the `--compact` stage).
+pub const COMPACT_CHECKPOINT: &str = "compact.hsck";
 
 /// Scoring-subset size for baseline criteria, matching
 /// `hs_pruning::driver::prune_whole_model` so journaled baseline runs
@@ -133,7 +137,7 @@ pub(crate) fn run_journaled(
     };
     journal.save(dir)?;
 
-    let report = match &cfg.method {
+    let mut report = match &cfg.method {
         Method::HeadStartLayers { .. } | Method::Baseline { .. } => {
             run_units(&cfg, dir, &prepared, &mut journal)?
         }
@@ -141,6 +145,10 @@ pub(crate) fn run_journaled(
             run_stagewise(&cfg, dir, &prepared, &mut journal, resuming)?
         }
     };
+
+    if cfg.compact {
+        report.compact = Some(compact_stage(&cfg, dir, &prepared, &mut report.stages)?);
+    }
 
     // The run is finalized: pair the dense and pruned checkpoints in a
     // serve manifest so `hs_serve` can load both slots without flags.
@@ -163,6 +171,58 @@ pub(crate) fn run_journaled(
     }
     hs_telemetry::flush_metrics();
     Ok(report)
+}
+
+/// The `--compact` stage: loads the finalized model, physically
+/// realizes every remaining logical pruning decision
+/// ([`hs_nn::compact::compact`]), and writes the result to
+/// `compact.hsck` (fault site `compact_write`). The write is verified
+/// by re-loading; a checkpoint that fails its checksums is rewritten
+/// once (with a `recovery` event) before the failure is fatal, which is
+/// exactly enough to absorb a one-shot injected corruption.
+fn compact_stage(
+    cfg: &RunnerConfig,
+    dir: &Path,
+    prepared: &Prepared,
+    stages: &mut Vec<StageTiming>,
+) -> Result<CompactSummary, RunnerError> {
+    let phase = Phase::start("compact");
+    let final_net = checkpoint::load(dir.join(FINAL_CHECKPOINT))?;
+    let compacted =
+        hs_nn::compact::compact(&final_net, prepared.ds.channels(), prepared.ds.image_size())?;
+    let path = dir.join(COMPACT_CHECKPOINT);
+    let bytes = checkpoint::to_bytes(&compacted.net)?;
+    hs_telemetry::io::atomic_write_as(&path, "compact_write", &bytes)?;
+    if let Err(e) = checkpoint::load(&path) {
+        if !matches!(
+            e.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ) {
+            return Err(RunnerError::Io(e));
+        }
+        hs_telemetry::emit(
+            Event::new(EventKind::Recovery, Level::Warn, "runner")
+                .message(format!(
+                    "compact checkpoint {} failed verification ({e}); rewriting",
+                    path.display()
+                ))
+                .field("reason", "corrupt_checkpoint")
+                .field("action", "rewrite_compact"),
+        );
+        hs_telemetry::io::atomic_write_as(&path, "compact_write", &bytes)?;
+        checkpoint::load(&path)?;
+    }
+    hs_telemetry::artifact(&cfg.label, &path);
+    phase.record(stages);
+    let flops = compacted.report.flops_after;
+    Ok(CompactSummary {
+        checkpoint: COMPACT_CHECKPOINT.to_string(),
+        params: compacted.report.params_after,
+        flops,
+        target_speedup: f64::from(cfg.method.sp()),
+        achieved_speedup: prepared.original_cost.total_flops as f64 / flops.max(1) as f64,
+        units: compacted.report.changes.len(),
+    })
 }
 
 /// Builds the serve manifest for a finalized journaled run: the dense
@@ -195,6 +255,7 @@ fn serve_manifest(
         pruned_params: report.final_cost.total_params,
         dense_flops: prepared.original_cost.total_flops,
         pruned_flops: report.final_cost.total_flops,
+        pruned_compact: report.compact.as_ref().map(|c| c.checkpoint.clone()),
     }
 }
 
@@ -439,6 +500,7 @@ fn run_stagewise(
         final_cost: method_run.cost,
         traces: method_run.traces,
         stages,
+        compact: None,
     })
 }
 
@@ -472,5 +534,6 @@ fn report_from_journal(
         final_cost,
         traces,
         stages,
+        compact: None,
     }
 }

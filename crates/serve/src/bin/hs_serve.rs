@@ -157,13 +157,34 @@ fn serve(cli: &Cli) -> Result<(), ServeError> {
         &mut rng,
         &mut clock,
     )?;
-    let pruned = load_with_retry(
-        &manifest.pruned_path(&manifest_dir),
-        SlotKind::Pruned,
-        policy,
-        &mut rng,
-        &mut clock,
-    )?;
+    // Prefer the structurally compacted variant for the degraded tier —
+    // it runs dense kernels at physically reduced shapes — and fall
+    // back to the masked-dense pruned checkpoint when the manifest
+    // predates the compact stage or the file is gone.
+    let pruned_path = match manifest.pruned_compact_path(&manifest_dir) {
+        Some(p) if p.exists() => {
+            hs_telemetry::log(
+                Level::Info,
+                "serve",
+                format!("degraded tier: compacted checkpoint {}", p.display()),
+            );
+            p
+        }
+        Some(p) => {
+            hs_telemetry::log(
+                Level::Warn,
+                "serve",
+                format!(
+                    "manifest names compacted checkpoint {} but it is missing; \
+                     falling back to masked-dense pruned model",
+                    p.display()
+                ),
+            );
+            manifest.pruned_path(&manifest_dir)
+        }
+        None => manifest.pruned_path(&manifest_dir),
+    };
+    let pruned = load_with_retry(&pruned_path, SlotKind::Pruned, policy, &mut rng, &mut clock)?;
 
     let plan = match &cli.plan {
         Some(path) => Plan::load(path)?,

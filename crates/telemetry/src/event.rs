@@ -13,7 +13,8 @@
 //! - `schema` — integer schema version ([`SCHEMA_VERSION`]).
 //! - `kind` — `log` | `span` | `episode` | `metric` | `artifact` |
 //!   `recovery` | `fault_injected` | `resume` | `serve_request` |
-//!   `serve_batch` | `serve_breaker` | `degrade` | `restore`.
+//!   `serve_batch` | `serve_breaker` | `degrade` | `restore` |
+//!   `compact`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -64,6 +65,10 @@ pub enum EventKind {
     Degrade,
     /// The service restored the dense model after recovery.
     Restore,
+    /// Structural compaction physically shrank a pruned network: one
+    /// event per rewritten layer (before/after shapes) plus a summary
+    /// carrying the whole-network FLOP ratio.
+    Compact,
 }
 
 impl EventKind {
@@ -83,11 +88,12 @@ impl EventKind {
             EventKind::ServeBreaker => "serve_breaker",
             EventKind::Degrade => "degrade",
             EventKind::Restore => "restore",
+            EventKind::Compact => "compact",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 13] {
+    pub fn all() -> [EventKind; 14] {
         [
             EventKind::Log,
             EventKind::Span,
@@ -102,6 +108,7 @@ impl EventKind {
             EventKind::ServeBreaker,
             EventKind::Degrade,
             EventKind::Restore,
+            EventKind::Compact,
         ]
     }
 }

@@ -27,7 +27,7 @@
 //! |-------------|--------------|------------------------------------------|
 //! | `io_error`  | `checkpoint`, `artifact`, `journal`, `metrics` | the write fails hard with a typed IO error |
 //! | `io_flaky`  | same sites   | the first write attempt fails with a transient error; bounded retry recovers |
-//! | `corrupt`   | `checkpoint` | the just-written file gets one byte flipped |
+//! | `corrupt`   | `checkpoint`, `compact_write` | the just-written file gets one byte flipped |
 //! | `truncate`  | `checkpoint` | the just-written file loses its tail     |
 //! | `kill_after`| `pretrain`, `prune_unit`, `finalize` | the pipeline aborts as if killed at the stage boundary |
 //! | `nan_reward`| `layer`, `block`, `block-inner` | the episode's inference reward becomes NaN |
@@ -74,7 +74,7 @@ pub const KNOWN_KINDS: [&str; 8] = [
 /// [`arm`]/[`trip`] stay unrestricted — tests arm synthetic sites
 /// programmatically — but specs that reach [`FaultPlan::parse`] must
 /// use a real site.
-pub const KNOWN_SITES: [&str; 12] = [
+pub const KNOWN_SITES: [&str; 13] = [
     "checkpoint",
     "artifact",
     "journal",
@@ -82,6 +82,7 @@ pub const KNOWN_SITES: [&str; 12] = [
     "pretrain",
     "prune_unit",
     "finalize",
+    "compact_write",
     "layer",
     "block",
     "block-inner",

@@ -249,6 +249,11 @@ pub const SERVE_BREAKER_REQUIRED_FIELDS: [&str; 2] = ["from", "to"];
 /// happened and which model slot is now active.
 pub const DEGRADE_REQUIRED_FIELDS: [&str; 2] = ["reason", "model"];
 
+/// Fields every `compact` event must carry: the before/after size of
+/// the rewritten unit (channels for per-layer events, total MACs for
+/// the network summary, which additionally carries `flop_ratio`).
+pub const COMPACT_REQUIRED_FIELDS: [&str; 2] = ["before", "after"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
@@ -256,8 +261,9 @@ pub const DEGRADE_REQUIRED_FIELDS: [&str; 2] = ["reason", "model"];
 /// `fields` is a flat object; `ts` is a number; `span` events carry a
 /// numeric `secs`; `episode` events carry [`EPISODE_REQUIRED_FIELDS`],
 /// `recovery` events [`RECOVERY_REQUIRED_FIELDS`], `fault_injected`
-/// events [`FAULT_REQUIRED_FIELDS`] and `resume` events
-/// [`RESUME_REQUIRED_FIELDS`].
+/// events [`FAULT_REQUIRED_FIELDS`], `resume` events
+/// [`RESUME_REQUIRED_FIELDS`] and `compact` events
+/// [`COMPACT_REQUIRED_FIELDS`].
 ///
 /// # Errors
 ///
@@ -325,6 +331,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "serve_batch" => &SERVE_BATCH_REQUIRED_FIELDS,
         "serve_breaker" => &SERVE_BREAKER_REQUIRED_FIELDS,
         "degrade" | "restore" => &DEGRADE_REQUIRED_FIELDS,
+        "compact" => &COMPACT_REQUIRED_FIELDS,
         _ => &[],
     };
     for field in required {

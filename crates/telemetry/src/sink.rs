@@ -66,6 +66,7 @@ impl Sink for StderrSink {
             }
             EventKind::Episode
             | EventKind::Metric
+            | EventKind::Compact
             | EventKind::ServeRequest
             | EventKind::ServeBatch => {
                 let fields: Vec<String> = event

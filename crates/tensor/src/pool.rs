@@ -72,6 +72,15 @@ pub fn num_threads() -> usize {
     *THREADS.get_or_init(|| resolve_threads(std::env::var("HS_NUM_THREADS").ok().as_deref()))
 }
 
+/// The pool size actually in use: spawned workers plus the submitting
+/// thread. Forces pool creation, so the answer reflects what parallel
+/// kernels really run on — unlike [`num_threads`], which only reports
+/// the configured target and can disagree with reality if worker
+/// spawning failed. Benchmarks record this value.
+pub fn effective_threads() -> usize {
+    pool().workers + 1
+}
+
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let queue = Arc::new(Queue {
@@ -259,6 +268,12 @@ mod tests {
         assert_eq!(resolve_threads(Some("0")), fallback);
         assert_eq!(resolve_threads(Some("plenty")), fallback);
         assert_eq!(resolve_threads(None), fallback);
+    }
+
+    #[test]
+    fn effective_threads_matches_configuration() {
+        // workers + the submitting thread == the configured concurrency.
+        assert_eq!(effective_threads(), num_threads());
     }
 
     #[test]

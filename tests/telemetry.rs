@@ -122,6 +122,51 @@ fn comparable(line: &str) -> Option<String> {
 }
 
 #[test]
+fn compact_stage_events_are_deterministic_and_schema_valid() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut streams = Vec::new();
+    let mut checkpoints = Vec::new();
+    for tag in ["a", "b"] {
+        let jsonl = tmp(&format!("telemetry_compact_{tag}.jsonl"));
+        let run_dir = tmp(&format!("telemetry_compact_run_{tag}"));
+        if run_dir.exists() {
+            std::fs::remove_dir_all(&run_dir).expect("clean run dir");
+        }
+        let mut cfg = smoke_config("telemetry-compact", &jsonl);
+        cfg.run_dir = Some(run_dir.clone());
+        cfg.compact = true;
+        let report = run(&cfg).expect("pipeline");
+        let summary = report.compact.expect("compact stage ran");
+        assert!(summary.achieved_speedup > 1.0, "compaction saved FLOPs");
+
+        let text = std::fs::read_to_string(&jsonl).expect("jsonl written");
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            validate_line(line).unwrap_or_else(|e| panic!("invalid event `{line}`: {e}"));
+        }
+        let compact_events: Vec<String> = text
+            .lines()
+            .filter(|l| !l.is_empty() && kind_of(l) == "compact")
+            .filter_map(comparable)
+            .collect();
+        assert!(
+            compact_events.iter().any(|l| l.contains("compact/network")),
+            "compact summary event emitted: {compact_events:?}"
+        );
+        streams.push(compact_events);
+        checkpoints
+            .push(std::fs::read(run_dir.join(summary.checkpoint)).expect("compact checkpoint"));
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "seeded compact runs emit identical compact events"
+    );
+    assert_eq!(
+        checkpoints[0], checkpoints[1],
+        "compacted checkpoints are byte-reproducible"
+    );
+}
+
+#[test]
 fn seeded_runs_emit_identical_event_streams() {
     let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let paths = [tmp("telemetry_det_a.jsonl"), tmp("telemetry_det_b.jsonl")];
