@@ -1,0 +1,86 @@
+//! The deterministic work-assignment schedule.
+//!
+//! A [`ShardPlan`] maps a batch of work items (candidate actions of one
+//! REINFORCE episode) onto a set of workers. The schedule is a pure
+//! function of `(n_items, n_workers)` — it never looks at worker load,
+//! completion order or wall-clock — so the same run configuration always
+//! produces the same assignment, which is what lets the coordinator fold
+//! results back in schedule order and stay bit-identical for any worker
+//! count.
+
+/// A deterministic assignment of `n_items` work items to `n_workers`
+/// workers: item `i` goes to worker `i % n_workers` (round-robin).
+///
+/// The plan is always an **exact partition**: every item index in
+/// `0..n_items` appears in exactly one shard, and each shard's indices
+/// are strictly increasing. `tests/proptests.rs` pins this property for
+/// arbitrary item/worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Builds the round-robin plan for `n_items` items over `n_workers`
+    /// workers. `n_workers` is clamped to at least 1 so the plan is
+    /// always a valid partition.
+    pub fn assign(n_items: usize, n_workers: usize) -> ShardPlan {
+        let n_workers = n_workers.max(1);
+        let mut shards = vec![Vec::with_capacity(n_items.div_ceil(n_workers)); n_workers];
+        for item in 0..n_items {
+            shards[item % n_workers].push(item);
+        }
+        ShardPlan { shards }
+    }
+
+    /// The per-worker shards, indexed by worker slot. Shards may be
+    /// empty when there are more workers than items.
+    pub fn shards(&self) -> &[Vec<usize>] {
+        &self.shards
+    }
+
+    /// Number of worker slots in the plan.
+    pub fn worker_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of items across all shards.
+    pub fn item_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_exact_partition() {
+        let plan = ShardPlan::assign(7, 3);
+        assert_eq!(plan.shards(), &[vec![0, 3, 6], vec![1, 4], vec![2, 5]]);
+        assert_eq!(plan.item_count(), 7);
+        assert_eq!(plan.worker_count(), 3);
+    }
+
+    #[test]
+    fn more_workers_than_items_leaves_empty_shards() {
+        let plan = ShardPlan::assign(2, 5);
+        assert_eq!(plan.shards()[0], vec![0]);
+        assert_eq!(plan.shards()[1], vec![1]);
+        assert!(plan.shards()[2..].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let plan = ShardPlan::assign(4, 0);
+        assert_eq!(plan.worker_count(), 1);
+        assert_eq!(plan.shards()[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_items_is_all_empty() {
+        let plan = ShardPlan::assign(0, 3);
+        assert_eq!(plan.item_count(), 0);
+        assert!(plan.shards().iter().all(Vec::is_empty));
+    }
+}

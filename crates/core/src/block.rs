@@ -17,7 +17,9 @@ use hs_pruning::driver::FineTune;
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
-use crate::engine::{EngineObserver, EpisodeEngine, EpisodeTrace, NullObserver};
+use crate::engine::{
+    EngineObserver, EpisodeEngine, EpisodeTrace, EvalExecutor, NullObserver, SerialExecutor,
+};
 use crate::error::HeadStartError;
 use crate::units::BlockUnit;
 
@@ -92,6 +94,24 @@ impl BlockPruner {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<BlockDecision, HeadStartError> {
+        self.prune_executed(net, ds, rng, observer, &mut SerialExecutor)
+    }
+
+    /// As [`BlockPruner::prune_observed`], evaluating each episode's
+    /// candidate batch through `executor` (bit-identical for every
+    /// executor; only wall-clock differs).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockPruner::prune`].
+    pub fn prune_executed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<BlockDecision, HeadStartError> {
         self.cfg.validate()?;
         let blocks = net.block_indices();
         let prunable: Vec<usize> = blocks
@@ -126,7 +146,8 @@ impl BlockPruner {
             ds.image_size(),
             self.cfg.sp,
         );
-        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
+        let outcome =
+            EpisodeEngine::new(&self.cfg).run_executed(net, &mut unit, rng, observer, executor)?;
 
         // Expand to all blocks (non-prunable stay active).
         let mut active = vec![true; blocks.len()];
@@ -200,8 +221,26 @@ impl BlockPruner {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<(BlockDecision, f32), HeadStartError> {
+        self.prune_and_finetune_executed(net, ds, ft, rng, observer, &mut SerialExecutor)
+    }
+
+    /// As [`BlockPruner::prune_and_finetune_observed`], with an explicit
+    /// batch-evaluation executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and training errors.
+    pub fn prune_and_finetune_executed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        ft: &FineTune,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<(BlockDecision, f32), HeadStartError> {
         observer.on_unit_start("block", 0);
-        let decision = self.prune_observed(net, ds, rng, observer)?;
+        let decision = self.prune_executed(net, ds, rng, observer, executor)?;
         self.apply(net, &decision)?;
         ft.run(net, &ds.train_images, &ds.train_labels, rng)
             .map_err(HeadStartError::Prune)?;

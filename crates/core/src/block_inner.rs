@@ -18,7 +18,9 @@ use hs_nn::{Network, Node};
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
-use crate::engine::{EngineObserver, EpisodeEngine, NullObserver, PruningUnit};
+use crate::engine::{
+    EngineObserver, EpisodeEngine, EvalExecutor, NullObserver, PruningUnit, SerialExecutor,
+};
 use crate::error::HeadStartError;
 use crate::layer::LayerDecision;
 use crate::reinforce::kept_count;
@@ -69,6 +71,25 @@ impl InnerLayerPruner {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<LayerDecision, HeadStartError> {
+        self.prune_executed(net, block_ordinal, ds, rng, observer, &mut SerialExecutor)
+    }
+
+    /// As [`InnerLayerPruner::prune_observed`], evaluating each episode's
+    /// candidate batch through `executor` (bit-identical for every
+    /// executor; only wall-clock differs).
+    ///
+    /// # Errors
+    ///
+    /// As [`InnerLayerPruner::prune`].
+    pub fn prune_executed(
+        &self,
+        net: &mut Network,
+        block_ordinal: usize,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let blocks = net.block_indices();
         let &block_node = blocks
@@ -99,7 +120,8 @@ impl InnerLayerPruner {
             acc_original,
             self.cfg.sp,
         );
-        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
+        let outcome =
+            EpisodeEngine::new(&self.cfg).run_executed(net, &mut unit, rng, observer, executor)?;
 
         // Report the inception accuracy of the final action by inverting
         // the reward: R + SPD = log(acc/acc₀ + 1).
@@ -193,13 +215,32 @@ pub fn prune_all_block_inners_observed(
     rng: &mut Rng,
     observer: &mut dyn EngineObserver,
 ) -> Result<(Vec<LayerDecision>, f32), HeadStartError> {
+    prune_all_block_inners_executed(cfg, ft, net, ds, rng, observer, &mut SerialExecutor)
+}
+
+/// As [`prune_all_block_inners_observed`], with an explicit
+/// batch-evaluation executor shared by every block's episode loop.
+///
+/// # Errors
+///
+/// Propagates configuration, network and training errors.
+#[allow(clippy::too_many_arguments)]
+pub fn prune_all_block_inners_executed(
+    cfg: &HeadStartConfig,
+    ft: &hs_pruning::driver::FineTune,
+    net: &mut Network,
+    ds: &Dataset,
+    rng: &mut Rng,
+    observer: &mut dyn EngineObserver,
+    executor: &mut dyn EvalExecutor,
+) -> Result<(Vec<LayerDecision>, f32), HeadStartError> {
     cfg.validate()?;
     let pruner = InnerLayerPruner::new(cfg.clone());
     let block_count = net.block_indices().len();
     let mut decisions = Vec::with_capacity(block_count);
     for ordinal in 0..block_count {
         observer.on_unit_start("block-inner", ordinal);
-        let decision = pruner.prune_observed(net, ordinal, ds, rng, observer)?;
+        let decision = pruner.prune_executed(net, ordinal, ds, rng, observer, executor)?;
         pruner.apply(net, ordinal, &decision)?;
         ft.run(net, &ds.train_images, &ds.train_labels, rng)
             .map_err(HeadStartError::Prune)?;

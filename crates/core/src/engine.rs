@@ -62,6 +62,78 @@ pub trait PruningUnit {
     fn guard_empty_inference(&self) -> bool {
         true
     }
+
+    /// A shared-state view of the unit for evaluating candidate actions
+    /// concurrently, or `None` when the unit needs exclusive mutable
+    /// state per evaluation (the executor then falls back to in-order
+    /// serial evaluation). The real units (layer/block/block-inner) all
+    /// score actions through `&self` state plus a scratch network, so
+    /// they opt in; test doubles with `&mut self` counters stay serial.
+    fn as_parallel(&self) -> Option<&dyn ParallelReward> {
+        None
+    }
+}
+
+/// Shared-state candidate-action scoring, for executors that evaluate a
+/// batch of actions on worker threads. The network argument is a
+/// worker-local scratch clone; like [`PruningUnit::action_reward`], the
+/// implementation must apply-and-restore and must not consume
+/// randomness, so a batch folds to the same rewards in any execution
+/// order.
+pub trait ParallelReward: Sync {
+    /// Reward `R(A) = ACC − SPD` of one candidate action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn reward(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError>;
+}
+
+/// How the engine evaluates each episode's batch of candidate actions
+/// (the `k` Monte-Carlo samples plus the inference action). The serial
+/// executor walks the batch in order on the caller's thread; `hs-coord`
+/// provides a sharded implementation that fans the batch out across
+/// worker threads and folds rewards back in schedule order, so the
+/// engine's observable behavior — RNG stream, reward vector, policy
+/// update — is bit-identical for every executor.
+pub trait EvalExecutor {
+    /// Called once per engine run, before any episode, with the network
+    /// in its pre-episode state. Sharded executors snapshot worker-local
+    /// scratch clones here; the serial executor does nothing.
+    fn begin_unit(&mut self, _net: &Network) {}
+
+    /// Scores `actions` against the unit, returning one reward per
+    /// action **in input order**, regardless of evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn eval_batch(
+        &mut self,
+        unit: &mut dyn PruningUnit,
+        net: &mut Network,
+        actions: &[Vec<bool>],
+    ) -> Result<Vec<f32>, HeadStartError>;
+}
+
+/// The default executor: evaluates the batch in order on the calling
+/// thread via [`PruningUnit::action_reward`], exactly as the engine
+/// always has.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl EvalExecutor for SerialExecutor {
+    fn eval_batch(
+        &mut self,
+        unit: &mut dyn PruningUnit,
+        net: &mut Network,
+        actions: &[Vec<bool>],
+    ) -> Result<Vec<f32>, HeadStartError> {
+        actions
+            .iter()
+            .map(|action| unit.action_reward(net, action))
+            .collect()
+    }
 }
 
 /// Why the engine stopped training the policy.
@@ -326,12 +398,31 @@ impl<'cfg> EpisodeEngine<'cfg> {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<EngineOutcome, HeadStartError> {
+        self.run_executed(net, unit, rng, observer, &mut SerialExecutor)
+    }
+
+    /// Runs the episode loop with an explicit batch-evaluation executor
+    /// (serial, or `hs-coord`'s sharded coordinator). Every executor
+    /// yields the same outcome bit for bit; only wall-clock differs.
+    ///
+    /// # Errors
+    ///
+    /// As [`EpisodeEngine::run`].
+    pub fn run_executed(
+        &self,
+        net: &mut Network,
+        unit: &mut dyn PruningUnit,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<EngineOutcome, HeadStartError> {
         let cfg = self.cfg;
         cfg.validate()?;
         let units = unit.unit_count();
+        executor.begin_unit(net);
         let mut resets = 0usize;
         loop {
-            match self.attempt(net, unit, rng, observer, units)? {
+            match self.attempt(net, unit, rng, observer, units, executor)? {
                 Attempt::Finished {
                     probs,
                     reward_history,
@@ -427,6 +518,7 @@ impl<'cfg> EpisodeEngine<'cfg> {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
         units: usize,
+        executor: &mut dyn EvalExecutor,
     ) -> Result<Attempt, HeadStartError> {
         let cfg = self.cfg;
         let guard = &cfg.guard;
@@ -462,18 +554,22 @@ impl<'cfg> EpisodeEngine<'cfg> {
                 });
             }
 
-            // k Monte-Carlo samples (Eq. 6) ...
-            let mut actions = Vec::with_capacity(cfg.k);
-            let mut rewards = Vec::with_capacity(cfg.k);
+            // The episode's candidate batch: k Monte-Carlo samples
+            // (Eq. 6) plus the self-critical baseline action Aᴵ
+            // (Eqs. 9–10). Sampling consumes RNG and stays on this
+            // thread in schedule order; evaluation is RNG-free by the
+            // unit contract, so the executor may score the batch in any
+            // order (including across worker threads) and fold rewards
+            // back by index — bit-identical to the serial walk.
+            let mut actions: Vec<Vec<bool>> = Vec::with_capacity(cfg.k + 1);
             for _ in 0..cfg.k {
-                let action = sample_action(&probs, rng);
-                let r = unit.action_reward(net, &action)?;
-                actions.push(action);
-                rewards.push(r);
+                actions.push(sample_action(&probs, rng));
             }
-            // ... and the self-critical baseline R(Aᴵ) (Eqs. 9–10).
-            let inf = inference_action(&probs, cfg.t);
-            let mut r_inf = unit.action_reward(net, &inf)?;
+            actions.push(inference_action(&probs, cfg.t));
+            let mut rewards = executor.eval_batch(unit, net, &actions)?;
+            debug_assert_eq!(rewards.len(), actions.len());
+            let mut r_inf = rewards.pop().unwrap_or(f32::NAN);
+            let inf = actions.pop().unwrap_or_default();
             // Deterministic fault injection (armed only by tests/CI):
             // poison the inference reward so the guard path is exercised
             // end to end without a contrived unit.

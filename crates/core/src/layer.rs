@@ -7,7 +7,9 @@ use hs_nn::Network;
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
-use crate::engine::{EngineObserver, EpisodeEngine, EpisodeTrace, NullObserver};
+use crate::engine::{
+    EngineObserver, EpisodeEngine, EpisodeTrace, EvalExecutor, NullObserver, SerialExecutor,
+};
 use crate::error::HeadStartError;
 use crate::evaluator::MaskedEvaluator;
 use crate::units::LayerUnit;
@@ -90,6 +92,25 @@ impl LayerPruner {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<LayerDecision, HeadStartError> {
+        self.prune_executed(net, conv_ordinal, ds, rng, observer, &mut SerialExecutor)
+    }
+
+    /// As [`LayerPruner::prune_observed`], evaluating each episode's
+    /// candidate batch through `executor` (bit-identical for every
+    /// executor; only wall-clock differs).
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerPruner::prune`].
+    pub fn prune_executed(
+        &self,
+        net: &mut Network,
+        conv_ordinal: usize,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<LayerDecision, HeadStartError> {
         self.cfg.validate()?;
         let sites = conv_sites(net);
         let site = *sites
@@ -110,7 +131,8 @@ impl LayerPruner {
         let evaluator = MaskedEvaluator::new(net, site.mask_node, &eval_images, &eval_labels)?;
 
         let mut unit = LayerUnit::new(&evaluator, self.cfg.sp);
-        let outcome = EpisodeEngine::new(&self.cfg).run_observed(net, &mut unit, rng, observer)?;
+        let outcome =
+            EpisodeEngine::new(&self.cfg).run_executed(net, &mut unit, rng, observer, executor)?;
         let inception_eval_accuracy = unit.accuracy(net, &outcome.final_action)?;
         let keep: Vec<usize> = outcome
             .final_action

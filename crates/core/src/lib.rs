@@ -62,12 +62,16 @@ pub mod reward;
 pub mod units;
 
 pub use block::{BlockDecision, BlockPruner};
-pub use block_inner::{prune_all_block_inners, prune_all_block_inners_observed, InnerLayerPruner};
+pub use block_inner::{
+    prune_all_block_inners, prune_all_block_inners_executed, prune_all_block_inners_observed,
+    InnerLayerPruner,
+};
 pub use config::{GuardPolicy, HeadStartConfig};
 pub use criterion::HeadStartCriterion;
 pub use engine::{
     ConvergenceReason, EngineObserver, EngineOutcome, EpisodeEngine, EpisodeEvent, EpisodeTrace,
-    GuardAction, GuardReason, NullObserver, PruningUnit, RecoveryEvent, StderrObserver,
+    EvalExecutor, GuardAction, GuardReason, NullObserver, ParallelReward, PruningUnit,
+    RecoveryEvent, SerialExecutor, StderrObserver,
 };
 pub use error::HeadStartError;
 pub use evaluator::MaskedEvaluator;

@@ -9,7 +9,7 @@ use hs_pruning::driver::{FineTune, LayerTrace, PruneOutcome};
 use hs_tensor::Rng;
 
 use crate::config::HeadStartConfig;
-use crate::engine::{EngineObserver, NullObserver};
+use crate::engine::{EngineObserver, EvalExecutor, NullObserver, SerialExecutor};
 use crate::error::HeadStartError;
 use crate::layer::{LayerDecision, LayerPruner};
 
@@ -63,6 +63,24 @@ impl HeadStartPruner {
         rng: &mut Rng,
         observer: &mut dyn EngineObserver,
     ) -> Result<(PruneOutcome, Vec<LayerDecision>), HeadStartError> {
+        self.prune_model_executed(net, ds, rng, observer, &mut SerialExecutor)
+    }
+
+    /// As [`HeadStartPruner::prune_model_observed`], with an explicit
+    /// batch-evaluation executor shared by every layer's episode loop
+    /// (bit-identical for every executor; only wall-clock differs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, network and training errors.
+    pub fn prune_model_executed(
+        &self,
+        net: &mut Network,
+        ds: &Dataset,
+        rng: &mut Rng,
+        observer: &mut dyn EngineObserver,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<(PruneOutcome, Vec<LayerDecision>), HeadStartError> {
         self.cfg.validate()?;
         let layer_pruner = LayerPruner::new(self.cfg.clone());
         let conv_count = net.conv_indices().len();
@@ -72,7 +90,8 @@ impl HeadStartPruner {
             let conv_node = net.conv_indices()[ordinal];
             let maps_before = net.conv(conv_node)?.out_channels();
             observer.on_unit_start("layer", ordinal);
-            let decision = layer_pruner.prune_observed(net, ordinal, ds, rng, observer)?;
+            let decision =
+                layer_pruner.prune_executed(net, ordinal, ds, rng, observer, executor)?;
             prune_feature_maps(net, conv_node, &decision.keep)?;
             let inception_accuracy = train::evaluate(net, &ds.test_images, &ds.test_labels, 64)?;
             self.ft.run(net, &ds.train_images, &ds.train_labels, rng)?;

@@ -11,7 +11,7 @@ use hs_nn::loss::accuracy;
 use hs_nn::{Network, Node};
 use hs_tensor::Tensor;
 
-use crate::engine::PruningUnit;
+use crate::engine::{ParallelReward, PruningUnit};
 use crate::error::HeadStartError;
 use crate::evaluator::MaskedEvaluator;
 use crate::reinforce::kept_count;
@@ -53,6 +53,16 @@ impl<'a> LayerUnit<'a> {
     pub fn accuracy(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
         self.evaluator.accuracy_with_action(net, action)
     }
+
+    fn score(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        let kept = kept_count(action);
+        if kept == 0 {
+            // No defined speedup; prohibitive penalty, skip the forward.
+            return Ok(reward(0.0, self.acc_original, self.channels, 0, self.sp));
+        }
+        let acc = self.evaluator.accuracy_with_action(net, action)?;
+        Ok(reward(acc, self.acc_original, self.channels, kept, self.sp))
+    }
 }
 
 impl PruningUnit for LayerUnit<'_> {
@@ -65,13 +75,17 @@ impl PruningUnit for LayerUnit<'_> {
     }
 
     fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
-        let kept = kept_count(action);
-        if kept == 0 {
-            // No defined speedup; prohibitive penalty, skip the forward.
-            return Ok(reward(0.0, self.acc_original, self.channels, 0, self.sp));
-        }
-        let acc = self.evaluator.accuracy_with_action(net, action)?;
-        Ok(reward(acc, self.acc_original, self.channels, kept, self.sp))
+        self.score(net, action)
+    }
+
+    fn as_parallel(&self) -> Option<&dyn ParallelReward> {
+        Some(self)
+    }
+}
+
+impl ParallelReward for LayerUnit<'_> {
+    fn reward(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.score(net, action)
     }
 }
 
@@ -118,16 +132,8 @@ impl<'a> BlockUnit<'a> {
     }
 }
 
-impl PruningUnit for BlockUnit<'_> {
-    fn kind(&self) -> &'static str {
-        "block"
-    }
-
-    fn unit_count(&self) -> usize {
-        self.prunable.len()
-    }
-
-    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+impl BlockUnit<'_> {
+    fn score(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
         // Apply the candidate action.
         for (&node, &keep) in self.prunable.iter().zip(action) {
             net.set_block_active(node, keep)?;
@@ -143,12 +149,36 @@ impl PruningUnit for BlockUnit<'_> {
         let spd = (learned_speedup - self.sp).abs();
         Ok(acc_term(acc, self.acc_original) - spd)
     }
+}
+
+impl PruningUnit for BlockUnit<'_> {
+    fn kind(&self) -> &'static str {
+        "block"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.prunable.len()
+    }
+
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.score(net, action)
+    }
 
     fn guard_empty_inference(&self) -> bool {
         // An all-drop action is still a defined network: every block is
         // bypassed through its shortcut and downsample blocks never make
         // it into the action vector.
         false
+    }
+
+    fn as_parallel(&self) -> Option<&dyn ParallelReward> {
+        Some(self)
+    }
+}
+
+impl ParallelReward for BlockUnit<'_> {
+    fn reward(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.score(net, action)
     }
 }
 
@@ -194,16 +224,8 @@ impl<'a> InnerUnit<'a> {
     }
 }
 
-impl PruningUnit for InnerUnit<'_> {
-    fn kind(&self) -> &'static str {
-        "block-inner"
-    }
-
-    fn unit_count(&self) -> usize {
-        self.channels
-    }
-
-    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+impl InnerUnit<'_> {
+    fn score(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
         let kept = kept_count(action);
         if kept == 0 {
             return Ok(reward(0.0, self.acc_original, self.channels, 0, self.sp));
@@ -218,5 +240,29 @@ impl PruningUnit for InnerUnit<'_> {
         }
         let acc = accuracy(&logits, self.eval_labels)?;
         Ok(reward(acc, self.acc_original, self.channels, kept, self.sp))
+    }
+}
+
+impl PruningUnit for InnerUnit<'_> {
+    fn kind(&self) -> &'static str {
+        "block-inner"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.channels
+    }
+
+    fn action_reward(&mut self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.score(net, action)
+    }
+
+    fn as_parallel(&self) -> Option<&dyn ParallelReward> {
+        Some(self)
+    }
+}
+
+impl ParallelReward for InnerUnit<'_> {
+    fn reward(&self, net: &mut Network, action: &[bool]) -> Result<f32, HeadStartError> {
+        self.score(net, action)
     }
 }

@@ -8,7 +8,13 @@
 //! Flags: `--label --data --model --width --method --sp --keep --seed
 //! --prune-seed --quick --smoke --pretrain --finetune --episodes
 //! --eval-images --checkpoint --artifact --telemetry --metrics
-//! --log-level --run-dir --compact`. See `RunnerConfig::from_args`.
+//! --log-level --run-dir --compact --workers`. See
+//! `RunnerConfig::from_args`.
+//!
+//! With `--workers N` the REINFORCE search shards each episode's
+//! candidate evaluations across `N` coordinator worker threads
+//! (`hs-coord`); results are bit-identical for every `N`, only
+//! wall-clock differs.
 //!
 //! With `--run-dir DIR` the run journals its progress into `DIR` (one
 //! checkpoint per pruned unit plus `run.journal.json`); after a crash,
@@ -16,7 +22,7 @@
 //! produces results bit-identical to the uninterrupted run. Setting
 //! `HS_FAULT=kind:site[:n],…` arms the deterministic fault-injection
 //! harness (kinds: `io_error io_flaky corrupt truncate kill_after
-//! nan_reward`).
+//! nan_reward worker_lost`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -35,11 +41,13 @@ fn main() -> ExitCode {
              \x20             [--checkpoint PATH] [--artifact PATH] [--label NAME]\n\
              \x20             [--telemetry PATH.jsonl] [--metrics PATH.prom]\n\
              \x20             [--log-level error|warn|info|debug|trace]\n\
-             \x20             [--run-dir DIR] [--compact]\n\
+             \x20             [--run-dir DIR] [--compact] [--workers N]\n\
              \x20      hs_run --resume DIR\n\
              \n\
              \x20 --run-dir DIR  journal the run into DIR (crash-safe, resumable)\n\
              \x20 --compact      physically shrink the pruned model into DIR/compact.hsck\n\
+             \x20 --workers N    shard RL candidate evaluation across N worker threads\n\
+             \x20                (bit-identical output for any N; default 1 = serial)\n\
              \x20 --resume DIR   continue an interrupted journaled run\n\
              \x20 HS_FAULT=kind:site[:n],...  arm deterministic fault injection"
         );

@@ -348,6 +348,12 @@ pub struct RunnerConfig {
     /// smaller tensors and write `compact.hsck` next to the journal.
     /// Requires `run_dir`.
     pub compact: bool,
+    /// Evaluation worker threads for the REINFORCE search (`--workers`).
+    /// `1` evaluates candidates serially on the pipeline thread; `N > 1`
+    /// shards each episode's candidate batch across an `hs-coord`
+    /// worker fleet. Output is bit-identical for every value; only
+    /// wall-clock differs.
+    pub workers: usize,
     /// Where to write the JSON run artifact.
     pub artifact: Option<PathBuf>,
     /// Where to write the JSONL telemetry event stream (`--telemetry`).
@@ -375,6 +381,7 @@ impl RunnerConfig {
             checkpoint: None,
             run_dir: None,
             compact: false,
+            workers: 1,
             artifact: None,
             telemetry: None,
             metrics: None,
@@ -440,6 +447,14 @@ impl RunnerConfig {
                 "episodes" => cfg.budget.rl_episodes = value.parse().map_err(|_| bad("integer"))?,
                 "eval-images" => {
                     cfg.budget.rl_eval_images = value.parse().map_err(|_| bad("integer"))?
+                }
+                "workers" => {
+                    cfg.workers = value.parse().map_err(|_| bad("integer"))?;
+                    if cfg.workers == 0 {
+                        return Err(RunnerError::BadConfig(
+                            "--workers: must be at least 1".to_string(),
+                        ));
+                    }
                 }
                 "checkpoint" => cfg.checkpoint = Some(PathBuf::from(value)),
                 "run-dir" => cfg.run_dir = Some(PathBuf::from(value)),
@@ -530,6 +545,15 @@ mod tests {
         assert!(RunnerConfig::from_args(&argv("--model resnet999")).is_err());
         assert!(RunnerConfig::from_args(&argv("--seed")).is_err());
         assert!(RunnerConfig::from_args(&argv("--log-level loud")).is_err());
+    }
+
+    #[test]
+    fn parses_workers_flag() {
+        assert_eq!(RunnerConfig::new("x").workers, 1);
+        let cfg = RunnerConfig::from_args(&argv("--workers 8")).unwrap();
+        assert_eq!(cfg.workers, 8);
+        assert!(RunnerConfig::from_args(&argv("--workers 0")).is_err());
+        assert!(RunnerConfig::from_args(&argv("--workers many")).is_err());
     }
 
     #[test]

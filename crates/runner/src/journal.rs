@@ -196,6 +196,7 @@ impl Journal {
             ),
             ("checkpoint".into(), opt_path(&cfg.checkpoint)),
             ("compact".into(), Json::Bool(cfg.compact)),
+            ("workers".into(), Json::num(cfg.workers as f64)),
             ("artifact".into(), opt_path(&cfg.artifact)),
             ("telemetry".into(), opt_path(&cfg.telemetry)),
             ("metrics".into(), opt_path(&cfg.metrics)),
@@ -292,6 +293,12 @@ impl Journal {
             None | Some(schema::Json::Null) => false,
             Some(schema::Json::Bool(b)) => *b,
             Some(_) => return Err("`compact` is not a boolean".to_string()),
+        };
+        // Absent in journals written before sharded evaluation existed.
+        cfg.workers = match cfg_obj.get("workers") {
+            None | Some(schema::Json::Null) => 1,
+            Some(schema::Json::Num(n)) if *n >= 1.0 => *n as usize,
+            Some(_) => return Err("`workers` is not a positive number".to_string()),
         };
         cfg.artifact = opt_path_field(cfg_obj, "artifact")?;
         cfg.telemetry = opt_path_field(cfg_obj, "telemetry")?;
@@ -466,6 +473,7 @@ mod tests {
         cfg.prune_seed = 7;
         cfg.checkpoint = Some(PathBuf::from("run/pretrained.hsck"));
         cfg.compact = true; // exercises the boolean config echo
+        cfg.workers = 6; // exercises the numeric config echo
         let mut rng = Rng::seed_from(123);
         let _ = rng.normal(); // odd draw count leaves a gauss cache behind
         let mut journal = Journal::new(cfg, 0.25);
@@ -516,6 +524,20 @@ mod tests {
         assert_eq!(cfg.run_dir.as_deref(), Some(dir.as_path()));
         assert_eq!(cfg.seed, u64::MAX - 3);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journals_without_workers_default_to_one() {
+        // Journals written before sharded evaluation existed have no
+        // `workers` key; they must still load (as a serial run).
+        let rendered = sample_journal().to_json().render();
+        let legacy = rendered.replace("\"workers\": 6,", "");
+        assert_ne!(legacy, rendered);
+        let parsed = Journal::from_json(&schema::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.config.workers, 1);
+
+        let broken = rendered.replace("\"workers\": 6", "\"workers\": \"many\"");
+        assert!(Journal::from_json(&schema::parse(&broken).unwrap()).is_err());
     }
 
     #[test]

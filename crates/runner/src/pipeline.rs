@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hs_core::{
-    prune_all_block_inners_observed, BlockDecision, BlockPruner, HeadStartConfig, HeadStartPruner,
-    LayerPruner, TelemetryObserver,
+    prune_all_block_inners_executed, BlockDecision, BlockPruner, EvalExecutor, HeadStartConfig,
+    HeadStartPruner, LayerPruner, SerialExecutor, TelemetryObserver,
 };
 use hs_data::{cached, Dataset};
 use hs_nn::accounting::{analyze, NetworkCost};
@@ -215,6 +215,23 @@ impl Prepared {
     ///
     /// Propagates pruning and training errors.
     pub fn run_method(&self, method: &Method, seed: u64) -> Result<MethodRun, RunnerError> {
+        self.run_method_with(method, seed, &mut SerialExecutor)
+    }
+
+    /// As [`Prepared::run_method`], with an explicit candidate-batch
+    /// evaluation executor for the RL methods (bit-identical output for
+    /// every executor; only wall-clock differs). Baseline methods never
+    /// touch the executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and training errors.
+    pub fn run_method_with(
+        &self,
+        method: &Method,
+        seed: u64,
+        executor: &mut dyn EvalExecutor,
+    ) -> Result<MethodRun, RunnerError> {
         let label = method.label();
         let phase = Phase::start(&format!("prune: {label}"));
         let start = Instant::now();
@@ -230,11 +247,12 @@ impl Prepared {
                     RunnerError::BadConfig("HeadStart method without an RL config".to_string())
                 })?;
                 let mut observer = TelemetryObserver::from_config(&cfg);
-                let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model_observed(
+                let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model_executed(
                     &mut net,
                     &self.ds,
                     &mut rng,
                     &mut observer,
+                    executor,
                 )?;
                 let PruneOutcome {
                     traces: t,
@@ -255,12 +273,13 @@ impl Prepared {
                     ..FineTune::default()
                 };
                 let mut observer = TelemetryObserver::from_config(&cfg);
-                let (decision, acc) = BlockPruner::new(cfg).prune_and_finetune_observed(
+                let (decision, acc) = BlockPruner::new(cfg).prune_and_finetune_executed(
                     &mut net,
                     &self.ds,
                     &ft,
                     &mut rng,
                     &mut observer,
+                    executor,
                 )?;
                 block_decision = Some(decision);
                 final_accuracy = acc;
@@ -270,13 +289,14 @@ impl Prepared {
                     RunnerError::BadConfig("HeadStart method without an RL config".to_string())
                 })?;
                 let mut observer = TelemetryObserver::from_config(&cfg);
-                let (_decisions, acc) = prune_all_block_inners_observed(
+                let (_decisions, acc) = prune_all_block_inners_executed(
                     &cfg,
                     &ft,
                     &mut net,
                     &self.ds,
                     &mut rng,
                     &mut observer,
+                    executor,
                 )?;
                 final_accuracy = acc;
             }
@@ -485,6 +505,11 @@ pub struct PipelineReport {
     pub stages: Vec<StageTiming>,
     /// The compaction stage's record, when `--compact` ran.
     pub compact: Option<CompactSummary>,
+    /// Evaluation workers the run was configured with (`--workers`).
+    /// Echoed, together with the effective tensor-pool width, under the
+    /// artifact's `execution` key so a stored artifact records the
+    /// parallelism it ran under.
+    pub workers: usize,
 }
 
 impl PipelineReport {
@@ -556,6 +581,20 @@ impl PipelineReport {
             ("layers".into(), Json::Arr(traces)),
             ("stages".into(), Json::Arr(stages)),
             (
+                // Effective parallelism echo (like bench artifacts'
+                // `pool_threads`): `workers` is the --workers request,
+                // `pool_threads` the HS_NUM_THREADS-controlled tensor
+                // pool width this process actually ran with.
+                "execution".into(),
+                Json::Obj(vec![
+                    ("workers".into(), Json::num(self.workers as f64)),
+                    (
+                        "pool_threads".into(),
+                        Json::num(hs_tensor::pool::effective_threads() as f64),
+                    ),
+                ]),
+            ),
+            (
                 "compact".into(),
                 match &self.compact {
                     Some(c) => c.to_json(),
@@ -602,7 +641,11 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
         "method" => cfg.method.label(),
     );
     let prepared = prepare(cfg)?;
-    let method_run = prepared.run_method(&cfg.method, cfg.prune_seed)?;
+    let mut executor = hs_coord::executor_for(cfg.workers);
+    let method_run = prepared.run_method_with(&cfg.method, cfg.prune_seed, executor.as_mut())?;
+    // Shut the worker fleet down now so its lifecycle telemetry and the
+    // utilization gauge land before the artifact/metrics flush below.
+    drop(executor);
     let mut stages = prepared.stages.clone();
     stages.push(StageTiming {
         name: format!("prune:{}", method_run.label),
@@ -617,6 +660,7 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
         traces: method_run.traces,
         stages,
         compact: None,
+        workers: cfg.workers,
     };
     if let Some(path) = &cfg.artifact {
         write_json(path, &report.to_json())?;

@@ -28,6 +28,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use hs_coord::executor_for;
 use hs_core::{EngineObserver, LayerPruner, TelemetryObserver};
 use hs_nn::accounting::{analyze, NetworkCost};
 use hs_nn::surgery::{conv_sites, prune_feature_maps};
@@ -278,6 +279,11 @@ fn run_units(
 
     let (mut net, mut rng, start) = restore_prune_state(dir, prepared, journal, cfg.prune_seed)?;
 
+    // The evaluation worker fleet lives for the whole prune stage; it is
+    // dropped (emitting `worker_done` telemetry and the utilization
+    // gauge) when this function returns, before the metrics flush.
+    let mut executor = executor_for(cfg.workers);
+
     // Method-specific unit machinery, built fresh either way: the layer
     // pruner and criteria carry no state across units.
     enum Units {
@@ -331,7 +337,14 @@ fn run_units(
         let keep = match &mut units {
             Units::HeadStart { pruner, observer } => {
                 observer.on_unit_start("layer", ordinal);
-                let decision = pruner.prune_observed(&mut net, ordinal, ds, &mut rng, observer)?;
+                let decision = pruner.prune_executed(
+                    &mut net,
+                    ordinal,
+                    ds,
+                    &mut rng,
+                    observer,
+                    executor.as_mut(),
+                )?;
                 prune_feature_maps(&mut net, conv_node, &decision.keep)?;
                 decision.keep
             }
@@ -481,7 +494,9 @@ fn run_stagewise(
                 .field("action", "redo_stage"),
         );
     }
-    let method_run = prepared.run_method(&cfg.method, cfg.prune_seed)?;
+    let mut executor = executor_for(cfg.workers);
+    let method_run = prepared.run_method_with(&cfg.method, cfg.prune_seed, executor.as_mut())?;
+    drop(executor);
     checkpoint::save(&method_run.net, dir.join(FINAL_CHECKPOINT))?;
     journal.stage = Stage::Finalized;
     journal.final_accuracy = Some(method_run.final_accuracy);
@@ -501,6 +516,7 @@ fn run_stagewise(
         traces: method_run.traces,
         stages,
         compact: None,
+        workers: cfg.workers,
     })
 }
 
@@ -535,5 +551,6 @@ fn report_from_journal(
         traces,
         stages,
         compact: None,
+        workers: cfg.workers,
     }
 }

@@ -14,7 +14,7 @@
 //! - `kind` — `log` | `span` | `episode` | `metric` | `artifact` |
 //!   `recovery` | `fault_injected` | `resume` | `serve_request` |
 //!   `serve_batch` | `serve_breaker` | `degrade` | `restore` |
-//!   `compact`.
+//!   `compact` | `worker_start` | `worker_done` | `worker_lost`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -69,6 +69,15 @@ pub enum EventKind {
     /// event per rewritten layer (before/after shapes) plus a summary
     /// carrying the whole-network FLOP ratio.
     Compact,
+    /// A coordinator evaluation worker came online (`worker` field
+    /// carries its zero-based id).
+    WorkerStart,
+    /// A coordinator worker shut down cleanly after the run, with the
+    /// total number of candidate evaluations (`items`) it performed.
+    WorkerDone,
+    /// A coordinator worker died mid-batch (fault-injected or real);
+    /// `reassigned` counts the items replayed elsewhere.
+    WorkerLost,
 }
 
 impl EventKind {
@@ -89,11 +98,14 @@ impl EventKind {
             EventKind::Degrade => "degrade",
             EventKind::Restore => "restore",
             EventKind::Compact => "compact",
+            EventKind::WorkerStart => "worker_start",
+            EventKind::WorkerDone => "worker_done",
+            EventKind::WorkerLost => "worker_lost",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 14] {
+    pub fn all() -> [EventKind; 17] {
         [
             EventKind::Log,
             EventKind::Span,
@@ -109,6 +121,9 @@ impl EventKind {
             EventKind::Degrade,
             EventKind::Restore,
             EventKind::Compact,
+            EventKind::WorkerStart,
+            EventKind::WorkerDone,
+            EventKind::WorkerLost,
         ]
     }
 }

@@ -33,6 +33,7 @@
 //! | `nan_reward`| `layer`, `block`, `block-inner` | the episode's inference reward becomes NaN |
 //! | `slow_infer`| `infer`      | a serve micro-batch's modeled compute time is inflated past its timeout |
 //! | `load_fail` | `model_load` | a model (re)load attempt fails with a transient error; retry with backoff recovers |
+//! | `worker_lost`| `worker`    | a coordinator evaluation worker dies mid-batch; its items are reassigned and replayed |
 //!
 //! (`corrupt:model_load` is also recognised: the serving loader sees a
 //! one-byte-flipped checkpoint image on that attempt and retries.)
@@ -59,7 +60,7 @@ pub struct Fault {
 /// Every fault kind a plan may name. [`FaultPlan::parse`] rejects
 /// anything else, so a typo in `HS_FAULT` fails at startup instead of
 /// silently running without faults.
-pub const KNOWN_KINDS: [&str; 8] = [
+pub const KNOWN_KINDS: [&str; 9] = [
     "io_error",
     "io_flaky",
     "corrupt",
@@ -68,13 +69,14 @@ pub const KNOWN_KINDS: [&str; 8] = [
     "nan_reward",
     "slow_infer",
     "load_fail",
+    "worker_lost",
 ];
 
 /// Every site a plan may name (the workspace's consulting call sites).
 /// [`arm`]/[`trip`] stay unrestricted — tests arm synthetic sites
 /// programmatically — but specs that reach [`FaultPlan::parse`] must
 /// use a real site.
-pub const KNOWN_SITES: [&str; 13] = [
+pub const KNOWN_SITES: [&str; 14] = [
     "checkpoint",
     "artifact",
     "journal",
@@ -88,6 +90,7 @@ pub const KNOWN_SITES: [&str; 13] = [
     "block-inner",
     "infer",
     "model_load",
+    "worker",
 ];
 
 /// A rejected fault-plan spec: which entry was malformed and why.

@@ -254,6 +254,18 @@ pub const DEGRADE_REQUIRED_FIELDS: [&str; 2] = ["reason", "model"];
 /// the network summary, which additionally carries `flop_ratio`).
 pub const COMPACT_REQUIRED_FIELDS: [&str; 2] = ["before", "after"];
 
+/// Fields every `worker_start` event must carry: the worker's
+/// zero-based id.
+pub const WORKER_START_REQUIRED_FIELDS: [&str; 1] = ["worker"];
+
+/// Fields every `worker_done` event must carry: the worker id and the
+/// number of candidate evaluations it performed over its lifetime.
+pub const WORKER_DONE_REQUIRED_FIELDS: [&str; 2] = ["worker", "items"];
+
+/// Fields every `worker_lost` event must carry: the dead worker's id
+/// and how many of its in-flight items were reassigned and replayed.
+pub const WORKER_LOST_REQUIRED_FIELDS: [&str; 2] = ["worker", "reassigned"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
@@ -262,8 +274,9 @@ pub const COMPACT_REQUIRED_FIELDS: [&str; 2] = ["before", "after"];
 /// numeric `secs`; `episode` events carry [`EPISODE_REQUIRED_FIELDS`],
 /// `recovery` events [`RECOVERY_REQUIRED_FIELDS`], `fault_injected`
 /// events [`FAULT_REQUIRED_FIELDS`], `resume` events
-/// [`RESUME_REQUIRED_FIELDS`] and `compact` events
-/// [`COMPACT_REQUIRED_FIELDS`].
+/// [`RESUME_REQUIRED_FIELDS`], `compact` events
+/// [`COMPACT_REQUIRED_FIELDS`] and the coordinator's worker-lifecycle
+/// events their `WORKER_*_REQUIRED_FIELDS`.
 ///
 /// # Errors
 ///
@@ -332,6 +345,9 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "serve_breaker" => &SERVE_BREAKER_REQUIRED_FIELDS,
         "degrade" | "restore" => &DEGRADE_REQUIRED_FIELDS,
         "compact" => &COMPACT_REQUIRED_FIELDS,
+        "worker_start" => &WORKER_START_REQUIRED_FIELDS,
+        "worker_done" => &WORKER_DONE_REQUIRED_FIELDS,
+        "worker_lost" => &WORKER_LOST_REQUIRED_FIELDS,
         _ => &[],
     };
     for field in required {
@@ -433,6 +449,20 @@ mod tests {
             .field("model", "dense");
         validate_line(&restore.to_json_line()).unwrap();
 
+        let worker_start =
+            Event::new(EventKind::WorkerStart, Level::Debug, "coord").field("worker", 0u64);
+        validate_line(&worker_start.to_json_line()).unwrap();
+
+        let worker_done = Event::new(EventKind::WorkerDone, Level::Debug, "coord")
+            .field("worker", 0u64)
+            .field("items", 128u64);
+        validate_line(&worker_done.to_json_line()).unwrap();
+
+        let worker_lost = Event::new(EventKind::WorkerLost, Level::Warn, "coord")
+            .field("worker", 2u64)
+            .field("reassigned", 3u64);
+        validate_line(&worker_lost.to_json_line()).unwrap();
+
         // Missing required fields are violations.
         let bare = Event::new(EventKind::Recovery, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
@@ -444,6 +474,8 @@ mod tests {
         assert!(validate_line(&bare).unwrap_err().contains("id"));
         let bare = Event::new(EventKind::Degrade, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
+        let bare = Event::new(EventKind::WorkerLost, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("worker"));
     }
 
     #[test]

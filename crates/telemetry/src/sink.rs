@@ -68,7 +68,10 @@ impl Sink for StderrSink {
             | EventKind::Metric
             | EventKind::Compact
             | EventKind::ServeRequest
-            | EventKind::ServeBatch => {
+            | EventKind::ServeBatch
+            | EventKind::WorkerStart
+            | EventKind::WorkerDone
+            | EventKind::WorkerLost => {
                 let fields: Vec<String> = event
                     .fields
                     .iter()

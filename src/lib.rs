@@ -16,6 +16,10 @@
 //! * [`core`] — HeadStart itself: head-start policy networks, the
 //!   REINFORCE loop with self-critical baseline, per-layer and per-block
 //!   pruners;
+//! * [`coord`] — deterministic sharded candidate evaluation: a
+//!   coordinator that fans each episode's action batch out across worker
+//!   threads and folds rewards back in schedule order, bit-identical to
+//!   serial execution for any worker count;
 //! * [`gpusim`] — a roofline latency model of the paper's four inference
 //!   platforms;
 //! * [`runner`] — the config-driven end-to-end pipeline (dataset →
@@ -53,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub use hs_coord as coord;
 pub use hs_core as core;
 pub use hs_data as data;
 pub use hs_gpusim as gpusim;

@@ -1,0 +1,326 @@
+//! Sharded-evaluation parity: `--workers N` must be invisible in every
+//! output byte.
+//!
+//! The coordinator (`hs-coord`) shards each episode's candidate batch
+//! across worker threads but folds rewards back in schedule order, so a
+//! seeded run must produce **byte-identical** journals and final
+//! checkpoints for any worker count — including when a worker is killed
+//! mid-episode and its items are reassigned. These tests pin that, plus
+//! the one thing that *is* allowed to differ: wall-clock, which a
+//! ≥4-worker prune stage must actually improve.
+//!
+//! The fault registry is process-global, so every test here serializes
+//! on one mutex (the same discipline as `crash_resume.rs`).
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Mutex;
+
+use headstart::coord::Coordinator;
+use headstart::core::{
+    EngineObserver, GuardAction, GuardReason, HeadStartConfig, LayerPruner, RecoveryEvent,
+    SerialExecutor,
+};
+use headstart::data::{Dataset, DatasetSpec};
+use headstart::nn::models;
+use headstart::runner::{
+    run, BaselineKind, Budget, Method, ModelChoice, ModelKind, RunnerConfig, FINAL_CHECKPOINT,
+};
+use headstart::telemetry::faults::{arm, disarm, FaultPlan};
+use headstart::tensor::Rng;
+
+/// Serializes the whole file: the fault registry is process-global, and
+/// the wall-clock test wants the process to itself.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULTS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+/// A fast two-conv configuration (LeNet, smoke budget) shared by the
+/// parity runs.
+fn lenet_config(label: &str, workers: usize) -> RunnerConfig {
+    let mut cfg = RunnerConfig::new(label);
+    cfg.model = ModelChoice::new(ModelKind::LeNet, 1.0);
+    cfg.budget = Budget::smoke();
+    cfg.workers = workers;
+    cfg
+}
+
+/// Runs the same seeded config at two worker counts and asserts the
+/// journal (modulo its own `workers` echo) and the final checkpoint are
+/// byte-identical.
+fn assert_worker_count_invisible(method: Method, label: &str) {
+    let dir1 = tmp_dir(&format!("{label}-w1"));
+    let dir8 = tmp_dir(&format!("{label}-w8"));
+    let mut cfg1 = lenet_config(label, 1);
+    cfg1.method = method.clone();
+    cfg1.run_dir = Some(dir1.clone());
+    let mut cfg8 = lenet_config(label, 8);
+    cfg8.method = method;
+    cfg8.run_dir = Some(dir8.clone());
+
+    run(&cfg1).expect("serial run");
+    run(&cfg8).expect("sharded run");
+
+    let hsck1 = std::fs::read(dir1.join(FINAL_CHECKPOINT)).expect("final.hsck (1 worker)");
+    let hsck8 = std::fs::read(dir8.join(FINAL_CHECKPOINT)).expect("final.hsck (8 workers)");
+    assert_eq!(
+        hsck1, hsck8,
+        "{label}: final.hsck differs across worker counts"
+    );
+
+    let journal1 = std::fs::read_to_string(dir1.join("run.journal.json")).expect("journal (1)");
+    let journal8 = std::fs::read_to_string(dir8.join("run.journal.json")).expect("journal (8)");
+    // The journal's config echo records the requested worker count and
+    // the run-dir-relative pretrain checkpoint path — the two intentional
+    // differences. Everything else must match byte for byte: unit
+    // records, RNG snapshots, accuracies, checkpoint names.
+    let normalized = journal8
+        .replace("\"workers\": 8", "\"workers\": 1")
+        .replace(&dir8.display().to_string(), &dir1.display().to_string());
+    assert_ne!(normalized, journal8, "workers echo missing from journal");
+    assert_eq!(
+        journal1, normalized,
+        "{label}: journal differs across worker counts beyond the workers echo"
+    );
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn headstart_journal_and_checkpoint_identical_across_worker_counts() {
+    let _guard = lock();
+    disarm();
+    assert_worker_count_invisible(Method::HeadStartLayers { sp: 2.0 }, "coordp-hs");
+}
+
+#[test]
+fn baseline_journal_and_checkpoint_identical_across_worker_counts() {
+    let _guard = lock();
+    disarm();
+    assert_worker_count_invisible(
+        Method::Baseline {
+            kind: BaselineKind::L1,
+            keep_ratio: 0.5,
+        },
+        "coordp-l1",
+    );
+}
+
+/// Records the guard recovery sequence an engine run went through.
+#[derive(Default)]
+struct RecoveryRecorder {
+    recoveries: Vec<(GuardReason, GuardAction, usize, usize)>,
+}
+
+impl EngineObserver for RecoveryRecorder {
+    fn on_recovery(&mut self, _unit_kind: &'static str, event: &RecoveryEvent) {
+        self.recoveries
+            .push((event.reason, event.action, event.episode, event.resets));
+    }
+}
+
+fn layer_fixture() -> (Dataset, headstart::nn::Network, HeadStartConfig) {
+    let ds = Dataset::generate(
+        &DatasetSpec::cifar_like()
+            .classes(3)
+            .train_per_class(4)
+            .test_per_class(2)
+            .image_size(8),
+    )
+    .expect("dataset");
+    let mut rng = Rng::seed_from(17);
+    let net = models::vgg11(3, 3, 8, 0.25, &mut rng).expect("model");
+    let cfg = HeadStartConfig::new(2.0).max_episodes(12).eval_images(8);
+    (ds, net, cfg)
+}
+
+#[test]
+fn nan_guard_parity_under_sharding() {
+    // A NaN reward injected into an episode whose candidates are being
+    // evaluated by the worker fleet must trigger the exact same
+    // reset/fallback sequence — and the same final decision, bit for
+    // bit — as the serial engine.
+    let _guard = lock();
+    let (ds, net, cfg) = layer_fixture();
+    let plan = || FaultPlan::parse("nan_reward:layer:1").expect("fault plan");
+
+    arm(plan());
+    let mut serial_obs = RecoveryRecorder::default();
+    let serial = LayerPruner::new(cfg.clone())
+        .prune_executed(
+            &mut net.clone(),
+            0,
+            &ds,
+            &mut Rng::seed_from(5),
+            &mut serial_obs,
+            &mut SerialExecutor,
+        )
+        .expect("serial prune");
+    disarm();
+
+    arm(plan());
+    let mut coord = Coordinator::new(4);
+    let mut sharded_obs = RecoveryRecorder::default();
+    let sharded = LayerPruner::new(cfg)
+        .prune_executed(
+            &mut net.clone(),
+            0,
+            &ds,
+            &mut Rng::seed_from(5),
+            &mut sharded_obs,
+            &mut coord,
+        )
+        .expect("sharded prune");
+    disarm();
+
+    assert!(
+        !serial_obs.recoveries.is_empty(),
+        "the injected NaN never tripped the guard"
+    );
+    assert_eq!(
+        serial_obs.recoveries, sharded_obs.recoveries,
+        "reset/fallback sequence diverged under sharding"
+    );
+    assert_eq!(serial, sharded, "decision diverged under sharding");
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial.probs), bits(&sharded.probs));
+}
+
+#[test]
+fn lost_worker_reassigns_items_and_stays_bit_identical() {
+    // Kill one worker mid-episode: its remaining candidates must be
+    // replayed elsewhere and the decision must still match the serial
+    // engine bit for bit.
+    let _guard = lock();
+    let (ds, net, cfg) = layer_fixture();
+
+    disarm();
+    let serial = LayerPruner::new(cfg.clone())
+        .prune(&mut net.clone(), 0, &ds, &mut Rng::seed_from(5))
+        .expect("serial prune");
+
+    arm(FaultPlan::parse("worker_lost:worker:5").expect("fault plan"));
+    let mut coord = Coordinator::new(4);
+    let sharded = LayerPruner::new(cfg)
+        .prune_executed(
+            &mut net.clone(),
+            0,
+            &ds,
+            &mut Rng::seed_from(5),
+            &mut headstart::core::NullObserver,
+            &mut coord,
+        )
+        .expect("sharded prune with worker loss");
+    disarm();
+
+    assert_eq!(
+        coord.live_count(),
+        3,
+        "the worker_lost fault should have killed exactly one worker"
+    );
+    assert_eq!(serial, sharded, "decision diverged after worker loss");
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial.probs), bits(&sharded.probs));
+}
+
+/// The `hs_run` binary next to this test binary's package executable
+/// (both land in the same target directory).
+fn hs_run_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_headstart"))
+        .parent()
+        .expect("target dir")
+        .join(format!("hs_run{}", std::env::consts::EXE_SUFFIX))
+}
+
+/// Extracts the `prune:…` stage seconds from a run artifact.
+fn prune_seconds(artifact: &std::path::Path) -> f64 {
+    let text = std::fs::read_to_string(artifact).expect("artifact");
+    let json = headstart::telemetry::schema::parse(&text).expect("artifact JSON");
+    let obj = json.as_obj().expect("artifact object");
+    let stages = match obj.get("stages") {
+        Some(headstart::telemetry::schema::Json::Arr(stages)) => stages,
+        other => panic!("missing stages array: {other:?}"),
+    };
+    for stage in stages {
+        let stage = stage.as_obj().expect("stage object");
+        let name = stage.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        if name.starts_with("prune:") {
+            if let Some(headstart::telemetry::schema::Json::Num(secs)) = stage.get("seconds") {
+                return *secs;
+            }
+        }
+    }
+    panic!("no prune stage in artifact {}", artifact.display());
+}
+
+#[test]
+fn four_workers_beat_serial_wall_clock() {
+    // The point of the coordinator: with the tensor pool pinned to one
+    // thread, a 4-worker prune stage must finish faster than the serial
+    // one. Runs `hs_run` as subprocesses so `HS_NUM_THREADS=1` can be
+    // set per process (the pool is sized once per process).
+    let _guard = lock();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads < 4 {
+        eprintln!("skipping wall-clock speedup test: only {threads} CPUs available");
+        return;
+    }
+    let bin = hs_run_bin();
+    if !bin.exists() {
+        eprintln!(
+            "skipping wall-clock speedup test: {} not built",
+            bin.display()
+        );
+        return;
+    }
+    let dir = tmp_dir("coordp-speedup");
+    let mut seconds = [0.0f64; 2];
+    for (slot, workers) in [(0, "1"), (1, "4")] {
+        let artifact = dir.join(format!("run-w{workers}.json"));
+        let out = Command::new(&bin)
+            .env("HS_NUM_THREADS", "1")
+            .args([
+                "--label",
+                "coordp-speedup",
+                "--model",
+                "lenet",
+                "--smoke",
+                "--pretrain",
+                "0",
+                "--finetune",
+                "0",
+                "--episodes",
+                "6",
+                "--eval-images",
+                "64",
+                "--workers",
+                workers,
+                "--artifact",
+                artifact.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("run hs_run");
+        assert!(
+            out.status.success(),
+            "hs_run --workers {workers} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        seconds[slot] = prune_seconds(&artifact);
+    }
+    let [serial, sharded] = seconds;
+    assert!(
+        sharded < serial,
+        "4-worker prune stage ({sharded:.3}s) not faster than serial ({serial:.3}s)"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -328,3 +328,39 @@ fn reward_prefers_target_speedup() {
         assert!(r_on >= r_off, "seed {seed}: {r_on} < {r_off}");
     }
 }
+
+/// The coordinator's work-assignment schedule is an exact partition:
+/// for arbitrary item/worker counts, every item index lands in exactly
+/// one shard (none lost, none duplicated), each shard is sorted, and no
+/// shard holds more than its fair round-robin share.
+#[test]
+fn shard_plan_is_an_exact_partition() {
+    use headstart::coord::ShardPlan;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let n_items = rng.below(200);
+        let n_workers = rng.below(17);
+        let plan = ShardPlan::assign(n_items, n_workers);
+        assert_eq!(plan.worker_count(), n_workers.max(1), "seed {seed}");
+        assert_eq!(plan.item_count(), n_items, "seed {seed}");
+        let fair_share = n_items.div_ceil(n_workers.max(1));
+        let mut seen = vec![0usize; n_items];
+        for shard in plan.shards() {
+            assert!(
+                shard.len() <= fair_share,
+                "seed {seed}: shard over fair share"
+            );
+            for pair in shard.windows(2) {
+                assert!(pair[0] < pair[1], "seed {seed}: shard not increasing");
+            }
+            for &item in shard {
+                assert!(item < n_items, "seed {seed}: item {item} out of range");
+                seen[item] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&count| count == 1),
+            "seed {seed}: schedule lost or duplicated an item: {seen:?}"
+        );
+    }
+}
