@@ -360,12 +360,37 @@ fn main() {
         })
         .collect();
     let doc = Json::Obj(vec![
+        // Versioned against the telemetry event schema so `hs_obs
+        // bench-check` and downstream tooling can refuse files they
+        // don't understand.
+        (
+            "schema_version".into(),
+            Json::num(hs_telemetry::SCHEMA_VERSION as f64),
+        ),
         // The pool size actually used by the timed kernels (workers +
         // caller), not just the configured target: `HS_NUM_THREADS`
         // overrides are reflected here.
         (
             "pool_threads".into(),
             Json::num(pool::effective_threads() as f64),
+        ),
+        // The knobs that shaped this run, so two BENCH files are only
+        // ever compared like-for-like.
+        (
+            "env".into(),
+            Json::Obj(vec![
+                (
+                    "hs_num_threads".into(),
+                    match std::env::var("HS_NUM_THREADS") {
+                        Ok(v) => Json::str(v),
+                        Err(_) => Json::str("unset"),
+                    },
+                ),
+                (
+                    "effective_threads".into(),
+                    Json::num(pool::effective_threads() as f64),
+                ),
+            ]),
         ),
         ("gemm".into(), Json::Arr(gemm_json)),
         ("forward".into(), Json::Arr(forward_json)),

@@ -35,7 +35,7 @@ use std::thread::JoinHandle;
 
 use hs_core::{EvalExecutor, HeadStartError, ParallelReward, PruningUnit, SerialExecutor};
 use hs_nn::Network;
-use hs_telemetry::{emit, faults, metrics, Event, EventKind, Level};
+use hs_telemetry::{emit, faults, metrics, trace, Event, EventKind, Level, TraceCtx};
 
 use crate::plan::ShardPlan;
 
@@ -128,13 +128,34 @@ pub struct Coordinator {
     /// Worker-slots available across all batches.
     total_slots: u64,
     finished: bool,
+    /// Fleet-lifecycle root span: `worker_start` events are its children
+    /// `child(id)`, `worker_done` events `child(n + id)`.
+    fleet_ctx: TraceCtx,
+    /// Root span of the unit currently being evaluated (set by
+    /// `begin_unit`); `worker_lost` events hang off it so a loss is
+    /// queryable from the owning unit's trace.
+    unit_ctx: Option<TraceCtx>,
+    /// Units this executor has begun — the unit ordinal fed into
+    /// [`trace::unit_ctx`] (executors see units in sequence).
+    units_begun: usize,
+    trace_seed: u64,
 }
 
 impl Coordinator {
     /// Spawns `workers` evaluation threads (clamped to at least 1) and
-    /// emits one `worker_start` event per worker.
+    /// emits one `worker_start` event per worker. Trace ids derive from
+    /// seed 0; use [`Coordinator::with_trace_seed`] to align them with a
+    /// run's seed.
     pub fn new(workers: usize) -> Coordinator {
+        Coordinator::with_trace_seed(workers, 0)
+    }
+
+    /// As [`Coordinator::new`], deriving every `worker_*` trace id from
+    /// `trace_seed` (the same seed the engine's observer uses, so unit
+    /// and worker events join up).
+    pub fn with_trace_seed(workers: usize, trace_seed: u64) -> Coordinator {
         let n = workers.max(1);
+        let fleet_ctx = trace::unit_ctx(trace_seed, "coord", 0);
         let mut spawned = Vec::with_capacity(n);
         for id in 0..n {
             let channel = Arc::new(Channel::default());
@@ -143,7 +164,11 @@ impl Coordinator {
                 .name(format!("hs-coord-{id}"))
                 .spawn(move || worker_loop(&loop_channel))
                 .expect("failed to spawn hs-coord worker thread");
-            emit(Event::new(EventKind::WorkerStart, Level::Info, EVENT_NAME).field("worker", id));
+            emit(
+                Event::new(EventKind::WorkerStart, Level::Info, EVENT_NAME)
+                    .field("worker", id)
+                    .traced(&fleet_ctx.child(id as u64)),
+            );
             metrics::counter("hs_coord_workers_started_total").inc();
             spawned.push(Worker {
                 channel,
@@ -158,6 +183,10 @@ impl Coordinator {
             busy_slots: 0,
             total_slots: 0,
             finished: false,
+            fleet_ctx,
+            unit_ctx: None,
+            units_begun: 0,
+            trace_seed,
         }
     }
 
@@ -192,6 +221,7 @@ impl Coordinator {
         for worker in &self.workers {
             worker.channel.send(Cmd::Exit);
         }
+        let n = self.workers.len();
         for (id, worker) in self.workers.iter_mut().enumerate() {
             if let Some(thread) = worker.thread.take() {
                 let _ = thread.join();
@@ -202,7 +232,8 @@ impl Coordinator {
                 emit(
                     Event::new(EventKind::WorkerDone, Level::Info, EVENT_NAME)
                         .field("worker", id)
-                        .field("items", worker.items_done),
+                        .field("items", worker.items_done)
+                        .traced(&self.fleet_ctx.child((n + id) as u64)),
                 );
             }
         }
@@ -260,7 +291,13 @@ fn run_shard(
 }
 
 impl EvalExecutor for Coordinator {
-    fn begin_unit(&mut self, net: &Network) {
+    fn begin_unit(&mut self, net: &Network, unit_kind: &'static str) {
+        self.unit_ctx = Some(trace::unit_ctx(
+            self.trace_seed,
+            unit_kind,
+            self.units_begun,
+        ));
+        self.units_begun += 1;
         for worker in self.workers.iter_mut().filter(|w| w.alive) {
             worker.net = Some(net.clone());
         }
@@ -388,11 +425,18 @@ impl EvalExecutor for Coordinator {
         for (id, items) in lost {
             self.workers[id].alive = false;
             self.workers[id].net = None;
+            // A loss belongs to the unit being evaluated; fall back to
+            // the fleet trace when eval_batch was driven directly.
+            let loss_ctx = self
+                .unit_ctx
+                .unwrap_or(self.fleet_ctx)
+                .child((2 * self.workers.len() + id) as u64);
             emit(
                 Event::new(EventKind::WorkerLost, Level::Warn, EVENT_NAME)
                     .message("worker lost mid-batch; items reassigned")
                     .field("worker", id)
-                    .field("reassigned", items.len()),
+                    .field("reassigned", items.len())
+                    .traced(&loss_ctx),
             );
             metrics::counter("hs_coord_workers_lost_total").inc();
             metrics::counter("hs_coord_reassigned_items_total").add(items.len() as u64);

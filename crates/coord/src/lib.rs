@@ -35,11 +35,13 @@ use hs_core::{EvalExecutor, SerialExecutor};
 /// The executor for a requested worker count: serial in-process
 /// evaluation for `workers <= 1`, a sharded [`Coordinator`] otherwise.
 /// Both produce bit-identical results; only wall-clock differs.
-pub fn executor_for(workers: usize) -> Box<dyn EvalExecutor> {
+/// `trace_seed` feeds the coordinator's `worker_*` trace-id derivation
+/// (pass the run's pruning seed so unit and worker events join up).
+pub fn executor_for(workers: usize, trace_seed: u64) -> Box<dyn EvalExecutor> {
     if workers <= 1 {
         Box::new(SerialExecutor)
     } else {
-        Box::new(Coordinator::new(workers))
+        Box::new(Coordinator::with_trace_seed(workers, trace_seed))
     }
 }
 
@@ -135,7 +137,7 @@ mod tests {
             .unwrap();
         for workers in [1, 2, 3, 8] {
             let mut coord = Coordinator::new(workers);
-            coord.begin_unit(&net);
+            coord.begin_unit(&net, "toy");
             let sharded = coord.eval_batch(&mut ToyUnit, &mut net, &actions).unwrap();
             assert_eq!(
                 serial.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
@@ -154,7 +156,7 @@ mod tests {
         let mut unit = SerialOnlyUnit { calls: 0 };
         let actions = batch(5);
         let mut coord = Coordinator::new(4);
-        coord.begin_unit(&net);
+        coord.begin_unit(&net, "toy");
         let rewards = coord.eval_batch(&mut unit, &mut net, &actions).unwrap();
         assert_eq!(rewards.len(), 5);
         assert_eq!(unit.calls, 5);
@@ -167,7 +169,7 @@ mod tests {
         let mut net = tiny_net();
         let actions = batch(1);
         let mut coord = Coordinator::new(2);
-        coord.begin_unit(&net);
+        coord.begin_unit(&net, "toy");
         let rewards = coord.eval_batch(&mut ToyUnit, &mut net, &actions).unwrap();
         assert_eq!(rewards.len(), 1);
         assert_eq!(coord.utilization(), 0.0);
@@ -178,10 +180,10 @@ mod tests {
         // Smoke: both variants evaluate the same batch identically.
         let mut net = tiny_net();
         let actions = batch(4);
-        let mut one = executor_for(1);
-        let mut eight = executor_for(8);
-        one.begin_unit(&net);
-        eight.begin_unit(&net);
+        let mut one = executor_for(1, 0);
+        let mut eight = executor_for(8, 0);
+        one.begin_unit(&net, "toy");
+        eight.begin_unit(&net, "toy");
         let a = one.eval_batch(&mut ToyUnit, &mut net, &actions).unwrap();
         let b = eight.eval_batch(&mut ToyUnit, &mut net, &actions).unwrap();
         assert_eq!(

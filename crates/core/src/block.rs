@@ -278,7 +278,10 @@ mod tests {
         )
         .unwrap();
         let mut rng = Rng::seed_from(0);
-        let net = models::resnet_cifar(3, 3, 4, 0.25, &mut rng).unwrap(); // 9 blocks
+        // 9 residual blocks: n=3 and width 0.25 keep every stage's
+        // channel count positive, so construction cannot fail.
+        let net = models::resnet_cifar(3, 3, 4, 0.25, &mut rng)
+            .expect("ResNet with positive channel counts always builds");
         (ds, net, rng)
     }
 

@@ -98,9 +98,12 @@ pub trait ParallelReward: Sync {
 /// update — is bit-identical for every executor.
 pub trait EvalExecutor {
     /// Called once per engine run, before any episode, with the network
-    /// in its pre-episode state. Sharded executors snapshot worker-local
-    /// scratch clones here; the serial executor does nothing.
-    fn begin_unit(&mut self, _net: &Network) {}
+    /// in its pre-episode state and the unit's kind. Sharded executors
+    /// snapshot worker-local scratch clones here and derive the unit's
+    /// trace context (the executor sees units in sequence, so its Nth
+    /// `begin_unit` call is unit ordinal N); the serial executor does
+    /// nothing.
+    fn begin_unit(&mut self, _net: &Network, _unit_kind: &'static str) {}
 
     /// Scores `actions` against the unit, returning one reward per
     /// action **in input order**, regardless of evaluation order.
@@ -419,7 +422,7 @@ impl<'cfg> EpisodeEngine<'cfg> {
         let cfg = self.cfg;
         cfg.validate()?;
         let units = unit.unit_count();
-        executor.begin_unit(net);
+        executor.begin_unit(net, unit.kind());
         let mut resets = 0usize;
         loop {
             match self.attempt(net, unit, rng, observer, units, executor)? {

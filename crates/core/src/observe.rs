@@ -16,7 +16,7 @@
 use std::sync::OnceLock;
 
 use hs_telemetry::metrics::{self, Counter, Histogram};
-use hs_telemetry::{Event, EventKind, Level};
+use hs_telemetry::{flight, trace, Event, EventKind, Level, TraceCtx};
 
 use crate::config::HeadStartConfig;
 use crate::engine::{EngineObserver, EpisodeEvent, EpisodeTrace, RecoveryEvent};
@@ -74,12 +74,28 @@ pub struct TelemetryObserver {
     /// Context string for the event name, e.g. `"conv:3"`; events are
     /// named `<unit_kind>/<context>`.
     context_id: usize,
+    /// When set, episode/recovery events carry trace ids derived from
+    /// this seed via [`trace::unit_ctx`] — the same derivation
+    /// `hs-coord` uses, so a unit's episodes and its worker shards share
+    /// one trace.
+    trace_seed: Option<u64>,
+    /// Root span of the unit currently being pruned.
+    unit_ctx: Option<TraceCtx>,
+    /// Child-span counter within the current unit (episodes and
+    /// recoveries share it so spans never collide).
+    unit_seq: u64,
 }
 
 impl TelemetryObserver {
     /// Creates an observer deriving `SPD` against the given target.
     pub fn new(sp: f32) -> TelemetryObserver {
-        TelemetryObserver { sp, context_id: 0 }
+        TelemetryObserver {
+            sp,
+            context_id: 0,
+            trace_seed: None,
+            unit_ctx: None,
+            unit_seq: 0,
+        }
     }
 
     /// Creates an observer for a configuration.
@@ -95,11 +111,31 @@ impl TelemetryObserver {
         self.context_id = ordinal;
         self
     }
+
+    /// Enables trace tagging: every episode/recovery event becomes a
+    /// child span of the owning unit's root, derived from `seed`.
+    #[must_use]
+    pub fn with_trace_seed(mut self, seed: u64) -> TelemetryObserver {
+        self.trace_seed = Some(seed);
+        self
+    }
+
+    /// The next child span of the current unit, if tracing is on.
+    fn next_span(&mut self) -> Option<TraceCtx> {
+        let ctx = self.unit_ctx?;
+        let span = ctx.child(self.unit_seq);
+        self.unit_seq += 1;
+        Some(span)
+    }
 }
 
 impl EngineObserver for TelemetryObserver {
-    fn on_unit_start(&mut self, _unit_kind: &'static str, ordinal: usize) {
+    fn on_unit_start(&mut self, unit_kind: &'static str, ordinal: usize) {
         self.context_id = ordinal;
+        if let Some(seed) = self.trace_seed {
+            self.unit_ctx = Some(trace::unit_ctx(seed, unit_kind, ordinal));
+            self.unit_seq = 0;
+        }
     }
 
     fn on_episode(&mut self, event: &EpisodeEvent<'_>) {
@@ -115,7 +151,7 @@ impl EngineObserver for TelemetryObserver {
         } else {
             event.sampled_rewards.iter().sum::<f32>() / event.sampled_rewards.len() as f32
         };
-        let out = Event::new(
+        let mut out = Event::new(
             EventKind::Episode,
             Level::Debug,
             format!("{}:{}", event.unit_kind, self.context_id),
@@ -129,28 +165,36 @@ impl EngineObserver for TelemetryObserver {
         .field("baseline", event.baseline)
         .field("advantage_mean", mean_sampled - event.baseline)
         .field("policy_entropy", policy_entropy(event.probs));
+        if let Some(span) = self.next_span() {
+            out = out.traced(&span);
+        }
         hs_telemetry::emit(out);
     }
 
     fn on_recovery(&mut self, unit_kind: &'static str, event: &RecoveryEvent) {
         recoveries_total().inc();
-        hs_telemetry::emit(
-            Event::new(
-                EventKind::Recovery,
-                Level::Warn,
-                format!("{}:{}", unit_kind, self.context_id),
-            )
-            .message(format!(
-                "divergence ({}) at episode {}; {}",
-                event.reason.as_str(),
-                event.episode,
-                event.action.as_str()
-            ))
-            .field("reason", event.reason.as_str())
-            .field("action", event.action.as_str())
-            .field("episode", event.episode)
-            .field("resets", event.resets),
-        );
+        let mut out = Event::new(
+            EventKind::Recovery,
+            Level::Warn,
+            format!("{}:{}", unit_kind, self.context_id),
+        )
+        .message(format!(
+            "divergence ({}) at episode {}; {}",
+            event.reason.as_str(),
+            event.episode,
+            event.action.as_str()
+        ))
+        .field("reason", event.reason.as_str())
+        .field("action", event.action.as_str())
+        .field("episode", event.episode)
+        .field("resets", event.resets);
+        if let Some(span) = self.next_span() {
+            out = out.traced(&span);
+        }
+        hs_telemetry::emit(out);
+        // A guard recovery is exactly the "something just went wrong"
+        // moment the flight recorder exists for.
+        flight::trigger("guard_recovery");
     }
 
     fn on_converged(&mut self, unit_kind: &'static str, trace: &EpisodeTrace) {

@@ -1,0 +1,197 @@
+//! `hs_obs` — offline analysis over the deterministic telemetry JSONL
+//! stream.
+//!
+//! ```text
+//! hs_obs trace <ID> --events EVENTS.jsonl
+//! hs_obs report --events EVENTS.jsonl [--json]
+//! hs_obs diff A.jsonl B.jsonl [--threshold F]
+//! hs_obs bench-check CURRENT.json --baseline BASELINE.json
+//!         [--tolerance F] [--warn-only]
+//! ```
+//!
+//! `trace` prints the causal timeline of one trace — the argument is a
+//! hex trace id or a decimal serve request id. `report` summarises a
+//! serving run (latency percentiles, shed reasons, breaker/degrade
+//! timelines, worker utilization, SLO burn). `diff` compares the final
+//! metric values of two runs. `bench-check` exits non-zero when a
+//! benchmark row regressed beyond tolerance — the CI gate over
+//! `BENCH_kernels.json`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hs_obs::{
+    bench_check, build_report, diff_metrics, final_metrics, load_events, render_timeline,
+    report_json, report_table, resolve_trace, trace_timeline, EventRec,
+};
+use hs_telemetry::schema::{self, Json};
+
+const USAGE: &str = "usage: hs_obs <command> [args]
+
+commands:
+  trace <ID> --events FILE      causal timeline of a trace (hex trace id
+                                or decimal serve request id)
+  report --events FILE [--json] serving report: latency percentiles,
+                                shed reasons, breaker/degrade timelines,
+                                worker utilization, SLO burn
+  diff A B [--threshold F]      final-metric deltas between two event
+                                streams beyond F (relative, default 0.05)
+  bench-check CURRENT --baseline BASE [--tolerance F] [--warn-only]
+                                flag GFLOP/s or forward-speedup rows of
+                                CURRENT that regressed beyond F (relative,
+                                default 0.3) against BASE; exits 1 on
+                                regression unless --warn-only";
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("hs_obs: {message}");
+    ExitCode::from(2)
+}
+
+fn read_events(path: &Path) -> Result<Vec<EventRec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    load_events(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    schema::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Pulls the value after `flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
+fn parse_f64(value: &str, flag: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("{flag} needs a number, got `{value}`"))
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let events_path = take_flag(&mut args, "--events")?.ok_or("trace needs --events FILE")?;
+    let [query] = args.as_slice() else {
+        return Err("trace needs exactly one ID argument".to_string());
+    };
+    let events = read_events(Path::new(&events_path))?;
+    let trace_id = resolve_trace(&events, query)?;
+    let rows = trace_timeline(&events, trace_id);
+    print!("{}", render_timeline(trace_id, &rows));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_report(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let events_path = take_flag(&mut args, "--events")?.ok_or("report needs --events FILE")?;
+    let as_json = take_switch(&mut args, "--json");
+    if !args.is_empty() {
+        return Err(format!("unexpected argument `{}`", args[0]));
+    }
+    let events = read_events(Path::new(&events_path))?;
+    let report = build_report(&events);
+    if as_json {
+        println!("{}", report_json(&report).render());
+    } else {
+        print!("{}", report_table(&report));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let threshold = match take_flag(&mut args, "--threshold")? {
+        Some(v) => parse_f64(&v, "--threshold")?,
+        None => 0.05,
+    };
+    let [a, b] = args.as_slice() else {
+        return Err("diff needs exactly two event files".to_string());
+    };
+    let metrics_a = final_metrics(&read_events(Path::new(a))?);
+    let metrics_b = final_metrics(&read_events(Path::new(b))?);
+    let deltas = diff_metrics(&metrics_a, &metrics_b, threshold);
+    if deltas.is_empty() {
+        println!("no metric moved beyond {threshold} (relative)");
+    } else {
+        for d in &deltas {
+            println!(
+                "{:<40} {:>14} -> {:<14} ({:+.1}%)",
+                d.name,
+                d.a,
+                d.b,
+                (d.b - d.a) / d.a.abs().max(f64::MIN_POSITIVE) * 100.0
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_check(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let baseline_path =
+        take_flag(&mut args, "--baseline")?.ok_or("bench-check needs --baseline FILE")?;
+    let tolerance = match take_flag(&mut args, "--tolerance")? {
+        Some(v) => parse_f64(&v, "--tolerance")?,
+        None => 0.3,
+    };
+    let warn_only = take_switch(&mut args, "--warn-only");
+    let [current_path] = args.as_slice() else {
+        return Err("bench-check needs exactly one CURRENT file".to_string());
+    };
+    let current = read_json(Path::new(current_path))?;
+    let baseline = read_json(Path::new(&baseline_path))?;
+    let regressions = bench_check(&current, &baseline, tolerance);
+    if regressions.is_empty() {
+        println!("bench-check: no regression beyond {tolerance} (relative)");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for r in &regressions {
+        println!(
+            "REGRESSION {:<40} baseline {:>10.3} current {:>10.3}",
+            r.what, r.baseline, r.current
+        );
+    }
+    if warn_only {
+        println!(
+            "bench-check: {} regression(s) (warn-only, not failing)",
+            regressions.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = args.remove(0);
+    let result = match command.as_str() {
+        "trace" => cmd_trace(args),
+        "report" => cmd_report(args),
+        "diff" => cmd_diff(args),
+        "bench-check" => cmd_bench_check(args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => fail(message),
+    }
+}

@@ -3,16 +3,21 @@
 //! smoke pipeline's `--telemetry` output instead of depending on jq.
 //!
 //! ```text
-//! telemetry_lint events.jsonl [--require-kind KIND]... [--require-order A,B]...
+//! telemetry_lint events.jsonl [--require-kind KIND]...
+//!     [--require-order A,B]... [--require-fields KIND=F1,F2]...
 //! ```
 //!
 //! Exits non-zero when any line fails validation (including an unknown
 //! event kind), when the file is empty, when a `--require-kind` (e.g.
-//! `episode`, `span`) never appears in the stream, or when a
+//! `episode`, `span`) never appears in the stream, when a
 //! `--require-order A,B` pair is missing or out of order (the first
 //! `A` must precede the first `B` — e.g. `degrade,restore` asserts the
-//! serving stack degraded before it restored). Prints a per-kind event
-//! count on success.
+//! serving stack degraded before it restored), or when a
+//! `--require-fields KIND=F1,F2` rule finds an event of `KIND` missing
+//! one of the listed fields (reported with the line number of the
+//! first offending event — e.g. `serve_request=trace_id,span_id`
+//! asserts every request event is trace-tagged). Prints a per-kind
+//! event count on success.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -21,7 +26,8 @@ use hs_telemetry::schema::{parse, validate_line, Json};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: telemetry_lint <events.jsonl> [--require-kind KIND]... [--require-order A,B]..."
+        "usage: telemetry_lint <events.jsonl> [--require-kind KIND]... \
+         [--require-order A,B]... [--require-fields KIND=F1,F2]..."
     );
     ExitCode::from(2)
 }
@@ -31,6 +37,7 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
     let mut ordered: Vec<(String, String)> = Vec::new();
+    let mut field_rules: Vec<(String, Vec<String>)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,6 +57,24 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 ordered.push((a.to_string(), b.to_string()));
+                i += 2;
+            }
+            "--require-fields" => {
+                let Some(rule) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Some((kind, fields)) = rule.split_once('=') else {
+                    return usage();
+                };
+                let fields: Vec<String> = fields
+                    .split(',')
+                    .filter(|f| !f.is_empty())
+                    .map(String::from)
+                    .collect();
+                if fields.is_empty() {
+                    return usage();
+                }
+                field_rules.push((kind.to_string(), fields));
                 i += 2;
             }
             flag if flag.starts_with("--") => return usage(),
@@ -73,6 +98,8 @@ fn main() -> ExitCode {
         }
     };
 
+    // First offending (line, field) per `--require-fields` rule.
+    let mut field_offense: Vec<Option<(usize, String)>> = vec![None; field_rules.len()];
     let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
     let mut first_seen: BTreeMap<String, usize> = BTreeMap::new();
     let mut violations = 0usize;
@@ -88,13 +115,25 @@ fn main() -> ExitCode {
             continue;
         }
         // validate_line guarantees a string `kind` on success.
-        let kind = parse(line)
-            .ok()
-            .and_then(|v| {
-                v.as_obj()
-                    .and_then(|o| o.get("kind").and_then(Json::as_str).map(String::from))
-            })
+        let value = parse(line).expect("validated line parses");
+        let obj = value.as_obj().expect("validated line is an object");
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .map(String::from)
             .expect("validated line has a kind");
+        for (rule_idx, (rule_kind, fields)) in field_rules.iter().enumerate() {
+            if rule_kind != &kind || field_offense[rule_idx].is_some() {
+                continue;
+            }
+            let event_fields = obj.get("fields").and_then(Json::as_obj);
+            let missing = fields
+                .iter()
+                .find(|f| event_fields.is_none_or(|m| !m.contains_key(f.as_str())));
+            if let Some(field) = missing {
+                field_offense[rule_idx] = Some((lineno + 1, field.clone()));
+            }
+        }
         first_seen.entry(kind.clone()).or_insert(lineno + 1);
         *kinds.entry(kind).or_default() += 1;
     }
@@ -111,6 +150,14 @@ fn main() -> ExitCode {
     for kind in &required {
         if !kinds.contains_key(kind) {
             eprintln!("telemetry_lint: {path}: no `{kind}` events");
+            missing = true;
+        }
+    }
+    for (rule_idx, (kind, _)) in field_rules.iter().enumerate() {
+        if let Some((line, field)) = &field_offense[rule_idx] {
+            eprintln!(
+                "telemetry_lint: {path}:{line}: first `{kind}` event missing required field `{field}`"
+            );
             missing = true;
         }
     }

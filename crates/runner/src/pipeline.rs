@@ -246,7 +246,7 @@ impl Prepared {
                 let cfg = method.headstart_config(&self.budget).ok_or_else(|| {
                     RunnerError::BadConfig("HeadStart method without an RL config".to_string())
                 })?;
-                let mut observer = TelemetryObserver::from_config(&cfg);
+                let mut observer = TelemetryObserver::from_config(&cfg).with_trace_seed(seed);
                 let (outcome, _decisions) = HeadStartPruner::new(cfg, ft).prune_model_executed(
                     &mut net,
                     &self.ds,
@@ -272,7 +272,7 @@ impl Prepared {
                     epochs: (self.budget.finetune_epochs * 3).max(1),
                     ..FineTune::default()
                 };
-                let mut observer = TelemetryObserver::from_config(&cfg);
+                let mut observer = TelemetryObserver::from_config(&cfg).with_trace_seed(seed);
                 let (decision, acc) = BlockPruner::new(cfg).prune_and_finetune_executed(
                     &mut net,
                     &self.ds,
@@ -288,7 +288,7 @@ impl Prepared {
                 let cfg = method.headstart_config(&self.budget).ok_or_else(|| {
                     RunnerError::BadConfig("HeadStart method without an RL config".to_string())
                 })?;
-                let mut observer = TelemetryObserver::from_config(&cfg);
+                let mut observer = TelemetryObserver::from_config(&cfg).with_trace_seed(seed);
                 let (_decisions, acc) = prune_all_block_inners_executed(
                     &cfg,
                     &ft,
@@ -641,7 +641,7 @@ pub fn run(cfg: &RunnerConfig) -> Result<PipelineReport, RunnerError> {
         "method" => cfg.method.label(),
     );
     let prepared = prepare(cfg)?;
-    let mut executor = hs_coord::executor_for(cfg.workers);
+    let mut executor = hs_coord::executor_for(cfg.workers, cfg.prune_seed);
     let method_run = prepared.run_method_with(&cfg.method, cfg.prune_seed, executor.as_mut())?;
     // Shut the worker fleet down now so its lifecycle telemetry and the
     // utilization gauge land before the artifact/metrics flush below.

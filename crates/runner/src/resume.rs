@@ -282,7 +282,7 @@ fn run_units(
     // The evaluation worker fleet lives for the whole prune stage; it is
     // dropped (emitting `worker_done` telemetry and the utilization
     // gauge) when this function returns, before the metrics flush.
-    let mut executor = executor_for(cfg.workers);
+    let mut executor = executor_for(cfg.workers, cfg.prune_seed);
 
     // Method-specific unit machinery, built fresh either way: the layer
     // pruner and criteria carry no state across units.
@@ -306,7 +306,7 @@ fn run_units(
                 .ok_or_else(|| {
                     RunnerError::BadConfig("HeadStart method without an RL config".to_string())
                 })?;
-            let observer = TelemetryObserver::from_config(&hs_cfg);
+            let observer = TelemetryObserver::from_config(&hs_cfg).with_trace_seed(cfg.prune_seed);
             Units::HeadStart {
                 pruner: LayerPruner::new(hs_cfg),
                 observer,
@@ -494,7 +494,7 @@ fn run_stagewise(
                 .field("action", "redo_stage"),
         );
     }
-    let mut executor = executor_for(cfg.workers);
+    let mut executor = executor_for(cfg.workers, cfg.prune_seed);
     let method_run = prepared.run_method_with(&cfg.method, cfg.prune_seed, executor.as_mut())?;
     drop(executor);
     checkpoint::save(&method_run.net, dir.join(FINAL_CHECKPOINT))?;

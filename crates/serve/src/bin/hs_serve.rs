@@ -32,6 +32,8 @@ struct Cli {
     report: Option<PathBuf>,
     telemetry: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    flight: Option<PathBuf>,
+    flight_events: usize,
     log_level: Option<Level>,
     seed: u64,
     cfg: ServeConfig,
@@ -41,7 +43,9 @@ fn usage() {
     eprintln!(
         "usage: hs_serve --manifest PATH [--plan PATH.json]\n\
          \x20              [--report PATH.json] [--telemetry PATH.jsonl] [--metrics PATH.prom]\n\
-         \x20              [--log-level error|warn|info|debug|trace] [--seed N]\n\
+         \x20              [--flight PATH.json] [--flight-events N]\n\
+         \x20              [--log-level error|warn|info|debug|trace] [--seed N] [--trace-seed N]\n\
+         \x20              [--slo-target F] [--slo-window N]\n\
          \x20              [--queue-capacity N] [--batch-max N] [--linger-us N]\n\
          \x20              [--base-cost-us N] [--per-item-us N] [--batch-timeout-us N]\n\
          \x20              [--breaker-threshold N] [--breaker-cooldown-us N] [--slow-factor N]\n\
@@ -50,6 +54,11 @@ fn usage() {
          \n\
          \x20 --manifest PATH  serve manifest (or run directory) from `hs_run --run-dir`\n\
          \x20 --plan PATH      load plan from `hs_loadgen` (default: a built-in open loop)\n\
+         \x20 --flight PATH    arm the flight recorder; breaker trips and sustained\n\
+         \x20                  overload snapshot the last --flight-events events there\n\
+         \x20 --trace-seed N   seed for request/batch/breaker trace-id derivation\n\
+         \x20 --slo-target F   required deadline-hit ratio per SLO window (default 0.9)\n\
+         \x20 --slo-window N   SLO window in terminal outcomes per class (0 disables)\n\
          \x20 HS_FAULT=kind:site[:n],...  arm deterministic fault injection\n\
          \x20   serve sites: slow_infer:infer, load_fail:model_load, corrupt:model_load"
     );
@@ -62,6 +71,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         report: None,
         telemetry: None,
         metrics: None,
+        flight: None,
+        flight_events: 64,
         log_level: None,
         seed: 0x4853,
         cfg: ServeConfig::default(),
@@ -79,6 +90,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--report" => cli.report = Some(PathBuf::from(value)),
             "--telemetry" => cli.telemetry = Some(PathBuf::from(value)),
             "--metrics" => cli.metrics = Some(PathBuf::from(value)),
+            "--flight" => cli.flight = Some(PathBuf::from(value)),
+            "--flight-events" => cli.flight_events = value.parse().map_err(|_| bad("integer"))?,
+            "--trace-seed" => cli.cfg.trace_seed = value.parse().map_err(|_| bad("integer"))?,
+            "--slo-target" => cli.cfg.slo_target = value.parse().map_err(|_| bad("a float"))?,
+            "--slo-window" => cli.cfg.slo_window = value.parse().map_err(|_| bad("integer"))?,
             "--log-level" => {
                 cli.log_level = Some(Level::parse(value).ok_or_else(|| bad("a log level"))?)
             }
@@ -265,6 +281,7 @@ fn report_json(manifest: &ServeManifest, s: &hs_serve::ServeSummary, outcomes: &
             "max_latency_micros".into(),
             Json::num(s.max_latency_micros as f64),
         ),
+        ("slo_burns".into(), Json::num(s.slo_burns as f64)),
     ])
 }
 
@@ -293,7 +310,11 @@ fn main() -> ExitCode {
         eprintln!("hs_serve: telemetry: {e}");
         return ExitCode::FAILURE;
     }
+    if let Some(path) = &cli.flight {
+        hs_telemetry::flight::arm(cli.flight_events, path.clone());
+    }
     let result = serve(&cli);
+    hs_telemetry::flush_metrics();
     if let Some(path) = &cli.metrics {
         if let Err(e) = hs_telemetry::io::atomic_write_as(
             path,

@@ -12,7 +12,7 @@
 //! 2 = half-open). Time is virtual microseconds, like everything in
 //! this crate.
 
-use hs_telemetry::{metrics, Event, EventKind, Level};
+use hs_telemetry::{metrics, trace, Event, EventKind, Level, TraceCtx};
 
 use crate::request::Micros;
 
@@ -55,6 +55,10 @@ pub struct CircuitBreaker {
     consecutive_failures: usize,
     open_until: Micros,
     trips: u64,
+    /// Root span every transition event hangs off; transition N is the
+    /// root's child(N).
+    trace: TraceCtx,
+    transitions: u64,
 }
 
 impl CircuitBreaker {
@@ -69,7 +73,15 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             open_until: 0,
             trips: 0,
+            trace: trace::unit_ctx(0, "serve_breaker", 0),
+            transitions: 0,
         }
+    }
+
+    /// Re-derives the breaker's transition trace from the owner's seed
+    /// (the default is seed 0, so events are traced either way).
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = ctx;
     }
 
     /// Current state (transitions happen in `allow`/`on_*`).
@@ -134,13 +146,16 @@ impl CircuitBreaker {
         let from = self.state;
         self.state = to;
         metrics::gauge("hs_serve_breaker_state").set(to.gauge_value());
+        let ctx = self.trace.child(self.transitions);
+        self.transitions += 1;
         hs_telemetry::emit(
             Event::new(EventKind::ServeBreaker, Level::Warn, "serve/breaker")
                 .message(format!("breaker {} -> {}", from.as_str(), to.as_str()))
                 .field("from", from.as_str())
                 .field("to", to.as_str())
                 .field("at", now)
-                .field("failures", self.consecutive_failures as u64),
+                .field("failures", self.consecutive_failures as u64)
+                .traced(&ctx),
         );
     }
 }

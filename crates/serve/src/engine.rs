@@ -18,7 +18,9 @@
 //! from a real forward pass — so tests get genuine model outputs under
 //! a deterministic clock.
 
-use hs_telemetry::{faults, metrics, Event, EventKind, Level};
+use std::collections::BTreeMap;
+
+use hs_telemetry::{faults, flight, metrics, trace, Event, EventKind, Level, TraceCtx};
 use hs_tensor::Tensor;
 
 use crate::breaker::{BreakerState, CircuitBreaker};
@@ -26,6 +28,7 @@ use crate::error::ServeError;
 use crate::model::{ModelSlots, SlotKind};
 use crate::queue::AdmissionQueue;
 use crate::request::{Micros, Outcome, RejectReason, Rejection, Request, Response};
+use crate::slo::SloTracker;
 
 /// Histogram bounds for per-request latency, in virtual micros.
 const LATENCY_BUCKETS: [f64; 6] = [1e3, 5e3, 1e4, 5e4, 1e5, 5e5];
@@ -66,6 +69,14 @@ pub struct ServeConfig {
     /// Healthy successful batches (breaker closed, queue drained)
     /// required before restoring the dense model.
     pub recovery_batches: usize,
+    /// Seed every request/batch/breaker trace id is derived from; two
+    /// runs with the same seed emit byte-identical trace ids.
+    pub trace_seed: u64,
+    /// Required deadline-hit ratio per SLO accounting window.
+    pub slo_target: f64,
+    /// SLO window length in terminal outcomes per class (0 disables
+    /// burn accounting).
+    pub slo_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +96,9 @@ impl Default for ServeConfig {
             overload_strikes: 3,
             recover_low: 4,
             recovery_batches: 4,
+            trace_seed: 0x4853,
+            slo_target: 0.9,
+            slo_window: 20,
         }
     }
 }
@@ -116,6 +130,8 @@ pub struct ServeSummary {
     pub max_latency_micros: Micros,
     /// Sum of completed-request latencies (for means).
     pub total_latency_micros: Micros,
+    /// SLO windows that closed with their error budget exhausted.
+    pub slo_burns: u64,
 }
 
 impl ServeSummary {
@@ -123,6 +139,16 @@ impl ServeSummary {
     pub fn rejected_total(&self) -> u64 {
         self.rejected_queue_full + self.rejected_unmeetable + self.rejected_expired
     }
+}
+
+/// Trace bookkeeping for one in-flight request: its root span, its SLO
+/// class, and whether it made it past admission (admitted requests get
+/// child terminal spans; admission sheds terminate on the root).
+#[derive(Debug, Clone, Copy)]
+struct TraceState {
+    ctx: TraceCtx,
+    class: usize,
+    admitted: bool,
 }
 
 /// The serving engine. See the module docs for the time model.
@@ -139,6 +165,18 @@ pub struct ServeEngine {
     overload_strikes: usize,
     healthy_streak: usize,
     stats: ServeSummary,
+    /// Root trace per in-flight request id, dropped at the terminal
+    /// outcome (survives timeout-requeues, which keep the request).
+    traces: BTreeMap<u64, TraceState>,
+    /// Submission counter feeding request trace-id derivation.
+    trace_seq: u64,
+    /// Batch ordinal feeding batch trace-id derivation and the `batch`
+    /// linkage field on completion events.
+    batch_seq: u64,
+    /// Root span for engine-lifecycle events (degrade/restore).
+    engine_ctx: TraceCtx,
+    engine_seq: u64,
+    slo: SloTracker,
 }
 
 impl ServeEngine {
@@ -158,10 +196,11 @@ impl ServeEngine {
         if pool == 0 || inputs.is_empty() {
             return Err(ServeError::BadConfig("empty input pool".to_string()));
         }
+        let mut breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
+        breaker.set_trace(trace::unit_ctx(cfg.trace_seed, "serve_breaker", 0));
         Ok(ServeEngine {
             queue: AdmissionQueue::new(cfg.queue_capacity),
-            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
-            cfg,
+            breaker,
             slots,
             inputs,
             pool,
@@ -170,6 +209,13 @@ impl ServeEngine {
             overload_strikes: 0,
             healthy_streak: 0,
             stats: ServeSummary::default(),
+            traces: BTreeMap::new(),
+            trace_seq: 0,
+            batch_seq: 0,
+            engine_ctx: trace::unit_ctx(cfg.trace_seed, "serve_engine", 0),
+            engine_seq: 0,
+            slo: SloTracker::new(cfg.slo_target, cfg.slo_window, cfg.trace_seed),
+            cfg,
         })
     }
 
@@ -206,6 +252,18 @@ impl ServeEngine {
     pub fn submit(&mut self, req: Request, now: Micros) -> Option<Rejection> {
         self.stats.submitted += 1;
         metrics::counter("hs_serve_requests_total").inc();
+        // Every submission opens a trace, derived purely from the
+        // configured seed and the submission sequence number.
+        let root = TraceCtx::root(self.cfg.trace_seed, self.trace_seq);
+        self.trace_seq += 1;
+        self.traces.insert(
+            req.id,
+            TraceState {
+                ctx: root,
+                class: req.class,
+                admitted: false,
+            },
+        );
         if self.queue.len() >= self.queue.capacity() {
             let reason = RejectReason::QueueFull {
                 depth: self.queue.len(),
@@ -222,11 +280,17 @@ impl ServeEngine {
             return Some(self.shed(req.id, reason, now));
         }
         let id = req.id;
+        let class = req.class;
         if let Err(reason) = self.queue.push(req) {
             return Some(self.shed(id, reason, now));
         }
-        self.emit_request(id, "accepted", Level::Info, |e| {
-            e.field("at", now).field("depth", self.queue.len())
+        if let Some(state) = self.traces.get_mut(&id) {
+            state.admitted = true;
+        }
+        self.emit_request(id, "accepted", Level::Info, &root, |e| {
+            e.field("slo_class", class)
+                .field("at", now)
+                .field("depth", self.queue.len())
         });
         None
     }
@@ -351,8 +415,11 @@ impl ServeEngine {
             }
             let tripped = self.breaker.on_failure(t);
             self.stats.breaker_trips = self.breaker.trips();
-            if tripped && !self.degraded {
-                self.degrade("breaker_open", t);
+            if tripped {
+                flight::trigger("breaker_trip");
+                if !self.degraded {
+                    self.degrade("breaker_open", t);
+                }
             }
             return Ok(true);
         }
@@ -379,7 +446,7 @@ impl ServeEngine {
         self.busy_until = completed;
         self.stats.batches += 1;
         metrics::counter("hs_serve_batches_total").inc();
-        self.emit_batch(batch.len(), "ok", Level::Info, t, duration);
+        let batch_ordinal = self.emit_batch(batch.len(), "ok", Level::Info, t, duration);
 
         for (req, class) in batch.into_iter().zip(classes) {
             let latency = completed - req.arrival;
@@ -389,9 +456,18 @@ impl ServeEngine {
             metrics::counter("hs_serve_completed_total").inc();
             metrics::histogram("hs_serve_latency_micros", &LATENCY_BUCKETS).observe(latency as f64);
             let model = self.slots.active();
-            self.emit_request(req.id, "completed", Level::Info, |e| {
+            let ctx = match self.traces.remove(&req.id) {
+                Some(s) => s.ctx.child(1),
+                None => TraceCtx::root(self.cfg.trace_seed, u64::MAX),
+            };
+            if self.slo.record(req.class, true, completed) {
+                self.stats.slo_burns += 1;
+            }
+            self.emit_request(req.id, "completed", Level::Info, &ctx, |e| {
                 e.field("class", class)
+                    .field("slo_class", req.class)
                     .field("model", model.as_str())
+                    .field("batch", batch_ordinal)
                     .field("latency", latency)
             });
             out.push(Outcome::Completed(Response {
@@ -484,13 +560,19 @@ impl ServeEngine {
         self.slots.swap_to(SlotKind::Pruned);
         self.stats.degrades += 1;
         metrics::counter("hs_serve_degrades_total").inc();
+        let ctx = self.engine_ctx.child(self.engine_seq);
+        self.engine_seq += 1;
         hs_telemetry::emit(
             Event::new(EventKind::Degrade, Level::Warn, "serve/degrade")
                 .message(format!("degrading to pruned model: {reason}"))
                 .field("reason", reason)
                 .field("model", SlotKind::Pruned.as_str())
-                .field("at", t),
+                .field("at", t)
+                .traced(&ctx),
         );
+        if reason == "sustained_overload" {
+            flight::trigger("sustained_overload");
+        }
     }
 
     fn restore(&mut self, t: Micros) {
@@ -499,16 +581,22 @@ impl ServeEngine {
         self.slots.swap_to(SlotKind::Dense);
         self.stats.restores += 1;
         metrics::counter("hs_serve_restores_total").inc();
+        let ctx = self.engine_ctx.child(self.engine_seq);
+        self.engine_seq += 1;
         hs_telemetry::emit(
             Event::new(EventKind::Restore, Level::Info, "serve/restore")
                 .message("restoring dense model: recovered")
                 .field("reason", "recovered")
                 .field("model", SlotKind::Dense.as_str())
-                .field("at", t),
+                .field("at", t)
+                .traced(&ctx),
         );
     }
 
-    /// Records a typed rejection (event + counters) and returns it.
+    /// Records a typed rejection (event + counters + SLO miss) and
+    /// returns it. The terminal event is a child of the request's root
+    /// span when the request was admitted, or the root itself when it
+    /// was shed at admission (the shed is then the trace's only event).
     fn shed(&mut self, id: u64, reason: RejectReason, at: Micros) -> Rejection {
         match reason {
             RejectReason::QueueFull { .. } => self.stats.rejected_queue_full += 1,
@@ -516,8 +604,19 @@ impl ServeEngine {
             RejectReason::DeadlineExpired { .. } => self.stats.rejected_expired += 1,
         }
         metrics::counter("hs_serve_rejected_total").inc();
+        let (ctx, class) = match self.traces.remove(&id) {
+            Some(s) => (if s.admitted { s.ctx.child(1) } else { s.ctx }, s.class),
+            // A shed for an id never submitted (impossible today);
+            // derive a stable orphan trace rather than panic.
+            None => (TraceCtx::root(self.cfg.trace_seed, u64::MAX), 0),
+        };
+        if self.slo.record(class, false, at) {
+            self.stats.slo_burns += 1;
+        }
         let name = reason.as_str();
-        self.emit_request(id, name, Level::Warn, |e| e.field("at", at));
+        self.emit_request(id, name, Level::Warn, &ctx, |e| {
+            e.field("slo_class", class).field("at", at)
+        });
         Rejection { id, reason, at }
     }
 
@@ -526,23 +625,40 @@ impl ServeEngine {
         id: u64,
         outcome: &str,
         level: Level,
+        ctx: &TraceCtx,
         extra: impl FnOnce(Event) -> Event,
     ) {
         let event = Event::new(EventKind::ServeRequest, level, "serve/request")
             .field("id", id)
-            .field("outcome", outcome);
+            .field("outcome", outcome)
+            .traced(ctx);
         hs_telemetry::emit(extra(event));
     }
 
-    fn emit_batch(&self, size: usize, outcome: &str, level: Level, t: Micros, duration: Micros) {
+    /// Emits one batch event under its own per-batch trace and returns
+    /// the batch ordinal (echoed on completion events for linkage).
+    fn emit_batch(
+        &mut self,
+        size: usize,
+        outcome: &str,
+        level: Level,
+        t: Micros,
+        duration: Micros,
+    ) -> u64 {
+        let ordinal = self.batch_seq;
+        self.batch_seq += 1;
+        let ctx = trace::unit_ctx(self.cfg.trace_seed, "serve_batch", ordinal as usize);
         hs_telemetry::emit(
             Event::new(EventKind::ServeBatch, level, "serve/batch")
                 .field("size", size)
                 .field("model", self.slots.active().as_str())
                 .field("outcome", outcome)
+                .field("batch", ordinal)
                 .field("at", t)
-                .field("duration", duration),
+                .field("duration", duration)
+                .traced(&ctx),
         );
+        ordinal
     }
 }
 
@@ -565,6 +681,7 @@ mod tests {
         Request {
             id,
             sample: id as usize,
+            class: 0,
             arrival,
             deadline,
         }

@@ -43,6 +43,7 @@ pub mod loadgen;
 pub mod model;
 pub mod queue;
 pub mod request;
+pub mod slo;
 
 /// Serializes tests (across this crate) that arm the process-global
 /// fault registry, so parallel test threads never see each other's plan.
@@ -59,3 +60,4 @@ pub use loadgen::{drive_closed, drive_open, LoadProfile, LoadSpec, Plan, Profile
 pub use model::{load_with_retry, ModelSlots, RetryPolicy, SlotKind};
 pub use queue::AdmissionQueue;
 pub use request::{Micros, Outcome, RejectReason, Rejection, Request, Response};
+pub use slo::SloTracker;

@@ -37,6 +37,8 @@ pub struct ProfileEntry {
     pub deadline: Micros,
     /// Sample index into the serving input pool.
     pub sample: usize,
+    /// SLO class the request is accounted under.
+    pub class: usize,
 }
 
 /// A fixed, replayable arrival schedule.
@@ -65,6 +67,10 @@ pub struct LoadSpec {
     /// Closed loop: pause between an outcome and the client's next
     /// request.
     pub think: Micros,
+    /// SLO classes requests are spread across (request `id % classes`;
+    /// min 1). Deliberately not drawn from the RNG so adding classes
+    /// never perturbs an existing seeded schedule.
+    pub classes: usize,
 }
 
 impl Default for LoadSpec {
@@ -76,6 +82,7 @@ impl Default for LoadSpec {
             seed: 0x4853,
             concurrency: 4,
             think: 2_000,
+            classes: 1,
         }
     }
 }
@@ -96,6 +103,7 @@ impl LoadSpec {
                     at,
                     deadline: at + self.deadline,
                     sample: (rng.next_u64() % 4096) as usize,
+                    class: (id % self.classes.max(1) as u64) as usize,
                 }
             })
             .collect();
@@ -116,6 +124,7 @@ impl LoadSpec {
             ("deadline".into(), Json::num(self.deadline as f64)),
             ("concurrency".into(), Json::num(self.concurrency as f64)),
             ("think".into(), Json::num(self.think as f64)),
+            ("classes".into(), Json::num(self.classes as f64)),
         ])
     }
 
@@ -155,6 +164,8 @@ impl LoadSpec {
             seed,
             concurrency: field_num(obj, "concurrency")? as usize,
             think: field_num(obj, "think")? as Micros,
+            // Absent in pre-class plans: everything is class 0.
+            classes: opt_field_num(obj, "classes").map_or(1, |n| (n as usize).max(1)),
         })
     }
 }
@@ -236,6 +247,7 @@ impl LoadProfile {
                                 ("at".into(), Json::num(e.at as f64)),
                                 ("deadline".into(), Json::num(e.deadline as f64)),
                                 ("sample".into(), Json::num(e.sample as f64)),
+                                ("class".into(), Json::num(e.class as f64)),
                             ])
                         })
                         .collect(),
@@ -298,6 +310,8 @@ impl LoadProfile {
                         at: field_num(e, "at")? as Micros,
                         deadline: field_num(e, "deadline")? as Micros,
                         sample: field_num(e, "sample")? as usize,
+                        // Absent in pre-class profiles: class 0.
+                        class: opt_field_num(e, "class").map_or(0, |n| n as usize),
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?,
@@ -311,6 +325,10 @@ fn field_num(obj: &BTreeMap<String, schema::Json>, key: &str) -> Result<f64, Str
     obj.get(key)
         .and_then(schema::Json::as_num)
         .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+fn opt_field_num(obj: &BTreeMap<String, schema::Json>, key: &str) -> Option<f64> {
+    obj.get(key).and_then(schema::Json::as_num)
 }
 
 /// Replays an open-loop profile against the engine: tick to each
@@ -330,6 +348,7 @@ pub fn drive_open(
         let req = Request {
             id: e.id,
             sample: e.sample,
+            class: e.class,
             arrival: e.at,
             deadline: e.deadline,
         };
@@ -389,6 +408,7 @@ pub fn drive_closed(engine: &mut ServeEngine, spec: &LoadSpec) -> Result<Vec<Out
             let req = Request {
                 id,
                 sample: (rng.next_u64() % 4096) as usize,
+                class: (id % spec.classes.max(1) as u64) as usize,
                 arrival: now,
                 deadline: now + spec.deadline,
             };

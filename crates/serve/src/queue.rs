@@ -108,6 +108,7 @@ mod tests {
         Request {
             id,
             sample: 0,
+            class: 0,
             arrival,
             deadline: arrival + 1_000,
         }

@@ -16,6 +16,9 @@ pub struct Request {
     /// Index into the engine's input pool (taken modulo the pool size),
     /// selecting which image this request asks about.
     pub sample: usize,
+    /// SLO class this request is accounted under (0 = default class).
+    /// Distinct from [`Response::class`], the *predicted* class.
+    pub class: usize,
     /// When the request arrived.
     pub arrival: Micros,
     /// Absolute deadline: a response completed after this instant is

@@ -14,7 +14,8 @@
 //! - `kind` — `log` | `span` | `episode` | `metric` | `artifact` |
 //!   `recovery` | `fault_injected` | `resume` | `serve_request` |
 //!   `serve_batch` | `serve_breaker` | `degrade` | `restore` |
-//!   `compact` | `worker_start` | `worker_done` | `worker_lost`.
+//!   `compact` | `worker_start` | `worker_done` | `worker_lost` |
+//!   `slo_burn`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -78,6 +79,9 @@ pub enum EventKind {
     /// A coordinator worker died mid-batch (fault-injected or real);
     /// `reassigned` counts the items replayed elsewhere.
     WorkerLost,
+    /// A request class exhausted its SLO error budget over one
+    /// accounting window (deadline-hit ratio fell below target).
+    SloBurn,
 }
 
 impl EventKind {
@@ -101,11 +105,12 @@ impl EventKind {
             EventKind::WorkerStart => "worker_start",
             EventKind::WorkerDone => "worker_done",
             EventKind::WorkerLost => "worker_lost",
+            EventKind::SloBurn => "slo_burn",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 17] {
+    pub fn all() -> [EventKind; 18] {
         [
             EventKind::Log,
             EventKind::Span,
@@ -124,6 +129,7 @@ impl EventKind {
             EventKind::WorkerStart,
             EventKind::WorkerDone,
             EventKind::WorkerLost,
+            EventKind::SloBurn,
         ]
     }
 }
@@ -232,6 +238,16 @@ impl Event {
         self
     }
 
+    /// Builder: appends the `trace_id` / `span_id` / `parent_id` fields
+    /// from a [`crate::trace::TraceCtx`] (fixed-width hex; a root span's
+    /// parent renders as sixteen zeros so the fields are always present).
+    #[must_use]
+    pub fn traced(self, ctx: &crate::trace::TraceCtx) -> Event {
+        self.field("trace_id", ctx.trace_hex())
+            .field("span_id", ctx.span_hex())
+            .field("parent_id", ctx.parent_hex())
+    }
+
     /// Renders the event as one line of schema-version-1 JSON (no
     /// trailing newline).
     pub fn to_json_line(&self) -> String {
@@ -280,7 +296,7 @@ fn write_field(out: &mut String, value: &FieldValue) {
 
 /// Writes a float as JSON: integral finite values render without a
 /// fraction, non-finite values render as `null`.
-fn write_json_num(out: &mut String, v: f64) {
+pub(crate) fn write_json_num(out: &mut String, v: f64) {
     if !v.is_finite() {
         out.push_str("null");
     } else if v == v.trunc() && v.abs() < 1e15 {
@@ -335,6 +351,17 @@ mod tests {
         let line = e.to_json_line();
         assert!(line.contains("\\\"b\\\"\\nc"));
         assert!(line.contains("\"x\":null"));
+    }
+
+    #[test]
+    fn traced_appends_fixed_width_trace_fields() {
+        let ctx = crate::trace::TraceCtx::root(0x4853, 0);
+        let line = Event::new(EventKind::ServeRequest, Level::Debug, "serve")
+            .traced(&ctx)
+            .to_json_line();
+        assert!(line.contains(&format!("\"trace_id\":\"{}\"", ctx.trace_hex())));
+        assert!(line.contains(&format!("\"span_id\":\"{}\"", ctx.span_hex())));
+        assert!(line.contains("\"parent_id\":\"0000000000000000\""));
     }
 
     #[test]

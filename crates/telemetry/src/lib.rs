@@ -43,17 +43,20 @@
 
 pub mod event;
 pub mod faults;
+pub mod flight;
 pub mod io;
 pub mod level;
 pub mod metrics;
 pub mod schema;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use event::{Event, EventKind, FieldValue, Fields, SCHEMA_VERSION};
 pub use level::Level;
 pub use sink::{JsonlSink, Sink, StderrSink};
 pub use span::Span;
+pub use trace::TraceCtx;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -131,6 +134,7 @@ pub fn emit(mut event: Event) {
         return;
     }
     event.ts = now_secs();
+    flight::record(&event);
     let mut guard = sinks().lock().expect("telemetry sinks poisoned");
     for sink in guard.iter_mut() {
         if event.level as u8 <= sink.level() as u8 {

@@ -462,12 +462,31 @@ pub fn flush_events() -> Vec<Event> {
                     event.fields.push(("metric_kind".into(), "gauge".into()));
                     event.fields.push(("value".into(), FieldValue::F64(value)));
                 }
-                MetricSnapshot::Histogram { count, sum, .. } => {
+                MetricSnapshot::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                    ..
+                } => {
                     event
                         .fields
                         .push(("metric_kind".into(), "histogram".into()));
                     event.fields.push(("count".into(), FieldValue::U64(count)));
                     event.fields.push(("sum".into(), FieldValue::F64(sum)));
+                    // Cumulative per-bucket counts, flat so the schema's
+                    // no-nested-fields rule holds; `hs_obs report`
+                    // computes latency percentiles from these.
+                    let mut cum = 0u64;
+                    for (bound, bucket_count) in &buckets[..buckets.len().saturating_sub(1)] {
+                        cum += bucket_count;
+                        let key = if *bound == bound.trunc() && bound.abs() < 1e15 {
+                            format!("le_{}", *bound as i64)
+                        } else {
+                            format!("le_{bound}")
+                        };
+                        event.fields.push((key, FieldValue::U64(cum)));
+                    }
+                    event.fields.push(("le_inf".into(), FieldValue::U64(count)));
                 }
             }
             event
@@ -545,6 +564,23 @@ mod tests {
         assert!(text.contains("hs_test_prom_secs_bucket{le=\"1\"} 2"));
         assert!(text.contains("hs_test_prom_secs_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("hs_test_prom_secs_count 3"));
+    }
+
+    #[test]
+    fn flush_events_carry_cumulative_buckets() {
+        let h = histogram("hs_test_flush_buckets", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let events = flush_events();
+        let event = events
+            .iter()
+            .find(|e| e.name == "hs_test_flush_buckets")
+            .unwrap();
+        let line = event.to_json_line();
+        assert!(line.contains("\"le_1\":1"));
+        assert!(line.contains("\"le_10\":2"));
+        assert!(line.contains("\"le_inf\":3"));
     }
 
     #[test]

@@ -266,6 +266,11 @@ pub const WORKER_DONE_REQUIRED_FIELDS: [&str; 2] = ["worker", "items"];
 /// and how many of its in-flight items were reassigned and replayed.
 pub const WORKER_LOST_REQUIRED_FIELDS: [&str; 2] = ["worker", "reassigned"];
 
+/// Fields every `slo_burn` event must carry: which request class burned
+/// its budget, the target deadline-hit ratio, the ratio actually
+/// achieved over the window, and the window size in requests.
+pub const SLO_BURN_REQUIRED_FIELDS: [&str; 4] = ["class", "target", "hit_ratio", "window"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
@@ -348,6 +353,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "worker_start" => &WORKER_START_REQUIRED_FIELDS,
         "worker_done" => &WORKER_DONE_REQUIRED_FIELDS,
         "worker_lost" => &WORKER_LOST_REQUIRED_FIELDS,
+        "slo_burn" => &SLO_BURN_REQUIRED_FIELDS,
         _ => &[],
     };
     for field in required {
@@ -463,6 +469,13 @@ mod tests {
             .field("reassigned", 3u64);
         validate_line(&worker_lost.to_json_line()).unwrap();
 
+        let slo_burn = Event::new(EventKind::SloBurn, Level::Warn, "serve")
+            .field("class", 0u64)
+            .field("target", 0.99)
+            .field("hit_ratio", 0.8)
+            .field("window", 20u64);
+        validate_line(&slo_burn.to_json_line()).unwrap();
+
         // Missing required fields are violations.
         let bare = Event::new(EventKind::Recovery, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
@@ -476,6 +489,8 @@ mod tests {
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
         let bare = Event::new(EventKind::WorkerLost, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("worker"));
+        let bare = Event::new(EventKind::SloBurn, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("class"));
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl Sink for StderrSink {
             | EventKind::Resume
             | EventKind::ServeBreaker
             | EventKind::Degrade
-            | EventKind::Restore => {
+            | EventKind::Restore
+            | EventKind::SloBurn => {
                 // Durations ride in `secs` (never the message) so JSONL
                 // stays deterministic; surface them here for humans.
                 if let Some(secs) = event.secs {

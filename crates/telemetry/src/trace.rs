@@ -1,0 +1,191 @@
+//! Deterministic request-scoped trace contexts.
+//!
+//! A [`TraceCtx`] carries the `trace_id` / `span_id` / `parent_id`
+//! triple that links every event a request (or pruning unit) touches
+//! into one causal timeline. Ids are derived **only** from a seed and a
+//! sequence counter through a splitmix64-style finalizer — no wall
+//! clock, no randomness — so two identical seeded runs emit
+//! byte-identical ids and the JSONL streams stay reproducible.
+//!
+//! Derivation scheme (documented in DESIGN.md § Observability):
+//!
+//! - root:  `trace = mix(seed ^ mix(seq ^ ROOT_TAG))`, `span =
+//!   mix(trace)`, `parent = 0` (rendered as sixteen zeros).
+//! - child: same `trace`, `span = mix(parent_span ^ mix(seq ^
+//!   CHILD_TAG))`, `parent = parent_span`.
+//! - unit:  [`unit_ctx`] folds the unit kind (FNV-1a over the kind
+//!   string) into the seed so `hs-core`'s observer and `hs-coord`'s
+//!   coordinator derive the *same* id for the same unit without
+//!   talking to each other.
+//!
+//! Ids render as fixed-width 16-digit lowercase hex so field values are
+//! grep-friendly and sort lexicographically like they sort numerically.
+
+/// Domain tag folded into root-span derivation.
+const ROOT_TAG: u64 = 0x48535f524f4f54; // "HS_ROOT"
+/// Domain tag folded into child-span derivation.
+const CHILD_TAG: u64 = 0x48535f4348494c44; // "HS_CHILD"
+
+/// splitmix64 finalizer: a cheap, well-mixed bijection on `u64`.
+#[must_use]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string; used to fold unit kinds into trace seeds.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Id 0 is reserved for "no parent"; remap the (astronomically rare)
+/// zero output of the mixer to a fixed non-zero sentinel.
+fn nonzero(v: u64) -> u64 {
+    if v == 0 {
+        0x4853 // "HS"
+    } else {
+        v
+    }
+}
+
+/// Renders an id as fixed-width 16-digit lowercase hex (the JSONL field
+/// encoding).
+#[must_use]
+pub fn hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a fixed-width hex id back to its `u64` (accepts any length
+/// up to 16 digits).
+#[must_use]
+pub fn parse_hex(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// A trace context: which trace an event belongs to, which span emitted
+/// it, and which span caused that one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The trace id shared by every event in one causal timeline.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// The parent span's id; `0` for a root span.
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// A root span: the first event of a new trace (e.g. a request's
+    /// admission). Fully determined by `(seed, seq)`.
+    #[must_use]
+    pub fn root(seed: u64, seq: u64) -> TraceCtx {
+        let trace = nonzero(mix(seed ^ mix(seq ^ ROOT_TAG)));
+        TraceCtx {
+            trace,
+            span: nonzero(mix(trace)),
+            parent: 0,
+        }
+    }
+
+    /// A child span under `self`, distinguished by `seq` (e.g. a
+    /// request's terminal outcome, or episode `seq` within a unit).
+    #[must_use]
+    pub fn child(&self, seq: u64) -> TraceCtx {
+        TraceCtx {
+            trace: self.trace,
+            span: nonzero(mix(self.span ^ mix(seq ^ CHILD_TAG))),
+            parent: self.span,
+        }
+    }
+
+    /// `trace` as the JSONL hex encoding.
+    #[must_use]
+    pub fn trace_hex(&self) -> String {
+        hex(self.trace)
+    }
+
+    /// `span` as the JSONL hex encoding.
+    #[must_use]
+    pub fn span_hex(&self) -> String {
+        hex(self.span)
+    }
+
+    /// `parent` as the JSONL hex encoding (sixteen zeros for a root).
+    #[must_use]
+    pub fn parent_hex(&self) -> String {
+        hex(self.parent)
+    }
+}
+
+/// The shared unit-trace derivation: `hs-core`'s episode observer and
+/// `hs-coord`'s coordinator both call this with the same `(seed, kind,
+/// ordinal)` and therefore tag their events with the same trace id —
+/// that is what makes a pruning unit's episodes and its worker shards
+/// queryable as one timeline.
+#[must_use]
+pub fn unit_ctx(seed: u64, unit_kind: &str, ordinal: usize) -> TraceCtx {
+    TraceCtx::root(seed ^ fnv1a(unit_kind.as_bytes()), ordinal as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        let a = TraceCtx::root(0x4853, 7);
+        let b = TraceCtx::root(0x4853, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, TraceCtx::root(0x4853, 8));
+        assert_ne!(a, TraceCtx::root(0x4854, 7));
+        assert_eq!(a.parent, 0);
+        assert_ne!(a.trace, a.span);
+    }
+
+    #[test]
+    fn children_stay_in_the_trace_and_chain_parents() {
+        let root = TraceCtx::root(1, 0);
+        let child = root.child(0);
+        assert_eq!(child.trace, root.trace);
+        assert_eq!(child.parent, root.span);
+        assert_ne!(child.span, root.span);
+        assert_ne!(child.span, root.child(1).span);
+    }
+
+    #[test]
+    fn hex_is_fixed_width_and_round_trips() {
+        let ctx = TraceCtx::root(42, 0);
+        assert_eq!(ctx.trace_hex().len(), 16);
+        assert_eq!(parse_hex(&ctx.trace_hex()), Some(ctx.trace));
+        assert_eq!(
+            TraceCtx {
+                trace: 1,
+                span: 1,
+                parent: 0
+            }
+            .parent_hex(),
+            "0000000000000000"
+        );
+        assert_eq!(parse_hex(""), None);
+        assert_eq!(parse_hex("zz"), None);
+    }
+
+    #[test]
+    fn unit_ctx_separates_kinds_at_the_same_ordinal() {
+        let layer = unit_ctx(42, "layer", 0);
+        assert_eq!(layer, unit_ctx(42, "layer", 0));
+        assert_ne!(layer.trace, unit_ctx(42, "block", 0).trace);
+        assert_ne!(layer.trace, unit_ctx(42, "layer", 1).trace);
+    }
+}

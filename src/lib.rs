@@ -28,7 +28,11 @@
 //! * [`serve`] — the deploy-time serving stack over a run's dense/pruned
 //!   checkpoint pair: bounded admission with typed load shedding,
 //!   deadline-aware micro-batching, a circuit breaker, and graceful
-//!   degradation that hot-swaps to the pruned inception under overload.
+//!   degradation that hot-swaps to the pruned inception under overload;
+//! * [`obs`] — offline analysis over the deterministic telemetry JSONL
+//!   stream: causal trace timelines, serving reports with SLO burn
+//!   accounting, run-to-run metric diffs, and the `bench-check`
+//!   regression gate over `BENCH_kernels.json`.
 //!
 //! # Quickstart
 //!
@@ -62,6 +66,7 @@ pub use hs_core as core;
 pub use hs_data as data;
 pub use hs_gpusim as gpusim;
 pub use hs_nn as nn;
+pub use hs_obs as obs;
 pub use hs_pruning as pruning;
 pub use hs_runner as runner;
 pub use hs_serve as serve;

@@ -40,6 +40,9 @@ fn scenario() -> ServeConfig {
         overload_strikes: 2,
         recover_low: 1,
         recovery_batches: 2,
+        trace_seed: 0x4853,
+        slo_target: 0.9,
+        slo_window: 20,
     }
 }
 
@@ -149,6 +152,61 @@ fn overloaded_service_sheds_degrades_and_recovers_deterministically() {
     assert_eq!(
         stable_a, stable_b,
         "telemetry event sequence must be byte-identical modulo secs/ts"
+    );
+
+    // --- Trace continuity: request events are trace-tagged, every
+    // accepted request's trace reappears exactly once as a terminal
+    // completed/shed event, and `hs_obs` can walk a shed request's
+    // timeline back to its typed reason. ---
+    let events = headstart::obs::load_events(&text_a).expect("telemetry parses");
+    let mut accepted_traces: Vec<String> = Vec::new();
+    let mut terminal: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for event in events.iter().filter(|e| e.kind == "serve_request") {
+        let trace = event
+            .str_field("trace_id")
+            .expect("serve_request events must be trace-tagged")
+            .to_string();
+        let outcome = event.str_field("outcome").expect("typed outcome");
+        if outcome == "accepted" {
+            accepted_traces.push(trace);
+        } else {
+            terminal.entry(trace).or_default().push(outcome.to_string());
+        }
+    }
+    assert!(
+        !accepted_traces.is_empty(),
+        "some requests must be admitted"
+    );
+    for trace in &accepted_traces {
+        assert_eq!(
+            terminal.get(trace).map(Vec::len),
+            Some(1),
+            "admitted trace {trace} must have exactly one terminal event"
+        );
+    }
+    for (trace, outcomes_of_trace) in &terminal {
+        assert_eq!(
+            outcomes_of_trace.len(),
+            1,
+            "trace {trace} must not get two terminal outcomes"
+        );
+    }
+    let shed = outcomes
+        .iter()
+        .find_map(|o| match o {
+            Outcome::Rejected(rej) => Some(rej),
+            _ => None,
+        })
+        .expect("the scenario sheds requests");
+    let trace_id = headstart::obs::resolve_trace(&events, &shed.id.to_string())
+        .expect("a shed request id resolves to its trace");
+    let rows = headstart::obs::trace_timeline(&events, trace_id);
+    let rendered = headstart::obs::render_timeline(trace_id, &rows);
+    assert!(
+        rendered.contains(shed.reason.as_str()),
+        "hs_obs timeline for shed request {} must name `{}`:\n{rendered}",
+        shed.id,
+        shed.reason.as_str()
     );
 
     // --- Accounting: exactly one terminal outcome per request. ---
