@@ -1,0 +1,158 @@
+//! Pluggable load-balancer policies over the routable replica set.
+//!
+//! All three policies are deterministic: round-robin and
+//! join-shortest-queue carry no randomness, and power-of-two-choices
+//! draws from a splitmix64 stream seeded at construction — two fleets
+//! built with the same seed make identical picks over identical
+//! candidate sequences.
+
+use hs_telemetry::trace;
+
+/// Which policy the front-end routes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerPolicy {
+    /// Cycle through the routable replicas in id order.
+    RoundRobin,
+    /// Pick the routable replica with the shallowest queue (ties break
+    /// to the lowest id).
+    JoinShortestQueue,
+    /// Sample two routable replicas from the seeded stream and keep the
+    /// shallower one — near-JSQ behaviour without global depth scans.
+    PowerOfTwo,
+}
+
+impl BalancerPolicy {
+    /// Stable name used in flags and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BalancerPolicy::RoundRobin => "round_robin",
+            BalancerPolicy::JoinShortestQueue => "jsq",
+            BalancerPolicy::PowerOfTwo => "p2c",
+        }
+    }
+
+    /// Parses a flag value (`round_robin` / `jsq` / `p2c`).
+    pub fn parse(s: &str) -> Option<BalancerPolicy> {
+        match s {
+            "round_robin" => Some(BalancerPolicy::RoundRobin),
+            "jsq" => Some(BalancerPolicy::JoinShortestQueue),
+            "p2c" => Some(BalancerPolicy::PowerOfTwo),
+            _ => None,
+        }
+    }
+}
+
+/// A stateful balancer: owns the round-robin cursor / the p2c RNG.
+#[derive(Debug)]
+pub struct Balancer {
+    policy: BalancerPolicy,
+    /// Next replica id the round-robin cursor prefers.
+    cursor: usize,
+    /// splitmix64 state for power-of-two-choices.
+    rng: u64,
+}
+
+impl Balancer {
+    /// A balancer for `policy`, drawing any randomness from `seed`.
+    pub fn new(policy: BalancerPolicy, seed: u64) -> Balancer {
+        Balancer {
+            policy,
+            cursor: 0,
+            rng: trace::mix(seed ^ 0x6261_6c61_6e63_6572), // "balancer"
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> BalancerPolicy {
+        self.policy
+    }
+
+    fn draw(&mut self, bound: usize) -> usize {
+        self.rng = trace::mix(self.rng);
+        (self.rng % bound as u64) as usize
+    }
+
+    /// Picks a replica id from `candidates` — `(replica id, queue
+    /// depth)` pairs in ascending id order — or `None` when the set is
+    /// empty.
+    pub fn pick(&mut self, candidates: &[(usize, usize)]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let id = match self.policy {
+            BalancerPolicy::RoundRobin => {
+                // First candidate at or past the cursor, wrapping to the
+                // lowest id — ejected replicas are simply skipped over.
+                let (id, _) = candidates
+                    .iter()
+                    .find(|(id, _)| *id >= self.cursor)
+                    .unwrap_or(&candidates[0]);
+                self.cursor = id + 1;
+                *id
+            }
+            BalancerPolicy::JoinShortestQueue => {
+                let (id, _) = candidates
+                    .iter()
+                    .min_by_key(|(id, depth)| (*depth, *id))
+                    .expect("candidates is non-empty");
+                *id
+            }
+            BalancerPolicy::PowerOfTwo => {
+                let a = candidates[self.draw(candidates.len())];
+                let b = candidates[self.draw(candidates.len())];
+                if (b.1, b.0) < (a.1, a.0) {
+                    b.0
+                } else {
+                    a.0
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_and_skips_ejected_ids() {
+        let mut b = Balancer::new(BalancerPolicy::RoundRobin, 7);
+        let all = [(0, 0), (1, 0), (2, 0)];
+        assert_eq!(b.pick(&all), Some(0));
+        assert_eq!(b.pick(&all), Some(1));
+        assert_eq!(b.pick(&all), Some(2));
+        assert_eq!(b.pick(&all), Some(0), "wraps");
+        // Replica 1 drops out: the cursor (1) skips to 2.
+        let partial = [(0, 0), (2, 0)];
+        assert_eq!(b.pick(&partial), Some(2));
+        assert_eq!(b.pick(&partial), Some(0));
+    }
+
+    #[test]
+    fn jsq_prefers_the_shallowest_queue_then_the_lowest_id() {
+        let mut b = Balancer::new(BalancerPolicy::JoinShortestQueue, 7);
+        assert_eq!(b.pick(&[(0, 5), (1, 2), (2, 9)]), Some(1));
+        assert_eq!(
+            b.pick(&[(0, 3), (1, 3), (2, 9)]),
+            Some(0),
+            "tie -> lowest id"
+        );
+        assert_eq!(b.pick(&[]), None);
+    }
+
+    #[test]
+    fn p2c_is_seed_deterministic_and_never_picks_outside_the_set() {
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut b = Balancer::new(BalancerPolicy::PowerOfTwo, seed);
+            (0..32)
+                .map(|i| b.pick(&[(0, i % 3), (1, 2), (2, 0)]).unwrap())
+                .collect()
+        };
+        let a = picks(42);
+        assert_eq!(a, picks(42), "same seed, same picks");
+        assert!(a.iter().all(|id| *id <= 2));
+        // With replica 2 permanently empty, p2c should favour it.
+        assert!(a.iter().filter(|id| **id == 2).count() > a.len() / 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic replica health checking.
+//!
+//! The fleet probes every replica on a fixed virtual-clock cadence. A
+//! probe succeeds when the replica answers (it is not crashed or
+//! flapped down) and fails otherwise. Each replica's probe history
+//! drives a four-state machine:
+//!
+//! ```text
+//!            fails >= suspect_after        fails >= eject_after
+//!  Healthy ──────────────────────> Suspect ────────────────────> Ejected
+//!     ^                              │  ok                          │
+//!     │                              └──────> Healthy               │ oks >= recover_after
+//!     │          oks >= recover_after                               v
+//!     └──────────────────────────────────────────────────────── Recovered
+//!                               (a failure while Recovered → Suspect)
+//! ```
+//!
+//! `Healthy`, `Suspect`, and `Recovered` replicas are routable;
+//! `Ejected` replicas are not — ejection evicts their queued requests
+//! so the fleet can fail them over. Every transition emits one
+//! `replica_health` telemetry event, so the failover timeline in a
+//! chaos run is reconstructable from the JSONL stream alone.
+
+use hs_serve::Micros;
+use hs_telemetry::{trace, Event, EventKind, Level, TraceCtx};
+
+/// A replica's health as seen by the prober.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Probes pass; full member of the routable set.
+    Healthy,
+    /// Recent probe failures; still routable (the fleet gives it the
+    /// benefit of the doubt until `eject_after` more failures).
+    Suspect,
+    /// Probes kept failing; not routable, queued work was evicted.
+    Ejected,
+    /// Probes pass again after an ejection; routable, one failure away
+    /// from `Suspect` until it re-earns `Healthy`.
+    Recovered,
+}
+
+impl HealthState {
+    /// Stable name used in telemetry fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Ejected => "ejected",
+            HealthState::Recovered => "recovered",
+        }
+    }
+
+    /// May the balancer route new work here?
+    pub fn routable(self) -> bool {
+        !matches!(self, HealthState::Ejected)
+    }
+}
+
+/// The per-replica probe state machine.
+#[derive(Debug)]
+pub struct HealthTracker {
+    replica: usize,
+    state: HealthState,
+    suspect_after: usize,
+    eject_after: usize,
+    recover_after: usize,
+    /// Consecutive probe failures in the current phase.
+    fails: usize,
+    /// Consecutive probe successes in the current phase.
+    oks: usize,
+    trace: TraceCtx,
+    seq: u64,
+}
+
+impl HealthTracker {
+    /// A healthy tracker for `replica`. Thresholds are clamped to a
+    /// minimum of 1 so the machine always makes progress.
+    pub fn new(
+        replica: usize,
+        suspect_after: usize,
+        eject_after: usize,
+        recover_after: usize,
+        trace_seed: u64,
+    ) -> HealthTracker {
+        HealthTracker {
+            replica,
+            state: HealthState::Healthy,
+            suspect_after: suspect_after.max(1),
+            eject_after: eject_after.max(1),
+            recover_after: recover_after.max(1),
+            fails: 0,
+            oks: 0,
+            trace: trace::unit_ctx(trace_seed, "fleet_health", replica),
+            seq: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Feeds one probe result observed at virtual time `at`. Returns
+    /// `Some((from, to))` when the probe caused a transition (already
+    /// emitted as a `replica_health` event).
+    pub fn observe(&mut self, ok: bool, at: Micros) -> Option<(HealthState, HealthState)> {
+        let next = match (self.state, ok) {
+            (HealthState::Healthy, true) => {
+                self.fails = 0;
+                None
+            }
+            (HealthState::Healthy, false) => {
+                self.fails += 1;
+                (self.fails >= self.suspect_after).then_some(HealthState::Suspect)
+            }
+            (HealthState::Suspect, true) => Some(HealthState::Healthy),
+            (HealthState::Suspect, false) => {
+                self.fails += 1;
+                (self.fails >= self.eject_after).then_some(HealthState::Ejected)
+            }
+            (HealthState::Ejected, true) => {
+                self.oks += 1;
+                (self.oks >= self.recover_after).then_some(HealthState::Recovered)
+            }
+            (HealthState::Ejected, false) => {
+                self.oks = 0;
+                None
+            }
+            (HealthState::Recovered, true) => {
+                self.oks += 1;
+                (self.oks >= self.recover_after).then_some(HealthState::Healthy)
+            }
+            (HealthState::Recovered, false) => Some(HealthState::Suspect),
+        }?;
+        let from = self.state;
+        self.state = next;
+        self.fails = 0;
+        self.oks = 0;
+        let level = match next {
+            HealthState::Suspect | HealthState::Ejected => Level::Warn,
+            HealthState::Healthy | HealthState::Recovered => Level::Info,
+        };
+        let ctx = self.trace.child(self.seq);
+        self.seq += 1;
+        hs_telemetry::emit(
+            Event::new(EventKind::ReplicaHealth, level, "fleet/health")
+                .message(format!(
+                    "replica {} {} -> {}",
+                    self.replica,
+                    from.as_str(),
+                    next.as_str()
+                ))
+                .field("replica", self.replica)
+                .field("from", from.as_str())
+                .field("to", next.as_str())
+                .field("at", at)
+                .traced(&ctx),
+        );
+        Some((from, next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transitions(results: &[bool], suspect: usize, eject: usize, recover: usize) -> Vec<String> {
+        let mut h = HealthTracker::new(0, suspect, eject, recover, 7);
+        results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ok)| h.observe(*ok, i as Micros))
+            .map(|(from, to)| format!("{}->{}", from.as_str(), to.as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn walks_the_full_cycle() {
+        let seen = transitions(&[true, false, false, true, true, true, true], 1, 1, 2);
+        assert_eq!(
+            seen,
+            [
+                "healthy->suspect",
+                "suspect->ejected",
+                "ejected->recovered", // after 2 oks
+                "recovered->healthy", // after 2 more oks
+            ]
+        );
+    }
+
+    #[test]
+    fn one_good_probe_clears_suspicion() {
+        let seen = transitions(&[false, true, false, false, false], 1, 3, 1);
+        assert_eq!(
+            seen,
+            ["healthy->suspect", "suspect->healthy", "healthy->suspect"]
+        );
+    }
+
+    #[test]
+    fn a_failure_while_recovered_demotes_to_suspect() {
+        let mut h = HealthTracker::new(3, 1, 1, 1, 7);
+        h.observe(false, 0); // healthy -> suspect
+        h.observe(false, 1); // suspect -> ejected
+        assert_eq!(h.state(), HealthState::Ejected);
+        assert!(!h.state().routable());
+        h.observe(true, 2); // ejected -> recovered
+        assert_eq!(h.state(), HealthState::Recovered);
+        assert!(h.state().routable());
+        assert_eq!(
+            h.observe(false, 3),
+            Some((HealthState::Recovered, HealthState::Suspect))
+        );
+    }
+
+    #[test]
+    fn a_crashed_replica_stays_ejected() {
+        let mut h = HealthTracker::new(1, 2, 2, 1, 7);
+        let mut changed = 0;
+        for i in 0..20 {
+            if h.observe(false, i).is_some() {
+                changed += 1;
+            }
+        }
+        assert_eq!(h.state(), HealthState::Ejected);
+        assert_eq!(
+            changed, 2,
+            "healthy->suspect, suspect->ejected, then stable"
+        );
+    }
+}

@@ -360,6 +360,43 @@ pub struct SloClass {
     pub burn_rate: Option<f64>,
 }
 
+/// Fleet-level accounting derived from replica-tagged batch events
+/// plus the `replica_health`, `failover`, and `hedge` streams that
+/// `hs-fleet` emits. Absent (empty) for single-engine runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSection {
+    /// Per-replica `(batches, items)` utilization, from `serve_batch`
+    /// events carrying a `replica` field, keyed by replica id.
+    pub replicas: BTreeMap<u64, (u64, u64)>,
+    /// Replica health transitions as `(line, replica, from, to)`.
+    pub health: Vec<(usize, u64, String, String)>,
+    /// Failover dispositions as `(line, id, from_replica, outcome)`.
+    pub failovers: Vec<(usize, u64, u64, String)>,
+    /// Hedge event counts keyed by outcome (`launched`, `won`, ...).
+    pub hedges: BTreeMap<String, u64>,
+}
+
+impl FleetSection {
+    /// True when the stream carried no fleet telemetry at all.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+            && self.health.is_empty()
+            && self.failovers.is_empty()
+            && self.hedges.is_empty()
+    }
+
+    /// Fraction of launched hedges whose copy won the race, when any
+    /// hedge was launched.
+    pub fn hedge_win_rate(&self) -> Option<f64> {
+        let launched = *self.hedges.get("launched").unwrap_or(&0);
+        if launched == 0 {
+            return None;
+        }
+        let won = *self.hedges.get("won").unwrap_or(&0);
+        Some(won as f64 / launched as f64)
+    }
+}
+
 /// Everything `hs_obs report` derives from one event stream.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -376,6 +413,8 @@ pub struct Report {
     pub workers: Vec<(u64, u64)>,
     /// Per-class SLO accounting, keyed by class.
     pub slo: BTreeMap<u64, SloClass>,
+    /// Replica fleet accounting; empty unless the run was fleet-served.
+    pub fleet: FleetSection,
 }
 
 fn percentile(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
@@ -461,6 +500,35 @@ pub fn build_report(events: &[EventRec]) -> Report {
                     (event.num_field("worker"), event.num_field("items"))
                 {
                     report.workers.push((worker as u64, items as u64));
+                }
+            }
+            "serve_batch" => {
+                if let Some(replica) = event.num_field("replica") {
+                    let items = event.num_field("size").unwrap_or(0.0) as u64;
+                    let entry = report
+                        .fleet
+                        .replicas
+                        .entry(replica as u64)
+                        .or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += items;
+                }
+            }
+            "replica_health" => {
+                let replica = event.num_field("replica").unwrap_or(0.0) as u64;
+                let from = event.str_field("from").unwrap_or("?").to_string();
+                let to = event.str_field("to").unwrap_or("?").to_string();
+                report.fleet.health.push((event.line, replica, from, to));
+            }
+            "failover" => {
+                let id = event.num_field("id").unwrap_or(0.0) as u64;
+                let from = event.num_field("from").unwrap_or(0.0) as u64;
+                let outcome = event.str_field("outcome").unwrap_or("?").to_string();
+                report.fleet.failovers.push((event.line, id, from, outcome));
+            }
+            "hedge" => {
+                if let Some(outcome) = event.str_field("outcome") {
+                    *report.fleet.hedges.entry(outcome.to_string()).or_insert(0) += 1;
                 }
             }
             "slo_burn" => {
@@ -599,14 +667,87 @@ pub fn report_json(report: &Report) -> Val {
             })
             .collect(),
     );
-    Val::Obj(vec![
+    let mut top = vec![
         ("outcomes".into(), outcomes),
         ("latency".into(), latency),
         ("breaker".into(), breaker),
         ("swaps".into(), swaps),
         ("workers".into(), workers),
         ("slo".into(), slo),
-    ])
+    ];
+    if !report.fleet.is_empty() {
+        top.push(("fleet".into(), fleet_json(&report.fleet)));
+    }
+    Val::Obj(top)
+}
+
+/// The fleet section as a deterministic JSON value.
+fn fleet_json(fleet: &FleetSection) -> Val {
+    let total_items: u64 = fleet.replicas.values().map(|(_, items)| items).sum();
+    let replicas = Val::Arr(
+        fleet
+            .replicas
+            .iter()
+            .map(|(replica, (batches, items))| {
+                let share = if total_items == 0 {
+                    0.0
+                } else {
+                    *items as f64 / total_items as f64
+                };
+                Val::Obj(vec![
+                    ("replica".into(), Val::Num(*replica as f64)),
+                    ("batches".into(), Val::Num(*batches as f64)),
+                    ("items".into(), Val::Num(*items as f64)),
+                    ("share".into(), Val::Num(share)),
+                ])
+            })
+            .collect(),
+    );
+    let health = Val::Arr(
+        fleet
+            .health
+            .iter()
+            .map(|(line, replica, from, to)| {
+                Val::Obj(vec![
+                    ("line".into(), Val::Num(*line as f64)),
+                    ("replica".into(), Val::Num(*replica as f64)),
+                    ("from".into(), Val::str(from.clone())),
+                    ("to".into(), Val::str(to.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let failovers = Val::Arr(
+        fleet
+            .failovers
+            .iter()
+            .map(|(line, id, from, outcome)| {
+                Val::Obj(vec![
+                    ("line".into(), Val::Num(*line as f64)),
+                    ("id".into(), Val::Num(*id as f64)),
+                    ("from".into(), Val::Num(*from as f64)),
+                    ("outcome".into(), Val::str(outcome.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let hedges = Val::Obj(
+        fleet
+            .hedges
+            .iter()
+            .map(|(k, v)| (k.clone(), Val::Num(*v as f64)))
+            .collect(),
+    );
+    let mut entries = vec![
+        ("replicas".into(), replicas),
+        ("health".into(), health),
+        ("failovers".into(), failovers),
+        ("hedges".into(), hedges),
+    ];
+    if let Some(rate) = fleet.hedge_win_rate() {
+        entries.push(("hedge_win_rate".into(), Val::Num(rate)));
+    }
+    Val::Obj(entries)
 }
 
 /// The report as a human-readable table.
@@ -659,6 +800,47 @@ pub fn report_table(report: &Report) -> String {
                 "  class {:<3} burns {:<4} burn_rate {rate}",
                 c.class, c.burns
             );
+        }
+    }
+    let fleet = &report.fleet;
+    if !fleet.replicas.is_empty() {
+        let total: u64 = fleet.replicas.values().map(|(_, items)| items).sum();
+        let _ = writeln!(out, "replica utilization ({total} items)");
+        for (replica, (batches, items)) in &fleet.replicas {
+            let share = if total == 0 {
+                0.0
+            } else {
+                *items as f64 / total as f64
+            };
+            let _ = writeln!(
+                out,
+                "  replica {replica:<3} {batches:>6} batches {items:>8} items  {:>5.1}%",
+                share * 100.0
+            );
+        }
+    }
+    if !fleet.health.is_empty() {
+        let _ = writeln!(out, "replica health");
+        for (line, replica, from, to) in &fleet.health {
+            let _ = writeln!(out, "  L{line:<5} replica {replica} {from} -> {to}");
+        }
+    }
+    if !fleet.failovers.is_empty() {
+        let _ = writeln!(out, "failovers");
+        for (line, id, from, outcome) in &fleet.failovers {
+            let _ = writeln!(
+                out,
+                "  L{line:<5} request {id} off replica {from}: {outcome}"
+            );
+        }
+    }
+    if !fleet.hedges.is_empty() {
+        let _ = writeln!(out, "hedges");
+        for (outcome, count) in &fleet.hedges {
+            let _ = writeln!(out, "  {outcome:<22} {count}");
+        }
+        if let Some(rate) = fleet.hedge_win_rate() {
+            let _ = writeln!(out, "  win_rate {:>14.3}", rate);
         }
     }
     out
@@ -972,6 +1154,73 @@ mod tests {
         let table = report_table(&report);
         assert!(table.contains("worker 0"));
         assert!(table.contains("burn_rate 5.000"));
+    }
+
+    #[test]
+    fn report_builds_the_fleet_section_only_from_fleet_telemetry() {
+        // A single-engine stream (no replica tags) yields no fleet key.
+        let plain = stream(vec![Event::new(
+            EventKind::ServeBatch,
+            Level::Debug,
+            "serve/batch",
+        )
+        .field("size", 4u64)
+        .field("outcome", "flush")]);
+        let report = build_report(&plain);
+        assert!(report.fleet.is_empty());
+        assert!(!report_json(&report).render().contains("\"fleet\""));
+
+        // A fleet stream fills all four sub-sections.
+        let batch = |replica: u64, size: u64| {
+            Event::new(EventKind::ServeBatch, Level::Debug, "serve/batch")
+                .field("size", size)
+                .field("outcome", "flush")
+                .field("replica", replica)
+        };
+        let events = stream(vec![
+            batch(0, 3),
+            batch(0, 1),
+            batch(1, 4),
+            Event::new(EventKind::ReplicaHealth, Level::Warn, "fleet/health")
+                .field("replica", 2u64)
+                .field("from", "healthy")
+                .field("to", "suspect"),
+            Event::new(EventKind::ReplicaHealth, Level::Warn, "fleet/health")
+                .field("replica", 2u64)
+                .field("from", "suspect")
+                .field("to", "ejected"),
+            Event::new(EventKind::Failover, Level::Warn, "fleet/failover")
+                .field("id", 7u64)
+                .field("from", 2u64)
+                .field("outcome", "rerouted"),
+            Event::new(EventKind::Hedge, Level::Info, "fleet/hedge")
+                .field("id", 9u64)
+                .field("outcome", "launched"),
+            Event::new(EventKind::Hedge, Level::Info, "fleet/hedge")
+                .field("id", 9u64)
+                .field("outcome", "won"),
+            Event::new(EventKind::Hedge, Level::Info, "fleet/hedge")
+                .field("id", 11u64)
+                .field("outcome", "launched"),
+        ]);
+        let report = build_report(&events);
+        assert_eq!(report.fleet.replicas[&0], (2, 4));
+        assert_eq!(report.fleet.replicas[&1], (1, 4));
+        assert_eq!(report.fleet.health.len(), 2);
+        assert_eq!(report.fleet.health[1].3, "ejected");
+        assert_eq!(report.fleet.failovers, vec![(6, 7, 2, "rerouted".into())]);
+        assert_eq!(report.fleet.hedges["launched"], 2);
+        assert!((report.fleet.hedge_win_rate().unwrap() - 0.5).abs() < 1e-9);
+
+        let json = report_json(&report).render();
+        assert!(json.contains("\"fleet\""));
+        assert!(json.contains("\"hedge_win_rate\":0.5"));
+        assert!(json.contains("\"share\":0.5"));
+        let table = report_table(&report);
+        assert!(table.contains("replica utilization (8 items)"));
+        assert!(table.contains("replica 2 healthy -> suspect"));
+        assert!(table.contains("request 7 off replica 2: rerouted"));
+        assert!(table.contains("win_rate"));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! `episode`, `span`) never appears in the stream, when a
 //! `--require-order A,B` pair is missing or out of order (the first
 //! `A` must precede the first `B` — e.g. `degrade,restore` asserts the
-//! serving stack degraded before it restored), or when a
+//! serving stack degraded before it restored; violations are reported
+//! with the line number of the early `B` event), or when a
 //! `--require-fields KIND=F1,F2` rule finds an event of `KIND` missing
 //! one of the listed fields (reported with the line number of the
 //! first offending event — e.g. `serve_request=trace_id,span_id`
@@ -165,8 +166,11 @@ fn main() -> ExitCode {
         match (first_seen.get(a), first_seen.get(b)) {
             (Some(la), Some(lb)) if la < lb => {}
             (Some(la), Some(lb)) => {
+                // Anchor the diagnostic at the first out-of-order line
+                // (the `B` that arrived early), in the same
+                // `path:line:` shape as the `--require-fields` report.
                 eprintln!(
-                    "telemetry_lint: {path}: `{a}` (line {la}) does not precede `{b}` (line {lb})"
+                    "telemetry_lint: {path}:{lb}: first `{b}` precedes first `{a}` (line {la})"
                 );
                 missing = true;
             }

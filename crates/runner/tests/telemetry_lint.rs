@@ -80,6 +80,11 @@ fn require_order_enforces_degrade_before_restore() {
 
     let flipped = lint(&format!("{restore}{degrade}"), "order-flipped", &order);
     assert!(!flipped.status.success(), "out-of-order stream must fail");
+    let err = String::from_utf8_lossy(&flipped.stderr);
+    assert!(
+        err.contains(":1: first `restore` precedes first `degrade` (line 2)"),
+        "diagnostic anchors the early event's line: {err}"
+    );
 
     let missing = lint(&degrade, "order-missing", &order);
     assert!(!missing.status.success(), "missing `restore` must fail");

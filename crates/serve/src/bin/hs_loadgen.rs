@@ -21,11 +21,12 @@ fn usage() {
     eprintln!(
         "usage: hs_loadgen [--mode open|closed] [--requests N] [--gap-us N]\n\
          \x20                [--deadline-us N] [--seed N] [--concurrency N] [--think-us N]\n\
-         \x20                [--classes N] --out PATH.json\n\
+         \x20                [--classes N] [--tenants N] --out PATH.json\n\
          \n\
          \x20 --mode open    fixed arrival schedule (default)\n\
          \x20 --mode closed  think-time client simulation spec\n\
-         \x20 --classes N    spread requests over N SLO classes (id % N; default 1)"
+         \x20 --classes N    spread requests over N SLO classes (id % N; default 1)\n\
+         \x20 --tenants N    spread requests over N fleet tenants (id % N; default 1)"
     );
 }
 
@@ -55,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "--concurrency" => spec.concurrency = value.parse().map_err(|_| bad("integer"))?,
             "--think-us" => spec.think = value.parse().map_err(|_| bad("integer"))?,
             "--classes" => spec.classes = value.parse().map_err(|_| bad("integer"))?,
+            "--tenants" => spec.tenants = value.parse().map_err(|_| bad("integer"))?,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;

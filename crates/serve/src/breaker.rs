@@ -184,6 +184,53 @@ mod tests {
     }
 
     #[test]
+    fn probe_exactly_at_the_transition_tick_is_admitted() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        assert!(b.on_failure(40));
+        assert_eq!(b.gate(), Some(1_040));
+        // One tick early the breaker is still open and still gated …
+        assert!(!b.allow(1_039));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(
+            b.gate(),
+            Some(1_040),
+            "a denied probe must not move the gate"
+        );
+        // … and the probe arriving exactly at `open_until` is the first
+        // one admitted: the transition happens on the boundary tick, not
+        // one past it.
+        assert!(b.allow(1_040));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.gate(), None, "half-open no longer gates the engine");
+        // The admission decision is idempotent at the same tick.
+        assert!(b.allow(1_040));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn trip_during_half_open_restarts_the_full_cooldown() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        b.on_failure(0);
+        assert!(b.on_failure(10)); // trips; open until 1_010
+        assert!(b.allow(1_010)); // half-open probe admitted
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A single failure during half-open re-trips regardless of the
+        // threshold (2) and restarts the cooldown from the failure time,
+        // not from the original trip.
+        assert!(b.on_failure(1_500));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.gate(), Some(2_500));
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow(2_499));
+        assert!(b.allow(2_500));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The interrupted recovery leaves no residue: the next probe
+        // success still closes in one step.
+        assert!(b.on_success(2_510));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
     fn half_open_failure_reopens_immediately() {
         let mut b = CircuitBreaker::new(3, 500);
         for t in [0, 1, 2] {

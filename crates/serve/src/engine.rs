@@ -77,6 +77,10 @@ pub struct ServeConfig {
     /// SLO window length in terminal outcomes per class (0 disables
     /// burn accounting).
     pub slo_window: usize,
+    /// Fleet replica id this engine serves as, if any. When set, every
+    /// request/batch/degrade/restore event carries a `replica` field so
+    /// `hs_obs` can attribute traffic per replica.
+    pub replica: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +103,7 @@ impl Default for ServeConfig {
             trace_seed: 0x4853,
             slo_target: 0.9,
             slo_window: 20,
+            replica: None,
         }
     }
 }
@@ -162,6 +167,9 @@ pub struct ServeEngine {
     breaker: CircuitBreaker,
     busy_until: Micros,
     degraded: bool,
+    /// Externally-imposed compute inflation (1 = nominal). The fleet
+    /// sets this while a `replica_slow` fault is active on this replica.
+    cost_multiplier: u64,
     overload_strikes: usize,
     healthy_streak: usize,
     stats: ServeSummary,
@@ -206,6 +214,7 @@ impl ServeEngine {
             pool,
             busy_until: 0,
             degraded: false,
+            cost_multiplier: 1,
             overload_strikes: 0,
             healthy_streak: 0,
             stats: ServeSummary::default(),
@@ -242,6 +251,32 @@ impl ServeEngine {
     /// Counters so far.
     pub fn summary(&self) -> ServeSummary {
         self.stats
+    }
+
+    /// Sets the externally-imposed compute inflation (1 = nominal).
+    /// The fleet uses this to model a slow replica without touching the
+    /// `slow_infer` fault path.
+    pub fn set_cost_multiplier(&mut self, multiplier: u64) {
+        self.cost_multiplier = multiplier.max(1);
+    }
+
+    /// The current externally-imposed compute inflation.
+    pub fn cost_multiplier(&self) -> u64 {
+        self.cost_multiplier
+    }
+
+    /// Evicts everything still queued, returning the requests and
+    /// forgetting their trace state **without** emitting terminal
+    /// events — the fleet calls this when ejecting a replica and either
+    /// resubmits the requests elsewhere (new trace on the destination)
+    /// or sheds them at the fleet level with a typed reason.
+    pub fn evict_queued(&mut self) -> Vec<Request> {
+        let mut evicted = Vec::with_capacity(self.queue.len());
+        while let Some(req) = self.queue.pop() {
+            self.traces.remove(&req.id);
+            evicted.push(req);
+        }
+        evicted
     }
 
     /// Offers a request for admission at `now` (call [`tick`] with the
@@ -351,7 +386,7 @@ impl ServeEngine {
             SlotKind::Dense => 1.0,
             SlotKind::Pruned => self.cfg.pruned_cost_scale,
         };
-        let scaled = ((nominal as f64) * scale).round().max(1.0) as Micros;
+        let scaled = ((nominal as f64) * scale).round().max(1.0) as Micros * self.cost_multiplier;
         if slowed {
             scaled * self.cfg.slow_factor.max(1)
         } else {
@@ -562,14 +597,16 @@ impl ServeEngine {
         metrics::counter("hs_serve_degrades_total").inc();
         let ctx = self.engine_ctx.child(self.engine_seq);
         self.engine_seq += 1;
-        hs_telemetry::emit(
-            Event::new(EventKind::Degrade, Level::Warn, "serve/degrade")
-                .message(format!("degrading to pruned model: {reason}"))
-                .field("reason", reason)
-                .field("model", SlotKind::Pruned.as_str())
-                .field("at", t)
-                .traced(&ctx),
-        );
+        let mut event = Event::new(EventKind::Degrade, Level::Warn, "serve/degrade")
+            .message(format!("degrading to pruned model: {reason}"))
+            .field("reason", reason)
+            .field("model", SlotKind::Pruned.as_str())
+            .field("at", t)
+            .traced(&ctx);
+        if let Some(replica) = self.cfg.replica {
+            event = event.field("replica", replica);
+        }
+        hs_telemetry::emit(event);
         if reason == "sustained_overload" {
             flight::trigger("sustained_overload");
         }
@@ -583,14 +620,16 @@ impl ServeEngine {
         metrics::counter("hs_serve_restores_total").inc();
         let ctx = self.engine_ctx.child(self.engine_seq);
         self.engine_seq += 1;
-        hs_telemetry::emit(
-            Event::new(EventKind::Restore, Level::Info, "serve/restore")
-                .message("restoring dense model: recovered")
-                .field("reason", "recovered")
-                .field("model", SlotKind::Dense.as_str())
-                .field("at", t)
-                .traced(&ctx),
-        );
+        let mut event = Event::new(EventKind::Restore, Level::Info, "serve/restore")
+            .message("restoring dense model: recovered")
+            .field("reason", "recovered")
+            .field("model", SlotKind::Dense.as_str())
+            .field("at", t)
+            .traced(&ctx);
+        if let Some(replica) = self.cfg.replica {
+            event = event.field("replica", replica);
+        }
+        hs_telemetry::emit(event);
     }
 
     /// Records a typed rejection (event + counters + SLO miss) and
@@ -628,10 +667,13 @@ impl ServeEngine {
         ctx: &TraceCtx,
         extra: impl FnOnce(Event) -> Event,
     ) {
-        let event = Event::new(EventKind::ServeRequest, level, "serve/request")
+        let mut event = Event::new(EventKind::ServeRequest, level, "serve/request")
             .field("id", id)
             .field("outcome", outcome)
             .traced(ctx);
+        if let Some(replica) = self.cfg.replica {
+            event = event.field("replica", replica);
+        }
         hs_telemetry::emit(extra(event));
     }
 
@@ -648,16 +690,18 @@ impl ServeEngine {
         let ordinal = self.batch_seq;
         self.batch_seq += 1;
         let ctx = trace::unit_ctx(self.cfg.trace_seed, "serve_batch", ordinal as usize);
-        hs_telemetry::emit(
-            Event::new(EventKind::ServeBatch, level, "serve/batch")
-                .field("size", size)
-                .field("model", self.slots.active().as_str())
-                .field("outcome", outcome)
-                .field("batch", ordinal)
-                .field("at", t)
-                .field("duration", duration)
-                .traced(&ctx),
-        );
+        let mut event = Event::new(EventKind::ServeBatch, level, "serve/batch")
+            .field("size", size)
+            .field("model", self.slots.active().as_str())
+            .field("outcome", outcome)
+            .field("batch", ordinal)
+            .field("at", t)
+            .field("duration", duration)
+            .traced(&ctx);
+        if let Some(replica) = self.cfg.replica {
+            event = event.field("replica", replica);
+        }
+        hs_telemetry::emit(event);
         ordinal
     }
 }
@@ -682,6 +726,7 @@ mod tests {
             id,
             sample: id as usize,
             class: 0,
+            tenant: 0,
             arrival,
             deadline,
         }

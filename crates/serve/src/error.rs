@@ -23,6 +23,9 @@ pub enum ServeError {
     Io(io::Error),
     /// A malformed config, profile, or CLI flag.
     BadConfig(String),
+    /// A structurally valid load plan with an undriveable schedule
+    /// (non-monotonic timestamps, undeclared tenant).
+    Plan(crate::loadgen::PlanError),
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +44,7 @@ impl fmt::Display for ServeError {
             ServeError::Nn(e) => write!(f, "inference error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            ServeError::Plan(e) => write!(f, "bad plan: {e}"),
         }
     }
 }

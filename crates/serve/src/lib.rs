@@ -56,7 +56,7 @@ pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use engine::{ServeConfig, ServeEngine, ServeSummary};
 pub use error::ServeError;
-pub use loadgen::{drive_closed, drive_open, LoadProfile, LoadSpec, Plan, ProfileEntry};
+pub use loadgen::{drive_closed, drive_open, LoadProfile, LoadSpec, Plan, PlanError, ProfileEntry};
 pub use model::{load_with_retry, ModelSlots, RetryPolicy, SlotKind};
 pub use queue::AdmissionQueue;
 pub use request::{Micros, Outcome, RejectReason, Rejection, Request, Response};

@@ -39,6 +39,9 @@ pub struct ProfileEntry {
     pub sample: usize,
     /// SLO class the request is accounted under.
     pub class: usize,
+    /// Tenant the request is billed to (must be < the profile's
+    /// declared `tenants` count).
+    pub tenant: usize,
 }
 
 /// A fixed, replayable arrival schedule.
@@ -47,9 +50,73 @@ pub struct LoadProfile {
     /// The seed the schedule was generated from (recorded for
     /// provenance; replay uses the entries, not the seed).
     pub seed: u64,
+    /// Size of the tenant id space: every entry's `tenant` must be
+    /// below this (min 1).
+    pub tenants: usize,
     /// Arrivals in nondecreasing `at` order.
     pub entries: Vec<ProfileEntry>,
 }
+
+/// A structurally valid but *semantically* undriveable plan: the
+/// schedule would be undefined (time running backwards) or would bill
+/// a tenant the plan never declared. Each variant carries the offending
+/// entry's index and its 1-based line in the plan file so the fix is
+/// one `sed -n` away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An entry's arrival time precedes the previous entry's.
+    NonMonotonic {
+        /// Zero-based index of the offending entry.
+        index: usize,
+        /// 1-based line of the offending entry in the plan file.
+        line: usize,
+        /// The previous entry's arrival time.
+        prev_at: Micros,
+        /// The offending (earlier) arrival time.
+        at: Micros,
+    },
+    /// An entry names a tenant id outside the declared tenant space.
+    UnknownTenant {
+        /// Zero-based index of the offending entry.
+        index: usize,
+        /// 1-based line of the offending entry in the plan file.
+        line: usize,
+        /// The unknown tenant id.
+        tenant: usize,
+        /// The declared tenant-space size (valid ids are `0..tenants`).
+        tenants: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NonMonotonic {
+                index,
+                line,
+                prev_at,
+                at,
+            } => write!(
+                f,
+                "entry {index} (line {line}): non-monotonic timestamp {at} \
+                 (previous entry arrives at {prev_at})"
+            ),
+            PlanError::UnknownTenant {
+                index,
+                line,
+                tenant,
+                tenants,
+            } => write!(
+                f,
+                "entry {index} (line {line}): unknown tenant {tenant} \
+                 (plan declares {tenants} tenant{})",
+                if *tenants == 1 { "" } else { "s" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Knobs for generating load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +138,10 @@ pub struct LoadSpec {
     /// min 1). Deliberately not drawn from the RNG so adding classes
     /// never perturbs an existing seeded schedule.
     pub classes: usize,
+    /// Tenants requests are spread across (request `id % tenants`; min
+    /// 1). Like `classes`, not RNG-drawn, so adding tenants never
+    /// perturbs an existing seeded schedule.
+    pub tenants: usize,
 }
 
 impl Default for LoadSpec {
@@ -83,6 +154,7 @@ impl Default for LoadSpec {
             concurrency: 4,
             think: 2_000,
             classes: 1,
+            tenants: 1,
         }
     }
 }
@@ -104,11 +176,13 @@ impl LoadSpec {
                     deadline: at + self.deadline,
                     sample: (rng.next_u64() % 4096) as usize,
                     class: (id % self.classes.max(1) as u64) as usize,
+                    tenant: (id % self.tenants.max(1) as u64) as usize,
                 }
             })
             .collect();
         LoadProfile {
             seed: self.seed,
+            tenants: self.tenants.max(1),
             entries,
         }
     }
@@ -125,6 +199,7 @@ impl LoadSpec {
             ("concurrency".into(), Json::num(self.concurrency as f64)),
             ("think".into(), Json::num(self.think as f64)),
             ("classes".into(), Json::num(self.classes as f64)),
+            ("tenants".into(), Json::num(self.tenants as f64)),
         ])
     }
 
@@ -166,6 +241,8 @@ impl LoadSpec {
             think: field_num(obj, "think")? as Micros,
             // Absent in pre-class plans: everything is class 0.
             classes: opt_field_num(obj, "classes").map_or(1, |n| (n as usize).max(1)),
+            // Absent in pre-tenant plans: everything is tenant 0.
+            tenants: opt_field_num(obj, "tenants").map_or(1, |n| (n as usize).max(1)),
         })
     }
 }
@@ -200,7 +277,11 @@ impl Plan {
             .unwrap_or("open")
             .to_string();
         let plan = match mode.as_str() {
-            "open" => Plan::Open(LoadProfile::from_json(&value).map_err(err_at(path))?),
+            "open" => {
+                let profile = LoadProfile::from_json(&value).map_err(err_at(path))?;
+                profile.validate(&text).map_err(ServeError::Plan)?;
+                Plan::Open(profile)
+            }
             "closed" => Plan::Closed(LoadSpec::from_json(&value).map_err(err_at(path))?),
             other => {
                 return Err(ServeError::BadConfig(format!(
@@ -236,6 +317,7 @@ impl LoadProfile {
             ("version".into(), Json::num(PROFILE_VERSION as f64)),
             ("mode".into(), Json::str("open")),
             ("seed".into(), Json::str(format!("{:#x}", self.seed))),
+            ("tenants".into(), Json::num(self.tenants as f64)),
             (
                 "entries".into(),
                 Json::Arr(
@@ -248,6 +330,7 @@ impl LoadProfile {
                                 ("deadline".into(), Json::num(e.deadline as f64)),
                                 ("sample".into(), Json::num(e.sample as f64)),
                                 ("class".into(), Json::num(e.class as f64)),
+                                ("tenant".into(), Json::num(e.tenant as f64)),
                             ])
                         })
                         .collect(),
@@ -277,8 +360,46 @@ impl LoadProfile {
             .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
         let value = schema::parse(&text)
             .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
-        LoadProfile::from_json(&value)
-            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))
+        let profile = LoadProfile::from_json(&value)
+            .map_err(|e| ServeError::BadConfig(format!("{}: {e}", path.display())))?;
+        profile.validate(&text).map_err(ServeError::Plan)?;
+        Ok(profile)
+    }
+
+    /// Checks the schedule invariants replay depends on: arrivals must
+    /// be nondecreasing (the drivers advance virtual time monotonically
+    /// — an out-of-order entry would silently warp it backwards) and
+    /// every entry's tenant must be inside the declared tenant space.
+    /// `raw` is the plan file's text, used only to report the offending
+    /// entry's line number.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`PlanError`] for the first offending entry.
+    pub fn validate(&self, raw: &str) -> Result<(), PlanError> {
+        let mut prev_at: Option<Micros> = None;
+        for (index, e) in self.entries.iter().enumerate() {
+            if let Some(prev) = prev_at {
+                if e.at < prev {
+                    return Err(PlanError::NonMonotonic {
+                        index,
+                        line: entry_line(raw, index),
+                        prev_at: prev,
+                        at: e.at,
+                    });
+                }
+            }
+            prev_at = Some(e.at);
+            if e.tenant >= self.tenants.max(1) {
+                return Err(PlanError::UnknownTenant {
+                    index,
+                    line: entry_line(raw, index),
+                    tenant: e.tenant,
+                    tenants: self.tenants.max(1),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Parses a profile from a JSON value.
@@ -312,13 +433,30 @@ impl LoadProfile {
                         sample: field_num(e, "sample")? as usize,
                         // Absent in pre-class profiles: class 0.
                         class: opt_field_num(e, "class").map_or(0, |n| n as usize),
+                        // Absent in pre-tenant profiles: tenant 0.
+                        tenant: opt_field_num(e, "tenant").map_or(0, |n| n as usize),
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?,
             _ => return Err("missing array `entries`".to_string()),
         };
-        Ok(LoadProfile { seed, entries })
+        Ok(LoadProfile {
+            seed,
+            // Absent in pre-tenant profiles: a single tenant.
+            tenants: opt_field_num(obj, "tenants").map_or(1, |n| (n as usize).max(1)),
+            entries,
+        })
     }
+}
+
+/// The 1-based line of the `index`-th profile entry in the raw plan
+/// text, located via the entry's `"id"` key (the first key of every
+/// entry object the writer emits). Falls back to line 1 when the text
+/// has fewer entries than the parsed profile (e.g. minified JSON).
+fn entry_line(raw: &str, index: usize) -> usize {
+    raw.match_indices("\"id\"")
+        .nth(index)
+        .map_or(1, |(pos, _)| raw[..pos].matches('\n').count() + 1)
 }
 
 fn field_num(obj: &BTreeMap<String, schema::Json>, key: &str) -> Result<f64, String> {
@@ -349,6 +487,7 @@ pub fn drive_open(
             id: e.id,
             sample: e.sample,
             class: e.class,
+            tenant: e.tenant,
             arrival: e.at,
             deadline: e.deadline,
         };
@@ -409,6 +548,7 @@ pub fn drive_closed(engine: &mut ServeEngine, spec: &LoadSpec) -> Result<Vec<Out
                 id,
                 sample: (rng.next_u64() % 4096) as usize,
                 class: (id % spec.classes.max(1) as u64) as usize,
+                tenant: (id % spec.tenants.max(1) as u64) as usize,
                 arrival: now,
                 deadline: now + spec.deadline,
             };
@@ -493,6 +633,97 @@ mod tests {
         spec.save(&path).unwrap();
         assert_eq!(Plan::load(&path).unwrap(), Plan::Closed(spec));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_monotonic_timestamps_with_the_offending_line() {
+        let mut profile = LoadSpec {
+            requests: 5,
+            ..LoadSpec::default()
+        }
+        .open_profile();
+        // Warp entry 3 before entry 2: replay would move time backwards.
+        profile.entries[3].at = profile.entries[2].at - 1;
+        let path = std::env::temp_dir().join(format!("hs-nonmono-{}.json", std::process::id()));
+        profile.save(&path).unwrap();
+        let err = Plan::load(&path).unwrap_err();
+        let ServeError::Plan(plan_err) = err else {
+            panic!("expected ServeError::Plan, got {err:?}");
+        };
+        match plan_err {
+            PlanError::NonMonotonic {
+                index,
+                line,
+                prev_at,
+                at,
+            } => {
+                assert_eq!(index, 3);
+                assert_eq!(prev_at, profile.entries[2].at);
+                assert_eq!(at, profile.entries[2].at - 1);
+                // The reported line must be the offending entry's line
+                // in the file the writer produced.
+                let text = std::fs::read_to_string(&path).unwrap();
+                let id_line = text
+                    .lines()
+                    .enumerate()
+                    .filter(|(_, l)| l.contains("\"id\""))
+                    .nth(3)
+                    .map(|(n, _)| n + 1)
+                    .unwrap();
+                assert_eq!(line, id_line);
+                assert!(plan_err.to_string().contains(&format!("line {line}")));
+            }
+            other => panic!("expected NonMonotonic, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_tenants_with_the_offending_line() {
+        let mut profile = LoadSpec {
+            requests: 4,
+            tenants: 2,
+            ..LoadSpec::default()
+        }
+        .open_profile();
+        profile.entries[1].tenant = 7; // plan only declares tenants 0..2
+        let path = std::env::temp_dir().join(format!("hs-tenant-{}.json", std::process::id()));
+        profile.save(&path).unwrap();
+        let err = Plan::load(&path).unwrap_err();
+        let ServeError::Plan(plan_err) = err else {
+            panic!("expected ServeError::Plan, got {err:?}");
+        };
+        match &plan_err {
+            PlanError::UnknownTenant {
+                index,
+                line,
+                tenant,
+                tenants,
+            } => {
+                assert_eq!((*index, *tenant, *tenants), (1, 7, 2));
+                assert!(*line > 1, "line must point into the entries array");
+                assert!(plan_err.to_string().contains("unknown tenant 7"));
+            }
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tenants_spread_deterministically_without_perturbing_the_schedule() {
+        let base = LoadSpec {
+            requests: 6,
+            ..LoadSpec::default()
+        };
+        let single = base.open_profile();
+        let multi = LoadSpec { tenants: 3, ..base }.open_profile();
+        // Adding tenants must not move arrivals/samples (not RNG-drawn).
+        for (a, b) in single.entries.iter().zip(&multi.entries) {
+            assert_eq!((a.at, a.sample, a.deadline), (b.at, b.sample, b.deadline));
+        }
+        let tenants: Vec<usize> = multi.entries.iter().map(|e| e.tenant).collect();
+        assert_eq!(tenants, vec![0, 1, 2, 0, 1, 2]);
+        assert!(single.entries.iter().all(|e| e.tenant == 0));
     }
 
     #[test]

@@ -109,6 +109,7 @@ mod tests {
             id,
             sample: 0,
             class: 0,
+            tenant: 0,
             arrival,
             deadline: arrival + 1_000,
         }

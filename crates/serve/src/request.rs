@@ -19,6 +19,10 @@ pub struct Request {
     /// SLO class this request is accounted under (0 = default class).
     /// Distinct from [`Response::class`], the *predicted* class.
     pub class: usize,
+    /// Tenant this request is billed to (0 = default tenant). Single
+    /// replicas ignore it; the fleet front-end enforces per-tenant
+    /// admission quotas on it.
+    pub tenant: usize,
     /// When the request arrived.
     pub arrival: Micros,
     /// Absolute deadline: a response completed after this instant is

@@ -153,6 +153,37 @@ mod tests {
     }
 
     #[test]
+    fn window_boundary_outcome_is_counted_in_exactly_one_window() {
+        // Window = 3, target 0.9. The third outcome closes the window;
+        // it must be tallied inside the window it closes and must NOT
+        // leak into the next one.
+        let mut slo = SloTracker::new(0.9, 3, 7);
+        assert!(!slo.record(0, false, 0));
+        assert!(!slo.record(0, false, 1));
+        // The boundary outcome: a miss landing exactly on the window
+        // edge. Counted in window 1 → 0/3 hits → burn.
+        assert!(slo.record(0, false, 2));
+        assert_eq!(slo.burns(), 1);
+        // Window 2 starts from a clean tally: if the boundary miss had
+        // leaked, two hits and the leaked miss would close it at 2/3
+        // and burn. Instead the third *hit* closes it at 3/3 — no burn.
+        assert!(!slo.record(0, true, 3));
+        assert!(!slo.record(0, true, 4));
+        assert!(!slo.record(0, true, 5));
+        assert_eq!(slo.burns(), 1, "boundary outcome must not double-count");
+        // Symmetric check with a hit on the edge: 2 misses + edge hit =
+        // 1/3 < 0.9 burns once, and the hit doesn't seed window 4.
+        assert!(!slo.record(0, false, 6));
+        assert!(!slo.record(0, false, 7));
+        assert!(slo.record(0, true, 8));
+        assert_eq!(slo.burns(), 2);
+        assert!(!slo.record(0, false, 9));
+        assert!(!slo.record(0, false, 10));
+        assert!(slo.record(0, false, 11), "fresh window needs 3 outcomes");
+        assert_eq!(slo.burns(), 3);
+    }
+
+    #[test]
     fn zero_window_disables_accounting() {
         let mut slo = SloTracker::new(0.9, 0, 7);
         for i in 0..100 {

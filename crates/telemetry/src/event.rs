@@ -15,7 +15,7 @@
 //!   `recovery` | `fault_injected` | `resume` | `serve_request` |
 //!   `serve_batch` | `serve_breaker` | `degrade` | `restore` |
 //!   `compact` | `worker_start` | `worker_done` | `worker_lost` |
-//!   `slo_burn`.
+//!   `slo_burn` | `replica_health` | `failover` | `hedge`.
 //! - `level` — `error` | `warn` | `info` | `debug` | `trace`.
 //! - `name` — log target, span path (`/`-joined), metric name, or
 //!   episode context.
@@ -82,6 +82,15 @@ pub enum EventKind {
     /// A request class exhausted its SLO error budget over one
     /// accounting window (deadline-hit ratio fell below target).
     SloBurn,
+    /// A fleet replica's health state changed (healthy → suspect →
+    /// ejected → recovered, driven by the virtual-clock prober).
+    ReplicaHealth,
+    /// A request was moved off a dying replica: either resubmitted to a
+    /// live one or shed with a typed reason when none could take it.
+    Failover,
+    /// A hedged-request lifecycle edge: a hedge copy was launched
+    /// against a second replica, won, lost, or was rejected.
+    Hedge,
 }
 
 impl EventKind {
@@ -106,11 +115,14 @@ impl EventKind {
             EventKind::WorkerDone => "worker_done",
             EventKind::WorkerLost => "worker_lost",
             EventKind::SloBurn => "slo_burn",
+            EventKind::ReplicaHealth => "replica_health",
+            EventKind::Failover => "failover",
+            EventKind::Hedge => "hedge",
         }
     }
 
     /// Every kind (used by validators).
-    pub fn all() -> [EventKind; 18] {
+    pub fn all() -> [EventKind; 21] {
         [
             EventKind::Log,
             EventKind::Span,
@@ -130,6 +142,9 @@ impl EventKind {
             EventKind::WorkerDone,
             EventKind::WorkerLost,
             EventKind::SloBurn,
+            EventKind::ReplicaHealth,
+            EventKind::Failover,
+            EventKind::Hedge,
         ]
     }
 }

@@ -34,9 +34,15 @@
 //! | `slow_infer`| `infer`      | a serve micro-batch's modeled compute time is inflated past its timeout |
 //! | `load_fail` | `model_load` | a model (re)load attempt fails with a transient error; retry with backoff recovers |
 //! | `worker_lost`| `worker`    | a coordinator evaluation worker dies mid-batch; its items are reassigned and replayed |
+//! | `replica_crash`| `replica<K>` | fleet replica K goes down permanently; the prober ejects it and queued requests fail over |
+//! | `replica_slow` | `replica<K>` | fleet replica K's modeled compute inflates (toggles back on a later firing) |
+//! | `replica_flap` | `replica<K>` | fleet replica K flips between down and up on each firing |
 //!
 //! (`corrupt:model_load` is also recognised: the serving loader sees a
-//! one-byte-flipped checkpoint image on that attempt and retries.)
+//! one-byte-flipped checkpoint image on that attempt and retries. The
+//! replica kinds use *dynamic* sites — `replica0`, `replica1`, … keyed
+//! by replica id — which the plan parser accepts alongside
+//! [`KNOWN_SITES`].)
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,7 +66,7 @@ pub struct Fault {
 /// Every fault kind a plan may name. [`FaultPlan::parse`] rejects
 /// anything else, so a typo in `HS_FAULT` fails at startup instead of
 /// silently running without faults.
-pub const KNOWN_KINDS: [&str; 9] = [
+pub const KNOWN_KINDS: [&str; 12] = [
     "io_error",
     "io_flaky",
     "corrupt",
@@ -70,12 +76,17 @@ pub const KNOWN_KINDS: [&str; 9] = [
     "slow_infer",
     "load_fail",
     "worker_lost",
+    "replica_crash",
+    "replica_slow",
+    "replica_flap",
 ];
 
-/// Every site a plan may name (the workspace's consulting call sites).
-/// [`arm`]/[`trip`] stay unrestricted — tests arm synthetic sites
-/// programmatically — but specs that reach [`FaultPlan::parse`] must
-/// use a real site.
+/// Every *static* site a plan may name (the workspace's consulting call
+/// sites). [`arm`]/[`trip`] stay unrestricted — tests arm synthetic
+/// sites programmatically — but specs that reach [`FaultPlan::parse`]
+/// must use a real site. Fleet replica sites are dynamic (`replica0`,
+/// `replica1`, … — see [`is_replica_site`]) because the id space is
+/// chosen at fleet construction, not compile time.
 pub const KNOWN_SITES: [&str; 14] = [
     "checkpoint",
     "artifact",
@@ -92,6 +103,14 @@ pub const KNOWN_SITES: [&str; 14] = [
     "model_load",
     "worker",
 ];
+
+/// True for the dynamic replica-scoped sites: `replica` followed by a
+/// decimal replica id (`replica0`, `replica12`, …).
+#[must_use]
+pub fn is_replica_site(site: &str) -> bool {
+    site.strip_prefix("replica")
+        .is_some_and(|id| !id.is_empty() && id.bytes().all(|b| b.is_ascii_digit()))
+}
 
 /// A rejected fault-plan spec: which entry was malformed and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,7 +233,7 @@ impl FaultPlan {
                     kind: kind.to_string(),
                 });
             }
-            if !KNOWN_SITES.contains(&site) {
+            if !KNOWN_SITES.contains(&site) && !is_replica_site(site) {
                 return Err(FaultParseError::UnknownSite {
                     entry: entry.to_string(),
                     site: site.to_string(),
@@ -372,6 +391,29 @@ mod tests {
         let plan =
             FaultPlan::parse("slow_infer:infer:3,load_fail:model_load,corrupt:model_load").unwrap();
         assert_eq!(plan.faults.len(), 3);
+    }
+
+    #[test]
+    fn replica_sites_are_dynamic() {
+        // `replica<id>` sites are valid for any decimal id …
+        let plan = FaultPlan::parse(
+            "replica_crash:replica1:5,replica_slow:replica2,replica_flap:replica0",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[0].site, "replica1");
+        assert!(is_replica_site("replica12"));
+        // … but the prefix alone, or a non-numeric suffix, is not.
+        assert!(!is_replica_site("replica"));
+        assert!(!is_replica_site("replicaX"));
+        assert!(matches!(
+            FaultPlan::parse("replica_crash:replica"),
+            Err(FaultParseError::UnknownSite { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("replica_crash:replicaX:1"),
+            Err(FaultParseError::UnknownSite { .. })
+        ));
     }
 
     #[test]

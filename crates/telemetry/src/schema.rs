@@ -271,6 +271,19 @@ pub const WORKER_LOST_REQUIRED_FIELDS: [&str; 2] = ["worker", "reassigned"];
 /// achieved over the window, and the window size in requests.
 pub const SLO_BURN_REQUIRED_FIELDS: [&str; 4] = ["class", "target", "hit_ratio", "window"];
 
+/// Fields every `replica_health` event must carry: which replica moved
+/// and the edge it took in the health-state machine.
+pub const REPLICA_HEALTH_REQUIRED_FIELDS: [&str; 3] = ["replica", "from", "to"];
+
+/// Fields every `failover` event must carry: the request id and the
+/// replica it was evicted from (the `to` field names the destination
+/// replica, or `shed` when no live replica could take it).
+pub const FAILOVER_REQUIRED_FIELDS: [&str; 2] = ["id", "from"];
+
+/// Fields every `hedge` event must carry: the request id and the
+/// lifecycle edge (`launched` | `win` | `loss` | `rejected`).
+pub const HEDGE_REQUIRED_FIELDS: [&str; 2] = ["id", "outcome"];
+
 /// Validates one JSONL line against schema version 1.
 ///
 /// Checks: parses as an object; `schema` equals [`SCHEMA_VERSION`];
@@ -354,6 +367,9 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "worker_done" => &WORKER_DONE_REQUIRED_FIELDS,
         "worker_lost" => &WORKER_LOST_REQUIRED_FIELDS,
         "slo_burn" => &SLO_BURN_REQUIRED_FIELDS,
+        "replica_health" => &REPLICA_HEALTH_REQUIRED_FIELDS,
+        "failover" => &FAILOVER_REQUIRED_FIELDS,
+        "hedge" => &HEDGE_REQUIRED_FIELDS,
         _ => &[],
     };
     for field in required {
@@ -476,6 +492,26 @@ mod tests {
             .field("window", 20u64);
         validate_line(&slo_burn.to_json_line()).unwrap();
 
+        let replica_health = Event::new(EventKind::ReplicaHealth, Level::Warn, "fleet")
+            .field("replica", 1u64)
+            .field("from", "suspect")
+            .field("to", "ejected")
+            .field("at", 40_000u64);
+        validate_line(&replica_health.to_json_line()).unwrap();
+
+        let failover = Event::new(EventKind::Failover, Level::Warn, "fleet")
+            .field("id", 17u64)
+            .field("from", 1u64)
+            .field("to", "0")
+            .field("at", 40_000u64);
+        validate_line(&failover.to_json_line()).unwrap();
+
+        let hedge = Event::new(EventKind::Hedge, Level::Debug, "fleet")
+            .field("id", 9u64)
+            .field("outcome", "launched")
+            .field("replica", 2u64);
+        validate_line(&hedge.to_json_line()).unwrap();
+
         // Missing required fields are violations.
         let bare = Event::new(EventKind::Recovery, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("reason"));
@@ -491,6 +527,14 @@ mod tests {
         assert!(validate_line(&bare).unwrap_err().contains("worker"));
         let bare = Event::new(EventKind::SloBurn, Level::Warn, "x").to_json_line();
         assert!(validate_line(&bare).unwrap_err().contains("class"));
+        let bare = Event::new(EventKind::ReplicaHealth, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("replica"));
+        let bare = Event::new(EventKind::Failover, Level::Warn, "x").to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("id"));
+        let bare = Event::new(EventKind::Hedge, Level::Debug, "x")
+            .field("id", 9u64)
+            .to_json_line();
+        assert!(validate_line(&bare).unwrap_err().contains("outcome"));
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl Sink for StderrSink {
             | EventKind::ServeBreaker
             | EventKind::Degrade
             | EventKind::Restore
-            | EventKind::SloBurn => {
+            | EventKind::SloBurn
+            | EventKind::ReplicaHealth
+            | EventKind::Failover => {
                 // Durations ride in `secs` (never the message) so JSONL
                 // stays deterministic; surface them here for humans.
                 if let Some(secs) = event.secs {
@@ -72,7 +74,8 @@ impl Sink for StderrSink {
             | EventKind::ServeBatch
             | EventKind::WorkerStart
             | EventKind::WorkerDone
-            | EventKind::WorkerLost => {
+            | EventKind::WorkerLost
+            | EventKind::Hedge => {
                 let fields: Vec<String> = event
                     .fields
                     .iter()

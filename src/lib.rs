@@ -29,6 +29,10 @@
 //!   checkpoint pair: bounded admission with typed load shedding,
 //!   deadline-aware micro-batching, a circuit breaker, and graceful
 //!   degradation that hot-swaps to the pruned inception under overload;
+//! * [`fleet`] — replicated serving: N serve engines behind a
+//!   health-checked load balancer with per-tenant quotas, priority
+//!   shedding, hedged retries under a global budget, and deterministic
+//!   failover when replica-scoped faults kill instances mid-run;
 //! * [`obs`] — offline analysis over the deterministic telemetry JSONL
 //!   stream: causal trace timelines, serving reports with SLO burn
 //!   accounting, run-to-run metric diffs, and the `bench-check`
@@ -64,6 +68,7 @@
 pub use hs_coord as coord;
 pub use hs_core as core;
 pub use hs_data as data;
+pub use hs_fleet as fleet;
 pub use hs_gpusim as gpusim;
 pub use hs_nn as nn;
 pub use hs_obs as obs;

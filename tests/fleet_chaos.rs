@@ -1,0 +1,304 @@
+//! Flagship chaos test for the replicated serving fleet: three
+//! replicas under a seeded open-loop load, with `replica_crash` killing
+//! replica 1 mid-run and `replica_slow` dragging replica 2, must lose
+//! nothing — every submitted request gets exactly one typed terminal
+//! outcome, the crashed replica is ejected within the health budget and
+//! its stranded queue fails over, hedges fire within their global
+//! budget, and two runs produce byte-identical telemetry (modulo the
+//! wall-clock `secs`/`ts` suffixes) and an identical `hs_obs` report.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use headstart::fleet::{
+    drive_fleet_open, BalancerPolicy, FleetConfig, FleetEngine, FleetOutcome, FleetSummary,
+    HealthState,
+};
+use headstart::nn::infer::SharedNetwork;
+use headstart::nn::models;
+use headstart::serve::{LoadProfile, LoadSpec, ServeConfig};
+use headstart::telemetry::faults::{self, Fault, FaultPlan};
+use headstart::telemetry::{Level, TelemetryConfig};
+use headstart::tensor::{Rng, Shape, Tensor};
+
+const PROBE_EVERY: u64 = 2_000;
+/// `replica_crash:replica1` fires on the CRASH_PROBE-th probe round.
+const CRASH_PROBE: u64 = 5;
+
+/// Arrivals outpace the fleet (one request per 500µs vs ~1500µs of
+/// dense compute per request per replica), so queues stay deep: the
+/// crash strands work worth failing over, and queueing latency crosses
+/// the hedge deadline.
+fn scenario() -> FleetConfig {
+    FleetConfig {
+        replicas: 3,
+        policy: BalancerPolicy::RoundRobin,
+        probe_every: PROBE_EVERY,
+        suspect_after: 1,
+        eject_after: 1,
+        recover_after: 2,
+        hedge_after: 5_000,
+        hedge_budget: 4,
+        slow_multiplier: 4,
+        tenant_quota: 0,
+        shed_min_class: usize::MAX,
+        trace_seed: 0x4853,
+        serve: ServeConfig {
+            queue_capacity: 8,
+            batch_max: 2,
+            linger: 1_000,
+            base_cost: 1_000,
+            per_item_cost: 1_000,
+            batch_timeout: 10_000,
+            breaker_threshold: 2,
+            breaker_cooldown: 20_000,
+            slow_factor: 20,
+            pruned_cost_scale: 0.25,
+            degrade_high: 6,
+            overload_strikes: 2,
+            recover_low: 1,
+            recovery_batches: 2,
+            trace_seed: 0x4853,
+            slo_target: 0.9,
+            slo_window: 20,
+            replica: None,
+        },
+    }
+}
+
+fn load() -> LoadProfile {
+    LoadSpec {
+        requests: 80,
+        gap: 500,
+        deadline: 30_000,
+        seed: 0x4853,
+        tenants: 4,
+        ..LoadSpec::default()
+    }
+    .open_profile()
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        faults: vec![
+            Fault {
+                kind: "replica_crash".to_string(),
+                site: "replica1".to_string(),
+                nth: CRASH_PROBE,
+            },
+            Fault {
+                kind: "replica_slow".to_string(),
+                site: "replica2".to_string(),
+                nth: 3,
+            },
+        ],
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fleet_chaos");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir.join(name)
+}
+
+/// One full 3-replica chaos session with telemetry routed to `jsonl`.
+fn run_once(jsonl: &Path) -> (Vec<FleetOutcome>, FleetSummary, FleetEngine) {
+    headstart::telemetry::configure(&TelemetryConfig {
+        stderr_level: Some(Level::Error),
+        jsonl: Some(jsonl.to_path_buf()),
+    })
+    .expect("configure telemetry");
+    faults::arm(chaos_plan());
+
+    let mut rng = Rng::seed_from(21);
+    let dense = SharedNetwork::new(models::lenet(3, 10, 16, 1.0, &mut rng).expect("dense net"));
+    let pruned = SharedNetwork::new(models::lenet(3, 10, 16, 0.5, &mut rng).expect("pruned net"));
+    let inputs = Tensor::randn(Shape::d4(8, 3, 16, 16), &mut Rng::seed_from(33));
+    let mut fleet = FleetEngine::new(scenario(), dense, pruned, inputs).expect("fleet");
+
+    let outcomes = drive_fleet_open(&mut fleet, &load()).expect("drive");
+    faults::disarm();
+    headstart::telemetry::flush();
+    let summary = fleet.summary();
+    (outcomes, summary, fleet)
+}
+
+/// The deterministic prefix of a JSONL event line: everything before
+/// the wall-clock `secs`/`ts` suffix.
+fn stable_prefix(line: &str) -> &str {
+    let cut = ["\",\"secs\":", ",\"secs\":", ",\"ts\":"]
+        .iter()
+        .filter_map(|pat| line.find(pat))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+#[test]
+fn replica_chaos_loses_nothing_and_replays_byte_identically() {
+    let jsonl_a = tmp("run-a.jsonl");
+    let jsonl_b = tmp("run-b.jsonl");
+    let cfg = scenario();
+
+    let (outcomes, summary, fleet) = run_once(&jsonl_a);
+    let (outcomes_b, summary_b, _fleet_b) = run_once(&jsonl_b);
+
+    // --- Determinism: identical outcomes, summary, event stream. ---
+    assert_eq!(outcomes, outcomes_b, "outcome sequence must replay");
+    assert_eq!(summary, summary_b, "summary must replay");
+    let text_a = std::fs::read_to_string(&jsonl_a).expect("read run A telemetry");
+    let text_b = std::fs::read_to_string(&jsonl_b).expect("read run B telemetry");
+    let stable_a: Vec<&str> = text_a.lines().map(stable_prefix).collect();
+    let stable_b: Vec<&str> = text_b.lines().map(stable_prefix).collect();
+    assert!(!stable_a.is_empty(), "run A produced no telemetry");
+    assert_eq!(
+        stable_a, stable_b,
+        "telemetry must be byte-identical modulo secs/ts"
+    );
+
+    // --- Accounting: zero lost requests. Every submitted request gets
+    // exactly one terminal outcome even though a replica died holding
+    // some of them. ---
+    let profile = load();
+    assert_eq!(summary.submitted, profile.entries.len() as u64);
+    let mut ids: Vec<u64> = outcomes.iter().map(FleetOutcome::id).collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..profile.entries.len() as u64).collect::<Vec<_>>(),
+        "every request needs exactly one terminal outcome"
+    );
+    assert_eq!(
+        summary.completed + summary.rejected_total(),
+        summary.submitted,
+        "counters must account for every request"
+    );
+    assert!(summary.completed > 0, "the fleet must keep serving");
+    assert!(
+        summary.rejected_total() > 0,
+        "the scenario is over budget; some requests must shed typed"
+    );
+
+    // --- The chaos actually happened: the crashed replica was ejected
+    // and stayed out, its stranded queue failed over, and the slow
+    // replica stayed routable. ---
+    assert!(summary.ejections >= 1, "the crash must eject replica 1");
+    assert_eq!(
+        fleet.health(1),
+        HealthState::Ejected,
+        "a crashed replica never rejoins"
+    );
+    assert!(
+        fleet.health(0).routable() && fleet.health(2).routable(),
+        "slow is degraded, not dead: replicas 0 and 2 stay routable"
+    );
+    assert!(
+        summary.failovers >= 1,
+        "ejection must fail stranded requests over, got {summary:?}"
+    );
+
+    // --- Hedging: slow-replica latency crosses the hedge deadline, and
+    // the global budget bounds the launches. ---
+    assert!(
+        summary.hedges_launched >= 1,
+        "hedges must fire: {summary:?}"
+    );
+    assert!(
+        summary.hedges_launched <= cfg.hedge_budget,
+        "the hedge budget is a hard cap"
+    );
+    assert!(
+        summary.hedges_won + summary.hedges_lost <= summary.hedges_launched,
+        "every settled hedge was launched first"
+    );
+
+    // --- Failover budget: from the probe round that sampled the crash
+    // to the ejection event is at most `failover_budget()`. ---
+    let crash_at = CRASH_PROBE * PROBE_EVERY;
+    let events = headstart::obs::load_events(&text_a).expect("telemetry parses");
+    let ejected_at = events
+        .iter()
+        .filter(|e| e.kind == "replica_health")
+        .find(|e| e.num_field("replica") == Some(1.0) && e.str_field("to") == Some("ejected"))
+        .and_then(|e| e.num_field("at"))
+        .expect("replica 1's ejection is in the telemetry") as u64;
+    assert!(
+        ejected_at >= crash_at && ejected_at - crash_at <= cfg.failover_budget(),
+        "ejection at {ejected_at} must land within {} of the crash at {crash_at}",
+        cfg.failover_budget()
+    );
+    for e in events.iter().filter(|e| e.kind == "failover") {
+        let at = e.num_field("at").expect("failover events carry `at`") as u64;
+        assert!(
+            at >= ejected_at,
+            "failovers only happen at or after the ejection"
+        );
+    }
+
+    // --- The hs_obs report sees the fleet and is itself reproducible. ---
+    let report = headstart::obs::build_report(&events);
+    let events_b = headstart::obs::load_events(&text_b).expect("run B parses");
+    let report_b = headstart::obs::build_report(&events_b);
+    let json = headstart::obs::report_json(&report).render();
+    assert_eq!(
+        json,
+        headstart::obs::report_json(&report_b).render(),
+        "report JSON must be identical across runs"
+    );
+    assert!(
+        json.contains("\"fleet\""),
+        "report must have a fleet section"
+    );
+    assert!(
+        !report.fleet.replicas.is_empty(),
+        "per-replica utilization must be populated"
+    );
+    assert!(
+        report
+            .fleet
+            .health
+            .iter()
+            .any(|(_, replica, _, to)| *replica == 1 && to == "ejected"),
+        "the health timeline must show replica 1's ejection"
+    );
+    assert_eq!(
+        report.fleet.hedges.get("launched").copied().unwrap_or(0),
+        summary.hedges_launched,
+        "report hedge counts must agree with the engine"
+    );
+    assert_eq!(
+        report
+            .fleet
+            .failovers
+            .iter()
+            .filter(|(_, _, _, outcome)| outcome == "rerouted")
+            .count() as u64,
+        summary.failovers,
+        "report failover rows must agree with the engine"
+    );
+
+    // --- Fleet latency: measured from original arrival, within the
+    // request deadline, on a real replica. ---
+    let deadline_of: BTreeMap<u64, u64> =
+        profile.entries.iter().map(|e| (e.id, e.deadline)).collect();
+    for o in &outcomes {
+        if let FleetOutcome::Completed {
+            response,
+            replica,
+            latency,
+            ..
+        } = o
+        {
+            assert!(*replica < 3, "completions come from real replicas");
+            assert!(
+                response.completed <= deadline_of[&response.id],
+                "request {} completed past its deadline",
+                response.id
+            );
+            assert!(
+                *latency > 0 && *latency <= 30_000,
+                "fleet latency is measured from the original arrival"
+            );
+        }
+    }
+}

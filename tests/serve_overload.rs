@@ -43,6 +43,7 @@ fn scenario() -> ServeConfig {
         trace_seed: 0x4853,
         slo_target: 0.9,
         slo_window: 20,
+        replica: None,
     }
 }
 
