@@ -1,0 +1,113 @@
+//! `hs_chaos` CLI contract tests: input validation parity with
+//! `hs_run --workers` (zero counts rejected with typed, flag-anchored
+//! errors), target/oracle name validation, and help text. None of these
+//! invocations run a campaign, so they stay fast.
+
+use std::process::Command;
+
+fn hs_chaos(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hs_chaos"))
+        .args(args)
+        .output()
+        .expect("spawn hs_chaos")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = hs_chaos(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: hs_chaos"), "stdout: {text}");
+    for needle in ["campaign", "exec", "shrink", "pipeline", "coord", "fleet"] {
+        assert!(
+            text.contains(needle),
+            "usage must mention `{needle}`: {text}"
+        );
+    }
+}
+
+#[test]
+fn zero_seed_is_rejected_with_a_typed_error() {
+    let out = hs_chaos(&["campaign", "--seed", "0", "--schedules", "5"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("hs_chaos: --seed: must be at least 1"),
+        "stderr: {text}"
+    );
+}
+
+#[test]
+fn zero_schedules_are_rejected_with_a_typed_error() {
+    let out = hs_chaos(&["campaign", "--seed", "7", "--schedules", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("hs_chaos: --schedules: must be at least 1"),
+        "stderr: {text}"
+    );
+}
+
+#[test]
+fn non_integer_counts_name_the_flag_and_the_value() {
+    let out = hs_chaos(&["campaign", "--seed", "7", "--schedules", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("--schedules: expected integer, got `many`"),
+        "stderr: {text}"
+    );
+}
+
+#[test]
+fn unknown_targets_and_oracles_are_rejected_by_name() {
+    let out = hs_chaos(&[
+        "campaign",
+        "--seed",
+        "7",
+        "--schedules",
+        "5",
+        "--targets",
+        "pipeline,flee",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("unknown target `flee` (valid targets: pipeline, coord, fleet)"),
+        "stderr: {text}"
+    );
+
+    let out = hs_chaos(&[
+        "shrink",
+        "--target",
+        "fleet",
+        "--plan",
+        "probe_loss:replica1:2",
+        "--oracle",
+        "vibes",
+        "--dir",
+        "nowhere",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown oracle `vibes`"), "stderr: {text}");
+}
+
+#[test]
+fn a_bad_fault_plan_is_rejected_with_the_parser_suggestion() {
+    let out = hs_chaos(&[
+        "exec",
+        "--target",
+        "fleet",
+        "--plan",
+        "probe_los:replica1:2",
+        "--dir",
+        "nowhere",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("did you mean `probe_loss`?"),
+        "stderr: {text}"
+    );
+}

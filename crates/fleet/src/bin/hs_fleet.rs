@@ -65,7 +65,7 @@ fn usage() {
          \x20 --tenant-quota N   max in-flight requests per tenant (0 = unlimited)\n\
          \x20 --shed-min-class N while degraded, shed SLO classes >= N at the door\n\
          \x20 HS_FAULT=kind:site[:n],...  arm deterministic fault injection\n\
-         \x20   fleet sites: replica_crash|replica_slow|replica_flap at replica<K>"
+         \x20   fleet sites: replica_crash|replica_slow|replica_flap|probe_loss at replica<K>"
     );
 }
 
@@ -98,7 +98,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--seed" => cli.seed = value.parse().map_err(|_| bad("integer"))?,
             "--trace-seed" => cli.cfg.trace_seed = value.parse().map_err(|_| bad("integer"))?,
-            "--replicas" => cli.cfg.replicas = value.parse().map_err(|_| bad("integer"))?,
+            "--replicas" => {
+                cli.cfg.replicas = value.parse().map_err(|_| bad("integer"))?;
+                if cli.cfg.replicas == 0 {
+                    return Err("--replicas: must be at least 1".to_string());
+                }
+            }
             "--balancer" => {
                 cli.cfg.policy =
                     BalancerPolicy::parse(value).ok_or_else(|| bad("round_robin, jsq, or p2c"))?

@@ -588,7 +588,15 @@ impl FleetEngine {
                     self.replicas[k].down = !self.replicas[k].down;
                 }
             }
-            let ok = !self.replicas[k].down;
+            let mut ok = !self.replicas[k].down;
+            // `probe_loss` swallows this round's probe *signal* without
+            // touching the replica: the prober reads silence as failure,
+            // so repeated losses walk Healthy -> Suspect -> Ejected on a
+            // replica that was up the whole time — and once the losses
+            // stop, genuine probes drive Ejected -> Recovered -> Healthy.
+            if armed && faults::trip("probe_loss", &site) {
+                ok = false;
+            }
             if let Some((_, to)) = self.replicas[k].health.observe(ok, pt) {
                 match to {
                     HealthState::Ejected => {
@@ -1078,6 +1086,38 @@ mod tests {
         assert_eq!(fleet.in_flight(), 0);
         // The crashed replica completed nothing.
         assert_eq!(fleet.replica_summary(1).completed, 0);
+    }
+
+    #[test]
+    fn probe_loss_ejects_without_a_crash_and_the_replica_recovers() {
+        use hs_telemetry::faults::{self, FaultPlan};
+        let _guard = crate::fault_test_lock();
+        let cfg = FleetConfig {
+            probe_every: 1_000,
+            suspect_after: 1,
+            eject_after: 1,
+            recover_after: 1,
+            hedge_after: 0,
+            ..FleetConfig::default()
+        };
+        let mut fleet = tiny_fleet(cfg);
+        // Two consecutive probe rounds of replica 1 return no signal:
+        // the prober reads silence as failure and walks the replica to
+        // Ejected even though it never went down.
+        faults::arm(FaultPlan::parse("probe_loss:replica1:1,probe_loss:replica1:2").unwrap());
+        let _ = fleet.tick(1_000).unwrap();
+        assert_eq!(fleet.health(1), HealthState::Suspect);
+        let _ = fleet.tick(2_000).unwrap();
+        assert_eq!(fleet.health(1), HealthState::Ejected);
+        // The losses stop; genuine probes of the still-up replica drive
+        // Ejected -> Recovered -> Healthy.
+        let _ = fleet.tick(3_000).unwrap();
+        assert_eq!(fleet.health(1), HealthState::Recovered);
+        let _ = fleet.tick(4_000).unwrap();
+        faults::disarm();
+        assert_eq!(fleet.health(1), HealthState::Healthy);
+        let s = fleet.summary();
+        assert_eq!((s.ejections, s.recoveries), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! `hs_fleet` CLI contract tests: input validation is typed, line-
+//! anchored, and matches `hs_run --workers` parity (zero replicas are
+//! rejected at parse time, not silently clamped).
+
+use std::process::Command;
+
+fn hs_fleet(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hs_fleet"))
+        .args(args)
+        .output()
+        .expect("spawn hs_fleet")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = hs_fleet(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage: hs_fleet"), "stderr: {text}");
+    assert!(
+        text.contains("probe_loss"),
+        "usage must advertise the probe_loss fault kind: {text}"
+    );
+}
+
+#[test]
+fn zero_replicas_are_rejected_with_a_typed_error() {
+    let out = hs_fleet(&["--manifest", "nowhere", "--replicas", "0"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("hs_fleet: --replicas: must be at least 1"),
+        "stderr: {text}"
+    );
+}
+
+#[test]
+fn non_integer_replicas_name_the_flag_and_the_value() {
+    let out = hs_fleet(&["--manifest", "nowhere", "--replicas", "three"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("--replicas: expected integer, got `three`"),
+        "stderr: {text}"
+    );
+}
+
+#[test]
+fn a_bad_fault_spec_fails_at_startup_with_a_suggestion() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hs_fleet"))
+        .args(["--manifest", "nowhere"])
+        .env("HS_FAULT", "probe_los:replica1:2")
+        .output()
+        .expect("spawn hs_fleet");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("did you mean `probe_loss`?"),
+        "stderr: {text}"
+    );
+}

@@ -415,6 +415,10 @@ pub struct Report {
     pub slo: BTreeMap<u64, SloClass>,
     /// Replica fleet accounting; empty unless the run was fleet-served.
     pub fleet: FleetSection,
+    /// Injected-fault tallies from `fault_injected` events, keyed
+    /// `kind@site`; empty unless the run was under fault injection
+    /// (so chaos-campaign streams summarize what actually fired).
+    pub faults: BTreeMap<String, u64>,
 }
 
 fn percentile(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
@@ -529,6 +533,13 @@ pub fn build_report(events: &[EventRec]) -> Report {
             "hedge" => {
                 if let Some(outcome) = event.str_field("outcome") {
                     *report.fleet.hedges.entry(outcome.to_string()).or_insert(0) += 1;
+                }
+            }
+            "fault_injected" => {
+                if let (Some(fault), Some(site)) =
+                    (event.str_field("fault"), event.str_field("site"))
+                {
+                    *report.faults.entry(format!("{fault}@{site}")).or_insert(0) += 1;
                 }
             }
             "slo_burn" => {
@@ -677,6 +688,18 @@ pub fn report_json(report: &Report) -> Val {
     ];
     if !report.fleet.is_empty() {
         top.push(("fleet".into(), fleet_json(&report.fleet)));
+    }
+    if !report.faults.is_empty() {
+        top.push((
+            "faults".into(),
+            Val::Obj(
+                report
+                    .faults
+                    .iter()
+                    .map(|(key, count)| (key.clone(), Val::Num(*count as f64)))
+                    .collect(),
+            ),
+        ));
     }
     Val::Obj(top)
 }
@@ -841,6 +864,13 @@ pub fn report_table(report: &Report) -> String {
         }
         if let Some(rate) = fleet.hedge_win_rate() {
             let _ = writeln!(out, "  win_rate {:>14.3}", rate);
+        }
+    }
+    if !report.faults.is_empty() {
+        let total: u64 = report.faults.values().sum();
+        let _ = writeln!(out, "faults injected ({total} total)");
+        for (key, count) in &report.faults {
+            let _ = writeln!(out, "  {key:<28} {count}");
         }
     }
     out
@@ -1269,6 +1299,37 @@ mod tests {
         let regressions = bench_check(&empty, &baseline, 0.3);
         assert_eq!(regressions.len(), 2);
         assert_eq!(regressions[0].current, 0.0);
+    }
+
+    #[test]
+    fn fault_injections_are_tallied_by_kind_and_site() {
+        let fault = |kind: &str, site: &str| {
+            Event::new(EventKind::FaultInjected, Level::Warn, "faults")
+                .message(format!("injected {kind} at {site} (hit 1)"))
+                .field("fault", kind)
+                .field("site", site)
+                .field("hit", 1u64)
+        };
+        let events = stream(vec![
+            fault("torn_write", "metrics"),
+            fault("probe_loss", "replica1"),
+            fault("torn_write", "metrics"),
+        ]);
+        let report = build_report(&events);
+        assert_eq!(report.faults.get("torn_write@metrics"), Some(&2));
+        assert_eq!(report.faults.get("probe_loss@replica1"), Some(&1));
+        let json = report_json(&report).render();
+        assert!(
+            json.contains(r#""faults":{"probe_loss@replica1":1,"torn_write@metrics":2}"#),
+            "{json}"
+        );
+        let table = report_table(&report);
+        assert!(table.contains("faults injected (3 total)"), "{table}");
+        assert!(table.contains("torn_write@metrics"), "{table}");
+        // Fault-free streams keep the section out entirely.
+        let clean = build_report(&[]);
+        assert!(!report_json(&clean).render().contains("faults"));
+        assert!(!report_table(&clean).contains("faults injected"));
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! | `nan_reward`| `layer`, `block`, `block-inner` | the episode's inference reward becomes NaN |
 //! | `slow_infer`| `infer`      | a serve micro-batch's modeled compute time is inflated past its timeout |
 //! | `load_fail` | `model_load` | a model (re)load attempt fails with a transient error; retry with backoff recovers |
+//! | `torn_write` | `checkpoint`, `artifact`, `journal`, `metrics` | half the bytes land at the final path, then the write fails hard — a torn file a later read must catch by CRC |
 //! | `worker_lost`| `worker`    | a coordinator evaluation worker dies mid-batch; its items are reassigned and replayed |
 //! | `replica_crash`| `replica<K>` | fleet replica K goes down permanently; the prober ejects it and queued requests fail over |
 //! | `replica_slow` | `replica<K>` | fleet replica K's modeled compute inflates (toggles back on a later firing) |
 //! | `replica_flap` | `replica<K>` | fleet replica K flips between down and up on each firing |
+//! | `probe_loss`   | `replica<K>` | one health probe of replica K returns no signal (reads as failed) without the replica going down |
 //!
 //! (`corrupt:model_load` is also recognised: the serving loader sees a
 //! one-byte-flipped checkpoint image on that attempt and retries. The
@@ -66,11 +68,12 @@ pub struct Fault {
 /// Every fault kind a plan may name. [`FaultPlan::parse`] rejects
 /// anything else, so a typo in `HS_FAULT` fails at startup instead of
 /// silently running without faults.
-pub const KNOWN_KINDS: [&str; 12] = [
+pub const KNOWN_KINDS: [&str; 14] = [
     "io_error",
     "io_flaky",
     "corrupt",
     "truncate",
+    "torn_write",
     "kill_after",
     "nan_reward",
     "slow_infer",
@@ -79,6 +82,7 @@ pub const KNOWN_KINDS: [&str; 12] = [
     "replica_crash",
     "replica_slow",
     "replica_flap",
+    "probe_loss",
 ];
 
 /// Every *static* site a plan may name (the workspace's consulting call
@@ -110,6 +114,83 @@ pub const KNOWN_SITES: [&str; 14] = [
 pub fn is_replica_site(site: &str) -> bool {
     site.strip_prefix("replica")
         .is_some_and(|id| !id.is_empty() && id.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// The static consulting sites of every fault kind — the registry's
+/// kind×site vocabulary, so tooling (the `hs-chaos` schedule generator,
+/// doc checks) can *discover* valid plans instead of hardcoding them.
+/// Replica-scoped kinds (see [`replica_scoped`]) list no static sites:
+/// their sites are the dynamic `replica<K>` family.
+pub const KIND_SITES: [(&str, &[&str]); 14] = [
+    (
+        "io_error",
+        &["checkpoint", "artifact", "journal", "metrics"],
+    ),
+    (
+        "io_flaky",
+        &["checkpoint", "artifact", "journal", "metrics"],
+    ),
+    ("corrupt", &["checkpoint", "compact_write", "model_load"]),
+    ("truncate", &["checkpoint"]),
+    (
+        "torn_write",
+        &["checkpoint", "artifact", "journal", "metrics"],
+    ),
+    ("kill_after", &["pretrain", "prune_unit", "finalize"]),
+    ("nan_reward", &["layer", "block", "block-inner"]),
+    ("slow_infer", &["infer"]),
+    ("load_fail", &["model_load"]),
+    ("worker_lost", &["worker"]),
+    ("replica_crash", &[]),
+    ("replica_slow", &[]),
+    ("replica_flap", &[]),
+    ("probe_loss", &[]),
+];
+
+/// The static sites `kind` is consulted at (empty for unknown kinds and
+/// for the replica-scoped kinds, whose sites are dynamic).
+#[must_use]
+pub fn sites_for(kind: &str) -> &'static [&'static str] {
+    KIND_SITES
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map_or(&[], |(_, sites)| sites)
+}
+
+/// True for kinds consulted at the dynamic `replica<K>` sites instead
+/// of a static site list.
+#[must_use]
+pub fn replica_scoped(kind: &str) -> bool {
+    matches!(
+        kind,
+        "replica_crash" | "replica_slow" | "replica_flap" | "probe_loss"
+    )
+}
+
+/// Levenshtein edit distance, for typo suggestions in parse errors.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The registered name nearest to `input` by edit distance, for
+/// "did you mean" hints. Ties break toward the earlier candidate.
+fn nearest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
 }
 
 /// A rejected fault-plan spec: which entry was malformed and why.
@@ -146,6 +227,14 @@ pub enum FaultParseError {
         /// The unrecognised site.
         site: String,
     },
+    /// The identical `(kind, site, n)` entry appeared twice. Arming it
+    /// twice would be a silent no-op for the second copy (each entry
+    /// fires once, and only one entry fires per hit), so the plan is
+    /// rejected instead.
+    DuplicateEntry {
+        /// The repeated entry.
+        entry: String,
+    },
 }
 
 impl fmt::Display for FaultParseError {
@@ -164,17 +253,33 @@ impl fmt::Display for FaultParseError {
                 write!(f, "fault `{entry}`: empty kind or site")
             }
             FaultParseError::UnknownKind { entry, kind } => {
-                write!(
-                    f,
-                    "fault `{entry}`: unknown kind `{kind}` (valid kinds: {})",
-                    KNOWN_KINDS.join(", ")
-                )
+                write!(f, "fault `{entry}`: unknown kind `{kind}`")?;
+                if let Some(hint) = nearest(kind, &KNOWN_KINDS) {
+                    write!(f, " — did you mean `{hint}`?")?;
+                }
+                write!(f, " (valid kinds: {})", KNOWN_KINDS.join(", "))
             }
             FaultParseError::UnknownSite { entry, site } => {
+                write!(f, "fault `{entry}`: unknown site `{site}`")?;
+                let hint = if site.starts_with("replica") {
+                    Some("replica<K>")
+                } else {
+                    nearest(site, &KNOWN_SITES)
+                };
+                if let Some(hint) = hint {
+                    write!(f, " — did you mean `{hint}`?")?;
+                }
                 write!(
                     f,
-                    "fault `{entry}`: unknown site `{site}` (valid sites: {})",
+                    " (valid sites: {}, or replica<K>)",
                     KNOWN_SITES.join(", ")
+                )
+            }
+            FaultParseError::DuplicateEntry { entry } => {
+                write!(
+                    f,
+                    "fault `{entry}`: duplicate entry (an identical kind:site:n is \
+                     already in the plan; use a different :n to fire on another hit)"
                 )
             }
         }
@@ -239,13 +344,41 @@ impl FaultPlan {
                     site: site.to_string(),
                 });
             }
-            faults.push(Fault {
+            let fault = Fault {
                 kind: kind.to_string(),
                 site: site.to_string(),
                 nth,
-            });
+            };
+            if faults.contains(&fault) {
+                return Err(FaultParseError::DuplicateEntry {
+                    entry: entry.to_string(),
+                });
+            }
+            faults.push(fault);
         }
         Ok(FaultPlan { faults })
+    }
+}
+
+impl fmt::Display for Fault {
+    /// The canonical spec form `kind:site:n` — always with the explicit
+    /// count, so formatting is a fixed point of parse∘format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.kind, self.site, self.nth)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// The comma-separated spec form accepted by [`FaultPlan::parse`]
+    /// (and `HS_FAULT`); an empty plan formats as the empty string.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
     }
 }
 
@@ -414,6 +547,131 @@ mod tests {
             FaultPlan::parse("replica_crash:replicaX:1"),
             Err(FaultParseError::UnknownSite { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_names_suggest_the_nearest_registered_one() {
+        let err = FaultPlan::parse("io_eror:checkpoint:1").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `io_error`?"),
+            "missing kind suggestion: {err}"
+        );
+        let err = FaultPlan::parse("torn_wrte:journal").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `torn_write`?"),
+            "missing kind suggestion: {err}"
+        );
+        let err = FaultPlan::parse("io_error:chekpoint").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `checkpoint`?"),
+            "missing site suggestion: {err}"
+        );
+        // A malformed replica site points at the dynamic family, not at
+        // whichever static site happens to be edit-closest.
+        let err = FaultPlan::parse("replica_crash:replicaX:1").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `replica<K>`?"),
+            "missing replica hint: {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_identical_entries_are_rejected() {
+        let err = FaultPlan::parse("io_error:checkpoint:2,io_error:checkpoint:2").unwrap_err();
+        assert!(matches!(err, FaultParseError::DuplicateEntry { ref entry }
+            if entry == "io_error:checkpoint:2"));
+        // The implicit :1 and the explicit :1 are the same entry.
+        let err = FaultPlan::parse("corrupt:checkpoint,corrupt:checkpoint:1").unwrap_err();
+        assert!(matches!(err, FaultParseError::DuplicateEntry { .. }));
+        // Same pair with a *different* count is a legitimate multi-hit
+        // plan, not a duplicate.
+        let plan = FaultPlan::parse("slow_infer:infer:1,slow_infer:infer:2").unwrap();
+        assert_eq!(plan.faults.len(), 2);
+    }
+
+    #[test]
+    fn the_kind_site_table_covers_exactly_the_known_kinds() {
+        let table_kinds: Vec<&str> = KIND_SITES.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            table_kinds, KNOWN_KINDS,
+            "KIND_SITES drifted from KNOWN_KINDS"
+        );
+        for (kind, sites) in KIND_SITES {
+            assert_eq!(
+                sites.is_empty(),
+                replica_scoped(kind),
+                "`{kind}`: only replica-scoped kinds may have no static sites"
+            );
+            for site in sites {
+                assert!(
+                    KNOWN_SITES.contains(site),
+                    "`{kind}` lists unregistered site `{site}`"
+                );
+                // Every advertised pair must survive the parser — the
+                // chaos generator samples straight from this table.
+                FaultPlan::parse(&format!("{kind}:{site}:3")).unwrap();
+            }
+        }
+        for kind in KNOWN_KINDS {
+            if replica_scoped(kind) {
+                FaultPlan::parse(&format!("{kind}:replica7:2")).unwrap();
+            }
+        }
+        assert_eq!(
+            sites_for("kill_after"),
+            ["pretrain", "prune_unit", "finalize"]
+        );
+        assert!(sites_for("no_such_kind").is_empty());
+    }
+
+    #[test]
+    fn plans_format_to_their_canonical_spec_and_round_trip() {
+        let spec = "io_error:checkpoint:2,probe_loss:replica1:4,torn_write:journal:1";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_string(), spec);
+        // Count-elided entries normalize to the explicit :1 form, which
+        // is then a fixed point.
+        let plan = FaultPlan::parse("corrupt:checkpoint, kill_after:finalize:3").unwrap();
+        let canonical = plan.to_string();
+        assert_eq!(canonical, "corrupt:checkpoint:1,kill_after:finalize:3");
+        assert_eq!(FaultPlan::parse(&canonical).unwrap(), plan);
+        assert_eq!(FaultPlan::default().to_string(), "");
+    }
+
+    #[test]
+    fn same_site_entries_fire_in_plan_order_one_per_hit() {
+        let _guard = test_lock();
+        // Two entries on the same (kind, site) with different counts:
+        // every entry sees every hit, so hits 1 and 2 each fire exactly
+        // one entry, in plan order.
+        arm(FaultPlan::parse("slow_infer:infer:1,slow_infer:infer:2").unwrap());
+        assert!(trip("slow_infer", "infer")); // hit 1 fires entry 0
+        assert!(trip("slow_infer", "infer")); // hit 2 fires entry 1
+        assert!(!trip("slow_infer", "infer")); // both spent
+        disarm();
+
+        // Identical entries (armed programmatically — parse rejects
+        // them): only the first ever fires, because a hit fires at most
+        // one entry and both want the same hit. This pinned no-op is
+        // why `FaultPlan::parse` rejects duplicates up front.
+        arm(FaultPlan {
+            faults: vec![
+                Fault {
+                    kind: "io_error".into(),
+                    site: "dup_site".into(),
+                    nth: 1,
+                },
+                Fault {
+                    kind: "io_error".into(),
+                    site: "dup_site".into(),
+                    nth: 1,
+                },
+            ],
+        });
+        assert!(trip("io_error", "dup_site")); // entry 0 fires on hit 1
+        assert!(!trip("io_error", "dup_site")); // entry 1 never fires
+        assert!(!trip("io_error", "dup_site"));
+        disarm();
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //! The write path consults the [fault registry](crate::faults) so tests
 //! can deterministically inject hard failures (`io_error:<site>`),
 //! transient first-attempt failures recovered by the retry loop
-//! (`io_flaky:<site>`), and post-write corruption of the renamed file
-//! (`corrupt:<site>` flips one byte, `truncate:<site>` cuts the tail).
+//! (`io_flaky:<site>`), torn writes that leave half the payload at the
+//! final path and fail hard (`torn_write:<site>`), and post-write
+//! corruption of the renamed file (`corrupt:<site>` flips one byte,
+//! `truncate:<site>` cuts the tail).
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -105,6 +107,9 @@ fn write_once(path: &Path, site: &str, bytes: &[u8]) -> io::Result<()> {
             format!("injected transient io_flaky at site `{site}`"),
         ));
     }
+    if faults::trip("torn_write", site) {
+        return Err(torn_write(path, site, bytes));
+    }
     let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = parent {
         fs::create_dir_all(dir)?;
@@ -140,6 +145,29 @@ fn tmp_path(path: &Path) -> io::Result<std::path::PathBuf> {
     let mut tmp_name = name.to_os_string();
     tmp_name.push(".tmp");
     Ok(path.with_file_name(tmp_name))
+}
+
+/// The `torn_write` fault: the first half of `bytes` lands *directly at
+/// the final path* — no tmp file, no rename — and the write then fails
+/// hard, as if the process lost power mid-`write(2)` on a filesystem
+/// without the atomic-rename discipline. Unlike `truncate` (which cuts
+/// a *successfully renamed* file and reports success), the caller sees
+/// the failure, and the torn file must be caught by CRC on read-back.
+/// The error is non-transient on purpose: the retry loop must not
+/// quietly heal the tear.
+fn torn_write(path: &Path, site: &str, bytes: &[u8]) -> io::Error {
+    let write_half = || -> io::Result<()> {
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
+        let mut file = File::create(path)?;
+        file.write_all(&bytes[..bytes.len() / 2])?;
+        file.sync_all()
+    };
+    if let Err(err) = write_half() {
+        return err;
+    }
+    io::Error::other(format!("injected torn_write at site `{site}`"))
 }
 
 fn is_transient(err: &io::Error) -> bool {
@@ -269,6 +297,34 @@ mod tests {
         atomic_write_as(&path, "t_site", &payload).unwrap();
         faults::disarm();
         assert_eq!(fs::read(&path).unwrap().len(), 32);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_fail_hard_and_leave_half_the_bytes_in_place() {
+        let _guard = fault_lock();
+        let dir = temp_dir("torn");
+        let path = dir.join("out.bin");
+        atomic_write_as(&path, "torn_site", b"intact-previous-contents").unwrap();
+
+        let payload: Vec<u8> = (0..=99).collect();
+        faults::arm(one_fault("torn_write", "torn_site"));
+        let err = atomic_write_as(&path, "torn_site", &payload).unwrap_err();
+        faults::disarm();
+
+        // Unlike truncate, the caller *sees* the failure — and unlike
+        // io_flaky, the retry loop must not have healed it.
+        assert!(err.to_string().contains("injected torn_write"), "{err}");
+        // The previous contents are gone and exactly the first half of
+        // the new payload is visible at the final path.
+        assert_eq!(fs::read(&path).unwrap(), &payload[..50]);
+        // No stray tmp file: the tear bypassed the rename discipline.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -103,19 +103,30 @@ pub struct TelemetryConfig {
 /// Propagates I/O errors from opening the JSONL file.
 pub fn configure(cfg: &TelemetryConfig) -> std::io::Result<()> {
     let stderr_level = cfg.stderr_level.unwrap_or(Level::Info);
+    let mut guard = sinks().lock().expect("telemetry sinks poisoned");
+    // Retire the old sinks *before* opening the new JSONL file: the new
+    // path may be the same file (resume_run reconfigures in-process),
+    // and `JsonlSink::create` truncates — an old buffered sink flushing
+    // after the truncate would write its tail at a stale offset and
+    // tear the fresh stream mid-line.
+    guard.clear();
     let mut new_sinks: Vec<Box<dyn Sink>> = vec![Box::new(StderrSink::new(stderr_level))];
     if let Some(path) = &cfg.jsonl {
-        new_sinks.push(Box::new(JsonlSink::create(path)?));
+        match JsonlSink::create(path) {
+            Ok(sink) => new_sinks.push(Box::new(sink)),
+            Err(e) => {
+                // Leave a sane stderr-only setup behind on failure.
+                MAX_LEVEL.store(stderr_level as u8, Ordering::Relaxed);
+                *guard = new_sinks;
+                return Err(e);
+            }
+        }
     }
     let max = new_sinks
         .iter()
         .map(|s| s.level() as u8)
         .max()
         .unwrap_or(Level::Error as u8);
-    let mut guard = sinks().lock().expect("telemetry sinks poisoned");
-    for sink in guard.iter_mut() {
-        sink.flush();
-    }
     *guard = new_sinks;
     MAX_LEVEL.store(max, Ordering::Relaxed);
     Ok(())
@@ -209,5 +220,42 @@ mod tests {
         let a = now_secs();
         let b = now_secs();
         assert!(b >= a);
+    }
+
+    /// Regression (found by a chaos campaign): reconfiguring onto the
+    /// *same* JSONL path — which `resume_run` does in-process — used to
+    /// truncate the file before the old buffered sink flushed, so its
+    /// tail landed at a stale offset and tore the fresh stream mid-line.
+    #[test]
+    fn reconfiguring_onto_the_same_jsonl_path_never_tears_lines() {
+        let _guard = faults::test_lock();
+        let dir = std::env::temp_dir().join("hs_telemetry_reconfigure_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let cfg = TelemetryConfig {
+            stderr_level: Some(Level::Error),
+            jsonl: Some(path.clone()),
+        };
+        configure(&cfg).unwrap();
+        // Fill well past the sink's write buffer so a partial line has
+        // been auto-flushed to disk while its tail is still buffered.
+        for i in 0..200 {
+            log(
+                Level::Info,
+                "reconf-test",
+                format!("padding event {i} with ballast text to cross the buffer boundary"),
+            );
+        }
+        configure(&cfg).unwrap();
+        log(Level::Info, "reconf-test", "fresh stream".to_string());
+        flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() >= 1);
+        for (i, line) in text.lines().enumerate() {
+            schema::validate_line(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        }
+        configure(&TelemetryConfig::default()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

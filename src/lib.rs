@@ -36,7 +36,14 @@
 //! * [`obs`] — offline analysis over the deterministic telemetry JSONL
 //!   stream: causal trace timelines, serving reports with SLO burn
 //!   accounting, run-to-run metric diffs, and the `bench-check`
-//!   regression gate over `BENCH_kernels.json`.
+//!   regression gate over `BENCH_kernels.json`;
+//! * [`chaos`] — seeded chaos campaigns over the pipeline, coordinator,
+//!   and serving fleet: fault schedules sampled from the registered
+//!   kind×site vocabulary, global invariant oracles (completion, bit
+//!   parity, checkpoint integrity, ejection liveness, deadlines,
+//!   request conservation, telemetry cleanliness), and a
+//!   delta-debugging shrinker that reduces any failing schedule to a
+//!   minimal `HS_FAULT` repro.
 //!
 //! # Quickstart
 //!
@@ -65,6 +72,7 @@
 
 #![warn(missing_docs)]
 
+pub use hs_chaos as chaos;
 pub use hs_coord as coord;
 pub use hs_core as core;
 pub use hs_data as data;

@@ -364,3 +364,37 @@ fn shard_plan_is_an_exact_partition() {
         );
     }
 }
+
+#[test]
+fn fault_plans_round_trip_through_their_spec() {
+    use headstart::telemetry::faults::{Fault, FaultPlan, KIND_SITES};
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(seed);
+        let mut faults = Vec::new();
+        for _ in 0..1 + rng.below(6) {
+            let (kind, sites) = KIND_SITES[rng.below(KIND_SITES.len())];
+            // Replica-scoped kinds have no fixed site list; any
+            // `replica<K>` is valid.
+            let site = if sites.is_empty() {
+                format!("replica{}", rng.below(8))
+            } else {
+                sites[rng.below(sites.len())].to_string()
+            };
+            let fault = Fault {
+                kind: kind.to_string(),
+                site,
+                nth: 1 + rng.below(9) as u64,
+            };
+            if !faults.contains(&fault) {
+                faults.push(fault);
+            }
+        }
+        let plan = FaultPlan { faults };
+        // format -> parse -> format is a fixed point: the rendered spec
+        // is canonical (`kind:site:n` with the count always explicit).
+        let spec = plan.to_string();
+        let parsed = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(parsed, plan, "seed {seed}: parse changed the plan");
+        assert_eq!(parsed.to_string(), spec, "seed {seed}: spec not canonical");
+    }
+}
